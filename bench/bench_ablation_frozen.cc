@@ -1,0 +1,104 @@
+// Ablation A: group-frozen avoidance on/off (DESIGN.md).
+//
+// Adversarial setting: two speed classes whose members become ready
+// together, so FIFO grouping forms the same pairs forever — the paper's
+// "group frozen" pathology (§4). Shards are non-IID (Dirichlet 0.3), so an
+// isolated pair only ever sees its own skewed slice of the data: its
+// replicas converge to a *biased* model. We report, per configuration, the
+// bridged-group count, the accuracy of the all-replica average, and the
+// worst single-replica accuracy — the latter exposes the isolation the
+// average can mask.
+
+#include <cstdio>
+
+#include "train/experiment.h"
+#include "train/report.h"
+
+namespace {
+
+pr::ExperimentConfig Config(bool frozen_avoidance, uint64_t seed) {
+  pr::ExperimentConfig config;
+  config.training.num_workers = 4;
+  config.training.hidden = {16};
+  config.training.batch_size = 8;
+  config.training.dataset = "cifar10";
+  config.training.dirichlet_alpha = 0.3;
+  config.training.paper_model = "resnet18";
+  // Two deterministic speed classes -> stable adversarial pairing.
+  pr::HeteroSpec hetero = pr::HeteroSpec::FixedFactors({2.0, 2.0, 1.0, 1.0});
+  hetero.jitter_sigma = 0.0005;
+  config.training.hetero = hetero;
+  config.training.accuracy_threshold = -1.0;  // run a fixed update budget
+  config.training.max_updates = 1500;
+  config.training.eval_every = 50;
+  config.training.seed = seed;
+  config.strategy.kind = pr::StrategyKind::kPReduceConst;
+  config.strategy.group_size = 2;
+  config.strategy.frozen_avoidance = frozen_avoidance;
+  return config;
+}
+
+struct Cell {
+  double avg_acc = 0.0;
+  double worst_replica = 0.0;
+  double bridged = 0.0;
+};
+
+Cell RunCell(bool frozen_avoidance) {
+  Cell cell;
+  const int kSeeds = 3;
+  for (uint64_t seed = 59; seed < 59 + kSeeds; ++seed) {
+    pr::ExperimentConfig config = Config(frozen_avoidance, seed);
+    pr::SimTraining ctx(config.training);
+    auto strategy = pr::MakeStrategy(config.strategy, &ctx);
+    strategy->Start();
+    ctx.engine()->RunUntil([&] { return ctx.stopped(); });
+    ctx.EvaluateNow();
+
+    // Average-model accuracy.
+    std::vector<float> avg(ctx.num_params(), 0.0f);
+    for (int w = 0; w < ctx.num_workers(); ++w) {
+      for (size_t i = 0; i < avg.size(); ++i) {
+        avg[i] += ctx.params(w)[i] / static_cast<float>(ctx.num_workers());
+      }
+    }
+    cell.avg_acc += pr::EvaluateAccuracy(ctx.model(), avg.data(),
+                                         ctx.test_set()) / kSeeds;
+    double worst = 1.0;
+    for (int w = 0; w < ctx.num_workers(); ++w) {
+      worst = std::min(worst, pr::EvaluateAccuracy(
+                                  ctx.model(), ctx.params(w).data(),
+                                  ctx.test_set()));
+    }
+    cell.worst_replica += worst / kSeeds;
+    cell.bridged += static_cast<double>(
+                        strategy->controller()->stats().bridged_groups) /
+                    kSeeds;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: group-frozen avoidance, N=4, P=2, two deterministic speed\n"
+      "classes, non-IID shards (Dirichlet 0.3), 1500 updates, 3 seeds.\n\n");
+
+  pr::TablePrinter table({"group filter", "bridged groups", "avg-model acc",
+                          "worst replica acc"});
+  for (bool on : {true, false}) {
+    Cell cell = RunCell(on);
+    table.AddRow({on ? "avoidance ON" : "avoidance OFF",
+                  pr::FormatDouble(cell.bridged, 1),
+                  pr::FormatDouble(cell.avg_acc, 3),
+                  pr::FormatDouble(cell.worst_replica, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nWith avoidance OFF the sync graph splits into {fast pair} and\n"
+      "{slow pair}; each isolated pair trains only on its skewed shard, so\n"
+      "its replicas stay biased (low worst-replica accuracy). Bridging\n"
+      "groups restore cross-cluster model propagation.\n");
+  return 0;
+}

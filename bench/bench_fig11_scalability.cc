@@ -1,0 +1,97 @@
+// Reproduces Fig. 11: scalability (run-time speedup vs worker count) on
+// ImageNet-scale workloads under production heterogeneity, for All-Reduce,
+// PS-BK (a quarter of workers as backups) and P-Reduce (P=4).
+//
+// Speedup is gradient throughput (gradients incorporated per virtual
+// second) normalized to one *dedicated* worker — the hardware-efficiency
+// component of the paper's run-time speedup, measured timing-only so the
+// number is free of threshold-crossing noise. Expected shape: AR flattens
+// hard (max-of-N over a heavy tail); P-Reduce stays closest to ideal;
+// ResNet-18 (compute-bound) scales better than VGG-16 (communication-
+// bound). PS-BK's curve depends on the heterogeneity mix: under the
+// *persistent* per-worker skew modeled here, always dropping the slowest
+// quarter is throughput-favourable for compute-bound models (it never pays
+// for stragglers), while for communication-bound models the central PS
+// link caps it — see EXPERIMENTS.md for the comparison with the paper.
+
+#include <cstdio>
+
+#include "train/experiment.h"
+#include "train/report.h"
+
+namespace {
+
+/// Gradients incorporated per update for each strategy.
+double GradientsPerUpdate(pr::StrategyKind kind, int n, int p, int backups) {
+  switch (kind) {
+    case pr::StrategyKind::kAllReduce:
+      return n;
+    case pr::StrategyKind::kPsBackup:
+      return n - backups;
+    case pr::StrategyKind::kPReduceConst:
+      return p;
+    default:
+      return 1;
+  }
+}
+
+double Throughput(const std::string& model, pr::StrategyKind kind, int n) {
+  const int p = std::min(4, n);
+  const int backups = n / 4;
+  pr::ExperimentConfig config;
+  config.training.num_workers = n;
+  config.training.paper_model = model;
+  config.training.cost.compute_scale = 4.0;
+  config.training.hetero = pr::HeteroSpec::Production();
+  config.training.timing_only = true;
+  config.training.timing_updates = 800;
+  config.training.seed = 53;
+  config.strategy.kind = kind;
+  config.strategy.group_size = p;
+  config.strategy.backup_workers = backups;
+
+  if (n == 1) {
+    // Baseline: one *dedicated* worker (sequential SGD on an unshared
+    // device) — a fixed reference, not a random draw from the production
+    // skew distribution.
+    config.training.hetero = pr::HeteroSpec::Homogeneous();
+    config.strategy.kind = pr::StrategyKind::kAllReduce;
+  }
+  pr::SimRunResult r = pr::RunExperiment(config);
+  const double grads =
+      static_cast<double>(r.updates) *
+      GradientsPerUpdate(config.strategy.kind, n, p, backups);
+  return grads / r.sim_seconds;
+}
+
+}  // namespace
+
+int main() {
+  for (const char* model : {"resnet18", "vgg16"}) {
+    std::printf("=== Fig. 11: %s speedup vs workers (production "
+                "heterogeneity) ===\n", model);
+    pr::TablePrinter table(
+        {"N", "AR", "PS-BK", "P-Reduce(P=4)", "ideal"});
+    const double base = Throughput(model, pr::StrategyKind::kAllReduce, 1);
+    for (int n : {4, 8, 16, 32}) {
+      table.AddRow(
+          {std::to_string(n),
+           pr::FormatSpeedup(
+               Throughput(model, pr::StrategyKind::kAllReduce, n) / base),
+           pr::FormatSpeedup(
+               Throughput(model, pr::StrategyKind::kPsBackup, n) / base),
+           pr::FormatSpeedup(
+               Throughput(model, pr::StrategyKind::kPReduceConst, n) / base),
+           pr::FormatSpeedup(n)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: AR flattens with N; P-Reduce scales closest to\n"
+      "ideal; ResNet-18 rows sit above VGG-16 rows. PS-BK benefits from\n"
+      "persistent skew (it permanently sheds the slow quarter) but its\n"
+      "dropped gradients carry real data — the statistical cost shows in\n"
+      "bench_table1's #updates, not in raw throughput.\n");
+  return 0;
+}

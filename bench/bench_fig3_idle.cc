@@ -1,0 +1,86 @@
+// Reproduces Fig. 3: worker timelines under All-Reduce vs Partial-Reduce
+// (P=2) with three workers of unequal speed. The paper's figure is a Gantt
+// of compute (blue) / idle (green) / reduce (arrows) blocks per worker; we
+// render the same as ASCII ('#' compute, '.' idle, '=' communication) and
+// report measured idle fractions.
+
+#include <cstdio>
+
+#include "train/experiment.h"
+#include "train/report.h"
+
+namespace {
+
+struct Run {
+  pr::SimRunResult result;
+  std::string gantt;
+  double compute = 0.0, comm = 0.0, idle = 0.0;
+};
+
+Run RunWithTimeline(pr::StrategyKind kind, int group_size) {
+  pr::ExperimentConfig config;
+  config.training.num_workers = 3;
+  config.training.paper_model = "resnet34";
+  // Fig. 3/4's setting: worker 0 ~2x slower than the others.
+  config.training.hetero = pr::HeteroSpec::FixedFactors({2.0, 1.0, 1.0});
+  config.training.timing_only = true;
+  config.training.timing_updates = 2000;
+  config.training.record_timeline = true;
+  config.training.seed = 23;
+  config.strategy.kind = kind;
+  config.strategy.group_size = group_size;
+
+  pr::SimTraining ctx(config.training);
+  auto strategy = pr::MakeStrategy(config.strategy, &ctx);
+  strategy->Start();
+  ctx.engine()->RunUntil([&] { return ctx.stopped(); });
+
+  Run run;
+  run.result = ctx.BuildResult(strategy->Name());
+  const pr::Timeline* timeline = ctx.timeline();
+  // Render a 6-second window from mid-run (steady state).
+  const double t0 = timeline->EndTime() / 2;
+  run.gantt = timeline->RenderAscii(t0, t0 + 6.0, 72);
+  for (int w = 0; w < 3; ++w) {
+    run.compute += timeline->TotalTime(w, pr::WorkerActivity::kCompute);
+    run.comm += timeline->TotalTime(w, pr::WorkerActivity::kComm);
+    run.idle += timeline->TotalTime(w, pr::WorkerActivity::kIdle);
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 3 reproduction: worker timelines, N=3, worker 0 ~2x slower,\n"
+      "ResNet-34 cost model. '#' compute, '=' reduce, '.' idle;\n"
+      "6-second steady-state window.\n");
+
+  pr::TablePrinter table(
+      {"strategy", "idle fraction", "per-update (s)", "updates/s"});
+  double ar_idle = 0.0, pr_idle = 0.0;
+  for (auto [kind, p, label] :
+       {std::tuple{pr::StrategyKind::kAllReduce, 3, "All-Reduce"},
+        std::tuple{pr::StrategyKind::kPReduceConst, 2, "P-Reduce(P=2)"}}) {
+    Run run = RunWithTimeline(kind, p);
+    std::printf("\n%s:\n%s", label, run.gantt.c_str());
+    const double busy = run.compute + run.comm + run.idle;
+    const double idle_frac = run.idle / busy;
+    table.AddRow({label, pr::FormatDouble(idle_frac, 3),
+                  pr::FormatDouble(run.result.per_update_seconds, 3),
+                  pr::FormatDouble(1.0 / run.result.per_update_seconds, 2)});
+    if (kind == pr::StrategyKind::kAllReduce) {
+      ar_idle = idle_frac;
+    } else {
+      pr_idle = idle_frac;
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nIdle-fraction ratio (AR / P-Reduce): %s — the paper's Fig. 3\n"
+      "shows P-Reduce eliminating most of the barrier wait (green blocks).\n",
+      pr::FormatSpeedup(ar_idle / pr_idle).c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 4: the spectral bound rho of E[W_k] in homogeneous vs
+// heterogeneous environments (N=3, P=2), plus a sweep of measured rho over
+// N, P, and heterogeneity — the quantity driving Theorem 1's network-error
+// term. Homogeneous closed form: rho = 1 - (P-1)/(N-1).
+
+#include <cstdio>
+
+#include "core/spectral.h"
+#include "train/experiment.h"
+#include "train/report.h"
+
+namespace {
+
+double MeasuredRho(int n, int p, const pr::HeteroSpec& hetero,
+                   uint64_t seed = 29) {
+  pr::ExperimentConfig config;
+  config.training.num_workers = n;
+  config.training.timing_only = true;
+  config.training.timing_updates = 8000;
+  config.training.hetero = hetero;
+  config.training.seed = seed;
+  config.strategy.kind = pr::StrategyKind::kPReduceConst;
+  config.strategy.group_size = p;
+  config.strategy.record_sync_matrices = true;
+
+  pr::SimTraining ctx(config.training);
+  auto strategy = pr::MakeStrategy(config.strategy, &ctx);
+  strategy->Start();
+  ctx.engine()->RunUntil([&] { return ctx.stopped(); });
+  return pr::SpectralRho(strategy->controller()->ExpectedSyncMatrix());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4 reproduction: spectral bound rho of E[W_k].\n\n");
+
+  // Headline cells: N=3, P=2; heterogeneous = worker 0 exactly 2x slower,
+  // the paper's Fig. 4(b) scenario.
+  const double hom = MeasuredRho(3, 2, pr::HeteroSpec::Homogeneous());
+  const double het =
+      MeasuredRho(3, 2, pr::HeteroSpec::FixedFactors({2.0, 1.0, 1.0}));
+  std::printf("N=3, P=2 homogeneous:   measured rho = %.3f (paper 0.500)\n",
+              hom);
+  std::printf("N=3, P=2 heterogeneous: measured rho = %.3f (paper 0.625,\n"
+              "  one worker 2x slower)\n\n", het);
+
+  std::printf("Sweep: measured rho vs closed form (homogeneous):\n\n");
+  pr::TablePrinter table({"N", "P", "closed-form", "measured(hom)",
+                          "measured(HL=2)", "rho_tilde(hom)"});
+  for (auto [n, p] : {std::pair{3, 2}, {4, 2}, {8, 2}, {8, 3}, {8, 5},
+                      {8, 8}, {16, 4}}) {
+    const double closed = pr::HomogeneousRho(n, p);
+    const double m_hom = MeasuredRho(n, p, pr::HeteroSpec::Homogeneous());
+    const double m_het = MeasuredRho(n, p, pr::HeteroSpec::GpuSharing(2));
+    table.AddRow({std::to_string(n), std::to_string(p),
+                  pr::FormatDouble(closed, 3), pr::FormatDouble(m_hom, 3),
+                  pr::FormatDouble(m_het, 3),
+                  closed < 1.0 ? pr::FormatDouble(pr::RhoTilde(closed), 3)
+                               : "-"});
+  }
+  table.Print();
+  std::printf(
+      "\nHeterogeneity raises rho (smaller spectral gap 1 - rho), inflating\n"
+      "the network-error term of Theorem 1 — the paper's Fig. 4 lesson.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks for the communication substrate and controller hot paths:
+// ring vs leader collectives across group sizes and payload lengths, plus
+// controller signal-ingestion throughput and weight generation.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <thread>
+
+#include "comm/collectives.h"
+#include "common/rng.h"
+#include "core/aggregate.h"
+#include "core/controller.h"
+#include "core/weight_generator.h"
+
+namespace pr {
+namespace {
+
+void RunGroup(InProcTransport* transport, const std::vector<NodeId>& members,
+              const std::function<void(size_t, Endpoint*)>& fn) {
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < members.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Endpoint ep(transport, members[i]);
+      fn(i, &ep);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void BM_RingAllReduce(benchmark::State& state) {
+  const size_t p = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  std::vector<NodeId> members;
+  for (size_t i = 0; i < p; ++i) members.push_back(static_cast<NodeId>(i));
+  std::vector<std::vector<float>> data(p, std::vector<float>(n, 1.0f));
+
+  for (auto _ : state) {
+    InProcTransport transport(static_cast<int>(p));
+    RunGroup(&transport, members, [&](size_t i, Endpoint* ep) {
+      auto local = data[i];
+      benchmark::DoNotOptimize(
+          RingAverageAllReduce(ep, members, i, 1, &local));
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(p * n * sizeof(float)));
+}
+BENCHMARK(BM_RingAllReduce)
+    ->Args({2, 1 << 12})
+    ->Args({4, 1 << 12})
+    ->Args({8, 1 << 12})
+    ->Args({4, 1 << 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LeaderAllReduce(benchmark::State& state) {
+  const size_t p = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  std::vector<NodeId> members;
+  for (size_t i = 0; i < p; ++i) members.push_back(static_cast<NodeId>(i));
+  std::vector<double> weights(p, 1.0 / static_cast<double>(p));
+  std::vector<std::vector<float>> data(p, std::vector<float>(n, 1.0f));
+
+  for (auto _ : state) {
+    InProcTransport transport(static_cast<int>(p));
+    RunGroup(&transport, members, [&](size_t i, Endpoint* ep) {
+      auto local = data[i];
+      benchmark::DoNotOptimize(
+          LeaderWeightedAllReduce(ep, members, weights, i, 1, &local));
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(p * n * sizeof(float)));
+}
+BENCHMARK(BM_LeaderAllReduce)
+    ->Args({2, 1 << 12})
+    ->Args({4, 1 << 12})
+    ->Args({8, 1 << 12})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ControllerSignalIngestion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ControllerOptions options;
+  options.num_workers = n;
+  options.group_size = 3;
+  Controller controller(options);
+  Rng rng(1);
+  std::vector<int64_t> iter(static_cast<size_t>(n), 0);
+  std::vector<bool> queued(static_cast<size_t>(n), false);
+  std::vector<int> running;
+  running.reserve(static_cast<size_t>(n));
+
+  int64_t groups = 0;
+  for (auto _ : state) {
+    running.clear();
+    for (int w = 0; w < n; ++w) {
+      if (!queued[static_cast<size_t>(w)]) running.push_back(w);
+    }
+    const int w = running[rng.UniformInt(running.size())];
+    auto decisions =
+        controller.OnReadySignal(w, ++iter[static_cast<size_t>(w)]);
+    queued[static_cast<size_t>(w)] = true;
+    for (const auto& d : decisions) {
+      ++groups;
+      for (int m : d.members) queued[static_cast<size_t>(m)] = false;
+    }
+    benchmark::DoNotOptimize(decisions);
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+}
+BENCHMARK(BM_ControllerSignalIngestion)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DynamicWeights(benchmark::State& state) {
+  const size_t p = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<int64_t> iters(p);
+  for (auto& it : iters) it = static_cast<int64_t>(rng.UniformInt(1, 100));
+  DynamicWeightOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DynamicWeights(iters, options));
+  }
+}
+BENCHMARK(BM_DynamicWeights)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_WeightedAverageKernel(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> a(n, 1.0f), b(n, 2.0f), c(n, 3.0f), out(n);
+  std::vector<const float*> inputs = {a.data(), b.data(), c.data()};
+  std::vector<double> weights = {0.3, 0.3, 0.4};
+  for (auto _ : state) {
+    WeightedAverage(inputs, weights, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(3 * n * sizeof(float)));
+}
+BENCHMARK(BM_WeightedAverageKernel)->Arg(1 << 12)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace pr
+
+BENCHMARK_MAIN();

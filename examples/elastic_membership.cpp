@@ -1,0 +1,66 @@
+// Elastic membership: the controller's ready-signal design means workers
+// can leave and rejoin mid-training without reconfiguring a communication
+// world — something fixed-topology all-reduce cannot do (the limitation the
+// paper's §4 notes for DistributedDataParallel). This example trains with
+// P-Reduce while two workers leave for a stretch and one rejoins with its
+// stale model; dynamic weights absorb it.
+
+#include <cstdio>
+
+#include "train/experiment.h"
+#include "train/report.h"
+
+namespace {
+
+pr::SimRunResult Run(bool with_churn, pr::StrategyKind kind) {
+  pr::ExperimentConfig config;
+  config.training.num_workers = 8;
+  config.training.dataset = "cifar10";
+  config.training.dirichlet_alpha = 0.5;
+  config.training.paper_model = "resnet18";
+  config.training.hetero = pr::HeteroSpec::GpuSharing(2);
+  config.training.accuracy_threshold = 0.85;
+  config.training.max_updates = 30000;
+  config.training.eval_every = 25;
+  config.training.seed = 19;
+  config.strategy.kind = kind;
+  config.strategy.group_size = 3;
+  if (with_churn) {
+    config.strategy.churn = {
+        {5.0, 6, /*leave=*/true},    // preemption
+        {8.0, 7, /*leave=*/true},    // second preemption
+        {40.0, 6, /*leave=*/false},  // worker 6 comes back, model ~stale
+    };
+  }
+  return pr::RunExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Elastic membership under P-Reduce: workers 6 and 7 are preempted at\n"
+      "t=5s and t=8s; worker 6 rejoins at t=40s with its stale model.\n"
+      "N=8, P=3, GPU-sharing heterogeneity, threshold 85%%.\n\n");
+
+  pr::TablePrinter table({"scenario", "run time (s)", "#updates",
+                          "converged", "final acc"});
+  for (auto [churn, kind, label] :
+       {std::tuple{false, pr::StrategyKind::kPReduceConst,
+                   "stable membership (CON)"},
+        std::tuple{true, pr::StrategyKind::kPReduceConst,
+                   "churn (CON)"},
+        std::tuple{true, pr::StrategyKind::kPReduceDynamic,
+                   "churn (DYN)"}}) {
+    pr::SimRunResult r = Run(churn, kind);
+    table.AddRow({label, pr::FormatDouble(r.sim_seconds, 1),
+                  std::to_string(r.updates), r.converged ? "yes" : "NO",
+                  pr::FormatDouble(r.final_accuracy, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nTraining continues through departures (groups simply form among\n"
+      "the remaining workers) and the rejoining stale model is re-absorbed\n"
+      "— DYN down-weights it by its iteration-number gap.\n");
+  return 0;
+}

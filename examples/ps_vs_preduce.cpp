@@ -1,0 +1,79 @@
+// Centralized vs decentralized on real threads: trains the same synthetic
+// workload with (a) a threaded parameter server in BSP and ASP modes and
+// (b) threaded partial reduce, with one injected straggler, and compares
+// wall time, accuracy, and the PS staleness profile.
+
+#include <cstdio>
+
+#include "runtime/threaded_ps.h"
+#include "runtime/threaded_runtime.h"
+#include "train/report.h"
+
+namespace {
+
+pr::SyntheticSpec DemoDataset() {
+  pr::SyntheticSpec spec;
+  spec.num_classes = 10;
+  spec.dim = 32;
+  spec.num_train = 4096;
+  spec.num_test = 1024;
+  spec.separation = 3.0;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const int kWorkers = 4;
+  const size_t kIterations = 60;
+  // Worker 3 sleeps 6 ms per iteration, the others 1 ms.
+  const std::vector<double> kDelays = {0.001, 0.001, 0.001, 0.006};
+
+  std::printf("Threaded runtimes, N=%d, %zu iterations/worker, one "
+              "straggler.\n\n", kWorkers, kIterations);
+  pr::TablePrinter table({"runtime", "wall (s)", "updates", "accuracy"});
+
+  for (auto mode : {pr::PsMode::kBsp, pr::PsMode::kAsp}) {
+    pr::ThreadedPsOptions options;
+    options.num_workers = kWorkers;
+    options.iterations_per_worker = kIterations;
+    options.mode = mode;
+    options.dataset = DemoDataset();
+    options.worker_delay_seconds = kDelays;
+    pr::ThreadedPsResult result = pr::RunThreadedPs(options);
+    table.AddRow({mode == pr::PsMode::kBsp ? "PS (BSP)" : "PS (ASP)",
+                  pr::FormatDouble(result.wall_seconds, 3),
+                  std::to_string(result.versions),
+                  pr::FormatDouble(result.final_accuracy, 3)});
+    if (mode == pr::PsMode::kAsp) {
+      std::printf("ASP staleness histogram (pushes at staleness s): ");
+      for (size_t s = 0; s < result.staleness_histogram.size() && s < 8;
+           ++s) {
+        std::printf("s=%zu:%llu ", s,
+                    static_cast<unsigned long long>(
+                        result.staleness_histogram[s]));
+      }
+      std::printf("\n");
+    }
+  }
+
+  pr::ThreadedRunOptions options;
+  options.num_workers = kWorkers;
+  options.iterations_per_worker = kIterations;
+  options.group_size = 2;
+  options.dataset = DemoDataset();
+  options.worker_delay_seconds = kDelays;
+  pr::ThreadedRunResult result = pr::RunThreadedPReduce(options);
+  table.AddRow({"P-Reduce (P=2)",
+                pr::FormatDouble(result.wall_seconds, 3),
+                std::to_string(result.group_reduces),
+                pr::FormatDouble(result.final_accuracy, 3)});
+
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nBSP pays the straggler every round; ASP avoids the wait but its\n"
+      "pushes arrive stale (histogram above); P-Reduce keeps fast workers\n"
+      "moving with neither a central model nor stale gradients.\n");
+  return 0;
+}

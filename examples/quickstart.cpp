@@ -1,0 +1,69 @@
+// Quickstart: train a classifier with partial reduce on real threads.
+//
+// Four worker threads train MLP replicas on shards of a synthetic 10-class
+// dataset. Worker 3 is an injected straggler (3x slower). The controller
+// forms groups of P=2 from ready signals, so the fast workers keep making
+// progress while the straggler catches up — no global barrier. The headline
+// number is when the *fast* workers finish their iteration budget: under
+// all-reduce they are dragged to the straggler's pace; under partial reduce
+// they are not.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "runtime/threaded_runtime.h"
+
+namespace {
+
+double FastestFinish(const pr::ThreadedRunResult& result) {
+  return *std::min_element(result.worker_finish_seconds.begin(),
+                           result.worker_finish_seconds.end());
+}
+
+}  // namespace
+
+int main() {
+  pr::ThreadedRunOptions options;
+  options.num_workers = 4;
+  options.group_size = 2;
+  options.iterations_per_worker = 80;
+  options.mode = pr::PartialReduceMode::kConstant;
+  options.hidden = {32};
+  options.batch_size = 32;
+
+  options.dataset.num_classes = 10;
+  options.dataset.dim = 32;
+  options.dataset.num_train = 4096;
+  options.dataset.num_test = 1024;
+  options.dataset.separation = 3.2;
+
+  // Heterogeneity: worker 3 sleeps 6 ms per iteration, the others 2 ms.
+  options.worker_delay_seconds = {0.002, 0.002, 0.002, 0.006};
+
+  std::printf("Training with partial reduce (N=%d, P=%d)...\n",
+              options.num_workers, options.group_size);
+  pr::ThreadedRunResult result = pr::RunThreadedPReduce(options);
+
+  std::printf("fast worker finished at : %.3f s\n", FastestFinish(result));
+  std::printf("straggler finished at   : %.3f s\n",
+              result.worker_finish_seconds.back());
+  std::printf("group reduces           : %llu\n",
+              static_cast<unsigned long long>(result.group_reduces));
+  std::printf("final accuracy          : %.3f\n", result.final_accuracy);
+  std::printf("replica spread          : %.4f (L-inf across models)\n",
+              result.replica_spread);
+
+  // Same workload under classic all-reduce: every iteration waits for the
+  // straggler, so even the fast workers finish at the straggler's pace.
+  std::printf("\nSame workload with all-reduce (global barrier)...\n");
+  pr::ThreadedRunResult ar = pr::RunThreadedAllReduce(options);
+  std::printf("fast worker finished at : %.3f s\n", FastestFinish(ar));
+  std::printf("final accuracy          : %.3f\n", ar.final_accuracy);
+
+  std::printf(
+      "\nFast-worker completion speedup (AR / P-Reduce): %.2fx\n"
+      "Under the barrier, fast workers run at the straggler's pace;\n"
+      "partial reduce lets them proceed and still reach consensus.\n",
+      FastestFinish(ar) / FastestFinish(result));
+  return 0;
+}

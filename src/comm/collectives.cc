@@ -1,0 +1,291 @@
+#include "comm/collectives.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace pr {
+namespace {
+
+// Message kinds used by the collectives; upper layers use other values.
+constexpr int kKindLeaderGather = 101;
+constexpr int kKindLeaderResult = 102;
+constexpr int kKindRsChunk = 103;
+constexpr int kKindBroadcast = 104;
+constexpr int kKindAgChunk = 105;
+constexpr int kKindGather = 106;
+constexpr int kKindBarrier = 107;
+
+Status ValidateGroup(const std::vector<NodeId>& members, size_t my_index) {
+  if (members.empty()) {
+    return Status::InvalidArgument("collective: empty member list");
+  }
+  if (my_index >= members.size()) {
+    return Status::InvalidArgument("collective: my_index out of range");
+  }
+  return Status::OK();
+}
+
+Status ValidateWeights(const std::vector<NodeId>& members,
+                       const std::vector<double>& weights) {
+  if (weights.size() != members.size()) {
+    return Status::InvalidArgument(
+        "collective: weights/members size mismatch");
+  }
+  return Status::OK();
+}
+
+/// Chunk boundaries for splitting `n` elements into `p` near-equal parts.
+std::pair<size_t, size_t> ChunkBounds(size_t n, size_t p, size_t chunk) {
+  const size_t base = n / p;
+  const size_t rem = n % p;
+  const size_t begin = chunk * base + std::min(chunk, rem);
+  const size_t len = base + (chunk < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace
+
+Status LeaderWeightedAllReduce(Endpoint* ep,
+                               const std::vector<NodeId>& members,
+                               const std::vector<double>& weights,
+                               size_t my_index, uint64_t tag,
+                               std::vector<float>* data) {
+  PR_CHECK(ep != nullptr);
+  PR_CHECK(data != nullptr);
+  PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
+  PR_RETURN_NOT_OK(ValidateWeights(members, weights));
+  const size_t p = members.size();
+  if (p == 1) {
+    Scale(static_cast<float>(weights[0]), data->data(), data->size());
+    return Status::OK();
+  }
+  const NodeId leader = members[0];
+  if (my_index == 0) {
+    std::vector<float> acc(data->size(), 0.0f);
+    Axpy(static_cast<float>(weights[0]), data->data(), acc.data(),
+         data->size());
+    for (size_t j = 1; j < p; ++j) {
+      std::optional<Envelope> env =
+          ep->RecvMatching(members[j], tag, kKindLeaderGather);
+      if (!env.has_value()) {
+        return Status::Cancelled("transport shut down during all-reduce");
+      }
+      if (env->floats.size() != data->size()) {
+        return Status::InvalidArgument(
+            "all-reduce: member vector length mismatch");
+      }
+      Axpy(static_cast<float>(weights[j]), env->floats.data(), acc.data(),
+           acc.size());
+    }
+    *data = acc;
+    for (size_t j = 1; j < p; ++j) {
+      PR_RETURN_NOT_OK(
+          ep->Send(members[j], tag, kKindLeaderResult, {}, *data));
+    }
+    return Status::OK();
+  }
+  PR_RETURN_NOT_OK(ep->Send(leader, tag, kKindLeaderGather, {}, *data));
+  std::optional<Envelope> env = ep->RecvMatching(leader, tag,
+                                                 kKindLeaderResult);
+  if (!env.has_value()) {
+    return Status::Cancelled("transport shut down during all-reduce");
+  }
+  *data = std::move(env->floats);
+  return Status::OK();
+}
+
+Status RingReduceScatter(Endpoint* ep, const std::vector<NodeId>& members,
+                         size_t my_index, uint64_t tag,
+                         std::vector<float>* data, size_t* chunk_begin,
+                         size_t* chunk_end) {
+  PR_CHECK(ep != nullptr);
+  PR_CHECK(data != nullptr);
+  PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
+  const size_t p = members.size();
+  const size_t n = data->size();
+  const size_t owned = (my_index + 1) % p;
+  if (chunk_begin != nullptr && chunk_end != nullptr) {
+    auto [ob, oe] = ChunkBounds(n, p, owned);
+    *chunk_begin = ob;
+    *chunk_end = oe;
+  }
+  if (p == 1) return Status::OK();
+
+  const NodeId right = members[(my_index + 1) % p];
+  const NodeId left = members[(my_index + p - 1) % p];
+  float* buf = data->data();
+
+  // After P-1 steps, chunk (my_index + 1) % p holds the full sum here.
+  for (size_t step = 0; step < p - 1; ++step) {
+    const size_t send_chunk = (my_index + p - step) % p;
+    const size_t recv_chunk = (my_index + p - step - 1) % p;
+    auto [sb, se] = ChunkBounds(n, p, send_chunk);
+    PR_RETURN_NOT_OK(
+        ep->Send(right, tag, kKindRsChunk,
+                 {static_cast<int64_t>(step), static_cast<int64_t>(send_chunk)},
+                 std::vector<float>(buf + sb, buf + se)));
+    std::optional<Envelope> env = ep->RecvMatching(left, tag, kKindRsChunk);
+    if (!env.has_value()) {
+      return Status::Cancelled("transport shut down during reduce-scatter");
+    }
+    PR_CHECK_EQ(env->ints[0], static_cast<int64_t>(step));
+    PR_CHECK_EQ(env->ints[1], static_cast<int64_t>(recv_chunk));
+    auto [rb, re] = ChunkBounds(n, p, recv_chunk);
+    PR_CHECK_EQ(env->floats.size(), re - rb);
+    Axpy(1.0f, env->floats.data(), buf + rb, re - rb);
+  }
+  return Status::OK();
+}
+
+Status RingAllGather(Endpoint* ep, const std::vector<NodeId>& members,
+                     size_t my_index, uint64_t tag,
+                     std::vector<float>* data) {
+  PR_CHECK(ep != nullptr);
+  PR_CHECK(data != nullptr);
+  PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
+  const size_t p = members.size();
+  const size_t n = data->size();
+  if (p == 1) return Status::OK();
+
+  const NodeId right = members[(my_index + 1) % p];
+  const NodeId left = members[(my_index + p - 1) % p];
+  float* buf = data->data();
+
+  // Circulate the owned chunks: member i starts owning chunk (i + 1) % p.
+  for (size_t step = 0; step < p - 1; ++step) {
+    const size_t send_chunk = (my_index + 1 + p - step) % p;
+    const size_t recv_chunk = (my_index + p - step) % p;
+    auto [sb, se] = ChunkBounds(n, p, send_chunk);
+    PR_RETURN_NOT_OK(ep->Send(
+        right, tag, kKindAgChunk,
+        {static_cast<int64_t>(step), static_cast<int64_t>(send_chunk)},
+        std::vector<float>(buf + sb, buf + se)));
+    std::optional<Envelope> env = ep->RecvMatching(left, tag, kKindAgChunk);
+    if (!env.has_value()) {
+      return Status::Cancelled("transport shut down during all-gather");
+    }
+    PR_CHECK_EQ(env->ints[0], static_cast<int64_t>(step));
+    PR_CHECK_EQ(env->ints[1], static_cast<int64_t>(recv_chunk));
+    auto [rb, re] = ChunkBounds(n, p, recv_chunk);
+    PR_CHECK_EQ(env->floats.size(), re - rb);
+    std::copy(env->floats.begin(), env->floats.end(), buf + rb);
+  }
+  return Status::OK();
+}
+
+Status RingWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
+                             const std::vector<double>& weights,
+                             size_t my_index, uint64_t tag,
+                             std::vector<float>* data) {
+  PR_CHECK(ep != nullptr);
+  PR_CHECK(data != nullptr);
+  PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
+  PR_RETURN_NOT_OK(ValidateWeights(members, weights));
+
+  // Pre-scale by our weight; reduce-scatter + all-gather then compute a
+  // plain sum (Patarasuk & Yuan's bandwidth-optimal composition).
+  Scale(static_cast<float>(weights[my_index]), data->data(), data->size());
+  PR_RETURN_NOT_OK(RingReduceScatter(ep, members, my_index, tag, data,
+                                     nullptr, nullptr));
+  return RingAllGather(ep, members, my_index, tag, data);
+}
+
+Status Broadcast(Endpoint* ep, const std::vector<NodeId>& members,
+                 size_t my_index, size_t root_index, uint64_t tag,
+                 std::vector<float>* data) {
+  PR_CHECK(ep != nullptr);
+  PR_CHECK(data != nullptr);
+  if (members.empty() || my_index >= members.size() ||
+      root_index >= members.size()) {
+    return Status::InvalidArgument("broadcast: bad member indices");
+  }
+  if (my_index == root_index) {
+    for (size_t j = 0; j < members.size(); ++j) {
+      if (j == root_index) continue;
+      PR_RETURN_NOT_OK(ep->Send(members[j], tag, kKindBroadcast, {}, *data));
+    }
+    return Status::OK();
+  }
+  std::optional<Envelope> env =
+      ep->RecvMatching(members[root_index], tag, kKindBroadcast);
+  if (!env.has_value()) {
+    return Status::Cancelled("transport shut down during broadcast");
+  }
+  *data = std::move(env->floats);
+  return Status::OK();
+}
+
+Status RingAverageAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
+                            size_t my_index, uint64_t tag,
+                            std::vector<float>* data) {
+  const std::vector<double> weights(members.size(),
+                                    1.0 / static_cast<double>(members.size()));
+  return RingWeightedAllReduce(ep, members, weights, my_index, tag, data);
+}
+
+Status Gather(Endpoint* ep, const std::vector<NodeId>& members,
+              size_t my_index, size_t root_index, uint64_t tag,
+              const std::vector<float>& data,
+              std::vector<std::vector<float>>* gathered) {
+  PR_CHECK(ep != nullptr);
+  PR_CHECK(gathered != nullptr);
+  PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
+  if (root_index >= members.size()) {
+    return Status::InvalidArgument("gather: root_index out of range");
+  }
+  gathered->clear();
+  if (my_index != root_index) {
+    return ep->Send(members[root_index], tag, kKindGather, {}, data);
+  }
+  gathered->resize(members.size());
+  (*gathered)[root_index] = data;
+  for (size_t j = 0; j < members.size(); ++j) {
+    if (j == root_index) continue;
+    std::optional<Envelope> env =
+        ep->RecvMatching(members[j], tag, kKindGather);
+    if (!env.has_value()) {
+      return Status::Cancelled("transport shut down during gather");
+    }
+    (*gathered)[j] = std::move(env->floats);
+  }
+  return Status::OK();
+}
+
+Status RingBarrier(Endpoint* ep, const std::vector<NodeId>& members,
+                   size_t my_index, uint64_t tag) {
+  PR_CHECK(ep != nullptr);
+  PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
+  const size_t p = members.size();
+  if (p == 1) return Status::OK();
+  const NodeId right = members[(my_index + 1) % p];
+  const NodeId left = members[(my_index + p - 1) % p];
+  // Token circulation: a token originating at member 0 completes a full
+  // circle only once every member has entered (round 0); a second circle
+  // (round 1) releases everyone.
+  auto pass = [&](int64_t round) -> Status {
+    std::optional<Envelope> env = ep->RecvMatching(left, tag, kKindBarrier);
+    if (!env.has_value()) {
+      return Status::Cancelled("transport shut down during barrier");
+    }
+    PR_CHECK_EQ(env->ints[0], round);
+    return ep->Send(right, tag, kKindBarrier, {round}, {});
+  };
+  for (int64_t round = 0; round < 2; ++round) {
+    if (my_index == 0) {
+      PR_RETURN_NOT_OK(ep->Send(right, tag, kKindBarrier, {round}, {}));
+      std::optional<Envelope> env =
+          ep->RecvMatching(left, tag, kKindBarrier);
+      if (!env.has_value()) {
+        return Status::Cancelled("transport shut down during barrier");
+      }
+      PR_CHECK_EQ(env->ints[0], round);
+    } else {
+      PR_RETURN_NOT_OK(pass(round));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pr

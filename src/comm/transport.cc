@@ -1,0 +1,104 @@
+#include "comm/transport.h"
+
+#include "common/check.h"
+
+namespace pr {
+
+InProcTransport::InProcTransport(int num_nodes) : num_nodes_(num_nodes) {
+  PR_CHECK_GE(num_nodes, 1);
+  mailboxes_.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    mailboxes_.push_back(std::make_unique<BlockingQueue<Envelope>>());
+  }
+}
+
+Status InProcTransport::Send(NodeId to, Envelope env) {
+  if (to < 0 || to >= num_nodes_) {
+    return Status::InvalidArgument("Send: node id out of range");
+  }
+  if (!mailboxes_[static_cast<size_t>(to)]->Push(std::move(env))) {
+    return Status::FailedPrecondition("Send: transport is shut down");
+  }
+  return Status::OK();
+}
+
+std::optional<Envelope> InProcTransport::Recv(NodeId me) {
+  PR_CHECK_GE(me, 0);
+  PR_CHECK_LT(me, num_nodes_);
+  return mailboxes_[static_cast<size_t>(me)]->Pop();
+}
+
+std::optional<Envelope> InProcTransport::TryRecv(NodeId me) {
+  PR_CHECK_GE(me, 0);
+  PR_CHECK_LT(me, num_nodes_);
+  return mailboxes_[static_cast<size_t>(me)]->TryPop();
+}
+
+void InProcTransport::Shutdown() {
+  for (auto& box : mailboxes_) box->Close();
+}
+
+Endpoint::Endpoint(InProcTransport* transport, NodeId me)
+    : transport_(transport), me_(me) {
+  PR_CHECK(transport != nullptr);
+  PR_CHECK_GE(me, 0);
+  PR_CHECK_LT(me, transport->num_nodes());
+}
+
+Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
+                      std::vector<int64_t> ints, std::vector<float> floats) {
+  Envelope env;
+  env.from = me_;
+  env.tag = tag;
+  env.kind = kind;
+  env.ints = std::move(ints);
+  env.floats = std::move(floats);
+  return transport_->Send(to, std::move(env));
+}
+
+std::optional<Envelope> Endpoint::RecvMatching(NodeId from, uint64_t tag,
+                                               int kind) {
+  for (size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].from == from && stash_[i].tag == tag &&
+        stash_[i].kind == kind) {
+      Envelope env = std::move(stash_[i]);
+      stash_.erase(stash_.begin() + static_cast<ptrdiff_t>(i));
+      return env;
+    }
+  }
+  while (true) {
+    std::optional<Envelope> env = transport_->Recv(me_);
+    if (!env.has_value()) return std::nullopt;
+    if (env->from == from && env->tag == tag && env->kind == kind) {
+      return env;
+    }
+    stash_.push_back(std::move(*env));
+  }
+}
+
+std::optional<Envelope> Endpoint::RecvFrom(NodeId from) {
+  for (size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i].from == from) {
+      Envelope env = std::move(stash_[i]);
+      stash_.erase(stash_.begin() + static_cast<ptrdiff_t>(i));
+      return env;
+    }
+  }
+  while (true) {
+    std::optional<Envelope> env = transport_->Recv(me_);
+    if (!env.has_value()) return std::nullopt;
+    if (env->from == from) return env;
+    stash_.push_back(std::move(*env));
+  }
+}
+
+std::optional<Envelope> Endpoint::RecvAny() {
+  if (!stash_.empty()) {
+    Envelope env = std::move(stash_.front());
+    stash_.erase(stash_.begin());
+    return env;
+  }
+  return transport_->Recv(me_);
+}
+
+}  // namespace pr

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/status.h"
+
+namespace pr {
+
+/// Worker identifier within a communication world. The controller, when
+/// present, occupies a dedicated id outside the worker range.
+using NodeId = int;
+
+/// \brief A typed, tagged message between nodes.
+///
+/// `tag` disambiguates concurrent conversations (e.g. two parallel partial
+/// reduce groups, or the steps of a ring all-reduce); `kind` is a small
+/// application-defined discriminator; `floats` carries tensor payloads and
+/// `ints` carries control fields. This flat structure keeps the transport
+/// free of knowledge about upper layers.
+struct Envelope {
+  NodeId from = -1;
+  uint64_t tag = 0;
+  int kind = 0;
+  std::vector<int64_t> ints;
+  std::vector<float> floats;
+};
+
+/// \brief An in-process, thread-safe message-passing fabric.
+///
+/// Stands in for the paper's Gloo/TCP transport: `num_nodes` endpoints with
+/// unbounded FIFO mailboxes. Sends never block (unbounded queues), so
+/// collective algorithms written in send-then-receive order cannot deadlock.
+/// Messages between a given pair of nodes are delivered in send order.
+class InProcTransport {
+ public:
+  explicit InProcTransport(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Delivers `env` (with from/tag/kind already set by the caller via the
+  /// Endpoint wrapper) to node `to`. Returns FailedPrecondition after
+  /// Shutdown().
+  Status Send(NodeId to, Envelope env);
+
+  /// Blocking receive of the next mailbox message for `me`; nullopt after
+  /// Shutdown() once drained.
+  std::optional<Envelope> Recv(NodeId me);
+
+  /// Non-blocking receive.
+  std::optional<Envelope> TryRecv(NodeId me);
+
+  /// Closes every mailbox, waking all blocked receivers.
+  void Shutdown();
+
+ private:
+  int num_nodes_;
+  std::vector<std::unique_ptr<BlockingQueue<Envelope>>> mailboxes_;
+};
+
+/// \brief A node's view of the transport with out-of-order stashing.
+///
+/// Collectives need *selective* receive ("the step-3 chunk from my left
+/// neighbour in group 17"), but mailboxes are plain FIFOs; Endpoint buffers
+/// non-matching messages locally and replays them to later matching calls.
+/// One Endpoint instance per node thread; not itself thread-safe.
+class Endpoint {
+ public:
+  Endpoint(InProcTransport* transport, NodeId me);
+
+  NodeId id() const { return me_; }
+
+  /// Sends a message to `to`.
+  Status Send(NodeId to, uint64_t tag, int kind, std::vector<int64_t> ints,
+              std::vector<float> floats);
+
+  /// Blocks until a message with matching (from, tag, kind) arrives,
+  /// stashing anything else. Returns nullopt if the transport shuts down
+  /// first.
+  std::optional<Envelope> RecvMatching(NodeId from, uint64_t tag, int kind);
+
+  /// Blocks until a message *from* `from` arrives (any tag/kind), stashing
+  /// everything else. Lets a worker wait on the controller while data-plane
+  /// chunks from concurrent collectives pile up safely in the stash.
+  std::optional<Envelope> RecvFrom(NodeId from);
+
+  /// Blocks for any message (stash first, then mailbox).
+  std::optional<Envelope> RecvAny();
+
+ private:
+  InProcTransport* transport_;
+  NodeId me_;
+  std::vector<Envelope> stash_;
+};
+
+}  // namespace pr

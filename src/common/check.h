@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pr {
+namespace internal {
+
+/// \brief Streams a fatal message and aborts on destruction.
+///
+/// Used by PR_CHECK to allow `PR_CHECK(cond) << "details"` syntax. Invariant
+/// violations are programmer errors, so we abort rather than return Status.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr) {
+    stream_ << "[FATAL] " << file << ":" << line << " check failed: " << expr
+            << " ";
+  }
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pr
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// the invariants guarded here (matrix shapes, group membership, queue
+/// states) are cheap relative to the work they guard, and catching them in
+/// Release benchmarks is worth the branch.
+#define PR_CHECK(cond)                                        \
+  switch (0)                                                  \
+  case 0:                                                     \
+  default:                                                    \
+    if (cond) {                                               \
+    } else /* NOLINT */                                       \
+      ::pr::internal::FatalMessage(__FILE__, __LINE__, #cond)
+
+#define PR_CHECK_EQ(a, b) \
+  PR_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PR_CHECK_NE(a, b) \
+  PR_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PR_CHECK_LT(a, b) \
+  PR_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PR_CHECK_LE(a, b) \
+  PR_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PR_CHECK_GT(a, b) \
+  PR_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PR_CHECK_GE(a, b) \
+  PR_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pr {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+///
+/// Defaults to kInfo. Benchmarks raise it to kWarning to keep output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Collects one log line and emits it atomically on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pr
+
+#define PR_LOG(level) \
+  ::pr::internal::LogMessage(::pr::LogLevel::level, __FILE__, __LINE__)
+#define PR_LOG_DEBUG PR_LOG(kDebug)
+#define PR_LOG_INFO PR_LOG(kInfo)
+#define PR_LOG_WARNING PR_LOG(kWarning)
+#define PR_LOG_ERROR PR_LOG(kError)

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pr {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic component in the library (data generation, batch
+/// sampling, heterogeneity draws, simulated races) draws from an Rng so that
+/// a fixed seed reproduces an experiment bit-for-bit. We intentionally avoid
+/// std::mt19937 + std::*_distribution because their outputs are not pinned
+/// across standard-library implementations.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent-looking streams.
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  /// Re-initializes the state from `seed` via splitmix64 expansion.
+  void Reseed(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform double in [0, 1).
+  double Uniform();
+
+  /// Returns a uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Returns a uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Returns a uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a standard normal draw (Box–Muller, cached pair).
+  double Normal();
+
+  /// Returns a normal draw with the given mean and stddev.
+  double Normal(double mean, double stddev);
+
+  /// Returns a lognormal draw: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Returns an exponential draw with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    PR_CHECK(items != nullptr);
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) uniformly (Floyd's algorithm
+  /// would be fancier; we reservoir-select for clarity). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives a child generator with an independent stream. Useful to give
+  /// each simulated worker its own RNG from one experiment seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace pr

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pr {
+
+/// \brief Online accumulator for scalar samples (count/mean/variance/extrema).
+///
+/// Uses Welford's algorithm so long runs of per-update times stay numerically
+/// stable. Cheap enough to keep per worker in the simulator.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// \brief Fixed-memory sample recorder with percentile queries.
+///
+/// Stores all samples (experiments here are small enough); Percentile() sorts
+/// lazily. Used for per-update-time distributions (Fig. 9).
+class SampleSet {
+ public:
+  void Add(double x);
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  /// Returns the q-quantile with linear interpolation, q in [0, 1].
+  /// Requires at least one sample.
+  double Percentile(double q) const;
+  double Min() const;
+  double Max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace pr

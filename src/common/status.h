@@ -1,0 +1,165 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace pr {
+
+/// \brief Machine-readable category of an error.
+///
+/// Mirrors the Arrow/RocksDB convention: library entry points that can fail
+/// for reasons other than programmer error return a Status (or Result<T>)
+/// instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,
+  kTimeout,
+  kCancelled,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Returns a human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief An error carrier: either OK or a code plus a message.
+///
+/// Cheap to copy in the OK case (single enum); error details live in the
+/// message string. All library operations that can fail at runtime return
+/// Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    PR_CHECK(code != StatusCode::kOk) << "use Status::OK() for success";
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a checked programmer error
+/// (aborts), matching arrow::Result semantics.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` must be false.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    PR_CHECK(!std::get<Status>(repr_).ok())
+        << "constructed Result from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; requires ok().
+  const T& ValueOrDie() const& {
+    PR_CHECK(ok()) << "Result has error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    PR_CHECK(ok()) << "Result has error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    PR_CHECK(ok()) << "Result has error: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression, like arrow's
+/// ARROW_RETURN_NOT_OK.
+#define PR_RETURN_NOT_OK(expr)               \
+  do {                                       \
+    ::pr::Status _st = (expr);               \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define PR_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  auto PR_CONCAT_(_result_, __LINE__) = (rexpr);          \
+  if (!PR_CONCAT_(_result_, __LINE__).ok())               \
+    return PR_CONCAT_(_result_, __LINE__).status();       \
+  lhs = std::move(PR_CONCAT_(_result_, __LINE__)).ValueOrDie()
+
+#define PR_CONCAT_IMPL_(a, b) a##b
+#define PR_CONCAT_(a, b) PR_CONCAT_IMPL_(a, b)
+
+}  // namespace pr

@@ -1,0 +1,34 @@
+#include "core/aggregate.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace pr {
+
+void WeightedAverage(const std::vector<const float*>& inputs,
+                     const std::vector<double>& weights, size_t n,
+                     float* out) {
+  PR_CHECK(out != nullptr);
+  PR_CHECK_EQ(inputs.size(), weights.size());
+  PR_CHECK_GE(inputs.size(), 1u);
+  std::memset(out, 0, n * sizeof(float));
+  for (size_t j = 0; j < inputs.size(); ++j) {
+    PR_CHECK(inputs[j] != nullptr);
+    Axpy(static_cast<float>(weights[j]), inputs[j], out, n);
+  }
+}
+
+void WeightedAverageInPlace(const std::vector<float*>& models,
+                            const std::vector<double>& weights, size_t n) {
+  PR_CHECK_GE(models.size(), 1u);
+  std::vector<float> avg(n);
+  std::vector<const float*> inputs(models.begin(), models.end());
+  WeightedAverage(inputs, weights, n, avg.data());
+  for (float* m : models) {
+    std::memcpy(m, avg.data(), n * sizeof(float));
+  }
+}
+
+}  // namespace pr

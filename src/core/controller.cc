@@ -1,0 +1,149 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pr {
+namespace {
+
+size_t ResolveWindow(const ControllerOptions& options) {
+  if (options.history_window > 0) return options.history_window;
+  return GroupHistory::MinWindow(static_cast<size_t>(options.num_workers),
+                                 static_cast<size_t>(options.group_size));
+}
+
+}  // namespace
+
+Controller::Controller(const ControllerOptions& options)
+    : options_(options),
+      filter_(static_cast<size_t>(options.group_size)),
+      history_(static_cast<size_t>(options.num_workers),
+               ResolveWindow(options)),
+      matrix_expectation_(static_cast<size_t>(options.num_workers)) {
+  departed_.assign(static_cast<size_t>(options.num_workers), false);
+  PR_CHECK_GE(options.num_workers, 2);
+  PR_CHECK_GE(options.group_size, 2);
+  PR_CHECK_LE(options.group_size, options.num_workers);
+}
+
+bool Controller::QueueSpansComponents() const {
+  const SyncGraph graph = history_.BuildSyncGraph();
+  const int first = graph.ComponentOf(pending_.front().worker);
+  for (const ReadySignal& s : pending_) {
+    if (graph.ComponentOf(s.worker) != first) return true;
+  }
+  return false;
+}
+
+bool Controller::BridgeEventuallyPossible() const {
+  const SyncGraph graph = history_.BuildSyncGraph();
+  const int first = graph.ComponentOf(pending_.front().worker);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    if (!departed_[static_cast<size_t>(w)] &&
+        graph.ComponentOf(w) != first) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<GroupDecision> Controller::OnReadySignal(int worker,
+                                                     int64_t iteration) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, options_.num_workers);
+  PR_CHECK(!departed_[static_cast<size_t>(worker)])
+      << "worker " << worker << " signaled after leaving";
+  pending_.push_back(ReadySignal{worker, iteration});
+  ++stats_.signals_received;
+  return TryFormGroups();
+}
+
+std::vector<GroupDecision> Controller::NotifyWorkerLeft(int worker) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, options_.num_workers);
+  departed_[static_cast<size_t>(worker)] = true;
+  // Departure can turn a held queue into a releasable one.
+  return TryFormGroups();
+}
+
+std::vector<GroupDecision> Controller::NotifyWorkerRejoined(int worker) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, options_.num_workers);
+  departed_[static_cast<size_t>(worker)] = false;
+  return TryFormGroups();
+}
+
+std::vector<GroupDecision> Controller::TryFormGroups() {
+  const size_t p = static_cast<size_t>(options_.group_size);
+  std::vector<GroupDecision> formed;
+  while (pending_.size() >= p) {
+    GroupSelection selection;
+    if (options_.frozen_avoidance) {
+      if (history_.IsFrozen()) {
+        if (formed.empty()) ++stats_.frozen_detections;
+        if (!QueueSpansComponents() && BridgeEventuallyPossible()) {
+          // Hold: the queued workers cannot bridge the frozen components
+          // yet, but a live worker from another component will signal (or
+          // depart) eventually, re-triggering this check.
+          break;
+        }
+      }
+      selection = filter_.Select(pending_, history_);
+    } else {
+      // FIFO with no connectivity repair (used by ablations).
+      for (size_t i = 0; i < p; ++i) selection.queue_positions.push_back(i);
+    }
+
+    GroupDecision decision;
+    decision.group_id = next_group_id_++;
+    decision.bridged = selection.bridged;
+    for (size_t pos : selection.queue_positions) {
+      decision.members.push_back(pending_[pos].worker);
+      decision.iterations.push_back(pending_[pos].iteration);
+    }
+    // Remove selected signals from the queue, highest position first so
+    // earlier indices stay valid.
+    for (auto it = selection.queue_positions.rbegin();
+         it != selection.queue_positions.rend(); ++it) {
+      pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(*it));
+    }
+
+    switch (options_.mode) {
+      case PartialReduceMode::kConstant:
+        decision.weights = ConstantWeights(p);
+        break;
+      case PartialReduceMode::kDynamic:
+        decision.weights =
+            DynamicWeights(decision.iterations, options_.dynamic);
+        break;
+    }
+    decision.advanced_iteration = *std::max_element(
+        decision.iterations.begin(), decision.iterations.end());
+
+    history_.Record(decision.members);
+    ++stats_.groups_formed;
+    if (decision.bridged) ++stats_.bridged_groups;
+    if (options_.record_sync_matrices) {
+      matrix_expectation_.Add(SyncMatrix::ForGroup(
+          static_cast<size_t>(options_.num_workers), decision.members,
+          decision.weights));
+    }
+    formed.push_back(std::move(decision));
+  }
+  return formed;
+}
+
+std::vector<ReadySignal> Controller::DrainPending() {
+  std::vector<ReadySignal> out(pending_.begin(), pending_.end());
+  pending_.clear();
+  return out;
+}
+
+SyncMatrix Controller::ExpectedSyncMatrix() const {
+  PR_CHECK(options_.record_sync_matrices)
+      << "enable record_sync_matrices to query E[W]";
+  return matrix_expectation_.Mean();
+}
+
+}  // namespace pr

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/group_filter.h"
+#include "core/group_history.h"
+#include "core/sync_matrix.h"
+#include "core/weight_generator.h"
+
+namespace pr {
+
+/// \brief Aggregation rule selector for the controller's weight generator.
+enum class PartialReduceMode {
+  kConstant,  ///< weights 1/P (§3.1)
+  kDynamic,   ///< staleness-aware EMA weights (§3.3)
+};
+
+/// \brief Controller configuration.
+struct ControllerOptions {
+  int num_workers = 0;
+  int group_size = 0;  ///< the paper's P; 2 <= P <= N
+  PartialReduceMode mode = PartialReduceMode::kConstant;
+  DynamicWeightOptions dynamic;
+  /// Enable group-frozen avoidance (sync-graph connectivity repair).
+  bool frozen_avoidance = true;
+  /// History window T; 0 selects the paper's minimum ceil((N-1)/(P-1)).
+  size_t history_window = 0;
+  /// Accumulate E[W_k] for spectral diagnostics (small N only; the matrix
+  /// is N x N).
+  bool record_sync_matrices = false;
+};
+
+/// \brief A formed partial-reduce group, ready to broadcast to its members.
+struct GroupDecision {
+  uint64_t group_id = 0;
+  std::vector<int> members;            ///< worker ids, FIFO-selection order
+  std::vector<int64_t> iterations;     ///< members' iteration counters
+  std::vector<double> weights;         ///< aggregation weights, sum to 1
+  /// Iteration counter every member adopts after the reduce: max of
+  /// `iterations` (§3.3.3 — "their models are the latest").
+  int64_t advanced_iteration = 0;
+  bool bridged = false;                ///< formed by frozen-avoidance repair
+};
+
+/// \brief Counters exposed for tests and reports.
+struct ControllerStats {
+  uint64_t signals_received = 0;
+  uint64_t groups_formed = 0;
+  uint64_t bridged_groups = 0;
+  uint64_t frozen_detections = 0;
+};
+
+/// \brief The partial-reduce controller (Fig. 6): signal queue -> group
+/// filter (+ group history DB) -> weight generator -> decisions.
+///
+/// This class is the engine-agnostic control plane. The discrete-event
+/// simulator calls OnReadySignal directly; the threaded runtime wraps it in
+/// a server thread that receives signals off the transport and broadcasts
+/// decisions back (the "group broadcaster"). The controller never touches
+/// model parameters or gradients — exactly the paper's point that it is not
+/// a parameter-server-style bottleneck.
+///
+/// Not thread-safe; callers serialize access (the runtime's server thread
+/// owns it).
+class Controller {
+ public:
+  explicit Controller(const ControllerOptions& options);
+
+  /// Ingests one ready signal; returns the groups formed by it (usually
+  /// zero or one).
+  ///
+  /// When frozen avoidance detects a disconnected sync-graph and the queue
+  /// holds only workers from a single component, formation is *held* until
+  /// a signal from another component arrives — the filter "interacts with
+  /// the signal queue" (§4) to guarantee a bridging group. The signal that
+  /// finally bridges can therefore release several held groups at once.
+  std::vector<GroupDecision> OnReadySignal(int worker, int64_t iteration);
+
+  /// Marks a worker as departed (it will send no more ready signals until
+  /// it rejoins). Holds that were waiting for that worker's component
+  /// re-check and may release groups — returned like OnReadySignal's.
+  std::vector<GroupDecision> NotifyWorkerLeft(int worker);
+
+  /// Re-admits a previously departed worker (elastic membership): it may
+  /// signal again and counts for frozen-avoidance bridging.
+  std::vector<GroupDecision> NotifyWorkerRejoined(int worker);
+
+  /// Number of signals currently queued.
+  size_t PendingSignals() const { return pending_.size(); }
+
+  /// Removes and returns all queued signals. Used by the runtime's
+  /// termination protocol: when fewer than P workers remain active, queued
+  /// waiters can never form a group and must be released.
+  std::vector<ReadySignal> DrainPending();
+
+  const ControllerOptions& options() const { return options_; }
+  const ControllerStats& stats() const { return stats_; }
+  const GroupHistory& history() const { return history_; }
+
+  /// E[W_k] accumulated so far; requires record_sync_matrices and at least
+  /// one formed group.
+  SyncMatrix ExpectedSyncMatrix() const;
+
+ private:
+  /// True when the pending queue holds workers from at least two components
+  /// of the history sync-graph (a bridging group is possible right now).
+  bool QueueSpansComponents() const;
+
+  /// True when some *live* (not departed) worker sits in a different
+  /// component than the queued ones — i.e. holding the queue can
+  /// eventually yield a bridging group.
+  bool BridgeEventuallyPossible() const;
+
+  /// Forms as many groups as the queue and hold policy allow.
+  std::vector<GroupDecision> TryFormGroups();
+
+  ControllerOptions options_;
+  std::vector<bool> departed_;
+  GroupFilter filter_;
+  GroupHistory history_;
+  std::deque<ReadySignal> pending_;
+  ControllerStats stats_;
+  uint64_t next_group_id_ = 1;
+  SyncMatrixExpectation matrix_expectation_;
+};
+
+}  // namespace pr

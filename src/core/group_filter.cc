@@ -1,0 +1,68 @@
+#include "core/group_filter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace pr {
+
+GroupFilter::GroupFilter(size_t group_size) : group_size_(group_size) {
+  PR_CHECK_GE(group_size, 2u);
+}
+
+GroupSelection GroupFilter::Select(const std::deque<ReadySignal>& pending,
+                                   const GroupHistory& history) const {
+  PR_CHECK_GE(pending.size(), group_size_);
+  // Workers must be distinct: one outstanding signal per worker.
+  {
+    std::unordered_set<int> seen;
+    for (const ReadySignal& s : pending) {
+      PR_CHECK(seen.insert(s.worker).second)
+          << "duplicate ready signal from worker " << s.worker;
+    }
+  }
+
+  GroupSelection selection;
+  if (!history.IsFrozen()) {
+    // Plain FIFO: the P oldest signals.
+    for (size_t i = 0; i < group_size_; ++i) {
+      selection.queue_positions.push_back(i);
+    }
+    return selection;
+  }
+
+  // Frozen: bridge components. Anchor on the oldest signal, then prefer
+  // signals whose workers live in components not yet covered by the group;
+  // fill any remainder in FIFO order.
+  const SyncGraph graph = history.BuildSyncGraph();
+  std::unordered_set<int> covered_components;
+  std::unordered_set<size_t> chosen;
+
+  auto choose = [&](size_t pos) {
+    chosen.insert(pos);
+    covered_components.insert(graph.ComponentOf(pending[pos].worker));
+  };
+
+  choose(0);
+  // Greedy pass: new components first, in FIFO order.
+  for (size_t pos = 1; pos < pending.size() && chosen.size() < group_size_;
+       ++pos) {
+    const int comp = graph.ComponentOf(pending[pos].worker);
+    if (covered_components.count(comp) == 0) choose(pos);
+  }
+  // Fill pass: FIFO order for the remainder.
+  for (size_t pos = 1; pos < pending.size() && chosen.size() < group_size_;
+       ++pos) {
+    if (chosen.count(pos) == 0) choose(pos);
+  }
+  PR_CHECK_EQ(chosen.size(), group_size_);
+
+  selection.bridged = covered_components.size() > 1;
+  selection.queue_positions.assign(chosen.begin(), chosen.end());
+  std::sort(selection.queue_positions.begin(),
+            selection.queue_positions.end());
+  return selection;
+}
+
+}  // namespace pr

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/group_history.h"
+
+namespace pr {
+
+/// \brief A worker's "I finished my local update" message (Alg. 2 line 5,
+/// extended with the iteration counter used by dynamic partial reduce).
+struct ReadySignal {
+  int worker = -1;
+  int64_t iteration = 0;
+};
+
+/// \brief Result of one group-selection decision.
+struct GroupSelection {
+  /// Indices *into the pending queue* of the selected members, ascending.
+  std::vector<size_t> queue_positions;
+  /// True when frozen avoidance overrode plain FIFO order to bridge
+  /// components.
+  bool bridged = false;
+};
+
+/// \brief The controller's group filter (Fig. 6): picks which P pending
+/// signals form the next group.
+///
+/// Default policy is FIFO — pop the P oldest signals. When the group-history
+/// sync-graph is frozen (window full, disconnected), the filter instead
+/// bridges: it keeps the oldest signal and greedily prefers queued signals
+/// from *other* connected components, so the formed group adds edges between
+/// components (paper §4, "Group frozen avoidance"). If the queue offers no
+/// cross-component signal, FIFO order proceeds unchanged (liveness is never
+/// sacrificed).
+class GroupFilter {
+ public:
+  explicit GroupFilter(size_t group_size);
+
+  /// Selects a group from `pending` given `history`. Requires
+  /// pending.size() >= group_size. Workers in `pending` must be distinct
+  /// (each worker has at most one outstanding signal).
+  GroupSelection Select(const std::deque<ReadySignal>& pending,
+                        const GroupHistory& history) const;
+
+  size_t group_size() const { return group_size_; }
+
+ private:
+  size_t group_size_;
+};
+
+}  // namespace pr

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/sync_graph.h"
+
+namespace pr {
+
+/// \brief The controller's "group history database" (Fig. 6): a sliding
+/// window of the most recent T partial-reduce groups.
+///
+/// The group filter queries it to detect group frozen: it builds the
+/// sync-graph of the last T groups and checks connectivity. T defaults to
+/// ceil((N-1)/(P-1)), the minimum number of P-groups whose edges can span N
+/// workers (paper §4, "Group frozen avoidance").
+class GroupHistory {
+ public:
+  /// `window` is T; must be >= 1.
+  GroupHistory(size_t num_workers, size_t window);
+
+  /// The paper's minimum window T = ceil((N-1)/(P-1)).
+  static size_t MinWindow(size_t num_workers, size_t group_size);
+
+  /// Records a formed group, evicting the oldest beyond the window.
+  void Record(const std::vector<int>& group);
+
+  /// Number of groups currently in the window.
+  size_t size() const { return groups_.size(); }
+  size_t window() const { return window_; }
+
+  /// True once `window` groups have been recorded (before that, the
+  /// connectivity test is vacuous and frozen detection is disabled).
+  bool Full() const { return groups_.size() >= window_; }
+
+  /// Builds the sync-graph over the windowed groups.
+  SyncGraph BuildSyncGraph() const;
+
+  /// Frozen = window full AND sync-graph disconnected.
+  bool IsFrozen() const;
+
+  const std::deque<std::vector<int>>& groups() const { return groups_; }
+
+ private:
+  size_t num_workers_;
+  size_t window_;
+  std::deque<std::vector<int>> groups_;
+};
+
+}  // namespace pr

@@ -1,0 +1,70 @@
+#include "core/spectral.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/eigen.h"
+
+namespace pr {
+
+double SpectralRho(const SyncMatrix& expected_w) {
+  const size_t n = expected_w.n();
+  PR_CHECK_GE(n, 2u);
+  // Symmetrize: exact for constant partial reduce, a sound diagnostic for
+  // dynamic weights.
+  std::vector<double> sym(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      sym[i * n + j] = 0.5 * (expected_w.At(i, j) + expected_w.At(j, i));
+    }
+  }
+  return SecondLargestEigenvalueMagnitude(sym, n);
+}
+
+double HomogeneousRho(size_t n, size_t p) {
+  PR_CHECK_GE(n, 2u);
+  PR_CHECK_GE(p, 2u);
+  PR_CHECK_LE(p, n);
+  return 1.0 - static_cast<double>(p - 1) / static_cast<double>(n - 1);
+}
+
+double RhoTilde(double rho) {
+  PR_CHECK_GE(rho, 0.0);
+  PR_CHECK_LT(rho, 1.0);
+  if (rho == 0.0) return 0.0;
+  const double sq = std::sqrt(rho);
+  return rho / (1.0 - rho) + 2.0 * sq / ((1.0 - sq) * (1.0 - sq));
+}
+
+double LrConditionLhs(double gamma, double lipschitz_l, size_t n, size_t p,
+                      double rho) {
+  PR_CHECK_GT(gamma, 0.0);
+  PR_CHECK_GE(p, 1u);
+  PR_CHECK_GE(n, 1u);
+  const double eta =
+      static_cast<double>(p) / static_cast<double>(n) * gamma;
+  const double n3 = static_cast<double>(n) * static_cast<double>(n) *
+                    static_cast<double>(n);
+  const double p2 = static_cast<double>(p) * static_cast<double>(p);
+  return eta * lipschitz_l + 2.0 * n3 * eta * eta * RhoTilde(rho) / p2;
+}
+
+ConvergenceBoundTerms TheoremOneBound(double gamma, double lipschitz_l,
+                                      double sigma_sq, double f_gap,
+                                      size_t n, size_t p, size_t k,
+                                      double rho) {
+  PR_CHECK_GT(k, 0u);
+  const double eta =
+      static_cast<double>(p) / static_cast<double>(n) * gamma;
+  const double n3 = static_cast<double>(n) * static_cast<double>(n) *
+                    static_cast<double>(n);
+  const double p2 = static_cast<double>(p) * static_cast<double>(p);
+  ConvergenceBoundTerms terms;
+  terms.sgd_error = 2.0 * f_gap / (eta * static_cast<double>(k)) +
+                    eta * lipschitz_l * sigma_sq / static_cast<double>(p);
+  terms.network_error = 2.0 * eta * eta * lipschitz_l * lipschitz_l *
+                        sigma_sq * n3 * RhoTilde(rho) / p2;
+  return terms;
+}
+
+}  // namespace pr

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/sync_matrix.h"
+
+namespace pr {
+
+/// Spectral-gap analysis of the expected synchronization matrix, Assumption
+/// 2.3 and Theorem 1 of the paper.
+
+/// \brief rho = max(|lambda_2(E[W])|, |lambda_N(E[W])|), Eq. (6).
+///
+/// `expected_w` should be (close to) symmetric; for dynamic weights we
+/// symmetrize (W + W^T)/2 first, which preserves the diagnostic value.
+double SpectralRho(const SyncMatrix& expected_w);
+
+/// \brief Closed form for the *homogeneous* random-group setting: when all
+/// C(N, P) groups are equally likely, E[W] = a I + b J with
+/// b = (P-1)/(N(N-1)), giving rho = 1 - (P-1)/(N-1).
+///
+/// Reproduces the paper's Fig. 4(a) value rho = 0.5 at N = 3, P = 2, and
+/// rho = 0 at P = N (All-Reduce).
+double HomogeneousRho(size_t n, size_t p);
+
+/// \brief rho_tilde = rho/(1-rho) + 2 sqrt(rho)/(1-sqrt(rho))^2, the
+/// constant in Theorem 1's network-error term. Requires rho in [0, 1).
+double RhoTilde(double rho);
+
+/// \brief Left-hand side of the learning-rate condition Eq. (7):
+///   eta L + 2 N^3 eta^2 rho_tilde / P^2  <=  1,
+/// where eta = (P/N) gamma. Returns the LHS; callers compare against 1.
+double LrConditionLhs(double gamma, double lipschitz_l, size_t n, size_t p,
+                      double rho);
+
+/// \brief The theoretical convergence-rate bound of Theorem 1 (Eq. 8) for
+/// given constants; exposed so benches can plot bound-vs-measured trends.
+struct ConvergenceBoundTerms {
+  double sgd_error;      ///< 2(F(u1)-F_inf)/(eta K) + eta L sigma^2 / P
+  double network_error;  ///< 2 eta^2 L^2 sigma^2 N^3 rho_tilde / P^2
+  double total() const { return sgd_error + network_error; }
+};
+
+ConvergenceBoundTerms TheoremOneBound(double gamma, double lipschitz_l,
+                                      double sigma_sq, double f_gap,
+                                      size_t n, size_t p, size_t k,
+                                      double rho);
+
+}  // namespace pr

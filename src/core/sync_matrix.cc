@@ -1,0 +1,138 @@
+#include "core/sync_matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pr {
+
+SyncMatrix::SyncMatrix(size_t n) : n_(n), m_(n * n, 0.0) {
+  PR_CHECK_GE(n, 1u);
+  for (size_t i = 0; i < n; ++i) m_[i * n + i] = 1.0;
+}
+
+SyncMatrix SyncMatrix::ForGroup(size_t n, const std::vector<int>& group,
+                                const std::vector<double>& weights) {
+  PR_CHECK_EQ(group.size(), weights.size());
+  PR_CHECK_GE(group.size(), 1u);
+  double wsum = 0.0;
+  for (double w : weights) wsum += w;
+  PR_CHECK_LE(std::fabs(wsum - 1.0), 1e-9) << "weights must sum to 1";
+
+  SyncMatrix w(n);
+  for (int i : group) {
+    PR_CHECK_GE(i, 0);
+    PR_CHECK_LT(static_cast<size_t>(i), n);
+    w.At(static_cast<size_t>(i), static_cast<size_t>(i)) = 0.0;
+  }
+  for (size_t a = 0; a < group.size(); ++a) {
+    for (size_t b = 0; b < group.size(); ++b) {
+      w.At(static_cast<size_t>(group[a]), static_cast<size_t>(group[b])) =
+          weights[b];
+    }
+  }
+  return w;
+}
+
+SyncMatrix SyncMatrix::ForUniformGroup(size_t n,
+                                       const std::vector<int>& group) {
+  const std::vector<double> weights(group.size(),
+                                    1.0 / static_cast<double>(group.size()));
+  return ForGroup(n, group, weights);
+}
+
+SyncMatrix SyncMatrix::AllReduce(size_t n) {
+  std::vector<int> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<int>(i);
+  return ForUniformGroup(n, all);
+}
+
+double SyncMatrix::RowStochasticError() const {
+  double err = 0.0;
+  for (size_t i = 0; i < n_; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < n_; ++j) s += At(i, j);
+    err = std::max(err, std::fabs(s - 1.0));
+  }
+  return err;
+}
+
+double SyncMatrix::ColumnStochasticError() const {
+  double err = 0.0;
+  for (size_t j = 0; j < n_; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < n_; ++i) s += At(i, j);
+    err = std::max(err, std::fabs(s - 1.0));
+  }
+  return err;
+}
+
+double SyncMatrix::SymmetryError() const {
+  double err = 0.0;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      err = std::max(err, std::fabs(At(i, j) - At(j, i)));
+    }
+  }
+  return err;
+}
+
+SyncMatrix SyncMatrix::Multiply(const SyncMatrix& other) const {
+  PR_CHECK_EQ(n_, other.n_);
+  SyncMatrix out(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) out.At(i, j) = 0.0;
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t k = 0; k < n_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < n_; ++j) out.At(i, j) += a * other.At(k, j);
+    }
+  }
+  return out;
+}
+
+SyncMatrixExpectation::SyncMatrixExpectation(size_t n)
+    : n_(n), sum_(n * n, 0.0) {
+  PR_CHECK_GE(n, 1u);
+}
+
+void SyncMatrixExpectation::Add(const SyncMatrix& w) {
+  PR_CHECK_EQ(w.n(), n_);
+  const std::vector<double>& d = w.data();
+  for (size_t i = 0; i < sum_.size(); ++i) sum_[i] += d[i];
+  ++count_;
+}
+
+void SyncMatrixExpectation::AddUniformGroup(const std::vector<int>& group) {
+  // Accumulate the group's W without building an n x n temp: start from
+  // identity contribution, patch group rows.
+  PR_CHECK_GE(group.size(), 1u);
+  const double b = 1.0 / static_cast<double>(group.size());
+  for (size_t i = 0; i < n_; ++i) sum_[i * n_ + i] += 1.0;
+  for (int i : group) {
+    PR_CHECK_GE(i, 0);
+    PR_CHECK_LT(static_cast<size_t>(i), n_);
+    sum_[static_cast<size_t>(i) * n_ + static_cast<size_t>(i)] -= 1.0;
+  }
+  for (int a : group) {
+    for (int bq : group) {
+      sum_[static_cast<size_t>(a) * n_ + static_cast<size_t>(bq)] += b;
+    }
+  }
+  ++count_;
+}
+
+SyncMatrix SyncMatrixExpectation::Mean() const {
+  PR_CHECK_GT(count_, 0u);
+  SyncMatrix out(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      out.At(i, j) = sum_[i * n_ + j] / static_cast<double>(count_);
+    }
+  }
+  return out;
+}
+
+}  // namespace pr

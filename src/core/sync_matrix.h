@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pr {
+
+/// \brief Dense N x N synchronization matrix W_k (double precision).
+///
+/// One partial reduce among group S_k with aggregation weights beta induces
+/// (Eq. 4 generalized):
+///   W_k(i, j) = beta_j  if i, j in S_k
+///   W_k(i, i) = 1       if i not in S_k
+///   W_k(i, j) = 0       otherwise
+/// For constant partial reduce beta_j = 1/P and W_k is symmetric doubly
+/// stochastic (Assumption 2.1); dynamic weights keep rows stochastic but may
+/// break symmetry — the theory covers the constant case and the dynamic
+/// variant is the paper's §3.3 heuristic.
+class SyncMatrix {
+ public:
+  /// Identity matrix of size n (no synchronization this step).
+  explicit SyncMatrix(size_t n);
+
+  /// Builds W_k for `group` (worker indices, distinct, < n) with `weights`
+  /// (same length as `group`, summing to 1 within tolerance).
+  static SyncMatrix ForGroup(size_t n, const std::vector<int>& group,
+                             const std::vector<double>& weights);
+
+  /// Builds the uniform-weight group matrix (constant partial reduce).
+  static SyncMatrix ForUniformGroup(size_t n, const std::vector<int>& group);
+
+  /// Builds the All-Reduce matrix (every entry 1/n).
+  static SyncMatrix AllReduce(size_t n);
+
+  size_t n() const { return n_; }
+  double At(size_t i, size_t j) const { return m_[i * n_ + j]; }
+  double& At(size_t i, size_t j) { return m_[i * n_ + j]; }
+  const std::vector<double>& data() const { return m_; }
+
+  /// Max |row sum - 1| over rows: 0 for any valid W_k.
+  double RowStochasticError() const;
+  /// Max |col sum - 1| over columns: 0 iff doubly stochastic.
+  double ColumnStochasticError() const;
+  /// Max |W(i,j) - W(j,i)|.
+  double SymmetryError() const;
+
+  /// result = this * other (matrix product); used to track the product of
+  /// synchronization matrices across iterations in consensus tests.
+  SyncMatrix Multiply(const SyncMatrix& other) const;
+
+ private:
+  size_t n_;
+  std::vector<double> m_;
+};
+
+/// \brief Streaming average of observed W_k matrices: E[W] = (1/K) sum W_k,
+/// the quantity whose spectrum defines the paper's rho (Eq. 6).
+class SyncMatrixExpectation {
+ public:
+  explicit SyncMatrixExpectation(size_t n);
+
+  void Add(const SyncMatrix& w);
+
+  /// Convenience: accumulate a uniform-weight group without materializing W.
+  void AddUniformGroup(const std::vector<int>& group);
+
+  size_t count() const { return count_; }
+
+  /// The averaged matrix; requires count() > 0.
+  SyncMatrix Mean() const;
+
+ private:
+  size_t n_;
+  size_t count_ = 0;
+  std::vector<double> sum_;
+};
+
+}  // namespace pr

@@ -1,0 +1,129 @@
+#include "core/weight_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace pr {
+
+std::vector<double> ConstantWeights(size_t group_size) {
+  PR_CHECK_GE(group_size, 1u);
+  return std::vector<double>(group_size,
+                             1.0 / static_cast<double>(group_size));
+}
+
+std::vector<int64_t> RelativeIterations(
+    const std::vector<int64_t>& iterations) {
+  PR_CHECK_GE(iterations.size(), 1u);
+  const int64_t max_iter =
+      *std::max_element(iterations.begin(), iterations.end());
+  std::vector<int64_t> rel(iterations.size());
+  for (size_t i = 0; i < iterations.size(); ++i) {
+    rel[i] = max_iter - iterations[i] + 1;
+  }
+  return rel;
+}
+
+std::vector<double> DynamicWeights(const std::vector<int64_t>& iterations,
+                                   const DynamicWeightOptions& options) {
+  const size_t p = iterations.size();
+  PR_CHECK_GE(p, 1u);
+  PR_CHECK_GE(options.alpha, 0.0);
+  PR_CHECK_LT(options.alpha, 1.0);
+  PR_CHECK_GE(options.staleness_tolerance, 0);
+
+  std::vector<int64_t> rel = RelativeIterations(iterations);
+  // Shift out the tolerated jitter; gaps within the tolerance collapse to
+  // khat = 1 and aggregate uniformly.
+  for (int64_t& k : rel) {
+    k = std::max<int64_t>(1, k - options.staleness_tolerance);
+  }
+  const int64_t khat_max = *std::max_element(rel.begin(), rel.end());
+
+  // Degenerate cases: a single member takes everything; alpha == 0 puts all
+  // mass on the newest slot (split among its members).
+  if (p == 1) return {1.0};
+
+  // Occupancy: members per relative-iteration slot.
+  std::map<int64_t, size_t> occupancy;
+  for (int64_t k : rel) ++occupancy[k];
+
+  // EMA mass per slot khat in [1, khat_max]:
+  //   beta(khat) = (1 - alpha) * alpha^(khat - 1) / (1 - alpha^khat_max).
+  // With alpha == 0 the mass degenerates to 1.0 at khat = 1.
+  auto slot_mass = [&](int64_t khat) -> double {
+    if (options.alpha == 0.0) return khat == 1 ? 1.0 : 0.0;
+    const double denom =
+        1.0 - std::pow(options.alpha, static_cast<double>(khat_max));
+    return (1.0 - options.alpha) *
+           std::pow(options.alpha, static_cast<double>(khat - 1)) / denom;
+  };
+
+  // Mass actually assigned to each *occupied* slot.
+  std::map<int64_t, double> assigned;
+  for (const auto& [khat, count] : occupancy) assigned[khat] = slot_mass(khat);
+
+  switch (options.missing_slot_policy) {
+    case MissingSlotPolicy::kRenormalize:
+      break;  // normalization below handles it
+    case MissingSlotPolicy::kAssignToStaler: {
+      // Walk slots newest to stalest; mass of an unoccupied slot rolls to
+      // the nearest staler occupied slot (ultimately the stalest member).
+      double carried = 0.0;
+      for (int64_t khat = 1; khat <= khat_max; ++khat) {
+        const bool occupied = occupancy.count(khat) > 0;
+        if (occupied) {
+          assigned[khat] += carried;
+          carried = 0.0;
+        } else {
+          carried += slot_mass(khat);
+        }
+      }
+      // khat_max is always occupied (it is some member's relative iteration),
+      // so nothing is left over.
+      PR_CHECK_EQ(carried, 0.0);
+      break;
+    }
+    case MissingSlotPolicy::kAssignToNearest: {
+      // Each unoccupied slot's mass goes to the occupied slot nearest in
+      // relative iteration number; equidistant ties go to the staler one
+      // (the conservative side).
+      for (int64_t khat = 1; khat <= khat_max; ++khat) {
+        if (occupancy.count(khat) > 0) continue;
+        int64_t best = -1;
+        int64_t best_dist = khat_max + 1;
+        for (const auto& [occ, count] : occupancy) {
+          (void)count;
+          const int64_t dist = occ > khat ? occ - khat : khat - occ;
+          // '<=' prefers later (staler) slots on ties since occupancy is
+          // iterated in ascending khat order.
+          if (dist <= best_dist) {
+            best_dist = dist;
+            best = occ;
+          }
+        }
+        PR_CHECK_GE(best, 1);
+        assigned[best] += slot_mass(khat);
+      }
+      break;
+    }
+  }
+
+  // Members in one slot split its mass equally; then normalize (a no-op for
+  // kAssignToStaler with alpha > 0, required for kRenormalize).
+  std::vector<double> weights(p);
+  double total = 0.0;
+  for (size_t i = 0; i < p; ++i) {
+    const double mass = assigned[rel[i]] /
+                        static_cast<double>(occupancy[rel[i]]);
+    weights[i] = mass;
+    total += mass;
+  }
+  PR_CHECK_GT(total, 0.0);
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace pr

@@ -1,0 +1,323 @@
+#include "hetero/hetero.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pr {
+namespace {
+
+constexpr double kFloor = 0.05;  // slowdowns never drop below this
+
+/// Shared base: per-call lognormal jitter with unit median.
+class ModelBase : public HeterogeneityModel {
+ public:
+  ModelBase(int num_workers, uint64_t seed, double jitter_sigma)
+      : num_workers_(num_workers), rng_(seed), jitter_sigma_(jitter_sigma) {
+    PR_CHECK_GE(num_workers, 1);
+  }
+
+ protected:
+  double Jitter() {
+    if (jitter_sigma_ <= 0.0) return 1.0;
+    return rng_.LogNormal(0.0, jitter_sigma_);
+  }
+
+  void ValidateWorker(int worker) const {
+    PR_CHECK_GE(worker, 0);
+    PR_CHECK_LT(worker, num_workers_);
+  }
+
+  int num_workers_;
+  Rng rng_;
+  double jitter_sigma_;
+};
+
+class HomogeneousModel : public ModelBase {
+ public:
+  using ModelBase::ModelBase;
+
+  double Sample(int worker, int64_t) override {
+    ValidateWorker(worker);
+    return std::max(kFloor, Jitter());
+  }
+
+  std::string Name() const override { return "homogeneous"; }
+};
+
+class GpuSharingModel : public ModelBase {
+ public:
+  GpuSharingModel(int num_workers, uint64_t seed, double jitter_sigma,
+                  int sharing_level)
+      : ModelBase(num_workers, seed, jitter_sigma),
+        sharing_level_(sharing_level) {
+    PR_CHECK_GE(sharing_level, 1);
+    PR_CHECK_LE(sharing_level, num_workers);
+  }
+
+  double Sample(int worker, int64_t) override {
+    ValidateWorker(worker);
+    // Workers [0, HL) share one physical GPU: each sees ~HL x slowdown with
+    // extra contention noise (time-slicing is not perfectly fair).
+    double base = 1.0;
+    if (sharing_level_ > 1 && worker < sharing_level_) {
+      base = static_cast<double>(sharing_level_) *
+             rng_.Uniform(0.85, 1.25);
+    }
+    return std::max(kFloor, base * Jitter());
+  }
+
+  std::string Name() const override {
+    return "gpu-sharing(HL=" + std::to_string(sharing_level_) + ")";
+  }
+
+ private:
+  int sharing_level_;
+};
+
+class LognormalModel : public ModelBase {
+ public:
+  LognormalModel(int num_workers, uint64_t seed, double jitter_sigma,
+                 double sigma)
+      : ModelBase(num_workers, seed, jitter_sigma), sigma_(sigma) {}
+
+  double Sample(int worker, int64_t) override {
+    ValidateWorker(worker);
+    return std::max(kFloor, rng_.LogNormal(0.0, sigma_) * Jitter());
+  }
+
+  std::string Name() const override { return "lognormal"; }
+
+ private:
+  double sigma_;
+};
+
+class TransientStragglerModel : public ModelBase {
+ public:
+  TransientStragglerModel(int num_workers, uint64_t seed, double jitter_sigma,
+                          double prob, double lo, double hi)
+      : ModelBase(num_workers, seed, jitter_sigma),
+        prob_(prob), lo_(lo), hi_(hi) {
+    PR_CHECK_GE(prob, 0.0);
+    PR_CHECK_LE(prob, 1.0);
+    PR_CHECK_LE(lo, hi);
+  }
+
+  double Sample(int worker, int64_t) override {
+    ValidateWorker(worker);
+    double stall = rng_.Bernoulli(prob_) ? rng_.Uniform(lo_, hi_) : 1.0;
+    return std::max(kFloor, stall * Jitter());
+  }
+
+  std::string Name() const override { return "transient-straggler"; }
+
+ private:
+  double prob_, lo_, hi_;
+};
+
+class FixedFactorsModel : public ModelBase {
+ public:
+  FixedFactorsModel(int num_workers, uint64_t seed, double jitter_sigma,
+                    std::vector<double> factors)
+      : ModelBase(num_workers, seed, jitter_sigma),
+        factors_(std::move(factors)) {
+    PR_CHECK_EQ(factors_.size(), static_cast<size_t>(num_workers))
+        << "fixed_factors length must match worker count";
+    for (double f : factors_) PR_CHECK_GT(f, 0.0);
+  }
+
+  double Sample(int worker, int64_t) override {
+    ValidateWorker(worker);
+    return std::max(kFloor,
+                    factors_[static_cast<size_t>(worker)] * Jitter());
+  }
+
+  std::string Name() const override { return "fixed-factors"; }
+
+ private:
+  std::vector<double> factors_;
+};
+
+class TraceModel : public ModelBase {
+ public:
+  TraceModel(int num_workers, uint64_t seed, double jitter_sigma,
+             std::vector<std::vector<double>> trace)
+      : ModelBase(num_workers, seed, jitter_sigma),
+        trace_(std::move(trace)),
+        cursor_(static_cast<size_t>(num_workers), 0) {
+    PR_CHECK_EQ(trace_.size(), static_cast<size_t>(num_workers))
+        << "trace must have one row per worker";
+    for (const auto& row : trace_) {
+      PR_CHECK(!row.empty()) << "trace rows must be non-empty";
+      for (double f : row) PR_CHECK_GT(f, 0.0);
+    }
+  }
+
+  double Sample(int worker, int64_t) override {
+    ValidateWorker(worker);
+    const auto& row = trace_[static_cast<size_t>(worker)];
+    size_t& cur = cursor_[static_cast<size_t>(worker)];
+    const double base = row[cur];
+    cur = (cur + 1) % row.size();
+    return std::max(kFloor, base * Jitter());
+  }
+
+  std::string Name() const override { return "trace"; }
+
+ private:
+  std::vector<std::vector<double>> trace_;
+  std::vector<size_t> cursor_;
+};
+
+class ProductionModel : public ModelBase {
+ public:
+  ProductionModel(int num_workers, uint64_t seed, const HeteroSpec& spec)
+      : ModelBase(num_workers, seed, spec.jitter_sigma), spec_(spec) {
+    // Per-worker persistent base slowdown: resource sharing pins some
+    // containers on busy hosts for the life of the job.
+    base_.resize(static_cast<size_t>(num_workers));
+    for (auto& b : base_) {
+      b = rng_.LogNormal(0.0, spec.production_sigma);
+    }
+  }
+
+  double Sample(int worker, int64_t) override {
+    ValidateWorker(worker);
+    double stall = rng_.Bernoulli(spec_.straggler_prob)
+                       ? rng_.Uniform(spec_.straggler_min, spec_.straggler_max)
+                       : 1.0;
+    // Moderate per-iteration wobble on top of the persistent base.
+    double wobble = rng_.LogNormal(0.0, 0.25);
+    return std::max(kFloor,
+                    base_[static_cast<size_t>(worker)] * wobble * stall);
+  }
+
+  std::string Name() const override { return "production"; }
+
+ private:
+  HeteroSpec spec_;
+  std::vector<double> base_;
+};
+
+}  // namespace
+
+HeteroSpec HeteroSpec::Homogeneous() { return HeteroSpec{}; }
+
+HeteroSpec HeteroSpec::GpuSharing(int sharing_level) {
+  HeteroSpec spec;
+  spec.kind = Kind::kGpuSharing;
+  spec.sharing_level = sharing_level;
+  return spec;
+}
+
+HeteroSpec HeteroSpec::Production() {
+  HeteroSpec spec;
+  spec.kind = Kind::kProduction;
+  return spec;
+}
+
+HeteroSpec HeteroSpec::FixedFactors(std::vector<double> factors) {
+  HeteroSpec spec;
+  spec.kind = Kind::kFixedFactors;
+  spec.fixed_factors = std::move(factors);
+  return spec;
+}
+
+HeteroSpec HeteroSpec::Trace(std::vector<std::vector<double>> trace) {
+  HeteroSpec spec;
+  spec.kind = Kind::kTrace;
+  spec.trace = std::move(trace);
+  return spec;
+}
+
+Result<std::vector<std::vector<double>>> LoadHeteroTraceCsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("trace file not found: " + path);
+  }
+  std::vector<std::vector<double>> trace;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream cells(line);
+    std::string cell;
+    while (std::getline(cells, cell, ',')) {
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || value <= 0.0) {
+        return Status::InvalidArgument(
+            "bad trace value '" + cell + "' at " + path + ":" +
+            std::to_string(lineno));
+      }
+      row.push_back(value);
+    }
+    if (row.empty()) {
+      return Status::InvalidArgument("empty trace row at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    trace.push_back(std::move(row));
+  }
+  if (trace.empty()) {
+    return Status::InvalidArgument("trace file has no rows: " + path);
+  }
+  return trace;
+}
+
+Status SaveHeteroTraceCsv(const std::string& path,
+                          const std::vector<std::vector<double>>& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open trace for writing: " + path);
+  }
+  for (const auto& row : trace) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::Unavailable("short write to trace: " + path);
+  return Status::OK();
+}
+
+std::unique_ptr<HeterogeneityModel> MakeHeterogeneityModel(
+    const HeteroSpec& spec, int num_workers, uint64_t seed) {
+  switch (spec.kind) {
+    case HeteroSpec::Kind::kHomogeneous:
+      return std::make_unique<HomogeneousModel>(num_workers, seed,
+                                                spec.jitter_sigma);
+    case HeteroSpec::Kind::kGpuSharing:
+      return std::make_unique<GpuSharingModel>(num_workers, seed,
+                                               spec.jitter_sigma,
+                                               spec.sharing_level);
+    case HeteroSpec::Kind::kLognormal:
+      return std::make_unique<LognormalModel>(num_workers, seed,
+                                              spec.jitter_sigma,
+                                              spec.lognormal_sigma);
+    case HeteroSpec::Kind::kProduction:
+      return std::make_unique<ProductionModel>(num_workers, seed, spec);
+    case HeteroSpec::Kind::kTransient:
+      return std::make_unique<TransientStragglerModel>(
+          num_workers, seed, spec.jitter_sigma, spec.straggler_prob,
+          spec.straggler_min, spec.straggler_max);
+    case HeteroSpec::Kind::kFixedFactors:
+      return std::make_unique<FixedFactorsModel>(
+          num_workers, seed, spec.jitter_sigma, spec.fixed_factors);
+    case HeteroSpec::Kind::kTrace:
+      return std::make_unique<TraceModel>(num_workers, seed,
+                                          spec.jitter_sigma, spec.trace);
+  }
+  PR_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace pr

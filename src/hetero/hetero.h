@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pr {
+
+/// \brief Parametric description of a heterogeneous environment.
+///
+/// The paper models heterogeneity as independent per-update time
+/// distributions (§2.3); a HeterogeneityModel samples the multiplicative
+/// slowdown applied to a worker's base compute time for one iteration.
+struct HeteroSpec {
+  enum class Kind {
+    /// All workers equal, small lognormal jitter.
+    kHomogeneous,
+    /// The paper's synthetic setup (§5.2): `sharing_level` (HL) workers
+    /// share one GPU (each slowed ~HL x with contention jitter); the rest
+    /// run on dedicated devices. HL = 1 degenerates to homogeneous.
+    kGpuSharing,
+    /// Per-iteration lognormal slowdown with unit median — mild cloud noise.
+    kLognormal,
+    /// Production cluster shape (§5.3): per-worker base speed drawn from a
+    /// heavy-tailed distribution plus per-iteration jitter plus transient
+    /// multi-x stalls. Calibrated so All-Reduce's max-of-N round time
+    /// degrades severely at N = 16..32, as in Fig. 9.
+    kProduction,
+    /// Mostly homogeneous with rare transient stragglers.
+    kTransient,
+    /// Explicit per-worker slowdown factors (e.g. {2, 1, 1} = "worker 0 is
+    /// twice as slow", the paper's Fig. 4(b) scenario), with the usual
+    /// jitter on top.
+    kFixedFactors,
+    /// Replays a recorded trace: per-worker sequences of slowdown factors,
+    /// cycled when a worker outruns its row. This is how measured
+    /// production per-update times (e.g. from a real cluster profile)
+    /// plug into the simulator. See LoadHeteroTraceCsv.
+    kTrace,
+  };
+
+  Kind kind = Kind::kHomogeneous;
+
+  /// HL for kGpuSharing: how many workers share the first GPU.
+  int sharing_level = 1;
+  /// Stddev of the always-on lognormal jitter (all kinds).
+  double jitter_sigma = 0.05;
+  /// Sigma for kLognormal's per-iteration slowdown.
+  double lognormal_sigma = 0.3;
+  /// kProduction: sigma of per-worker base slowdown (lognormal, median 1).
+  double production_sigma = 0.7;
+  /// kProduction / kTransient: probability an iteration stalls, and the
+  /// stall multiplier range.
+  double straggler_prob = 0.02;
+  double straggler_min = 4.0;
+  double straggler_max = 16.0;
+  /// kFixedFactors: per-worker slowdown multipliers (length must equal the
+  /// worker count).
+  std::vector<double> fixed_factors;
+  /// kTrace: trace[w][i] is worker w's slowdown at its i-th sample, cycled.
+  /// Every row must be non-empty; one row per worker.
+  std::vector<std::vector<double>> trace;
+
+  static HeteroSpec Homogeneous();
+  static HeteroSpec GpuSharing(int sharing_level);
+  static HeteroSpec Production();
+  static HeteroSpec FixedFactors(std::vector<double> factors);
+  static HeteroSpec Trace(std::vector<std::vector<double>> trace);
+};
+
+/// \brief Samples per-iteration compute-time slowdowns for a fixed worker
+/// population. Implementations are deterministic in (spec, num_workers,
+/// seed) and the call sequence.
+class HeterogeneityModel {
+ public:
+  virtual ~HeterogeneityModel() = default;
+
+  /// Multiplicative slowdown (>= a small positive floor) for `worker`'s
+  /// iteration `iteration`.
+  virtual double Sample(int worker, int64_t iteration) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// \brief Factory from a spec. `seed` controls all draws.
+std::unique_ptr<HeterogeneityModel> MakeHeterogeneityModel(
+    const HeteroSpec& spec, int num_workers, uint64_t seed);
+
+/// \brief Loads a slowdown trace from CSV: one row per worker, one comma-
+/// separated positive factor per column (rows may have different lengths;
+/// blank lines are skipped). Returns the trace or a parse error.
+Result<std::vector<std::vector<double>>> LoadHeteroTraceCsv(
+    const std::string& path);
+
+/// \brief Writes a trace in the same CSV format (for recording simulated
+/// or profiled environments).
+Status SaveHeteroTraceCsv(const std::string& path,
+                          const std::vector<std::vector<double>>& trace);
+
+}  // namespace pr

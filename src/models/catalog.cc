@@ -1,0 +1,34 @@
+#include "models/catalog.h"
+
+#include "common/check.h"
+
+namespace pr {
+
+const std::vector<PaperModelInfo>& AllPaperModels() {
+  // compute_seconds / num_tensors calibrated against Table 1 (see catalog.h).
+  // Parameter counts are the standard published ones for each architecture.
+  static const std::vector<PaperModelInfo> kCatalog = {
+      {/*name=*/"resnet18", /*num_params=*/11'690'000, /*num_tensors=*/62,
+       /*compute_seconds=*/0.171, /*dataset_compute_scale=*/1.0},
+      {/*name=*/"resnet34", /*num_params=*/21'800'000, /*num_tensors=*/110,
+       /*compute_seconds=*/0.343, /*dataset_compute_scale=*/1.0},
+      {/*name=*/"vgg16", /*num_params=*/138'000'000, /*num_tensors=*/32,
+       /*compute_seconds=*/0.140, /*dataset_compute_scale=*/1.0},
+      {/*name=*/"vgg19", /*num_params=*/143'700'000, /*num_tensors=*/38,
+       /*compute_seconds=*/0.160, /*dataset_compute_scale=*/1.0},
+      {/*name=*/"densenet121", /*num_params=*/7'980'000, /*num_tensors=*/364,
+       /*compute_seconds=*/0.570, /*dataset_compute_scale=*/1.0},
+  };
+  return kCatalog;
+}
+
+const PaperModelInfo& LookupPaperModel(const std::string& name) {
+  for (const PaperModelInfo& info : AllPaperModels()) {
+    if (info.name == name) return info;
+  }
+  PR_CHECK(false) << "unknown paper model: " << name;
+  // Unreachable; PR_CHECK aborts.
+  return AllPaperModels().front();
+}
+
+}  // namespace pr

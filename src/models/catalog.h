@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pr {
+
+/// \brief Cost-model card for one of the paper's CNN workloads.
+///
+/// We do not run convolutions; statistical efficiency comes from a proxy MLP
+/// on synthetic data (see DESIGN.md). What the *timing* experiments need from
+/// "ResNet-34" etc. is (a) how long one local update takes on the reference
+/// device and (b) how much traffic a synchronization moves. Those live here.
+///
+/// `compute_seconds` (one forward+backward on a batch of 256, reference GPU,
+/// unshared), `param_bytes` and `num_tensors` were calibrated jointly with
+/// the simulator's alpha-beta communication model against the per-update
+/// times in the paper's Table 1; the fit reproduces all three models' AR and
+/// P-Reduce per-update times within a few percent (see EXPERIMENTS.md).
+/// `num_tensors` matters because ring all-reduce pays its latency term per
+/// parameter tensor — this is what makes DenseNet-121 (364 small tensors)
+/// slower to synchronize than its 8M parameters suggest.
+struct PaperModelInfo {
+  std::string name;
+  size_t num_params = 0;       ///< trainable parameter count
+  size_t num_tensors = 0;      ///< parameter tensors (ring latency multiplier)
+  double compute_seconds = 0;  ///< fwd+bwd, batch 256, reference device
+  /// Relative compute heaviness of the dataset the paper pairs this model
+  /// with (ImageNet crops are ~8x CIFAR crops at these batch sizes).
+  double dataset_compute_scale = 1.0;
+
+  size_t param_bytes() const { return num_params * sizeof(float); }
+};
+
+/// \brief Looks up a catalog entry by name. Known names: "resnet18",
+/// "resnet34", "vgg16", "vgg19", "densenet121". Aborts on unknown names
+/// (catalog membership is a static programmer decision, not runtime input).
+const PaperModelInfo& LookupPaperModel(const std::string& name);
+
+/// \brief All catalog entries, for enumeration in tests and reports.
+const std::vector<PaperModelInfo>& AllPaperModels();
+
+}  // namespace pr

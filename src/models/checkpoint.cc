@@ -1,0 +1,76 @@
+#include "models/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace pr {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'R', 'C', 'K', 'P', 'T', '0', '1'};
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<float>& params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open checkpoint for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const size_t bytes = params.size() * sizeof(float);
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(bytes));
+  const uint64_t checksum = Fnv1a(params.data(), bytes);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) {
+    return Status::Unavailable("short write to checkpoint: " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, std::vector<float>* params) {
+  if (params == nullptr) {
+    return Status::InvalidArgument("LoadCheckpoint: null output");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("checkpoint not found: " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    return Status::InvalidArgument("truncated checkpoint header: " + path);
+  }
+  params->resize(count);
+  const size_t bytes = static_cast<size_t>(count) * sizeof(float);
+  in.read(reinterpret_cast<char*>(params->data()),
+          static_cast<std::streamsize>(bytes));
+  uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in) {
+    return Status::InvalidArgument("truncated checkpoint payload: " + path);
+  }
+  if (checksum != Fnv1a(params->data(), bytes)) {
+    return Status::InvalidArgument("checkpoint checksum mismatch: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace pr

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pr {
+
+/// \brief Binary checkpoint format for flat parameter vectors.
+///
+/// Layout: 8-byte magic "PRCKPT01", uint64 parameter count, raw float32
+/// payload, uint64 FNV-1a checksum of the payload. Load validates magic,
+/// size and checksum and fails with a Status rather than returning
+/// corrupted weights.
+
+/// Writes `params` to `path`, overwriting. Returns an IO error Status on
+/// failure.
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<float>& params);
+
+/// Reads a checkpoint into `params` (resized). Validates magic, length and
+/// checksum.
+Status LoadCheckpoint(const std::string& path, std::vector<float>* params);
+
+/// FNV-1a over raw bytes; exposed for tests.
+uint64_t Fnv1a(const void* data, size_t bytes);
+
+}  // namespace pr

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+
+namespace pr {
+
+/// \brief A small convolutional network with hand-written backprop:
+/// Conv3x3 (same padding, ReLU) -> flatten -> dense softmax head.
+///
+/// The paper's workloads are CNNs; this proxy exercises convolutional
+/// gradient structure (weight sharing, spatial correlations) rather than
+/// purely dense layers, at a size the simulator can train thousands of
+/// steps per second. Inputs are vectors of length channels * height *
+/// width, interpreted channel-major (CHW) — the synthetic datasets treat
+/// the feature vector as a 1-channel "image".
+///
+/// Parameter layout in the flat vector:
+///   conv W [filters, channels, 3, 3] row-major, conv b [filters],
+///   dense W [filters * h * w, classes], dense b [classes].
+class ConvNet : public Model {
+ public:
+  /// Requires height * width * channels to be the dataset's feature
+  /// dimension; kernel is fixed at 3x3, stride 1, same padding.
+  ConvNet(size_t channels, size_t height, size_t width, size_t filters,
+          int num_classes);
+
+  size_t NumParams() const override { return num_params_; }
+  std::string Name() const override;
+  void InitParams(std::vector<float>* params, Rng* rng) const override;
+  float LossAndGradient(const float* params, const Tensor& x,
+                        const std::vector<int>& y,
+                        float* grad) const override;
+  void Scores(const float* params, const Tensor& x,
+              Tensor* scores) const override;
+  int NumClasses() const override { return num_classes_; }
+
+  size_t input_dim() const { return channels_ * height_ * width_; }
+
+ private:
+  /// Forward pass for one batch; fills post-ReLU feature maps
+  /// [batch, filters * h * w] and logits [batch, classes].
+  void Forward(const float* params, const Tensor& x, Tensor* features,
+               Tensor* logits) const;
+
+  size_t channels_, height_, width_, filters_;
+  int num_classes_;
+  size_t conv_w_off_, conv_b_off_, dense_w_off_, dense_b_off_;
+  size_t num_params_;
+};
+
+}  // namespace pr

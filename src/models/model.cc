@@ -1,0 +1,82 @@
+#include "models/model.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/ops.h"
+
+namespace pr {
+namespace {
+
+constexpr size_t kEvalChunk = 512;
+
+/// Copies rows [begin, end) of `src` into a fresh tensor.
+Tensor SliceRows(const Tensor& src, size_t begin, size_t end) {
+  Tensor out(end - begin, src.cols());
+  std::memcpy(out.data(), src.Row(begin),
+              (end - begin) * src.cols() * sizeof(float));
+  return out;
+}
+
+}  // namespace
+
+double EvaluateAccuracy(const Model& model, const float* params,
+                        const Dataset& dataset) {
+  PR_CHECK_GT(dataset.size(), 0u);
+  size_t correct = 0;
+  Tensor scores;
+  for (size_t begin = 0; begin < dataset.size(); begin += kEvalChunk) {
+    const size_t end = std::min(begin + kEvalChunk, dataset.size());
+    Tensor x = SliceRows(dataset.features, begin, end);
+    model.Scores(params, x, &scores);
+    std::vector<int> pred = ArgmaxRows(scores);
+    for (size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == dataset.labels[begin + i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double EvaluateLoss(const Model& model, const float* params,
+                    const Dataset& dataset) {
+  PR_CHECK_GT(dataset.size(), 0u);
+  double total = 0.0;
+  Tensor scores;
+  Tensor probs;
+  for (size_t begin = 0; begin < dataset.size(); begin += kEvalChunk) {
+    const size_t end = std::min(begin + kEvalChunk, dataset.size());
+    Tensor x = SliceRows(dataset.features, begin, end);
+    model.Scores(params, x, &scores);
+    SoftmaxRows(scores, &probs);
+    std::vector<int> y(dataset.labels.begin() + begin,
+                       dataset.labels.begin() + end);
+    total += CrossEntropyFromProbs(probs, y, nullptr) *
+             static_cast<double>(end - begin);
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+double EvaluateGradientNormSq(const Model& model, const float* params,
+                              const Dataset& dataset, size_t max_examples) {
+  PR_CHECK_GT(dataset.size(), 0u);
+  const size_t limit = max_examples == 0
+                           ? dataset.size()
+                           : std::min(max_examples, dataset.size());
+  // Mean gradient over the first `limit` examples, accumulated chunkwise.
+  std::vector<float> mean(model.NumParams(), 0.0f);
+  std::vector<float> grad(model.NumParams());
+  for (size_t begin = 0; begin < limit; begin += kEvalChunk) {
+    const size_t end = std::min(begin + kEvalChunk, limit);
+    Tensor x = SliceRows(dataset.features, begin, end);
+    std::vector<int> y(dataset.labels.begin() + begin,
+                       dataset.labels.begin() + end);
+    model.LossAndGradient(params, x, y, grad.data());
+    // LossAndGradient returns the mean over the chunk; weight by its size.
+    Axpy(static_cast<float>(end - begin) / static_cast<float>(limit),
+         grad.data(), mean.data(), mean.size());
+  }
+  const float norm = Norm2(mean.data(), mean.size());
+  return static_cast<double>(norm) * norm;
+}
+
+}  // namespace pr

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace pr {
+
+/// \brief A stateless model architecture operating on externally owned flat
+/// parameter vectors.
+///
+/// Distributed training replicates *parameters*, not architectures: every
+/// simulated or threaded worker owns one `std::vector<float>` of length
+/// NumParams(), and synchronization strategies average those vectors
+/// directly. Keeping the architecture stateless (weights live outside) makes
+/// model averaging, snapshotting for staleness, and EMA aggregation trivial
+/// and allocation-free on the hot path.
+///
+/// Implementations are thread-safe for concurrent calls with distinct
+/// parameter/gradient buffers.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Total number of trainable parameters.
+  virtual size_t NumParams() const = 0;
+
+  /// Human-readable architecture name ("mlp-64x32", ...).
+  virtual std::string Name() const = 0;
+
+  /// Writes a fresh initialization into `params` (resized to NumParams()).
+  /// All replicas must start from the *same* initialization (Alg. 2), so
+  /// callers init once and copy.
+  virtual void InitParams(std::vector<float>* params, Rng* rng) const = 0;
+
+  /// Computes the mean mini-batch loss and its gradient.
+  ///
+  /// `params` and `grad` point to NumParams() floats; `grad` is overwritten.
+  /// Returns the mean cross-entropy loss over the batch.
+  virtual float LossAndGradient(const float* params, const Tensor& x,
+                                const std::vector<int>& y,
+                                float* grad) const = 0;
+
+  /// Computes class scores (logits) for a batch into `scores`
+  /// [batch, classes].
+  virtual void Scores(const float* params, const Tensor& x,
+                      Tensor* scores) const = 0;
+
+  /// Number of output classes.
+  virtual int NumClasses() const = 0;
+};
+
+/// \brief Classification accuracy of `params` under `model` on `dataset`,
+/// evaluated in chunks to bound peak memory.
+double EvaluateAccuracy(const Model& model, const float* params,
+                        const Dataset& dataset);
+
+/// \brief Mean loss of `params` on `dataset` (diagnostics / curves).
+double EvaluateLoss(const Model& model, const float* params,
+                    const Dataset& dataset);
+
+/// \brief Squared L2 norm of the *full* objective gradient ||∇F(params)||²
+/// over up to `max_examples` of `dataset` (0 = all). This is the quantity
+/// Theorem 1 bounds; bench_theory_bound tracks its average over training.
+double EvaluateGradientNormSq(const Model& model, const float* params,
+                              const Dataset& dataset,
+                              size_t max_examples = 0);
+
+}  // namespace pr

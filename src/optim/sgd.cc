@@ -1,0 +1,65 @@
+#include "optim/sgd.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pr {
+
+Sgd::Sgd(size_t num_params, SgdOptions options)
+    : options_(options), velocity_(num_params, 0.0f) {
+  PR_CHECK_GT(num_params, 0u);
+  PR_CHECK_GE(options.momentum, 0.0);
+  PR_CHECK_LT(options.momentum, 1.0);
+  PR_CHECK_GE(options.weight_decay, 0.0);
+}
+
+void Sgd::Step(const float* grad, std::vector<float>* params,
+               double lr_scale) {
+  PR_CHECK(grad != nullptr);
+  PR_CHECK(params != nullptr);
+  PR_CHECK_EQ(params->size(), velocity_.size());
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+  const float step = static_cast<float>(options_.learning_rate * lr_scale);
+  float* p = params->data();
+  float* v = velocity_.data();
+  const size_t n = velocity_.size();
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = mu * v[i] + grad[i] + wd * p[i];
+    p[i] -= step * v[i];
+  }
+}
+
+void Sgd::ResetState() {
+  std::fill(velocity_.begin(), velocity_.end(), 0.0f);
+}
+
+StepDecaySchedule::StepDecaySchedule(double base_lr, double decay_factor,
+                                     size_t updates_per_decay)
+    : base_lr_(base_lr),
+      decay_factor_(decay_factor),
+      updates_per_decay_(updates_per_decay) {
+  PR_CHECK_GT(base_lr, 0.0);
+  PR_CHECK_GT(decay_factor, 0.0);
+  PR_CHECK_LE(decay_factor, 1.0);
+  PR_CHECK_GT(updates_per_decay, 0u);
+}
+
+double StepDecaySchedule::LearningRateAt(size_t update) const {
+  const size_t stage = update / updates_per_decay_;
+  return base_lr_ * std::pow(decay_factor_, static_cast<double>(stage));
+}
+
+double StalenessLrScale(size_t staleness) {
+  return 1.0 / (1.0 + static_cast<double>(staleness));
+}
+
+double ExcessStalenessLrScale(size_t staleness, size_t expected_staleness) {
+  PR_CHECK_GE(expected_staleness, 1u);
+  const double scale = static_cast<double>(expected_staleness) /
+                       (1.0 + static_cast<double>(staleness));
+  return scale < 1.0 ? scale : 1.0;
+}
+
+}  // namespace pr

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pr {
+
+/// \brief Hyperparameters for SGD, defaulting to the paper's experimental
+/// setting (lr 0.1, momentum 0.9, weight decay 1e-4).
+struct SgdOptions {
+  double learning_rate = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+};
+
+/// \brief SGD with (heavy-ball) momentum and L2 weight decay over a flat
+/// parameter vector.
+///
+/// The optimizer state (velocity buffer) is local to each worker replica,
+/// matching the paper's prototype where only *model parameters* are averaged
+/// during a partial reduce — momentum buffers stay local.
+class Sgd {
+ public:
+  Sgd(size_t num_params, SgdOptions options);
+
+  /// Applies one update in place:
+  ///   v   <- momentum * v + (grad + weight_decay * params)
+  ///   params <- params - lr_scale * lr * v
+  ///
+  /// `lr_scale` multiplies the base learning rate for this step only; the
+  /// staleness-aware strategies (PS-HETE) pass a scale < 1 for stale
+  /// gradients.
+  void Step(const float* grad, std::vector<float>* params,
+            double lr_scale = 1.0);
+
+  /// Updates the base learning rate (for schedules).
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  double learning_rate() const { return options_.learning_rate; }
+  const SgdOptions& options() const { return options_; }
+
+  /// Resets the velocity buffer to zero.
+  void ResetState();
+
+  /// Direct access to the momentum (velocity) buffer. The paper's partial
+  /// reduce averages only *model parameters*; exposing the buffer lets the
+  /// momentum-averaging ablation also merge optimizer state across a group.
+  std::vector<float>* mutable_velocity() { return &velocity_; }
+  const std::vector<float>& velocity() const { return velocity_; }
+
+ private:
+  SgdOptions options_;
+  std::vector<float> velocity_;
+};
+
+/// \brief Step-decay learning-rate schedule: lr = base * decay^(epoch /
+/// interval), the scheme the paper uses on ImageNet ("start from 0.1 and
+/// decay by 10 every 20 epochs").
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(double base_lr, double decay_factor,
+                    size_t updates_per_decay);
+
+  /// Learning rate to use at global update index `update`.
+  double LearningRateAt(size_t update) const;
+
+ private:
+  double base_lr_;
+  double decay_factor_;
+  size_t updates_per_decay_;
+};
+
+/// \brief Staleness-aware learning-rate scale used by the PS-HETE baseline
+/// (Jiang et al., "Heterogeneity-aware Distributed Parameter Servers"):
+/// a gradient computed `staleness` versions ago is applied with its
+/// contribution damped as 1 / (1 + staleness).
+double StalenessLrScale(size_t staleness);
+
+/// \brief Damping for staleness *beyond* the level inherent to asynchrony.
+///
+/// In an N-worker async PS, every push is ~N-1 versions stale by
+/// construction; only staleness beyond that signals a straggler whose
+/// gradient should be damped. Returns min(1, expected_staleness / (1 +
+/// staleness)), i.e. 1 while staleness <= expected - 1 and ~expected/s for
+/// deep staleness.
+double ExcessStalenessLrScale(size_t staleness, size_t expected_staleness);
+
+}  // namespace pr

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "optim/sgd.h"
+#include "runtime/threaded_runtime.h"
+
+namespace pr {
+
+/// \brief Server consistency protocol for the threaded parameter server.
+enum class PsMode {
+  kBsp,  ///< bulk synchronous: one global update per N pushes, lockstep
+  kAsp,  ///< asynchronous: every push applies immediately (1/N-scaled)
+};
+
+/// \brief Configuration for a real (wall-clock, multi-threaded) parameter
+/// server run — the paper's §2.2 centralized baseline, built on the same
+/// in-process transport as the P-Reduce runtime.
+struct ThreadedPsOptions {
+  int num_workers = 4;
+  size_t iterations_per_worker = 50;
+  PsMode mode = PsMode::kBsp;
+
+  SgdOptions sgd;
+  size_t batch_size = 32;
+  std::vector<size_t> hidden = {32};
+  SyntheticSpec dataset;
+
+  /// Injected per-iteration sleep per worker (seconds); empty = none.
+  std::vector<double> worker_delay_seconds;
+
+  uint64_t seed = 7;
+};
+
+/// \brief Outcome of a threaded PS run.
+struct ThreadedPsResult {
+  double wall_seconds = 0.0;
+  /// Global model versions produced (BSP: rounds; ASP: pushes).
+  uint64_t versions = 0;
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+  /// Distribution of push staleness (server versions between a worker's
+  /// pull and its push); all zeros under BSP.
+  std::vector<uint64_t> staleness_histogram;
+};
+
+/// \brief Runs parameter-server training end-to-end on real threads: one
+/// server thread owning the global model, N worker threads doing
+/// pull -> compute -> push.
+ThreadedPsResult RunThreadedPs(const ThreadedPsOptions& options);
+
+}  // namespace pr

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "data/synthetic.h"
+#include "optim/sgd.h"
+
+namespace pr {
+
+/// \brief Configuration for a real (wall-clock, multi-threaded) training run.
+///
+/// This is the prototype-system analogue of the paper's implementation (§4):
+/// each worker is a thread with its own model replica and data shard; the
+/// controller is a thread owning the signal queue / group filter / weight
+/// generator; the data plane runs ring collectives over the in-process
+/// transport. Heterogeneity is injected as per-worker per-iteration sleeps.
+struct ThreadedRunOptions {
+  int num_workers = 4;
+  /// Local iterations per worker (each ends with one partial reduce, except
+  /// the last, which leaves the pool).
+  size_t iterations_per_worker = 50;
+  int group_size = 2;
+  PartialReduceMode mode = PartialReduceMode::kConstant;
+  DynamicWeightOptions dynamic;
+  bool frozen_avoidance = true;
+
+  SgdOptions sgd;
+  size_t batch_size = 32;
+  std::vector<size_t> hidden = {32};
+  SyntheticSpec dataset;
+
+  /// Injected per-iteration sleep per worker (seconds); empty = no sleeps.
+  std::vector<double> worker_delay_seconds;
+
+  uint64_t seed = 7;
+};
+
+/// \brief Outcome of a threaded run.
+struct ThreadedRunResult {
+  double wall_seconds = 0.0;
+  uint64_t group_reduces = 0;
+  ControllerStats controller_stats;
+  /// Accuracy of the averaged model on the held-out test set.
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+  /// Per-worker completed local iterations (== iterations_per_worker).
+  std::vector<size_t> worker_iterations;
+  /// Per-worker wall-clock seconds from run start until the worker finished
+  /// its last iteration. Under All-Reduce every worker finishes with the
+  /// straggler; under P-Reduce fast workers finish early — the primitive's
+  /// headline property, observable here on real threads.
+  std::vector<double> worker_finish_seconds;
+  /// Max pairwise L-inf distance between worker replicas at the end —
+  /// a consensus diagnostic.
+  double replica_spread = 0.0;
+};
+
+/// \brief Runs partial-reduce training end-to-end on real threads.
+ThreadedRunResult RunThreadedPReduce(const ThreadedRunOptions& options);
+
+/// \brief Runs classic all-reduce training (global barrier per iteration)
+/// on real threads, for side-by-side comparison in examples.
+ThreadedRunResult RunThreadedAllReduce(const ThreadedRunOptions& options);
+
+}  // namespace pr

@@ -1,0 +1,69 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pr {
+
+CostModel::CostModel(const PaperModelInfo& model,
+                     const CostModelOptions& options)
+    : model_(model), options_(options) {
+  PR_CHECK_GT(options.bandwidth, 0.0);
+  PR_CHECK_GE(options.tensor_latency, 0.0);
+  PR_CHECK_GT(options.ps_bandwidth, 0.0);
+  PR_CHECK_GE(options.controller_delay, 0.0);
+  PR_CHECK_GT(options.compute_scale, 0.0);
+  PR_CHECK_GE(options.gradient_overlap, 0.0);
+  PR_CHECK_LE(options.gradient_overlap, 1.0);
+}
+
+double CostModel::ComputeSeconds(double slowdown) const {
+  PR_CHECK_GT(slowdown, 0.0);
+  return model_.compute_seconds * model_.dataset_compute_scale *
+         options_.compute_scale * slowdown;
+}
+
+double CostModel::RingAllReduceSeconds(int n) const {
+  PR_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  const double s = static_cast<double>(model_.param_bytes());
+  const double hops = 2.0 * static_cast<double>(n - 1);
+  return (hops / static_cast<double>(n)) * s / options_.bandwidth +
+         hops * static_cast<double>(model_.num_tensors) *
+             options_.tensor_latency;
+}
+
+double CostModel::GroupReduceSeconds(int p) const {
+  // Ready signal to controller + group info back, then the group ring.
+  return 2.0 * options_.controller_delay + RingAllReduceSeconds(p);
+}
+
+double CostModel::PairwiseAverageSeconds() const {
+  return RingAllReduceSeconds(2);
+}
+
+double CostModel::AtomicPairAverageSeconds() const {
+  const double s = static_cast<double>(model_.param_bytes());
+  return 2.0 * s / options_.ps_bandwidth +
+         2.0 * static_cast<double>(model_.num_tensors) *
+             options_.tensor_latency;
+}
+
+double CostModel::PsTransferSeconds() const {
+  return static_cast<double>(model_.param_bytes()) / options_.ps_bandwidth;
+}
+
+double CostModel::ExposedGradientCommSeconds(double raw_comm_seconds) const {
+  PR_CHECK_GE(raw_comm_seconds, 0.0);
+  return raw_comm_seconds * (1.0 - options_.gradient_overlap);
+}
+
+double PsLinkQueue::Acquire(double now, double duration) {
+  PR_CHECK_GE(duration, 0.0);
+  const double start = std::max(now, busy_until_);
+  busy_until_ = start + duration;
+  return busy_until_;
+}
+
+}  // namespace pr

@@ -1,0 +1,100 @@
+#pragma once
+
+#include "models/catalog.h"
+
+namespace pr {
+
+/// \brief Network and device parameters of the simulated cluster.
+///
+/// Defaults were fit jointly with the model catalog against the paper's
+/// Table 1 (see models/catalog.h): an 8 x V100 node whose collective path
+/// sustains ~10 GB/s with ~48 us per-tensor per-hop latency, plus a
+/// CPU-side parameter-server path at a lower effective bandwidth.
+struct CostModelOptions {
+  /// Effective point-to-point bandwidth of the collective path (bytes/s).
+  double bandwidth = 10e9;
+  /// Per-tensor, per-hop latency of a collective step (seconds). Ring
+  /// all-reduce pays 2(n-1) hops for each of the model's parameter tensors;
+  /// this is what makes many-small-tensor models (DenseNet) sync-bound.
+  double tensor_latency = 48e-6;
+  /// Parameter-server link bandwidth (bytes/s); all pushes/pulls share it.
+  double ps_bandwidth = 5e9;
+  /// One-way delay of a controller control message (ready signal or group
+  /// info). Messages are a few bytes, so this is pure latency.
+  double controller_delay = 100e-6;
+  /// Multiplier on compute time (e.g. ImageNet-sized inputs vs CIFAR).
+  double compute_scale = 1.0;
+  /// Fraction of *gradient* communication hidden behind backward
+  /// computation (DistributedDataParallel-style bucketed overlap). The
+  /// paper's §4 notes its prototype cannot overlap because the dynamic
+  /// worker groups preclude a fixed communication world, and conjectures
+  /// P-Reduce's relative benefit survives overlap; this knob implements
+  /// that future work for the gradient-aggregating strategies (AR, ER, PS)
+  /// so bench_ablation_overlap can test the conjecture. Model-averaging
+  /// communication (P-Reduce, AD-PSGD) is never overlapped — it needs the
+  /// final post-update model.
+  double gradient_overlap = 0.0;
+};
+
+/// \brief Analytic timing for one workload (paper model) on the simulated
+/// cluster. All collective formulas follow Patarasuk & Yuan's ring
+/// all-reduce cost: 2(n-1)/n * S/B + 2(n-1) * T * alpha.
+class CostModel {
+ public:
+  CostModel(const PaperModelInfo& model, const CostModelOptions& options);
+
+  /// One local forward+backward at the reference batch size, scaled by the
+  /// heterogeneity `slowdown`.
+  double ComputeSeconds(double slowdown) const;
+
+  /// Ring all-reduce of the full model among n participants.
+  double RingAllReduceSeconds(int n) const;
+
+  /// Partial reduce among a group of p (same ring formula, smaller group),
+  /// plus the controller round trip for the ready signal and group info.
+  double GroupReduceSeconds(int p) const;
+
+  /// AD-PSGD pairwise model exchange-and-average (two-member ring) over the
+  /// collective path.
+  double PairwiseAverageSeconds() const;
+
+  /// AD-PSGD *atomic* pairwise average via the CPU-staged path: atomicity
+  /// of model access forces the exchange through host memory (two full
+  /// model copies over the PS-grade path) under a global lock. This is the
+  /// serialization Prague (ASPLOS'20) identifies as AD-PSGD's bottleneck,
+  /// and what makes the paper's measured AD iterations ~1.6x slower than
+  /// P-Reduce iterations despite touching only two workers.
+  double AtomicPairAverageSeconds() const;
+
+  /// One full-model transfer over the PS link (one direction). Callers
+  /// serialize concurrent transfers via PsLinkQueue.
+  double PsTransferSeconds() const;
+
+  /// Applies the gradient-overlap discount to a raw gradient-communication
+  /// cost: the exposed (non-hidden) portion.
+  double ExposedGradientCommSeconds(double raw_comm_seconds) const;
+
+  double controller_delay() const { return options_.controller_delay; }
+  const PaperModelInfo& model() const { return model_; }
+  const CostModelOptions& options() const { return options_; }
+
+ private:
+  PaperModelInfo model_;
+  CostModelOptions options_;
+};
+
+/// \brief Serializes transfers over the shared parameter-server link: the
+/// central-bottleneck behaviour PS architectures exhibit (§2.2).
+///
+/// Acquire(now, duration) returns the completion time of a transfer
+/// requested at `now`, queueing FIFO behind in-flight transfers.
+class PsLinkQueue {
+ public:
+  double Acquire(double now, double duration);
+  double busy_until() const { return busy_until_; }
+
+ private:
+  double busy_until_ = 0.0;
+};
+
+}  // namespace pr

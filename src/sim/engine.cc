@@ -1,0 +1,40 @@
+#include "sim/engine.h"
+
+#include "common/check.h"
+
+namespace pr {
+
+void SimEngine::ScheduleAt(SimTime at, std::function<void()> fn) {
+  PR_CHECK_GE(at, now_) << "cannot schedule into the past";
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void SimEngine::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  PR_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool SimEngine::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the closure (events are small).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+uint64_t SimEngine::RunUntil(const std::function<bool()>& stop,
+                             SimTime max_time) {
+  uint64_t processed = 0;
+  while (!stop() && !queue_.empty()) {
+    if (queue_.top().at > max_time) break;
+    RunOne();
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace pr

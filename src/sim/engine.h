@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pr {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// \brief A deterministic discrete-event simulation engine.
+///
+/// Events are (time, sequence, closure); ties in time break by insertion
+/// order, so runs are bit-for-bit reproducible. The engine knows nothing
+/// about training — strategies schedule compute-finished / reduce-finished /
+/// transfer-finished events against it.
+class SimEngine {
+ public:
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  SimTime now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  void ScheduleAt(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` at now() + delay (delay >= 0).
+  void ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Pops and runs the earliest event, advancing the clock. Returns false
+  /// when no events remain.
+  bool RunOne();
+
+  /// Runs events until `stop()` returns true, the queue drains, or the
+  /// clock would pass `max_time`. Returns the number of events processed by
+  /// this call.
+  uint64_t RunUntil(const std::function<bool()>& stop,
+                    SimTime max_time = 1e18);
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace pr

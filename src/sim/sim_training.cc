@@ -1,0 +1,272 @@
+#include "sim/sim_training.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace pr {
+
+SimTraining::SimTraining(const SimTrainingOptions& options)
+    : options_(options), rng_(options.seed) {
+  PR_CHECK_GE(options.num_workers, 1);
+  PR_CHECK_GE(options.batch_size, 1u);
+
+  SyntheticSpec spec = options.custom_dataset.has_value()
+                           ? *options.custom_dataset
+                           : SpecForDataset(options.dataset);
+  spec.seed = options.seed;  // the run seed controls the data too
+  split_ = GenerateSynthetic(spec);
+
+  switch (options.proxy_model) {
+    case SimTrainingOptions::ProxyModel::kMlp:
+      model_ = std::make_unique<Mlp>(spec.dim, options.hidden,
+                                     spec.num_classes);
+      break;
+    case SimTrainingOptions::ProxyModel::kConvNet: {
+      const size_t side = static_cast<size_t>(
+          std::lround(std::sqrt(static_cast<double>(spec.dim))));
+      PR_CHECK_EQ(side * side, spec.dim)
+          << "ConvNet proxy needs a square feature dimension";
+      model_ = std::make_unique<ConvNet>(1, side, side,
+                                         options.conv_filters,
+                                         spec.num_classes);
+      break;
+    }
+  }
+  cost_ = std::make_unique<CostModel>(LookupPaperModel(options.paper_model),
+                                      options.cost);
+  hetero_ = MakeHeterogeneityModel(options.hetero, options.num_workers,
+                                   rng_.Next());
+
+  // Single shared initialization copied to all replicas (Alg. 2 requires
+  // identical starting points).
+  std::vector<float> init;
+  model_->InitParams(&init, &rng_);
+
+  Rng shard_rng = rng_.Fork();
+  std::vector<Shard> shards =
+      options.dirichlet_alpha > 0.0
+          ? ShardDatasetDirichlet(split_.train.labels,
+                                  split_.train.num_classes,
+                                  static_cast<size_t>(options.num_workers),
+                                  options.dirichlet_alpha, &shard_rng)
+          : ShardDataset(split_.train.size(),
+                         static_cast<size_t>(options.num_workers),
+                         &shard_rng);
+
+  workers_.resize(static_cast<size_t>(options.num_workers));
+  for (int w = 0; w < options.num_workers; ++w) {
+    WorkerState& ws = workers_[static_cast<size_t>(w)];
+    ws.params = init;
+    ws.snapshot = init;
+    ws.optimizer = std::make_unique<Sgd>(model_->NumParams(), options.sgd);
+    ws.sampler = std::make_unique<BatchSampler>(
+        &split_.train, std::move(shards[static_cast<size_t>(w)]),
+        options.batch_size, rng_.Next());
+  }
+
+  if (options.record_timeline) {
+    timeline_ = std::make_unique<Timeline>(options.num_workers);
+  }
+  eval_scratch_.resize(model_->NumParams());
+}
+
+void SimTraining::RecordActivity(int worker, WorkerActivity activity,
+                                 double begin, double end) {
+  if (timeline_) timeline_->Record(worker, activity, begin, end);
+}
+
+double SimTraining::SampleComputeSeconds(int worker) {
+  const double slowdown =
+      hetero_->Sample(worker, iteration(worker));
+  return cost_->ComputeSeconds(slowdown);
+}
+
+std::vector<float>& SimTraining::params(int worker) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, options_.num_workers);
+  return workers_[static_cast<size_t>(worker)].params;
+}
+
+const std::vector<float>& SimTraining::params(int worker) const {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, options_.num_workers);
+  return workers_[static_cast<size_t>(worker)].params;
+}
+
+void SimTraining::TakeSnapshot(int worker) {
+  WorkerState& ws = workers_[static_cast<size_t>(worker)];
+  ws.snapshot = ws.params;
+}
+
+const std::vector<float>& SimTraining::snapshot(int worker) const {
+  return workers_[static_cast<size_t>(worker)].snapshot;
+}
+
+float SimTraining::GradientAtSnapshot(int worker, std::vector<float>* grad) {
+  const WorkerState& ws = workers_[static_cast<size_t>(worker)];
+  return GradientAt(worker, ws.snapshot.data(), grad);
+}
+
+float SimTraining::GradientAt(int worker, const float* at,
+                              std::vector<float>* grad) {
+  PR_CHECK(grad != nullptr);
+  grad->assign(model_->NumParams(), 0.0f);
+  ++gradients_computed_;
+  if (options_.timing_only) return 0.0f;
+  WorkerState& ws = workers_[static_cast<size_t>(worker)];
+  Tensor x;
+  std::vector<int> y;
+  ws.sampler->NextBatch(&x, &y);
+  return model_->LossAndGradient(at, x, y, grad->data());
+}
+
+Sgd* SimTraining::optimizer(int worker) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, options_.num_workers);
+  return workers_[static_cast<size_t>(worker)].optimizer.get();
+}
+
+void SimTraining::LocalStep(int worker, const float* grad, double lr_scale) {
+  WorkerState& ws = workers_[static_cast<size_t>(worker)];
+  ws.optimizer->set_learning_rate(CurrentLr());
+  ws.optimizer->Step(grad, &ws.params, lr_scale);
+}
+
+void SimTraining::StepWith(Sgd* opt, const float* grad,
+                           std::vector<float>* params, double lr_scale) {
+  PR_CHECK(opt != nullptr);
+  opt->set_learning_rate(CurrentLr());
+  opt->Step(grad, params, lr_scale);
+}
+
+std::unique_ptr<Sgd> SimTraining::MakeOptimizer() const {
+  return std::make_unique<Sgd>(model_->NumParams(), options_.sgd);
+}
+
+double SimTraining::CurrentLr() const {
+  if (!options_.lr_decay.enabled) return options_.sgd.learning_rate;
+  const size_t progress =
+      options_.lr_decay.per_gradient ? gradients_computed_ : updates_;
+  const size_t stage = progress / options_.lr_decay.every_updates;
+  double lr = options_.sgd.learning_rate;
+  for (size_t s = 0; s < stage; ++s) lr *= options_.lr_decay.factor;
+  return lr;
+}
+
+int64_t SimTraining::iteration(int worker) const {
+  return workers_[static_cast<size_t>(worker)].iteration;
+}
+
+void SimTraining::set_iteration(int worker, int64_t it) {
+  workers_[static_cast<size_t>(worker)].iteration = it;
+}
+
+void SimTraining::increment_iteration(int worker) {
+  ++workers_[static_cast<size_t>(worker)].iteration;
+}
+
+void SimTraining::RecordUpdate() {
+  ++updates_;
+  update_intervals_.Add(engine_.now() - last_update_time_);
+  last_update_time_ = engine_.now();
+
+  if (options_.timing_only) {
+    if (updates_ >= options_.timing_updates) stopped_ = true;
+    return;
+  }
+  if (updates_ % options_.eval_every == 0) MaybeEvaluate();
+  if (updates_ >= options_.max_updates ||
+      engine_.now() >= options_.max_sim_seconds) {
+    stopped_ = true;
+  }
+}
+
+void SimTraining::MarkWaitStart(int worker) {
+  WorkerState& ws = workers_[static_cast<size_t>(worker)];
+  PR_CHECK_LT(ws.wait_started, 0.0) << "worker " << worker
+                                    << " already waiting";
+  ws.wait_started = engine_.now();
+}
+
+void SimTraining::MarkWaitEnd(int worker) {
+  WorkerState& ws = workers_[static_cast<size_t>(worker)];
+  PR_CHECK_GE(ws.wait_started, 0.0) << "worker " << worker << " not waiting";
+  ws.total_wait += engine_.now() - ws.wait_started;
+  RecordActivity(worker, WorkerActivity::kIdle, ws.wait_started,
+                 engine_.now());
+  ws.wait_started = -1.0;
+}
+
+void SimTraining::SetEvalProvider(std::function<const float*()> provider) {
+  eval_provider_ = std::move(provider);
+}
+
+const float* SimTraining::EvalParams() {
+  if (eval_provider_) return eval_provider_();
+  // Default: mean over all replicas (Alg. 2 line 8).
+  const size_t n = model_->NumParams();
+  std::memset(eval_scratch_.data(), 0, n * sizeof(float));
+  const float w = 1.0f / static_cast<float>(options_.num_workers);
+  for (const WorkerState& ws : workers_) {
+    Axpy(w, ws.params.data(), eval_scratch_.data(), n);
+  }
+  return eval_scratch_.data();
+}
+
+void SimTraining::MaybeEvaluate() {
+  // Skip duplicate evaluations at the same update count (e.g. the final
+  // EvaluateNow right after a periodic eval).
+  if (!curve_.empty() && curve_.back().updates == updates_) return;
+  const float* p = EvalParams();
+  const double acc = EvaluateAccuracy(*model_, p, split_.test);
+  const double loss = EvaluateLoss(*model_, p, split_.test);
+  best_accuracy_ = std::max(best_accuracy_, acc);
+  final_accuracy_ = acc;
+  final_loss_ = loss;
+  CurvePoint point{engine_.now(), updates_, acc, loss, 0.0};
+  if (options_.record_grad_norm) {
+    point.grad_norm_sq = EvaluateGradientNormSq(*model_, p, split_.train,
+                                                /*max_examples=*/2048);
+  }
+  curve_.push_back(point);
+  if (options_.accuracy_threshold > 0.0 &&
+      acc >= options_.accuracy_threshold) {
+    converged_ = true;
+    stopped_ = true;
+  }
+}
+
+void SimTraining::EvaluateNow() {
+  if (!options_.timing_only) MaybeEvaluate();
+}
+
+SimRunResult SimTraining::BuildResult(const std::string& strategy_name) {
+  SimRunResult result;
+  result.strategy = strategy_name;
+  result.converged = converged_;
+  result.sim_seconds = engine_.now();
+  result.updates = updates_;
+  result.per_update_seconds =
+      updates_ == 0 ? 0.0 : engine_.now() / static_cast<double>(updates_);
+  result.final_accuracy = final_accuracy_;
+  result.best_accuracy = best_accuracy_;
+  result.curve = curve_;
+  result.update_intervals = update_intervals_;
+  result.wasted_gradients = wasted_gradients_;
+
+  double idle = 0.0;
+  for (WorkerState& ws : workers_) {
+    double wait = ws.total_wait;
+    if (ws.wait_started >= 0.0) wait += engine_.now() - ws.wait_started;
+    idle += engine_.now() > 0.0 ? wait / engine_.now() : 0.0;
+  }
+  result.mean_idle_fraction = idle / static_cast<double>(workers_.size());
+  return result;
+}
+
+}  // namespace pr

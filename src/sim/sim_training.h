@@ -1,0 +1,266 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "data/synthetic.h"
+#include "hetero/hetero.h"
+#include "models/catalog.h"
+#include "models/convnet.h"
+#include "models/mlp.h"
+#include "optim/sgd.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/timeline.h"
+
+namespace pr {
+
+/// \brief One point of a convergence curve (Fig. 7 / Fig. 10 series).
+struct CurvePoint {
+  double time = 0.0;    ///< virtual seconds
+  size_t updates = 0;   ///< global update count at evaluation time
+  double accuracy = 0.0;
+  double loss = 0.0;
+  /// ||∇F(u_k)||² at this evaluation (only when record_grad_norm is set).
+  double grad_norm_sq = 0.0;
+};
+
+/// \brief Step-decay schedule knob for SimTrainingOptions.
+struct LrDecaySpec {
+  bool enabled = false;
+  double factor = 0.1;
+  size_t every_updates = 2000;
+  /// When true, `every_updates` counts *gradients computed* instead of
+  /// global updates. Strategies incorporate different gradient counts per
+  /// update (AR: N, P-Reduce: P, ASP: 1), so a gradient-based schedule is
+  /// the fair analogue of the paper's per-epoch decay.
+  bool per_gradient = false;
+};
+
+/// \brief Full configuration of one simulated training run.
+struct SimTrainingOptions {
+  int num_workers = 8;
+  /// Per-worker mini-batch. The calibrated benches use 8 (small batches
+  /// keep gradient noise high enough that staleness effects are visible on
+  /// the synthetic tasks).
+  size_t batch_size = 8;
+  SgdOptions sgd;
+  LrDecaySpec lr_decay;
+
+  /// Proxy model family trained for real under virtual time.
+  enum class ProxyModel { kMlp, kConvNet };
+  ProxyModel proxy_model = ProxyModel::kMlp;
+  /// kMlp: hidden layer widths.
+  std::vector<size_t> hidden = {64};
+  /// kConvNet: filter count; the dataset dim must be a perfect square
+  /// (interpreted as a 1-channel sqrt(dim) x sqrt(dim) image).
+  size_t conv_filters = 8;
+
+  /// Synthetic dataset name ("cifar10", "cifar100", "imagenet"), or a fully
+  /// custom spec when `custom_dataset` is set.
+  std::string dataset = "cifar10";
+  std::optional<SyntheticSpec> custom_dataset;
+
+  /// Non-IID sharding: Dirichlet(alpha) class skew per worker. 0 disables
+  /// (IID shuffled shards, the paper's assumption).
+  double dirichlet_alpha = 0.0;
+
+  /// Paper workload whose catalog entry drives the cost model.
+  std::string paper_model = "resnet34";
+  CostModelOptions cost;
+  HeteroSpec hetero;
+
+  /// Convergence criterion: stop when the evaluated model reaches this test
+  /// accuracy. <= 0 disables accuracy-based stopping.
+  double accuracy_threshold = 0.90;
+  size_t max_updates = 100000;
+  double max_sim_seconds = 1e9;
+  size_t eval_every = 25;
+
+  /// Timing-only mode: skip gradient math and evaluation; run exactly
+  /// `timing_updates` updates. Used by pure hardware-efficiency experiments
+  /// (idle-time, scalability sweeps).
+  bool timing_only = false;
+  size_t timing_updates = 1000;
+
+  /// Record ||∇F||² of the evaluated model at every periodic evaluation
+  /// (over a bounded probe of the training set) — the Theorem 1 quantity.
+  bool record_grad_norm = false;
+
+  /// Record a per-worker activity timeline (compute/comm/idle intervals,
+  /// the data behind Fig. 3's Gantt). Supported by the AR and P-Reduce
+  /// strategies; costs memory proportional to the number of intervals.
+  bool record_timeline = false;
+
+  uint64_t seed = 1;
+};
+
+/// \brief Result of one simulated run.
+struct SimRunResult {
+  std::string strategy;
+  bool converged = false;
+  double sim_seconds = 0.0;
+  size_t updates = 0;
+  double per_update_seconds = 0.0;
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  std::vector<CurvePoint> curve;
+  /// Mean over workers of (idle time waiting on synchronization) /
+  /// (total run time). The green blocks of Fig. 3.
+  double mean_idle_fraction = 0.0;
+  /// Per-update intervals (time between consecutive global updates); the
+  /// per-update-time distribution of Fig. 9.
+  SampleSet update_intervals;
+  /// Total local gradient computations that were discarded (PS-BK drops).
+  size_t wasted_gradients = 0;
+  /// Groups bridged by frozen avoidance (P-Reduce only).
+  uint64_t bridged_groups = 0;
+  uint64_t frozen_detections = 0;
+};
+
+/// \brief Shared state and services for simulated synchronization
+/// strategies.
+///
+/// Couples *real* SGD (proxy MLP on synthetic data) with *virtual* time
+/// (cost model + heterogeneity): a strategy asks for a worker's compute
+/// duration, schedules the finish event, and at that event asks for the
+/// actual gradient — so the staleness pattern SGD experiences is exactly
+/// the one induced by simulated timing.
+class SimTraining {
+ public:
+  explicit SimTraining(const SimTrainingOptions& options);
+
+  SimEngine* engine() { return &engine_; }
+  const SimTrainingOptions& options() const { return options_; }
+  int num_workers() const { return options_.num_workers; }
+  const CostModel& cost() const { return *cost_; }
+  const Model& model() const { return *model_; }
+  size_t num_params() const { return model_->NumParams(); }
+  Rng* rng() { return &rng_; }
+
+  /// Samples the duration of `worker`'s next local computation (base
+  /// compute time x heterogeneity slowdown).
+  double SampleComputeSeconds(int worker);
+
+  /// Worker-replica parameter access.
+  std::vector<float>& params(int worker);
+  const std::vector<float>& params(int worker) const;
+
+  /// Records the worker's current params as the model version its in-flight
+  /// gradient will be computed against (the "read model").
+  void TakeSnapshot(int worker);
+  const std::vector<float>& snapshot(int worker) const;
+
+  /// Draws the worker's next mini-batch and computes the gradient at its
+  /// snapshot. Returns the batch loss (0 in timing-only mode, where the
+  /// math is skipped and `grad` is zeroed).
+  float GradientAtSnapshot(int worker, std::vector<float>* grad);
+
+  /// Same, but at arbitrary parameters (PS strategies evaluate at the
+  /// pulled global model).
+  float GradientAt(int worker, const float* at, std::vector<float>* grad);
+
+  /// SGD step on the worker's replica (local momentum state).
+  void LocalStep(int worker, const float* grad, double lr_scale = 1.0);
+
+  /// The worker replica's optimizer (momentum-averaging ablation).
+  Sgd* optimizer(int worker);
+
+  /// SGD step on an arbitrary parameter vector using the given optimizer
+  /// (PS strategies own a server-side optimizer).
+  void StepWith(Sgd* opt, const float* grad, std::vector<float>* params,
+                double lr_scale = 1.0);
+
+  /// Creates a server-side optimizer with the run's SGD options.
+  std::unique_ptr<Sgd> MakeOptimizer() const;
+
+  /// Worker iteration counters (dynamic partial reduce advances these).
+  int64_t iteration(int worker) const;
+  void set_iteration(int worker, int64_t it);
+  void increment_iteration(int worker);
+
+  /// Registers one global update (aggregation event). Triggers periodic
+  /// evaluation and stop-condition checks.
+  void RecordUpdate();
+  size_t updates() const { return updates_; }
+
+  /// Idle accounting: call when `worker` starts/stops waiting on
+  /// synchronization (barrier or group wait), at current engine time.
+  void MarkWaitStart(int worker);
+  void MarkWaitEnd(int worker);
+
+  /// Counts a discarded gradient (PS-BK).
+  void CountWastedGradient() { ++wasted_gradients_; }
+
+  /// The activity timeline, or null when record_timeline is off. Idle
+  /// intervals are appended automatically by MarkWaitEnd; strategies record
+  /// compute/comm via RecordActivity.
+  Timeline* timeline() { return timeline_.get(); }
+
+  /// Records a compute/comm interval when the timeline is enabled
+  /// (otherwise a no-op, so strategies can call it unconditionally).
+  void RecordActivity(int worker, WorkerActivity activity, double begin,
+                      double end);
+
+  /// Overrides which parameters are evaluated for convergence. Default:
+  /// elementwise mean over all worker replicas (Alg. 2 line 8). PS
+  /// strategies point this at the global model.
+  void SetEvalProvider(std::function<const float*()> provider);
+
+  /// Forces evaluation now (used once at the end of a run).
+  void EvaluateNow();
+
+  bool stopped() const { return stopped_; }
+  void Stop() { stopped_ = true; }
+
+  /// Builds the result record; finalizes idle accounting at current time.
+  SimRunResult BuildResult(const std::string& strategy_name);
+
+  const Dataset& test_set() const { return split_.test; }
+
+ private:
+  struct WorkerState {
+    std::vector<float> params;
+    std::vector<float> snapshot;
+    std::unique_ptr<Sgd> optimizer;
+    std::unique_ptr<BatchSampler> sampler;
+    int64_t iteration = 0;
+    double wait_started = -1.0;  ///< -1 when not waiting
+    double total_wait = 0.0;
+  };
+
+  void MaybeEvaluate();
+  const float* EvalParams();
+  double CurrentLr() const;
+
+  SimTrainingOptions options_;
+  SimEngine engine_;
+  Rng rng_;
+  TrainTestSplit split_;
+  std::unique_ptr<Model> model_;
+  std::unique_ptr<CostModel> cost_;
+  std::unique_ptr<HeterogeneityModel> hetero_;
+  std::vector<WorkerState> workers_;
+  std::unique_ptr<Timeline> timeline_;
+  std::function<const float*()> eval_provider_;
+  std::vector<float> eval_scratch_;
+
+  size_t updates_ = 0;
+  size_t gradients_computed_ = 0;
+  double last_update_time_ = 0.0;
+  bool stopped_ = false;
+  bool converged_ = false;
+  double best_accuracy_ = 0.0;
+  double final_accuracy_ = 0.0;
+  double final_loss_ = 0.0;
+  std::vector<CurvePoint> curve_;
+  SampleSet update_intervals_;
+  size_t wasted_gradients_ = 0;
+};
+
+}  // namespace pr

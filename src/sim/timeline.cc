@@ -1,0 +1,82 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pr {
+
+char ActivityChar(WorkerActivity activity) {
+  switch (activity) {
+    case WorkerActivity::kCompute:
+      return '#';
+    case WorkerActivity::kComm:
+      return '=';
+    case WorkerActivity::kIdle:
+      return '.';
+  }
+  return '?';
+}
+
+Timeline::Timeline(int num_workers) : num_workers_(num_workers) {
+  PR_CHECK_GE(num_workers, 1);
+}
+
+void Timeline::Record(int worker, WorkerActivity activity, double begin,
+                      double end) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, num_workers_);
+  PR_CHECK_LE(begin, end);
+  if (begin == end) return;  // zero-length intervals carry no information
+  intervals_.push_back(TimelineInterval{worker, activity, begin, end});
+}
+
+double Timeline::TotalTime(int worker, WorkerActivity activity) const {
+  double total = 0.0;
+  for (const TimelineInterval& iv : intervals_) {
+    if (iv.worker == worker && iv.activity == activity) {
+      total += iv.duration();
+    }
+  }
+  return total;
+}
+
+double Timeline::EndTime() const {
+  double end = 0.0;
+  for (const TimelineInterval& iv : intervals_) end = std::max(end, iv.end);
+  return end;
+}
+
+std::string Timeline::RenderAscii(double t0, double t1, int cols) const {
+  PR_CHECK_LT(t0, t1);
+  PR_CHECK_GE(cols, 1);
+  const double cell = (t1 - t0) / static_cast<double>(cols);
+
+  std::ostringstream out;
+  for (int w = 0; w < num_workers_; ++w) {
+    out << "w" << w << (w < 10 ? " " : "") << "|";
+    for (int c = 0; c < cols; ++c) {
+      const double cb = t0 + cell * c;
+      const double ce = cb + cell;
+      // Dominant activity by covered duration within the cell.
+      double cover[3] = {0.0, 0.0, 0.0};
+      for (const TimelineInterval& iv : intervals_) {
+        if (iv.worker != w) continue;
+        const double lo = std::max(cb, iv.begin);
+        const double hi = std::min(ce, iv.end);
+        if (hi > lo) cover[static_cast<int>(iv.activity)] += hi - lo;
+      }
+      int best = -1;
+      for (int a = 0; a < 3; ++a) {
+        if (cover[a] > 0.0 && (best < 0 || cover[a] > cover[best])) best = a;
+      }
+      out << (best < 0 ? ' '
+                       : ActivityChar(static_cast<WorkerActivity>(best)));
+    }
+    out << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace pr

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pr {
+
+/// \brief What a worker is doing during an interval of virtual time.
+enum class WorkerActivity {
+  kCompute,  ///< local forward/backward
+  kComm,     ///< participating in a collective / transfer
+  kIdle,     ///< blocked on a barrier or waiting for a group
+};
+
+/// Single-character tag used by the ASCII rendering ('#', '=', '.').
+char ActivityChar(WorkerActivity activity);
+
+/// \brief One recorded interval.
+struct TimelineInterval {
+  int worker = -1;
+  WorkerActivity activity = WorkerActivity::kCompute;
+  double begin = 0.0;
+  double end = 0.0;
+
+  double duration() const { return end - begin; }
+};
+
+/// \brief Per-worker activity record of a simulated run.
+///
+/// This is the data behind the paper's Fig. 3: blue (compute) / green
+/// (idle) / arrow (communication) blocks per worker. Strategies record
+/// compute and communication intervals; idle intervals come from the
+/// trainer's wait accounting. RenderAscii draws the classic Gantt:
+///
+///   w0 |#####==...####==|
+///   w1 |###==..######==.|
+class Timeline {
+ public:
+  explicit Timeline(int num_workers);
+
+  int num_workers() const { return num_workers_; }
+
+  /// Records one interval; begin <= end, worker in range.
+  void Record(int worker, WorkerActivity activity, double begin, double end);
+
+  const std::vector<TimelineInterval>& intervals() const {
+    return intervals_;
+  }
+
+  /// Total recorded time of `activity` for `worker`.
+  double TotalTime(int worker, WorkerActivity activity) const;
+
+  /// Latest interval end across all workers (0 when empty).
+  double EndTime() const;
+
+  /// Renders the window [t0, t1] as an ASCII Gantt with `cols` columns per
+  /// worker row. Cells covered by several activities show the dominant one
+  /// (by covered duration); uncovered cells render as spaces.
+  std::string RenderAscii(double t0, double t1, int cols) const;
+
+ private:
+  int num_workers_;
+  std::vector<TimelineInterval> intervals_;
+};
+
+}  // namespace pr

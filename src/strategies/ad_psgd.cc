@@ -1,0 +1,71 @@
+#include "strategies/ad_psgd.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "core/aggregate.h"
+#include "core/weight_generator.h"
+
+namespace pr {
+
+AdPsgdStrategy::AdPsgdStrategy(SimTraining* ctx) : ctx_(ctx) {
+  PR_CHECK(ctx != nullptr);
+  PR_CHECK_GE(ctx->num_workers(), 2);
+  comm_busy_.assign(static_cast<size_t>(ctx->num_workers()), 0.0);
+}
+
+void AdPsgdStrategy::Start() {
+  for (int w = 0; w < ctx_->num_workers(); ++w) BeginCompute(w);
+}
+
+void AdPsgdStrategy::BeginCompute(int worker) {
+  ctx_->TakeSnapshot(worker);
+  const double d = ctx_->SampleComputeSeconds(worker);
+  ctx_->engine()->ScheduleAfter(d, [this, worker] {
+    OnGradientReady(worker);
+  });
+}
+
+void AdPsgdStrategy::OnGradientReady(int worker) {
+  // Gradient at the snapshot taken before the (possibly concurrent)
+  // averages peers performed on our model.
+  auto grad = std::make_shared<std::vector<float>>();
+  ctx_->GradientAtSnapshot(worker, grad.get());
+
+  // Uniform random peer, independent of its state.
+  int peer = worker;
+  while (peer == worker) {
+    peer = static_cast<int>(ctx_->rng()->UniformInt(
+        static_cast<uint64_t>(ctx_->num_workers())));
+  }
+
+  // The atomic average is CPU-staged (host-memory model copies) under the
+  // global atomicity lock, and additionally holds both endpoints' channels;
+  // conflicting averages queue behind each other.
+  const double now = ctx_->engine()->now();
+  const double start = std::max(
+      {now, atomic_lock_busy_, comm_busy_[static_cast<size_t>(worker)],
+       comm_busy_[static_cast<size_t>(peer)]});
+  const double done = start + ctx_->cost().AtomicPairAverageSeconds();
+  atomic_lock_busy_ = done;
+  comm_busy_[static_cast<size_t>(worker)] = done;
+  comm_busy_[static_cast<size_t>(peer)] = done;
+  ctx_->MarkWaitStart(worker);
+  ctx_->engine()->ScheduleAt(done, [this, worker, peer, grad] {
+    ctx_->MarkWaitEnd(worker);
+    // Atomic average of the two current models (peer may be mid-compute;
+    // its in-flight gradient becomes inconsistent — by design).
+    std::vector<float*> models = {ctx_->params(worker).data(),
+                                  ctx_->params(peer).data()};
+    WeightedAverageInPlace(models, ConstantWeights(2), ctx_->num_params());
+    // Apply our (now slightly stale) gradient to our averaged model.
+    ctx_->LocalStep(worker, grad->data());
+    ctx_->increment_iteration(worker);
+    ctx_->RecordUpdate();
+    if (ctx_->stopped()) return;
+    BeginCompute(worker);
+  });
+}
+
+}  // namespace pr

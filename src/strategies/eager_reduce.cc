@@ -1,0 +1,81 @@
+#include "strategies/eager_reduce.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace pr {
+
+EagerReduceStrategy::EagerReduceStrategy(SimTraining* ctx,
+                                         const StrategyOptions& options)
+    : ctx_(ctx) {
+  PR_CHECK(ctx != nullptr);
+  const int n = ctx->num_workers();
+  quorum_ = options.er_quorum > 0 ? options.er_quorum : n / 2 + 1;
+  PR_CHECK_GE(quorum_, 1);
+  PR_CHECK_LE(quorum_, n);
+  global_ = ctx->params(0);  // all replicas share the initialization
+  opt_ = ctx->MakeOptimizer();
+  last_grad_.assign(static_cast<size_t>(n),
+                    std::vector<float>(ctx->num_params(), 0.0f));
+  fresh_.assign(static_cast<size_t>(n), false);
+  ctx_->SetEvalProvider([this]() { return global_.data(); });
+}
+
+void EagerReduceStrategy::Start() {
+  for (int w = 0; w < ctx_->num_workers(); ++w) BeginCompute(w);
+}
+
+void EagerReduceStrategy::BeginCompute(int worker) {
+  // The worker reads the current global model; if rounds advance while it
+  // computes, its eventual gradient is stale — and meanwhile its *previous*
+  // gradient keeps being applied. Both effects are ER's failure mode.
+  ctx_->params(worker) = global_;
+  const double d = ctx_->SampleComputeSeconds(worker);
+  ctx_->engine()->ScheduleAfter(d, [this, worker] {
+    OnGradientReady(worker);
+  });
+}
+
+void EagerReduceStrategy::OnGradientReady(int worker) {
+  ctx_->GradientAt(worker, ctx_->params(worker).data(),
+                   &last_grad_[static_cast<size_t>(worker)]);
+  if (!fresh_[static_cast<size_t>(worker)]) {
+    fresh_[static_cast<size_t>(worker)] = true;
+    ++fresh_count_;
+  }
+  ctx_->MarkWaitStart(worker);
+  waiting_.push_back(worker);
+
+  if (fresh_count_ >= quorum_ && !closing_) {
+    closing_ = true;
+    const double reduce = ctx_->cost().ExposedGradientCommSeconds(
+        ctx_->cost().RingAllReduceSeconds(ctx_->num_workers()));
+    ctx_->engine()->ScheduleAfter(reduce, [this] { OnReduceDone(); });
+  }
+}
+
+void EagerReduceStrategy::OnReduceDone() {
+  // The collective runs over every worker's buffer: fresh gradients from
+  // this round plus stragglers' previously deposited (stale) ones.
+  const size_t n = ctx_->num_params();
+  std::vector<float> mean(n, 0.0f);
+  for (const auto& g : last_grad_) {
+    Axpy(1.0f / static_cast<float>(ctx_->num_workers()), g.data(),
+         mean.data(), n);
+  }
+  ctx_->StepWith(opt_.get(), mean.data(), &global_);
+  std::fill(fresh_.begin(), fresh_.end(), false);
+  fresh_count_ = 0;
+  closing_ = false;
+  ctx_->RecordUpdate();
+
+  std::vector<int> resume;
+  resume.swap(waiting_);
+  for (int w : resume) ctx_->MarkWaitEnd(w);
+  if (ctx_->stopped()) return;
+  for (int w : resume) BeginCompute(w);
+}
+
+}  // namespace pr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "optim/sgd.h"
+#include "strategies/strategy.h"
+
+namespace pr {
+
+/// \brief Eager-Reduce baseline (Li et al., PPoPP'20): partial collective
+/// operations over *gradients*.
+///
+/// A synchronized global model advances in rounds; a round closes as soon as
+/// a quorum (default majority) of *fresh* gradients has been deposited.
+/// Workers still computing when the round closes contribute their most
+/// recently deposited gradient again (eager-SGD's solo/majority collectives
+/// reuse the straggler's buffered gradient; empty until it first deposits) —
+/// the "accumulated/empty gradients" relaxation. This keeps rounds fast
+/// (quorum-th arrival, not max-of-N) but repeatedly applies outdated
+/// gradients, which is why the paper finds ER cannot reach the accuracy
+/// thresholds (Table 1 "N/A", Fig. 7a).
+class EagerReduceStrategy : public Strategy {
+ public:
+  EagerReduceStrategy(SimTraining* ctx, const StrategyOptions& options);
+
+  void Start() override;
+  std::string Name() const override { return "ER"; }
+
+ private:
+  void BeginCompute(int worker);
+  void OnGradientReady(int worker);
+  void OnReduceDone();
+
+  SimTraining* ctx_;
+  int quorum_;
+  std::vector<float> global_;
+  std::unique_ptr<Sgd> opt_;
+  /// Most recent gradient deposited by each worker (zero until the first);
+  /// stragglers' entries are re-applied in rounds they miss.
+  std::vector<std::vector<float>> last_grad_;
+  /// Workers that deposited a fresh gradient in the open round.
+  std::vector<bool> fresh_;
+  int fresh_count_ = 0;
+  bool closing_ = false;      ///< a round's collective is in flight
+  std::vector<int> waiting_;  ///< depositors idle until the round closes
+};
+
+}  // namespace pr

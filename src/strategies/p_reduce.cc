@@ -1,0 +1,147 @@
+#include "strategies/p_reduce.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "core/aggregate.h"
+
+namespace pr {
+
+PReduceStrategy::PReduceStrategy(SimTraining* ctx,
+                                 const StrategyOptions& options)
+    : ctx_(ctx), options_(options) {
+  PR_CHECK(ctx != nullptr);
+  ControllerOptions copts;
+  copts.num_workers = ctx->num_workers();
+  copts.group_size = options.group_size;
+  copts.mode = options.kind == StrategyKind::kPReduceDynamic
+                   ? PartialReduceMode::kDynamic
+                   : PartialReduceMode::kConstant;
+  copts.dynamic = options.dynamic;
+  copts.frozen_avoidance = options.frozen_avoidance;
+  copts.history_window = options.history_window;
+  copts.record_sync_matrices = options.record_sync_matrices;
+  controller_ = std::make_unique<Controller>(copts);
+
+  leave_requested_.assign(static_cast<size_t>(ctx->num_workers()), false);
+  active_.assign(static_cast<size_t>(ctx->num_workers()), true);
+  active_count_ = ctx->num_workers();
+}
+
+std::string PReduceStrategy::Name() const {
+  return options_.kind == StrategyKind::kPReduceDynamic ? "DYN" : "CON";
+}
+
+void PReduceStrategy::Start() {
+  for (int w = 0; w < ctx_->num_workers(); ++w) BeginCompute(w);
+
+  // Elastic membership schedule: leaves take effect at the worker's next
+  // gradient boundary; joins resume the worker with its last-held model.
+  for (const ChurnEvent& event : options_.churn) {
+    PR_CHECK_GE(event.worker, 0);
+    PR_CHECK_LT(event.worker, ctx_->num_workers());
+    ctx_->engine()->ScheduleAt(event.time, [this, event] {
+      const size_t w = static_cast<size_t>(event.worker);
+      if (event.leave) {
+        PR_CHECK(active_[w]) << "leave for already-departed worker";
+        leave_requested_[w] = true;
+      } else {
+        PR_CHECK(!active_[w]) << "join for already-active worker";
+        active_[w] = true;
+        ++active_count_;
+        leave_requested_[w] = false;
+        HandleDecisions(controller_->NotifyWorkerRejoined(event.worker));
+        if (!ctx_->stopped()) BeginCompute(event.worker);
+      }
+    });
+  }
+}
+
+void PReduceStrategy::BeginCompute(int worker) {
+  // Gradient is computed against the worker's current (post-reduce) model.
+  ctx_->TakeSnapshot(worker);
+  const double d = ctx_->SampleComputeSeconds(worker);
+  ctx_->RecordActivity(worker, WorkerActivity::kCompute,
+                       ctx_->engine()->now(), ctx_->engine()->now() + d);
+  ctx_->engine()->ScheduleAfter(d, [this, worker] {
+    OnGradientReady(worker);
+  });
+}
+
+void PReduceStrategy::OnGradientReady(int worker) {
+  // Alg. 2 lines 3-5: local update, then signal the controller.
+  std::vector<float> grad;
+  ctx_->GradientAtSnapshot(worker, &grad);
+  ctx_->LocalStep(worker, grad.data());
+  ctx_->increment_iteration(worker);
+
+  if (leave_requested_[static_cast<size_t>(worker)]) {
+    // Gradient boundary: this worker departs instead of signaling.
+    leave_requested_[static_cast<size_t>(worker)] = false;
+    active_[static_cast<size_t>(worker)] = false;
+    --active_count_;
+    PR_CHECK_GE(active_count_, options_.group_size)
+        << "churn dropped the cluster below the group size";
+    HandleDecisions(controller_->NotifyWorkerLeft(worker));
+    return;
+  }
+
+  ctx_->MarkWaitStart(worker);
+  ctx_->engine()->ScheduleAfter(ctx_->cost().controller_delay(),
+                                [this, worker] { OnSignalArrival(worker); });
+}
+
+void PReduceStrategy::OnSignalArrival(int worker) {
+  HandleDecisions(
+      controller_->OnReadySignal(worker, ctx_->iteration(worker)));
+}
+
+void PReduceStrategy::HandleDecisions(
+    const std::vector<GroupDecision>& decisions) {
+  for (const GroupDecision& decision : decisions) {
+    // Group formed: members leave the wait state and spend the group-info
+    // delay plus the P-member ring reduce communicating. Groups synchronize
+    // in parallel — nothing here blocks other workers or other groups.
+    for (int m : decision.members) ctx_->MarkWaitEnd(m);
+    const double comm = ctx_->cost().controller_delay() +
+                        ctx_->cost().RingAllReduceSeconds(
+                            static_cast<int>(decision.members.size()));
+    for (int m : decision.members) {
+      ctx_->RecordActivity(m, WorkerActivity::kComm, ctx_->engine()->now(),
+                           ctx_->engine()->now() + comm);
+    }
+    ctx_->engine()->ScheduleAfter(
+        comm, [this, d = decision] { OnGroupReduceDone(d); });
+  }
+}
+
+void PReduceStrategy::OnGroupReduceDone(const GroupDecision& decision) {
+  std::vector<float*> models;
+  models.reserve(decision.members.size());
+  for (int m : decision.members) models.push_back(ctx_->params(m).data());
+  WeightedAverageInPlace(models, decision.weights, ctx_->num_params());
+
+  if (options_.average_momentum) {
+    // Ablation: merge optimizer state with the same weights (the paper
+    // keeps momentum local).
+    std::vector<float*> velocities;
+    velocities.reserve(decision.members.size());
+    for (int m : decision.members) {
+      velocities.push_back(ctx_->optimizer(m)->mutable_velocity()->data());
+    }
+    WeightedAverageInPlace(velocities, decision.weights, ctx_->num_params());
+  }
+
+  if (options_.kind == StrategyKind::kPReduceDynamic) {
+    // §3.3.3: members adopt the group's max iteration — their models now
+    // reflect the newest information in the group.
+    for (int m : decision.members) {
+      ctx_->set_iteration(m, decision.advanced_iteration);
+    }
+  }
+  ctx_->RecordUpdate();
+  if (ctx_->stopped()) return;
+  for (int m : decision.members) BeginCompute(m);
+}
+
+}  // namespace pr

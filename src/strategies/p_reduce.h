@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+
+#include "strategies/strategy.h"
+
+namespace pr {
+
+/// \brief The paper's contribution: partial reduce (Alg. 2).
+///
+/// Each worker loops independently: compute gradient -> local SGD step ->
+/// ready signal to the controller -> wait for a group of P -> weighted model
+/// average with the group -> next iteration. Groups form from the P oldest
+/// ready signals (with frozen-avoidance bridging) and synchronize *in
+/// parallel* with other groups and with other workers' computation — no
+/// global barrier ever forms. Constant mode averages with 1/P; dynamic mode
+/// uses staleness-aware EMA weights and fast-forwards members' iteration
+/// counters to the group max.
+class PReduceStrategy : public Strategy {
+ public:
+  PReduceStrategy(SimTraining* ctx, const StrategyOptions& options);
+
+  void Start() override;
+  std::string Name() const override;
+  const Controller* controller() const override { return controller_.get(); }
+
+ private:
+  void BeginCompute(int worker);
+  void OnGradientReady(int worker);
+  void OnSignalArrival(int worker);
+  void OnGroupReduceDone(const GroupDecision& decision);
+  void HandleDecisions(const std::vector<GroupDecision>& decisions);
+
+  SimTraining* ctx_;
+  StrategyOptions options_;
+  std::unique_ptr<Controller> controller_;
+  /// Elastic membership: pending leave requests (applied at the worker's
+  /// next gradient boundary) and current activity flags.
+  std::vector<bool> leave_requested_;
+  std::vector<bool> active_;
+  int active_count_ = 0;
+};
+
+}  // namespace pr

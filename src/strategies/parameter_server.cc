@@ -1,0 +1,230 @@
+#include "strategies/parameter_server.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace pr {
+
+// ---------------------------------------------------------------------------
+// PS-BSP
+// ---------------------------------------------------------------------------
+
+PsBspStrategy::PsBspStrategy(SimTraining* ctx) : ctx_(ctx) {
+  PR_CHECK(ctx != nullptr);
+  global_ = ctx->params(0);
+  opt_ = ctx->MakeOptimizer();
+  grads_.resize(static_cast<size_t>(ctx->num_workers()));
+  ctx_->SetEvalProvider([this]() { return global_.data(); });
+}
+
+void PsBspStrategy::Start() { StartRound(); }
+
+void PsBspStrategy::StartRound() {
+  for (int w = 0; w < ctx_->num_workers(); ++w) {
+    const double done = link_.Acquire(ctx_->engine()->now(),
+                                      ctx_->cost().PsTransferSeconds());
+    ctx_->engine()->ScheduleAt(done, [this, w] { OnPullDone(w); });
+  }
+}
+
+void PsBspStrategy::OnPullDone(int worker) {
+  ctx_->params(worker) = global_;
+  const double d = ctx_->SampleComputeSeconds(worker);
+  ctx_->engine()->ScheduleAfter(d, [this, worker] { OnComputeDone(worker); });
+}
+
+void PsBspStrategy::OnComputeDone(int worker) {
+  ctx_->GradientAt(worker, ctx_->params(worker).data(),
+                   &grads_[static_cast<size_t>(worker)]);
+  // Gradient push: bucketed overlap (when configured) hides part of it.
+  const double done = link_.Acquire(
+      ctx_->engine()->now(),
+      ctx_->cost().ExposedGradientCommSeconds(
+          ctx_->cost().PsTransferSeconds()));
+  ctx_->engine()->ScheduleAt(done, [this, worker] { OnPushDone(worker); });
+}
+
+void PsBspStrategy::OnPushDone(int worker) {
+  ctx_->MarkWaitStart(worker);
+  ctx_->increment_iteration(worker);
+  if (++arrived_ < ctx_->num_workers()) return;
+
+  // Barrier: server averages all N gradients and advances the model.
+  arrived_ = 0;
+  const size_t n = ctx_->num_params();
+  std::vector<float> mean(n, 0.0f);
+  const float w = 1.0f / static_cast<float>(ctx_->num_workers());
+  for (const auto& g : grads_) Axpy(w, g.data(), mean.data(), n);
+  ctx_->StepWith(opt_.get(), mean.data(), &global_);
+  ctx_->RecordUpdate();
+  for (int i = 0; i < ctx_->num_workers(); ++i) ctx_->MarkWaitEnd(i);
+  if (ctx_->stopped()) return;
+  StartRound();
+}
+
+// ---------------------------------------------------------------------------
+// PS-ASP / PS-HETE
+// ---------------------------------------------------------------------------
+
+PsAsyncStrategy::PsAsyncStrategy(SimTraining* ctx, bool staleness_aware)
+    : ctx_(ctx), staleness_aware_(staleness_aware) {
+  PR_CHECK(ctx != nullptr);
+  global_ = ctx->params(0);
+  opt_ = ctx->MakeOptimizer();
+  pulled_version_.resize(static_cast<size_t>(ctx->num_workers()), 0);
+  pending_grad_.resize(static_cast<size_t>(ctx->num_workers()));
+  ctx_->SetEvalProvider([this]() { return global_.data(); });
+}
+
+void PsAsyncStrategy::Start() {
+  for (int w = 0; w < ctx_->num_workers(); ++w) BeginLoop(w);
+}
+
+void PsAsyncStrategy::BeginLoop(int worker) {
+  const double done = link_.Acquire(ctx_->engine()->now(),
+                                    ctx_->cost().PsTransferSeconds());
+  ctx_->engine()->ScheduleAt(done, [this, worker] { OnPullDone(worker); });
+}
+
+void PsAsyncStrategy::OnPullDone(int worker) {
+  ctx_->params(worker) = global_;
+  pulled_version_[static_cast<size_t>(worker)] = version_;
+  const double d = ctx_->SampleComputeSeconds(worker);
+  ctx_->engine()->ScheduleAfter(d, [this, worker] { OnComputeDone(worker); });
+}
+
+void PsAsyncStrategy::OnComputeDone(int worker) {
+  ctx_->GradientAt(worker, ctx_->params(worker).data(),
+                   &pending_grad_[static_cast<size_t>(worker)]);
+  // Gradient push: bucketed overlap (when configured) hides part of it.
+  const double done = link_.Acquire(
+      ctx_->engine()->now(),
+      ctx_->cost().ExposedGradientCommSeconds(
+          ctx_->cost().PsTransferSeconds()));
+  ctx_->engine()->ScheduleAt(done, [this, worker] { OnPushDone(worker); });
+}
+
+void PsAsyncStrategy::OnPushDone(int worker) {
+  const uint64_t staleness =
+      version_ - pulled_version_[static_cast<size_t>(worker)];
+  // Standard async LR scaling: each push applies a single worker's gradient
+  // (BSP applies the *mean* of N per round), so per-push steps carry 1/N of
+  // the base rate to keep the aggregate movement per data pass comparable.
+  double scale = 1.0 / static_cast<double>(ctx_->num_workers());
+  if (staleness_aware_) {
+    // PS-HETE: additionally damp gradients staler than asynchrony itself
+    // implies (~N-1 versions) — the heterogeneity-aware learning rate.
+    scale *= ExcessStalenessLrScale(
+        staleness, static_cast<size_t>(ctx_->num_workers()));
+  }
+  ctx_->StepWith(opt_.get(),
+                 pending_grad_[static_cast<size_t>(worker)].data(), &global_,
+                 scale);
+  ++version_;
+  ctx_->increment_iteration(worker);
+  ctx_->RecordUpdate();
+  if (ctx_->stopped()) return;
+  BeginLoop(worker);
+}
+
+// ---------------------------------------------------------------------------
+// PS-BK (backup workers)
+// ---------------------------------------------------------------------------
+
+PsBackupStrategy::PsBackupStrategy(SimTraining* ctx, int backup_workers)
+    : ctx_(ctx) {
+  PR_CHECK(ctx != nullptr);
+  PR_CHECK_GE(backup_workers, 0);
+  PR_CHECK_LT(backup_workers, ctx->num_workers());
+  accept_count_ = ctx->num_workers() - backup_workers;
+  global_ = ctx->params(0);
+  opt_ = ctx->MakeOptimizer();
+  pulled_version_.resize(static_cast<size_t>(ctx->num_workers()), 0);
+  pending_grad_.resize(static_cast<size_t>(ctx->num_workers()));
+  round_sum_.assign(ctx->num_params(), 0.0f);
+  computing_.resize(static_cast<size_t>(ctx->num_workers()), false);
+  compute_epoch_.resize(static_cast<size_t>(ctx->num_workers()), 0);
+  ctx_->SetEvalProvider([this]() { return global_.data(); });
+}
+
+void PsBackupStrategy::Start() {
+  for (int w = 0; w < ctx_->num_workers(); ++w) BeginLoop(w);
+}
+
+void PsBackupStrategy::BeginLoop(int worker) {
+  const double done = link_.Acquire(ctx_->engine()->now(),
+                                    ctx_->cost().PsTransferSeconds());
+  ctx_->engine()->ScheduleAt(done, [this, worker] { OnPullDone(worker); });
+}
+
+void PsBackupStrategy::OnPullDone(int worker) {
+  ctx_->params(worker) = global_;
+  pulled_version_[static_cast<size_t>(worker)] = version_;
+  computing_[static_cast<size_t>(worker)] = true;
+  const uint64_t epoch = compute_epoch_[static_cast<size_t>(worker)];
+  const double d = ctx_->SampleComputeSeconds(worker);
+  ctx_->engine()->ScheduleAfter(
+      d, [this, worker, epoch] { OnComputeDone(worker, epoch); });
+}
+
+void PsBackupStrategy::OnComputeDone(int worker, uint64_t epoch) {
+  if (epoch != compute_epoch_[static_cast<size_t>(worker)]) {
+    // Aborted at a round boundary; the restart already re-pulled.
+    return;
+  }
+  computing_[static_cast<size_t>(worker)] = false;
+  ctx_->GradientAt(worker, ctx_->params(worker).data(),
+                   &pending_grad_[static_cast<size_t>(worker)]);
+  // Gradient push: bucketed overlap (when configured) hides part of it.
+  const double done = link_.Acquire(
+      ctx_->engine()->now(),
+      ctx_->cost().ExposedGradientCommSeconds(
+          ctx_->cost().PsTransferSeconds()));
+  ctx_->engine()->ScheduleAt(done, [this, worker] { OnPushDone(worker); });
+}
+
+void PsBackupStrategy::OnPushDone(int worker) {
+  ctx_->increment_iteration(worker);
+  if (pulled_version_[static_cast<size_t>(worker)] != version_) {
+    // Straggler: its gradient targets an old version — dropped (the
+    // "backup workers do not contribute" behaviour). It re-pulls the
+    // current model and rejoins immediately.
+    ctx_->CountWastedGradient();
+    if (!ctx_->stopped()) BeginLoop(worker);
+    return;
+  }
+  Axpy(1.0f, pending_grad_[static_cast<size_t>(worker)].data(),
+       round_sum_.data(), round_sum_.size());
+  waiting_for_round_.push_back(worker);
+  if (++round_accepted_ < accept_count_) return;
+
+  // Round closes: average the accepted gradients, advance the version, and
+  // release everyone who contributed (synchronous semantics — a worker
+  // contributes at most once per version).
+  Scale(1.0f / static_cast<float>(round_accepted_), round_sum_.data(),
+        round_sum_.size());
+  ctx_->StepWith(opt_.get(), round_sum_.data(), &global_);
+  std::memset(round_sum_.data(), 0, round_sum_.size() * sizeof(float));
+  round_accepted_ = 0;
+  ++version_;
+  ctx_->RecordUpdate();
+  std::vector<int> resume;
+  resume.swap(waiting_for_round_);
+  if (ctx_->stopped()) return;
+  for (int w : resume) BeginLoop(w);
+  // Backup workers still computing against the stale version abort and
+  // re-pull now (version-flag check); their partial work is wasted.
+  for (int w = 0; w < ctx_->num_workers(); ++w) {
+    if (computing_[static_cast<size_t>(w)] &&
+        pulled_version_[static_cast<size_t>(w)] != version_) {
+      ++compute_epoch_[static_cast<size_t>(w)];
+      computing_[static_cast<size_t>(w)] = false;
+      ctx_->CountWastedGradient();
+      BeginLoop(w);
+    }
+  }
+}
+
+}  // namespace pr

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "optim/sgd.h"
+#include "sim/cost_model.h"
+#include "strategies/strategy.h"
+
+namespace pr {
+
+/// Parameter-server baselines (§2.2, §5.1). All three share the same
+/// pull -> compute -> push worker loop over a central model behind a shared
+/// link (PsLinkQueue models the ingress/egress bottleneck); they differ in
+/// the server's consistency protocol.
+
+/// \brief PS with bulk synchronous parallel consistency: a global barrier
+/// per round; the server averages all N gradients before anyone proceeds.
+class PsBspStrategy : public Strategy {
+ public:
+  explicit PsBspStrategy(SimTraining* ctx);
+
+  void Start() override;
+  std::string Name() const override { return "PS-BSP"; }
+
+ private:
+  void StartRound();
+  void OnPullDone(int worker);
+  void OnComputeDone(int worker);
+  void OnPushDone(int worker);
+
+  SimTraining* ctx_;
+  std::vector<float> global_;
+  std::unique_ptr<Sgd> opt_;
+  PsLinkQueue link_;
+  std::vector<std::vector<float>> grads_;
+  int arrived_ = 0;
+};
+
+/// \brief PS with asynchronous consistency (ASP), optionally with the
+/// staleness-damped learning rate of the PS-HETE baseline (Jiang et al.,
+/// SIGMOD'17): each worker's push applies immediately; a gradient computed
+/// `s` server versions ago is scaled by 1/(1+s) in HETE mode.
+class PsAsyncStrategy : public Strategy {
+ public:
+  PsAsyncStrategy(SimTraining* ctx, bool staleness_aware);
+
+  void Start() override;
+  std::string Name() const override {
+    return staleness_aware_ ? "PS-HETE" : "PS-ASP";
+  }
+
+ private:
+  void BeginLoop(int worker);
+  void OnPullDone(int worker);
+  void OnComputeDone(int worker);
+  void OnPushDone(int worker);
+
+  SimTraining* ctx_;
+  bool staleness_aware_;
+  std::vector<float> global_;
+  std::unique_ptr<Sgd> opt_;
+  PsLinkQueue link_;
+  uint64_t version_ = 0;
+  std::vector<uint64_t> pulled_version_;
+  std::vector<std::vector<float>> pending_grad_;
+};
+
+/// \brief Synchronous SGD with backup workers (Chen et al.): each round
+/// accepts the first N - b gradients for the current server version.
+/// When a round closes, stragglers still computing against the old version
+/// *abort* and re-pull (the paper's implementation checks the version flag
+/// to cut wasted work) — without the abort, an out-of-phase worker is
+/// perpetually one version behind and never contributes again. Each abort
+/// or late push is counted as a wasted gradient — the resource-utilization
+/// cost P-Reduce avoids.
+class PsBackupStrategy : public Strategy {
+ public:
+  PsBackupStrategy(SimTraining* ctx, int backup_workers);
+
+  void Start() override;
+  std::string Name() const override { return "PS-BK"; }
+
+ private:
+  void BeginLoop(int worker);
+  void OnPullDone(int worker);
+  void OnComputeDone(int worker, uint64_t epoch);
+  void OnPushDone(int worker);
+
+  SimTraining* ctx_;
+  int accept_count_;  ///< N - b
+  std::vector<float> global_;
+  std::unique_ptr<Sgd> opt_;
+  PsLinkQueue link_;
+  uint64_t version_ = 0;
+  std::vector<uint64_t> pulled_version_;
+  std::vector<std::vector<float>> pending_grad_;
+  std::vector<float> round_sum_;
+  int round_accepted_ = 0;
+  /// Workers whose gradient was accepted this round; they block until the
+  /// round closes (synchronous SGD semantics — one contribution per round).
+  std::vector<int> waiting_for_round_;
+  /// True while the worker's compute event is in flight.
+  std::vector<bool> computing_;
+  /// Bumped to invalidate an in-flight compute event (abort-on-new-version).
+  std::vector<uint64_t> compute_epoch_;
+};
+
+}  // namespace pr

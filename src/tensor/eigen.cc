@@ -1,0 +1,77 @@
+#include "tensor/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pr {
+
+std::vector<double> SymmetricEigenvalues(const std::vector<double>& a,
+                                         size_t n) {
+  PR_CHECK_EQ(a.size(), n * n);
+  std::vector<double> m = a;
+  // Verify symmetry; asymmetric input indicates a bug upstream (W_k matrices
+  // are symmetric by construction).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      PR_CHECK_LE(std::fabs(m[i * n + j] - m[j * n + i]), 1e-9)
+          << "matrix not symmetric at (" << i << "," << j << ")";
+    }
+  }
+
+  constexpr int kMaxSweeps = 100;
+  constexpr double kTol = 1e-13;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    // Sum of squared off-diagonal entries; converged when negligible.
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += m[i * n + j] * m[i * n + j];
+    }
+    if (off < kTol) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m[p * n + p];
+        const double aqq = m[q * n + q];
+        // Classic Jacobi rotation angle.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m[k * n + p];
+          const double mkq = m[k * n + q];
+          m[k * n + p] = c * mkp - s * mkq;
+          m[k * n + q] = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m[p * n + k];
+          const double mqk = m[q * n + k];
+          m[p * n + k] = c * mpk - s * mqk;
+          m[q * n + k] = s * mpk + c * mqk;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eig(n);
+  for (size_t i = 0; i < n; ++i) eig[i] = m[i * n + i];
+  std::sort(eig.begin(), eig.end(), std::greater<double>());
+  return eig;
+}
+
+double SecondLargestEigenvalueMagnitude(const std::vector<double>& a,
+                                        size_t n) {
+  PR_CHECK_GE(n, 2u);
+  std::vector<double> eig = SymmetricEigenvalues(a, n);
+  // eig is sorted descending; lambda_1 is the largest (1 for a stochastic
+  // matrix), lambda_2 = eig[1], lambda_n = eig[n-1].
+  return std::max(std::fabs(eig[1]), std::fabs(eig[n - 1]));
+}
+
+}  // namespace pr

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pr {
+
+/// \brief Eigenvalues of a dense symmetric matrix via the cyclic Jacobi
+/// rotation method.
+///
+/// The spectral-gap analysis (Assumption 2.3 of the paper) needs the
+/// eigenvalues of E[W_k], an N x N symmetric doubly-stochastic matrix with N
+/// at most a few dozen, so an O(N^3)-per-sweep Jacobi solver in double
+/// precision is both simple and more than fast enough.
+///
+/// `a` holds the matrix row-major with `n * n` entries and must be symmetric
+/// (checked to a loose tolerance). Returns eigenvalues sorted descending.
+std::vector<double> SymmetricEigenvalues(const std::vector<double>& a,
+                                         size_t n);
+
+/// \brief Convenience: the second-largest eigenvalue magnitude
+/// max(|lambda_2|, |lambda_n|) of a symmetric stochastic matrix — the paper's
+/// spectral bound rho of Eq. (6).
+double SecondLargestEigenvalueMagnitude(const std::vector<double>& a,
+                                        size_t n);
+
+}  // namespace pr

@@ -1,0 +1,56 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pr {
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  Tensor t;
+  t.shape_ = {values.size()};
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::FromMatrix(size_t rows, size_t cols,
+                          std::vector<float> values) {
+  PR_CHECK_EQ(values.size(), rows * cols);
+  Tensor t;
+  t.shape_ = {rows, cols};
+  t.data_ = std::move(values);
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::FillNormal(Rng* rng, float stddev) {
+  PR_CHECK(rng != nullptr);
+  for (auto& x : data_) x = static_cast<float>(rng->Normal(0.0, stddev));
+}
+
+void Tensor::FillUniform(Rng* rng, float limit) {
+  PR_CHECK(rng != nullptr);
+  for (auto& x : data_) x = static_cast<float>(rng->Uniform(-limit, limit));
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << "x";
+    out << shape_[i];
+  }
+  out << "](";
+  size_t n = std::min<size_t>(data_.size(), 8);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[i];
+  }
+  if (data_.size() > n) out << ", ...";
+  out << ")";
+  return out.str();
+}
+
+}  // namespace pr

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aggregate.h"
+#include "core/weight_generator.h"
+
+namespace pr {
+namespace {
+
+TEST(AggregateTest, WeightedAverageKnownValues) {
+  std::vector<float> a = {1.0f, 2.0f};
+  std::vector<float> b = {3.0f, 6.0f};
+  std::vector<float> out(2);
+  WeightedAverage({a.data(), b.data()}, {0.25, 0.75}, 2, out.data());
+  EXPECT_FLOAT_EQ(out[0], 0.25f * 1 + 0.75f * 3);
+  EXPECT_FLOAT_EQ(out[1], 0.25f * 2 + 0.75f * 6);
+}
+
+TEST(AggregateTest, SingleInputIdentityWeight) {
+  std::vector<float> a = {5.0f, -2.0f};
+  std::vector<float> out(2);
+  WeightedAverage({a.data()}, {1.0}, 2, out.data());
+  EXPECT_EQ(out, a);
+}
+
+TEST(AggregateTest, InPlaceAllMembersGetSameResult) {
+  Rng rng(1);
+  std::vector<std::vector<float>> models(3, std::vector<float>(10));
+  for (auto& m : models) {
+    for (auto& x : m) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  auto originals = models;
+
+  std::vector<float*> ptrs;
+  for (auto& m : models) ptrs.push_back(m.data());
+  WeightedAverageInPlace(ptrs, ConstantWeights(3), 10);
+
+  for (size_t i = 0; i < 10; ++i) {
+    const float expected =
+        (originals[0][i] + originals[1][i] + originals[2][i]) / 3.0f;
+    for (const auto& m : models) EXPECT_NEAR(m[i], expected, 1e-6);
+  }
+}
+
+TEST(AggregateTest, InPlacePreservesMeanUnderUniformWeights) {
+  // Uniform averaging is mass-preserving: sum over workers unchanged.
+  Rng rng(2);
+  std::vector<std::vector<float>> models(4, std::vector<float>(16));
+  double before = 0.0;
+  for (auto& m : models) {
+    for (auto& x : m) {
+      x = static_cast<float>(rng.Normal(0.0, 1.0));
+      before += x;
+    }
+  }
+  std::vector<float*> ptrs;
+  for (auto& m : models) ptrs.push_back(m.data());
+  WeightedAverageInPlace(ptrs, ConstantWeights(4), 16);
+  double after = 0.0;
+  for (const auto& m : models) {
+    for (float x : m) after += x;
+  }
+  EXPECT_NEAR(before, after, 1e-3);
+}
+
+TEST(AggregateTest, ConvexCombinationStaysInRange) {
+  std::vector<float> lo(8, -1.0f), hi(8, 1.0f);
+  std::vector<float*> ptrs = {lo.data(), hi.data()};
+  WeightedAverageInPlace(ptrs, {0.3, 0.7}, 8);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_GE(lo[i], -1.0f);
+    EXPECT_LE(lo[i], 1.0f);
+    EXPECT_FLOAT_EQ(lo[i], hi[i]);
+    EXPECT_NEAR(lo[i], 0.4f, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace pr

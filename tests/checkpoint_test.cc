@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "models/checkpoint.h"
+
+namespace pr {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/pr_ckpt_test_") + name;
+}
+
+TEST(CheckpointTest, RoundTrip) {
+  Rng rng(1);
+  std::vector<float> params(1000);
+  for (auto& p : params) p = static_cast<float>(rng.Normal(0.0, 1.0));
+
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(SaveCheckpoint(path, params).ok());
+  std::vector<float> loaded;
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded).ok());
+  EXPECT_EQ(loaded, params);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, EmptyVectorRoundTrips) {
+  const std::string path = TempPath("empty");
+  ASSERT_TRUE(SaveCheckpoint(path, {}).ok());
+  std::vector<float> loaded = {1.0f};
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded).ok());
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  std::vector<float> loaded;
+  EXPECT_EQ(LoadCheckpoint("/tmp/pr_ckpt_nonexistent_xyz", &loaded).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, BadMagicRejected) {
+  const std::string path = TempPath("badmagic");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACKPTxxxxxxxxxxxxxxxxxxxx";
+  }
+  std::vector<float> loaded;
+  EXPECT_EQ(LoadCheckpoint(path, &loaded).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CorruptedPayloadFailsChecksum) {
+  std::vector<float> params = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::string path = TempPath("corrupt");
+  ASSERT_TRUE(SaveCheckpoint(path, params).ok());
+  // Flip one payload byte in place.
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8 + 8 + 2);  // into the first float
+    char b = 0x7f;
+    f.write(&b, 1);
+  }
+  std::vector<float> loaded;
+  Status st = LoadCheckpoint(path, &loaded);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileRejected) {
+  std::vector<float> params(100, 1.0f);
+  const std::string path = TempPath("trunc");
+  ASSERT_TRUE(SaveCheckpoint(path, params).ok());
+  // Truncate to half size.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  std::vector<float> loaded;
+  EXPECT_FALSE(LoadCheckpoint(path, &loaded).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, Fnv1aKnownValue) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a("", 0), 0xcbf29ce484222325ull);
+  // Differing inputs hash differently.
+  EXPECT_NE(Fnv1a("a", 1), Fnv1a("b", 1));
+}
+
+}  // namespace
+}  // namespace pr

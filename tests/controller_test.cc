@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/spectral.h"
+
+namespace pr {
+namespace {
+
+ControllerOptions BasicOptions(int n, int p) {
+  ControllerOptions opt;
+  opt.num_workers = n;
+  opt.group_size = p;
+  return opt;
+}
+
+TEST(ControllerTest, NoGroupUntilPSignals) {
+  Controller c(BasicOptions(4, 3));
+  EXPECT_TRUE(c.OnReadySignal(0, 1).empty());
+  EXPECT_TRUE(c.OnReadySignal(1, 1).empty());
+  EXPECT_EQ(c.PendingSignals(), 2u);
+  auto decisions = c.OnReadySignal(2, 1);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(c.PendingSignals(), 0u);
+}
+
+TEST(ControllerTest, FifoGroupFormation) {
+  Controller c(BasicOptions(5, 2));
+  c.OnReadySignal(3, 1);
+  auto decisions = c.OnReadySignal(1, 1);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].members, (std::vector<int>{3, 1}));
+}
+
+TEST(ControllerTest, ConstantWeightsAreUniform) {
+  Controller c(BasicOptions(4, 2));
+  c.OnReadySignal(0, 5);
+  auto decisions = c.OnReadySignal(1, 9);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].weights, (std::vector<double>{0.5, 0.5}));
+  EXPECT_EQ(decisions[0].advanced_iteration, 9);
+}
+
+TEST(ControllerTest, DynamicWeightsFavorNewer) {
+  ControllerOptions opt = BasicOptions(4, 2);
+  opt.mode = PartialReduceMode::kDynamic;
+  opt.dynamic.alpha = 0.5;
+  Controller c(opt);
+  c.OnReadySignal(0, 10);
+  auto decisions = c.OnReadySignal(1, 2);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_GT(decisions[0].weights[0], decisions[0].weights[1]);
+  EXPECT_EQ(decisions[0].advanced_iteration, 10);
+}
+
+TEST(ControllerTest, GroupIdsIncrease) {
+  Controller c(BasicOptions(4, 2));
+  c.OnReadySignal(0, 1);
+  auto d1 = c.OnReadySignal(1, 1);
+  c.OnReadySignal(2, 1);
+  auto d2 = c.OnReadySignal(3, 1);
+  ASSERT_EQ(d1.size(), 1u);
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_LT(d1[0].group_id, d2[0].group_id);
+}
+
+TEST(ControllerTest, StatsCountSignalsAndGroups) {
+  Controller c(BasicOptions(4, 2));
+  for (int i = 0; i < 4; ++i) c.OnReadySignal(i, 1);
+  EXPECT_EQ(c.stats().signals_received, 4u);
+  EXPECT_EQ(c.stats().groups_formed, 2u);
+}
+
+/// Drives the controller with the adversarial arrival order 0,1,2,3
+/// repeated: without frozen avoidance this pairs (0,1) and (2,3) forever.
+std::vector<GroupDecision> DriveAdversarial(Controller* c, int rounds) {
+  std::vector<GroupDecision> all;
+  std::vector<int64_t> iter(4, 0);
+  std::set<int> queued;
+  for (int round = 0; round < rounds; ++round) {
+    for (int w : {0, 1, 2, 3}) {
+      if (queued.count(w)) continue;  // still held by the controller
+      auto decisions = c->OnReadySignal(w, ++iter[w]);
+      queued.insert(w);
+      for (auto& d : decisions) {
+        for (int m : d.members) queued.erase(m);
+        all.push_back(std::move(d));
+      }
+    }
+  }
+  return all;
+}
+
+TEST(ControllerTest, FrozenAvoidanceBridgesAdversarialPairs) {
+  Controller c(BasicOptions(4, 2));
+  auto decisions = DriveAdversarial(&c, 20);
+  uint64_t bridged = 0;
+  for (const auto& d : decisions) bridged += d.bridged ? 1 : 0;
+  EXPECT_GT(bridged, 0u);
+  EXPECT_GT(c.stats().frozen_detections, 0u);
+  EXPECT_EQ(c.stats().bridged_groups, bridged);
+}
+
+TEST(ControllerTest, FrozenAvoidanceDisabledNeverBridges) {
+  ControllerOptions opt = BasicOptions(4, 2);
+  opt.frozen_avoidance = false;
+  Controller c(opt);
+  auto decisions = DriveAdversarial(&c, 20);
+  for (const auto& d : decisions) {
+    EXPECT_FALSE(d.bridged);
+    // FIFO on this arrival order always pairs within the speed class.
+    EXPECT_TRUE((d.members == std::vector<int>{0, 1}) ||
+                (d.members == std::vector<int>{2, 3}));
+  }
+  EXPECT_EQ(c.stats().bridged_groups, 0u);
+}
+
+TEST(ControllerTest, BridgedScheduleKeepsSyncGraphConnectedOverTime) {
+  Controller c(BasicOptions(4, 2));
+  auto decisions = DriveAdversarial(&c, 30);
+  SyncGraph global(4);
+  for (const auto& d : decisions) global.AddGroup(d.members);
+  EXPECT_TRUE(global.IsConnected());
+}
+
+TEST(ControllerTest, HeldSignalsReleaseWhenBridgeArrives) {
+  // Freeze the history on pairs {0,1}/{2,3}, then have 0 and 1 queue: the
+  // controller must hold them (single component) and release with a
+  // bridging group when 2 signals.
+  Controller c(BasicOptions(4, 2));
+  c.OnReadySignal(0, 1);
+  c.OnReadySignal(1, 1);
+  c.OnReadySignal(2, 1);
+  c.OnReadySignal(3, 1);
+  c.OnReadySignal(0, 2);
+  c.OnReadySignal(1, 2);  // history now frozen on {0,1},{2,3},{0,1}
+  ASSERT_TRUE(c.history().IsFrozen());
+
+  EXPECT_TRUE(c.OnReadySignal(2, 2).empty());  // pending [2]
+  EXPECT_TRUE(c.OnReadySignal(3, 2).empty())
+      << "queue {2,3} must be held while frozen";
+  EXPECT_EQ(c.PendingSignals(), 2u);
+
+  auto decisions = c.OnReadySignal(0, 3);  // cross-component signal arrives
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].bridged);
+  // The bridging group must span both components.
+  SyncGraph frozen_graph = c.history().BuildSyncGraph();
+  (void)frozen_graph;
+  std::set<int> members(decisions[0].members.begin(),
+                        decisions[0].members.end());
+  EXPECT_TRUE(members.count(0) == 1);
+  EXPECT_TRUE(members.count(2) == 1 || members.count(3) == 1);
+}
+
+TEST(ControllerTest, DepartureReleasesHold) {
+  Controller c(BasicOptions(4, 2));
+  // Freeze on {0,1},{2,3},{0,1}.
+  c.OnReadySignal(0, 1);
+  c.OnReadySignal(1, 1);
+  c.OnReadySignal(2, 1);
+  c.OnReadySignal(3, 1);
+  c.OnReadySignal(0, 2);
+  c.OnReadySignal(1, 2);
+  ASSERT_TRUE(c.history().IsFrozen());
+  EXPECT_TRUE(c.OnReadySignal(2, 2).empty());
+  EXPECT_TRUE(c.OnReadySignal(3, 2).empty());  // held, waiting for 0 or 1
+
+  // Workers 0 and 1 leave: bridging becomes impossible; the hold must
+  // release {2,3} rather than deadlock.
+  EXPECT_TRUE(c.NotifyWorkerLeft(0).empty());
+  auto decisions = c.NotifyWorkerLeft(1);
+  ASSERT_EQ(decisions.size(), 1u);
+  std::set<int> members(decisions[0].members.begin(),
+                        decisions[0].members.end());
+  EXPECT_EQ(members, (std::set<int>{2, 3}));
+}
+
+TEST(ControllerTest, RejoinedWorkerParticipatesAgain) {
+  Controller c(BasicOptions(4, 2));
+  EXPECT_TRUE(c.NotifyWorkerLeft(3).empty());
+  // Remaining workers keep forming groups.
+  c.OnReadySignal(0, 1);
+  auto d = c.OnReadySignal(1, 1);
+  ASSERT_EQ(d.size(), 1u);
+
+  EXPECT_TRUE(c.NotifyWorkerRejoined(3).empty());
+  c.OnReadySignal(3, 1);
+  auto d2 = c.OnReadySignal(2, 1);
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_EQ(d2[0].members, (std::vector<int>{3, 2}));
+}
+
+TEST(ControllerTest, RejoinRestoresHoldSemantics) {
+  // After departures made bridging impossible, a rejoin makes the
+  // controller hold single-component queues again.
+  Controller c(BasicOptions(4, 2));
+  // Freeze on {0,1},{2,3},{0,1}.
+  c.OnReadySignal(0, 1);
+  c.OnReadySignal(1, 1);
+  c.OnReadySignal(2, 1);
+  c.OnReadySignal(3, 1);
+  c.OnReadySignal(0, 2);
+  c.OnReadySignal(1, 2);
+  ASSERT_TRUE(c.history().IsFrozen());
+  c.NotifyWorkerLeft(0);
+  c.NotifyWorkerLeft(1);
+  c.NotifyWorkerRejoined(0);  // worker 0 is back: bridge possible again
+  EXPECT_TRUE(c.OnReadySignal(2, 2).empty());
+  EXPECT_TRUE(c.OnReadySignal(3, 2).empty());  // held, waiting for 0
+  auto d = c.OnReadySignal(0, 3);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d[0].bridged);
+}
+
+TEST(ControllerTest, RandomArrivalsProduceDoublyStochasticExpectation) {
+  ControllerOptions opt = BasicOptions(6, 3);
+  opt.record_sync_matrices = true;
+  Controller c(opt);
+  Rng rng(3);
+  // Emulate the worker loop: a worker that signaled is queued until its
+  // group forms; only running workers can signal.
+  std::vector<int64_t> iter(6, 0);
+  std::set<int> queued;
+  for (int step = 0; step < 3000; ++step) {
+    std::vector<int> running;
+    for (int w = 0; w < 6; ++w) {
+      if (queued.count(w) == 0) running.push_back(w);
+    }
+    ASSERT_FALSE(running.empty());
+    const int w = running[rng.UniformInt(running.size())];
+    auto decisions = c.OnReadySignal(w, ++iter[w]);
+    queued.insert(w);
+    for (const auto& d : decisions) {
+      for (int m : d.members) queued.erase(m);
+    }
+  }
+  SyncMatrix e = c.ExpectedSyncMatrix();
+  EXPECT_LT(e.RowStochasticError(), 1e-9);
+  EXPECT_LT(e.ColumnStochasticError(), 1e-9);
+  const double rho = SpectralRho(e);
+  EXPECT_GE(rho, 0.0);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(ControllerTest, DrainPendingEmptiesQueue) {
+  Controller c(BasicOptions(4, 3));
+  c.OnReadySignal(2, 7);
+  c.OnReadySignal(0, 5);
+  auto drained = c.DrainPending();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].worker, 2);
+  EXPECT_EQ(drained[0].iteration, 7);
+  EXPECT_EQ(drained[1].worker, 0);
+  EXPECT_EQ(c.PendingSignals(), 0u);
+}
+
+TEST(ControllerTest, GroupSizeEqualsNBehavesLikeAllReduce) {
+  ControllerOptions opt = BasicOptions(3, 3);
+  opt.record_sync_matrices = true;
+  Controller c(opt);
+  for (int round = 0; round < 5; ++round) {
+    c.OnReadySignal(0, round);
+    c.OnReadySignal(1, round);
+    auto decisions = c.OnReadySignal(2, round);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(decisions[0].members.size(), 3u);
+  }
+  // rho of the all-reduce matrix is 0.
+  EXPECT_NEAR(SpectralRho(c.ExpectedSyncMatrix()), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace pr

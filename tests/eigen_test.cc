@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/eigen.h"
+
+namespace pr {
+namespace {
+
+TEST(EigenTest, DiagonalMatrix) {
+  std::vector<double> a = {3, 0, 0, 0, 1, 0, 0, 0, -2};
+  auto eig = SymmetricEigenvalues(a, 3);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig[1], 1.0, 1e-10);
+  EXPECT_NEAR(eig[2], -2.0, 1e-10);
+}
+
+TEST(EigenTest, TwoByTwoKnown) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  std::vector<double> a = {2, 1, 1, 2};
+  auto eig = SymmetricEigenvalues(a, 2);
+  EXPECT_NEAR(eig[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, RankOneAllOnes) {
+  // J/n has eigenvalues {1, 0, ..., 0}.
+  const size_t n = 5;
+  std::vector<double> a(n * n, 1.0 / n);
+  auto eig = SymmetricEigenvalues(a, n);
+  EXPECT_NEAR(eig[0], 1.0, 1e-10);
+  for (size_t i = 1; i < n; ++i) EXPECT_NEAR(eig[i], 0.0, 1e-10);
+}
+
+TEST(EigenTest, TraceAndFrobeniusPreserved) {
+  Rng rng(77);
+  const size_t n = 8;
+  std::vector<double> a(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Normal(0.0, 1.0);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  double trace = 0.0, frob = 0.0;
+  for (size_t i = 0; i < n; ++i) trace += a[i * n + i];
+  for (double v : a) frob += v * v;
+
+  auto eig = SymmetricEigenvalues(a, n);
+  double eig_sum = 0.0, eig_sq = 0.0;
+  for (double v : eig) {
+    eig_sum += v;
+    eig_sq += v * v;
+  }
+  EXPECT_NEAR(eig_sum, trace, 1e-8);
+  EXPECT_NEAR(eig_sq, frob, 1e-8);
+}
+
+TEST(EigenTest, EigenvaluesSortedDescending) {
+  Rng rng(78);
+  const size_t n = 6;
+  std::vector<double> a(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Uniform(-1.0, 1.0);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  auto eig = SymmetricEigenvalues(a, n);
+  for (size_t i = 1; i < n; ++i) EXPECT_GE(eig[i - 1], eig[i]);
+}
+
+TEST(EigenTest, SecondLargestMagnitudeDoublyStochastic) {
+  // E[W] = 0.5 I + (1/6) J for N=3, P=2 homogeneous (paper Fig. 4a):
+  // eigenvalues {1, 0.5, 0.5} -> rho = 0.5.
+  std::vector<double> a = {2.0 / 3, 1.0 / 6, 1.0 / 6,
+                           1.0 / 6, 2.0 / 3, 1.0 / 6,
+                           1.0 / 6, 1.0 / 6, 2.0 / 3};
+  EXPECT_NEAR(SecondLargestEigenvalueMagnitude(a, 3), 0.5, 1e-10);
+}
+
+TEST(EigenTest, SecondLargestPicksNegativeTail) {
+  // [[0, 1], [1, 0]] has eigenvalues {1, -1}: magnitude of lambda_n wins.
+  std::vector<double> a = {0, 1, 1, 0};
+  EXPECT_NEAR(SecondLargestEigenvalueMagnitude(a, 2), 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace pr {
+namespace {
+
+TEST(SimEngineTest, StartsAtZero) {
+  SimEngine engine;
+  EXPECT_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.empty());
+  EXPECT_FALSE(engine.RunOne());
+}
+
+TEST(SimEngineTest, EventsRunInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(3.0, [&] { order.push_back(3); });
+  engine.ScheduleAt(1.0, [&] { order.push_back(1); });
+  engine.ScheduleAt(2.0, [&] { order.push_back(2); });
+  while (engine.RunOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 3.0);
+}
+
+TEST(SimEngineTest, TiesBreakByInsertionOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (engine.RunOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngineTest, ScheduleAfterUsesCurrentTime) {
+  SimEngine engine;
+  double observed = -1.0;
+  engine.ScheduleAt(5.0, [&] {
+    engine.ScheduleAfter(2.5, [&] { observed = engine.now(); });
+  });
+  while (engine.RunOne()) {
+  }
+  EXPECT_EQ(observed, 7.5);
+}
+
+TEST(SimEngineTest, EventsCanScheduleMoreEvents) {
+  SimEngine engine;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) engine.ScheduleAfter(1.0, chain);
+  };
+  engine.ScheduleAt(0.0, chain);
+  while (engine.RunOne()) {
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(engine.now(), 9.0);
+}
+
+TEST(SimEngineTest, RunUntilStopsOnPredicate) {
+  SimEngine engine;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    engine.ScheduleAfter(1.0, chain);
+  };
+  engine.ScheduleAt(0.0, chain);
+  engine.RunUntil([&] { return count >= 5; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimEngineTest, RunUntilRespectsMaxTime) {
+  SimEngine engine;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    engine.ScheduleAfter(1.0, chain);
+  };
+  engine.ScheduleAt(0.0, chain);
+  engine.RunUntil([] { return false; }, /*max_time=*/4.5);
+  EXPECT_EQ(count, 5);  // events at t = 0..4
+  EXPECT_LE(engine.now(), 4.5);
+}
+
+TEST(SimEngineTest, EventsProcessedCounter) {
+  SimEngine engine;
+  for (int i = 0; i < 7; ++i) {
+    engine.ScheduleAt(static_cast<double>(i), [] {});
+  }
+  while (engine.RunOne()) {
+  }
+  EXPECT_EQ(engine.events_processed(), 7u);
+}
+
+TEST(SimEngineTest, PendingCount) {
+  SimEngine engine;
+  engine.ScheduleAt(1.0, [] {});
+  engine.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.RunOne();
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/group_filter.h"
+
+namespace pr {
+namespace {
+
+std::deque<ReadySignal> MakeQueue(const std::vector<int>& workers) {
+  std::deque<ReadySignal> q;
+  for (int w : workers) q.push_back(ReadySignal{w, 0});
+  return q;
+}
+
+TEST(GroupFilterTest, FifoWhenHealthy) {
+  GroupFilter filter(3);
+  GroupHistory history(8, 4);  // empty -> not frozen
+  auto selection = filter.Select(MakeQueue({5, 2, 7, 1}), history);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_FALSE(selection.bridged);
+}
+
+TEST(GroupFilterTest, FifoWhenWindowConnected) {
+  GroupFilter filter(2);
+  GroupHistory history(4, 3);
+  history.Record({0, 1});
+  history.Record({1, 2});
+  history.Record({2, 3});
+  auto selection = filter.Select(MakeQueue({0, 1, 2}), history);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1}));
+  EXPECT_FALSE(selection.bridged);
+}
+
+TEST(GroupFilterTest, BridgesAcrossComponentsWhenFrozen) {
+  GroupFilter filter(2);
+  GroupHistory history(4, 3);
+  // Frozen history: components {0,1} and {2,3}.
+  history.Record({0, 1});
+  history.Record({2, 3});
+  history.Record({0, 1});
+  ASSERT_TRUE(history.IsFrozen());
+
+  // FIFO would pick {0, 1} (same component); the filter must bridge to
+  // worker 2 further down the queue.
+  auto selection = filter.Select(MakeQueue({0, 1, 2}), history);
+  EXPECT_TRUE(selection.bridged);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 2}));
+}
+
+TEST(GroupFilterTest, FrozenButNoCrossComponentSignalFallsBackToFifo) {
+  GroupFilter filter(2);
+  GroupHistory history(4, 3);
+  history.Record({0, 1});
+  history.Record({2, 3});
+  history.Record({0, 1});
+  ASSERT_TRUE(history.IsFrozen());
+
+  // Only component-{0,1} members are waiting: liveness beats bridging.
+  auto selection = filter.Select(MakeQueue({0, 1}), history);
+  EXPECT_FALSE(selection.bridged);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1}));
+}
+
+TEST(GroupFilterTest, BridgePrefersEarliestCrossComponentSignal) {
+  GroupFilter filter(2);
+  GroupHistory history(6, 3);
+  history.Record({0, 1});
+  history.Record({2, 3});
+  history.Record({4, 5});
+  ASSERT_TRUE(history.IsFrozen());
+
+  // Queue: 0 (comp A), 1 (comp A), 2 (comp B), 4 (comp C).
+  auto selection = filter.Select(MakeQueue({0, 1, 2, 4}), history);
+  EXPECT_TRUE(selection.bridged);
+  // Anchor 0, then earliest new-component signal: position 2 (worker 2).
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 2}));
+}
+
+TEST(GroupFilterTest, LargerGroupCoversMultipleComponents) {
+  GroupFilter filter(3);
+  GroupHistory history(6, 3);
+  history.Record({0, 1});
+  history.Record({2, 3});
+  history.Record({4, 5});
+  ASSERT_TRUE(history.IsFrozen());
+
+  auto selection = filter.Select(MakeQueue({0, 1, 2, 4}), history);
+  EXPECT_TRUE(selection.bridged);
+  // Anchor 0 (comp A), then 2 (comp B), then 4 (comp C).
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 2, 3}));
+}
+
+TEST(GroupFilterTest, FillsWithFifoAfterCoveringComponents) {
+  GroupFilter filter(3);
+  GroupHistory history(4, 2);
+  history.Record({0, 1});
+  history.Record({2, 3});
+  ASSERT_TRUE(history.IsFrozen());
+
+  // Components {0,1} and {2,3}; queue 0,1,2. Anchor 0, bridge 2 (pos 2),
+  // fill with 1 (pos 1).
+  auto selection = filter.Select(MakeQueue({0, 1, 2}), history);
+  EXPECT_TRUE(selection.bridged);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace pr

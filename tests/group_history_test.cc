@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/group_history.h"
+
+namespace pr {
+namespace {
+
+TEST(GroupHistoryTest, MinWindowFormula) {
+  // T >= ceil((N-1)/(P-1)), paper §4.
+  EXPECT_EQ(GroupHistory::MinWindow(8, 2), 7u);
+  EXPECT_EQ(GroupHistory::MinWindow(8, 3), 4u);  // ceil(7/2)
+  EXPECT_EQ(GroupHistory::MinWindow(8, 5), 2u);  // ceil(7/4)
+  EXPECT_EQ(GroupHistory::MinWindow(8, 8), 1u);
+  EXPECT_EQ(GroupHistory::MinWindow(2, 2), 1u);
+  EXPECT_EQ(GroupHistory::MinWindow(16, 4), 5u);
+}
+
+TEST(GroupHistoryTest, WindowEviction) {
+  GroupHistory h(4, 2);
+  h.Record({0, 1});
+  h.Record({1, 2});
+  h.Record({2, 3});
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.groups().front(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(h.groups().back(), (std::vector<int>{2, 3}));
+}
+
+TEST(GroupHistoryTest, NotFrozenBeforeWindowFills) {
+  GroupHistory h(4, 3);
+  h.Record({0, 1});
+  h.Record({0, 1});
+  EXPECT_FALSE(h.Full());
+  EXPECT_FALSE(h.IsFrozen());  // vacuous: detection disabled until full
+}
+
+TEST(GroupHistoryTest, FrozenDetectedOnDisconnectedWindow) {
+  GroupHistory h(4, 3);
+  h.Record({0, 1});
+  h.Record({2, 3});
+  h.Record({0, 1});
+  EXPECT_TRUE(h.Full());
+  EXPECT_TRUE(h.IsFrozen());
+}
+
+TEST(GroupHistoryTest, NotFrozenWhenWindowSpansAllWorkers) {
+  GroupHistory h(4, 3);
+  h.Record({0, 1});
+  h.Record({1, 2});
+  h.Record({2, 3});
+  EXPECT_FALSE(h.IsFrozen());
+}
+
+TEST(GroupHistoryTest, FrozenStateFollowsSlidingWindow) {
+  GroupHistory h(4, 2);
+  h.Record({0, 1});
+  h.Record({2, 3});
+  EXPECT_TRUE(h.IsFrozen());
+  h.Record({1, 2});  // window now {2,3},{1,2}: still missing 0
+  EXPECT_TRUE(h.IsFrozen());
+  h.Record({0, 3});  // window {1,2},{0,3}: 1-2, 0-3 -> two components
+  EXPECT_TRUE(h.IsFrozen());
+  h.Record({0, 1});
+  h.Record({0, 2});
+  h.Record({0, 3});  // window {0,2},{0,3}: 0-2-3 connected, 1 isolated
+  EXPECT_TRUE(h.IsFrozen());
+}
+
+TEST(GroupHistoryTest, SyncGraphReflectsWindowOnly) {
+  GroupHistory h(4, 1);
+  h.Record({0, 1, 2, 3});
+  EXPECT_TRUE(h.BuildSyncGraph().IsConnected());
+  h.Record({0, 1});  // evicts the connecting group
+  EXPECT_FALSE(h.BuildSyncGraph().IsConnected());
+}
+
+}  // namespace
+}  // namespace pr

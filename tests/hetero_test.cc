@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/stats.h"
+#include "hetero/hetero.h"
+
+namespace pr {
+namespace {
+
+RunningStat SampleWorker(HeterogeneityModel* model, int worker, int n) {
+  RunningStat stat;
+  for (int i = 0; i < n; ++i) stat.Add(model->Sample(worker, i));
+  return stat;
+}
+
+TEST(HeteroTest, HomogeneousNearUnity) {
+  auto model = MakeHeterogeneityModel(HeteroSpec::Homogeneous(), 4, 1);
+  for (int w = 0; w < 4; ++w) {
+    RunningStat stat = SampleWorker(model.get(), w, 2000);
+    EXPECT_NEAR(stat.mean(), 1.0, 0.05);
+    EXPECT_LT(stat.stddev(), 0.1);
+  }
+}
+
+TEST(HeteroTest, SamplesAlwaysPositive) {
+  for (auto kind :
+       {HeteroSpec::Kind::kHomogeneous, HeteroSpec::Kind::kGpuSharing,
+        HeteroSpec::Kind::kLognormal, HeteroSpec::Kind::kProduction,
+        HeteroSpec::Kind::kTransient}) {
+    HeteroSpec spec;
+    spec.kind = kind;
+    spec.sharing_level = 2;
+    auto model = MakeHeterogeneityModel(spec, 4, 9);
+    for (int w = 0; w < 4; ++w) {
+      for (int i = 0; i < 500; ++i) {
+        EXPECT_GT(model->Sample(w, i), 0.0) << model->Name();
+      }
+    }
+  }
+}
+
+TEST(HeteroTest, GpuSharingSlowsOnlySharedWorkers) {
+  auto model = MakeHeterogeneityModel(HeteroSpec::GpuSharing(3), 8, 2);
+  for (int w = 0; w < 3; ++w) {
+    RunningStat stat = SampleWorker(model.get(), w, 2000);
+    EXPECT_NEAR(stat.mean(), 3.0, 0.4) << "shared worker " << w;
+  }
+  for (int w = 3; w < 8; ++w) {
+    RunningStat stat = SampleWorker(model.get(), w, 2000);
+    EXPECT_NEAR(stat.mean(), 1.0, 0.1) << "dedicated worker " << w;
+  }
+}
+
+TEST(HeteroTest, GpuSharingLevelOneIsHomogeneous) {
+  auto model = MakeHeterogeneityModel(HeteroSpec::GpuSharing(1), 4, 3);
+  for (int w = 0; w < 4; ++w) {
+    RunningStat stat = SampleWorker(model.get(), w, 1000);
+    EXPECT_NEAR(stat.mean(), 1.0, 0.05);
+  }
+}
+
+TEST(HeteroTest, HigherSharingLevelMeansSlower) {
+  auto hl2 = MakeHeterogeneityModel(HeteroSpec::GpuSharing(2), 8, 4);
+  auto hl4 = MakeHeterogeneityModel(HeteroSpec::GpuSharing(4), 8, 4);
+  EXPECT_LT(SampleWorker(hl2.get(), 0, 2000).mean(),
+            SampleWorker(hl4.get(), 0, 2000).mean());
+}
+
+TEST(HeteroTest, ProductionHasPersistentPerWorkerSkew) {
+  auto model = MakeHeterogeneityModel(HeteroSpec::Production(), 16, 5);
+  std::vector<double> means;
+  for (int w = 0; w < 16; ++w) {
+    means.push_back(SampleWorker(model.get(), w, 500).mean());
+  }
+  // Some worker should be at least 3x slower than the fastest.
+  const double fastest = *std::min_element(means.begin(), means.end());
+  const double slowest = *std::max_element(means.begin(), means.end());
+  EXPECT_GT(slowest / fastest, 3.0);
+}
+
+TEST(HeteroTest, ProductionHasHeavyTail) {
+  auto model = MakeHeterogeneityModel(HeteroSpec::Production(), 8, 6);
+  SampleSet all;
+  for (int w = 0; w < 8; ++w) {
+    for (int i = 0; i < 2000; ++i) all.Add(model->Sample(w, i));
+  }
+  // p99 well above median: transient stalls + persistent skew.
+  EXPECT_GT(all.Percentile(0.99) / all.Percentile(0.5), 3.0);
+}
+
+TEST(HeteroTest, TransientStragglerFrequencyMatchesProb) {
+  HeteroSpec spec;
+  spec.kind = HeteroSpec::Kind::kTransient;
+  spec.straggler_prob = 0.1;
+  spec.straggler_min = 10.0;
+  spec.straggler_max = 10.0;
+  spec.jitter_sigma = 0.0;
+  auto model = MakeHeterogeneityModel(spec, 1, 7);
+  int stalls = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model->Sample(0, i) > 5.0) ++stalls;
+  }
+  EXPECT_NEAR(static_cast<double>(stalls) / n, 0.1, 0.01);
+}
+
+TEST(HeteroTest, DeterministicInSeed) {
+  auto a = MakeHeterogeneityModel(HeteroSpec::Production(), 4, 42);
+  auto b = MakeHeterogeneityModel(HeteroSpec::Production(), 4, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->Sample(i % 4, i), b->Sample(i % 4, i));
+  }
+}
+
+TEST(HeteroTest, FixedFactorsApplied) {
+  auto model = MakeHeterogeneityModel(
+      HeteroSpec::FixedFactors({2.0, 1.0, 0.5}), 3, 11);
+  EXPECT_NEAR(SampleWorker(model.get(), 0, 1000).mean(), 2.0, 0.1);
+  EXPECT_NEAR(SampleWorker(model.get(), 1, 1000).mean(), 1.0, 0.05);
+  EXPECT_NEAR(SampleWorker(model.get(), 2, 1000).mean(), 0.5, 0.03);
+}
+
+TEST(HeteroTest, TraceReplaysAndCycles) {
+  HeteroSpec spec = HeteroSpec::Trace({{1.0, 2.0, 3.0}, {5.0}});
+  spec.jitter_sigma = 0.0;  // exact replay
+  auto model = MakeHeterogeneityModel(spec, 2, 13);
+  EXPECT_DOUBLE_EQ(model->Sample(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model->Sample(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(model->Sample(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(model->Sample(0, 3), 1.0);  // cycled
+  EXPECT_DOUBLE_EQ(model->Sample(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(model->Sample(1, 1), 5.0);
+}
+
+TEST(HeteroTest, TraceCsvRoundTrip) {
+  const std::string path = "/tmp/pr_hetero_trace_test.csv";
+  const std::vector<std::vector<double>> trace = {{1.0, 2.5, 0.75},
+                                                  {4.0},
+                                                  {1.5, 1.5}};
+  ASSERT_TRUE(SaveHeteroTraceCsv(path, trace).ok());
+  auto loaded = LoadHeteroTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie(), trace);
+  std::remove(path.c_str());
+}
+
+TEST(HeteroTest, TraceCsvRejectsGarbage) {
+  const std::string path = "/tmp/pr_hetero_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "1.0,banana\n";
+  }
+  auto loaded = LoadHeteroTraceCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(HeteroTest, TraceCsvRejectsNonPositive) {
+  const std::string path = "/tmp/pr_hetero_trace_neg.csv";
+  {
+    std::ofstream out(path);
+    out << "1.0,-2.0\n";
+  }
+  EXPECT_FALSE(LoadHeteroTraceCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(HeteroTest, TraceCsvMissingFile) {
+  EXPECT_EQ(LoadHeteroTraceCsv("/tmp/pr_no_such_trace.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(HeteroTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (auto kind :
+       {HeteroSpec::Kind::kHomogeneous, HeteroSpec::Kind::kGpuSharing,
+        HeteroSpec::Kind::kLognormal, HeteroSpec::Kind::kProduction,
+        HeteroSpec::Kind::kTransient}) {
+    HeteroSpec spec;
+    spec.kind = kind;
+    names.insert(MakeHeterogeneityModel(spec, 2, 1)->Name());
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,166 @@
+// Cross-module integration tests: end-to-end properties the paper's
+// evaluation relies on, checked at small scale so they stay fast.
+
+#include <gtest/gtest.h>
+
+#include "core/spectral.h"
+#include "train/experiment.h"
+
+namespace pr {
+namespace {
+
+ExperimentConfig BaseConfig() {
+  ExperimentConfig config;
+  config.training.num_workers = 8;
+  config.training.hidden = {16};
+  config.training.batch_size = 16;
+  SyntheticSpec spec;
+  spec.num_train = 2048;
+  spec.num_test = 512;
+  spec.dim = 16;
+  spec.num_classes = 4;
+  spec.separation = 3.0;
+  config.training.custom_dataset = spec;
+  config.training.paper_model = "resnet34";
+  config.training.accuracy_threshold = 0.9;
+  config.training.max_updates = 8000;
+  config.training.eval_every = 25;
+  config.training.seed = 21;
+  config.strategy.group_size = 3;
+  return config;
+}
+
+TEST(IntegrationTest, PReduceBeatsAllReduceUnderHeterogeneity) {
+  // The paper's headline: under HL>1, P-Reduce's total run time beats AR.
+  ExperimentConfig ar = BaseConfig();
+  ar.strategy.kind = StrategyKind::kAllReduce;
+  ar.training.hetero = HeteroSpec::GpuSharing(3);
+  ExperimentConfig con = BaseConfig();
+  con.strategy.kind = StrategyKind::kPReduceConst;
+  con.training.hetero = HeteroSpec::GpuSharing(3);
+
+  auto r_ar = RunExperiment(ar);
+  auto r_con = RunExperiment(con);
+  ASSERT_TRUE(r_ar.converged);
+  ASSERT_TRUE(r_con.converged);
+  EXPECT_LT(r_con.sim_seconds, r_ar.sim_seconds);
+}
+
+TEST(IntegrationTest, PReducePerUpdateTimeWellBelowAllReduce) {
+  ExperimentConfig ar = BaseConfig();
+  ar.strategy.kind = StrategyKind::kAllReduce;
+  ar.training.hetero = HeteroSpec::GpuSharing(3);
+  ExperimentConfig con = BaseConfig();
+  con.strategy.kind = StrategyKind::kPReduceConst;
+  con.training.hetero = HeteroSpec::GpuSharing(3);
+
+  auto r_ar = RunExperiment(ar);
+  auto r_con = RunExperiment(con);
+  EXPECT_LT(r_con.per_update_seconds, 0.5 * r_ar.per_update_seconds);
+}
+
+TEST(IntegrationTest, PReduceNeedsMoreUpdatesButLessTime) {
+  // Table 1 shape: #updates(P-Reduce) > #updates(AR), run time smaller.
+  ExperimentConfig ar = BaseConfig();
+  ar.strategy.kind = StrategyKind::kAllReduce;
+  ar.training.hetero = HeteroSpec::GpuSharing(3);
+  ExperimentConfig con = BaseConfig();
+  con.strategy.kind = StrategyKind::kPReduceConst;
+  con.training.hetero = HeteroSpec::GpuSharing(3);
+
+  auto r_ar = RunExperiment(ar);
+  auto r_con = RunExperiment(con);
+  ASSERT_TRUE(r_ar.converged);
+  ASSERT_TRUE(r_con.converged);
+  EXPECT_GT(r_con.updates, r_ar.updates);
+}
+
+TEST(IntegrationTest, MeasuredRhoMatchesClosedFormInHomogeneousRun) {
+  ExperimentConfig config = BaseConfig();
+  config.strategy.kind = StrategyKind::kPReduceConst;
+  config.strategy.group_size = 3;
+  config.strategy.record_sync_matrices = true;
+  config.training.timing_only = true;
+  config.training.timing_updates = 8000;
+
+  SimTraining ctx(config.training);
+  auto strategy = MakeStrategy(config.strategy, &ctx);
+  strategy->Start();
+  ctx.engine()->RunUntil([&] { return ctx.stopped(); });
+  const double rho = SpectralRho(strategy->controller()->ExpectedSyncMatrix());
+  // Homogeneous N=8, P=3: closed form 1 - 2/7 ~= 0.714. Group formation is
+  // arrival-order (not i.i.d. uniform), so allow a loose band.
+  EXPECT_NEAR(rho, HomogeneousRho(8, 3), 0.15);
+}
+
+TEST(IntegrationTest, HeterogeneityRaisesMeasuredRho) {
+  auto measure = [](const HeteroSpec& hetero) {
+    ExperimentConfig config;
+    config.training.num_workers = 4;
+    config.training.timing_only = true;
+    config.training.timing_updates = 6000;
+    config.training.hetero = hetero;
+    config.training.seed = 9;
+    config.strategy.kind = StrategyKind::kPReduceConst;
+    config.strategy.group_size = 2;
+    config.strategy.record_sync_matrices = true;
+    SimTraining ctx(config.training);
+    auto strategy = MakeStrategy(config.strategy, &ctx);
+    strategy->Start();
+    ctx.engine()->RunUntil([&] { return ctx.stopped(); });
+    return SpectralRho(strategy->controller()->ExpectedSyncMatrix());
+  };
+  const double rho_hom = measure(HeteroSpec::Homogeneous());
+  const double rho_het = measure(HeteroSpec::GpuSharing(2));
+  // Fig. 4's lesson: heterogeneity widens the spectral bound.
+  EXPECT_GT(rho_het, rho_hom);
+}
+
+TEST(IntegrationTest, FrozenAvoidanceKeepsAccuracyUnderAdversarialDelays) {
+  // Two speed classes that naturally pair with themselves (group frozen
+  // risk). With avoidance on, all replicas converge together.
+  HeteroSpec spec;
+  spec.kind = HeteroSpec::Kind::kGpuSharing;
+  spec.sharing_level = 2;
+  spec.jitter_sigma = 0.001;  // nearly deterministic -> stable pairing
+
+  ExperimentConfig on = BaseConfig();
+  on.training.num_workers = 4;
+  on.strategy.kind = StrategyKind::kPReduceConst;
+  on.strategy.group_size = 2;
+  on.training.hetero = spec;
+  on.strategy.frozen_avoidance = true;
+  auto r_on = RunExperiment(on);
+  EXPECT_TRUE(r_on.converged);
+}
+
+TEST(IntegrationTest, CurvesAreMonotoneInTimeAndUpdates) {
+  ExperimentConfig config = BaseConfig();
+  config.strategy.kind = StrategyKind::kPReduceConst;
+  auto result = RunExperiment(config);
+  ASSERT_GE(result.curve.size(), 2u);
+  for (size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GE(result.curve[i].time, result.curve[i - 1].time);
+    EXPECT_GT(result.curve[i].updates, result.curve[i - 1].updates);
+  }
+}
+
+TEST(IntegrationTest, ScalingWorkersReducesTimeToAccuracyForPReduce) {
+  ExperimentConfig small = BaseConfig();
+  small.strategy.kind = StrategyKind::kPReduceConst;
+  small.training.num_workers = 2;
+  small.strategy.group_size = 2;
+  ExperimentConfig large = BaseConfig();
+  large.strategy.kind = StrategyKind::kPReduceConst;
+  large.training.num_workers = 8;
+  large.strategy.group_size = 2;
+
+  auto r_small = RunExperiment(small);
+  auto r_large = RunExperiment(large);
+  ASSERT_TRUE(r_small.converged);
+  ASSERT_TRUE(r_large.converged);
+  EXPECT_LT(r_large.sim_seconds, r_small.sim_seconds);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace pr {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  PR_CHECK(1 + 1 == 2) << "never evaluated";
+  PR_CHECK_EQ(4, 4);
+  PR_CHECK_NE(1, 2);
+  PR_CHECK_LT(1, 2);
+  PR_CHECK_LE(2, 2);
+  PR_CHECK_GT(3, 2);
+  PR_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ PR_CHECK(false) << "boom"; }, "check failed: false");
+}
+
+TEST(CheckDeathTest, ComparisonCheckShowsValues) {
+  EXPECT_DEATH({ PR_CHECK_EQ(2, 3); }, "2 vs 3");
+}
+
+TEST(CheckDeathTest, MessageIsIncluded) {
+  EXPECT_DEATH({ PR_CHECK(false) << "custom detail 42"; },
+               "custom detail 42");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto probe = [&calls]() {
+    ++calls;
+    return true;
+  };
+  PR_CHECK(probe());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages must not crash and are cheap no-ops.
+  PR_LOG_DEBUG << "invisible";
+  PR_LOG_INFO << "invisible";
+  PR_LOG_WARNING << "invisible";
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, EmitsToStderr) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  PR_LOG_INFO << "hello from test " << 7;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("hello from test 7"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("logging_check_test.cc"), std::string::npos);
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, SuppressedMessageProducesNoOutput) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  PR_LOG_INFO << "should not appear";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  SetLogLevel(old_level);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "optim/sgd.h"
+
+namespace pr {
+namespace {
+
+TEST(SgdTest, PlainStepWithoutMomentumOrDecay) {
+  SgdOptions opt;
+  opt.learning_rate = 0.5;
+  opt.momentum = 0.0;
+  opt.weight_decay = 0.0;
+  Sgd sgd(2, opt);
+  std::vector<float> p = {1.0f, 2.0f};
+  float g[2] = {0.2f, -0.4f};
+  sgd.Step(g, &p);
+  EXPECT_FLOAT_EQ(p[0], 1.0f - 0.5f * 0.2f);
+  EXPECT_FLOAT_EQ(p[1], 2.0f + 0.5f * 0.4f);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.momentum = 0.9;
+  opt.weight_decay = 0.0;
+  Sgd sgd(1, opt);
+  std::vector<float> p = {0.0f};
+  float g[1] = {1.0f};
+  sgd.Step(g, &p);  // v = 1, p = -1
+  EXPECT_FLOAT_EQ(p[0], -1.0f);
+  sgd.Step(g, &p);  // v = 1.9, p = -2.9
+  EXPECT_FLOAT_EQ(p[0], -2.9f);
+  sgd.Step(g, &p);  // v = 2.71, p = -5.61
+  EXPECT_NEAR(p[0], -5.61f, 1e-5);
+}
+
+TEST(SgdTest, WeightDecayPullsTowardZero) {
+  SgdOptions opt;
+  opt.learning_rate = 0.1;
+  opt.momentum = 0.0;
+  opt.weight_decay = 0.5;
+  Sgd sgd(1, opt);
+  std::vector<float> p = {2.0f};
+  float g[1] = {0.0f};
+  sgd.Step(g, &p);  // v = 0.5 * 2 = 1, p = 2 - 0.1 = 1.9
+  EXPECT_FLOAT_EQ(p[0], 1.9f);
+}
+
+TEST(SgdTest, LrScaleDampsStep) {
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.momentum = 0.0;
+  opt.weight_decay = 0.0;
+  Sgd sgd(1, opt);
+  std::vector<float> p = {0.0f};
+  float g[1] = {1.0f};
+  sgd.Step(g, &p, /*lr_scale=*/0.25);
+  EXPECT_FLOAT_EQ(p[0], -0.25f);
+}
+
+TEST(SgdTest, ResetStateClearsVelocity) {
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.momentum = 0.9;
+  opt.weight_decay = 0.0;
+  Sgd sgd(1, opt);
+  std::vector<float> p = {0.0f};
+  float g[1] = {1.0f};
+  sgd.Step(g, &p);
+  sgd.ResetState();
+  p[0] = 0.0f;
+  sgd.Step(g, &p);
+  EXPECT_FLOAT_EQ(p[0], -1.0f);  // no leftover velocity
+}
+
+TEST(SgdTest, SetLearningRateTakesEffect) {
+  SgdOptions opt;
+  opt.learning_rate = 1.0;
+  opt.momentum = 0.0;
+  opt.weight_decay = 0.0;
+  Sgd sgd(1, opt);
+  sgd.set_learning_rate(0.1);
+  std::vector<float> p = {0.0f};
+  float g[1] = {1.0f};
+  sgd.Step(g, &p);
+  EXPECT_FLOAT_EQ(p[0], -0.1f);
+}
+
+TEST(StepDecayTest, DecaysAtBoundaries) {
+  StepDecaySchedule sched(0.1, 0.1, 100);
+  EXPECT_DOUBLE_EQ(sched.LearningRateAt(0), 0.1);
+  EXPECT_DOUBLE_EQ(sched.LearningRateAt(99), 0.1);
+  EXPECT_NEAR(sched.LearningRateAt(100), 0.01, 1e-12);
+  EXPECT_NEAR(sched.LearningRateAt(250), 0.001, 1e-12);
+}
+
+TEST(StalenessLrScaleTest, InverseDecay) {
+  EXPECT_DOUBLE_EQ(StalenessLrScale(0), 1.0);
+  EXPECT_DOUBLE_EQ(StalenessLrScale(1), 0.5);
+  EXPECT_DOUBLE_EQ(StalenessLrScale(4), 0.2);
+}
+
+TEST(StalenessLrScaleTest, MonotoneNonIncreasing) {
+  double prev = 2.0;
+  for (size_t s = 0; s < 50; ++s) {
+    double cur = StalenessLrScale(s);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ExcessStalenessLrScaleTest, NoDampingWithinExpectedAsynchrony) {
+  // In an N-worker async PS every push is ~N-1 versions stale; that level
+  // must not be penalized.
+  EXPECT_DOUBLE_EQ(ExcessStalenessLrScale(0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(ExcessStalenessLrScale(7, 8), 1.0);
+}
+
+TEST(ExcessStalenessLrScaleTest, DampsDeepStalenessProportionally) {
+  EXPECT_DOUBLE_EQ(ExcessStalenessLrScale(15, 8), 0.5);
+  EXPECT_DOUBLE_EQ(ExcessStalenessLrScale(31, 8), 0.25);
+}
+
+TEST(ExcessStalenessLrScaleTest, MonotoneInStaleness) {
+  double prev = 2.0;
+  for (size_t s = 0; s < 100; s += 5) {
+    double cur = ExcessStalenessLrScale(s, 8);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace pr

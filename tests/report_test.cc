@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "train/report.h"
+
+namespace pr {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"xxxxxx", "y"});
+  const std::string out = table.Render();
+  std::istringstream lines(out);
+  std::string first, second;
+  std::getline(lines, first);
+  std::getline(lines, second);
+  std::string third;
+  std::getline(lines, third);
+  EXPECT_EQ(first.size(), third.size());
+}
+
+TEST(FormatTest, DoubleDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, Speedup) {
+  EXPECT_EQ(FormatSpeedup(1.8449), "1.84x");
+  EXPECT_EQ(FormatSpeedup(16.6), "16.60x");
+}
+
+TEST(CsvTest, WritesHeadersAndRows) {
+  const std::string path = "/tmp/pr_report_test.csv";
+  ASSERT_TRUE(WriteCsv(path, {"x", "y"}, {{"1", "2"}, {"3", "4"}}));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FailsOnBadPath) {
+  EXPECT_FALSE(WriteCsv("/nonexistent_dir_xyz/file.csv", {"a"}, {}));
+}
+
+}  // namespace
+}  // namespace pr

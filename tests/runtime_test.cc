@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/threaded_runtime.h"
+
+namespace pr {
+namespace {
+
+ThreadedRunOptions SmallOptions() {
+  ThreadedRunOptions opt;
+  opt.num_workers = 4;
+  opt.group_size = 2;
+  opt.iterations_per_worker = 30;
+  opt.hidden = {16};
+  opt.batch_size = 16;
+  opt.dataset.num_train = 1024;
+  opt.dataset.num_test = 512;
+  opt.dataset.dim = 16;
+  opt.dataset.num_classes = 4;
+  opt.dataset.separation = 3.0;
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(ThreadedRuntimeTest, PReduceCompletesAndLearns) {
+  ThreadedRunResult result = RunThreadedPReduce(SmallOptions());
+  EXPECT_GT(result.group_reduces, 0u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+  EXPECT_EQ(result.worker_iterations.size(), 4u);
+  // Each ready signal that grouped consumed exactly P signals.
+  EXPECT_LE(result.group_reduces,
+            4u * 30u / 2u);
+}
+
+TEST(ThreadedRuntimeTest, AllReduceCompletesAndLearns) {
+  ThreadedRunResult result = RunThreadedAllReduce(SmallOptions());
+  EXPECT_GT(result.final_accuracy, 0.6);
+  // AR keeps replicas bitwise identical.
+  EXPECT_EQ(result.replica_spread, 0.0);
+}
+
+TEST(ThreadedRuntimeTest, PReduceReplicasStayClose) {
+  ThreadedRunResult result = RunThreadedPReduce(SmallOptions());
+  // Replicas drift between reduces but must remain in the same basin.
+  EXPECT_LT(result.replica_spread, 2.0);
+}
+
+TEST(ThreadedRuntimeTest, GroupSizeEqualsWorkers) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.group_size = 4;
+  ThreadedRunResult result = RunThreadedPReduce(opt);
+  EXPECT_GT(result.group_reduces, 0u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedRuntimeTest, LargerGroupSizeFewerReduces) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.group_size = 2;
+  auto p2 = RunThreadedPReduce(opt);
+  opt.group_size = 4;
+  auto p4 = RunThreadedPReduce(opt);
+  EXPECT_GT(p2.group_reduces, p4.group_reduces);
+}
+
+TEST(ThreadedRuntimeTest, DynamicModeRuns) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.mode = PartialReduceMode::kDynamic;
+  opt.dynamic.alpha = 0.5;
+  opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.003};  // a straggler
+  ThreadedRunResult result = RunThreadedPReduce(opt);
+  EXPECT_GT(result.group_reduces, 0u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedRuntimeTest, StragglerDoesNotBlockPReduceCompletion) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.iterations_per_worker = 15;
+  opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.01};
+  ThreadedRunResult result = RunThreadedPReduce(opt);
+  // Run completes despite the straggler; all workers did their iterations.
+  for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 15u);
+}
+
+TEST(ThreadedRuntimeTest, ControllerStatsPropagated) {
+  ThreadedRunResult result = RunThreadedPReduce(SmallOptions());
+  EXPECT_EQ(result.controller_stats.groups_formed, result.group_reduces);
+  EXPECT_GT(result.controller_stats.signals_received,
+            result.controller_stats.groups_formed);
+}
+
+TEST(ThreadedRuntimeTest, FastWorkersFinishEarlyUnderPReduce) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.iterations_per_worker = 25;
+  opt.worker_delay_seconds = {0.001, 0.001, 0.001, 0.008};
+  ThreadedRunResult pr_run = RunThreadedPReduce(opt);
+  ThreadedRunResult ar_run = RunThreadedAllReduce(opt);
+  ASSERT_EQ(pr_run.worker_finish_seconds.size(), 4u);
+  const double pr_fast = *std::min_element(
+      pr_run.worker_finish_seconds.begin(),
+      pr_run.worker_finish_seconds.end());
+  const double ar_fast = *std::min_element(
+      ar_run.worker_finish_seconds.begin(),
+      ar_run.worker_finish_seconds.end());
+  // Under the barrier even the fastest worker is dragged to straggler pace.
+  EXPECT_LT(pr_fast, 0.8 * ar_fast);
+}
+
+TEST(ThreadedRuntimeTest, AdversarialSpeedClassesDoNotDeadlock) {
+  // Two deterministic speed classes, P=2: the frozen-avoidance hold path
+  // (queue held until a cross-component signal or departure) is exercised
+  // constantly. The run must terminate with every worker completing, even
+  // though holds and Leaves race at the end.
+  ThreadedRunOptions opt = SmallOptions();
+  opt.num_workers = 4;
+  opt.group_size = 2;
+  opt.iterations_per_worker = 25;
+  opt.worker_delay_seconds = {0.0, 0.0, 0.003, 0.003};
+  ThreadedRunResult result = RunThreadedPReduce(opt);
+  for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 25u);
+  EXPECT_GT(result.group_reduces, 0u);
+}
+
+TEST(ThreadedRuntimeTest, RepeatedRunsTerminate) {
+  // Shake out rare interleavings in the termination protocol.
+  for (int trial = 0; trial < 10; ++trial) {
+    ThreadedRunOptions opt = SmallOptions();
+    opt.iterations_per_worker = 8;
+    opt.seed = 100 + static_cast<uint64_t>(trial);
+    ThreadedRunResult result = RunThreadedPReduce(opt);
+    EXPECT_EQ(result.worker_iterations.size(), 4u);
+  }
+}
+
+TEST(ThreadedRuntimeTest, ManyWorkersSmokeTest) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.num_workers = 8;
+  opt.group_size = 3;
+  opt.iterations_per_worker = 12;
+  ThreadedRunResult result = RunThreadedPReduce(opt);
+  EXPECT_GT(result.group_reduces, 0u);
+}
+
+}  // namespace
+}  // namespace pr

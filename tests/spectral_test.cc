@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/spectral.h"
+
+namespace pr {
+namespace {
+
+TEST(SpectralTest, Fig4aHomogeneousRhoIsHalf) {
+  // N=3, P=2, all pairs equally likely: the paper's Fig. 4(a) value.
+  SyncMatrixExpectation e(3);
+  e.AddUniformGroup({0, 1});
+  e.AddUniformGroup({1, 2});
+  e.AddUniformGroup({0, 2});
+  EXPECT_NEAR(SpectralRho(e.Mean()), 0.5, 1e-10);
+}
+
+TEST(SpectralTest, Fig4bHeterogeneousRho) {
+  // Fig. 4(b): worker 3 twice as slow. In the steady pattern of the figure,
+  // over one period of worker 3 (two fast iterations), the groups are
+  // (1,2), (1,3), (2,3), (1,2) — the fast pair syncs twice as often as each
+  // straggler pair. E[W] under that frequency gives rho = 0.625.
+  SyncMatrixExpectation e(3);
+  e.AddUniformGroup({0, 1});
+  e.AddUniformGroup({0, 1});
+  e.AddUniformGroup({0, 2});
+  e.AddUniformGroup({1, 2});
+  EXPECT_NEAR(SpectralRho(e.Mean()), 0.625, 1e-10);
+}
+
+TEST(SpectralTest, HomogeneousClosedForm) {
+  EXPECT_NEAR(HomogeneousRho(3, 2), 0.5, 1e-12);
+  EXPECT_NEAR(HomogeneousRho(8, 8), 0.0, 1e-12);
+  EXPECT_NEAR(HomogeneousRho(8, 2), 1.0 - 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(HomogeneousRho(16, 4), 1.0 - 3.0 / 15.0, 1e-12);
+}
+
+TEST(SpectralTest, ClosedFormMatchesEigensolverAcrossNP) {
+  for (size_t n : {3u, 4u, 6u, 10u}) {
+    for (size_t p = 2; p <= n; ++p) {
+      // Build exact E[W] for uniform random groups: all C(n,p) groups.
+      SyncMatrixExpectation e(n);
+      // Enumerate combinations.
+      std::vector<int> idx(p);
+      for (size_t i = 0; i < p; ++i) idx[i] = static_cast<int>(i);
+      while (true) {
+        e.AddUniformGroup(idx);
+        // next combination
+        size_t k = p;
+        while (k > 0) {
+          --k;
+          if (idx[k] < static_cast<int>(n - p + k)) {
+            ++idx[k];
+            for (size_t j = k + 1; j < p; ++j) idx[j] = idx[j - 1] + 1;
+            break;
+          }
+          if (k == 0) goto done;
+        }
+      }
+    done:
+      EXPECT_NEAR(SpectralRho(e.Mean()), HomogeneousRho(n, p), 1e-9)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(SpectralTest, RhoDecreasesWithP) {
+  double prev = 1.0;
+  for (size_t p = 2; p <= 8; ++p) {
+    double rho = HomogeneousRho(8, p);
+    EXPECT_LT(rho, prev);
+    prev = rho;
+  }
+}
+
+TEST(SpectralTest, AllReduceHasZeroRhoAndNetworkError) {
+  SyncMatrixExpectation e(4);
+  e.AddUniformGroup({0, 1, 2, 3});
+  EXPECT_NEAR(SpectralRho(e.Mean()), 0.0, 1e-10);
+  EXPECT_DOUBLE_EQ(RhoTilde(0.0), 0.0);
+}
+
+TEST(SpectralTest, RhoTildeFormula) {
+  const double rho = 0.5;
+  const double sq = std::sqrt(rho);
+  const double expected = rho / (1 - rho) + 2 * sq / ((1 - sq) * (1 - sq));
+  EXPECT_NEAR(RhoTilde(rho), expected, 1e-12);
+}
+
+TEST(SpectralTest, RhoTildeMonotone) {
+  double prev = -1.0;
+  for (double rho = 0.0; rho < 0.95; rho += 0.05) {
+    double rt = RhoTilde(rho);
+    EXPECT_GT(rt, prev);
+    prev = rt;
+  }
+}
+
+TEST(SpectralTest, LrConditionTightensWithWorseRho) {
+  // Same gamma: larger rho (more heterogeneity / smaller P) -> larger LHS.
+  const double lhs_good = LrConditionLhs(0.05, 10.0, 8, 8, 0.0);
+  const double lhs_bad = LrConditionLhs(0.05, 10.0, 8, 2,
+                                        HomogeneousRho(8, 2));
+  EXPECT_LT(lhs_good, lhs_bad);
+}
+
+TEST(SpectralTest, LrConditionSatisfiedForSmallGamma) {
+  EXPECT_LT(LrConditionLhs(1e-4, 10.0, 8, 4, HomogeneousRho(8, 4)), 1.0);
+}
+
+TEST(SpectralTest, TheoremOneBoundDecomposition) {
+  ConvergenceBoundTerms terms =
+      TheoremOneBound(/*gamma=*/0.01, /*L=*/10.0, /*sigma_sq=*/1.0,
+                      /*f_gap=*/5.0, /*n=*/8, /*p=*/4, /*k=*/10000,
+                      HomogeneousRho(8, 4));
+  EXPECT_GT(terms.sgd_error, 0.0);
+  EXPECT_GT(terms.network_error, 0.0);
+  EXPECT_DOUBLE_EQ(terms.total(), terms.sgd_error + terms.network_error);
+}
+
+TEST(SpectralTest, SgdErrorShrinksWithK) {
+  auto t1 = TheoremOneBound(0.01, 10.0, 1.0, 5.0, 8, 4, 1000,
+                            HomogeneousRho(8, 4));
+  auto t2 = TheoremOneBound(0.01, 10.0, 1.0, 5.0, 8, 4, 100000,
+                            HomogeneousRho(8, 4));
+  EXPECT_LT(t2.sgd_error, t1.sgd_error);
+  EXPECT_DOUBLE_EQ(t2.network_error, t1.network_error);
+}
+
+TEST(SpectralTest, NetworkErrorVanishesAtAllReduce) {
+  auto terms = TheoremOneBound(0.01, 10.0, 1.0, 5.0, 8, 8, 10000, 0.0);
+  EXPECT_DOUBLE_EQ(terms.network_error, 0.0);
+}
+
+}  // namespace
+}  // namespace pr

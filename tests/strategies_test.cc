@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/experiment.h"
+
+namespace pr {
+namespace {
+
+/// Small, fast configuration shared across strategy tests.
+ExperimentConfig SmallConfig(StrategyKind kind) {
+  ExperimentConfig config;
+  config.training.num_workers = 4;
+  config.training.hidden = {16};
+  config.training.batch_size = 16;
+  SyntheticSpec spec;
+  spec.num_train = 1024;
+  spec.num_test = 512;
+  spec.dim = 16;
+  spec.num_classes = 4;
+  spec.separation = 3.0;
+  config.training.custom_dataset = spec;
+  config.training.paper_model = "resnet18";
+  config.training.accuracy_threshold = 0.9;
+  config.training.max_updates = 6000;
+  config.training.eval_every = 20;
+  config.training.seed = 3;
+  config.strategy.kind = kind;
+  config.strategy.group_size = 2;
+  config.strategy.backup_workers = 1;
+  return config;
+}
+
+ExperimentConfig TimingConfig(StrategyKind kind, int n,
+                              const HeteroSpec& hetero, size_t updates) {
+  ExperimentConfig config;
+  config.training.num_workers = n;
+  config.training.timing_only = true;
+  config.training.timing_updates = updates;
+  config.training.hetero = hetero;
+  config.training.paper_model = "resnet34";
+  config.training.seed = 7;
+  config.strategy.kind = kind;
+  config.strategy.group_size = 3;
+  config.strategy.backup_workers = n / 4 + 1;
+  return config;
+}
+
+class AllStrategiesTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(AllStrategiesTest, ConvergesToThresholdOrReportsHonestly) {
+  ExperimentConfig config = SmallConfig(GetParam());
+  SimRunResult result = RunExperiment(config);
+  EXPECT_GT(result.updates, 0u);
+  EXPECT_GT(result.sim_seconds, 0.0);
+  // Every strategy except Eager-Reduce should reach 90% on this easy task.
+  if (GetParam() != StrategyKind::kEagerReduce) {
+    EXPECT_TRUE(result.converged)
+        << StrategyKindName(GetParam()) << " final acc "
+        << result.final_accuracy;
+  }
+  EXPECT_GE(result.best_accuracy, 0.2);
+}
+
+TEST_P(AllStrategiesTest, DeterministicInSeed) {
+  // Timing-only runs are cheap; determinism must hold bit-for-bit.
+  ExperimentConfig config =
+      TimingConfig(GetParam(), 4, HeteroSpec::Production(), 200);
+  SimRunResult a = RunExperiment(config);
+  SimRunResult b = RunExperiment(config);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.updates, b.updates);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllStrategiesTest,
+    ::testing::Values(StrategyKind::kAllReduce, StrategyKind::kEagerReduce,
+                      StrategyKind::kAdPsgd, StrategyKind::kPsBsp,
+                      StrategyKind::kPsAsp, StrategyKind::kPsHete,
+                      StrategyKind::kPsBackup, StrategyKind::kPReduceConst,
+                      StrategyKind::kPReduceDynamic),
+    [](const ::testing::TestParamInfo<StrategyKind>& info) {
+      std::string name = StrategyKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(StrategyNamesTest, AllDistinct) {
+  std::set<std::string> names;
+  for (StrategyKind kind :
+       {StrategyKind::kAllReduce, StrategyKind::kEagerReduce,
+        StrategyKind::kAdPsgd, StrategyKind::kPsBsp, StrategyKind::kPsAsp,
+        StrategyKind::kPsHete, StrategyKind::kPsBackup,
+        StrategyKind::kPReduceConst, StrategyKind::kPReduceDynamic}) {
+    names.insert(StrategyKindName(kind));
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware-efficiency semantics (timing-only, cheap)
+// ---------------------------------------------------------------------------
+
+TEST(AllReduceSemanticsTest, RoundTimeTracksSlowestWorker) {
+  // Under GPU sharing (HL=2) the straggler sets the AR round time.
+  auto hom = RunExperiment(TimingConfig(StrategyKind::kAllReduce, 4,
+                                        HeteroSpec::Homogeneous(), 200));
+  auto het = RunExperiment(TimingConfig(StrategyKind::kAllReduce, 4,
+                                        HeteroSpec::GpuSharing(2), 200));
+  EXPECT_GT(het.per_update_seconds, 1.5 * hom.per_update_seconds);
+}
+
+TEST(PReduceSemanticsTest, LessSensitiveToStragglersThanAllReduce) {
+  auto ar_h = RunExperiment(TimingConfig(StrategyKind::kAllReduce, 8,
+                                         HeteroSpec::GpuSharing(3), 400));
+  auto pr_h = RunExperiment(TimingConfig(StrategyKind::kPReduceConst, 8,
+                                         HeteroSpec::GpuSharing(3), 400));
+  // Normalize per-update times by gradients incorporated per update:
+  // AR incorporates N per update, P-Reduce incorporates P.
+  const double ar_per_grad = ar_h.per_update_seconds / 8.0;
+  const double pr_per_grad = pr_h.per_update_seconds / 3.0;
+  EXPECT_LT(pr_per_grad, ar_per_grad);
+}
+
+TEST(PReduceSemanticsTest, IdleFractionFarBelowAllReduce) {
+  auto ar = RunExperiment(TimingConfig(StrategyKind::kAllReduce, 8,
+                                       HeteroSpec::GpuSharing(3), 300));
+  auto pred = RunExperiment(TimingConfig(StrategyKind::kPReduceConst, 8,
+                                         HeteroSpec::GpuSharing(3), 300));
+  EXPECT_LT(pred.mean_idle_fraction, ar.mean_idle_fraction);
+}
+
+TEST(PReduceSemanticsTest, UpdateCadenceScalesWithGroupSize) {
+  // With fixed worker speed, P-Reduce emits ~N/P updates per iteration
+  // span: doubling P should roughly double per-update spacing.
+  auto p2 = TimingConfig(StrategyKind::kPReduceConst, 8,
+                         HeteroSpec::Homogeneous(), 400);
+  p2.strategy.group_size = 2;
+  auto p4 = TimingConfig(StrategyKind::kPReduceConst, 8,
+                         HeteroSpec::Homogeneous(), 400);
+  p4.strategy.group_size = 4;
+  auto r2 = RunExperiment(p2);
+  auto r4 = RunExperiment(p4);
+  EXPECT_GT(r4.per_update_seconds, 1.5 * r2.per_update_seconds);
+}
+
+TEST(MomentumAveragingTest, ConvergesWithMergedOptimizerState) {
+  ExperimentConfig config = SmallConfig(StrategyKind::kPReduceConst);
+  config.strategy.average_momentum = true;
+  SimRunResult result = RunExperiment(config);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(MomentumAveragingTest, ChangesTrajectory) {
+  // Same seed, with vs without momentum merging: trajectories must differ
+  // (the knob is actually wired through).
+  ExperimentConfig base = SmallConfig(StrategyKind::kPReduceConst);
+  base.training.accuracy_threshold = -1.0;
+  base.training.max_updates = 60;
+  ExperimentConfig merged = base;
+  merged.strategy.average_momentum = true;
+  SimTraining a(base.training), b(merged.training);
+  auto sa = MakeStrategy(base.strategy, &a);
+  auto sb = MakeStrategy(merged.strategy, &b);
+  sa->Start();
+  sb->Start();
+  a.engine()->RunUntil([&] { return a.stopped(); });
+  b.engine()->RunUntil([&] { return b.stopped(); });
+  EXPECT_NE(a.params(0), b.params(0));
+}
+
+TEST(ElasticMembershipTest, LeaveAndRejoinKeepsTrainingConverging) {
+  ExperimentConfig config = SmallConfig(StrategyKind::kPReduceConst);
+  config.training.num_workers = 6;
+  config.strategy.group_size = 2;
+  // Worker 5 leaves early and rejoins later with its (stale) model.
+  config.strategy.churn = {{2.0, 5, /*leave=*/true},
+                           {30.0, 5, /*leave=*/false}};
+  SimRunResult result = RunExperiment(config);
+  EXPECT_TRUE(result.converged) << "final acc " << result.final_accuracy;
+}
+
+TEST(ElasticMembershipTest, PermanentDeparturesStillConverge) {
+  ExperimentConfig config = SmallConfig(StrategyKind::kPReduceDynamic);
+  config.training.num_workers = 6;
+  config.strategy.group_size = 2;
+  config.strategy.churn = {{1.0, 4, true}, {3.0, 5, true}};
+  SimRunResult result = RunExperiment(config);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(ElasticMembershipTest, TimingOnlyChurnKeepsCadence) {
+  ExperimentConfig config =
+      TimingConfig(StrategyKind::kPReduceConst, 6, HeteroSpec::Homogeneous(),
+                   400);
+  config.strategy.group_size = 2;
+  config.strategy.churn = {{10.0, 0, true}, {40.0, 0, false}};
+  SimRunResult result = RunExperiment(config);
+  EXPECT_EQ(result.updates, 400u);
+}
+
+TEST(OverlapSemanticsTest, OverlapSpeedsUpAllReduceOnly) {
+  auto run = [](StrategyKind kind, double overlap) {
+    ExperimentConfig config =
+        TimingConfig(kind, 8, HeteroSpec::Homogeneous(), 200);
+    config.training.paper_model = "vgg19";  // comm-heavy
+    config.training.cost.gradient_overlap = overlap;
+    return RunExperiment(config).sim_seconds;
+  };
+  // AR aggregates gradients: overlap hides most of its collective.
+  EXPECT_LT(run(StrategyKind::kAllReduce, 0.9),
+            0.95 * run(StrategyKind::kAllReduce, 0.0));
+  // P-Reduce averages models: overlap cannot apply.
+  EXPECT_DOUBLE_EQ(run(StrategyKind::kPReduceConst, 0.9),
+                   run(StrategyKind::kPReduceConst, 0.0));
+}
+
+TEST(PsBackupSemanticsTest, DropsStragglerGradients) {
+  auto result = RunExperiment(TimingConfig(StrategyKind::kPsBackup, 8,
+                                           HeteroSpec::GpuSharing(3), 400));
+  EXPECT_GT(result.wasted_gradients, 0u);
+}
+
+TEST(PsBackupSemanticsTest, NoWasteWithoutBackupsInHomogeneousCluster) {
+  auto config = TimingConfig(StrategyKind::kPsBackup, 4,
+                             HeteroSpec::Homogeneous(), 200);
+  config.strategy.backup_workers = 0;
+  auto result = RunExperiment(config);
+  EXPECT_EQ(result.wasted_gradients, 0u);
+}
+
+TEST(PReduceSemanticsTest, FrozenAvoidanceStatsSurface) {
+  auto config = TimingConfig(StrategyKind::kPReduceConst, 4,
+                             HeteroSpec::Homogeneous(), 500);
+  config.strategy.group_size = 2;
+  auto result = RunExperiment(config);
+  // Stats plumbed through (bridging may or may not trigger here; the
+  // adversarial case is covered in controller_test).
+  EXPECT_GE(result.frozen_detections, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical-efficiency semantics
+// ---------------------------------------------------------------------------
+
+TEST(StatisticalSemanticsTest, AsyncNeedsMoreUpdatesThanBsp) {
+  // ASP counts one update per worker push, BSP one per N-gradient round;
+  // per gradient consumed, staleness costs ASP efficiency. Compare
+  // gradient counts to convergence: ASP >= BSP's N * rounds is not
+  // guaranteed on an easy task, but ASP should need at least as many
+  // gradients.
+  auto bsp = RunExperiment(SmallConfig(StrategyKind::kPsBsp));
+  auto asp = RunExperiment(SmallConfig(StrategyKind::kPsAsp));
+  ASSERT_TRUE(bsp.converged);
+  ASSERT_TRUE(asp.converged);
+  // ASP counts one update per worker push; BSP one per N-gradient round.
+  EXPECT_GT(asp.updates, bsp.updates);
+}
+
+TEST(StatisticalSemanticsTest, EagerReducePlateausBelowStrictThreshold) {
+  ExperimentConfig config = SmallConfig(StrategyKind::kEagerReduce);
+  config.training.hetero = HeteroSpec::GpuSharing(2);
+  config.training.accuracy_threshold = 0.93;
+  config.training.max_updates = 4000;
+  auto er = RunExperiment(config);
+
+  ExperimentConfig ar_config = SmallConfig(StrategyKind::kAllReduce);
+  ar_config.training.hetero = HeteroSpec::GpuSharing(2);
+  ar_config.training.accuracy_threshold = 0.93;
+  ar_config.training.max_updates = 4000;
+  auto ar = RunExperiment(ar_config);
+
+  EXPECT_TRUE(ar.converged);
+  EXPECT_LT(er.best_accuracy, ar.best_accuracy + 1e-9);
+}
+
+TEST(StatisticalSemanticsTest, PReduceReplicasReachConsensusAccuracy) {
+  // After convergence, the averaged model must actually be good — the
+  // consensus across replicas is what Alg. 2 line 8 evaluates.
+  auto result = RunExperiment(SmallConfig(StrategyKind::kPReduceConst));
+  ASSERT_TRUE(result.converged);
+  EXPECT_GE(result.final_accuracy, 0.9);
+}
+
+TEST(StatisticalSemanticsTest, DynamicWeightsHelpUnderSevereStaleness) {
+  // With a severe straggler, DYN should need no more updates than CON
+  // (weighted aggregation damps the stale model).
+  HeteroSpec severe;
+  severe.kind = HeteroSpec::Kind::kGpuSharing;
+  severe.sharing_level = 2;
+
+  ExperimentConfig con = SmallConfig(StrategyKind::kPReduceConst);
+  con.training.hetero = severe;
+  con.training.seed = 13;
+  ExperimentConfig dyn = SmallConfig(StrategyKind::kPReduceDynamic);
+  dyn.training.hetero = severe;
+  dyn.training.seed = 13;
+
+  auto rc = RunExperiment(con);
+  auto rd = RunExperiment(dyn);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rd.converged);
+  // The effect is statistical at this tiny scale; assert DYN stays in the
+  // same ballpark (the directional comparison is benchmarked in
+  // bench_fig5_staleness / bench_ablation_dynamic over seeds).
+  EXPECT_LT(static_cast<double>(rd.updates),
+            2.0 * static_cast<double>(rc.updates));
+}
+
+TEST(StatisticalSemanticsTest, AllReduceMatchesSequentialLargeBatchSgd) {
+  // AR with N workers is equivalent to one worker with an N-fold batch: all
+  // replicas stay identical. Verify replicas remain equal by checking the
+  // evaluated accuracy equals a single replica's accuracy.
+  ExperimentConfig config = SmallConfig(StrategyKind::kAllReduce);
+  config.training.max_updates = 50;
+  config.training.accuracy_threshold = -1.0;
+  SimTraining ctx(config.training);
+  auto strategy = MakeStrategy(config.strategy, &ctx);
+  strategy->Start();
+  ctx.engine()->RunUntil([&] { return ctx.stopped(); });
+  for (int w = 1; w < 4; ++w) {
+    EXPECT_EQ(ctx.params(0), ctx.params(w)) << "replica " << w << " diverged";
+  }
+}
+
+TEST(StatisticalSemanticsTest, PReduceGroupMembersLeaveWithEqualModels) {
+  ExperimentConfig config = SmallConfig(StrategyKind::kPReduceConst);
+  config.strategy.group_size = 4;  // P = N: every reduce merges everyone
+  config.training.max_updates = 9;
+  config.training.accuracy_threshold = -1.0;
+  SimTraining ctx(config.training);
+  auto strategy = MakeStrategy(config.strategy, &ctx);
+  strategy->Start();
+  ctx.engine()->RunUntil([&] { return ctx.stopped(); });
+  // With P = N the last completed reduce synchronized all replicas; any
+  // replicas that have since computed diverge, so compare only pairs that
+  // are in sync at the stop point is fragile. Instead check the spread is
+  // bounded (all within one local step of each other).
+  double spread = 0.0;
+  for (size_t i = 0; i < ctx.num_params(); ++i) {
+    float lo = ctx.params(0)[i], hi = lo;
+    for (int w = 1; w < 4; ++w) {
+      lo = std::min(lo, ctx.params(w)[i]);
+      hi = std::max(hi, ctx.params(w)[i]);
+    }
+    spread = std::max(spread, static_cast<double>(hi - lo));
+  }
+  EXPECT_LT(spread, 1.0);
+}
+
+TEST(StatisticalSemanticsTest, PsHeteDampsStaleUpdates) {
+  // Under strong heterogeneity, HETE (damped stale gradients) should reach
+  // the threshold in no more updates than ASP, seed-for-seed, on average.
+  int hete_wins = 0;
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    ExperimentConfig asp = SmallConfig(StrategyKind::kPsAsp);
+    asp.training.hetero = HeteroSpec::GpuSharing(2);
+    asp.training.seed = seed;
+    ExperimentConfig hete = SmallConfig(StrategyKind::kPsHete);
+    hete.training.hetero = HeteroSpec::GpuSharing(2);
+    hete.training.seed = seed;
+    auto ra = RunExperiment(asp);
+    auto rh = RunExperiment(hete);
+    if (rh.converged &&
+        (!ra.converged || rh.updates <= ra.updates * 12 / 10)) {
+      ++hete_wins;
+    }
+  }
+  EXPECT_GE(hete_wins, 2);
+}
+
+}  // namespace
+}  // namespace pr

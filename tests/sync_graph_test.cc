@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/sync_graph.h"
+
+namespace pr {
+namespace {
+
+TEST(SyncGraphTest, StartsFullyDisconnected) {
+  SyncGraph g(5);
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_EQ(g.NumComponents(), 5u);
+}
+
+TEST(SyncGraphTest, SingleWorkerIsConnected) {
+  SyncGraph g(1);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(SyncGraphTest, EdgeMergesComponents) {
+  SyncGraph g(4);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.NumComponents(), 3u);
+  EXPECT_EQ(g.ComponentOf(0), g.ComponentOf(1));
+  EXPECT_NE(g.ComponentOf(0), g.ComponentOf(2));
+}
+
+TEST(SyncGraphTest, RedundantEdgeKeepsCount) {
+  SyncGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.NumComponents(), 2u);
+}
+
+TEST(SyncGraphTest, GroupAddsClique) {
+  SyncGraph g(6);
+  g.AddGroup({1, 3, 5});
+  EXPECT_EQ(g.NumComponents(), 4u);  // {1,3,5}, {0}, {2}, {4}
+  EXPECT_EQ(g.ComponentOf(1), g.ComponentOf(5));
+}
+
+TEST(SyncGraphTest, ChainOfGroupsConnects) {
+  SyncGraph g(7);
+  g.AddGroup({0, 1, 2});
+  g.AddGroup({2, 3, 4});
+  g.AddGroup({4, 5, 6});
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(SyncGraphTest, DisjointGroupsStayIsolated) {
+  // The paper's "group frozen" scenario: {0,1} and {2,3} never mix.
+  SyncGraph g(4);
+  g.AddGroup({0, 1});
+  g.AddGroup({2, 3});
+  g.AddGroup({0, 1});
+  g.AddGroup({2, 3});
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_EQ(g.NumComponents(), 2u);
+}
+
+TEST(SyncGraphTest, ComponentsPartitionWorkers) {
+  SyncGraph g(6);
+  g.AddGroup({0, 2});
+  g.AddGroup({3, 4, 5});
+  auto comps = g.Components();
+  size_t total = 0;
+  for (const auto& c : comps) total += c.size();
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(comps.size(), 3u);  // {0,2}, {1}, {3,4,5}
+}
+
+TEST(SyncGraphTest, SingletonGroupIsNoop) {
+  SyncGraph g(3);
+  g.AddGroup({1});
+  EXPECT_EQ(g.NumComponents(), 3u);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sync_matrix.h"
+#include "core/weight_generator.h"
+
+namespace pr {
+namespace {
+
+TEST(SyncMatrixTest, IdentityByDefault) {
+  SyncMatrix w(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(w.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(w.RowStochasticError(), 0.0);
+  EXPECT_DOUBLE_EQ(w.ColumnStochasticError(), 0.0);
+}
+
+TEST(SyncMatrixTest, UniformGroupMatchesEq4) {
+  // N=4, group {1, 3}, P=2 -> Eq. (4).
+  SyncMatrix w = SyncMatrix::ForUniformGroup(4, {1, 3});
+  EXPECT_DOUBLE_EQ(w.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.At(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(w.At(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(w.At(1, 3), 0.5);
+  EXPECT_DOUBLE_EQ(w.At(3, 1), 0.5);
+  EXPECT_DOUBLE_EQ(w.At(3, 3), 0.5);
+  EXPECT_DOUBLE_EQ(w.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(w.At(0, 3), 0.0);
+}
+
+TEST(SyncMatrixTest, UniformGroupIsDoublyStochasticAndSymmetric) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 3 + rng.UniformInt(10);
+    const size_t p = 2 + rng.UniformInt(n - 1);
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(n, p);
+    std::vector<int> group(sample.begin(), sample.end());
+    SyncMatrix w = SyncMatrix::ForUniformGroup(n, group);
+    EXPECT_LT(w.RowStochasticError(), 1e-12);
+    EXPECT_LT(w.ColumnStochasticError(), 1e-12);
+    EXPECT_LT(w.SymmetryError(), 1e-12);
+  }
+}
+
+TEST(SyncMatrixTest, DynamicWeightsRowStochasticOnly) {
+  // Unequal weights keep rows stochastic but break column stochasticity.
+  SyncMatrix w = SyncMatrix::ForGroup(3, {0, 1}, {0.8, 0.2});
+  EXPECT_LT(w.RowStochasticError(), 1e-12);
+  EXPECT_GT(w.ColumnStochasticError(), 0.1);
+  EXPECT_GT(w.SymmetryError(), 0.1);
+}
+
+TEST(SyncMatrixTest, AllReduceMatrixIsUniform) {
+  SyncMatrix w = SyncMatrix::AllReduce(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(w.At(i, j), 0.25);
+  }
+}
+
+TEST(SyncMatrixTest, MultiplyIdentityIsNoop) {
+  SyncMatrix w = SyncMatrix::ForUniformGroup(4, {0, 2});
+  SyncMatrix eye(4);
+  SyncMatrix prod = w.Multiply(eye);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(prod.At(i, j), w.At(i, j));
+    }
+  }
+}
+
+TEST(SyncMatrixTest, ProductOfGroupMatricesStaysStochastic) {
+  Rng rng(23);
+  const size_t n = 6;
+  SyncMatrix prod(n);
+  for (int k = 0; k < 20; ++k) {
+    auto sample = rng.SampleWithoutReplacement(n, 3);
+    std::vector<int> group(sample.begin(), sample.end());
+    prod = prod.Multiply(SyncMatrix::ForUniformGroup(n, group));
+    EXPECT_LT(prod.RowStochasticError(), 1e-9);
+    EXPECT_LT(prod.ColumnStochasticError(), 1e-9);
+  }
+}
+
+TEST(SyncMatrixTest, ProductConvergesTowardConsensus) {
+  // Long products of random group matrices approach (1/n) J — the consensus
+  // mechanism that propagates every worker's update to all others.
+  Rng rng(29);
+  const size_t n = 5;
+  SyncMatrix prod(n);
+  for (int k = 0; k < 300; ++k) {
+    auto sample = rng.SampleWithoutReplacement(n, 2);
+    std::vector<int> group(sample.begin(), sample.end());
+    prod = prod.Multiply(SyncMatrix::ForUniformGroup(n, group));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(prod.At(i, j), 1.0 / n, 1e-6);
+    }
+  }
+}
+
+TEST(SyncMatrixExpectationTest, MeanOfIdenticalMatrices) {
+  SyncMatrixExpectation e(3);
+  SyncMatrix w = SyncMatrix::ForUniformGroup(3, {0, 1});
+  e.Add(w);
+  e.Add(w);
+  SyncMatrix mean = e.Mean();
+  EXPECT_EQ(e.count(), 2u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(mean.At(i, j), w.At(i, j));
+    }
+  }
+}
+
+TEST(SyncMatrixExpectationTest, AddUniformGroupMatchesExplicit) {
+  SyncMatrixExpectation a(4), b(4);
+  std::vector<std::vector<int>> groups = {{0, 1}, {2, 3}, {1, 2}, {0, 3}};
+  for (const auto& g : groups) {
+    a.Add(SyncMatrix::ForUniformGroup(4, g));
+    b.AddUniformGroup(g);
+  }
+  SyncMatrix ma = a.Mean(), mb = b.Mean();
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(ma.At(i, j), mb.At(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(SyncMatrixExpectationTest, UniformGroupsGiveFig4aExpectation) {
+  // All three pairs of {0,1,2} equally often -> E[W] = 0.5 I + (1/6) J.
+  SyncMatrixExpectation e(3);
+  e.AddUniformGroup({0, 1});
+  e.AddUniformGroup({1, 2});
+  e.AddUniformGroup({0, 2});
+  SyncMatrix mean = e.Mean();
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(mean.At(i, j), i == j ? 2.0 / 3 : 1.0 / 6, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace pr {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, VectorConstruction) {
+  Tensor t(5);
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 1u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, MatrixConstructionAndAccess) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  t.At(1, 2) = 7.0f;
+  EXPECT_EQ(t.At(1, 2), 7.0f);
+  EXPECT_EQ(t.Row(1)[2], 7.0f);
+}
+
+TEST(TensorTest, FromVectorAndFromMatrix) {
+  Tensor v = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0f);
+
+  Tensor m = Tensor::FromMatrix(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.At(0, 1), 2.0f);
+  EXPECT_EQ(m.At(1, 0), 3.0f);
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t(2, 3);
+  t.Fill(2.5f);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 2.5f);
+  t.Zero();
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FillNormalHasRequestedSpread) {
+  Tensor t(10000);
+  Rng rng(3);
+  t.FillNormal(&rng, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  EXPECT_NEAR(sum / t.size(), 0.0, 0.1);
+  EXPECT_NEAR(sq / t.size(), 4.0, 0.2);
+}
+
+TEST(TensorTest, FillUniformRespectsLimit) {
+  Tensor t(1000);
+  Rng rng(5);
+  t.FillUniform(&rng, 0.5f);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LT(t[i], 0.5f);
+  }
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(Tensor(2, 3).SameShape(Tensor(2, 3)));
+  EXPECT_FALSE(Tensor(2, 3).SameShape(Tensor(3, 2)));
+  EXPECT_FALSE(Tensor(6).SameShape(Tensor(2, 3)));
+}
+
+TEST(TensorTest, ToStringMentionsShape) {
+  Tensor t(2, 3);
+  EXPECT_NE(t.ToString().find("2x3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ops
+// ---------------------------------------------------------------------------
+
+TEST(OpsTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromMatrix(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor out;
+  MatMul(a, b, &out);
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 2u);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 1), 154.0f);
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Tensor eye = Tensor::FromMatrix(3, 3, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  Tensor a = Tensor::FromMatrix(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor out;
+  MatMul(a, eye, &out);
+  for (size_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(out.data()[i], a.data()[i]);
+}
+
+TEST(OpsTest, MatMulTransBMatchesExplicitTranspose) {
+  Rng rng(9);
+  Tensor a(4, 6), b(5, 6);
+  a.FillNormal(&rng, 1.0f);
+  b.FillNormal(&rng, 1.0f);
+  // b_t = transpose(b)
+  Tensor b_t(6, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 6; ++j) b_t.At(j, i) = b.At(i, j);
+  }
+  Tensor direct, viaT;
+  MatMulTransB(a, b, &direct);
+  MatMul(a, b_t, &viaT);
+  ASSERT_TRUE(direct.SameShape(viaT));
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.data()[i], viaT.data()[i], 1e-4);
+  }
+}
+
+TEST(OpsTest, MatMulTransAMatchesExplicitTranspose) {
+  Rng rng(10);
+  Tensor a(6, 4), b(6, 5);
+  a.FillNormal(&rng, 1.0f);
+  b.FillNormal(&rng, 1.0f);
+  Tensor a_t(4, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 4; ++j) a_t.At(j, i) = a.At(i, j);
+  }
+  Tensor direct, viaT;
+  MatMulTransA(a, b, &direct);
+  MatMul(a_t, b, &viaT);
+  ASSERT_TRUE(direct.SameShape(viaT));
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.data()[i], viaT.data()[i], 1e-4);
+  }
+}
+
+TEST(OpsTest, AxpyScaleDotNorm) {
+  float x[3] = {1, 2, 3};
+  float y[3] = {10, 20, 30};
+  Axpy(2.0f, x, y, 3);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+
+  Scale(0.5f, y, 3);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+
+  EXPECT_FLOAT_EQ(Dot(x, x, 3), 14.0f);
+  EXPECT_FLOAT_EQ(Norm2(x, 3), std::sqrt(14.0f));
+}
+
+TEST(OpsTest, AddBiasRows) {
+  Tensor m(2, 3);
+  m.Fill(1.0f);
+  Tensor bias = Tensor::FromVector({1, 2, 3});
+  AddBiasRows(bias, &m);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 4.0f);
+}
+
+TEST(OpsTest, ReluForwardBackward) {
+  Tensor t = Tensor::FromVector({-1.0f, 0.0f, 2.0f, -3.0f});
+  ReluForward(&t);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[2], 2.0f);
+
+  Tensor grad = Tensor::FromVector({5.0f, 5.0f, 5.0f, 5.0f});
+  ReluBackward(t, &grad);
+  EXPECT_FLOAT_EQ(grad[0], 0.0f);  // activation was 0 -> masked
+  EXPECT_FLOAT_EQ(grad[2], 5.0f);
+  EXPECT_FLOAT_EQ(grad[3], 0.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOneAndOrderPreserved) {
+  Tensor logits = Tensor::FromMatrix(2, 3, {1, 2, 3, -1, -1, -1});
+  Tensor probs;
+  SoftmaxRows(logits, &probs);
+  for (size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < 3; ++c) sum += probs.At(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+  }
+  EXPECT_GT(probs.At(0, 2), probs.At(0, 1));
+  EXPECT_GT(probs.At(0, 1), probs.At(0, 0));
+  EXPECT_NEAR(probs.At(1, 0), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(OpsTest, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromMatrix(1, 2, {1000.0f, 1001.0f});
+  Tensor probs;
+  SoftmaxRows(logits, &probs);
+  EXPECT_FALSE(std::isnan(probs.At(0, 0)));
+  EXPECT_NEAR(probs.At(0, 0) + probs.At(0, 1), 1.0f, 1e-6);
+  EXPECT_GT(probs.At(0, 1), probs.At(0, 0));
+}
+
+TEST(OpsTest, CrossEntropyUniformPrediction) {
+  // Uniform over 4 classes -> loss = log(4).
+  Tensor probs = Tensor::FromMatrix(2, 4, {0.25f, 0.25f, 0.25f, 0.25f,
+                                           0.25f, 0.25f, 0.25f, 0.25f});
+  float loss = CrossEntropyFromProbs(probs, {0, 3}, nullptr);
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5);
+}
+
+TEST(OpsTest, CrossEntropyGradientIsProbsMinusOnehotOverBatch) {
+  Tensor probs = Tensor::FromMatrix(1, 3, {0.2f, 0.3f, 0.5f});
+  Tensor grad;
+  CrossEntropyFromProbs(probs, {1}, &grad);
+  EXPECT_NEAR(grad.At(0, 0), 0.2f, 1e-6);
+  EXPECT_NEAR(grad.At(0, 1), -0.7f, 1e-6);
+  EXPECT_NEAR(grad.At(0, 2), 0.5f, 1e-6);
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  Tensor scores = Tensor::FromMatrix(3, 3, {1, 5, 2, 9, 0, 0, 0, 0, 4});
+  std::vector<int> pred = ArgmaxRows(scores);
+  EXPECT_EQ(pred, (std::vector<int>{1, 0, 2}));
+}
+
+class MatMulSizesTest : public ::testing::TestWithParam<
+                            std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(MatMulSizesTest, MatchesNaiveTripleLoop) {
+  auto [m, k, n] = GetParam();
+  Rng rng(100 + m * 31 + k * 7 + n);
+  Tensor a(m, k), b(k, n);
+  a.FillNormal(&rng, 1.0f);
+  b.FillNormal(&rng, 1.0f);
+  Tensor out;
+  MatMul(a, b, &out);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (size_t p = 0; p < k; ++p) {
+        ref += static_cast<double>(a.At(i, p)) * b.At(p, j);
+      }
+      EXPECT_NEAR(out.At(i, j), ref, 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulSizesTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                      std::make_tuple(5, 1, 5), std::make_tuple(8, 8, 8),
+                      std::make_tuple(3, 17, 5), std::make_tuple(16, 4, 1)));
+
+}  // namespace
+}  // namespace pr

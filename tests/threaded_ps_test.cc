@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/threaded_ps.h"
+
+namespace pr {
+namespace {
+
+ThreadedPsOptions SmallOptions() {
+  ThreadedPsOptions opt;
+  opt.num_workers = 4;
+  opt.iterations_per_worker = 30;
+  opt.hidden = {16};
+  opt.batch_size = 16;
+  opt.dataset.num_train = 1024;
+  opt.dataset.num_test = 512;
+  opt.dataset.dim = 16;
+  opt.dataset.num_classes = 4;
+  opt.dataset.separation = 3.0;
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(ThreadedPsTest, BspCompletesAndLearns) {
+  ThreadedPsOptions opt = SmallOptions();
+  opt.mode = PsMode::kBsp;
+  ThreadedPsResult result = RunThreadedPs(opt);
+  // BSP: one version per round, iterations_per_worker rounds.
+  EXPECT_EQ(result.versions, opt.iterations_per_worker);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedPsTest, BspHasZeroStaleness) {
+  ThreadedPsOptions opt = SmallOptions();
+  opt.mode = PsMode::kBsp;
+  ThreadedPsResult result = RunThreadedPs(opt);
+  // Lockstep: every push targets the version it pulled.
+  ASSERT_FALSE(result.staleness_histogram.empty());
+  const uint64_t total = std::accumulate(
+      result.staleness_histogram.begin(), result.staleness_histogram.end(),
+      uint64_t{0});
+  EXPECT_EQ(result.staleness_histogram[0], total);
+}
+
+TEST(ThreadedPsTest, AspCompletesAndLearns) {
+  ThreadedPsOptions opt = SmallOptions();
+  opt.mode = PsMode::kAsp;
+  opt.iterations_per_worker = 60;
+  ThreadedPsResult result = RunThreadedPs(opt);
+  // ASP: one version per push.
+  EXPECT_EQ(result.versions,
+            static_cast<uint64_t>(opt.num_workers) *
+                opt.iterations_per_worker);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedPsTest, AspObservesStalenessUnderStraggler) {
+  ThreadedPsOptions opt = SmallOptions();
+  opt.mode = PsMode::kAsp;
+  opt.iterations_per_worker = 20;
+  opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.004};
+  ThreadedPsResult result = RunThreadedPs(opt);
+  // Some push must have seen staleness >= 1 (fast workers advance the
+  // version while the straggler computes).
+  uint64_t stale_pushes = 0;
+  for (size_t s = 1; s < result.staleness_histogram.size(); ++s) {
+    stale_pushes += result.staleness_histogram[s];
+  }
+  EXPECT_GT(stale_pushes, 0u);
+}
+
+TEST(ThreadedPsTest, StragglerDoesNotBlockAspCompletion) {
+  ThreadedPsOptions opt = SmallOptions();
+  opt.mode = PsMode::kAsp;
+  opt.iterations_per_worker = 15;
+  opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.01};
+  ThreadedPsResult result = RunThreadedPs(opt);
+  EXPECT_EQ(result.versions, 4u * 15u);
+}
+
+TEST(ThreadedPsTest, SingleWorkerDegeneratesToSequentialSgd) {
+  ThreadedPsOptions opt = SmallOptions();
+  opt.num_workers = 1;
+  opt.mode = PsMode::kBsp;
+  opt.iterations_per_worker = 100;
+  ThreadedPsResult result = RunThreadedPs(opt);
+  EXPECT_EQ(result.versions, 100u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/transport.h"
+
+namespace pr {
+namespace {
+
+TEST(TransportTest, SendRecvRoundTrip) {
+  InProcTransport transport(2);
+  Endpoint a(&transport, 0), b(&transport, 1);
+  ASSERT_TRUE(a.Send(1, /*tag=*/7, /*kind=*/1, {42}, {1.5f}).ok());
+  auto env = b.RecvAny();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->from, 0);
+  EXPECT_EQ(env->tag, 7u);
+  EXPECT_EQ(env->kind, 1);
+  EXPECT_EQ(env->ints, (std::vector<int64_t>{42}));
+  EXPECT_EQ(env->floats, (std::vector<float>{1.5f}));
+}
+
+TEST(TransportTest, SendToInvalidNodeFails) {
+  InProcTransport transport(2);
+  Envelope env;
+  EXPECT_EQ(transport.Send(5, env).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(transport.Send(-1, env).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransportTest, PairwiseFifoOrder) {
+  InProcTransport transport(2);
+  Endpoint a(&transport, 0), b(&transport, 1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a.Send(1, 0, 1, {i}, {}).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto env = b.RecvAny();
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->ints[0], i);
+  }
+}
+
+TEST(TransportTest, RecvMatchingStashesOtherMessages) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/5, {}, {1.0f}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/9, /*kind=*/5, {}, {2.0f}).ok());
+
+  // Ask for b's message first although a's arrived first.
+  auto from_b = c.RecvMatching(1, 9, 5);
+  ASSERT_TRUE(from_b.has_value());
+  EXPECT_EQ(from_b->floats[0], 2.0f);
+  // a's message was stashed and is still deliverable.
+  auto from_a = c.RecvMatching(0, 1, 5);
+  ASSERT_TRUE(from_a.has_value());
+  EXPECT_EQ(from_a->floats[0], 1.0f);
+}
+
+TEST(TransportTest, RecvFromFiltersBySender) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  ASSERT_TRUE(b.Send(2, 0, 1, {}, {}).ok());
+  ASSERT_TRUE(a.Send(2, 0, 2, {}, {}).ok());
+  auto env = c.RecvFrom(0);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->from, 0);
+  EXPECT_EQ(env->kind, 2);
+  // b's earlier message is stashed for later RecvAny.
+  auto env2 = c.RecvAny();
+  ASSERT_TRUE(env2.has_value());
+  EXPECT_EQ(env2->from, 1);
+}
+
+TEST(TransportTest, ShutdownUnblocksReceiver) {
+  InProcTransport transport(1);
+  std::thread receiver([&] {
+    Endpoint ep(&transport, 0);
+    auto env = ep.RecvAny();
+    EXPECT_FALSE(env.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  transport.Shutdown();
+  receiver.join();
+}
+
+TEST(TransportTest, SendAfterShutdownFails) {
+  InProcTransport transport(2);
+  transport.Shutdown();
+  Endpoint a(&transport, 0);
+  EXPECT_EQ(a.Send(1, 0, 0, {}, {}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TransportTest, CrossThreadDelivery) {
+  InProcTransport transport(2);
+  std::thread sender([&] {
+    Endpoint a(&transport, 0);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(a.Send(1, 0, 1, {i}, {}).ok());
+    }
+  });
+  Endpoint b(&transport, 1);
+  for (int i = 0; i < 100; ++i) {
+    auto env = b.RecvAny();
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->ints[0], i);
+  }
+  sender.join();
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/weight_generator.h"
+
+namespace pr {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ConstantWeightsTest, UniformOneOverP) {
+  auto w = ConstantWeights(4);
+  ASSERT_EQ(w.size(), 4u);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(RelativeIterationsTest, NewestGetsOne) {
+  auto rel = RelativeIterations({10, 7, 10, 9});
+  EXPECT_EQ(rel, (std::vector<int64_t>{1, 4, 1, 2}));
+}
+
+TEST(DynamicWeightsTest, EqualIterationsGiveUniform) {
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;
+  opt.staleness_tolerance = 0;
+  auto w = DynamicWeights({5, 5, 5}, opt);
+  ASSERT_EQ(w.size(), 3u);
+  for (double x : w) EXPECT_NEAR(x, 1.0 / 3, 1e-12);
+}
+
+TEST(DynamicWeightsTest, SumsToOneAcrossScenarios) {
+  DynamicWeightOptions opt;
+  for (double alpha : {0.0, 0.3, 0.5, 0.9}) {
+    opt.alpha = alpha;
+    for (auto policy : {MissingSlotPolicy::kRenormalize,
+                        MissingSlotPolicy::kAssignToStaler}) {
+      opt.missing_slot_policy = policy;
+      for (const auto& iters :
+           {std::vector<int64_t>{3, 3, 3}, std::vector<int64_t>{1, 5, 9},
+            std::vector<int64_t>{7, 7, 2}, std::vector<int64_t>{100, 1}}) {
+        auto w = DynamicWeights(iters, opt);
+        EXPECT_NEAR(Sum(w), 1.0, 1e-9)
+            << "alpha=" << alpha << " policy="
+            << static_cast<int>(policy);
+        for (double x : w) EXPECT_GE(x, 0.0);
+      }
+    }
+  }
+}
+
+TEST(DynamicWeightsTest, StalerMembersGetSmallerWeights) {
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;
+  opt.staleness_tolerance = 0;
+  // Worker iterations 10, 9, 8: khat = 1, 2, 3.
+  auto w = DynamicWeights({10, 9, 8}, opt);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[1], w[2]);
+}
+
+TEST(DynamicWeightsTest, MatchesEq9ForConsecutiveIterations) {
+  // With all khat slots occupied, weights are exactly Eq. (9):
+  // beta_i = (1 - a) a^{khat-1} / (1 - a^khat_max).
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;
+  opt.staleness_tolerance = 0;
+  auto w = DynamicWeights({4, 3, 2}, opt);  // khat = 1, 2, 3
+  const double denom = 1.0 - std::pow(0.5, 3);
+  EXPECT_NEAR(w[0], 0.5 / denom, 1e-12);
+  EXPECT_NEAR(w[1], 0.25 / denom, 1e-12);
+  EXPECT_NEAR(w[2], 0.125 / denom, 1e-12);
+}
+
+TEST(DynamicWeightsTest, TiesSplitEqually) {
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;
+  opt.staleness_tolerance = 0;
+  opt.missing_slot_policy = MissingSlotPolicy::kRenormalize;
+  auto w = DynamicWeights({5, 5, 3}, opt);  // khat = 1, 1, 3
+  EXPECT_NEAR(w[0], w[1], 1e-12);
+  EXPECT_GT(w[0], w[2]);
+}
+
+TEST(DynamicWeightsTest, TiesSplitEquallyUnderStalerPolicy) {
+  // With kAssignToStaler, ties still split equally, but the missing slot's
+  // mass rolling onto the stale member can push it above an individual
+  // fresh member (the *slot* ordering is what stays monotone).
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;
+  opt.staleness_tolerance = 0;
+  opt.missing_slot_policy = MissingSlotPolicy::kAssignToStaler;
+  auto w = DynamicWeights({5, 5, 3}, opt);  // khat = 1, 1, 3
+  EXPECT_NEAR(w[0], w[1], 1e-12);
+  // Fresh slot total (w0 + w1) still dominates the stale slot.
+  EXPECT_GT(w[0] + w[1], w[2]);
+}
+
+TEST(DynamicWeightsTest, AlphaZeroPutsAllMassOnNewest) {
+  DynamicWeightOptions opt;
+  opt.alpha = 0.0;
+  auto w = DynamicWeights({9, 4, 9}, opt);
+  EXPECT_NEAR(w[0], 0.5, 1e-12);
+  EXPECT_NEAR(w[1], 0.0, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+}
+
+TEST(DynamicWeightsTest, LargerAlphaFlattensWeights) {
+  DynamicWeightOptions low, high;
+  low.alpha = 0.2;
+  high.alpha = 0.9;
+  auto wl = DynamicWeights({10, 5}, low);
+  auto wh = DynamicWeights({10, 5}, high);
+  // Higher alpha discounts staleness less -> smaller gap.
+  EXPECT_GT(wl[0] - wl[1], wh[0] - wh[1]);
+}
+
+TEST(DynamicWeightsTest, MissingSlotPoliciesDifferWithGaps) {
+  DynamicWeightOptions renorm, staler;
+  renorm.alpha = 0.5;
+  renorm.staleness_tolerance = 0;
+  renorm.missing_slot_policy = MissingSlotPolicy::kRenormalize;
+  staler.alpha = 0.5;
+  staler.staleness_tolerance = 0;
+  staler.missing_slot_policy = MissingSlotPolicy::kAssignToStaler;
+
+  // khat = 1 and 4: slots 2, 3 unoccupied.
+  auto wr = DynamicWeights({10, 7}, renorm);
+  auto ws = DynamicWeights({10, 7}, staler);
+  EXPECT_NEAR(Sum(wr), 1.0, 1e-12);
+  EXPECT_NEAR(Sum(ws), 1.0, 1e-12);
+  // AssignToStaler rolls the missing slots' mass onto the stale member, so
+  // the stale member gets strictly more than under renormalization.
+  EXPECT_GT(ws[1], wr[1]);
+  EXPECT_GT(wr[0], wr[1]);
+  EXPECT_GT(ws[0], ws[1]);
+}
+
+TEST(DynamicWeightsTest, AssignToStalerExactValue) {
+  // khat = 1, 3 with alpha = 0.5: slot masses (unnormalized over khat_max=3)
+  // are 0.5, 0.25, 0.125 scaled by 1/(1 - 0.125). Slot 2's mass rolls to
+  // slot 3. Weights: newest = 0.5/D, stale = (0.25 + 0.125)/D, D = 0.875.
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;
+  opt.staleness_tolerance = 0;
+  opt.missing_slot_policy = MissingSlotPolicy::kAssignToStaler;
+  auto w = DynamicWeights({5, 3}, opt);
+  EXPECT_NEAR(w[0], 0.5 / 0.875, 1e-12);
+  EXPECT_NEAR(w[1], 0.375 / 0.875, 1e-12);
+}
+
+TEST(DynamicWeightsTest, AssignToNearestSplitsGapMass) {
+  // khat = 1 and 5 with alpha = 0.5, tolerance 0: slots 2,3 are nearer to 1
+  // ... slot 2 is distance 1 from slot 1 and 3 from slot 5 -> goes newest;
+  // slot 3 is equidistant (2 vs 2) -> tie goes staler; slot 4 is distance 3
+  // vs 1 -> staler. Masses (unnormalized over khat_max=5, denom 1-1/32):
+  // slot1 .5, slot2 .25, slot3 .125, slot4 .0625, slot5 .03125.
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;
+  opt.staleness_tolerance = 0;
+  opt.missing_slot_policy = MissingSlotPolicy::kAssignToNearest;
+  auto w = DynamicWeights({9, 5}, opt);
+  // Slot masses 1/2, 1/4, 1/8, 1/16, 1/32 (x (1-a)/(1-a^5)): the fresh
+  // member keeps slots 1+2 = 3/4 of the geometric mass, the stale member
+  // slots 3+4+5 = 7/32; normalized: 24/31 and 7/31.
+  EXPECT_NEAR(w[0], 24.0 / 31.0, 1e-12);
+  EXPECT_NEAR(w[1], 7.0 / 31.0, 1e-12);
+}
+
+TEST(DynamicWeightsTest, AssignToNearestBetweenStalerAndRenormalize) {
+  // For a {fresh, deep-stale} pair, nearest assigns less mass to the stale
+  // member than to-staler (which rolls the whole tail) but more than
+  // renormalize (which drops the tail entirely).
+  DynamicWeightOptions base;
+  base.alpha = 0.5;
+  base.staleness_tolerance = 0;
+  auto weight_of_stale = [&](MissingSlotPolicy policy) {
+    DynamicWeightOptions opt = base;
+    opt.missing_slot_policy = policy;
+    return DynamicWeights({10, 4}, opt)[1];
+  };
+  const double renorm = weight_of_stale(MissingSlotPolicy::kRenormalize);
+  const double nearest = weight_of_stale(MissingSlotPolicy::kAssignToNearest);
+  const double staler = weight_of_stale(MissingSlotPolicy::kAssignToStaler);
+  EXPECT_LT(renorm, nearest);
+  EXPECT_LT(nearest, staler);
+}
+
+TEST(DynamicWeightsTest, SingleMemberGetsEverything) {
+  DynamicWeightOptions opt;
+  auto w = DynamicWeights({42}, opt);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(DynamicWeightsTest, ToleranceCollapsesJitterToUniform) {
+  // Gaps within the tolerance are ordinary asynchrony, not staleness: the
+  // default tolerance of 1 makes +-1-iteration groups aggregate uniformly.
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;  // tolerance stays at its default of 1
+  auto w = DynamicWeights({7, 6, 7}, opt);
+  for (double x : w) EXPECT_NEAR(x, 1.0 / 3, 1e-12);
+}
+
+TEST(DynamicWeightsTest, ToleranceShiftsButKeepsPenalizingDeepStaleness) {
+  DynamicWeightOptions opt;
+  opt.alpha = 0.5;
+  opt.staleness_tolerance = 1;
+  // Conservative default policy: the stale member is penalized but its
+  // weight asymptotes to ~alpha (the rolled-up EMA tail) rather than 0.
+  auto w = DynamicWeights({10, 5}, opt);  // gap 5 >> tolerance
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_NEAR(w[1], 0.484, 0.01);
+
+  // The renormalizing policy penalizes deep staleness much harder.
+  opt.missing_slot_policy = MissingSlotPolicy::kRenormalize;
+  auto wr = DynamicWeights({10, 5}, opt);
+  EXPECT_GT(wr[0], 0.8);
+  EXPECT_LT(wr[1], 0.2);
+}
+
+TEST(DynamicWeightsTest, LargerToleranceForgivesMore) {
+  DynamicWeightOptions tight, loose;
+  tight.alpha = loose.alpha = 0.5;
+  tight.staleness_tolerance = 0;
+  loose.staleness_tolerance = 3;
+  auto wt = DynamicWeights({10, 7}, tight);
+  auto wl = DynamicWeights({10, 7}, loose);
+  EXPECT_GT(wt[0] - wt[1], wl[0] - wl[1]);
+  // Gap 3 fully inside loose tolerance -> uniform.
+  EXPECT_NEAR(wl[0], 0.5, 1e-12);
+}
+
+class DynamicWeightsPropertyTest
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(DynamicWeightsPropertyTest, OrderedByStalenessUnderRenormalize) {
+  // Per-member monotonicity in staleness holds exactly for kRenormalize;
+  // kAssignToStaler trades it for the paper's "missing versions are old
+  // models" approximation (see TiesSplitEquallyUnderStalerPolicy).
+  DynamicWeightOptions opt;
+  opt.alpha = GetParam();
+  opt.missing_slot_policy = MissingSlotPolicy::kRenormalize;
+  const std::vector<int64_t> iters = {20, 18, 15, 10, 3};
+  auto w = DynamicWeights(iters, opt);
+  EXPECT_NEAR(Sum(w), 1.0, 1e-9);
+  for (size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GE(w[i - 1], w[i] - 1e-12)
+        << "alpha=" << GetParam() << " position " << i;
+  }
+}
+
+TEST_P(DynamicWeightsPropertyTest, StalerPolicySumsToOneAndFreshestWins) {
+  DynamicWeightOptions opt;
+  opt.alpha = GetParam();
+  opt.missing_slot_policy = MissingSlotPolicy::kAssignToStaler;
+  const std::vector<int64_t> iters = {20, 18, 15, 10, 3};
+  auto w = DynamicWeights(iters, opt);
+  EXPECT_NEAR(Sum(w), 1.0, 1e-9);
+  // The freshest member always keeps the largest single-slot mass among
+  // *adjacent-by-slot* members: its weight is at least the Eq. (9) value.
+  const double khat_max = 18.0;
+  const double floor = (1.0 - GetParam()) /
+                       (1.0 - std::pow(GetParam(), khat_max));
+  EXPECT_GE(w[0] + 1e-12, floor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DynamicWeightsPropertyTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace pr
