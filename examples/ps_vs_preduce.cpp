@@ -1,11 +1,14 @@
-// Centralized vs decentralized on real threads: trains the same synthetic
-// workload with (a) a threaded parameter server in BSP and ASP modes and
-// (b) threaded partial reduce, with one injected straggler, and compares
-// wall time, accuracy, and the PS staleness profile.
+// Every synchronization scheme from the paper on real threads: trains the
+// same synthetic workload, with one injected straggler, under the PS family
+// (BSP/ASP/HETE/BK), all-reduce, eager-reduce, AD-PSGD, and both partial
+// reduce variants — all through the one RunThreaded entry point — and
+// compares wall time, update counts, accuracy, and when the fastest worker
+// finished.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
-#include "runtime/threaded_ps.h"
 #include "runtime/threaded_runtime.h"
 #include "train/report.h"
 
@@ -24,55 +27,54 @@ pr::SyntheticSpec DemoDataset() {
 }  // namespace
 
 int main() {
-  const int kWorkers = 4;
-  const size_t kIterations = 60;
+  pr::ThreadedRunOptions options;
+  options.num_workers = 4;
+  options.iterations_per_worker = 60;
+  options.dataset = DemoDataset();
   // Worker 3 sleeps 6 ms per iteration, the others 1 ms.
-  const std::vector<double> kDelays = {0.001, 0.001, 0.001, 0.006};
+  options.worker_delay_seconds = {0.001, 0.001, 0.001, 0.006};
 
   std::printf("Threaded runtimes, N=%d, %zu iterations/worker, one "
-              "straggler.\n\n", kWorkers, kIterations);
-  pr::TablePrinter table({"runtime", "wall (s)", "updates", "accuracy"});
+              "straggler.\n\n",
+              options.num_workers, options.iterations_per_worker);
+  pr::TablePrinter table(
+      {"strategy", "wall (s)", "updates", "accuracy", "fastest done (s)"});
 
-  for (auto mode : {pr::PsMode::kBsp, pr::PsMode::kAsp}) {
-    pr::ThreadedPsOptions options;
-    options.num_workers = kWorkers;
-    options.iterations_per_worker = kIterations;
-    options.mode = mode;
-    options.dataset = DemoDataset();
-    options.worker_delay_seconds = kDelays;
-    pr::ThreadedPsResult result = pr::RunThreadedPs(options);
-    table.AddRow({mode == pr::PsMode::kBsp ? "PS (BSP)" : "PS (ASP)",
+  const pr::StrategyKind kinds[] = {
+      pr::StrategyKind::kPsBsp,        pr::StrategyKind::kPsAsp,
+      pr::StrategyKind::kPsHete,       pr::StrategyKind::kPsBackup,
+      pr::StrategyKind::kAllReduce,    pr::StrategyKind::kEagerReduce,
+      pr::StrategyKind::kAdPsgd,       pr::StrategyKind::kPReduceConst,
+      pr::StrategyKind::kPReduceDynamic};
+
+  std::vector<uint64_t> asp_staleness;
+  for (pr::StrategyKind kind : kinds) {
+    pr::StrategyOptions strategy;
+    strategy.kind = kind;
+    strategy.group_size = 2;
+    strategy.backup_workers = 1;
+    pr::ThreadedRunResult result = pr::RunThreaded(strategy, options);
+    const double fastest =
+        *std::min_element(result.worker_finish_seconds.begin(),
+                          result.worker_finish_seconds.end());
+    table.AddRow({result.strategy,
                   pr::FormatDouble(result.wall_seconds, 3),
-                  std::to_string(result.versions),
-                  pr::FormatDouble(result.final_accuracy, 3)});
-    if (mode == pr::PsMode::kAsp) {
-      std::printf("ASP staleness histogram (pushes at staleness s): ");
-      for (size_t s = 0; s < result.staleness_histogram.size() && s < 8;
-           ++s) {
-        std::printf("s=%zu:%llu ", s,
-                    static_cast<unsigned long long>(
-                        result.staleness_histogram[s]));
-      }
-      std::printf("\n");
+                  std::to_string(result.group_reduces),
+                  pr::FormatDouble(result.final_accuracy, 3),
+                  pr::FormatDouble(fastest, 3)});
+    if (kind == pr::StrategyKind::kPsAsp) {
+      asp_staleness = result.staleness_histogram;
     }
   }
 
-  pr::ThreadedRunOptions options;
-  options.num_workers = kWorkers;
-  options.iterations_per_worker = kIterations;
-  options.group_size = 2;
-  options.dataset = DemoDataset();
-  options.worker_delay_seconds = kDelays;
-  pr::ThreadedRunResult result = pr::RunThreadedPReduce(options);
-  table.AddRow({"P-Reduce (P=2)",
-                pr::FormatDouble(result.wall_seconds, 3),
-                std::to_string(result.group_reduces),
-                pr::FormatDouble(result.final_accuracy, 3)});
-
-  std::printf("\n");
   table.Print();
+  std::printf("\nASP staleness histogram (pushes at staleness s): ");
+  for (size_t s = 0; s < asp_staleness.size() && s < 8; ++s) {
+    std::printf("s=%zu:%llu ", s,
+                static_cast<unsigned long long>(asp_staleness[s]));
+  }
   std::printf(
-      "\nBSP pays the straggler every round; ASP avoids the wait but its\n"
+      "\n\nBSP pays the straggler every round; ASP avoids the wait but its\n"
       "pushes arrive stale (histogram above); P-Reduce keeps fast workers\n"
       "moving with neither a central model nor stale gradients.\n");
   return 0;

@@ -25,10 +25,8 @@ double FastestFinish(const pr::ThreadedRunResult& result) {
 int main() {
   pr::ThreadedRunOptions options;
   options.num_workers = 4;
-  options.group_size = 2;
   options.iterations_per_worker = 80;
-  options.mode = pr::PartialReduceMode::kConstant;
-  options.hidden = {32};
+  options.model.hidden = {32};
   options.batch_size = 32;
 
   options.dataset.num_classes = 10;
@@ -40,9 +38,13 @@ int main() {
   // Heterogeneity: worker 3 sleeps 6 ms per iteration, the others 2 ms.
   options.worker_delay_seconds = {0.002, 0.002, 0.002, 0.006};
 
+  pr::StrategyOptions strategy;
+  strategy.kind = pr::StrategyKind::kPReduceConst;
+  strategy.group_size = 2;
+
   std::printf("Training with partial reduce (N=%d, P=%d)...\n",
-              options.num_workers, options.group_size);
-  pr::ThreadedRunResult result = pr::RunThreadedPReduce(options);
+              options.num_workers, strategy.group_size);
+  pr::ThreadedRunResult result = pr::RunThreaded(strategy, options);
 
   std::printf("fast worker finished at : %.3f s\n", FastestFinish(result));
   std::printf("straggler finished at   : %.3f s\n",
@@ -56,7 +58,8 @@ int main() {
   // Same workload under classic all-reduce: every iteration waits for the
   // straggler, so even the fast workers finish at the straggler's pace.
   std::printf("\nSame workload with all-reduce (global barrier)...\n");
-  pr::ThreadedRunResult ar = pr::RunThreadedAllReduce(options);
+  strategy.kind = pr::StrategyKind::kAllReduce;
+  pr::ThreadedRunResult ar = pr::RunThreaded(strategy, options);
   std::printf("fast worker finished at : %.3f s\n", FastestFinish(ar));
   std::printf("final accuracy          : %.3f\n", ar.final_accuracy);
 

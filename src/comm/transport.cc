@@ -1,5 +1,7 @@
 #include "comm/transport.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace pr {
@@ -56,46 +58,39 @@ Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
   return transport_->Send(to, std::move(env));
 }
 
-std::optional<Envelope> Endpoint::RecvMatching(NodeId from, uint64_t tag,
-                                               int kind) {
-  for (size_t i = 0; i < stash_.size(); ++i) {
-    if (stash_[i].from == from && stash_[i].tag == tag &&
-        stash_[i].kind == kind) {
-      Envelope env = std::move(stash_[i]);
-      stash_.erase(stash_.begin() + static_cast<ptrdiff_t>(i));
+std::optional<Envelope> Endpoint::RecvWhere(
+    const std::function<bool(const Envelope&)>& match) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (match(*it)) {
+      Envelope env = std::move(*it);
+      stash_.erase(it);
       return env;
     }
   }
   while (true) {
     std::optional<Envelope> env = transport_->Recv(me_);
     if (!env.has_value()) return std::nullopt;
-    if (env->from == from && env->tag == tag && env->kind == kind) {
-      return env;
-    }
+    if (match(*env)) return env;
     stash_.push_back(std::move(*env));
+    stash_high_water_ = std::max(stash_high_water_, stash_.size());
   }
 }
 
+std::optional<Envelope> Endpoint::RecvMatching(NodeId from, uint64_t tag,
+                                               int kind) {
+  return RecvWhere([&](const Envelope& env) {
+    return env.from == from && env.tag == tag && env.kind == kind;
+  });
+}
+
 std::optional<Envelope> Endpoint::RecvFrom(NodeId from) {
-  for (size_t i = 0; i < stash_.size(); ++i) {
-    if (stash_[i].from == from) {
-      Envelope env = std::move(stash_[i]);
-      stash_.erase(stash_.begin() + static_cast<ptrdiff_t>(i));
-      return env;
-    }
-  }
-  while (true) {
-    std::optional<Envelope> env = transport_->Recv(me_);
-    if (!env.has_value()) return std::nullopt;
-    if (env->from == from) return env;
-    stash_.push_back(std::move(*env));
-  }
+  return RecvWhere([&](const Envelope& env) { return env.from == from; });
 }
 
 std::optional<Envelope> Endpoint::RecvAny() {
   if (!stash_.empty()) {
     Envelope env = std::move(stash_.front());
-    stash_.erase(stash_.begin());
+    stash_.pop_front();
     return env;
   }
   return transport_->Recv(me_);

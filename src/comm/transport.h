@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/blocking_queue.h"
@@ -90,10 +93,26 @@ class Endpoint {
   /// Blocks for any message (stash first, then mailbox).
   std::optional<Envelope> RecvAny();
 
+  /// Messages currently parked out-of-order. A persistently growing stash
+  /// means some sender's messages are never selected — usually a protocol
+  /// bug (wrong tag/kind, or a peer that exited mid-conversation).
+  size_t stash_size() const { return stash_.size(); }
+
+  /// Largest stash size ever observed on this endpoint.
+  size_t stash_high_water() const { return stash_high_water_; }
+
  private:
+  /// Blocks until a message satisfying `match` arrives, checking the stash
+  /// in one pass first and parking every non-matching mailbox message.
+  std::optional<Envelope> RecvWhere(
+      const std::function<bool(const Envelope&)>& match);
+
   InProcTransport* transport_;
   NodeId me_;
-  std::vector<Envelope> stash_;
+  // Deque: RecvAny pops the oldest parked message in O(1); selective
+  // receives scan front-to-back, preserving per-sender FIFO order.
+  std::deque<Envelope> stash_;
+  size_t stash_high_water_ = 0;
 };
 
 }  // namespace pr

@@ -1,0 +1,65 @@
+#include <vector>
+
+#include "comm/collectives.h"
+#include "common/check.h"
+#include "runtime/threaded_strategies.h"
+#include "runtime/worker_runtime.h"
+
+namespace pr {
+namespace {
+
+/// Classic all-reduce on real threads: one global ring collective per
+/// iteration is the barrier — nobody advances until everyone joined, so
+/// every worker runs at the straggler's pace.
+class ThreadedAllReduce : public ThreadedStrategy {
+ public:
+  explicit ThreadedAllReduce(const StrategyOptions& options) {
+    PR_CHECK(options.kind == StrategyKind::kAllReduce);
+  }
+
+  std::string Name() const override {
+    return StrategyKindName(StrategyKind::kAllReduce);
+  }
+
+  void RunWorker(WorkerContext* ctx) override {
+    const ThreadedRunOptions& run = ctx->run();
+    Endpoint* ep = ctx->endpoint();
+    std::vector<float>* params = ctx->params();
+    std::vector<float> grad;
+    std::vector<NodeId> all;
+    for (int i = 0; i < run.num_workers; ++i) all.push_back(i);
+
+    for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
+      ctx->ComputeGradient(params->data(), &grad);
+      // The ring is the barrier: it averages the gradients of all N
+      // workers, and nobody's step happens until everyone contributed.
+      const double comm_begin = ctx->Now();
+      PR_CHECK(RingAverageAllReduce(ep, all,
+                                    static_cast<size_t>(ctx->worker()),
+                                    /*tag=*/k, &grad)
+                   .ok());
+      ctx->RecordComm(comm_begin, ctx->Now());
+      ctx->sgd()->Step(grad.data(), params);
+    }
+    ctx->MarkFinished();
+    // All workers execute the same count of global reduces; worker 0 records
+    // it (reads happen after the join, so this is not a race).
+    if (ctx->worker() == 0) global_reduces_ = run.iterations_per_worker;
+  }
+
+  void FillResult(ThreadedRunResult* result) const override {
+    result->group_reduces = global_reduces_;
+  }
+
+ private:
+  uint64_t global_reduces_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ThreadedStrategy> MakeThreadedAllReduce(
+    const StrategyOptions& options) {
+  return std::make_unique<ThreadedAllReduce>(options);
+}
+
+}  // namespace pr

@@ -1,0 +1,216 @@
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "common/check.h"
+#include "core/controller.h"
+#include "runtime/threaded_strategies.h"
+#include "runtime/worker_runtime.h"
+
+namespace pr {
+namespace {
+
+// Control-plane message kinds (collectives use their own range).
+constexpr int kKindReady = 1;
+constexpr int kKindLeave = 2;
+constexpr int kKindGroupInfo = 3;
+constexpr int kKindRelease = 4;
+constexpr int kKindPause = 5;
+constexpr int kKindRejoin = 6;
+
+/// Partial reduce on real threads (Alg. 2): worker threads send ready
+/// signals; the service thread runs the controller (signal queue -> group
+/// filter -> weight generator -> group broadcaster) plus the termination
+/// protocol, and elastic membership (Pause/Rejoin) rides the same channel.
+class ThreadedPReduce : public ThreadedStrategy {
+ public:
+  explicit ThreadedPReduce(const StrategyOptions& options)
+      : options_(options) {
+    PR_CHECK(options.kind == StrategyKind::kPReduceConst ||
+             options.kind == StrategyKind::kPReduceDynamic);
+    PR_CHECK_GE(options.group_size, 2);
+  }
+
+  std::string Name() const override { return StrategyKindName(options_.kind); }
+  bool has_service() const override { return true; }
+
+  void RunService(ServiceContext* ctx) override;
+  void RunWorker(WorkerContext* ctx) override;
+
+  void FillResult(ThreadedRunResult* result) const override {
+    result->group_reduces = group_reduces_;
+    result->controller_stats = controller_stats_;
+  }
+
+ private:
+  StrategyOptions options_;
+  // Written by the service thread; read after every thread joined.
+  uint64_t group_reduces_ = 0;
+  ControllerStats controller_stats_;
+};
+
+void ThreadedPReduce::RunService(ServiceContext* ctx) {
+  const int n = ctx->run().num_workers;
+  PR_CHECK_LE(options_.group_size, n);
+  Endpoint* ep = ctx->endpoint();
+
+  ControllerOptions copts;
+  copts.num_workers = n;
+  copts.group_size = options_.group_size;
+  copts.mode = options_.kind == StrategyKind::kPReduceDynamic
+                   ? PartialReduceMode::kDynamic
+                   : PartialReduceMode::kConstant;
+  copts.dynamic = options_.dynamic;
+  copts.frozen_avoidance = options_.frozen_avoidance;
+  copts.history_window = options_.history_window;
+  Controller controller(copts);
+
+  int remaining = n;  // workers that have not permanently left
+  int active = n;     // currently in the pool (excludes paused workers)
+
+  // Releases queued waiters that can never form a full group.
+  auto release_pending = [&] {
+    for (const ReadySignal& s : controller.DrainPending()) {
+      PR_CHECK(ep->Send(s.worker, 0, kKindRelease, {}, {}).ok());
+    }
+  };
+
+  // Broadcasts the group filter's decisions to their members.
+  auto broadcast = [&](const std::vector<GroupDecision>& decisions) {
+    for (const GroupDecision& decision : decisions) {
+      ++group_reduces_;
+      std::vector<int64_t> ints;
+      ints.push_back(static_cast<int64_t>(decision.group_id));
+      ints.push_back(decision.advanced_iteration);
+      for (int m : decision.members) ints.push_back(m);
+      // Convert the weights once per decision; each member gets a copy (the
+      // last one steals the buffer).
+      std::vector<float> weights(decision.weights.begin(),
+                                 decision.weights.end());
+      for (size_t i = 0; i < decision.members.size(); ++i) {
+        std::vector<float> payload = i + 1 == decision.members.size()
+                                         ? std::move(weights)
+                                         : weights;
+        PR_CHECK(ep->Send(decision.members[i], decision.group_id,
+                          kKindGroupInfo, ints, std::move(payload))
+                     .ok());
+      }
+    }
+  };
+
+  while (remaining > 0) {
+    std::optional<Envelope> env = ep->RecvAny();
+    if (!env.has_value()) break;  // transport shut down
+    switch (env->kind) {
+      case kKindReady:
+        if (active < copts.group_size) {
+          // Too few pool members remain for this signal to ever group (the
+          // sender may have raced a Leave or Pause); release it immediately.
+          PR_CHECK(controller.OnReadySignal(env->from, env->ints[0]).empty());
+          release_pending();
+        } else {
+          broadcast(controller.OnReadySignal(env->from, env->ints[0]));
+        }
+        break;
+      case kKindLeave:
+        --remaining;
+        --active;
+        // A departure can release frozen-avoidance holds.
+        broadcast(controller.NotifyWorkerLeft(env->from));
+        if (active < copts.group_size) release_pending();
+        break;
+      case kKindPause:
+        // Elastic leave: the worker will rejoin, but until then it must not
+        // be grouped and must not block frozen-avoidance holds.
+        --active;
+        broadcast(controller.NotifyWorkerLeft(env->from));
+        if (active < copts.group_size) release_pending();
+        break;
+      case kKindRejoin:
+        ++active;
+        broadcast(controller.NotifyWorkerRejoined(env->from));
+        break;
+      default:
+        PR_CHECK(false) << "controller got unexpected kind " << env->kind;
+    }
+  }
+  controller_stats_ = controller.stats();
+}
+
+void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
+  const ThreadedRunOptions& run = ctx->run();
+  const NodeId controller = ctx->service_node();
+  Endpoint* ep = ctx->endpoint();
+  std::vector<float>* params = ctx->params();
+  std::vector<float> grad;
+  int64_t iteration = 0;
+
+  const ThreadedChurnEvent* churn = nullptr;
+  for (const ThreadedChurnEvent& c : run.churn) {
+    if (c.worker == ctx->worker()) churn = &c;
+  }
+
+  for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
+    ctx->ComputeGradient(params->data(), &grad);
+    ctx->sgd()->Step(grad.data(), params);
+    ++iteration;
+
+    if (k == run.iterations_per_worker) {
+      ctx->MarkFinished();
+      PR_CHECK(ep->Send(controller, 0, kKindLeave, {}, {}).ok());
+      break;
+    }
+
+    if (churn != nullptr && k == churn->after_iterations) {
+      // Elastic pause: leave the pool, nap, rejoin with the parameters we
+      // last held.
+      PR_CHECK(ep->Send(controller, 0, kKindPause, {}, {}).ok());
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(churn->pause_seconds));
+      PR_CHECK(ep->Send(controller, 0, kKindRejoin, {}, {}).ok());
+    }
+
+    PR_CHECK(ep->Send(controller, 0, kKindReady, {iteration}, {}).ok());
+
+    // Wait for the controller's verdict; ring chunks from other groups that
+    // land meanwhile are stashed by RecvFrom and replayed to the collective.
+    const double wait_begin = ctx->Now();
+    std::optional<Envelope> env = ep->RecvFrom(controller);
+    if (!env.has_value()) return;  // shutdown
+    ctx->RecordIdle(wait_begin, ctx->Now());
+    if (env->kind == kKindRelease) continue;
+    PR_CHECK_EQ(env->kind, kKindGroupInfo);
+
+    const uint64_t group_id = static_cast<uint64_t>(env->ints[0]);
+    const int64_t advanced = env->ints[1];
+    std::vector<NodeId> members;
+    for (size_t i = 2; i < env->ints.size(); ++i) {
+      members.push_back(static_cast<NodeId>(env->ints[i]));
+    }
+    std::vector<double> weights(env->floats.begin(), env->floats.end());
+    const size_t my_index = static_cast<size_t>(
+        std::find(members.begin(), members.end(), ctx->worker()) -
+        members.begin());
+    PR_CHECK_LT(my_index, members.size()) << "not a member of my own group";
+
+    const double comm_begin = ctx->Now();
+    PR_CHECK(RingWeightedAllReduce(ep, members, weights, my_index, group_id,
+                                   params)
+                 .ok());
+    ctx->RecordComm(comm_begin, ctx->Now());
+    if (options_.kind == StrategyKind::kPReduceDynamic) iteration = advanced;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<ThreadedStrategy> MakeThreadedPReduce(
+    const StrategyOptions& options) {
+  return std::make_unique<ThreadedPReduce>(options);
+}
+
+}  // namespace pr

@@ -1,195 +1,35 @@
 #include "runtime/threaded_ps.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cstring>
-#include <thread>
+#include <utility>
 
-#include "comm/transport.h"
-#include "common/check.h"
-#include "data/dataset.h"
-#include "models/mlp.h"
-#include "tensor/ops.h"
+#include "strategies/strategy.h"
 
 namespace pr {
-namespace {
-
-// Control-plane message kinds for the PS protocol.
-constexpr int kKindPull = 11;
-constexpr int kKindModel = 12;   // ints: [version]
-constexpr int kKindPush = 13;    // ints: [pulled_version], floats: gradient
-constexpr int kKindLeave = 14;
-
-void SleepSeconds(double s) {
-  if (s <= 0.0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(s));
-}
-
-/// Server thread: owns the global model and applies the configured
-/// consistency protocol. Not a bottleneck for these problem sizes, but the
-/// central-queue structure is exactly the architecture the paper contrasts
-/// P-Reduce against.
-void ServerMain(const ThreadedPsOptions& options, const Mlp* model,
-                InProcTransport* transport, std::vector<float>* global,
-                uint64_t* versions,
-                std::vector<uint64_t>* staleness_histogram) {
-  const int n = options.num_workers;
-  Endpoint ep(transport, n);  // server occupies the last node id
-  Sgd opt(model->NumParams(), options.sgd);
-  int active = n;
-
-  // BSP state: gradients of the open round, which workers contributed, and
-  // pulls parked until the round closes (lockstep). A pull is parked only
-  // when its sender already pushed this round — a worker that has not yet
-  // pushed is still *in* the round and must be served, otherwise its first
-  // pull racing behind a fast worker's push deadlocks the round.
-  std::vector<float> round_sum(model->NumParams(), 0.0f);
-  std::vector<bool> pushed_this_round(static_cast<size_t>(n), false);
-  int round_pushes = 0;
-  std::vector<NodeId> parked_pulls;
-
-  auto reply_model = [&](NodeId to) {
-    PR_CHECK(ep.Send(to, 0, kKindModel,
-                     {static_cast<int64_t>(*versions)}, *global)
-                 .ok());
-  };
-  auto note_staleness = [&](uint64_t staleness) {
-    if (staleness_histogram->size() <= staleness) {
-      staleness_histogram->resize(staleness + 1, 0);
-    }
-    ++(*staleness_histogram)[staleness];
-  };
-
-  while (active > 0) {
-    std::optional<Envelope> env = ep.RecvAny();
-    if (!env.has_value()) break;
-    switch (env->kind) {
-      case kKindPull:
-        if (options.mode == PsMode::kBsp &&
-            pushed_this_round[static_cast<size_t>(env->from)]) {
-          // This worker raced ahead into the next round: park until the
-          // current round applies so everyone computes on the same version.
-          parked_pulls.push_back(env->from);
-        } else {
-          reply_model(env->from);
-        }
-        break;
-      case kKindPush: {
-        const uint64_t pulled = static_cast<uint64_t>(env->ints[0]);
-        note_staleness(*versions - pulled);
-        if (options.mode == PsMode::kBsp) {
-          Axpy(1.0f, env->floats.data(), round_sum.data(), round_sum.size());
-          pushed_this_round[static_cast<size_t>(env->from)] = true;
-          if (++round_pushes == n) {
-            Scale(1.0f / static_cast<float>(n), round_sum.data(),
-                  round_sum.size());
-            opt.Step(round_sum.data(), global);
-            std::memset(round_sum.data(), 0,
-                        round_sum.size() * sizeof(float));
-            round_pushes = 0;
-            std::fill(pushed_this_round.begin(), pushed_this_round.end(),
-                      false);
-            ++*versions;
-            for (NodeId w : parked_pulls) reply_model(w);
-            parked_pulls.clear();
-          }
-        } else {
-          // ASP: apply immediately with the standard 1/N async scaling.
-          opt.Step(env->floats.data(), global,
-                   1.0 / static_cast<double>(n));
-          ++*versions;
-        }
-        break;
-      }
-      case kKindLeave:
-        --active;
-        break;
-      default:
-        PR_CHECK(false) << "server got unexpected kind " << env->kind;
-    }
-  }
-}
-
-void WorkerMain(const ThreadedPsOptions& options, const Mlp* model,
-                InProcTransport* transport, int worker,
-                BatchSampler* sampler) {
-  const NodeId server = options.num_workers;
-  Endpoint ep(transport, worker);
-  std::vector<float> params(model->NumParams());
-  std::vector<float> grad(model->NumParams());
-  Tensor x;
-  std::vector<int> y;
-  const double delay = options.worker_delay_seconds.empty()
-                           ? 0.0
-                           : options.worker_delay_seconds[
-                                 static_cast<size_t>(worker)];
-
-  for (size_t k = 1; k <= options.iterations_per_worker; ++k) {
-    PR_CHECK(ep.Send(server, 0, kKindPull, {}, {}).ok());
-    std::optional<Envelope> env = ep.RecvFrom(server);
-    if (!env.has_value()) return;  // shutdown
-    PR_CHECK_EQ(env->kind, kKindModel);
-    const int64_t version = env->ints[0];
-    params = std::move(env->floats);
-
-    sampler->NextBatch(&x, &y);
-    model->LossAndGradient(params.data(), x, y, grad.data());
-    SleepSeconds(delay);
-    PR_CHECK(ep.Send(server, 0, kKindPush, {version}, grad).ok());
-  }
-  PR_CHECK(ep.Send(server, 0, kKindLeave, {}, {}).ok());
-}
-
-}  // namespace
 
 ThreadedPsResult RunThreadedPs(const ThreadedPsOptions& options) {
-  PR_CHECK_GE(options.num_workers, 1);
-  PR_CHECK_GE(options.iterations_per_worker, 1u);
+  StrategyOptions strategy;
+  strategy.kind = options.mode == PsMode::kBsp ? StrategyKind::kPsBsp
+                                               : StrategyKind::kPsAsp;
 
-  Rng rng(options.seed);
-  SyntheticSpec spec = options.dataset;
-  spec.seed = options.seed;
-  TrainTestSplit split = GenerateSynthetic(spec);
-  Mlp model(spec.dim, options.hidden, spec.num_classes);
+  ThreadedRunOptions run;
+  run.num_workers = options.num_workers;
+  run.iterations_per_worker = options.iterations_per_worker;
+  run.sgd = options.sgd;
+  run.batch_size = options.batch_size;
+  run.model.kind = ThreadedModelSpec::Kind::kMlp;
+  run.model.hidden = options.hidden;
+  run.dataset = options.dataset;
+  run.worker_delay_seconds = options.worker_delay_seconds;
+  run.seed = options.seed;
 
-  std::vector<float> global;
-  model.InitParams(&global, &rng);
-
-  std::vector<Shard> shards = ShardDataset(
-      split.train.size(), static_cast<size_t>(options.num_workers), &rng);
-  std::vector<std::unique_ptr<BatchSampler>> samplers;
-  for (int w = 0; w < options.num_workers; ++w) {
-    samplers.push_back(std::make_unique<BatchSampler>(
-        &split.train, std::move(shards[static_cast<size_t>(w)]),
-        options.batch_size, rng.Next()));
-  }
-
-  InProcTransport transport(options.num_workers + 1);
-  uint64_t versions = 0;
-  std::vector<uint64_t> staleness_histogram;
-
-  const auto start = std::chrono::steady_clock::now();
-  std::thread server(ServerMain, options, &model, &transport, &global,
-                     &versions, &staleness_histogram);
-  std::vector<std::thread> workers;
-  for (int w = 0; w < options.num_workers; ++w) {
-    workers.emplace_back(WorkerMain, options, &model, &transport, w,
-                         samplers[static_cast<size_t>(w)].get());
-  }
-  for (auto& t : workers) t.join();
-  server.join();
-  transport.Shutdown();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  ThreadedRunResult full = RunThreaded(strategy, run);
 
   ThreadedPsResult result;
-  result.wall_seconds = wall;
-  result.versions = versions;
-  result.final_accuracy =
-      EvaluateAccuracy(model, global.data(), split.test);
-  result.final_loss = EvaluateLoss(model, global.data(), split.test);
-  result.staleness_histogram = std::move(staleness_histogram);
+  result.wall_seconds = full.wall_seconds;
+  result.versions = full.versions;
+  result.final_accuracy = full.final_accuracy;
+  result.final_loss = full.final_loss;
+  result.staleness_histogram = std::move(full.staleness_histogram);
   return result;
 }
 

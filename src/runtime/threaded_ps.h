@@ -49,6 +49,10 @@ struct ThreadedPsResult {
 /// \brief Runs parameter-server training end-to-end on real threads: one
 /// server thread owning the global model, N worker threads doing
 /// pull -> compute -> push.
+///
+/// Compatibility wrapper over RunThreaded(StrategyOptions{kPsBsp|kPsAsp},
+/// ...); the full PS family (including PS-HETE and PS-BK) and its extra
+/// diagnostics are available through the generic entry point directly.
 ThreadedPsResult RunThreadedPs(const ThreadedPsOptions& options);
 
 }  // namespace pr

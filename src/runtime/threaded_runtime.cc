@@ -1,339 +1,37 @@
 #include "runtime/threaded_runtime.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <thread>
-
-#include "comm/collectives.h"
-#include "comm/transport.h"
 #include "common/check.h"
-#include "core/aggregate.h"
-#include "data/dataset.h"
-#include "models/mlp.h"
-#include "tensor/ops.h"
+#include "runtime/threaded_strategy.h"
+#include "runtime/worker_runtime.h"
 
 namespace pr {
 namespace {
 
-// Control-plane message kinds (collectives use their own range).
-constexpr int kKindReady = 1;
-constexpr int kKindLeave = 2;
-constexpr int kKindGroupInfo = 3;
-constexpr int kKindRelease = 4;
-
-void SleepSeconds(double s) {
-  if (s <= 0.0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(s));
-}
-
-/// Shared immutable run context.
-struct RunContext {
-  const ThreadedRunOptions* options;
-  const Mlp* model;
-  const TrainTestSplit* split;
-  InProcTransport* transport;
-};
-
-double WorkerDelay(const ThreadedRunOptions& options, int worker) {
-  if (options.worker_delay_seconds.empty()) return 0.0;
-  PR_CHECK_EQ(options.worker_delay_seconds.size(),
-              static_cast<size_t>(options.num_workers));
-  return options.worker_delay_seconds[static_cast<size_t>(worker)];
-}
-
-/// Controller thread body: signal queue -> group filter -> weight generator
-/// -> group broadcaster, plus the termination protocol (workers that finish
-/// their iteration budget Leave; once fewer than P workers remain active,
-/// queued waiters are Released without a final reduce).
-void ControllerMain(RunContext ctx, Controller* controller,
-                    uint64_t* group_reduces) {
-  const int n = ctx.options->num_workers;
-  const NodeId me = n;  // controller occupies the last transport node
-  Endpoint ep(ctx.transport, me);
-  int active = n;
-
-  // Releases queued waiters that can never form a full group.
-  auto release_pending = [&] {
-    for (const ReadySignal& s : controller->DrainPending()) {
-      PR_CHECK(ep.Send(s.worker, 0, kKindRelease, {}, {}).ok());
-    }
-  };
-
-  // Broadcasts the group filter's decisions to their members.
-  auto broadcast = [&](const std::vector<GroupDecision>& decisions) {
-    for (const GroupDecision& decision : decisions) {
-      ++*group_reduces;
-      std::vector<int64_t> ints;
-      ints.push_back(static_cast<int64_t>(decision.group_id));
-      ints.push_back(decision.advanced_iteration);
-      for (int m : decision.members) ints.push_back(m);
-      for (int m : decision.members) {
-        // Weights vector is shared; each member finds itself by id.
-        std::vector<float> weights(decision.weights.begin(),
-                                   decision.weights.end());
-        PR_CHECK(ep.Send(m, decision.group_id, kKindGroupInfo, ints,
-                         std::move(weights))
-                     .ok());
-      }
-    }
-  };
-
-  while (active > 0) {
-    std::optional<Envelope> env = ep.RecvAny();
-    if (!env.has_value()) break;  // transport shut down
-    if (env->kind == kKindReady) {
-      if (active < ctx.options->group_size) {
-        // Too few active workers remain for this signal to ever group
-        // (the sender may have raced a Leave); release it immediately.
-        PR_CHECK(controller->OnReadySignal(env->from, env->ints[0]).empty());
-        release_pending();
-        continue;
-      }
-      broadcast(controller->OnReadySignal(env->from, env->ints[0]));
-    } else if (env->kind == kKindLeave) {
-      --active;
-      // A departure can release frozen-avoidance holds.
-      broadcast(controller->NotifyWorkerLeft(env->from));
-      if (active < ctx.options->group_size) {
-        // No full group can ever form again; release queued waiters.
-        release_pending();
-      }
-    } else {
-      PR_CHECK(false) << "controller got unexpected kind " << env->kind;
-    }
-  }
-}
-
-/// Worker thread body for partial reduce (Alg. 2 worker component).
-void PReduceWorkerMain(RunContext ctx, int worker,
-                       std::vector<float>* params, BatchSampler* sampler,
-                       std::chrono::steady_clock::time_point start,
-                       double* finish_seconds) {
-  const ThreadedRunOptions& opt = *ctx.options;
-  const NodeId controller = opt.num_workers;
-  Endpoint ep(ctx.transport, worker);
-  Sgd sgd(ctx.model->NumParams(), opt.sgd);
-  std::vector<float> grad(ctx.model->NumParams());
-  Tensor x;
-  std::vector<int> y;
-  int64_t iteration = 0;
-
-  for (size_t k = 1; k <= opt.iterations_per_worker; ++k) {
-    sampler->NextBatch(&x, &y);
-    ctx.model->LossAndGradient(params->data(), x, y, grad.data());
-    sgd.Step(grad.data(), params);
-    ++iteration;
-    SleepSeconds(WorkerDelay(opt, worker));
-
-    if (k == opt.iterations_per_worker) {
-      *finish_seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-      PR_CHECK(ep.Send(controller, 0, kKindLeave, {}, {}).ok());
-      break;
-    }
-    PR_CHECK(ep.Send(controller, 0, kKindReady, {iteration}, {}).ok());
-
-    // Wait for the controller's verdict; ring chunks from other groups that
-    // land meanwhile are stashed by RecvFrom and replayed to the collective.
-    std::optional<Envelope> env = ep.RecvFrom(controller);
-    if (!env.has_value()) return;  // shutdown
-    if (env->kind == kKindRelease) continue;
-    PR_CHECK_EQ(env->kind, kKindGroupInfo);
-
-    const uint64_t group_id = static_cast<uint64_t>(env->ints[0]);
-    const int64_t advanced = env->ints[1];
-    std::vector<NodeId> members;
-    for (size_t i = 2; i < env->ints.size(); ++i) {
-      members.push_back(static_cast<NodeId>(env->ints[i]));
-    }
-    std::vector<double> weights(env->floats.begin(), env->floats.end());
-    const size_t my_index = static_cast<size_t>(
-        std::find(members.begin(), members.end(), worker) - members.begin());
-    PR_CHECK_LT(my_index, members.size()) << "not a member of my own group";
-
-    PR_CHECK(RingWeightedAllReduce(&ep, members, weights, my_index, group_id,
-                                   params)
-                 .ok());
-    if (opt.mode == PartialReduceMode::kDynamic) iteration = advanced;
-  }
-}
-
-/// Worker thread body for classic all-reduce (global collective per step).
-void AllReduceWorkerMain(RunContext ctx, int worker,
-                         std::vector<float>* params, BatchSampler* sampler,
-                         std::chrono::steady_clock::time_point start,
-                         double* finish_seconds) {
-  const ThreadedRunOptions& opt = *ctx.options;
-  Endpoint ep(ctx.transport, worker);
-  Sgd sgd(ctx.model->NumParams(), opt.sgd);
-  std::vector<float> grad(ctx.model->NumParams());
-  Tensor x;
-  std::vector<int> y;
-  std::vector<NodeId> all;
-  for (int i = 0; i < opt.num_workers; ++i) all.push_back(i);
-
-  for (size_t k = 1; k <= opt.iterations_per_worker; ++k) {
-    sampler->NextBatch(&x, &y);
-    ctx.model->LossAndGradient(params->data(), x, y, grad.data());
-    SleepSeconds(WorkerDelay(opt, worker));
-    // The ring is the barrier: nobody advances until everyone joined.
-    PR_CHECK(RingAverageAllReduce(&ep, all, static_cast<size_t>(worker),
-                                  /*tag=*/k, &grad)
-                 .ok());
-    sgd.Step(grad.data(), params);
-  }
-  *finish_seconds = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-}
-
-ThreadedRunResult FinishRun(const ThreadedRunOptions& options,
-                            const Mlp& model, const TrainTestSplit& split,
-                            const std::vector<std::vector<float>>& replicas,
-                            double wall_seconds) {
-  ThreadedRunResult result;
-  result.wall_seconds = wall_seconds;
-  result.worker_iterations.assign(
-      static_cast<size_t>(options.num_workers), options.iterations_per_worker);
-
-  // Inference model: average of all replicas (Alg. 2 line 8).
-  const size_t n = model.NumParams();
-  std::vector<float> avg(n, 0.0f);
-  for (const auto& p : replicas) {
-    Axpy(1.0f / static_cast<float>(replicas.size()), p.data(), avg.data(), n);
-  }
-  result.final_accuracy = EvaluateAccuracy(model, avg.data(), split.test);
-  result.final_loss = EvaluateLoss(model, avg.data(), split.test);
-
-  double spread = 0.0;
-  for (size_t a = 0; a < replicas.size(); ++a) {
-    for (size_t b = a + 1; b < replicas.size(); ++b) {
-      for (size_t i = 0; i < n; ++i) {
-        spread = std::max(
-            spread, std::fabs(static_cast<double>(replicas[a][i]) -
-                              static_cast<double>(replicas[b][i])));
-      }
-    }
-  }
-  result.replica_spread = spread;
-  return result;
+bool IsPsFamily(StrategyKind kind) {
+  return kind == StrategyKind::kPsBsp || kind == StrategyKind::kPsAsp ||
+         kind == StrategyKind::kPsHete || kind == StrategyKind::kPsBackup;
 }
 
 }  // namespace
 
-ThreadedRunResult RunThreadedPReduce(const ThreadedRunOptions& options) {
-  PR_CHECK_GE(options.num_workers, 2);
-  PR_CHECK_GE(options.group_size, 2);
-  PR_CHECK_LE(options.group_size, options.num_workers);
-
-  Rng rng(options.seed);
-  SyntheticSpec spec = options.dataset;
-  spec.seed = options.seed;
-  TrainTestSplit split = GenerateSynthetic(spec);
-  Mlp model(spec.dim, options.hidden, spec.num_classes);
-
-  std::vector<float> init;
-  model.InitParams(&init, &rng);
-  std::vector<std::vector<float>> replicas(
-      static_cast<size_t>(options.num_workers), init);
-
-  std::vector<Shard> shards = ShardDataset(
-      split.train.size(), static_cast<size_t>(options.num_workers), &rng);
-  std::vector<std::unique_ptr<BatchSampler>> samplers;
-  for (int w = 0; w < options.num_workers; ++w) {
-    samplers.push_back(std::make_unique<BatchSampler>(
-        &split.train, std::move(shards[static_cast<size_t>(w)]),
-        options.batch_size, rng.Next()));
+ThreadedRunResult RunThreaded(const StrategyOptions& strategy,
+                              const ThreadedRunOptions& options) {
+  // Centralized PS training degenerates gracefully to one worker; every
+  // collective/gossip scheme needs a counterpart.
+  PR_CHECK_GE(options.num_workers, IsPsFamily(strategy.kind) ? 1 : 2);
+  if (strategy.kind == StrategyKind::kPReduceConst ||
+      strategy.kind == StrategyKind::kPReduceDynamic) {
+    PR_CHECK_GE(strategy.group_size, 2);
+    PR_CHECK_LE(strategy.group_size, options.num_workers);
   }
+  PR_CHECK(options.churn.empty() ||
+           strategy.kind == StrategyKind::kPReduceConst ||
+           strategy.kind == StrategyKind::kPReduceDynamic)
+      << "elastic churn is a P-Reduce feature";
 
-  InProcTransport transport(options.num_workers + 1);
-  RunContext ctx{&options, &model, &split, &transport};
-
-  ControllerOptions copts;
-  copts.num_workers = options.num_workers;
-  copts.group_size = options.group_size;
-  copts.mode = options.mode;
-  copts.dynamic = options.dynamic;
-  copts.frozen_avoidance = options.frozen_avoidance;
-  Controller controller(copts);
-  uint64_t group_reduces = 0;
-
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<double> finish_seconds(
-      static_cast<size_t>(options.num_workers), 0.0);
-  std::thread controller_thread(ControllerMain, ctx, &controller,
-                                &group_reduces);
-  std::vector<std::thread> workers;
-  for (int w = 0; w < options.num_workers; ++w) {
-    workers.emplace_back(PReduceWorkerMain, ctx, w,
-                         &replicas[static_cast<size_t>(w)],
-                         samplers[static_cast<size_t>(w)].get(), start,
-                         &finish_seconds[static_cast<size_t>(w)]);
-  }
-  for (auto& t : workers) t.join();
-  controller_thread.join();
-  transport.Shutdown();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  ThreadedRunResult result =
-      FinishRun(options, model, split, replicas, wall);
-  result.group_reduces = group_reduces;
-  result.controller_stats = controller.stats();
-  result.worker_finish_seconds = finish_seconds;
-  return result;
-}
-
-ThreadedRunResult RunThreadedAllReduce(const ThreadedRunOptions& options) {
-  PR_CHECK_GE(options.num_workers, 2);
-
-  Rng rng(options.seed);
-  SyntheticSpec spec = options.dataset;
-  spec.seed = options.seed;
-  TrainTestSplit split = GenerateSynthetic(spec);
-  Mlp model(spec.dim, options.hidden, spec.num_classes);
-
-  std::vector<float> init;
-  model.InitParams(&init, &rng);
-  std::vector<std::vector<float>> replicas(
-      static_cast<size_t>(options.num_workers), init);
-
-  std::vector<Shard> shards = ShardDataset(
-      split.train.size(), static_cast<size_t>(options.num_workers), &rng);
-  std::vector<std::unique_ptr<BatchSampler>> samplers;
-  for (int w = 0; w < options.num_workers; ++w) {
-    samplers.push_back(std::make_unique<BatchSampler>(
-        &split.train, std::move(shards[static_cast<size_t>(w)]),
-        options.batch_size, rng.Next()));
-  }
-
-  InProcTransport transport(options.num_workers);
-  RunContext ctx{&options, &model, &split, &transport};
-
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<double> finish_seconds(
-      static_cast<size_t>(options.num_workers), 0.0);
-  std::vector<std::thread> workers;
-  for (int w = 0; w < options.num_workers; ++w) {
-    workers.emplace_back(AllReduceWorkerMain, ctx, w,
-                         &replicas[static_cast<size_t>(w)],
-                         samplers[static_cast<size_t>(w)].get(), start,
-                         &finish_seconds[static_cast<size_t>(w)]);
-  }
-  for (auto& t : workers) t.join();
-  transport.Shutdown();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  ThreadedRunResult result =
-      FinishRun(options, model, split, replicas, wall);
-  result.group_reduces = options.iterations_per_worker;
-  result.worker_finish_seconds = finish_seconds;
-  return result;
+  std::unique_ptr<ThreadedStrategy> impl = MakeThreadedStrategy(strategy);
+  WorkerRuntime runtime(strategy, options);
+  return runtime.Run(impl.get());
 }
 
 }  // namespace pr

@@ -7,43 +7,86 @@
 #include "core/controller.h"
 #include "data/synthetic.h"
 #include "optim/sgd.h"
+#include "sim/timeline.h"
+#include "strategies/strategy.h"
 
 namespace pr {
+
+/// \brief Which runnable proxy architecture the threaded runtime trains.
+///
+/// The paper-scale CNNs enter the *simulator* through the cost-model catalog;
+/// the threaded runtime runs real gradient math, so it trains one of the
+/// runnable proxy models (the same ones SimTraining uses).
+struct ThreadedModelSpec {
+  enum class Kind {
+    kMlp,      ///< fully connected ReLU net (hand backprop)
+    kConvNet,  ///< 3x3 conv + dense head (hand backprop)
+  };
+  Kind kind = Kind::kMlp;
+  /// kMlp: hidden layer widths.
+  std::vector<size_t> hidden = {32};
+  /// kConvNet: filter count; the dataset dim must be a perfect square
+  /// (interpreted as a 1-channel sqrt(dim) x sqrt(dim) image).
+  size_t conv_filters = 8;
+};
+
+/// \brief Elastic membership on real threads (P-Reduce only): the worker
+/// Leaves the pool after completing `after_iterations` local iterations,
+/// sleeps for `pause_seconds`, then Rejoins and finishes its budget —
+/// exercising Controller::NotifyWorkerRejoined through the transport path.
+struct ThreadedChurnEvent {
+  int worker = -1;
+  size_t after_iterations = 0;
+  double pause_seconds = 0.01;
+};
 
 /// \brief Configuration for a real (wall-clock, multi-threaded) training run.
 ///
 /// This is the prototype-system analogue of the paper's implementation (§4):
 /// each worker is a thread with its own model replica and data shard; the
-/// controller is a thread owning the signal queue / group filter / weight
-/// generator; the data plane runs ring collectives over the in-process
-/// transport. Heterogeneity is injected as per-worker per-iteration sleeps.
+/// strategy's central state (P-Reduce controller, PS/ER server), when it has
+/// any, lives on a dedicated service thread; the data plane runs collectives
+/// over the in-process transport. Heterogeneity is injected as per-worker
+/// per-iteration sleeps. Which synchronization scheme runs is selected by
+/// the StrategyOptions passed to RunThreaded — the same options that drive
+/// the simulator.
 struct ThreadedRunOptions {
   int num_workers = 4;
-  /// Local iterations per worker (each ends with one partial reduce, except
-  /// the last, which leaves the pool).
+  /// Local iterations per worker (each ends with one synchronization step
+  /// of the selected strategy).
   size_t iterations_per_worker = 50;
-  int group_size = 2;
-  PartialReduceMode mode = PartialReduceMode::kConstant;
-  DynamicWeightOptions dynamic;
-  bool frozen_avoidance = true;
 
   SgdOptions sgd;
   size_t batch_size = 32;
-  std::vector<size_t> hidden = {32};
+  ThreadedModelSpec model;
   SyntheticSpec dataset;
 
   /// Injected per-iteration sleep per worker (seconds); empty = no sleeps.
   std::vector<double> worker_delay_seconds;
+
+  /// Elastic membership schedule (P-Reduce kinds only).
+  std::vector<ThreadedChurnEvent> churn;
+
+  /// Record a per-worker wall-clock activity timeline (compute/comm/idle
+  /// intervals) comparable to the simulator's Fig. 3 traces.
+  bool record_timeline = false;
 
   uint64_t seed = 7;
 };
 
 /// \brief Outcome of a threaded run.
 struct ThreadedRunResult {
+  /// Display name of the strategy that ran ("CON", "AR", "PS-BSP", ...).
+  std::string strategy;
   double wall_seconds = 0.0;
+  /// Global synchronizations performed: P-Reduce group reduces, AR/ER/PS
+  /// rounds or versions, AD-PSGD pair averages.
   uint64_t group_reduces = 0;
+  /// P-Reduce kinds only.
   ControllerStats controller_stats;
-  /// Accuracy of the averaged model on the held-out test set.
+  /// Accuracy/loss of the evaluated model on the held-out test set (average
+  /// of replicas for decentralized strategies, the global model for
+  /// centralized ones).
   double final_accuracy = 0.0;
   double final_loss = 0.0;
   /// Per-worker completed local iterations (== iterations_per_worker).
@@ -56,13 +99,24 @@ struct ThreadedRunResult {
   /// Max pairwise L-inf distance between worker replicas at the end —
   /// a consensus diagnostic.
   double replica_spread = 0.0;
+  /// PS family: global model versions produced (BSP/BK: rounds; ASP/HETE:
+  /// pushes), and the distribution of push staleness (server versions
+  /// between a worker's pull and its push).
+  uint64_t versions = 0;
+  std::vector<uint64_t> staleness_histogram;
+  /// Gradients discarded as too stale (PS-BK drops).
+  size_t wasted_gradients = 0;
+  /// Per-worker activity record (empty unless record_timeline was set).
+  Timeline timeline{1};
 };
 
-/// \brief Runs partial-reduce training end-to-end on real threads.
-ThreadedRunResult RunThreadedPReduce(const ThreadedRunOptions& options);
-
-/// \brief Runs classic all-reduce training (global barrier per iteration)
-/// on real threads, for side-by-side comparison in examples.
-ThreadedRunResult RunThreadedAllReduce(const ThreadedRunOptions& options);
+/// \brief Runs `strategy.kind` end-to-end on real threads.
+///
+/// Every StrategyKind the simulator covers also runs here: P-Reduce
+/// (constant and dynamic weights), ring All-Reduce, Eager-Reduce, AD-PSGD
+/// pairwise gossip, and the PS family (BSP, ASP, HETE, BK). All dispatch
+/// through the same WorkerRuntime; see runtime/threaded_strategy.h.
+ThreadedRunResult RunThreaded(const StrategyOptions& strategy,
+                              const ThreadedRunOptions& options);
 
 }  // namespace pr

@@ -1,0 +1,270 @@
+#include "runtime/worker_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "models/convnet.h"
+#include "models/mlp.h"
+#include "runtime/threaded_strategy.h"
+#include "tensor/ops.h"
+
+namespace pr {
+namespace {
+
+std::unique_ptr<Model> MakeThreadedModel(const ThreadedModelSpec& spec,
+                                         const SyntheticSpec& dataset) {
+  switch (spec.kind) {
+    case ThreadedModelSpec::Kind::kMlp:
+      return std::make_unique<Mlp>(dataset.dim, spec.hidden,
+                                   dataset.num_classes);
+    case ThreadedModelSpec::Kind::kConvNet: {
+      const size_t side =
+          static_cast<size_t>(std::lround(std::sqrt(
+              static_cast<double>(dataset.dim))));
+      PR_CHECK_EQ(side * side, dataset.dim)
+          << "ConvNet needs a perfect-square dataset dim";
+      return std::make_unique<ConvNet>(/*channels=*/1, side, side,
+                                       spec.conv_filters,
+                                       dataset.num_classes);
+    }
+  }
+  PR_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerContext
+// ---------------------------------------------------------------------------
+
+WorkerContext::WorkerContext(WorkerRuntime* runtime, int worker)
+    : runtime_(runtime),
+      worker_(worker),
+      endpoint_(&runtime->transport_, worker),
+      sgd_(runtime->model_->NumParams(), runtime->options_.sgd),
+      rng_(runtime->worker_seeds_[static_cast<size_t>(worker)]),
+      delay_seconds_(0.0) {
+  const auto& delays = runtime->options_.worker_delay_seconds;
+  if (!delays.empty()) {
+    PR_CHECK_EQ(delays.size(),
+                static_cast<size_t>(runtime->options_.num_workers));
+    delay_seconds_ = delays[static_cast<size_t>(worker)];
+  }
+}
+
+int WorkerContext::num_workers() const {
+  return runtime_->options_.num_workers;
+}
+
+NodeId WorkerContext::service_node() const {
+  return runtime_->options_.num_workers;
+}
+
+const ThreadedRunOptions& WorkerContext::run() const {
+  return runtime_->options_;
+}
+
+const StrategyOptions& WorkerContext::strategy_options() const {
+  return runtime_->strategy_options_;
+}
+
+const Model& WorkerContext::model() const { return *runtime_->model_; }
+
+size_t WorkerContext::num_params() const {
+  return runtime_->model_->NumParams();
+}
+
+std::vector<float>* WorkerContext::params() {
+  return &runtime_->replicas_[static_cast<size_t>(worker_)];
+}
+
+double WorkerContext::Now() const { return runtime_->NowSeconds(); }
+
+float WorkerContext::ComputeGradient(const float* at,
+                                     std::vector<float>* grad) {
+  const double begin = Now();
+  grad->resize(runtime_->model_->NumParams());
+  runtime_->samplers_[static_cast<size_t>(worker_)]->NextBatch(&batch_x_,
+                                                               &batch_y_);
+  const float loss =
+      runtime_->model_->LossAndGradient(at, batch_x_, batch_y_, grad->data());
+  if (delay_seconds_ > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(delay_seconds_));
+  }
+  RecordCompute(begin, Now());
+  return loss;
+}
+
+void WorkerContext::Record(WorkerActivity activity, double begin,
+                           double end) {
+  if (!runtime_->options_.record_timeline) return;
+  intervals_.push_back(TimelineInterval{worker_, activity, begin, end});
+}
+
+void WorkerContext::RecordCompute(double begin, double end) {
+  Record(WorkerActivity::kCompute, begin, end);
+}
+
+void WorkerContext::RecordComm(double begin, double end) {
+  Record(WorkerActivity::kComm, begin, end);
+}
+
+void WorkerContext::RecordIdle(double begin, double end) {
+  Record(WorkerActivity::kIdle, begin, end);
+}
+
+void WorkerContext::MarkFinished() {
+  runtime_->finish_seconds_[static_cast<size_t>(worker_)] = Now();
+}
+
+// ---------------------------------------------------------------------------
+// ServiceContext
+// ---------------------------------------------------------------------------
+
+ServiceContext::ServiceContext(WorkerRuntime* runtime)
+    : runtime_(runtime),
+      endpoint_(&runtime->transport_, runtime->options_.num_workers) {}
+
+const ThreadedRunOptions& ServiceContext::run() const {
+  return runtime_->options_;
+}
+
+const StrategyOptions& ServiceContext::strategy_options() const {
+  return runtime_->strategy_options_;
+}
+
+const Model& ServiceContext::model() const { return *runtime_->model_; }
+
+size_t ServiceContext::num_params() const {
+  return runtime_->model_->NumParams();
+}
+
+const std::vector<float>& ServiceContext::init_params() const {
+  return runtime_->init_;
+}
+
+// ---------------------------------------------------------------------------
+// WorkerRuntime
+// ---------------------------------------------------------------------------
+
+WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
+                             const ThreadedRunOptions& options)
+    : strategy_options_(strategy_options),
+      options_(options),
+      // Node num_workers is the service endpoint (unused mailbox for
+      // strategies without one).
+      transport_(options.num_workers + 1) {
+  PR_CHECK_GE(options_.num_workers, 1);
+  PR_CHECK_GE(options_.iterations_per_worker, 1u);
+
+  Rng rng(options_.seed);
+  SyntheticSpec spec = options_.dataset;
+  spec.seed = options_.seed;
+  split_ = GenerateSynthetic(spec);
+  model_ = MakeThreadedModel(options_.model, spec);
+
+  model_->InitParams(&init_, &rng);
+  replicas_.assign(static_cast<size_t>(options_.num_workers), init_);
+  finish_seconds_.assign(static_cast<size_t>(options_.num_workers), 0.0);
+
+  std::vector<Shard> shards = ShardDataset(
+      split_.train.size(), static_cast<size_t>(options_.num_workers), &rng);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    samplers_.push_back(std::make_unique<BatchSampler>(
+        &split_.train, std::move(shards[static_cast<size_t>(w)]),
+        options_.batch_size, rng.Next()));
+    worker_seeds_.push_back(rng.Next());
+  }
+}
+
+double WorkerRuntime::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
+  PR_CHECK(strategy != nullptr);
+  const int n = options_.num_workers;
+  start_ = std::chrono::steady_clock::now();
+
+  std::vector<std::unique_ptr<WorkerContext>> contexts;
+  contexts.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    contexts.emplace_back(new WorkerContext(this, w));
+  }
+
+  std::unique_ptr<ServiceContext> service_ctx;
+  std::thread service_thread;
+  if (strategy->has_service()) {
+    service_ctx.reset(new ServiceContext(this));
+    service_thread =
+        std::thread([&] { strategy->RunService(service_ctx.get()); });
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    WorkerContext* ctx = contexts[static_cast<size_t>(w)].get();
+    workers.emplace_back([strategy, ctx] { strategy->RunWorker(ctx); });
+  }
+  for (auto& t : workers) t.join();
+  if (service_thread.joinable()) service_thread.join();
+  transport_.Shutdown();
+  const double wall = NowSeconds();
+
+  ThreadedRunResult result;
+  result.strategy = strategy->Name();
+  result.wall_seconds = wall;
+  result.worker_iterations.assign(static_cast<size_t>(n),
+                                  options_.iterations_per_worker);
+  result.worker_finish_seconds = finish_seconds_;
+
+  // Inference model: the strategy's global model when it has one, otherwise
+  // the average of all replicas (Alg. 2 line 8).
+  const std::vector<float>* eval = strategy->eval_params();
+  std::vector<float> avg;
+  if (eval == nullptr) {
+    avg.assign(model_->NumParams(), 0.0f);
+    for (const auto& p : replicas_) {
+      Axpy(1.0f / static_cast<float>(replicas_.size()), p.data(), avg.data(),
+           avg.size());
+    }
+    eval = &avg;
+  }
+  result.final_accuracy =
+      EvaluateAccuracy(*model_, eval->data(), split_.test);
+  result.final_loss = EvaluateLoss(*model_, eval->data(), split_.test);
+
+  double spread = 0.0;
+  const size_t num_params = model_->NumParams();
+  for (size_t a = 0; a < replicas_.size(); ++a) {
+    for (size_t b = a + 1; b < replicas_.size(); ++b) {
+      for (size_t i = 0; i < num_params; ++i) {
+        spread = std::max(
+            spread, std::fabs(static_cast<double>(replicas_[a][i]) -
+                              static_cast<double>(replicas_[b][i])));
+      }
+    }
+  }
+  result.replica_spread = spread;
+
+  result.timeline = Timeline(n);
+  if (options_.record_timeline) {
+    for (const auto& ctx : contexts) {
+      for (const TimelineInterval& iv : ctx->intervals_) {
+        result.timeline.Record(iv.worker, iv.activity, iv.begin, iv.end);
+      }
+    }
+  }
+
+  strategy->FillResult(&result);
+  return result;
+}
+
+}  // namespace pr

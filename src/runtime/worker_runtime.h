@@ -1,0 +1,142 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "comm/transport.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "models/model.h"
+#include "optim/sgd.h"
+#include "runtime/threaded_runtime.h"
+#include "sim/timeline.h"
+#include "strategies/strategy.h"
+#include "tensor/tensor.h"
+
+namespace pr {
+
+class ThreadedStrategy;
+class WorkerRuntime;
+
+/// \brief A worker thread's view of the runtime: its endpoint, replica,
+/// data shard, optimizer, and RNG, plus helpers that fold heterogeneity
+/// delay injection and timeline recording into the local-compute step.
+///
+/// One instance per worker thread, owned by the WorkerRuntime; never shared
+/// between threads.
+class WorkerContext {
+ public:
+  int worker() const { return worker_; }
+  int num_workers() const;
+  /// The service thread's transport node id (== num_workers).
+  NodeId service_node() const;
+
+  const ThreadedRunOptions& run() const;
+  const StrategyOptions& strategy_options() const;
+  const Model& model() const;
+  size_t num_params() const;
+
+  Endpoint* endpoint() { return &endpoint_; }
+  /// This worker's model replica (shared initialization across workers).
+  std::vector<float>* params();
+  /// This worker's optimizer (momentum state stays local, per the paper).
+  Sgd* sgd() { return &sgd_; }
+  /// Per-worker RNG (deterministic in the run seed and worker id).
+  Rng* rng() { return &rng_; }
+
+  /// Wall-clock seconds since the run started.
+  double Now() const;
+
+  /// One local computation: samples the next mini-batch from this worker's
+  /// shard, computes the gradient at `at` into `grad` (resized to
+  /// NumParams()), then injects this worker's configured heterogeneity
+  /// delay. Records the whole thing as one compute interval. Returns the
+  /// batch loss.
+  float ComputeGradient(const float* at, std::vector<float>* grad);
+
+  /// Timeline recording; no-ops unless run().record_timeline is set.
+  void RecordCompute(double begin, double end);
+  void RecordComm(double begin, double end);
+  void RecordIdle(double begin, double end);
+
+  /// Stamps this worker's finish time. Call once, when the final local
+  /// iteration completes (before any trailing protocol messages).
+  void MarkFinished();
+
+ private:
+  friend class WorkerRuntime;
+  WorkerContext(WorkerRuntime* runtime, int worker);
+
+  void Record(WorkerActivity activity, double begin, double end);
+
+  WorkerRuntime* runtime_;
+  int worker_;
+  Endpoint endpoint_;
+  Sgd sgd_;
+  Rng rng_;
+  double delay_seconds_;
+  Tensor batch_x_;
+  std::vector<int> batch_y_;
+  std::vector<TimelineInterval> intervals_;
+};
+
+/// \brief The service thread's view of the runtime (controller / server
+/// strategies). Owns the endpoint at node `num_workers`.
+class ServiceContext {
+ public:
+  const ThreadedRunOptions& run() const;
+  const StrategyOptions& strategy_options() const;
+  const Model& model() const;
+  size_t num_params() const;
+  Endpoint* endpoint() { return &endpoint_; }
+  /// The shared initial parameter vector every replica starts from
+  /// (centralized strategies seed their global model with it).
+  const std::vector<float>& init_params() const;
+
+ private:
+  friend class WorkerRuntime;
+  explicit ServiceContext(WorkerRuntime* runtime);
+
+  WorkerRuntime* runtime_;
+  Endpoint endpoint_;
+};
+
+/// \brief The generic threaded execution engine.
+///
+/// Owns the full lifecycle of a threaded training run: dataset generation
+/// and sharding, model construction (via the Model interface — MLP or
+/// ConvNet), replica initialization, transport wiring (N worker nodes plus
+/// one service node), spawning/joining the worker and service threads, and
+/// the run-level accounting (wall time, per-worker finish times, replica
+/// spread, merged timeline, final evaluation). Strategy-specific behaviour
+/// is delegated entirely to the ThreadedStrategy passed to Run().
+class WorkerRuntime {
+ public:
+  WorkerRuntime(const StrategyOptions& strategy_options,
+                const ThreadedRunOptions& options);
+
+  /// Executes the run. Blocks until every thread has joined.
+  ThreadedRunResult Run(ThreadedStrategy* strategy);
+
+ private:
+  friend class WorkerContext;
+  friend class ServiceContext;
+
+  double NowSeconds() const;
+
+  StrategyOptions strategy_options_;
+  ThreadedRunOptions options_;
+  TrainTestSplit split_;
+  std::unique_ptr<Model> model_;
+  std::vector<float> init_;
+  std::vector<std::vector<float>> replicas_;
+  std::vector<std::unique_ptr<BatchSampler>> samplers_;
+  std::vector<uint64_t> worker_seeds_;
+  InProcTransport transport_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<double> finish_seconds_;
+};
+
+}  // namespace pr

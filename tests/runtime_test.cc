@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 
 #include "runtime/threaded_runtime.h"
 
@@ -10,9 +11,8 @@ namespace {
 ThreadedRunOptions SmallOptions() {
   ThreadedRunOptions opt;
   opt.num_workers = 4;
-  opt.group_size = 2;
   opt.iterations_per_worker = 30;
-  opt.hidden = {16};
+  opt.model.hidden = {16};
   opt.batch_size = 16;
   opt.dataset.num_train = 1024;
   opt.dataset.num_test = 512;
@@ -23,52 +23,62 @@ ThreadedRunOptions SmallOptions() {
   return opt;
 }
 
+StrategyOptions Strat(StrategyKind kind, int group_size = 2) {
+  StrategyOptions s;
+  s.kind = kind;
+  s.group_size = group_size;
+  return s;
+}
+
 TEST(ThreadedRuntimeTest, PReduceCompletesAndLearns) {
-  ThreadedRunResult result = RunThreadedPReduce(SmallOptions());
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+  EXPECT_EQ(result.strategy, "CON");
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
   EXPECT_EQ(result.worker_iterations.size(), 4u);
   // Each ready signal that grouped consumed exactly P signals.
-  EXPECT_LE(result.group_reduces,
-            4u * 30u / 2u);
+  EXPECT_LE(result.group_reduces, 4u * 30u / 2u);
 }
 
 TEST(ThreadedRuntimeTest, AllReduceCompletesAndLearns) {
-  ThreadedRunResult result = RunThreadedAllReduce(SmallOptions());
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kAllReduce), SmallOptions());
+  EXPECT_EQ(result.strategy, "AR");
   EXPECT_GT(result.final_accuracy, 0.6);
   // AR keeps replicas bitwise identical.
   EXPECT_EQ(result.replica_spread, 0.0);
 }
 
 TEST(ThreadedRuntimeTest, PReduceReplicasStayClose) {
-  ThreadedRunResult result = RunThreadedPReduce(SmallOptions());
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
   // Replicas drift between reduces but must remain in the same basin.
   EXPECT_LT(result.replica_spread, 2.0);
 }
 
 TEST(ThreadedRuntimeTest, GroupSizeEqualsWorkers) {
-  ThreadedRunOptions opt = SmallOptions();
-  opt.group_size = 4;
-  ThreadedRunResult result = RunThreadedPReduce(opt);
+  ThreadedRunResult result = RunThreaded(
+      Strat(StrategyKind::kPReduceConst, /*group_size=*/4), SmallOptions());
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
 TEST(ThreadedRuntimeTest, LargerGroupSizeFewerReduces) {
-  ThreadedRunOptions opt = SmallOptions();
-  opt.group_size = 2;
-  auto p2 = RunThreadedPReduce(opt);
-  opt.group_size = 4;
-  auto p4 = RunThreadedPReduce(opt);
+  auto p2 = RunThreaded(Strat(StrategyKind::kPReduceConst, 2),
+                        SmallOptions());
+  auto p4 = RunThreaded(Strat(StrategyKind::kPReduceConst, 4),
+                        SmallOptions());
   EXPECT_GT(p2.group_reduces, p4.group_reduces);
 }
 
 TEST(ThreadedRuntimeTest, DynamicModeRuns) {
+  StrategyOptions strat = Strat(StrategyKind::kPReduceDynamic);
+  strat.dynamic.alpha = 0.5;
   ThreadedRunOptions opt = SmallOptions();
-  opt.mode = PartialReduceMode::kDynamic;
-  opt.dynamic.alpha = 0.5;
   opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.003};  // a straggler
-  ThreadedRunResult result = RunThreadedPReduce(opt);
+  ThreadedRunResult result = RunThreaded(strat, opt);
+  EXPECT_EQ(result.strategy, "DYN");
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
 }
@@ -77,13 +87,15 @@ TEST(ThreadedRuntimeTest, StragglerDoesNotBlockPReduceCompletion) {
   ThreadedRunOptions opt = SmallOptions();
   opt.iterations_per_worker = 15;
   opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.01};
-  ThreadedRunResult result = RunThreadedPReduce(opt);
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
   // Run completes despite the straggler; all workers did their iterations.
   for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 15u);
 }
 
 TEST(ThreadedRuntimeTest, ControllerStatsPropagated) {
-  ThreadedRunResult result = RunThreadedPReduce(SmallOptions());
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
   EXPECT_EQ(result.controller_stats.groups_formed, result.group_reduces);
   EXPECT_GT(result.controller_stats.signals_received,
             result.controller_stats.groups_formed);
@@ -93,15 +105,17 @@ TEST(ThreadedRuntimeTest, FastWorkersFinishEarlyUnderPReduce) {
   ThreadedRunOptions opt = SmallOptions();
   opt.iterations_per_worker = 25;
   opt.worker_delay_seconds = {0.001, 0.001, 0.001, 0.008};
-  ThreadedRunResult pr_run = RunThreadedPReduce(opt);
-  ThreadedRunResult ar_run = RunThreadedAllReduce(opt);
+  ThreadedRunResult pr_run =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+  ThreadedRunResult ar_run =
+      RunThreaded(Strat(StrategyKind::kAllReduce), opt);
   ASSERT_EQ(pr_run.worker_finish_seconds.size(), 4u);
-  const double pr_fast = *std::min_element(
-      pr_run.worker_finish_seconds.begin(),
-      pr_run.worker_finish_seconds.end());
-  const double ar_fast = *std::min_element(
-      ar_run.worker_finish_seconds.begin(),
-      ar_run.worker_finish_seconds.end());
+  const double pr_fast =
+      *std::min_element(pr_run.worker_finish_seconds.begin(),
+                        pr_run.worker_finish_seconds.end());
+  const double ar_fast =
+      *std::min_element(ar_run.worker_finish_seconds.begin(),
+                        ar_run.worker_finish_seconds.end());
   // Under the barrier even the fastest worker is dragged to straggler pace.
   EXPECT_LT(pr_fast, 0.8 * ar_fast);
 }
@@ -112,11 +126,10 @@ TEST(ThreadedRuntimeTest, AdversarialSpeedClassesDoNotDeadlock) {
   // constantly. The run must terminate with every worker completing, even
   // though holds and Leaves race at the end.
   ThreadedRunOptions opt = SmallOptions();
-  opt.num_workers = 4;
-  opt.group_size = 2;
   opt.iterations_per_worker = 25;
   opt.worker_delay_seconds = {0.0, 0.0, 0.003, 0.003};
-  ThreadedRunResult result = RunThreadedPReduce(opt);
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
   for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 25u);
   EXPECT_GT(result.group_reduces, 0u);
 }
@@ -127,7 +140,8 @@ TEST(ThreadedRuntimeTest, RepeatedRunsTerminate) {
     ThreadedRunOptions opt = SmallOptions();
     opt.iterations_per_worker = 8;
     opt.seed = 100 + static_cast<uint64_t>(trial);
-    ThreadedRunResult result = RunThreadedPReduce(opt);
+    ThreadedRunResult result =
+        RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
     EXPECT_EQ(result.worker_iterations.size(), 4u);
   }
 }
@@ -135,10 +149,149 @@ TEST(ThreadedRuntimeTest, RepeatedRunsTerminate) {
 TEST(ThreadedRuntimeTest, ManyWorkersSmokeTest) {
   ThreadedRunOptions opt = SmallOptions();
   opt.num_workers = 8;
-  opt.group_size = 3;
   opt.iterations_per_worker = 12;
-  ThreadedRunResult result = RunThreadedPReduce(opt);
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst, 3), opt);
   EXPECT_GT(result.group_reduces, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines on real threads (new with the pluggable strategy layer).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRuntimeTest, EagerReduceCompletesAndLearns) {
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kEagerReduce), SmallOptions());
+  EXPECT_EQ(result.strategy, "ER");
+  EXPECT_GT(result.group_reduces, 0u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedRuntimeTest, AdPsgdCompletesAndLearns) {
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kAdPsgd), SmallOptions());
+  EXPECT_EQ(result.strategy, "AD");
+  // group_reduces counts completed pair averages.
+  EXPECT_GT(result.group_reduces, 0u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedRuntimeTest, PsHeteLearnsAndVersionsPerPush) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.iterations_per_worker = 60;
+  opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.002};
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPsHete), opt);
+  EXPECT_EQ(result.strategy, "PS-HETE");
+  // HETE is asynchronous: one version per push.
+  EXPECT_EQ(result.versions, 4u * 60u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedRuntimeTest, PsBackupDropsStaleGradients) {
+  StrategyOptions strat = Strat(StrategyKind::kPsBackup);
+  strat.backup_workers = 1;
+  ThreadedRunOptions opt = SmallOptions();
+  opt.iterations_per_worker = 20;
+  opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.004};
+  ThreadedRunResult result = RunThreaded(strat, opt);
+  EXPECT_EQ(result.strategy, "PS-BK");
+  EXPECT_GT(result.versions, 0u);
+  // The straggler's gradients target superseded versions and are dropped.
+  EXPECT_GT(result.wasted_gradients, 0u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedRuntimeTest, PsBspMatchesWrapperSemantics) {
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPsBsp), SmallOptions());
+  EXPECT_EQ(result.strategy, "PS-BSP");
+  // BSP: one version per round, zero staleness everywhere.
+  EXPECT_EQ(result.versions, 30u);
+  ASSERT_FALSE(result.staleness_histogram.empty());
+  const uint64_t total =
+      std::accumulate(result.staleness_histogram.begin(),
+                      result.staleness_histogram.end(), uint64_t{0});
+  EXPECT_EQ(result.staleness_histogram[0], total);
+}
+
+TEST(ThreadedRuntimeTest, EveryStrategyKindRunsOnThreads) {
+  const StrategyKind kinds[] = {
+      StrategyKind::kAllReduce,    StrategyKind::kEagerReduce,
+      StrategyKind::kAdPsgd,       StrategyKind::kPsBsp,
+      StrategyKind::kPsAsp,        StrategyKind::kPsHete,
+      StrategyKind::kPsBackup,     StrategyKind::kPReduceConst,
+      StrategyKind::kPReduceDynamic};
+  for (StrategyKind kind : kinds) {
+    StrategyOptions strat = Strat(kind);
+    strat.backup_workers = 1;
+    ThreadedRunOptions opt = SmallOptions();
+    opt.iterations_per_worker = 6;
+    opt.worker_delay_seconds = {0.0, 0.0, 0.001, 0.002};
+    ThreadedRunResult result = RunThreaded(strat, opt);
+    EXPECT_EQ(result.strategy, StrategyKindName(kind));
+    EXPECT_EQ(result.worker_iterations.size(), 4u);
+    for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 6u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership, ConvNet proxy, timeline recording.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRuntimeTest, ElasticWorkerPausesAndRejoins) {
+  // Worker 1 leaves the pool mid-run, naps, and rejoins through
+  // Controller::NotifyWorkerRejoined — the run must finish every budget.
+  ThreadedRunOptions opt = SmallOptions();
+  opt.churn.push_back(ThreadedChurnEvent{/*worker=*/1,
+                                         /*after_iterations=*/5,
+                                         /*pause_seconds=*/0.02});
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+  for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 30u);
+  EXPECT_GT(result.group_reduces, 0u);
+  EXPECT_GT(result.final_accuracy, 0.6);
+  // The pause keeps worker 1 busy at least that long.
+  EXPECT_GE(result.worker_finish_seconds[1], 0.02);
+}
+
+TEST(ThreadedRuntimeTest, ConvNetTrainsOnThreads) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.model.kind = ThreadedModelSpec::Kind::kConvNet;
+  opt.model.conv_filters = 8;  // dataset dim 16 -> 4x4 single-channel
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+  EXPECT_GT(result.group_reduces, 0u);
+  EXPECT_GT(result.final_accuracy, 0.5);
+}
+
+TEST(ThreadedRuntimeTest, TimelineRecordsWorkerActivity) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.iterations_per_worker = 10;
+  opt.record_timeline = true;
+  opt.worker_delay_seconds = {0.001, 0.001, 0.001, 0.002};
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+  EXPECT_EQ(result.timeline.num_workers(), 4);
+  EXPECT_FALSE(result.timeline.intervals().empty());
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_GT(result.timeline.TotalTime(w, WorkerActivity::kCompute), 0.0);
+  }
+  // Waiting on the controller's verdict shows up as idle time somewhere.
+  double idle = 0.0;
+  for (int w = 0; w < 4; ++w) {
+    idle += result.timeline.TotalTime(w, WorkerActivity::kIdle);
+  }
+  EXPECT_GT(idle, 0.0);
+  EXPECT_GT(result.timeline.EndTime(), 0.0);
+}
+
+TEST(ThreadedRuntimeTest, TimelineOffByDefault) {
+  ThreadedRunOptions opt = SmallOptions();
+  opt.iterations_per_worker = 5;
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kAllReduce), opt);
+  EXPECT_TRUE(result.timeline.intervals().empty());
 }
 
 }  // namespace

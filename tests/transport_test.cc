@@ -71,6 +71,48 @@ TEST(TransportTest, RecvFromFiltersBySender) {
   EXPECT_EQ(env2->from, 1);
 }
 
+TEST(TransportTest, StashCountersTrackParkedMessages) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  EXPECT_EQ(c.stash_size(), 0u);
+  EXPECT_EQ(c.stash_high_water(), 0u);
+
+  // Two out-of-order messages park while c waits for a specific one.
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/5, {}, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/2, /*kind=*/5, {}, {}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/3, /*kind=*/5, {}, {}).ok());
+  auto env = c.RecvMatching(1, 3, 5);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(c.stash_size(), 2u);
+  EXPECT_EQ(c.stash_high_water(), 2u);
+
+  // Draining the stash lowers the size but never the high-water mark.
+  ASSERT_TRUE(c.RecvMatching(0, 2, 5).has_value());
+  ASSERT_TRUE(c.RecvMatching(0, 1, 5).has_value());
+  EXPECT_EQ(c.stash_size(), 0u);
+  EXPECT_EQ(c.stash_high_water(), 2u);
+}
+
+TEST(TransportTest, StashedMessagesDrainInFifoOrderViaRecvAny) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(a.Send(2, /*tag=*/static_cast<uint64_t>(i), 1, {i}, {}).ok());
+  }
+  ASSERT_TRUE(b.Send(2, 0, 1, {99}, {}).ok());
+  // Waiting on b parks all five of a's messages.
+  auto from_b = c.RecvFrom(1);
+  ASSERT_TRUE(from_b.has_value());
+  EXPECT_EQ(c.stash_size(), 5u);
+  // RecvAny replays the stash oldest-first, preserving a's send order.
+  for (int i = 0; i < 5; ++i) {
+    auto env = c.RecvAny();
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->ints[0], i);
+  }
+  EXPECT_EQ(c.stash_size(), 0u);
+}
+
 TEST(TransportTest, ShutdownUnblocksReceiver) {
   InProcTransport transport(1);
   std::thread receiver([&] {
