@@ -19,7 +19,7 @@ pr::ExperimentConfig Config(pr::StrategyKind kind, double alpha,
                             int sharing, uint64_t seed) {
   pr::ExperimentConfig config;
   config.training.num_workers = 8;
-  config.training.hidden = {16};
+  config.training.model.hidden = {16};
   config.training.batch_size = 16;
   pr::SyntheticSpec spec;
   spec.num_train = 2048;

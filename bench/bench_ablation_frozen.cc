@@ -19,7 +19,7 @@ namespace {
 pr::ExperimentConfig Config(bool frozen_avoidance, uint64_t seed) {
   pr::ExperimentConfig config;
   config.training.num_workers = 4;
-  config.training.hidden = {16};
+  config.training.model.hidden = {16};
   config.training.batch_size = 8;
   config.training.dataset = "cifar10";
   config.training.dirichlet_alpha = 0.3;

@@ -19,7 +19,7 @@ pr::SimRunResult Run(const std::string& model, pr::StrategyKind kind) {
   spec.num_test = 1024;  // cheaper periodic evaluation
   config.training.custom_dataset = spec;
   config.training.dirichlet_alpha = 0.5;
-  config.training.hidden = {32};  // lean proxy; 1000-way softmax dominates
+  config.training.model.hidden = {32};  // lean proxy; 1000-way softmax dominates
   config.training.paper_model = model;
   config.training.cost.compute_scale = 4.0;  // ImageNet crops vs CIFAR
   config.training.hetero = pr::HeteroSpec::Production();

@@ -17,7 +17,7 @@ namespace {
 pr::ExperimentConfig Config(pr::StrategyKind kind, uint64_t seed) {
   pr::ExperimentConfig config;
   config.training.num_workers = 4;
-  config.training.hidden = {16};
+  config.training.model.hidden = {16};
   config.training.batch_size = 16;
   pr::SyntheticSpec spec;
   spec.num_train = 2048;

@@ -21,7 +21,7 @@ namespace {
 double MeanGradNormSq(int p, size_t max_updates, uint64_t seed) {
   pr::ExperimentConfig config;
   config.training.num_workers = 8;
-  config.training.hidden = {16};
+  config.training.model.hidden = {16};
   pr::SyntheticSpec spec;
   spec.num_train = 4096;
   spec.num_test = 512;

@@ -27,16 +27,16 @@ pr::SyntheticSpec DemoDataset() {
 }  // namespace
 
 int main() {
-  pr::ThreadedRunOptions options;
-  options.num_workers = 4;
-  options.iterations_per_worker = 60;
-  options.dataset = DemoDataset();
+  pr::RunConfig config;
+  config.run.num_workers = 4;
+  config.run.iterations_per_worker = 60;
+  config.run.dataset = DemoDataset();
   // Worker 3 sleeps 6 ms per iteration, the others 1 ms.
-  options.worker_delay_seconds = {0.001, 0.001, 0.001, 0.006};
+  config.run.worker_delay_seconds = {0.001, 0.001, 0.001, 0.006};
 
   std::printf("Threaded runtimes, N=%d, %zu iterations/worker, one "
               "straggler.\n\n",
-              options.num_workers, options.iterations_per_worker);
+              config.run.num_workers, config.run.iterations_per_worker);
   pr::TablePrinter table(
       {"strategy", "wall (s)", "updates", "accuracy", "fastest done (s)"});
 
@@ -49,11 +49,10 @@ int main() {
 
   std::vector<uint64_t> asp_staleness;
   for (pr::StrategyKind kind : kinds) {
-    pr::StrategyOptions strategy;
-    strategy.kind = kind;
-    strategy.group_size = 2;
-    strategy.backup_workers = 1;
-    pr::ThreadedRunResult result = pr::RunThreaded(strategy, options);
+    config.strategy.kind = kind;
+    config.strategy.group_size = 2;
+    config.strategy.backup_workers = 1;
+    pr::ThreadedRunResult result = pr::RunThreaded(config);
     const double fastest =
         *std::min_element(result.worker_finish_seconds.begin(),
                           result.worker_finish_seconds.end());
@@ -63,7 +62,7 @@ int main() {
                   pr::FormatDouble(result.final_accuracy, 3),
                   pr::FormatDouble(fastest, 3)});
     if (kind == pr::StrategyKind::kPsAsp) {
-      asp_staleness = result.staleness_histogram;
+      asp_staleness = result.staleness_histogram();
     }
   }
 

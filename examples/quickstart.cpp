@@ -23,28 +23,27 @@ double FastestFinish(const pr::ThreadedRunResult& result) {
 }  // namespace
 
 int main() {
-  pr::ThreadedRunOptions options;
-  options.num_workers = 4;
-  options.iterations_per_worker = 80;
-  options.model.hidden = {32};
-  options.batch_size = 32;
+  pr::RunConfig config;
+  config.run.num_workers = 4;
+  config.run.iterations_per_worker = 80;
+  config.run.model.hidden = {32};
+  config.run.batch_size = 32;
 
-  options.dataset.num_classes = 10;
-  options.dataset.dim = 32;
-  options.dataset.num_train = 4096;
-  options.dataset.num_test = 1024;
-  options.dataset.separation = 3.2;
+  config.run.dataset.num_classes = 10;
+  config.run.dataset.dim = 32;
+  config.run.dataset.num_train = 4096;
+  config.run.dataset.num_test = 1024;
+  config.run.dataset.separation = 3.2;
 
   // Heterogeneity: worker 3 sleeps 6 ms per iteration, the others 2 ms.
-  options.worker_delay_seconds = {0.002, 0.002, 0.002, 0.006};
+  config.run.worker_delay_seconds = {0.002, 0.002, 0.002, 0.006};
 
-  pr::StrategyOptions strategy;
-  strategy.kind = pr::StrategyKind::kPReduceConst;
-  strategy.group_size = 2;
+  config.strategy.kind = pr::StrategyKind::kPReduceConst;
+  config.strategy.group_size = 2;
 
   std::printf("Training with partial reduce (N=%d, P=%d)...\n",
-              options.num_workers, strategy.group_size);
-  pr::ThreadedRunResult result = pr::RunThreaded(strategy, options);
+              config.run.num_workers, config.strategy.group_size);
+  pr::ThreadedRunResult result = pr::RunThreaded(config);
 
   std::printf("fast worker finished at : %.3f s\n", FastestFinish(result));
   std::printf("straggler finished at   : %.3f s\n",
@@ -58,8 +57,8 @@ int main() {
   // Same workload under classic all-reduce: every iteration waits for the
   // straggler, so even the fast workers finish at the straggler's pace.
   std::printf("\nSame workload with all-reduce (global barrier)...\n");
-  strategy.kind = pr::StrategyKind::kAllReduce;
-  pr::ThreadedRunResult ar = pr::RunThreaded(strategy, options);
+  config.strategy.kind = pr::StrategyKind::kAllReduce;
+  pr::ThreadedRunResult ar = pr::RunThreaded(config);
   std::printf("fast worker finished at : %.3f s\n", FastestFinish(ar));
   std::printf("final accuracy          : %.3f\n", ar.final_accuracy);
 

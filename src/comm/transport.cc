@@ -47,6 +47,37 @@ Endpoint::Endpoint(InProcTransport* transport, NodeId me)
   PR_CHECK_LT(me, transport->num_nodes());
 }
 
+void Endpoint::AttachObservers(MetricsShard* metrics, const std::string& scope,
+                               TraceRecorder* trace,
+                               std::function<double()> now) {
+  trace_ = trace;
+  now_ = std::move(now);
+  if (metrics != nullptr) {
+    sent_counter_ = metrics->GetCounter("transport.messages_sent");
+    received_counter_ = metrics->GetCounter("transport.messages_received");
+    stash_gauge_ = metrics->GetGauge("transport.stash_high_water");
+    if (!scope.empty()) {
+      scoped_stash_gauge_ = metrics->GetGauge(scope + ".stash_high_water");
+    }
+  }
+}
+
+void Endpoint::NoteStashed() {
+  if (stash_.size() <= stash_high_water_) return;
+  stash_high_water_ = stash_.size();
+  const double hw = static_cast<double>(stash_high_water_);
+  if (stash_gauge_ != nullptr) stash_gauge_->SetMax(hw);
+  if (scoped_stash_gauge_ != nullptr) scoped_stash_gauge_->SetMax(hw);
+  if (trace_ != nullptr) {
+    trace_->Record(now_ ? now_() : 0.0, TraceEventKind::kStashHighWater, me_,
+                   static_cast<int64_t>(stash_high_water_));
+  }
+}
+
+void Endpoint::NoteReceived() {
+  if (received_counter_ != nullptr) received_counter_->Increment();
+}
+
 Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
                       std::vector<int64_t> ints, std::vector<float> floats) {
   Envelope env;
@@ -55,7 +86,9 @@ Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
   env.kind = kind;
   env.ints = std::move(ints);
   env.floats = std::move(floats);
-  return transport_->Send(to, std::move(env));
+  Status status = transport_->Send(to, std::move(env));
+  if (status.ok() && sent_counter_ != nullptr) sent_counter_->Increment();
+  return status;
 }
 
 std::optional<Envelope> Endpoint::RecvWhere(
@@ -64,15 +97,19 @@ std::optional<Envelope> Endpoint::RecvWhere(
     if (match(*it)) {
       Envelope env = std::move(*it);
       stash_.erase(it);
+      NoteReceived();
       return env;
     }
   }
   while (true) {
     std::optional<Envelope> env = transport_->Recv(me_);
     if (!env.has_value()) return std::nullopt;
-    if (match(*env)) return env;
+    if (match(*env)) {
+      NoteReceived();
+      return env;
+    }
     stash_.push_back(std::move(*env));
-    stash_high_water_ = std::max(stash_high_water_, stash_.size());
+    NoteStashed();
   }
 }
 
@@ -91,9 +128,12 @@ std::optional<Envelope> Endpoint::RecvAny() {
   if (!stash_.empty()) {
     Envelope env = std::move(stash_.front());
     stash_.pop_front();
+    NoteReceived();
     return env;
   }
-  return transport_->Recv(me_);
+  std::optional<Envelope> env = transport_->Recv(me_);
+  if (env.has_value()) NoteReceived();
+  return env;
 }
 
 }  // namespace pr

@@ -10,6 +10,8 @@
 
 #include "common/blocking_queue.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pr {
 
@@ -76,6 +78,17 @@ class Endpoint {
 
   NodeId id() const { return me_; }
 
+  /// Attaches observability sinks (all optional; pass null to skip).
+  ///
+  /// `metrics` receives `transport.messages_sent` / `transport.messages_received`
+  /// counters and the `transport.stash_high_water` gauge; when `scope` is
+  /// non-empty, a per-endpoint `<scope>.stash_high_water` gauge is published
+  /// too (e.g. scope "worker.3"). `trace` gets a kStashHighWater event
+  /// stamped with `now()` each time the stash grows to a new maximum.
+  /// Call before the endpoint's thread starts receiving.
+  void AttachObservers(MetricsShard* metrics, const std::string& scope,
+                       TraceRecorder* trace, std::function<double()> now);
+
   /// Sends a message to `to`.
   Status Send(NodeId to, uint64_t tag, int kind, std::vector<int64_t> ints,
               std::vector<float> floats);
@@ -107,12 +120,23 @@ class Endpoint {
   std::optional<Envelope> RecvWhere(
       const std::function<bool(const Envelope&)>& match);
 
+  void NoteStashed();
+  void NoteReceived();
+
   InProcTransport* transport_;
   NodeId me_;
   // Deque: RecvAny pops the oldest parked message in O(1); selective
   // receives scan front-to-back, preserving per-sender FIFO order.
   std::deque<Envelope> stash_;
   size_t stash_high_water_ = 0;
+
+  // Observability sinks (null unless AttachObservers was called).
+  Counter* sent_counter_ = nullptr;
+  Counter* received_counter_ = nullptr;
+  Gauge* stash_gauge_ = nullptr;
+  Gauge* scoped_stash_gauge_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  std::function<double()> now_;
 };
 
 }  // namespace pr

@@ -1,6 +1,8 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "common/check.h"
 
@@ -25,6 +27,23 @@ Controller::Controller(const ControllerOptions& options)
   PR_CHECK_GE(options.num_workers, 2);
   PR_CHECK_GE(options.group_size, 2);
   PR_CHECK_LE(options.group_size, options.num_workers);
+}
+
+void Controller::AttachObservers(MetricsShard* metrics, TraceRecorder* trace,
+                                 std::function<double()> now) {
+  trace_ = trace;
+  now_ = std::move(now);
+  if (metrics != nullptr) {
+    signals_counter_ = metrics->GetCounter("controller.signals_received");
+    groups_counter_ = metrics->GetCounter("controller.groups_formed");
+    bridged_counter_ = metrics->GetCounter("controller.bridged_groups");
+    frozen_counter_ = metrics->GetCounter("controller.frozen_detections");
+    holds_counter_ = metrics->GetCounter("controller.holds");
+    pending_high_water_ =
+        metrics->GetGauge("controller.pending_signals_high_water");
+    decision_latency_ = metrics->GetHistogram(
+        "controller.decision_latency_seconds", DecisionLatencyBuckets());
+  }
 }
 
 bool Controller::QueueSpansComponents() const {
@@ -56,7 +75,23 @@ std::vector<GroupDecision> Controller::OnReadySignal(int worker,
       << "worker " << worker << " signaled after leaving";
   pending_.push_back(ReadySignal{worker, iteration});
   ++stats_.signals_received;
-  return TryFormGroups();
+  if (signals_counter_ != nullptr) {
+    signals_counter_->Increment();
+    pending_high_water_->SetMax(static_cast<double>(pending_.size()));
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceNow(), TraceEventKind::kSignalEnqueued, worker,
+                   iteration);
+  }
+  if (decision_latency_ == nullptr) return TryFormGroups();
+  // Decision latency: CPU cost of the full ingest -> filter -> weight
+  // pipeline for this signal, on a real clock even under the simulator.
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<GroupDecision> formed = TryFormGroups();
+  decision_latency_->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count());
+  return formed;
 }
 
 std::vector<GroupDecision> Controller::NotifyWorkerLeft(int worker) {
@@ -81,11 +116,19 @@ std::vector<GroupDecision> Controller::TryFormGroups() {
     GroupSelection selection;
     if (options_.frozen_avoidance) {
       if (history_.IsFrozen()) {
-        if (formed.empty()) ++stats_.frozen_detections;
+        if (formed.empty()) {
+          ++stats_.frozen_detections;
+          if (frozen_counter_ != nullptr) frozen_counter_->Increment();
+        }
         if (!QueueSpansComponents() && BridgeEventuallyPossible()) {
           // Hold: the queued workers cannot bridge the frozen components
           // yet, but a live worker from another component will signal (or
           // depart) eventually, re-triggering this check.
+          if (holds_counter_ != nullptr) holds_counter_->Increment();
+          if (trace_ != nullptr) {
+            trace_->Record(TraceNow(), TraceEventKind::kGroupHeld, -1,
+                           static_cast<int64_t>(pending_.size()));
+          }
           break;
         }
       }
@@ -124,6 +167,19 @@ std::vector<GroupDecision> Controller::TryFormGroups() {
     history_.Record(decision.members);
     ++stats_.groups_formed;
     if (decision.bridged) ++stats_.bridged_groups;
+    if (groups_counter_ != nullptr) {
+      groups_counter_->Increment();
+      if (decision.bridged) bridged_counter_->Increment();
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(TraceNow(), TraceEventKind::kGroupFormed, -1,
+                     static_cast<int64_t>(decision.group_id),
+                     static_cast<int64_t>(decision.members.size()));
+      if (decision.bridged) {
+        trace_->Record(TraceNow(), TraceEventKind::kGroupBridged, -1,
+                       static_cast<int64_t>(decision.group_id));
+      }
+    }
     if (options_.record_sync_matrices) {
       matrix_expectation_.Add(SyncMatrix::ForGroup(
           static_cast<size_t>(options_.num_workers), decision.members,

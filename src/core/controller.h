@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "core/group_history.h"
 #include "core/sync_matrix.h"
 #include "core/weight_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pr {
 
@@ -69,6 +72,19 @@ class Controller {
  public:
   explicit Controller(const ControllerOptions& options);
 
+  /// Attaches observability sinks (all optional; pass null to skip).
+  ///
+  /// `metrics` receives the controller.* counters, the pending-queue
+  /// high-water gauge, and the controller.decision_latency_seconds
+  /// histogram (real CPU time per OnReadySignal, measured on a steady
+  /// clock — the paper's "the controller is not a bottleneck" quantity,
+  /// meaningful under both the simulator and the threaded runtime).
+  /// `trace` receives signal/group/hold events stamped with `now()` —
+  /// virtual time in the simulator, wall-clock seconds in the runtime.
+  /// Call before the first signal; not thread-safe against concurrent use.
+  void AttachObservers(MetricsShard* metrics, TraceRecorder* trace,
+                       std::function<double()> now);
+
   /// Ingests one ready signal; returns the groups formed by it (usually
   /// zero or one).
   ///
@@ -117,6 +133,8 @@ class Controller {
   /// Forms as many groups as the queue and hold policy allow.
   std::vector<GroupDecision> TryFormGroups();
 
+  double TraceNow() const { return now_ ? now_() : 0.0; }
+
   ControllerOptions options_;
   std::vector<bool> departed_;
   GroupFilter filter_;
@@ -125,6 +143,18 @@ class Controller {
   ControllerStats stats_;
   uint64_t next_group_id_ = 1;
   SyncMatrixExpectation matrix_expectation_;
+
+  // Observability sinks (null until AttachObservers); instrument handles
+  // are cached so the hot path never does a name lookup.
+  TraceRecorder* trace_ = nullptr;
+  std::function<double()> now_;
+  Counter* signals_counter_ = nullptr;
+  Counter* groups_counter_ = nullptr;
+  Counter* bridged_counter_ = nullptr;
+  Counter* frozen_counter_ = nullptr;
+  Counter* holds_counter_ = nullptr;
+  Gauge* pending_high_water_ = nullptr;
+  Histogram* decision_latency_ = nullptr;
 };
 
 }  // namespace pr

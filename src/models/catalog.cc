@@ -1,6 +1,11 @@
 #include "models/catalog.h"
 
+#include <cmath>
+#include <sstream>
+
 #include "common/check.h"
+#include "models/convnet.h"
+#include "models/mlp.h"
 
 namespace pr {
 
@@ -29,6 +34,43 @@ const PaperModelInfo& LookupPaperModel(const std::string& name) {
   PR_CHECK(false) << "unknown paper model: " << name;
   // Unreachable; PR_CHECK aborts.
   return AllPaperModels().front();
+}
+
+std::unique_ptr<Model> MakeProxyModel(const ProxyModelSpec& spec,
+                                      size_t input_dim, size_t num_classes) {
+  switch (spec.kind) {
+    case ProxyModelSpec::Kind::kMlp:
+      return std::make_unique<Mlp>(input_dim, spec.hidden, num_classes);
+    case ProxyModelSpec::Kind::kConvNet: {
+      const size_t side = static_cast<size_t>(
+          std::lround(std::sqrt(static_cast<double>(input_dim))));
+      PR_CHECK_EQ(side * side, input_dim)
+          << "ConvNet proxy needs a perfect-square input dim";
+      return std::make_unique<ConvNet>(/*channels=*/1, side, side,
+                                       spec.conv_filters, num_classes);
+    }
+  }
+  PR_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+std::string ProxyModelName(const ProxyModelSpec& spec) {
+  std::ostringstream out;
+  switch (spec.kind) {
+    case ProxyModelSpec::Kind::kMlp: {
+      out << "mlp[";
+      for (size_t i = 0; i < spec.hidden.size(); ++i) {
+        if (i > 0) out << "x";
+        out << spec.hidden[i];
+      }
+      out << "]";
+      break;
+    }
+    case ProxyModelSpec::Kind::kConvNet:
+      out << "convnet[" << spec.conv_filters << "]";
+      break;
+  }
+  return out.str();
 }
 
 }  // namespace pr

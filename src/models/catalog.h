@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace pr {
+
+class Model;
 
 /// \brief Cost-model card for one of the paper's CNN workloads.
 ///
@@ -40,5 +43,33 @@ const PaperModelInfo& LookupPaperModel(const std::string& name);
 
 /// \brief All catalog entries, for enumeration in tests and reports.
 const std::vector<PaperModelInfo>& AllPaperModels();
+
+/// \brief The runnable proxy architectures (real gradient math).
+///
+/// The paper-scale CNNs above enter the *simulator* through the cost model;
+/// actual SGD — in both the simulator and the threaded runtime — runs on one
+/// of these proxies. Both engines construct their models through
+/// MakeProxyModel, so a spec names the same architecture everywhere.
+struct ProxyModelSpec {
+  enum class Kind {
+    kMlp,      ///< fully connected ReLU net (hand backprop)
+    kConvNet,  ///< 3x3 conv + dense head (hand backprop)
+  };
+  Kind kind = Kind::kMlp;
+  /// kMlp: hidden layer widths.
+  std::vector<size_t> hidden = {32};
+  /// kConvNet: filter count; the input dim must be a perfect square
+  /// (interpreted as a 1-channel sqrt(dim) x sqrt(dim) image).
+  size_t conv_filters = 8;
+};
+
+/// \brief Constructs the proxy model for `spec` on `input_dim` features and
+/// `num_classes` classes. Aborts (PR_CHECK) when a ConvNet is requested for
+/// a non-square input dim.
+std::unique_ptr<Model> MakeProxyModel(const ProxyModelSpec& spec,
+                                      size_t input_dim, size_t num_classes);
+
+/// Short display name for a proxy spec ("mlp[32]", "convnet[8]").
+std::string ProxyModelName(const ProxyModelSpec& spec);
 
 }  // namespace pr

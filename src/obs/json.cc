@@ -1,0 +1,192 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pr {
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key already emitted the comma
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  need_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  need_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteMetricsSnapshot(JsonWriter* writer,
+                          const MetricsSnapshot& snapshot) {
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.Key(name).Number(value);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.Key(name).Number(value);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    w.Key(name).BeginObject();
+    w.Key("upper_bounds").BeginArray();
+    for (double b : hist.upper_bounds) w.Number(b);
+    w.EndArray();
+    w.Key("counts").BeginArray();
+    for (uint64_t c : hist.counts) w.UInt(c);
+    w.EndArray();
+    w.Key("sum").Number(hist.sum);
+    w.Key("count").UInt(hist.total_count);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string MetricsSnapshotJson(const MetricsSnapshot& snapshot) {
+  JsonWriter writer;
+  WriteMetricsSnapshot(&writer, snapshot);
+  return writer.str();
+}
+
+void WriteTraceLog(JsonWriter* writer, const TraceLog& log) {
+  JsonWriter& w = *writer;
+  w.BeginObject();
+  w.Key("dropped").UInt(log.dropped);
+  w.Key("events").BeginArray();
+  for (const TraceEvent& e : log.events) {
+    w.BeginObject();
+    w.Key("t").Number(e.time);
+    w.Key("kind").String(TraceEventKindName(e.kind));
+    w.Key("worker").Int(e.worker);
+    w.Key("a").Int(e.a);
+    w.Key("b").Int(e.b);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string TraceLogJson(const TraceLog& log) {
+  JsonWriter writer;
+  WriteTraceLog(&writer, log);
+  return writer.str();
+}
+
+}  // namespace pr

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pr {
+
+/// \brief Minimal streaming JSON writer (no external dependency).
+///
+/// Handles comma placement and string escaping; the caller is responsible
+/// for well-formed nesting (Begin/End pairs, Key before each object value).
+/// Non-finite numbers serialize as null, keeping the output strict JSON.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+};
+
+/// Escapes `value` for inclusion in a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view value);
+
+/// Serializes a merged metrics snapshot:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name:
+///  {"upper_bounds": [...], "counts": [...], "sum": s, "count": n}}}.
+std::string MetricsSnapshotJson(const MetricsSnapshot& snapshot);
+
+/// Appends the snapshot under the writer's current value position (the
+/// building block behind MetricsSnapshotJson and the bench reports).
+void WriteMetricsSnapshot(JsonWriter* writer, const MetricsSnapshot& snapshot);
+
+/// Serializes a trace log: {"dropped": n, "events": [{"t": ...,
+/// "kind": "group_formed", "worker": w, "a": ..., "b": ...}]}.
+std::string TraceLogJson(const TraceLog& log);
+
+/// Appends the trace log under the writer's current value position.
+void WriteTraceLog(JsonWriter* writer, const TraceLog& log);
+
+}  // namespace pr

@@ -76,6 +76,8 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
       const NodeId peer = peers[static_cast<size_t>(
           ctx->rng()->UniformInt(static_cast<uint64_t>(peers.size())))];
       const double comm_begin = ctx->Now();
+      ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
+                           ctx->worker(), static_cast<int64_t>(k));
       PR_CHECK(ep->Send(peer, k, kKindGossipReq, {}, *params).ok());
       bool served_while_waiting = false;
       while (true) {
@@ -109,6 +111,8 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
         }
       }
       ctx->RecordComm(comm_begin, ctx->Now());
+      ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
+                           ctx->worker(), static_cast<int64_t>(k));
     }
 
     // Apply our gradient (computed before the average — stale by design).

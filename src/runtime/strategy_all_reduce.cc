@@ -34,11 +34,15 @@ class ThreadedAllReduce : public ThreadedStrategy {
       // The ring is the barrier: it averages the gradients of all N
       // workers, and nobody's step happens until everyone contributed.
       const double comm_begin = ctx->Now();
+      ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
+                           ctx->worker(), static_cast<int64_t>(k));
       PR_CHECK(RingAverageAllReduce(ep, all,
                                     static_cast<size_t>(ctx->worker()),
                                     /*tag=*/k, &grad)
                    .ok());
       ctx->RecordComm(comm_begin, ctx->Now());
+      ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
+                           ctx->worker(), static_cast<int64_t>(k));
       ctx->sgd()->Step(grad.data(), params);
     }
     ctx->MarkFinished();

@@ -95,6 +95,9 @@ void ThreadedEagerReduce::RunService(ServiceContext* ctx) {
     std::fill(fresh.begin(), fresh.end(), false);
     fresh_count = 0;
     ++rounds_;
+    // Round closure is ER's global reduce completing.
+    ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd, -1,
+                         static_cast<int64_t>(rounds_));
     for (NodeId w : waiting) {
       PR_CHECK(ep->Send(w, 0, kKindErModel, {}, global_).ok());
     }

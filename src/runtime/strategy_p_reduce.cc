@@ -68,6 +68,9 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
   copts.frozen_avoidance = options_.frozen_avoidance;
   copts.history_window = options_.history_window;
   Controller controller(copts);
+  controller.AttachObservers(ctx->metrics(), ctx->trace(),
+                             [ctx] { return ctx->Now(); });
+  TraceRecorder* trace = ctx->trace();
 
   int remaining = n;  // workers that have not permanently left
   int active = n;     // currently in the pool (excludes paused workers)
@@ -127,11 +130,13 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
         // Elastic leave: the worker will rejoin, but until then it must not
         // be grouped and must not block frozen-avoidance holds.
         --active;
+        trace->Record(ctx->Now(), TraceEventKind::kChurnLeave, env->from);
         broadcast(controller.NotifyWorkerLeft(env->from));
         if (active < copts.group_size) release_pending();
         break;
       case kKindRejoin:
         ++active;
+        trace->Record(ctx->Now(), TraceEventKind::kChurnRejoin, env->from);
         broadcast(controller.NotifyWorkerRejoined(env->from));
         break;
       default:
@@ -198,10 +203,14 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
     PR_CHECK_LT(my_index, members.size()) << "not a member of my own group";
 
     const double comm_begin = ctx->Now();
+    ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
+                         ctx->worker(), static_cast<int64_t>(group_id));
     PR_CHECK(RingWeightedAllReduce(ep, members, weights, my_index, group_id,
                                    params)
                  .ok());
     ctx->RecordComm(comm_begin, ctx->Now());
+    ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
+                         ctx->worker(), static_cast<int64_t>(group_id));
     if (options_.kind == StrategyKind::kPReduceDynamic) iteration = advanced;
   }
 }

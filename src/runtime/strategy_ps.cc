@@ -47,17 +47,14 @@ class ThreadedPs : public ThreadedStrategy {
   void FillResult(ThreadedRunResult* result) const override {
     result->group_reduces = versions_;
     result->versions = versions_;
-    result->staleness_histogram = staleness_histogram_;
-    result->wasted_gradients = wasted_gradients_;
   }
 
  private:
   StrategyOptions options_;
-  // Service-thread state; read only after every thread joined.
+  // Service-thread state; read only after every thread joined. Staleness
+  // and drop accounting live in the service shard's ps.* instruments.
   std::vector<float> global_;
   uint64_t versions_ = 0;
-  std::vector<uint64_t> staleness_histogram_;
-  size_t wasted_gradients_ = 0;
 };
 
 void ThreadedPs::RunService(ServiceContext* ctx) {
@@ -77,6 +74,13 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
   Sgd opt(num_params, ctx->run().sgd);
   int active = n;
 
+  MetricsShard* metrics = ctx->metrics();
+  Histogram* staleness_hist =
+      metrics->GetHistogram("ps.push_staleness", StalenessBuckets());
+  Counter* wasted_counter = metrics->GetCounter("ps.wasted_gradients");
+  Counter* versions_counter = metrics->GetCounter("ps.versions");
+  TraceRecorder* trace = ctx->trace();
+
   // Synchronous-round state (BSP and BK): the open round's gradient sum,
   // which workers contributed, and pulls parked until the round applies. A
   // pull parks only when its sender already contributed this round — a
@@ -88,15 +92,15 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
   std::vector<NodeId> parked_pulls;
 
   auto reply_model = [&](NodeId to) {
+    trace->Record(ctx->Now(), TraceEventKind::kPsPull, to,
+                  static_cast<int64_t>(versions_));
     PR_CHECK(ep->Send(to, 0, kKindModel,
                       {static_cast<int64_t>(versions_)}, global_)
                  .ok());
   };
-  auto note_staleness = [&](uint64_t staleness) {
-    if (staleness_histogram_.size() <= staleness) {
-      staleness_histogram_.resize(staleness + 1, 0);
-    }
-    ++staleness_histogram_[staleness];
+  auto bump_version = [&] {
+    ++versions_;
+    versions_counter->Increment();
   };
   auto close_round = [&] {
     Scale(1.0f / static_cast<float>(round_accepted), round_sum.data(),
@@ -105,7 +109,7 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
     std::memset(round_sum.data(), 0, num_params * sizeof(float));
     round_accepted = 0;
     std::fill(in_round.begin(), in_round.end(), false);
-    ++versions_;
+    bump_version();
     for (NodeId w : parked_pulls) reply_model(w);
     parked_pulls.clear();
   };
@@ -124,7 +128,10 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
       case kKindPush: {
         const uint64_t pulled = static_cast<uint64_t>(env->ints[0]);
         const uint64_t staleness = versions_ - pulled;
-        note_staleness(staleness);
+        staleness_hist->Observe(static_cast<double>(staleness));
+        const bool dropped = kind == StrategyKind::kPsBackup && staleness > 0;
+        trace->Record(ctx->Now(), TraceEventKind::kPsPush, env->from,
+                      static_cast<int64_t>(staleness), dropped ? 1 : 0);
         if (env->ints[1] != 0) --active;
 
         if (kind == StrategyKind::kPsAsp ||
@@ -137,15 +144,15 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
                                             static_cast<size_t>(n));
           }
           opt.Step(env->floats.data(), &global_, scale);
-          ++versions_;
+          bump_version();
           break;
         }
 
-        if (kind == StrategyKind::kPsBackup && staleness > 0) {
+        if (dropped) {
           // Straggler: its gradient targets an old version — dropped (the
           // "backup workers do not contribute" behaviour). Its next pull is
           // served immediately so it rejoins the current round.
-          ++wasted_gradients_;
+          wasted_counter->Increment();
         } else {
           Axpy(1.0f, env->floats.data(), round_sum.data(), num_params);
           in_round[static_cast<size_t>(env->from)] = true;

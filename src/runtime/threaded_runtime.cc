@@ -1,5 +1,8 @@
 #include "runtime/threaded_runtime.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 #include "runtime/threaded_strategy.h"
 #include "runtime/worker_runtime.h"
@@ -14,8 +17,42 @@ bool IsPsFamily(StrategyKind kind) {
 
 }  // namespace
 
-ThreadedRunResult RunThreaded(const StrategyOptions& strategy,
-                              const ThreadedRunOptions& options) {
+std::vector<uint64_t> ThreadedRunResult::staleness_histogram() const {
+  const HistogramSnapshot* h = metrics.histogram("ps.push_staleness");
+  if (h == nullptr || h->total_count == 0) return {};
+  // Buckets are exact integers 0..K plus overflow; the legacy histogram was
+  // indexed by staleness value, trimmed to the highest observed one.
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < h->counts.size(); ++i) {
+    if (h->counts[i] == 0) continue;
+    const size_t staleness = std::min(i, h->upper_bounds.size());
+    if (out.size() <= staleness) out.resize(staleness + 1, 0);
+    out[staleness] += h->counts[i];
+  }
+  return out;
+}
+
+size_t ThreadedRunResult::wasted_gradients() const {
+  return static_cast<size_t>(metrics.counter("ps.wasted_gradients"));
+}
+
+size_t ThreadedRunResult::stash_high_water() const {
+  return static_cast<size_t>(metrics.gauge("transport.stash_high_water"));
+}
+
+std::vector<double> ThreadedRunResult::worker_idle_fraction() const {
+  std::vector<double> out;
+  out.reserve(worker_iterations.size());
+  for (size_t w = 0; w < worker_iterations.size(); ++w) {
+    out.push_back(
+        metrics.gauge("worker." + std::to_string(w) + ".idle_fraction"));
+  }
+  return out;
+}
+
+ThreadedRunResult RunThreaded(const RunConfig& config) {
+  const StrategyOptions& strategy = config.strategy;
+  const ThreadedRunOptions& options = config.run;
   // Centralized PS training degenerates gracefully to one worker; every
   // collective/gossip scheme needs a counterpart.
   PR_CHECK_GE(options.num_workers, IsPsFamily(strategy.kind) ? 1 : 2);
@@ -32,6 +69,14 @@ ThreadedRunResult RunThreaded(const StrategyOptions& strategy,
   std::unique_ptr<ThreadedStrategy> impl = MakeThreadedStrategy(strategy);
   WorkerRuntime runtime(strategy, options);
   return runtime.Run(impl.get());
+}
+
+ThreadedRunResult RunThreaded(const StrategyOptions& strategy,
+                              const ThreadedRunOptions& options) {
+  RunConfig config;
+  config.strategy = strategy;
+  config.run = options;
+  return RunThreaded(config);
 }
 
 }  // namespace pr

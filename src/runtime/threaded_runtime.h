@@ -6,29 +6,19 @@
 
 #include "core/controller.h"
 #include "data/synthetic.h"
+#include "models/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/sgd.h"
 #include "sim/timeline.h"
 #include "strategies/strategy.h"
 
 namespace pr {
 
-/// \brief Which runnable proxy architecture the threaded runtime trains.
-///
-/// The paper-scale CNNs enter the *simulator* through the cost-model catalog;
-/// the threaded runtime runs real gradient math, so it trains one of the
-/// runnable proxy models (the same ones SimTraining uses).
-struct ThreadedModelSpec {
-  enum class Kind {
-    kMlp,      ///< fully connected ReLU net (hand backprop)
-    kConvNet,  ///< 3x3 conv + dense head (hand backprop)
-  };
-  Kind kind = Kind::kMlp;
-  /// kMlp: hidden layer widths.
-  std::vector<size_t> hidden = {32};
-  /// kConvNet: filter count; the dataset dim must be a perfect square
-  /// (interpreted as a 1-channel sqrt(dim) x sqrt(dim) image).
-  size_t conv_filters = 8;
-};
+/// Deprecated alias: the threaded runtime now names its runnable proxy
+/// architectures through the shared models catalog (ProxyModelSpec), so a
+/// spec means the same thing to the simulator and the threaded engine.
+using ThreadedModelSpec = ProxyModelSpec;
 
 /// \brief Elastic membership on real threads (P-Reduce only): the worker
 /// Leaves the pool after completing `after_iterations` local iterations,
@@ -48,8 +38,8 @@ struct ThreadedChurnEvent {
 /// any, lives on a dedicated service thread; the data plane runs collectives
 /// over the in-process transport. Heterogeneity is injected as per-worker
 /// per-iteration sleeps. Which synchronization scheme runs is selected by
-/// the StrategyOptions passed to RunThreaded — the same options that drive
-/// the simulator.
+/// the StrategyOptions half of RunConfig — the same options that drive the
+/// simulator.
 struct ThreadedRunOptions {
   int num_workers = 4;
   /// Local iterations per worker (each ends with one synchronization step
@@ -58,7 +48,9 @@ struct ThreadedRunOptions {
 
   SgdOptions sgd;
   size_t batch_size = 32;
-  ThreadedModelSpec model;
+  /// Runnable proxy architecture, constructed through the models catalog
+  /// (the same specs SimTraining uses).
+  ProxyModelSpec model;
   SyntheticSpec dataset;
 
   /// Injected per-iteration sleep per worker (seconds); empty = no sleeps.
@@ -71,10 +63,28 @@ struct ThreadedRunOptions {
   /// intervals) comparable to the simulator's Fig. 3 traces.
   bool record_timeline = false;
 
+  /// Capacity of the structured trace ring buffer (see obs/trace.h);
+  /// 0 disables tracing. Metrics are always collected — they are cheap —
+  /// but traces carry one record per signal/group/push, so they are opt-in.
+  size_t trace_capacity = 0;
+
   uint64_t seed = 7;
 };
 
+/// \brief A complete threaded-run request: which synchronization scheme
+/// (the same StrategyOptions the simulator consumes) plus how to run it.
+/// Mirrors ExperimentConfig's {strategies, sim} split on the simulator side.
+struct RunConfig {
+  StrategyOptions strategy;
+  ThreadedRunOptions run;
+};
+
 /// \brief Outcome of a threaded run.
+///
+/// Run-level diagnostics that used to be bespoke fields (staleness
+/// histogram, wasted gradients, stash high-water) now live in `metrics`
+/// under the shared metric-name convention (see DESIGN.md); thin accessors
+/// below keep the legacy views available.
 struct ThreadedRunResult {
   /// Display name of the strategy that ran ("CON", "AR", "PS-BSP", ...).
   std::string strategy;
@@ -100,22 +110,41 @@ struct ThreadedRunResult {
   /// a consensus diagnostic.
   double replica_spread = 0.0;
   /// PS family: global model versions produced (BSP/BK: rounds; ASP/HETE:
-  /// pushes), and the distribution of push staleness (server versions
-  /// between a worker's pull and its push).
+  /// pushes).
   uint64_t versions = 0;
-  std::vector<uint64_t> staleness_histogram;
-  /// Gradients discarded as too stale (PS-BK drops).
-  size_t wasted_gradients = 0;
   /// Per-worker activity record (empty unless record_timeline was set).
   Timeline timeline{1};
+
+  /// Merged counters/gauges/histograms from every thread of the run, under
+  /// the metric names shared with the simulator (controller.*, worker.<i>.*,
+  /// ps.*, transport.*, run.*).
+  MetricsSnapshot metrics;
+  /// Structured run events (empty unless trace_capacity was set).
+  TraceLog trace;
+
+  /// Deprecated: per-staleness push counts, reconstructed from the
+  /// `ps.push_staleness` histogram (exact integer buckets; staleness beyond
+  /// the last bucket is folded into the final slot). Empty for non-PS runs.
+  std::vector<uint64_t> staleness_histogram() const;
+  /// Deprecated: reads the `ps.wasted_gradients` counter (PS-BK drops).
+  size_t wasted_gradients() const;
+  /// Deprecated: reads the `transport.stash_high_water` gauge (largest
+  /// out-of-order stash across all endpoints).
+  size_t stash_high_water() const;
+  /// Per-worker idle fractions (`worker.<i>.idle_fraction` gauges): seconds
+  /// spent blocked on synchronization divided by the worker's active span.
+  std::vector<double> worker_idle_fraction() const;
 };
 
-/// \brief Runs `strategy.kind` end-to-end on real threads.
+/// \brief Runs `config.strategy.kind` end-to-end on real threads.
 ///
 /// Every StrategyKind the simulator covers also runs here: P-Reduce
 /// (constant and dynamic weights), ring All-Reduce, Eager-Reduce, AD-PSGD
 /// pairwise gossip, and the PS family (BSP, ASP, HETE, BK). All dispatch
 /// through the same WorkerRuntime; see runtime/threaded_strategy.h.
+ThreadedRunResult RunThreaded(const RunConfig& config);
+
+/// Deprecated two-argument form; forwards to the RunConfig overload.
 ThreadedRunResult RunThreaded(const StrategyOptions& strategy,
                               const ThreadedRunOptions& options);
 

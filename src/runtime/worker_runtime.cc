@@ -2,37 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
-#include "models/convnet.h"
-#include "models/mlp.h"
+#include "models/catalog.h"
 #include "runtime/threaded_strategy.h"
 #include "tensor/ops.h"
 
 namespace pr {
 namespace {
 
-std::unique_ptr<Model> MakeThreadedModel(const ThreadedModelSpec& spec,
-                                         const SyntheticSpec& dataset) {
-  switch (spec.kind) {
-    case ThreadedModelSpec::Kind::kMlp:
-      return std::make_unique<Mlp>(dataset.dim, spec.hidden,
-                                   dataset.num_classes);
-    case ThreadedModelSpec::Kind::kConvNet: {
-      const size_t side =
-          static_cast<size_t>(std::lround(std::sqrt(
-              static_cast<double>(dataset.dim))));
-      PR_CHECK_EQ(side * side, dataset.dim)
-          << "ConvNet needs a perfect-square dataset dim";
-      return std::make_unique<ConvNet>(/*channels=*/1, side, side,
-                                       spec.conv_filters,
-                                       dataset.num_classes);
-    }
-  }
-  PR_CHECK(false) << "unreachable";
-  return nullptr;
+std::string WorkerMetric(int worker, const char* suffix) {
+  return "worker." + std::to_string(worker) + "." + suffix;
 }
 
 }  // namespace
@@ -47,13 +30,24 @@ WorkerContext::WorkerContext(WorkerRuntime* runtime, int worker)
       endpoint_(&runtime->transport_, worker),
       sgd_(runtime->model_->NumParams(), runtime->options_.sgd),
       rng_(runtime->worker_seeds_[static_cast<size_t>(worker)]),
-      delay_seconds_(0.0) {
+      delay_seconds_(0.0),
+      metrics_(runtime->registry_.NewShard()),
+      iterations_counter_(
+          metrics_->GetCounter(WorkerMetric(worker, "iterations"))),
+      compute_seconds_counter_(
+          metrics_->GetCounter(WorkerMetric(worker, "compute_seconds"))),
+      comm_seconds_counter_(
+          metrics_->GetCounter(WorkerMetric(worker, "comm_seconds"))),
+      idle_seconds_counter_(
+          metrics_->GetCounter(WorkerMetric(worker, "idle_seconds"))) {
   const auto& delays = runtime->options_.worker_delay_seconds;
   if (!delays.empty()) {
     PR_CHECK_EQ(delays.size(),
                 static_cast<size_t>(runtime->options_.num_workers));
     delay_seconds_ = delays[static_cast<size_t>(worker)];
   }
+  endpoint_.AttachObservers(metrics_, "worker." + std::to_string(worker),
+                            &runtime->trace_, [this] { return Now(); });
 }
 
 int WorkerContext::num_workers() const {
@@ -82,6 +76,8 @@ std::vector<float>* WorkerContext::params() {
   return &runtime_->replicas_[static_cast<size_t>(worker_)];
 }
 
+TraceRecorder* WorkerContext::trace() { return &runtime_->trace_; }
+
 double WorkerContext::Now() const { return runtime_->NowSeconds(); }
 
 float WorkerContext::ComputeGradient(const float* at,
@@ -96,12 +92,24 @@ float WorkerContext::ComputeGradient(const float* at,
     std::this_thread::sleep_for(
         std::chrono::duration<double>(delay_seconds_));
   }
+  iterations_counter_->Increment();
   RecordCompute(begin, Now());
   return loss;
 }
 
 void WorkerContext::Record(WorkerActivity activity, double begin,
                            double end) {
+  switch (activity) {
+    case WorkerActivity::kCompute:
+      compute_seconds_counter_->Increment(end - begin);
+      break;
+    case WorkerActivity::kComm:
+      comm_seconds_counter_->Increment(end - begin);
+      break;
+    case WorkerActivity::kIdle:
+      idle_seconds_counter_->Increment(end - begin);
+      break;
+  }
   if (!runtime_->options_.record_timeline) return;
   intervals_.push_back(TimelineInterval{worker_, activity, begin, end});
 }
@@ -128,7 +136,11 @@ void WorkerContext::MarkFinished() {
 
 ServiceContext::ServiceContext(WorkerRuntime* runtime)
     : runtime_(runtime),
-      endpoint_(&runtime->transport_, runtime->options_.num_workers) {}
+      endpoint_(&runtime->transport_, runtime->options_.num_workers),
+      metrics_(runtime->registry_.NewShard()) {
+  endpoint_.AttachObservers(metrics_, "service", &runtime->trace_,
+                            [this] { return Now(); });
+}
 
 const ThreadedRunOptions& ServiceContext::run() const {
   return runtime_->options_;
@@ -148,6 +160,10 @@ const std::vector<float>& ServiceContext::init_params() const {
   return runtime_->init_;
 }
 
+TraceRecorder* ServiceContext::trace() { return &runtime_->trace_; }
+
+double ServiceContext::Now() const { return runtime_->NowSeconds(); }
+
 // ---------------------------------------------------------------------------
 // WorkerRuntime
 // ---------------------------------------------------------------------------
@@ -158,7 +174,8 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
       options_(options),
       // Node num_workers is the service endpoint (unused mailbox for
       // strategies without one).
-      transport_(options.num_workers + 1) {
+      transport_(options.num_workers + 1),
+      trace_(options.trace_capacity) {
   PR_CHECK_GE(options_.num_workers, 1);
   PR_CHECK_GE(options_.iterations_per_worker, 1u);
 
@@ -166,7 +183,7 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
   SyntheticSpec spec = options_.dataset;
   spec.seed = options_.seed;
   split_ = GenerateSynthetic(spec);
-  model_ = MakeThreadedModel(options_.model, spec);
+  model_ = MakeProxyModel(options_.model, spec.dim, spec.num_classes);
 
   model_->InitParams(&init_, &rng);
   replicas_.assign(static_cast<size_t>(options_.num_workers), init_);
@@ -264,6 +281,24 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   }
 
   strategy->FillResult(&result);
+
+  // Run-level metrics. Every worker thread has joined, so reading their
+  // counters and deriving the idle fractions here is race-free.
+  MetricsShard* shard = registry_.NewShard();
+  shard->GetGauge("run.wall_seconds")->Set(wall);
+  shard->GetCounter("run.updates")
+      ->Increment(static_cast<double>(result.group_reduces));
+  for (int w = 0; w < n; ++w) {
+    const WorkerContext& ctx = *contexts[static_cast<size_t>(w)];
+    const double active = finish_seconds_[static_cast<size_t>(w)] > 0.0
+                              ? finish_seconds_[static_cast<size_t>(w)]
+                              : wall;
+    const double idle = ctx.idle_seconds_counter_->value();
+    shard->GetGauge(WorkerMetric(w, "idle_fraction"))
+        ->Set(active > 0.0 ? idle / active : 0.0);
+  }
+  result.metrics = registry_.Snapshot();
+  result.trace = trace_.Log();
   return result;
 }
 

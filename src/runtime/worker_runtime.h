@@ -9,6 +9,8 @@
 #include "data/dataset.h"
 #include "data/synthetic.h"
 #include "models/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/sgd.h"
 #include "runtime/threaded_runtime.h"
 #include "sim/timeline.h"
@@ -22,10 +24,12 @@ class WorkerRuntime;
 
 /// \brief A worker thread's view of the runtime: its endpoint, replica,
 /// data shard, optimizer, and RNG, plus helpers that fold heterogeneity
-/// delay injection and timeline recording into the local-compute step.
+/// delay injection, metrics accounting, and timeline recording into the
+/// local-compute step.
 ///
 /// One instance per worker thread, owned by the WorkerRuntime; never shared
-/// between threads.
+/// between threads. Each context owns its MetricsShard, so its counters are
+/// updated without cross-thread contention.
 class WorkerContext {
  public:
   int worker() const { return worker_; }
@@ -46,17 +50,26 @@ class WorkerContext {
   /// Per-worker RNG (deterministic in the run seed and worker id).
   Rng* rng() { return &rng_; }
 
+  /// This worker thread's metrics shard (worker.<i>.* instruments live
+  /// here; strategies may add their own).
+  MetricsShard* metrics() { return metrics_; }
+  /// The run's shared trace recorder; null-safe to pass around but always
+  /// non-null (a zero-capacity recorder drops everything).
+  TraceRecorder* trace();
+
   /// Wall-clock seconds since the run started.
   double Now() const;
 
   /// One local computation: samples the next mini-batch from this worker's
   /// shard, computes the gradient at `at` into `grad` (resized to
   /// NumParams()), then injects this worker's configured heterogeneity
-  /// delay. Records the whole thing as one compute interval. Returns the
-  /// batch loss.
+  /// delay. Records the whole thing as one compute interval and bumps the
+  /// worker's iteration counter. Returns the batch loss.
   float ComputeGradient(const float* at, std::vector<float>* grad);
 
-  /// Timeline recording; no-ops unless run().record_timeline is set.
+  /// Activity accounting. Seconds always accumulate into the worker.<i>.*
+  /// counters; the interval is additionally kept for the run timeline when
+  /// run().record_timeline is set.
   void RecordCompute(double begin, double end);
   void RecordComm(double begin, double end);
   void RecordIdle(double begin, double end);
@@ -80,10 +93,17 @@ class WorkerContext {
   Tensor batch_x_;
   std::vector<int> batch_y_;
   std::vector<TimelineInterval> intervals_;
+
+  MetricsShard* metrics_;  // owned by the runtime's registry
+  Counter* iterations_counter_;
+  Counter* compute_seconds_counter_;
+  Counter* comm_seconds_counter_;
+  Counter* idle_seconds_counter_;
 };
 
 /// \brief The service thread's view of the runtime (controller / server
-/// strategies). Owns the endpoint at node `num_workers`.
+/// strategies). Owns the endpoint at node `num_workers` and its own
+/// metrics shard.
 class ServiceContext {
  public:
   const ThreadedRunOptions& run() const;
@@ -95,23 +115,32 @@ class ServiceContext {
   /// (centralized strategies seed their global model with it).
   const std::vector<float>& init_params() const;
 
+  /// The service thread's metrics shard (controller.* / ps.* instruments).
+  MetricsShard* metrics() { return metrics_; }
+  /// The run's shared trace recorder.
+  TraceRecorder* trace();
+  /// Wall-clock seconds since the run started.
+  double Now() const;
+
  private:
   friend class WorkerRuntime;
   explicit ServiceContext(WorkerRuntime* runtime);
 
   WorkerRuntime* runtime_;
   Endpoint endpoint_;
+  MetricsShard* metrics_;  // owned by the runtime's registry
 };
 
 /// \brief The generic threaded execution engine.
 ///
 /// Owns the full lifecycle of a threaded training run: dataset generation
-/// and sharding, model construction (via the Model interface — MLP or
-/// ConvNet), replica initialization, transport wiring (N worker nodes plus
-/// one service node), spawning/joining the worker and service threads, and
-/// the run-level accounting (wall time, per-worker finish times, replica
-/// spread, merged timeline, final evaluation). Strategy-specific behaviour
-/// is delegated entirely to the ThreadedStrategy passed to Run().
+/// and sharding, model construction (through the models catalog), replica
+/// initialization, transport wiring (N worker nodes plus one service node),
+/// spawning/joining the worker and service threads, the observability
+/// plumbing (metrics registry + trace recorder), and the run-level
+/// accounting (wall time, per-worker finish times, replica spread, merged
+/// timeline, final evaluation). Strategy-specific behaviour is delegated
+/// entirely to the ThreadedStrategy passed to Run().
 class WorkerRuntime {
  public:
   WorkerRuntime(const StrategyOptions& strategy_options,
@@ -135,6 +164,8 @@ class WorkerRuntime {
   std::vector<std::unique_ptr<BatchSampler>> samplers_;
   std::vector<uint64_t> worker_seeds_;
   InProcTransport transport_;
+  MetricsRegistry registry_;
+  TraceRecorder trace_;
   std::chrono::steady_clock::time_point start_;
   std::vector<double> finish_seconds_;
 };

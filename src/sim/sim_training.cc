@@ -11,7 +11,10 @@
 namespace pr {
 
 SimTraining::SimTraining(const SimTrainingOptions& options)
-    : options_(options), rng_(options.seed) {
+    : options_(options),
+      metrics_shard_(registry_.NewShard()),
+      trace_(options.trace_capacity),
+      rng_(options.seed) {
   PR_CHECK_GE(options.num_workers, 1);
   PR_CHECK_GE(options.batch_size, 1u);
 
@@ -21,22 +24,7 @@ SimTraining::SimTraining(const SimTrainingOptions& options)
   spec.seed = options.seed;  // the run seed controls the data too
   split_ = GenerateSynthetic(spec);
 
-  switch (options.proxy_model) {
-    case SimTrainingOptions::ProxyModel::kMlp:
-      model_ = std::make_unique<Mlp>(spec.dim, options.hidden,
-                                     spec.num_classes);
-      break;
-    case SimTrainingOptions::ProxyModel::kConvNet: {
-      const size_t side = static_cast<size_t>(
-          std::lround(std::sqrt(static_cast<double>(spec.dim))));
-      PR_CHECK_EQ(side * side, spec.dim)
-          << "ConvNet proxy needs a square feature dimension";
-      model_ = std::make_unique<ConvNet>(1, side, side,
-                                         options.conv_filters,
-                                         spec.num_classes);
-      break;
-    }
-  }
+  model_ = MakeProxyModel(options.model, spec.dim, spec.num_classes);
   cost_ = std::make_unique<CostModel>(LookupPaperModel(options.paper_model),
                                       options.cost);
   hetero_ = MakeHeterogeneityModel(options.hetero, options.num_workers,
@@ -245,6 +233,11 @@ void SimTraining::EvaluateNow() {
   if (!options_.timing_only) MaybeEvaluate();
 }
 
+void SimTraining::CountWastedGradient() {
+  ++wasted_gradients_;
+  metrics_shard_->GetCounter("ps.wasted_gradients")->Increment();
+}
+
 SimRunResult SimTraining::BuildResult(const std::string& strategy_name) {
   SimRunResult result;
   result.strategy = strategy_name;
@@ -260,12 +253,30 @@ SimRunResult SimTraining::BuildResult(const std::string& strategy_name) {
   result.wasted_gradients = wasted_gradients_;
 
   double idle = 0.0;
-  for (WorkerState& ws : workers_) {
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& ws = workers_[w];
     double wait = ws.total_wait;
     if (ws.wait_started >= 0.0) wait += engine_.now() - ws.wait_started;
-    idle += engine_.now() > 0.0 ? wait / engine_.now() : 0.0;
+    const double fraction = engine_.now() > 0.0 ? wait / engine_.now() : 0.0;
+    idle += fraction;
+    const std::string prefix = "worker." + std::to_string(w);
+    metrics_shard_->GetCounter(prefix + ".idle_seconds")->Increment(wait);
+    metrics_shard_->GetGauge(prefix + ".idle_fraction")->Set(fraction);
+    metrics_shard_->GetCounter(prefix + ".iterations")
+        ->Increment(static_cast<double>(ws.iteration));
   }
   result.mean_idle_fraction = idle / static_cast<double>(workers_.size());
+
+  // Run-level metrics under the names shared with the threaded runtime
+  // (run.sim_seconds takes wall_seconds' place: the engines differ exactly
+  // in which clock they advance).
+  metrics_shard_->GetGauge("run.sim_seconds")->Set(engine_.now());
+  metrics_shard_->GetCounter("run.updates")
+      ->Increment(static_cast<double>(updates_));
+  metrics_shard_->GetCounter("engine.events_processed")
+      ->Increment(static_cast<double>(engine_.events_processed()));
+  result.metrics = registry_.Snapshot();
+  result.trace = trace_.Log();
   return result;
 }
 

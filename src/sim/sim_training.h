@@ -11,8 +11,9 @@
 #include "data/synthetic.h"
 #include "hetero/hetero.h"
 #include "models/catalog.h"
-#include "models/convnet.h"
-#include "models/mlp.h"
+#include "models/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/sgd.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
@@ -52,14 +53,10 @@ struct SimTrainingOptions {
   SgdOptions sgd;
   LrDecaySpec lr_decay;
 
-  /// Proxy model family trained for real under virtual time.
-  enum class ProxyModel { kMlp, kConvNet };
-  ProxyModel proxy_model = ProxyModel::kMlp;
-  /// kMlp: hidden layer widths.
-  std::vector<size_t> hidden = {64};
-  /// kConvNet: filter count; the dataset dim must be a perfect square
-  /// (interpreted as a 1-channel sqrt(dim) x sqrt(dim) image).
-  size_t conv_filters = 8;
+  /// Proxy model trained for real under virtual time, constructed through
+  /// the models catalog — the same specs the threaded runtime consumes, so
+  /// both engines name models identically.
+  ProxyModelSpec model = {ProxyModelSpec::Kind::kMlp, {64}, 8};
 
   /// Synthetic dataset name ("cifar10", "cifar100", "imagenet"), or a fully
   /// custom spec when `custom_dataset` is set.
@@ -97,6 +94,10 @@ struct SimTrainingOptions {
   /// strategies; costs memory proportional to the number of intervals.
   bool record_timeline = false;
 
+  /// Capacity of the structured trace ring buffer (see obs/trace.h);
+  /// 0 disables tracing. Metrics are always collected.
+  size_t trace_capacity = 0;
+
   uint64_t seed = 1;
 };
 
@@ -121,6 +122,12 @@ struct SimRunResult {
   /// Groups bridged by frozen avoidance (P-Reduce only).
   uint64_t bridged_groups = 0;
   uint64_t frozen_detections = 0;
+
+  /// Merged counters/gauges/histograms of the run, under the metric names
+  /// shared with the threaded runtime (controller.*, worker.<i>.*, ps.*,
+  /// run.*, engine.*). Timestamps in `trace` are virtual seconds.
+  MetricsSnapshot metrics;
+  TraceLog trace;
 };
 
 /// \brief Shared state and services for simulated synchronization
@@ -195,7 +202,13 @@ class SimTraining {
   void MarkWaitEnd(int worker);
 
   /// Counts a discarded gradient (PS-BK).
-  void CountWastedGradient() { ++wasted_gradients_; }
+  void CountWastedGradient();
+
+  /// The run's metrics shard (the simulator is single-threaded, so one
+  /// shard serves every strategy) and trace recorder. Strategies register
+  /// their instruments here under the shared naming convention.
+  MetricsShard* metrics() { return metrics_shard_; }
+  TraceRecorder* trace() { return &trace_; }
 
   /// The activity timeline, or null when record_timeline is off. Idle
   /// intervals are appended automatically by MarkWaitEnd; strategies record
@@ -240,6 +253,9 @@ class SimTraining {
 
   SimTrainingOptions options_;
   SimEngine engine_;
+  MetricsRegistry registry_;
+  MetricsShard* metrics_shard_;  // owned by registry_
+  TraceRecorder trace_;
   Rng rng_;
   TrainTestSplit split_;
   std::unique_ptr<Model> model_;

@@ -22,6 +22,8 @@ PReduceStrategy::PReduceStrategy(SimTraining* ctx,
   copts.history_window = options.history_window;
   copts.record_sync_matrices = options.record_sync_matrices;
   controller_ = std::make_unique<Controller>(copts);
+  controller_->AttachObservers(ctx->metrics(), ctx->trace(),
+                               [ctx] { return ctx->engine()->now(); });
 
   leave_requested_.assign(static_cast<size_t>(ctx->num_workers()), false);
   active_.assign(static_cast<size_t>(ctx->num_workers()), true);

@@ -17,6 +17,9 @@ PsBspStrategy::PsBspStrategy(SimTraining* ctx) : ctx_(ctx) {
   opt_ = ctx->MakeOptimizer();
   grads_.resize(static_cast<size_t>(ctx->num_workers()));
   ctx_->SetEvalProvider([this]() { return global_.data(); });
+  versions_counter_ = ctx->metrics()->GetCounter("ps.versions");
+  staleness_hist_ =
+      ctx->metrics()->GetHistogram("ps.push_staleness", StalenessBuckets());
 }
 
 void PsBspStrategy::Start() { StartRound(); }
@@ -49,6 +52,10 @@ void PsBspStrategy::OnComputeDone(int worker) {
 void PsBspStrategy::OnPushDone(int worker) {
   ctx_->MarkWaitStart(worker);
   ctx_->increment_iteration(worker);
+  // BSP is lockstep: every push targets the version it pulled.
+  staleness_hist_->Observe(0.0);
+  ctx_->trace()->Record(ctx_->engine()->now(), TraceEventKind::kPsPush,
+                        worker, /*a=*/0);
   if (++arrived_ < ctx_->num_workers()) return;
 
   // Barrier: server averages all N gradients and advances the model.
@@ -58,6 +65,7 @@ void PsBspStrategy::OnPushDone(int worker) {
   const float w = 1.0f / static_cast<float>(ctx_->num_workers());
   for (const auto& g : grads_) Axpy(w, g.data(), mean.data(), n);
   ctx_->StepWith(opt_.get(), mean.data(), &global_);
+  versions_counter_->Increment();
   ctx_->RecordUpdate();
   for (int i = 0; i < ctx_->num_workers(); ++i) ctx_->MarkWaitEnd(i);
   if (ctx_->stopped()) return;
@@ -76,6 +84,9 @@ PsAsyncStrategy::PsAsyncStrategy(SimTraining* ctx, bool staleness_aware)
   pulled_version_.resize(static_cast<size_t>(ctx->num_workers()), 0);
   pending_grad_.resize(static_cast<size_t>(ctx->num_workers()));
   ctx_->SetEvalProvider([this]() { return global_.data(); });
+  versions_counter_ = ctx->metrics()->GetCounter("ps.versions");
+  staleness_hist_ =
+      ctx->metrics()->GetHistogram("ps.push_staleness", StalenessBuckets());
 }
 
 void PsAsyncStrategy::Start() {
@@ -109,6 +120,9 @@ void PsAsyncStrategy::OnComputeDone(int worker) {
 void PsAsyncStrategy::OnPushDone(int worker) {
   const uint64_t staleness =
       version_ - pulled_version_[static_cast<size_t>(worker)];
+  staleness_hist_->Observe(static_cast<double>(staleness));
+  ctx_->trace()->Record(ctx_->engine()->now(), TraceEventKind::kPsPush,
+                        worker, static_cast<int64_t>(staleness));
   // Standard async LR scaling: each push applies a single worker's gradient
   // (BSP applies the *mean* of N per round), so per-push steps carry 1/N of
   // the base rate to keep the aggregate movement per data pass comparable.
@@ -123,6 +137,7 @@ void PsAsyncStrategy::OnPushDone(int worker) {
                  pending_grad_[static_cast<size_t>(worker)].data(), &global_,
                  scale);
   ++version_;
+  versions_counter_->Increment();
   ctx_->increment_iteration(worker);
   ctx_->RecordUpdate();
   if (ctx_->stopped()) return;
@@ -147,6 +162,9 @@ PsBackupStrategy::PsBackupStrategy(SimTraining* ctx, int backup_workers)
   computing_.resize(static_cast<size_t>(ctx->num_workers()), false);
   compute_epoch_.resize(static_cast<size_t>(ctx->num_workers()), 0);
   ctx_->SetEvalProvider([this]() { return global_.data(); });
+  versions_counter_ = ctx->metrics()->GetCounter("ps.versions");
+  staleness_hist_ =
+      ctx->metrics()->GetHistogram("ps.push_staleness", StalenessBuckets());
 }
 
 void PsBackupStrategy::Start() {
@@ -187,6 +205,12 @@ void PsBackupStrategy::OnComputeDone(int worker, uint64_t epoch) {
 
 void PsBackupStrategy::OnPushDone(int worker) {
   ctx_->increment_iteration(worker);
+  const uint64_t staleness =
+      version_ - pulled_version_[static_cast<size_t>(worker)];
+  staleness_hist_->Observe(static_cast<double>(staleness));
+  ctx_->trace()->Record(ctx_->engine()->now(), TraceEventKind::kPsPush,
+                        worker, static_cast<int64_t>(staleness),
+                        staleness > 0 ? 1 : 0);
   if (pulled_version_[static_cast<size_t>(worker)] != version_) {
     // Straggler: its gradient targets an old version — dropped (the
     // "backup workers do not contribute" behaviour). It re-pulls the
@@ -209,6 +233,7 @@ void PsBackupStrategy::OnPushDone(int worker) {
   std::memset(round_sum_.data(), 0, round_sum_.size() * sizeof(float));
   round_accepted_ = 0;
   ++version_;
+  versions_counter_->Increment();
   ctx_->RecordUpdate();
   std::vector<int> resume;
   resume.swap(waiting_for_round_);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "optim/sgd.h"
 #include "sim/cost_model.h"
 #include "strategies/strategy.h"
@@ -36,6 +37,8 @@ class PsBspStrategy : public Strategy {
   PsLinkQueue link_;
   std::vector<std::vector<float>> grads_;
   int arrived_ = 0;
+  Counter* versions_counter_ = nullptr;
+  Histogram* staleness_hist_ = nullptr;
 };
 
 /// \brief PS with asynchronous consistency (ASP), optionally with the
@@ -65,6 +68,8 @@ class PsAsyncStrategy : public Strategy {
   uint64_t version_ = 0;
   std::vector<uint64_t> pulled_version_;
   std::vector<std::vector<float>> pending_grad_;
+  Counter* versions_counter_ = nullptr;
+  Histogram* staleness_hist_ = nullptr;
 };
 
 /// \brief Synchronous SGD with backup workers (Chen et al.): each round
@@ -105,6 +110,8 @@ class PsBackupStrategy : public Strategy {
   std::vector<bool> computing_;
   /// Bumped to invalidate an in-flight compute event (abort-on-new-version).
   std::vector<uint64_t> compute_epoch_;
+  Counter* versions_counter_ = nullptr;
+  Histogram* staleness_hist_ = nullptr;
 };
 
 }  // namespace pr

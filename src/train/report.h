@@ -3,6 +3,9 @@
 #include <string>
 #include <vector>
 
+#include "runtime/threaded_runtime.h"
+#include "sim/sim_training.h"
+
 namespace pr {
 
 /// \brief Minimal fixed-width table printer for benchmark reports.
@@ -36,5 +39,17 @@ std::string FormatSpeedup(double value);
 bool WriteCsv(const std::string& path,
               const std::vector<std::string>& headers,
               const std::vector<std::vector<std::string>>& rows);
+
+/// Writes `content` verbatim to `path`. Returns false on IO error.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+/// JSON report of one threaded run: headline numbers ("strategy",
+/// "wall_seconds", "updates", "final_accuracy") plus the full "metrics"
+/// snapshot and "trace" log under the shared observability naming.
+std::string RunReportJson(const ThreadedRunResult& result);
+
+/// Same for a simulated run ("sim_seconds" instead of "wall_seconds"); the
+/// metric names inside "metrics" match the threaded report by construction.
+std::string RunReportJson(const SimRunResult& result);
 
 }  // namespace pr

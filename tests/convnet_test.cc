@@ -120,8 +120,8 @@ TEST(ConvNetTest, TrainsOnSeparableData) {
 TEST(ConvNetProxyTest, SimTrainingRunsWithConvProxy) {
   ExperimentConfig config;
   config.training.num_workers = 4;
-  config.training.proxy_model = SimTrainingOptions::ProxyModel::kConvNet;
-  config.training.conv_filters = 4;
+  config.training.model.kind = ProxyModelSpec::Kind::kConvNet;
+  config.training.model.conv_filters = 4;
   SyntheticSpec spec;
   spec.num_train = 512;
   spec.num_test = 256;

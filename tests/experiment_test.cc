@@ -63,7 +63,7 @@ TEST(ExperimentSeedsTest, AggregatesAcrossSeeds) {
 TEST(ExperimentSeedsTest, ConvergenceCounting) {
   ExperimentConfig config;
   config.training.num_workers = 4;
-  config.training.hidden = {16};
+  config.training.model.hidden = {16};
   SyntheticSpec spec;
   spec.num_train = 512;
   spec.num_test = 256;

@@ -12,7 +12,7 @@ namespace {
 ExperimentConfig BaseConfig() {
   ExperimentConfig config;
   config.training.num_workers = 8;
-  config.training.hidden = {16};
+  config.training.model.hidden = {16};
   config.training.batch_size = 16;
   SyntheticSpec spec;
   spec.num_train = 2048;

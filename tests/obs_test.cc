@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pr {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  MetricsShard* shard = registry.NewShard();
+  Counter* c = shard->GetCounter("x");
+  c->Increment();
+  c->Increment(2.5);
+  EXPECT_DOUBLE_EQ(c->value(), 3.5);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().counter("x"), 3.5);
+}
+
+TEST(MetricsTest, HandleIsStablePerName) {
+  MetricsRegistry registry;
+  MetricsShard* shard = registry.NewShard();
+  EXPECT_EQ(shard->GetCounter("a"), shard->GetCounter("a"));
+  EXPECT_NE(shard->GetCounter("a"), shard->GetCounter("b"));
+}
+
+TEST(MetricsTest, GaugeSetMaxKeepsHighWater) {
+  MetricsRegistry registry;
+  MetricsShard* shard = registry.NewShard();
+  Gauge* g = shard->GetGauge("hw");
+  g->SetMax(3.0);
+  g->SetMax(1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+  g->SetMax(7.0);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauge("hw"), 7.0);
+}
+
+TEST(MetricsTest, ShardsMergeCountersSumGaugesMax) {
+  MetricsRegistry registry;
+  MetricsShard* a = registry.NewShard();
+  MetricsShard* b = registry.NewShard();
+  a->GetCounter("n")->Increment(2.0);
+  b->GetCounter("n")->Increment(5.0);
+  a->GetGauge("hw")->Set(4.0);
+  b->GetGauge("hw")->Set(9.0);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter("n"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.gauge("hw"), 9.0);
+}
+
+TEST(MetricsTest, SnapshotLookupsAreNullSafeOnAbsentNames) {
+  MetricsRegistry registry;
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.gauge("absent"), 0.0);
+  EXPECT_EQ(snap.histogram("absent"), nullptr);
+}
+
+TEST(MetricsTest, HistogramBucketing) {
+  MetricsRegistry registry;
+  MetricsShard* shard = registry.NewShard();
+  Histogram* h = shard->GetHistogram("lat", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0 (v <= 1)
+  h->Observe(1.0);    // bucket 0 (inclusive upper bound)
+  h->Observe(5.0);    // bucket 1
+  h->Observe(1000.0); // overflow bucket
+  HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.total_count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.5);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 1006.5 / 4.0);
+  // Median falls in the first bucket; the top quantile in the overflow
+  // bucket reports the largest finite bound.
+  EXPECT_DOUBLE_EQ(snap.QuantileUpperBound(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(snap.QuantileUpperBound(1.0), 100.0);
+}
+
+TEST(MetricsTest, HistogramsMergeBucketwiseAcrossShards) {
+  MetricsRegistry registry;
+  MetricsShard* a = registry.NewShard();
+  MetricsShard* b = registry.NewShard();
+  a->GetHistogram("h", {1.0, 2.0})->Observe(0.5);
+  b->GetHistogram("h", {1.0, 2.0})->Observe(1.5);
+  b->GetHistogram("h", {1.0, 2.0})->Observe(9.0);
+  const HistogramSnapshot* h = nullptr;
+  MetricsSnapshot snap = registry.Snapshot();
+  h = snap.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total_count, 3u);
+  ASSERT_EQ(h->counts.size(), 3u);
+  EXPECT_EQ(h->counts[0], 1u);
+  EXPECT_EQ(h->counts[1], 1u);
+  EXPECT_EQ(h->counts[2], 1u);
+}
+
+TEST(MetricsTest, StalenessBucketsReconstructExactCounts) {
+  // The legacy staleness histogram is per-integer-value; the canonical
+  // buckets must preserve that for staleness 0..15.
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.NewShard()->GetHistogram("s", StalenessBuckets());
+  for (int s = 0; s <= 15; ++s) {
+    for (int k = 0; k <= s; ++k) h->Observe(static_cast<double>(s));
+  }
+  HistogramSnapshot snap = h->Snapshot();
+  for (size_t s = 0; s <= 15; ++s) {
+    EXPECT_EQ(snap.counts[s], s + 1) << "staleness " << s;
+  }
+  EXPECT_EQ(snap.counts.back(), 0u);
+}
+
+TEST(MetricsTest, ConcurrentShardsMergeExactly) {
+  // Per-thread shards: each thread owns one, increments a shared name in a
+  // tight loop, and the post-join snapshot must account for every update.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  MetricsRegistry registry;
+  std::vector<MetricsShard*> shards;
+  for (int t = 0; t < kThreads; ++t) shards.push_back(registry.NewShard());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([shard = shards[static_cast<size_t>(t)], t] {
+      Counter* c = shard->GetCounter("total");
+      Gauge* g = shard->GetGauge("high");
+      Histogram* h = shard->GetHistogram("obs", {0.5});
+      for (int i = 0; i < kIters; ++i) {
+        c->Increment();
+        g->SetMax(static_cast<double>(t * kIters + i));
+        h->Observe(i % 2 == 0 ? 0.0 : 1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter("total"),
+                   static_cast<double>(kThreads * kIters));
+  EXPECT_DOUBLE_EQ(snap.gauge("high"),
+                   static_cast<double>(kThreads * kIters - 1));
+  const HistogramSnapshot* h = snap.histogram("obs");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total_count,
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h->counts[0], static_cast<uint64_t>(kThreads) * kIters / 2);
+}
+
+TEST(MetricsTest, SingleInstrumentSurvivesConcurrentWriters) {
+  // Sharing one shard between threads is also legal — updates are atomic.
+  MetricsRegistry registry;
+  Counter* c = registry.NewShard()->GetCounter("shared");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 5000; ++i) c->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(c->value(), 20000.0);
+}
+
+TEST(TraceTest, RecordsInOrder) {
+  TraceRecorder recorder(16);
+  recorder.Record(0.1, TraceEventKind::kSignalEnqueued, 0, 1);
+  recorder.Record(0.2, TraceEventKind::kGroupFormed, -1, 7, 2);
+  TraceLog log = recorder.Log();
+  ASSERT_EQ(log.events.size(), 2u);
+  EXPECT_EQ(log.dropped, 0u);
+  EXPECT_DOUBLE_EQ(log.events[0].time, 0.1);
+  EXPECT_EQ(log.events[0].kind, TraceEventKind::kSignalEnqueued);
+  EXPECT_EQ(log.events[0].worker, 0);
+  EXPECT_EQ(log.events[1].a, 7);
+  EXPECT_EQ(log.events[1].b, 2);
+}
+
+TEST(TraceTest, RingKeepsNewestWindowAndCountsDrops) {
+  TraceRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(static_cast<double>(i), TraceEventKind::kReduceStart, 0,
+                    i);
+  }
+  TraceLog log = recorder.Log();
+  ASSERT_EQ(log.events.size(), 4u);
+  EXPECT_EQ(log.dropped, 6u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  // Oldest-first order over the surviving tail: events 6..9.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(log.events[i].a, static_cast<int64_t>(6 + i));
+  }
+}
+
+TEST(TraceTest, ZeroCapacityDisablesRecording) {
+  TraceRecorder recorder(0);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Record(1.0, TraceEventKind::kPsPush, 2, 3);
+  TraceLog log = recorder.Log();
+  EXPECT_TRUE(log.events.empty());
+  EXPECT_EQ(log.dropped, 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+TEST(TraceTest, ConcurrentRecordsAllAccounted) {
+  TraceRecorder recorder(128);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < 1000; ++i) {
+        recorder.Record(0.0, TraceEventKind::kPsPush, t, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(recorder.recorded(), 4000u);
+  TraceLog log = recorder.Log();
+  EXPECT_EQ(log.events.size(), 128u);
+  EXPECT_EQ(log.dropped, 4000u - 128u);
+}
+
+TEST(JsonTest, WriterProducesStrictJson) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("a \"quoted\" value\n");
+  w.Key("pi").Number(3.5);
+  w.Key("n").Int(-2);
+  w.Key("u").UInt(7);
+  w.Key("ok").Bool(true);
+  w.Key("none").Null();
+  w.Key("arr").BeginArray();
+  w.Number(1.0);
+  w.Number(2.0);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a \\\"quoted\\\" value\\n\",\"pi\":3.5,"
+            "\"n\":-2,\"u\":7,\"ok\":true,\"none\":null,"
+            "\"arr\":[1,2]}");
+}
+
+TEST(JsonTest, MetricsSnapshotSerializes) {
+  MetricsRegistry registry;
+  MetricsShard* shard = registry.NewShard();
+  shard->GetCounter("runs")->Increment(3.0);
+  shard->GetGauge("hw")->Set(2.0);
+  shard->GetHistogram("lat", {1.0})->Observe(0.5);
+  const std::string json = MetricsSnapshotJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"upper_bounds\""), std::string::npos);
+}
+
+TEST(JsonTest, TraceLogSerializesKindNames) {
+  TraceRecorder recorder(8);
+  recorder.Record(0.5, TraceEventKind::kGroupFormed, -1, 1, 2);
+  const std::string json = TraceLogJson(recorder.Log());
+  EXPECT_NE(json.find("\"group_formed\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pr

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "runtime/threaded_runtime.h"
+#include "train/experiment.h"
 
 namespace pr {
 namespace {
@@ -198,7 +201,7 @@ TEST(ThreadedRuntimeTest, PsBackupDropsStaleGradients) {
   EXPECT_EQ(result.strategy, "PS-BK");
   EXPECT_GT(result.versions, 0u);
   // The straggler's gradients target superseded versions and are dropped.
-  EXPECT_GT(result.wasted_gradients, 0u);
+  EXPECT_GT(result.wasted_gradients(), 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
@@ -208,11 +211,11 @@ TEST(ThreadedRuntimeTest, PsBspMatchesWrapperSemantics) {
   EXPECT_EQ(result.strategy, "PS-BSP");
   // BSP: one version per round, zero staleness everywhere.
   EXPECT_EQ(result.versions, 30u);
-  ASSERT_FALSE(result.staleness_histogram.empty());
+  const std::vector<uint64_t> hist = result.staleness_histogram();
+  ASSERT_FALSE(hist.empty());
   const uint64_t total =
-      std::accumulate(result.staleness_histogram.begin(),
-                      result.staleness_histogram.end(), uint64_t{0});
-  EXPECT_EQ(result.staleness_histogram[0], total);
+      std::accumulate(hist.begin(), hist.end(), uint64_t{0});
+  EXPECT_EQ(hist[0], total);
 }
 
 TEST(ThreadedRuntimeTest, EveryStrategyKindRunsOnThreads) {
@@ -284,6 +287,103 @@ TEST(ThreadedRuntimeTest, TimelineRecordsWorkerActivity) {
   }
   EXPECT_GT(idle, 0.0);
   EXPECT_GT(result.timeline.EndTime(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: metrics agree with the legacy diagnostics, and the sim and
+// threaded engines publish the same metric names.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRuntimeTest, ControllerMetricsMatchControllerStats) {
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+  EXPECT_EQ(result.metrics.counter("controller.groups_formed"),
+            static_cast<double>(result.controller_stats.groups_formed));
+  EXPECT_EQ(result.metrics.counter("controller.signals_received"),
+            static_cast<double>(result.controller_stats.signals_received));
+  // Every decision was timed.
+  const HistogramSnapshot* latency =
+      result.metrics.histogram("controller.decision_latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->total_count, result.controller_stats.signals_received);
+  EXPECT_GT(latency->Mean(), 0.0);
+}
+
+TEST(ThreadedRuntimeTest, RunLevelMetricsPublished) {
+  ThreadedRunResult result =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+  EXPECT_GT(result.metrics.gauge("run.wall_seconds"), 0.0);
+  EXPECT_EQ(result.metrics.counter("run.updates"),
+            static_cast<double>(result.group_reduces));
+  for (int w = 0; w < 4; ++w) {
+    const std::string prefix = "worker." + std::to_string(w) + ".";
+    EXPECT_EQ(result.metrics.counter(prefix + "iterations"), 30.0);
+    const double idle = result.metrics.gauge(prefix + "idle_fraction");
+    EXPECT_GE(idle, 0.0);
+    EXPECT_LE(idle, 1.0);
+  }
+  // Deprecated accessor mirrors the gauges.
+  const std::vector<double> idle = result.worker_idle_fraction();
+  ASSERT_EQ(idle.size(), 4u);
+}
+
+TEST(ThreadedRuntimeTest, SimAndThreadedShareMetricNames) {
+  // The acceptance criterion for the observability layer: both engines
+  // publish the controller, per-worker, and run-level families under
+  // identical names, so a dashboard built on one works on the other.
+  ThreadedRunResult threaded =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+
+  ExperimentConfig sim;
+  sim.training.num_workers = 4;
+  sim.training.max_updates = 60;
+  sim.training.accuracy_threshold = -1.0;
+  sim.strategy.kind = StrategyKind::kPReduceConst;
+  sim.strategy.group_size = 2;
+  SimRunResult simulated = RunExperiment(sim);
+
+  const char* shared_counters[] = {
+      "controller.signals_received", "controller.groups_formed",
+      "run.updates", "worker.0.iterations", "worker.3.iterations"};
+  for (const char* name : shared_counters) {
+    EXPECT_GT(threaded.metrics.counter(name), 0.0) << "threaded: " << name;
+    EXPECT_GT(simulated.metrics.counter(name), 0.0) << "sim: " << name;
+  }
+  for (int w = 0; w < 4; ++w) {
+    const std::string gauge =
+        "worker." + std::to_string(w) + ".idle_fraction";
+    EXPECT_TRUE(threaded.metrics.gauges.count(gauge)) << gauge;
+    EXPECT_TRUE(simulated.metrics.gauges.count(gauge)) << gauge;
+  }
+  // Same decision-latency histogram instrument under both engines (measured
+  // on the real clock in both — the controller does real work either way).
+  EXPECT_NE(
+      threaded.metrics.histogram("controller.decision_latency_seconds"),
+      nullptr);
+  EXPECT_NE(
+      simulated.metrics.histogram("controller.decision_latency_seconds"),
+      nullptr);
+  // Engine-specific wall clocks keep distinct names on purpose.
+  EXPECT_GT(threaded.metrics.gauge("run.wall_seconds"), 0.0);
+  EXPECT_GT(simulated.metrics.gauge("run.sim_seconds"), 0.0);
+}
+
+TEST(ThreadedRuntimeTest, TraceDisabledByDefaultAndBoundedWhenOn) {
+  ThreadedRunOptions opt = SmallOptions();
+  ThreadedRunResult off =
+      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+  EXPECT_TRUE(off.trace.events.empty());
+
+  RunConfig config;
+  config.strategy = Strat(StrategyKind::kPReduceConst);
+  config.run = SmallOptions();
+  config.run.trace_capacity = 64;
+  ThreadedRunResult on = RunThreaded(config);
+  EXPECT_FALSE(on.trace.events.empty());
+  EXPECT_LE(on.trace.events.size(), 64u);
+  // A run of 4x30 iterations generates far more than 64 events; the ring
+  // must report the overflow.
+  EXPECT_GT(on.trace.dropped, 0u);
 }
 
 TEST(ThreadedRuntimeTest, TimelineOffByDefault) {

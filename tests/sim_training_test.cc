@@ -10,7 +10,7 @@ namespace {
 SimTrainingOptions SmallOptions() {
   SimTrainingOptions opt;
   opt.num_workers = 4;
-  opt.hidden = {16};
+  opt.model.hidden = {16};
   opt.batch_size = 16;
   SyntheticSpec spec;
   spec.num_train = 512;

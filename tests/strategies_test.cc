@@ -11,7 +11,7 @@ namespace {
 ExperimentConfig SmallConfig(StrategyKind kind) {
   ExperimentConfig config;
   config.training.num_workers = 4;
-  config.training.hidden = {16};
+  config.training.model.hidden = {16};
   config.training.batch_size = 16;
   SyntheticSpec spec;
   spec.num_train = 1024;

@@ -2,91 +2,99 @@
 
 #include <numeric>
 
-#include "runtime/threaded_ps.h"
+#include "runtime/threaded_runtime.h"
 
 namespace pr {
 namespace {
 
-ThreadedPsOptions SmallOptions() {
-  ThreadedPsOptions opt;
-  opt.num_workers = 4;
-  opt.iterations_per_worker = 30;
-  opt.hidden = {16};
-  opt.batch_size = 16;
-  opt.dataset.num_train = 1024;
-  opt.dataset.num_test = 512;
-  opt.dataset.dim = 16;
-  opt.dataset.num_classes = 4;
-  opt.dataset.separation = 3.0;
-  opt.seed = 5;
-  return opt;
+RunConfig SmallConfig(StrategyKind kind) {
+  RunConfig config;
+  config.strategy.kind = kind;
+  config.run.num_workers = 4;
+  config.run.iterations_per_worker = 30;
+  config.run.model.hidden = {16};
+  config.run.batch_size = 16;
+  config.run.dataset.num_train = 1024;
+  config.run.dataset.num_test = 512;
+  config.run.dataset.dim = 16;
+  config.run.dataset.num_classes = 4;
+  config.run.dataset.separation = 3.0;
+  config.run.seed = 5;
+  return config;
 }
 
 TEST(ThreadedPsTest, BspCompletesAndLearns) {
-  ThreadedPsOptions opt = SmallOptions();
-  opt.mode = PsMode::kBsp;
-  ThreadedPsResult result = RunThreadedPs(opt);
+  RunConfig config = SmallConfig(StrategyKind::kPsBsp);
+  ThreadedRunResult result = RunThreaded(config);
   // BSP: one version per round, iterations_per_worker rounds.
-  EXPECT_EQ(result.versions, opt.iterations_per_worker);
+  EXPECT_EQ(result.versions, config.run.iterations_per_worker);
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
 TEST(ThreadedPsTest, BspHasZeroStaleness) {
-  ThreadedPsOptions opt = SmallOptions();
-  opt.mode = PsMode::kBsp;
-  ThreadedPsResult result = RunThreadedPs(opt);
+  RunConfig config = SmallConfig(StrategyKind::kPsBsp);
+  ThreadedRunResult result = RunThreaded(config);
   // Lockstep: every push targets the version it pulled.
-  ASSERT_FALSE(result.staleness_histogram.empty());
-  const uint64_t total = std::accumulate(
-      result.staleness_histogram.begin(), result.staleness_histogram.end(),
-      uint64_t{0});
-  EXPECT_EQ(result.staleness_histogram[0], total);
+  const std::vector<uint64_t> hist = result.staleness_histogram();
+  ASSERT_FALSE(hist.empty());
+  const uint64_t total =
+      std::accumulate(hist.begin(), hist.end(), uint64_t{0});
+  EXPECT_EQ(hist[0], total);
 }
 
 TEST(ThreadedPsTest, AspCompletesAndLearns) {
-  ThreadedPsOptions opt = SmallOptions();
-  opt.mode = PsMode::kAsp;
-  opt.iterations_per_worker = 60;
-  ThreadedPsResult result = RunThreadedPs(opt);
+  RunConfig config = SmallConfig(StrategyKind::kPsAsp);
+  config.run.iterations_per_worker = 60;
+  ThreadedRunResult result = RunThreaded(config);
   // ASP: one version per push.
   EXPECT_EQ(result.versions,
-            static_cast<uint64_t>(opt.num_workers) *
-                opt.iterations_per_worker);
+            static_cast<uint64_t>(config.run.num_workers) *
+                config.run.iterations_per_worker);
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
 TEST(ThreadedPsTest, AspObservesStalenessUnderStraggler) {
-  ThreadedPsOptions opt = SmallOptions();
-  opt.mode = PsMode::kAsp;
-  opt.iterations_per_worker = 20;
-  opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.004};
-  ThreadedPsResult result = RunThreadedPs(opt);
+  RunConfig config = SmallConfig(StrategyKind::kPsAsp);
+  config.run.iterations_per_worker = 20;
+  config.run.worker_delay_seconds = {0.0, 0.0, 0.0, 0.004};
+  ThreadedRunResult result = RunThreaded(config);
   // Some push must have seen staleness >= 1 (fast workers advance the
   // version while the straggler computes).
+  const std::vector<uint64_t> hist = result.staleness_histogram();
   uint64_t stale_pushes = 0;
-  for (size_t s = 1; s < result.staleness_histogram.size(); ++s) {
-    stale_pushes += result.staleness_histogram[s];
-  }
+  for (size_t s = 1; s < hist.size(); ++s) stale_pushes += hist[s];
   EXPECT_GT(stale_pushes, 0u);
 }
 
 TEST(ThreadedPsTest, StragglerDoesNotBlockAspCompletion) {
-  ThreadedPsOptions opt = SmallOptions();
-  opt.mode = PsMode::kAsp;
-  opt.iterations_per_worker = 15;
-  opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.01};
-  ThreadedPsResult result = RunThreadedPs(opt);
+  RunConfig config = SmallConfig(StrategyKind::kPsAsp);
+  config.run.iterations_per_worker = 15;
+  config.run.worker_delay_seconds = {0.0, 0.0, 0.0, 0.01};
+  ThreadedRunResult result = RunThreaded(config);
   EXPECT_EQ(result.versions, 4u * 15u);
 }
 
 TEST(ThreadedPsTest, SingleWorkerDegeneratesToSequentialSgd) {
-  ThreadedPsOptions opt = SmallOptions();
-  opt.num_workers = 1;
-  opt.mode = PsMode::kBsp;
-  opt.iterations_per_worker = 100;
-  ThreadedPsResult result = RunThreadedPs(opt);
+  RunConfig config = SmallConfig(StrategyKind::kPsBsp);
+  config.run.num_workers = 1;
+  config.run.iterations_per_worker = 100;
+  ThreadedRunResult result = RunThreaded(config);
   EXPECT_EQ(result.versions, 100u);
   EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ThreadedPsTest, PsMetricsMatchLegacyAccessors) {
+  RunConfig config = SmallConfig(StrategyKind::kPsBsp);
+  ThreadedRunResult result = RunThreaded(config);
+  // ps.versions counts server version bumps; the staleness histogram's
+  // total count equals the number of pushes the server accepted.
+  EXPECT_EQ(static_cast<uint64_t>(result.metrics.counter("ps.versions")),
+            result.versions);
+  const HistogramSnapshot* h = result.metrics.histogram("ps.push_staleness");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total_count,
+            static_cast<uint64_t>(config.run.num_workers) *
+                config.run.iterations_per_worker);
 }
 
 }  // namespace
