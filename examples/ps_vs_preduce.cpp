@@ -62,7 +62,11 @@ int main() {
                   pr::FormatDouble(result.final_accuracy, 3),
                   pr::FormatDouble(fastest, 3)});
     if (kind == pr::StrategyKind::kPsAsp) {
-      asp_staleness = result.staleness_histogram();
+      // Per-staleness push counts from the ps.push_staleness histogram
+      // (bucket i holds pushes at staleness <= upper_bounds[i]).
+      const pr::HistogramSnapshot* hist =
+          result.metrics.histogram("ps.push_staleness");
+      if (hist != nullptr) asp_staleness = hist->counts;
     }
   }
 

@@ -1,6 +1,7 @@
 #include "comm/transport.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 
@@ -30,6 +31,13 @@ std::optional<Envelope> InProcTransport::Recv(NodeId me) {
   return mailboxes_[static_cast<size_t>(me)]->Pop();
 }
 
+std::optional<Envelope> InProcTransport::RecvFor(NodeId me,
+                                                 double timeout_seconds) {
+  PR_CHECK_GE(me, 0);
+  PR_CHECK_LT(me, num_nodes_);
+  return mailboxes_[static_cast<size_t>(me)]->PopFor(timeout_seconds);
+}
+
 std::optional<Envelope> InProcTransport::TryRecv(NodeId me) {
   PR_CHECK_GE(me, 0);
   PR_CHECK_LT(me, num_nodes_);
@@ -37,10 +45,11 @@ std::optional<Envelope> InProcTransport::TryRecv(NodeId me) {
 }
 
 void InProcTransport::Shutdown() {
+  closed_.store(true, std::memory_order_release);
   for (auto& box : mailboxes_) box->Close();
 }
 
-Endpoint::Endpoint(InProcTransport* transport, NodeId me)
+Endpoint::Endpoint(Transport* transport, NodeId me)
     : transport_(transport), me_(me) {
   PR_CHECK(transport != nullptr);
   PR_CHECK_GE(me, 0);
@@ -92,7 +101,7 @@ Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
 }
 
 std::optional<Envelope> Endpoint::RecvWhere(
-    const std::function<bool(const Envelope&)>& match) {
+    const std::function<bool(const Envelope&)>& match, double timeout_seconds) {
   for (auto it = stash_.begin(); it != stash_.end(); ++it) {
     if (match(*it)) {
       Envelope env = std::move(*it);
@@ -101,9 +110,31 @@ std::optional<Envelope> Endpoint::RecvWhere(
       return env;
     }
   }
+  const bool bounded = timeout_seconds >= 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(bounded ? timeout_seconds : 0.0));
   while (true) {
-    std::optional<Envelope> env = transport_->Recv(me_);
-    if (!env.has_value()) return std::nullopt;
+    std::optional<Envelope> env;
+    if (bounded) {
+      const double left =
+          std::chrono::duration<double>(deadline -
+                                        std::chrono::steady_clock::now())
+              .count();
+      if (left <= 0.0) return std::nullopt;
+      env = transport_->RecvFor(me_, left);
+      // A timed-out wait and a closed-and-drained mailbox both surface as
+      // nullopt here; either way the deadline loop decides, so fall through
+      // unless the fabric is closed (no more messages will ever arrive).
+      if (!env.has_value()) {
+        if (transport_->closed()) return std::nullopt;
+        continue;
+      }
+    } else {
+      env = transport_->Recv(me_);
+      if (!env.has_value()) return std::nullopt;
+    }
     if (match(*env)) {
       NoteReceived();
       return env;
@@ -120,8 +151,24 @@ std::optional<Envelope> Endpoint::RecvMatching(NodeId from, uint64_t tag,
   });
 }
 
+std::optional<Envelope> Endpoint::RecvMatchingFor(NodeId from, uint64_t tag,
+                                                  int kind,
+                                                  double timeout_seconds) {
+  return RecvWhere(
+      [&](const Envelope& env) {
+        return env.from == from && env.tag == tag && env.kind == kind;
+      },
+      timeout_seconds);
+}
+
 std::optional<Envelope> Endpoint::RecvFrom(NodeId from) {
   return RecvWhere([&](const Envelope& env) { return env.from == from; });
+}
+
+std::optional<Envelope> Endpoint::RecvFromFor(NodeId from,
+                                              double timeout_seconds) {
+  return RecvWhere([&](const Envelope& env) { return env.from == from; },
+                   timeout_seconds);
 }
 
 std::optional<Envelope> Endpoint::RecvAny() {
@@ -134,6 +181,44 @@ std::optional<Envelope> Endpoint::RecvAny() {
   std::optional<Envelope> env = transport_->Recv(me_);
   if (env.has_value()) NoteReceived();
   return env;
+}
+
+std::optional<Envelope> Endpoint::RecvAnyFor(double timeout_seconds) {
+  if (!stash_.empty()) {
+    Envelope env = std::move(stash_.front());
+    stash_.pop_front();
+    NoteReceived();
+    return env;
+  }
+  std::optional<Envelope> env = transport_->RecvFor(me_, timeout_seconds);
+  if (env.has_value()) NoteReceived();
+  return env;
+}
+
+std::optional<Envelope> Endpoint::RecvWhereFor(
+    const std::function<bool(const Envelope&)>& match, double timeout_seconds) {
+  return RecvWhere(match, timeout_seconds);
+}
+
+std::optional<Envelope> Endpoint::TryTakeStashed(
+    const std::function<bool(const Envelope&)>& match) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (match(*it)) {
+      Envelope env = std::move(*it);
+      stash_.erase(it);
+      NoteReceived();
+      return env;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t Endpoint::PurgeStash(const std::function<bool(const Envelope&)>& match) {
+  const size_t before = stash_.size();
+  stash_.erase(std::remove_if(stash_.begin(), stash_.end(),
+                              [&](const Envelope& env) { return match(env); }),
+               stash_.end());
+  return before - stash_.size();
 }
 
 }  // namespace pr

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -34,36 +35,67 @@ struct Envelope {
   std::vector<float> floats;
 };
 
+/// \brief The message fabric seen by endpoints, collectives, and both
+/// engines.
+///
+/// Extracted from the concrete in-process implementation so decorators (the
+/// fault-injecting transport in src/fault) can wrap a fabric without the
+/// upper layers noticing. Implementations must be thread-safe: any thread
+/// may Send, each node's Recv side is typically one thread.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int num_nodes() const = 0;
+
+  /// Delivers `env` (with from/tag/kind already set by the caller via the
+  /// Endpoint wrapper) to node `to`. Returns FailedPrecondition after
+  /// Shutdown().
+  virtual Status Send(NodeId to, Envelope env) = 0;
+
+  /// Blocking receive of the next mailbox message for `me`; nullopt after
+  /// Shutdown() once drained.
+  virtual std::optional<Envelope> Recv(NodeId me) = 0;
+
+  /// Bounded-wait receive: nullopt on timeout as well as after shutdown;
+  /// callers distinguish via closed().
+  virtual std::optional<Envelope> RecvFor(NodeId me,
+                                          double timeout_seconds) = 0;
+
+  /// Non-blocking receive.
+  virtual std::optional<Envelope> TryRecv(NodeId me) = 0;
+
+  /// True once Shutdown() has been called.
+  virtual bool closed() const = 0;
+
+  /// Closes every mailbox, waking all blocked receivers.
+  virtual void Shutdown() = 0;
+};
+
 /// \brief An in-process, thread-safe message-passing fabric.
 ///
 /// Stands in for the paper's Gloo/TCP transport: `num_nodes` endpoints with
 /// unbounded FIFO mailboxes. Sends never block (unbounded queues), so
 /// collective algorithms written in send-then-receive order cannot deadlock.
 /// Messages between a given pair of nodes are delivered in send order.
-class InProcTransport {
+class InProcTransport : public Transport {
  public:
   explicit InProcTransport(int num_nodes);
 
-  int num_nodes() const { return num_nodes_; }
-
-  /// Delivers `env` (with from/tag/kind already set by the caller via the
-  /// Endpoint wrapper) to node `to`. Returns FailedPrecondition after
-  /// Shutdown().
-  Status Send(NodeId to, Envelope env);
-
-  /// Blocking receive of the next mailbox message for `me`; nullopt after
-  /// Shutdown() once drained.
-  std::optional<Envelope> Recv(NodeId me);
-
-  /// Non-blocking receive.
-  std::optional<Envelope> TryRecv(NodeId me);
-
-  /// Closes every mailbox, waking all blocked receivers.
-  void Shutdown();
+  int num_nodes() const override { return num_nodes_; }
+  Status Send(NodeId to, Envelope env) override;
+  std::optional<Envelope> Recv(NodeId me) override;
+  std::optional<Envelope> RecvFor(NodeId me, double timeout_seconds) override;
+  std::optional<Envelope> TryRecv(NodeId me) override;
+  bool closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
+  void Shutdown() override;
 
  private:
   int num_nodes_;
   std::vector<std::unique_ptr<BlockingQueue<Envelope>>> mailboxes_;
+  std::atomic<bool> closed_{false};
 };
 
 /// \brief A node's view of the transport with out-of-order stashing.
@@ -74,9 +106,14 @@ class InProcTransport {
 /// One Endpoint instance per node thread; not itself thread-safe.
 class Endpoint {
  public:
-  Endpoint(InProcTransport* transport, NodeId me);
+  Endpoint(Transport* transport, NodeId me);
 
   NodeId id() const { return me_; }
+
+  /// True once the underlying transport has shut down — how callers of the
+  /// timed receives tell a timeout (peer silent, retry/escalate) from a
+  /// closed fabric (run over, unwind).
+  bool closed() const { return transport_->closed(); }
 
   /// Attaches observability sinks (all optional; pass null to skip).
   ///
@@ -98,13 +135,51 @@ class Endpoint {
   /// first.
   std::optional<Envelope> RecvMatching(NodeId from, uint64_t tag, int kind);
 
+  /// Deadline variant of RecvMatching: additionally returns nullopt once
+  /// `timeout_seconds` elapse with no matching message (non-matching
+  /// arrivals are stashed as usual and do not reset the deadline). Callers
+  /// tell timeout from shutdown via closed(). This is the primitive under
+  /// the data-plane retry/escalation loop: a worker stuck waiting on a dead
+  /// group peer wakes up here and escalates to the controller instead of
+  /// blocking forever.
+  std::optional<Envelope> RecvMatchingFor(NodeId from, uint64_t tag, int kind,
+                                          double timeout_seconds);
+
   /// Blocks until a message *from* `from` arrives (any tag/kind), stashing
   /// everything else. Lets a worker wait on the controller while data-plane
   /// chunks from concurrent collectives pile up safely in the stash.
   std::optional<Envelope> RecvFrom(NodeId from);
 
+  /// Deadline variant of RecvFrom (same timeout semantics as
+  /// RecvMatchingFor).
+  std::optional<Envelope> RecvFromFor(NodeId from, double timeout_seconds);
+
   /// Blocks for any message (stash first, then mailbox).
   std::optional<Envelope> RecvAny();
+
+  /// Deadline variant of RecvAny.
+  std::optional<Envelope> RecvAnyFor(double timeout_seconds);
+
+  /// Fully general deadline receive: blocks until a message satisfying
+  /// `match` arrives (stash first, parking non-matches), or the deadline
+  /// passes. The fault-tolerant ring reduce uses this to match on payload
+  /// fields (the step counter) so duplicated chunks cannot be mistaken for
+  /// the next step's.
+  std::optional<Envelope> RecvWhereFor(
+      const std::function<bool(const Envelope&)>& match,
+      double timeout_seconds);
+
+  /// Removes and returns the oldest stashed message satisfying `match`
+  /// without touching the mailbox. Lets a blocked conversation notice
+  /// out-of-band control messages (e.g. a group abort) that were parked by
+  /// an earlier selective receive.
+  std::optional<Envelope> TryTakeStashed(
+      const std::function<bool(const Envelope&)>& match);
+
+  /// Drops every stashed message satisfying `match`; returns how many were
+  /// dropped. Recovery hygiene: after a group abort, the aborted
+  /// conversation's chunks would otherwise rot in the stash forever.
+  size_t PurgeStash(const std::function<bool(const Envelope&)>& match);
 
   /// Messages currently parked out-of-order. A persistently growing stash
   /// means some sender's messages are never selected — usually a protocol
@@ -117,13 +192,15 @@ class Endpoint {
  private:
   /// Blocks until a message satisfying `match` arrives, checking the stash
   /// in one pass first and parking every non-matching mailbox message.
+  /// A negative `timeout_seconds` means no deadline.
   std::optional<Envelope> RecvWhere(
-      const std::function<bool(const Envelope&)>& match);
+      const std::function<bool(const Envelope&)>& match,
+      double timeout_seconds = -1.0);
 
   void NoteStashed();
   void NoteReceived();
 
-  InProcTransport* transport_;
+  Transport* transport_;
   NodeId me_;
   // Deque: RecvAny pops the oldest parked message in O(1); selective
   // receives scan front-to-back, preserving per-sender FIFO order.

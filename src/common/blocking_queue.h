@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -35,6 +36,19 @@ class BlockingQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocks up to `timeout_seconds` for an item. Returns nullopt on timeout
+  /// or when the queue is closed and drained; callers that must tell the two
+  /// apart check closed().
+  std::optional<T> PopFor(double timeout_seconds) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                 [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();

@@ -190,6 +190,23 @@ std::vector<GroupDecision> Controller::TryFormGroups() {
   return formed;
 }
 
+size_t Controller::PurgePending(int worker) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, options_.num_workers);
+  const size_t before = pending_.size();
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [&](const ReadySignal& s) {
+                                  return s.worker == worker;
+                                }),
+                 pending_.end());
+  return before - pending_.size();
+}
+
+std::vector<GroupDecision> Controller::EvictWorker(int worker) {
+  PurgePending(worker);
+  return NotifyWorkerLeft(worker);
+}
+
 std::vector<ReadySignal> Controller::DrainPending() {
   std::vector<ReadySignal> out(pending_.begin(), pending_.end());
   pending_.clear();

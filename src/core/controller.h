@@ -112,6 +112,18 @@ class Controller {
   /// waiters can never form a group and must be released.
   std::vector<ReadySignal> DrainPending();
 
+  /// Removes `worker`'s queued signals; returns how many were purged.
+  /// A dead worker's stale signals must not be matched into future groups.
+  size_t PurgePending(int worker);
+
+  /// Failure-recovery composite: purge the dead worker's queued signals,
+  /// then mark it departed (which may release held groups, returned like
+  /// OnReadySignal's). The effective N shrinks; the history window T was
+  /// fixed at construction from the *original* N, and the paper's frozen
+  /// bound T >= ceil((N-1)/(P-1)) only loosens as N falls, so the
+  /// frozen-avoidance invariant survives eviction unchanged.
+  std::vector<GroupDecision> EvictWorker(int worker);
+
   const ControllerOptions& options() const { return options_; }
   const ControllerStats& stats() const { return stats_; }
   const GroupHistory& history() const { return history_; }

@@ -1,0 +1,63 @@
+#include "fault/failure_detector.h"
+
+#include "common/check.h"
+
+namespace pr {
+
+FailureDetector::FailureDetector(int num_workers, double lease_seconds,
+                                 int missed_threshold, double start_now)
+    : lease_seconds_(lease_seconds),
+      missed_(static_cast<double>(missed_threshold)),
+      states_(static_cast<size_t>(num_workers), State::kAlive),
+      last_beat_(static_cast<size_t>(num_workers), start_now) {
+  PR_CHECK_GE(num_workers, 1);
+  PR_CHECK_GT(lease_seconds, 0.0);
+  PR_CHECK_GE(missed_threshold, 1);
+}
+
+void FailureDetector::Beat(int worker, double now) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, static_cast<int>(states_.size()));
+  if (states_[static_cast<size_t>(worker)] != State::kAlive) return;
+  last_beat_[static_cast<size_t>(worker)] = now;
+}
+
+void FailureDetector::Suspend(int worker) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, static_cast<int>(states_.size()));
+  states_[static_cast<size_t>(worker)] = State::kSuspended;
+}
+
+void FailureDetector::Resume(int worker, double now) {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, static_cast<int>(states_.size()));
+  states_[static_cast<size_t>(worker)] = State::kAlive;
+  last_beat_[static_cast<size_t>(worker)] = now;
+}
+
+std::vector<int> FailureDetector::Expired(double now) {
+  std::vector<int> dead;
+  const double horizon = eviction_horizon();
+  for (size_t w = 0; w < states_.size(); ++w) {
+    if (states_[w] != State::kAlive) continue;
+    if (now - last_beat_[w] >= horizon) {
+      states_[w] = State::kDead;
+      dead.push_back(static_cast<int>(w));
+    }
+  }
+  return dead;
+}
+
+bool FailureDetector::alive(int worker) const {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, static_cast<int>(states_.size()));
+  return states_[static_cast<size_t>(worker)] == State::kAlive;
+}
+
+double FailureDetector::last_beat(int worker) const {
+  PR_CHECK_GE(worker, 0);
+  PR_CHECK_LT(worker, static_cast<int>(states_.size()));
+  return last_beat_[static_cast<size_t>(worker)];
+}
+
+}  // namespace pr

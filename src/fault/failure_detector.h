@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+namespace pr {
+
+/// \brief Lease-based failure detector for the controller's service loop.
+///
+/// Every message from a worker (ready signal, heartbeat, group-done report)
+/// renews its lease via Beat. A worker whose lease has lapsed for
+/// `missed_threshold` consecutive lease periods is declared dead exactly
+/// once by Expired. Workers that leave voluntarily (or are evicted) are
+/// Suspended — their silence is expected — and Resume re-arms the lease when
+/// they rejoin.
+///
+/// Single-threaded by design: only the controller's service thread calls it.
+/// The clock is whatever monotonic `now` the caller passes (wall seconds in
+/// the threaded engine, virtual time in the simulator), so the detector is
+/// engine-agnostic.
+class FailureDetector {
+ public:
+  /// All workers start alive with leases anchored at `start_now`.
+  FailureDetector(int num_workers, double lease_seconds, int missed_threshold,
+                  double start_now);
+
+  /// Renews `worker`'s lease. Ignored while suspended or dead — a late
+  /// message from an evicted worker must not half-resurrect it; rejoin goes
+  /// through Resume explicitly.
+  void Beat(int worker, double now);
+
+  /// Stops watching `worker` (voluntary leave or eviction).
+  void Suspend(int worker);
+
+  /// Re-arms `worker`'s lease after a rejoin, also clearing a dead verdict
+  /// (a hung worker that comes back is welcome).
+  void Resume(int worker, double now);
+
+  /// Returns workers newly declared dead as of `now` (each worker is
+  /// reported at most once; Expired marks them dead internally).
+  std::vector<int> Expired(double now);
+
+  bool alive(int worker) const;
+  double last_beat(int worker) const;
+  /// Silence longer than this means death: lease * missed_threshold.
+  double eviction_horizon() const { return lease_seconds_ * missed_; }
+
+ private:
+  enum class State { kAlive, kSuspended, kDead };
+
+  double lease_seconds_;
+  double missed_;
+  std::vector<State> states_;
+  std::vector<double> last_beat_;
+};
+
+}  // namespace pr

@@ -1,0 +1,84 @@
+#include "fault/fault_plan.h"
+
+namespace pr {
+namespace {
+
+// Salts separating the drop / dup / delay rolls for one message.
+constexpr uint64_t kDropSalt = 0x64726f70ULL;   // "drop"
+constexpr uint64_t kDupSalt = 0x647570ULL;      // "dup"
+constexpr uint64_t kDelaySalt = 0x64656c61ULL;  // "dela"
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  return has_message_faults() || !worker_events.empty();
+}
+
+bool FaultPlan::has_message_faults() const {
+  if (default_edge.active()) return true;
+  for (const auto& [edge, spec] : edges) {
+    (void)edge;
+    if (spec.active()) return true;
+  }
+  return false;
+}
+
+const EdgeFaultSpec& FaultPlan::EdgeSpec(int from, int to) const {
+  auto it = edges.find({from, to});
+  return it != edges.end() ? it->second : default_edge;
+}
+
+uint64_t FaultHash(uint64_t seed, uint64_t a, uint64_t b, uint64_t c) {
+  // SplitMix64 finalizer applied to a simple combine; the finalizer's
+  // avalanche is what buys decision independence across (from, to, seq).
+  uint64_t x = seed;
+  x ^= a + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  x ^= b + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  x ^= c + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double FaultPlan::Roll(int from, int to, uint64_t seq, uint64_t salt) const {
+  const uint64_t edge_key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(to));
+  const uint64_t h = FaultHash(seed ^ salt, edge_key, seq, salt);
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultPlan::RollDrop(int from, int to, uint64_t seq) const {
+  const EdgeFaultSpec& spec = EdgeSpec(from, to);
+  return spec.drop_prob > 0.0 &&
+         Roll(from, to, seq, kDropSalt) < spec.drop_prob;
+}
+
+bool FaultPlan::RollDup(int from, int to, uint64_t seq) const {
+  const EdgeFaultSpec& spec = EdgeSpec(from, to);
+  return spec.dup_prob > 0.0 && Roll(from, to, seq, kDupSalt) < spec.dup_prob;
+}
+
+bool FaultPlan::RollDelay(int from, int to, uint64_t seq) const {
+  const EdgeFaultSpec& spec = EdgeSpec(from, to);
+  return spec.delay_prob > 0.0 &&
+         Roll(from, to, seq, kDelaySalt) < spec.delay_prob;
+}
+
+FaultPlan MakeChaosPlan(uint64_t seed, int crash_worker,
+                        int crash_after_iterations, double drop_prob) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_edge.drop_prob = drop_prob;
+  WorkerFaultEvent crash;
+  crash.worker = crash_worker;
+  crash.kind = WorkerFaultEvent::Kind::kCrash;
+  crash.after_iterations = crash_after_iterations;
+  crash.in_group = true;
+  plan.worker_events.push_back(crash);
+  return plan;
+}
+
+}  // namespace pr

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace pr {
+
+/// \brief Per-edge message fault probabilities.
+///
+/// Applied independently to every message on a (from, to) edge. A message is
+/// first rolled for drop; survivors are rolled for duplication and delay
+/// (both can apply to the same message). All probabilities in [0, 1].
+struct EdgeFaultSpec {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  double delay_seconds = 0.0;  ///< latency added when the delay roll hits
+
+  bool active() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0;
+  }
+};
+
+/// \brief One scheduled per-worker lifecycle fault.
+struct WorkerFaultEvent {
+  enum class Kind {
+    kCrash,     ///< worker stops participating forever
+    kHang,      ///< worker goes silent for hang_seconds, then rejoins
+    kSlowdown,  ///< compute cost multiplied for slowdown_iterations
+  };
+
+  int worker = -1;
+  Kind kind = Kind::kCrash;
+  /// The fault fires when the worker finishes this many iterations.
+  int after_iterations = 0;
+  /// Crash only: fire *inside* the next group reduce (after the worker has
+  /// received its group assignment) instead of at the iteration boundary —
+  /// the nastiest spot, since peers are already blocked on its chunks.
+  bool in_group = false;
+  double hang_seconds = 0.0;        ///< kHang
+  double slowdown_factor = 1.0;     ///< kSlowdown: compute time multiplier
+  int slowdown_iterations = 0;      ///< kSlowdown: 0 = rest of run
+};
+
+/// \brief A deterministic, seed-driven schedule of faults for one run.
+///
+/// Message-level decisions are pure functions of (seed, from, to, per-edge
+/// sequence number), so a plan replays identically regardless of thread
+/// interleaving — the property the chaos suite's cross-seed determinism
+/// check rests on. Worker events fire at iteration boundaries, which both
+/// engines count identically.
+struct FaultPlan {
+  uint64_t seed = 0;
+  EdgeFaultSpec default_edge;
+  /// Overrides for specific (from, to) edges; edges not listed use
+  /// default_edge.
+  std::map<std::pair<int, int>, EdgeFaultSpec> edges;
+  std::vector<WorkerFaultEvent> worker_events;
+
+  // --- Failure-detection / retry knobs (threaded engine) ---
+  /// A worker's lease lapses this long after its last message; it must beat
+  /// faster than this (leases renew on *any* message, ready signals
+  /// included). Must exceed the longest silent stretch of a healthy worker
+  /// (compute time + injected delays).
+  double lease_seconds = 0.25;
+  /// Consecutive lapsed leases before the detector declares death. >1
+  /// tolerates a single dropped heartbeat.
+  int missed_threshold = 2;
+  /// How long a worker waits on a peer/controller message before waking up
+  /// to beat its heartbeat and re-check for aborts.
+  double recv_timeout_seconds = 0.05;
+  /// Timeout ticks between escalations to the controller while stuck in a
+  /// group reduce.
+  int stuck_report_ticks = 3;
+  /// Ready re-sends while waiting on a verdict are spaced this many timeout
+  /// ticks apart (controller deduplicates).
+  int resend_ready_ticks = 4;
+  /// Stuck reports for one group before the controller aborts it even when
+  /// every member looks alive (a dropped data chunk stalls the ring with no
+  /// one dead).
+  int stuck_abort_reports = 2;
+  /// Liveness valves: a worker gives up on a controller verdict / a stalled
+  /// reduce after this long and falls back to local computation (verdict)
+  /// or a self-abort + retry (reduce). Last-ditch only — controller-driven
+  /// recovery is expected to fire much earlier.
+  double max_verdict_wait_seconds = 2.0;
+  double max_reduce_stall_seconds = 1.5;
+
+  /// True when this plan can inject anything; false plans leave every
+  /// runtime code path on the fault-free fast path.
+  bool enabled() const;
+
+  /// Fault plans are only meaningful for a controller-mediated P-Reduce run;
+  /// other strategies would need their own recovery protocol.
+  bool has_message_faults() const;
+
+  const EdgeFaultSpec& EdgeSpec(int from, int to) const;
+
+  /// Deterministic uniform [0,1) roll for message `seq` on edge
+  /// (from, to) with salt `salt` distinguishing drop/dup/delay rolls.
+  double Roll(int from, int to, uint64_t seq, uint64_t salt) const;
+
+  /// Deterministic per-message decisions (pure in seed/from/to/seq). Both
+  /// the FaultyTransport and the simulator's mirrored fault model go
+  /// through these, so the two engines interpret a plan identically.
+  bool RollDrop(int from, int to, uint64_t seq) const;
+  bool RollDup(int from, int to, uint64_t seq) const;
+  bool RollDelay(int from, int to, uint64_t seq) const;
+};
+
+/// SplitMix64-style mix: uncorrelated 64-bit output for consecutive inputs.
+uint64_t FaultHash(uint64_t seed, uint64_t a, uint64_t b, uint64_t c);
+
+/// \brief A canned chaos plan used by tests and benchmarks: one mid-group
+/// crash on `crash_worker` plus uniform `drop_prob` message drops.
+FaultPlan MakeChaosPlan(uint64_t seed, int crash_worker,
+                        int crash_after_iterations, double drop_prob);
+
+}  // namespace pr

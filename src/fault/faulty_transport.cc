@@ -1,0 +1,150 @@
+#include "fault/faulty_transport.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pr {
+
+namespace {
+// FaultAction values carried in the kFaultInjected trace payload.
+constexpr int64_t kActionDrop = 1;
+constexpr int64_t kActionDup = 2;
+constexpr int64_t kActionDelay = 3;
+}  // namespace
+
+FaultyTransport::FaultyTransport(Transport* inner, FaultPlan plan)
+    : inner_(inner),
+      plan_(std::move(plan)),
+      seq_(static_cast<size_t>(inner->num_nodes()) *
+           static_cast<size_t>(inner->num_nodes())) {
+  PR_CHECK(inner != nullptr);
+}
+
+FaultyTransport::~FaultyTransport() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_delivery_ = true;
+  }
+  cv_.notify_all();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+}
+
+void FaultyTransport::AttachObservers(MetricsShard* metrics,
+                                      TraceRecorder* trace,
+                                      std::function<double()> now) {
+  trace_ = trace;
+  now_ = std::move(now);
+  if (metrics != nullptr) {
+    drop_counter_ = metrics->GetCounter("fault.injected_drops");
+    dup_counter_ = metrics->GetCounter("fault.injected_dups");
+    delay_counter_ = metrics->GetCounter("fault.injected_delays");
+  }
+}
+
+Status FaultyTransport::Send(NodeId to, Envelope env) {
+  const int n = inner_->num_nodes();
+  const int from = env.from;
+  const EdgeFaultSpec& spec =
+      (from >= 0 && from < n && to >= 0 && to < n)
+          ? plan_.EdgeSpec(from, to)
+          : plan_.default_edge;
+  if (!spec.active() || from < 0 || from >= n || to < 0 || to >= n) {
+    return inner_->Send(to, std::move(env));
+  }
+  const uint64_t seq =
+      seq_[static_cast<size_t>(from) * static_cast<size_t>(n) +
+           static_cast<size_t>(to)]
+          .fetch_add(1, std::memory_order_relaxed);
+
+  if (plan_.RollDrop(from, to, seq)) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    if (drop_counter_ != nullptr) drop_counter_->Increment();
+    if (trace_ != nullptr) {
+      trace_->Record(now_ ? now_() : 0.0, TraceEventKind::kFaultInjected, from,
+                     kActionDrop, to);
+    }
+    // The network ate it; the sender has no way to know.
+    return Status::OK();
+  }
+
+  const bool duplicate = plan_.RollDup(from, to, seq);
+  const bool delay = plan_.RollDelay(from, to, seq);
+
+  if (duplicate) {
+    dups_.fetch_add(1, std::memory_order_relaxed);
+    if (dup_counter_ != nullptr) dup_counter_->Increment();
+    if (trace_ != nullptr) {
+      trace_->Record(now_ ? now_() : 0.0, TraceEventKind::kFaultInjected, from,
+                     kActionDup, to);
+    }
+    // Best-effort: a dup lost to shutdown is indistinguishable from no dup.
+    (void)inner_->Send(to, env);
+  }
+
+  if (delay) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    if (delay_counter_ != nullptr) delay_counter_->Increment();
+    if (trace_ != nullptr) {
+      trace_->Record(now_ ? now_() : 0.0, TraceEventKind::kFaultInjected, from,
+                     kActionDelay, to);
+    }
+    ScheduleDelayed(to, std::move(env), spec.delay_seconds);
+    return Status::OK();
+  }
+  return inner_->Send(to, std::move(env));
+}
+
+void FaultyTransport::ScheduleDelayed(NodeId to, Envelope env,
+                                      double delay_seconds) {
+  const auto due =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(delay_seconds));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push(Delayed{due, to, std::move(env)});
+    if (!delivery_thread_.joinable()) {
+      delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+    }
+  }
+  cv_.notify_all();
+}
+
+void FaultyTransport::DeliveryLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (pending_.empty()) {
+      if (stop_delivery_) return;
+      cv_.wait(lock,
+               [&] { return stop_delivery_ || !pending_.empty(); });
+      continue;
+    }
+    const auto due = pending_.top().due;
+    // Stop requests flush immediately: a delayed message is late, not lost.
+    if (!stop_delivery_ && std::chrono::steady_clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    // priority_queue::top() is const-ref; the envelope payload may be large,
+    // so cast away constness for the move — the element is popped right after.
+    Delayed item = std::move(const_cast<Delayed&>(pending_.top()));
+    pending_.pop();
+    lock.unlock();
+    (void)inner_->Send(item.to, std::move(item.env));
+    lock.lock();
+  }
+}
+
+void FaultyTransport::Shutdown() {
+  // Flush delayed messages into still-open mailboxes before closing them.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_delivery_ = true;
+  }
+  cv_.notify_all();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  inner_->Shutdown();
+}
+
+}  // namespace pr

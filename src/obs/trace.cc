@@ -26,6 +26,16 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "churn_leave";
     case TraceEventKind::kChurnRejoin:
       return "churn_rejoin";
+    case TraceEventKind::kFaultInjected:
+      return "fault_injected";
+    case TraceEventKind::kHeartbeat:
+      return "heartbeat";
+    case TraceEventKind::kWorkerEvicted:
+      return "worker_evicted";
+    case TraceEventKind::kGroupAborted:
+      return "group_aborted";
+    case TraceEventKind::kWorkerRetry:
+      return "worker_retry";
   }
   return "unknown";
 }

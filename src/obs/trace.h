@@ -21,6 +21,11 @@ enum class TraceEventKind {
   kPsPush,           ///< PS received a push; a = staleness, b = 1 if dropped
   kChurnLeave,       ///< worker left the pool (elastic pause)
   kChurnRejoin,      ///< worker rejoined the pool
+  kFaultInjected,    ///< transport injected a fault; a = FaultAction
+  kHeartbeat,        ///< controller renewed a worker's lease off-cycle
+  kWorkerEvicted,    ///< failure detector declared a worker dead
+  kGroupAborted,     ///< controller aborted an in-flight group; a = group id
+  kWorkerRetry,      ///< worker re-sent a ready signal after a stall
 };
 
 /// Stable lower_snake name ("group_formed", ...), used in JSON output.

@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <optional>
+#include <set>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -8,8 +10,11 @@
 #include "comm/collectives.h"
 #include "common/check.h"
 #include "core/controller.h"
+#include "fault/failure_detector.h"
+#include "fault/fault_plan.h"
 #include "runtime/threaded_strategies.h"
 #include "runtime/worker_runtime.h"
+#include "tensor/ops.h"
 
 namespace pr {
 namespace {
@@ -21,11 +26,143 @@ constexpr int kKindGroupInfo = 3;
 constexpr int kKindRelease = 4;
 constexpr int kKindPause = 5;
 constexpr int kKindRejoin = 6;
+// Fault-tolerant protocol extensions.
+constexpr int kKindHeartbeat = 7;   ///< off-cycle lease renewal
+constexpr int kKindGroupDone = 8;   ///< member finished its group reduce
+constexpr int kKindGroupStuck = 9;  ///< member stalled mid-reduce; escalate
+constexpr int kKindAbort = 10;      ///< controller: give up on this group
+
+// Data-plane kinds of the fault-aware ring reduce. Distinct from the stock
+// collectives' 101-107 because matching here must include the step counter
+// (a duplicated chunk would otherwise satisfy the next step's receive and
+// corrupt the sum).
+constexpr int kKindFaultRsChunk = 111;
+constexpr int kKindFaultAgChunk = 112;
+
+/// Chunk boundaries for splitting `n` elements into `p` near-equal parts
+/// (mirrors the stock ring collectives' layout).
+std::pair<size_t, size_t> ChunkBounds(size_t n, size_t p, size_t chunk) {
+  const size_t base = n / p;
+  const size_t rem = n % p;
+  const size_t begin = chunk * base + std::min(chunk, rem);
+  const size_t len = base + (chunk < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+enum class ReduceOutcome { kDone, kAborted, kShutdown };
+
+/// Ring weighted all-reduce hardened for a lossy fabric: every receive is
+/// matched on (left neighbour, group tag, kind, step) and carries a
+/// deadline. On each timeout tick the worker renews its controller lease,
+/// checks for a parked group Abort, and periodically escalates a
+/// kKindGroupStuck report; the controller answers a hopeless stall (dead
+/// peer or dropped chunk) with an Abort, turning a would-be deadlock into a
+/// group retry.
+ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
+                                   const std::vector<NodeId>& members,
+                                   const std::vector<double>& weights,
+                                   size_t my_index, uint64_t group_id,
+                                   std::vector<float>* data) {
+  Endpoint* ep = ctx->endpoint();
+  const FaultPlan& plan = ctx->run().fault;
+  const NodeId controller = ctx->service_node();
+  const size_t p = members.size();
+  const size_t n = data->size();
+  Scale(static_cast<float>(weights[my_index]), data->data(), n);
+  if (p == 1) return ReduceOutcome::kDone;
+
+  const NodeId right = members[(my_index + 1) % p];
+  const NodeId left = members[(my_index + p - 1) % p];
+  float* buf = data->data();
+
+  const double begin = ctx->Now();
+  int ticks = 0;
+  // Waits for one specific ring chunk; nullopt means abort or shutdown (the
+  // caller distinguishes via the outcome out-param).
+  ReduceOutcome outcome = ReduceOutcome::kDone;
+  auto wait_chunk = [&](int kind, int64_t step) -> std::optional<Envelope> {
+    while (true) {
+      std::optional<Envelope> env = ep->RecvWhereFor(
+          [&](const Envelope& e) {
+            return e.from == left && e.tag == group_id && e.kind == kind &&
+                   !e.ints.empty() && e.ints[0] == step;
+          },
+          plan.recv_timeout_seconds);
+      if (env.has_value()) return env;
+      if (ep->closed()) {
+        outcome = ReduceOutcome::kShutdown;
+        return std::nullopt;
+      }
+      // Timeout tick: an Abort that landed during a selective receive is
+      // parked in the stash — take it from there.
+      if (ep->TryTakeStashed([&](const Envelope& e) {
+            return e.from == controller && e.kind == kKindAbort &&
+                   !e.ints.empty() &&
+                   e.ints[0] == static_cast<int64_t>(group_id);
+          })) {
+        outcome = ReduceOutcome::kAborted;
+        return std::nullopt;
+      }
+      (void)ep->Send(controller, 0, kKindHeartbeat, {}, {});
+      ++ticks;
+      if (plan.stuck_report_ticks > 0 &&
+          ticks % plan.stuck_report_ticks == 0) {
+        (void)ep->Send(controller, group_id, kKindGroupStuck,
+                       {static_cast<int64_t>(group_id)}, {});
+      }
+      if (ctx->Now() - begin > plan.max_reduce_stall_seconds) {
+        // Liveness valve: abandon the reduce even without a controller
+        // verdict; the group-stuck escalation will (or did) abort it.
+        outcome = ReduceOutcome::kAborted;
+        return std::nullopt;
+      }
+    }
+  };
+
+  // Reduce-scatter.
+  for (size_t step = 0; step < p - 1; ++step) {
+    const size_t send_chunk = (my_index + p - step) % p;
+    const size_t recv_chunk = (my_index + p - step - 1) % p;
+    auto [sb, se] = ChunkBounds(n, p, send_chunk);
+    (void)ep->Send(right, group_id, kKindFaultRsChunk,
+                   {static_cast<int64_t>(step),
+                    static_cast<int64_t>(send_chunk)},
+                   std::vector<float>(buf + sb, buf + se));
+    std::optional<Envelope> env =
+        wait_chunk(kKindFaultRsChunk, static_cast<int64_t>(step));
+    if (!env.has_value()) return outcome;
+    auto [rb, re] = ChunkBounds(n, p, recv_chunk);
+    if (env->floats.size() != re - rb) return ReduceOutcome::kAborted;
+    Axpy(1.0f, env->floats.data(), buf + rb, re - rb);
+  }
+  // All-gather.
+  for (size_t step = 0; step < p - 1; ++step) {
+    const size_t send_chunk = (my_index + 1 + p - step) % p;
+    const size_t recv_chunk = (my_index + p - step) % p;
+    auto [sb, se] = ChunkBounds(n, p, send_chunk);
+    (void)ep->Send(right, group_id, kKindFaultAgChunk,
+                   {static_cast<int64_t>(step),
+                    static_cast<int64_t>(send_chunk)},
+                   std::vector<float>(buf + sb, buf + se));
+    std::optional<Envelope> env =
+        wait_chunk(kKindFaultAgChunk, static_cast<int64_t>(step));
+    if (!env.has_value()) return outcome;
+    auto [rb, re] = ChunkBounds(n, p, recv_chunk);
+    if (env->floats.size() != re - rb) return ReduceOutcome::kAborted;
+    std::copy(env->floats.begin(), env->floats.end(), buf + rb);
+  }
+  return ReduceOutcome::kDone;
+}
 
 /// Partial reduce on real threads (Alg. 2): worker threads send ready
 /// signals; the service thread runs the controller (signal queue -> group
 /// filter -> weight generator -> group broadcaster) plus the termination
 /// protocol, and elastic membership (Pause/Rejoin) rides the same channel.
+///
+/// An enabled fault plan switches both sides to the hardened protocol:
+/// heartbeat leases with controller-side eviction, at-least-once control
+/// messages with explicit dedup, and group abort/retry on stalls (see
+/// DESIGN.md "Fault tolerance").
 class ThreadedPReduce : public ThreadedStrategy {
  public:
   explicit ThreadedPReduce(const StrategyOptions& options)
@@ -47,19 +184,19 @@ class ThreadedPReduce : public ThreadedStrategy {
   }
 
  private:
+  Controller MakeController(int num_workers) const;
+  void RunServiceFaulty(ServiceContext* ctx);
+  void RunWorkerFaulty(WorkerContext* ctx);
+
   StrategyOptions options_;
   // Written by the service thread; read after every thread joined.
   uint64_t group_reduces_ = 0;
   ControllerStats controller_stats_;
 };
 
-void ThreadedPReduce::RunService(ServiceContext* ctx) {
-  const int n = ctx->run().num_workers;
-  PR_CHECK_LE(options_.group_size, n);
-  Endpoint* ep = ctx->endpoint();
-
+Controller ThreadedPReduce::MakeController(int num_workers) const {
   ControllerOptions copts;
-  copts.num_workers = n;
+  copts.num_workers = num_workers;
   copts.group_size = options_.group_size;
   copts.mode = options_.kind == StrategyKind::kPReduceDynamic
                    ? PartialReduceMode::kDynamic
@@ -67,7 +204,16 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
   copts.dynamic = options_.dynamic;
   copts.frozen_avoidance = options_.frozen_avoidance;
   copts.history_window = options_.history_window;
-  Controller controller(copts);
+  return Controller(copts);
+}
+
+void ThreadedPReduce::RunService(ServiceContext* ctx) {
+  if (ctx->run().fault.enabled()) return RunServiceFaulty(ctx);
+  const int n = ctx->run().num_workers;
+  PR_CHECK_LE(options_.group_size, n);
+  Endpoint* ep = ctx->endpoint();
+
+  Controller controller = MakeController(n);
   controller.AttachObservers(ctx->metrics(), ctx->trace(),
                              [ctx] { return ctx->Now(); });
   TraceRecorder* trace = ctx->trace();
@@ -110,7 +256,7 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
     if (!env.has_value()) break;  // transport shut down
     switch (env->kind) {
       case kKindReady:
-        if (active < copts.group_size) {
+        if (active < options_.group_size) {
           // Too few pool members remain for this signal to ever group (the
           // sender may have raced a Leave or Pause); release it immediately.
           PR_CHECK(controller.OnReadySignal(env->from, env->ints[0]).empty());
@@ -124,7 +270,7 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
         --active;
         // A departure can release frozen-avoidance holds.
         broadcast(controller.NotifyWorkerLeft(env->from));
-        if (active < copts.group_size) release_pending();
+        if (active < options_.group_size) release_pending();
         break;
       case kKindPause:
         // Elastic leave: the worker will rejoin, but until then it must not
@@ -132,7 +278,7 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
         --active;
         trace->Record(ctx->Now(), TraceEventKind::kChurnLeave, env->from);
         broadcast(controller.NotifyWorkerLeft(env->from));
-        if (active < copts.group_size) release_pending();
+        if (active < options_.group_size) release_pending();
         break;
       case kKindRejoin:
         ++active;
@@ -146,7 +292,287 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
   controller_stats_ = controller.stats();
 }
 
+void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
+  const int n = ctx->run().num_workers;
+  const FaultPlan& plan = ctx->run().fault;
+  PR_CHECK_LE(options_.group_size, n);
+  Endpoint* ep = ctx->endpoint();
+  TraceRecorder* trace = ctx->trace();
+
+  Controller controller = MakeController(n);
+  controller.AttachObservers(ctx->metrics(), ctx->trace(),
+                             [ctx] { return ctx->Now(); });
+
+  // Eagerly register the whole fault.* family so a chaos run's report
+  // always carries the names, even when an injector never fired.
+  Counter* evictions_counter = ctx->metrics()->GetCounter("fault.evictions");
+  Counter* aborted_counter =
+      ctx->metrics()->GetCounter("fault.aborted_groups");
+  Counter* heartbeats_counter =
+      ctx->metrics()->GetCounter("fault.heartbeats");
+  ctx->metrics()->GetCounter("fault.retries");
+  ctx->metrics()->GetCounter("fault.injected_drops");
+  ctx->metrics()->GetCounter("fault.injected_dups");
+  ctx->metrics()->GetCounter("fault.injected_delays");
+
+  // Per-worker control-plane state machine. The raw message stream is
+  // at-least-once (drops trigger re-sends, dups come from the injector), so
+  // every transition below is idempotent.
+  enum class WState { kIdle, kQueued, kInGroup, kLeft, kEvicted };
+  struct InFlightGroup {
+    std::vector<int> members;
+    std::vector<int64_t> iterations;  ///< each member's iteration at grouping
+    std::vector<int64_t> info_ints;   ///< GroupInfo payload, kept for re-sends
+    std::vector<float> info_floats;
+    std::set<int> done;
+    int stuck_reports = 0;
+  };
+  std::vector<WState> wstate(static_cast<size_t>(n), WState::kIdle);
+  std::vector<int64_t> queued_iter(static_cast<size_t>(n), -1);
+  std::vector<uint64_t> wgroup(static_cast<size_t>(n), 0);
+  std::vector<bool> paused(static_cast<size_t>(n), false);
+  std::map<uint64_t, InFlightGroup> in_flight;
+  FailureDetector detector(n, plan.lease_seconds, plan.missed_threshold,
+                           ctx->Now());
+
+  int remaining = n;
+  int active = n;
+
+  auto release_pending = [&] {
+    for (const ReadySignal& s : controller.DrainPending()) {
+      const size_t w = static_cast<size_t>(s.worker);
+      if (wstate[w] == WState::kQueued) wstate[w] = WState::kIdle;
+      (void)ep->Send(s.worker, 0, kKindRelease, {}, {});
+    }
+  };
+
+  auto send_group_info = [&](const InFlightGroup& f, int member) {
+    (void)ep->Send(member, static_cast<uint64_t>(f.info_ints[0]),
+                   kKindGroupInfo, f.info_ints, f.info_floats);
+  };
+
+  auto broadcast = [&](const std::vector<GroupDecision>& decisions) {
+    for (const GroupDecision& decision : decisions) {
+      ++group_reduces_;
+      InFlightGroup f;
+      f.members = decision.members;
+      f.iterations = decision.iterations;
+      f.info_ints.push_back(static_cast<int64_t>(decision.group_id));
+      f.info_ints.push_back(decision.advanced_iteration);
+      for (int m : decision.members) f.info_ints.push_back(m);
+      f.info_floats.assign(decision.weights.begin(), decision.weights.end());
+      for (int m : decision.members) {
+        wstate[static_cast<size_t>(m)] = WState::kInGroup;
+        wgroup[static_cast<size_t>(m)] = decision.group_id;
+        send_group_info(f, m);
+      }
+      in_flight.emplace(decision.group_id, std::move(f));
+    }
+  };
+
+  auto mark_done = [&](uint64_t g, int w) {
+    if (wstate[static_cast<size_t>(w)] == WState::kInGroup &&
+        wgroup[static_cast<size_t>(w)] == g) {
+      wstate[static_cast<size_t>(w)] = WState::kIdle;
+    }
+    auto it = in_flight.find(g);
+    if (it == in_flight.end()) return;
+    it->second.done.insert(w);
+    if (it->second.done.size() >= it->second.members.size()) {
+      in_flight.erase(it);
+    }
+  };
+
+  auto abort_group = [&](uint64_t g) {
+    auto it = in_flight.find(g);
+    if (it == in_flight.end()) return;
+    InFlightGroup f = std::move(it->second);
+    in_flight.erase(it);
+    aborted_counter->Increment();
+    trace->Record(ctx->Now(), TraceEventKind::kGroupAborted, -1,
+                  static_cast<int64_t>(g));
+    for (int m : f.members) {
+      if (f.done.count(m) != 0) continue;  // completed before the stall
+      const size_t mw = static_cast<size_t>(m);
+      if (wstate[mw] != WState::kInGroup || wgroup[mw] != g) continue;
+      (void)ep->Send(m, g, kKindAbort, {static_cast<int64_t>(g)}, {});
+      wstate[mw] = WState::kIdle;
+    }
+  };
+
+  auto evict = [&](int w) {
+    evictions_counter->Increment();
+    trace->Record(ctx->Now(), TraceEventKind::kWorkerEvicted, w);
+    const size_t sw = static_cast<size_t>(w);
+    const bool was_in_group = wstate[sw] == WState::kInGroup;
+    const uint64_t g = wgroup[sw];
+    wstate[sw] = WState::kEvicted;
+    if (was_in_group) abort_group(g);
+    --remaining;
+    --active;
+    broadcast(controller.EvictWorker(w));
+    if (active < options_.group_size) release_pending();
+  };
+
+  auto unevict = [&](int w) {
+    ++remaining;
+    ++active;
+    wstate[static_cast<size_t>(w)] = WState::kIdle;
+    detector.Resume(w, ctx->Now());
+    trace->Record(ctx->Now(), TraceEventKind::kChurnRejoin, w);
+    broadcast(controller.NotifyWorkerRejoined(w));
+  };
+
+  while (remaining > 0) {
+    std::optional<Envelope> env = ep->RecvAnyFor(plan.recv_timeout_seconds);
+    const double now = ctx->Now();
+    for (int w : detector.Expired(now)) evict(w);
+    if (!env.has_value()) {
+      if (ep->closed()) break;
+      continue;
+    }
+    const int w = env->from;
+    if (w < 0 || w >= n) continue;
+    const size_t sw = static_cast<size_t>(w);
+    // Any message renews the sender's lease (ready signals piggyback their
+    // heartbeat; kKindHeartbeat exists for the otherwise-silent stretches).
+    detector.Beat(w, now);
+    switch (env->kind) {
+      case kKindHeartbeat:
+        heartbeats_counter->Increment();
+        trace->Record(now, TraceEventKind::kHeartbeat, w);
+        break;
+
+      case kKindReady: {
+        const int64_t it = env->ints.empty() ? 0 : env->ints[0];
+        if (wstate[sw] == WState::kLeft) break;  // delayed stale signal
+        if (wstate[sw] == WState::kEvicted) unevict(w);  // implicit rejoin
+        if (wstate[sw] == WState::kInGroup) {
+          auto itf = in_flight.find(wgroup[sw]);
+          if (itf == in_flight.end()) {
+            wstate[sw] = WState::kIdle;  // defensive: group already resolved
+          } else {
+            int64_t grouped_iter = 0;
+            for (size_t i = 0; i < itf->second.members.size(); ++i) {
+              if (itf->second.members[i] == w) {
+                grouped_iter = itf->second.iterations[i];
+              }
+            }
+            if (it == grouped_iter) {
+              // Re-sent signal for the very iteration we grouped: its
+              // GroupInfo was lost — retransmit.
+              send_group_info(itf->second, w);
+              break;
+            }
+            if (it < grouped_iter) break;  // stale duplicate from the past
+            // The worker has moved past the group (its GroupDone was
+            // dropped, or it abandoned the wait): implicit completion.
+            mark_done(wgroup[sw], w);
+          }
+        }
+        if (wstate[sw] == WState::kQueued) {
+          if (it == queued_iter[sw]) break;  // duplicated ready
+          // Superseded signal (the worker gave up a verdict wait and
+          // advanced); the stale queue entry must not be grouped.
+          controller.PurgePending(w);
+          wstate[sw] = WState::kIdle;
+        }
+        wstate[sw] = WState::kQueued;
+        queued_iter[sw] = it;
+        broadcast(controller.OnReadySignal(w, it));
+        if (active < options_.group_size) release_pending();
+        break;
+      }
+
+      case kKindLeave: {
+        if (wstate[sw] == WState::kLeft) break;  // duplicate
+        if (wstate[sw] == WState::kEvicted) {
+          // The lease eviction already shrank the pool; just record that
+          // the worker did in fact exit.
+          wstate[sw] = WState::kLeft;
+          break;
+        }
+        if (wstate[sw] == WState::kInGroup) mark_done(wgroup[sw], w);
+        if (wstate[sw] == WState::kQueued) controller.PurgePending(w);
+        wstate[sw] = WState::kLeft;
+        detector.Suspend(w);
+        --remaining;
+        --active;
+        broadcast(controller.NotifyWorkerLeft(w));
+        if (active < options_.group_size) release_pending();
+        break;
+      }
+
+      case kKindPause: {
+        if (paused[sw] || wstate[sw] == WState::kLeft ||
+            wstate[sw] == WState::kEvicted) {
+          break;
+        }
+        paused[sw] = true;
+        detector.Suspend(w);  // intentional silence, not a failure
+        --active;
+        trace->Record(now, TraceEventKind::kChurnLeave, w);
+        broadcast(controller.NotifyWorkerLeft(w));
+        if (active < options_.group_size) release_pending();
+        break;
+      }
+
+      case kKindRejoin: {
+        if (paused[sw]) {
+          paused[sw] = false;
+          ++active;
+          detector.Resume(w, now);
+          trace->Record(now, TraceEventKind::kChurnRejoin, w);
+          broadcast(controller.NotifyWorkerRejoined(w));
+        } else if (wstate[sw] == WState::kEvicted) {
+          unevict(w);
+        }
+        // A rejoin from a worker that was never evicted (a hang shorter
+        // than the eviction horizon) needs nothing: its lease just renewed.
+        break;
+      }
+
+      case kKindGroupDone: {
+        if (!env->ints.empty()) {
+          mark_done(static_cast<uint64_t>(env->ints[0]), w);
+        }
+        break;
+      }
+
+      case kKindGroupStuck: {
+        if (env->ints.empty()) break;
+        const uint64_t g = static_cast<uint64_t>(env->ints[0]);
+        auto itf = in_flight.find(g);
+        if (itf == in_flight.end()) {
+          // Already aborted (the reporter's Abort was lost) or long
+          // resolved: tell just the reporter to stand down.
+          (void)ep->Send(w, g, kKindAbort, {static_cast<int64_t>(g)}, {});
+          break;
+        }
+        bool has_dead_member = false;
+        for (int m : itf->second.members) {
+          if (wstate[static_cast<size_t>(m)] == WState::kEvicted) {
+            has_dead_member = true;
+          }
+        }
+        if (has_dead_member ||
+            ++itf->second.stuck_reports >= plan.stuck_abort_reports) {
+          // Either a member is dead, or the ring has stalled long enough
+          // that a dropped chunk is the likely cause — retry the group.
+          abort_group(g);
+        }
+        break;
+      }
+
+      default:
+        break;  // unknown or stale kinds are dropped under chaos
+    }
+  }
+  controller_stats_ = controller.stats();
+}
+
 void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
+  if (ctx->run().fault.enabled()) return RunWorkerFaulty(ctx);
   const ThreadedRunOptions& run = ctx->run();
   const NodeId controller = ctx->service_node();
   Endpoint* ep = ctx->endpoint();
@@ -212,6 +638,184 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
     ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
                          ctx->worker(), static_cast<int64_t>(group_id));
     if (options_.kind == StrategyKind::kPReduceDynamic) iteration = advanced;
+  }
+}
+
+void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
+  const ThreadedRunOptions& run = ctx->run();
+  const FaultPlan& plan = run.fault;
+  const NodeId controller = ctx->service_node();
+  Endpoint* ep = ctx->endpoint();
+  std::vector<float>* params = ctx->params();
+  std::vector<float> grad;
+  std::vector<float> backup;
+  int64_t iteration = 0;
+  uint64_t last_group_id = 0;  // workers dedup GroupInfo by ascending id
+  Counter* retries_counter = ctx->metrics()->GetCounter("fault.retries");
+
+  const WorkerFaultEvent* crash = nullptr;
+  std::vector<const WorkerFaultEvent*> hangs;
+  for (const WorkerFaultEvent& e : plan.worker_events) {
+    if (e.worker != ctx->worker()) continue;
+    if (e.kind == WorkerFaultEvent::Kind::kCrash && crash == nullptr) {
+      crash = &e;
+    } else if (e.kind == WorkerFaultEvent::Kind::kHang) {
+      hangs.push_back(&e);
+    }
+  }
+  const ThreadedChurnEvent* churn = nullptr;
+  for (const ThreadedChurnEvent& c : run.churn) {
+    if (c.worker == ctx->worker()) churn = &c;
+  }
+
+  auto note_retry = [&] {
+    retries_counter->Increment();
+    ctx->trace()->Record(ctx->Now(), TraceEventKind::kWorkerRetry,
+                         ctx->worker(), iteration);
+  };
+
+  for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
+    ctx->ComputeGradient(params->data(), &grad);
+    ctx->sgd()->Step(grad.data(), params);
+    ++iteration;
+
+    if (crash != nullptr && !crash->in_group &&
+        k >= static_cast<size_t>(crash->after_iterations)) {
+      // Boundary crash: vanish without a word; the controller's lease
+      // eviction is the only cleanup path.
+      return;
+    }
+    if (k == run.iterations_per_worker) {
+      ctx->MarkFinished();
+      (void)ep->Send(controller, 0, kKindLeave, {}, {});
+      return;
+    }
+    for (const WorkerFaultEvent* h : hangs) {
+      if (k == static_cast<size_t>(h->after_iterations)) {
+        // Go dark long enough to (usually) lose the lease, then announce
+        // the comeback — the controller treats a rejoin from an evicted
+        // worker as re-admission.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(h->hang_seconds));
+        (void)ep->Send(controller, 0, kKindRejoin, {}, {});
+      }
+    }
+    if (churn != nullptr && k == churn->after_iterations) {
+      (void)ep->Send(controller, 0, kKindPause, {}, {});
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(churn->pause_seconds));
+      (void)ep->Send(controller, 0, kKindRejoin, {}, {});
+    }
+
+    (void)ep->Send(controller, 0, kKindReady, {iteration}, {});
+
+    // Verdict wait with lease upkeep, bounded re-sends, and a liveness
+    // valve: if the controller stays silent past the deadline the worker
+    // falls back to local computation and re-synchronizes next round.
+    const double wait_begin = ctx->Now();
+    double idle_begin = wait_begin;
+    int ticks = 0;
+    bool proceed = false;
+    while (!proceed) {
+      std::optional<Envelope> env =
+          ep->RecvFromFor(controller, plan.recv_timeout_seconds);
+      if (!env.has_value()) {
+        if (ep->closed()) return;
+        ++ticks;
+        (void)ep->Send(controller, 0, kKindHeartbeat, {}, {});
+        if (plan.resend_ready_ticks > 0 &&
+            ticks % plan.resend_ready_ticks == 0) {
+          note_retry();
+          (void)ep->Send(controller, 0, kKindReady, {iteration}, {});
+        }
+        if (ctx->Now() - wait_begin > plan.max_verdict_wait_seconds) {
+          ctx->RecordIdle(idle_begin, ctx->Now());
+          proceed = true;
+        }
+        continue;
+      }
+      switch (env->kind) {
+        case kKindRelease:
+          ctx->RecordIdle(idle_begin, ctx->Now());
+          proceed = true;
+          break;
+
+        case kKindAbort: {
+          if (env->ints.empty()) break;
+          const uint64_t g = static_cast<uint64_t>(env->ints[0]);
+          if (g > last_group_id) {
+            // Abort for a group whose GroupInfo we never received: adopt
+            // the id (so a late re-send is ignored) and drop any chunks
+            // peers already sent us for it.
+            last_group_id = g;
+            ep->PurgeStash([&](const Envelope& e) { return e.tag == g; });
+          }
+          break;  // stale aborts for finished groups are ignored
+        }
+
+        case kKindGroupInfo: {
+          const uint64_t group_id = static_cast<uint64_t>(env->ints[0]);
+          if (group_id <= last_group_id) break;  // duplicate / re-sent
+          last_group_id = group_id;
+          const int64_t advanced = env->ints[1];
+          std::vector<NodeId> members;
+          for (size_t i = 2; i < env->ints.size(); ++i) {
+            members.push_back(static_cast<NodeId>(env->ints[i]));
+          }
+          std::vector<double> weights(env->floats.begin(),
+                                      env->floats.end());
+          const size_t my_index = static_cast<size_t>(
+              std::find(members.begin(), members.end(), ctx->worker()) -
+              members.begin());
+          if (my_index >= members.size() ||
+              weights.size() != members.size()) {
+            break;  // malformed under chaos: ignore rather than die
+          }
+          if (crash != nullptr && crash->in_group &&
+              k >= static_cast<size_t>(crash->after_iterations)) {
+            // Mid-group crash: the nastiest case — peers are already
+            // blocked on our chunks. Die silently inside the group.
+            return;
+          }
+          ctx->RecordIdle(idle_begin, ctx->Now());
+          backup = *params;
+          const double comm_begin = ctx->Now();
+          ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
+                               ctx->worker(),
+                               static_cast<int64_t>(group_id));
+          const ReduceOutcome outcome = FaultAwareRingReduce(
+              ctx, members, weights, my_index, group_id, params);
+          if (outcome == ReduceOutcome::kShutdown) return;
+          if (outcome == ReduceOutcome::kAborted) {
+            // Roll back the half-reduced vector, drop the conversation's
+            // leftovers, and put our signal back in the queue.
+            *params = backup;
+            ep->PurgeStash(
+                [&](const Envelope& e) { return e.tag == group_id; });
+            note_retry();
+            (void)ep->Send(controller, 0, kKindReady, {iteration}, {});
+            idle_begin = ctx->Now();
+            break;  // back to the verdict wait
+          }
+          ep->PurgeStash(
+              [&](const Envelope& e) { return e.tag == group_id; });
+          (void)ep->Send(controller, 0, kKindGroupDone,
+                         {static_cast<int64_t>(group_id)}, {});
+          ctx->RecordComm(comm_begin, ctx->Now());
+          ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
+                               ctx->worker(),
+                               static_cast<int64_t>(group_id));
+          if (options_.kind == StrategyKind::kPReduceDynamic) {
+            iteration = advanced;
+          }
+          proceed = true;
+          break;
+        }
+
+        default:
+          break;  // unknown or stale control messages are ignored
+      }
+    }
   }
 }
 

@@ -17,29 +17,6 @@ bool IsPsFamily(StrategyKind kind) {
 
 }  // namespace
 
-std::vector<uint64_t> ThreadedRunResult::staleness_histogram() const {
-  const HistogramSnapshot* h = metrics.histogram("ps.push_staleness");
-  if (h == nullptr || h->total_count == 0) return {};
-  // Buckets are exact integers 0..K plus overflow; the legacy histogram was
-  // indexed by staleness value, trimmed to the highest observed one.
-  std::vector<uint64_t> out;
-  for (size_t i = 0; i < h->counts.size(); ++i) {
-    if (h->counts[i] == 0) continue;
-    const size_t staleness = std::min(i, h->upper_bounds.size());
-    if (out.size() <= staleness) out.resize(staleness + 1, 0);
-    out[staleness] += h->counts[i];
-  }
-  return out;
-}
-
-size_t ThreadedRunResult::wasted_gradients() const {
-  return static_cast<size_t>(metrics.counter("ps.wasted_gradients"));
-}
-
-size_t ThreadedRunResult::stash_high_water() const {
-  return static_cast<size_t>(metrics.gauge("transport.stash_high_water"));
-}
-
 std::vector<double> ThreadedRunResult::worker_idle_fraction() const {
   std::vector<double> out;
   out.reserve(worker_iterations.size());
@@ -65,18 +42,14 @@ ThreadedRunResult RunThreaded(const RunConfig& config) {
            strategy.kind == StrategyKind::kPReduceConst ||
            strategy.kind == StrategyKind::kPReduceDynamic)
       << "elastic churn is a P-Reduce feature";
+  PR_CHECK(!options.fault.enabled() ||
+           strategy.kind == StrategyKind::kPReduceConst ||
+           strategy.kind == StrategyKind::kPReduceDynamic)
+      << "fault plans require the P-Reduce recovery protocol";
 
   std::unique_ptr<ThreadedStrategy> impl = MakeThreadedStrategy(strategy);
   WorkerRuntime runtime(strategy, options);
   return runtime.Run(impl.get());
-}
-
-ThreadedRunResult RunThreaded(const StrategyOptions& strategy,
-                              const ThreadedRunOptions& options) {
-  RunConfig config;
-  config.strategy = strategy;
-  config.run = options;
-  return RunThreaded(config);
 }
 
 }  // namespace pr

@@ -6,6 +6,7 @@
 
 #include "core/controller.h"
 #include "data/synthetic.h"
+#include "fault/fault_plan.h"
 #include "models/catalog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -59,6 +60,14 @@ struct ThreadedRunOptions {
   /// Elastic membership schedule (P-Reduce kinds only).
   std::vector<ThreadedChurnEvent> churn;
 
+  /// Fault-injection schedule (P-Reduce kinds only): per-edge message
+  /// drop/dup/delay via a FaultyTransport wrapped around the in-proc
+  /// fabric, plus per-worker crash/hang/slowdown events. An enabled plan
+  /// also switches the P-Reduce control plane to its fault-tolerant
+  /// protocol (heartbeat leases, lease-based eviction, group abort/retry);
+  /// a default-constructed plan leaves every fast path untouched.
+  FaultPlan fault;
+
   /// Record a per-worker wall-clock activity timeline (compute/comm/idle
   /// intervals) comparable to the simulator's Fig. 3 traces.
   bool record_timeline = false;
@@ -81,10 +90,9 @@ struct RunConfig {
 
 /// \brief Outcome of a threaded run.
 ///
-/// Run-level diagnostics that used to be bespoke fields (staleness
-/// histogram, wasted gradients, stash high-water) now live in `metrics`
-/// under the shared metric-name convention (see DESIGN.md); thin accessors
-/// below keep the legacy views available.
+/// Run-level diagnostics (staleness histogram, wasted gradients, stash
+/// high-water) live in `metrics` under the shared metric-name convention
+/// (see DESIGN.md).
 struct ThreadedRunResult {
   /// Display name of the strategy that ran ("CON", "AR", "PS-BSP", ...).
   std::string strategy;
@@ -99,7 +107,9 @@ struct ThreadedRunResult {
   /// centralized ones).
   double final_accuracy = 0.0;
   double final_loss = 0.0;
-  /// Per-worker completed local iterations (== iterations_per_worker).
+  /// Per-worker completed local iterations. Equals iterations_per_worker
+  /// for every worker on a fault-free run; a crashed worker shows the count
+  /// it actually reached.
   std::vector<size_t> worker_iterations;
   /// Per-worker wall-clock seconds from run start until the worker finished
   /// its last iteration. Under All-Reduce every worker finishes with the
@@ -122,15 +132,6 @@ struct ThreadedRunResult {
   /// Structured run events (empty unless trace_capacity was set).
   TraceLog trace;
 
-  /// Deprecated: per-staleness push counts, reconstructed from the
-  /// `ps.push_staleness` histogram (exact integer buckets; staleness beyond
-  /// the last bucket is folded into the final slot). Empty for non-PS runs.
-  std::vector<uint64_t> staleness_histogram() const;
-  /// Deprecated: reads the `ps.wasted_gradients` counter (PS-BK drops).
-  size_t wasted_gradients() const;
-  /// Deprecated: reads the `transport.stash_high_water` gauge (largest
-  /// out-of-order stash across all endpoints).
-  size_t stash_high_water() const;
   /// Per-worker idle fractions (`worker.<i>.idle_fraction` gauges): seconds
   /// spent blocked on synchronization divided by the worker's active span.
   std::vector<double> worker_idle_fraction() const;
@@ -143,9 +144,5 @@ struct ThreadedRunResult {
 /// pairwise gossip, and the PS family (BSP, ASP, HETE, BK). All dispatch
 /// through the same WorkerRuntime; see runtime/threaded_strategy.h.
 ThreadedRunResult RunThreaded(const RunConfig& config);
-
-/// Deprecated two-argument form; forwards to the RunConfig overload.
-ThreadedRunResult RunThreaded(const StrategyOptions& strategy,
-                              const ThreadedRunOptions& options);
 
 }  // namespace pr

@@ -27,7 +27,7 @@ std::string WorkerMetric(int worker, const char* suffix) {
 WorkerContext::WorkerContext(WorkerRuntime* runtime, int worker)
     : runtime_(runtime),
       worker_(worker),
-      endpoint_(&runtime->transport_, worker),
+      endpoint_(runtime->fabric_, worker),
       sgd_(runtime->model_->NumParams(), runtime->options_.sgd),
       rng_(runtime->worker_seeds_[static_cast<size_t>(worker)]),
       delay_seconds_(0.0),
@@ -45,6 +45,11 @@ WorkerContext::WorkerContext(WorkerRuntime* runtime, int worker)
     PR_CHECK_EQ(delays.size(),
                 static_cast<size_t>(runtime->options_.num_workers));
     delay_seconds_ = delays[static_cast<size_t>(worker)];
+  }
+  for (const WorkerFaultEvent& e : runtime->options_.fault.worker_events) {
+    if (e.worker == worker && e.kind == WorkerFaultEvent::Kind::kSlowdown) {
+      slowdown_events_.push_back(e);
+    }
   }
   endpoint_.AttachObservers(metrics_, "worker." + std::to_string(worker),
                             &runtime->trace_, [this] { return Now(); });
@@ -88,10 +93,25 @@ float WorkerContext::ComputeGradient(const float* at,
                                                                &batch_y_);
   const float loss =
       runtime_->model_->LossAndGradient(at, batch_x_, batch_y_, grad->data());
-  if (delay_seconds_ > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(delay_seconds_));
+  double sleep_seconds = delay_seconds_;
+  for (const WorkerFaultEvent& e : slowdown_events_) {
+    const size_t start = static_cast<size_t>(e.after_iterations);
+    const bool in_window =
+        completed_iterations_ >= start &&
+        (e.slowdown_iterations == 0 ||
+         completed_iterations_ <
+             start + static_cast<size_t>(e.slowdown_iterations));
+    if (!in_window) continue;
+    // The slowdown factor scales the worker's injected compute delay; with
+    // no configured delay it scales a 1 ms nominal tick so the fault is
+    // still observable on fast proxy models.
+    const double base = delay_seconds_ > 0.0 ? delay_seconds_ : 1e-3;
+    sleep_seconds += (e.slowdown_factor - 1.0) * base;
   }
+  if (sleep_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  }
+  ++completed_iterations_;
   iterations_counter_->Increment();
   RecordCompute(begin, Now());
   return loss;
@@ -136,7 +156,7 @@ void WorkerContext::MarkFinished() {
 
 ServiceContext::ServiceContext(WorkerRuntime* runtime)
     : runtime_(runtime),
-      endpoint_(&runtime->transport_, runtime->options_.num_workers),
+      endpoint_(runtime->fabric_, runtime->options_.num_workers),
       metrics_(runtime->registry_.NewShard()) {
   endpoint_.AttachObservers(metrics_, "service", &runtime->trace_,
                             [this] { return Now(); });
@@ -178,6 +198,12 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
       trace_(options.trace_capacity) {
   PR_CHECK_GE(options_.num_workers, 1);
   PR_CHECK_GE(options_.iterations_per_worker, 1u);
+  if (options_.fault.has_message_faults()) {
+    faulty_ = std::make_unique<FaultyTransport>(&transport_, options_.fault);
+    fabric_ = faulty_.get();
+  } else {
+    fabric_ = &transport_;
+  }
 
   Rng rng(options_.seed);
   SyntheticSpec spec = options_.dataset;
@@ -209,6 +235,10 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   PR_CHECK(strategy != nullptr);
   const int n = options_.num_workers;
   start_ = std::chrono::steady_clock::now();
+  if (faulty_ != nullptr) {
+    faulty_->AttachObservers(registry_.NewShard(), &trace_,
+                             [this] { return NowSeconds(); });
+  }
 
   std::vector<std::unique_ptr<WorkerContext>> contexts;
   contexts.reserve(static_cast<size_t>(n));
@@ -232,14 +262,17 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   }
   for (auto& t : workers) t.join();
   if (service_thread.joinable()) service_thread.join();
-  transport_.Shutdown();
+  fabric_->Shutdown();
   const double wall = NowSeconds();
 
   ThreadedRunResult result;
   result.strategy = strategy->Name();
   result.wall_seconds = wall;
-  result.worker_iterations.assign(static_cast<size_t>(n),
-                                  options_.iterations_per_worker);
+  result.worker_iterations.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    result.worker_iterations.push_back(
+        contexts[static_cast<size_t>(w)]->completed_iterations());
+  }
   result.worker_finish_seconds = finish_seconds_;
 
   // Inference model: the strategy's global model when it has one, otherwise

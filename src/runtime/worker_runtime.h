@@ -6,6 +6,7 @@
 
 #include "comm/transport.h"
 #include "common/rng.h"
+#include "fault/faulty_transport.h"
 #include "data/dataset.h"
 #include "data/synthetic.h"
 #include "models/model.h"
@@ -78,6 +79,10 @@ class WorkerContext {
   /// iteration completes (before any trailing protocol messages).
   void MarkFinished();
 
+  /// Local iterations completed so far (crashed workers stop short of the
+  /// run budget; the run result reports the true count).
+  size_t completed_iterations() const { return completed_iterations_; }
+
  private:
   friend class WorkerRuntime;
   WorkerContext(WorkerRuntime* runtime, int worker);
@@ -90,6 +95,9 @@ class WorkerContext {
   Sgd sgd_;
   Rng rng_;
   double delay_seconds_;
+  size_t completed_iterations_ = 0;
+  /// This worker's scheduled slowdown faults (copied from the run's plan).
+  std::vector<WorkerFaultEvent> slowdown_events_;
   Tensor batch_x_;
   std::vector<int> batch_y_;
   std::vector<TimelineInterval> intervals_;
@@ -164,6 +172,10 @@ class WorkerRuntime {
   std::vector<std::unique_ptr<BatchSampler>> samplers_;
   std::vector<uint64_t> worker_seeds_;
   InProcTransport transport_;
+  /// Present when the run's fault plan injects message faults; endpoints
+  /// then talk through it instead of the raw in-proc fabric.
+  std::unique_ptr<FaultyTransport> faulty_;
+  Transport* fabric_;  ///< faulty_ when present, else &transport_
   MetricsRegistry registry_;
   TraceRecorder trace_;
   std::chrono::steady_clock::time_point start_;

@@ -69,8 +69,22 @@ void SimTraining::RecordActivity(int worker, WorkerActivity activity,
 }
 
 double SimTraining::SampleComputeSeconds(int worker) {
-  const double slowdown =
+  double slowdown =
       hetero_->Sample(worker, iteration(worker));
+  // Scheduled slowdown faults compound with the ambient heterogeneity: the
+  // factor applies while the worker's iteration sits in the event's window
+  // (the threaded engine scales the injected compute delay the same way).
+  for (const WorkerFaultEvent& e : options_.fault.worker_events) {
+    if (e.worker != worker || e.kind != WorkerFaultEvent::Kind::kSlowdown) {
+      continue;
+    }
+    const int64_t it = iteration(worker);
+    const int64_t start = e.after_iterations;
+    if (it >= start && (e.slowdown_iterations == 0 ||
+                        it < start + e.slowdown_iterations)) {
+      slowdown *= e.slowdown_factor;
+    }
+  }
   return cost_->ComputeSeconds(slowdown);
 }
 

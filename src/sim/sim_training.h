@@ -9,6 +9,7 @@
 
 #include "common/stats.h"
 #include "data/synthetic.h"
+#include "fault/fault_plan.h"
 #include "hetero/hetero.h"
 #include "models/catalog.h"
 #include "models/model.h"
@@ -71,6 +72,13 @@ struct SimTrainingOptions {
   std::string paper_model = "resnet34";
   CostModelOptions cost;
   HeteroSpec hetero;
+
+  /// Fault schedule mirrored into virtual time (P-Reduce only): crashes
+  /// trigger lease-horizon eviction, ready-signal drops trigger re-sends,
+  /// slowdown events scale SampleComputeSeconds. Hang events and data-plane
+  /// dup/delay are threaded-engine-only; their fault.* counters still
+  /// register (as zero) for cross-engine report parity.
+  FaultPlan fault;
 
   /// Convergence criterion: stop when the evaluated model reaches this test
   /// accuracy. <= 0 disables accuracy-based stopping.

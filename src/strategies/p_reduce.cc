@@ -1,5 +1,6 @@
 #include "strategies/p_reduce.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.h"
@@ -28,10 +29,46 @@ PReduceStrategy::PReduceStrategy(SimTraining* ctx,
   leave_requested_.assign(static_cast<size_t>(ctx->num_workers()), false);
   active_.assign(static_cast<size_t>(ctx->num_workers()), true);
   active_count_ = ctx->num_workers();
+
+  crashed_.assign(static_cast<size_t>(ctx->num_workers()), false);
+  signal_seq_.assign(static_cast<size_t>(ctx->num_workers()), 0);
+  if (ctx->options().fault.enabled()) {
+    // Register the whole fault.* family eagerly — including the injector
+    // counters only the threaded engine can drive — so both engines' run
+    // reports carry identical metric names.
+    fault_drops_ = ctx->metrics()->GetCounter("fault.injected_drops");
+    fault_retries_ = ctx->metrics()->GetCounter("fault.retries");
+    fault_evictions_ = ctx->metrics()->GetCounter("fault.evictions");
+    fault_aborted_ = ctx->metrics()->GetCounter("fault.aborted_groups");
+    ctx->metrics()->GetCounter("fault.injected_dups");
+    ctx->metrics()->GetCounter("fault.injected_delays");
+    ctx->metrics()->GetCounter("fault.heartbeats");
+  }
 }
 
 std::string PReduceStrategy::Name() const {
   return options_.kind == StrategyKind::kPReduceDynamic ? "DYN" : "CON";
+}
+
+bool PReduceStrategy::CrashArmed(int worker, bool in_group) const {
+  if (crashed_[static_cast<size_t>(worker)]) return false;
+  for (const WorkerFaultEvent& e : ctx_->options().fault.worker_events) {
+    if (e.worker == worker && e.kind == WorkerFaultEvent::Kind::kCrash &&
+        e.in_group == in_group &&
+        ctx_->iteration(worker) >= e.after_iterations) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PReduceStrategy::EvictNow(int worker) {
+  fault_evictions_->Increment();
+  ctx_->trace()->Record(ctx_->engine()->now(),
+                        TraceEventKind::kWorkerEvicted, worker);
+  active_[static_cast<size_t>(worker)] = false;
+  --active_count_;
+  HandleDecisions(controller_->EvictWorker(worker));
 }
 
 void PReduceStrategy::Start() {
@@ -88,7 +125,40 @@ void PReduceStrategy::OnGradientReady(int worker) {
     return;
   }
 
+  if (CrashArmed(worker, /*in_group=*/false)) {
+    // Boundary crash: the worker vanishes without signaling. The controller
+    // notices when the lease horizon elapses and evicts it.
+    crashed_[static_cast<size_t>(worker)] = true;
+    const FaultPlan& plan = ctx_->options().fault;
+    ctx_->engine()->ScheduleAfter(
+        plan.lease_seconds * plan.missed_threshold,
+        [this, worker] { EvictNow(worker); });
+    return;
+  }
+
   ctx_->MarkWaitStart(worker);
+  SendSignal(worker);
+}
+
+void PReduceStrategy::SendSignal(int worker) {
+  const FaultPlan& plan = ctx_->options().fault;
+  if (plan.has_message_faults()) {
+    // Mirror the worker->controller edge of the threaded fabric: a dropped
+    // ready signal costs the protocol one resend interval, then retries
+    // with the next sequence number.
+    const uint64_t seq = signal_seq_[static_cast<size_t>(worker)]++;
+    if (plan.RollDrop(worker, ctx_->num_workers(), seq)) {
+      fault_drops_->Increment();
+      fault_retries_->Increment();
+      ctx_->trace()->Record(ctx_->engine()->now(),
+                            TraceEventKind::kWorkerRetry, worker,
+                            ctx_->iteration(worker));
+      ctx_->engine()->ScheduleAfter(
+          plan.recv_timeout_seconds * plan.resend_ready_ticks,
+          [this, worker] { SendSignal(worker); });
+      return;
+    }
+  }
   ctx_->engine()->ScheduleAfter(ctx_->cost().controller_delay(),
                                 [this, worker] { OnSignalArrival(worker); });
 }
@@ -101,6 +171,31 @@ void PReduceStrategy::OnSignalArrival(int worker) {
 void PReduceStrategy::HandleDecisions(
     const std::vector<GroupDecision>& decisions) {
   for (const GroupDecision& decision : decisions) {
+    // A member with an armed mid-group crash kills the whole reduce: the
+    // survivors stall on its chunks until the controller's lease verdict
+    // aborts the group (the threaded engine's recovery path, in virtual
+    // time).
+    std::vector<int> crashed;
+    for (int m : decision.members) {
+      if (CrashArmed(m, /*in_group=*/true)) crashed.push_back(m);
+    }
+    if (!crashed.empty()) {
+      const FaultPlan& plan = ctx_->options().fault;
+      const double stall = plan.lease_seconds * plan.missed_threshold;
+      for (int m : decision.members) {
+        crashed_[static_cast<size_t>(m)] =
+            crashed_[static_cast<size_t>(m)] ||
+            std::find(crashed.begin(), crashed.end(), m) != crashed.end();
+        ctx_->MarkWaitEnd(m);
+        ctx_->RecordActivity(m, WorkerActivity::kComm,
+                             ctx_->engine()->now(),
+                             ctx_->engine()->now() + stall);
+      }
+      ctx_->engine()->ScheduleAfter(
+          stall, [this, d = decision, crashed] { OnGroupAborted(d, crashed); });
+      continue;
+    }
+
     // Group formed: members leave the wait state and spend the group-info
     // delay plus the P-member ring reduce communicating. Groups synchronize
     // in parallel — nothing here blocks other workers or other groups.
@@ -114,6 +209,27 @@ void PReduceStrategy::HandleDecisions(
     }
     ctx_->engine()->ScheduleAfter(
         comm, [this, d = decision] { OnGroupReduceDone(d); });
+  }
+}
+
+void PReduceStrategy::OnGroupAborted(const GroupDecision& decision,
+                                     const std::vector<int>& crashed) {
+  fault_aborted_->Increment();
+  ctx_->trace()->Record(ctx_->engine()->now(), TraceEventKind::kGroupAborted,
+                        -1, static_cast<int64_t>(decision.group_id));
+  for (int m : crashed) EvictNow(m);
+  if (ctx_->stopped()) return;
+  for (int m : decision.members) {
+    if (crashed_[static_cast<size_t>(m)]) continue;
+    // Survivors roll back to their pre-reduce replicas (never touched in
+    // the simulator — the average is only applied on success) and put their
+    // signals back in the queue.
+    fault_retries_->Increment();
+    ctx_->trace()->Record(ctx_->engine()->now(),
+                          TraceEventKind::kWorkerRetry, m,
+                          ctx_->iteration(m));
+    ctx_->MarkWaitStart(m);
+    SendSignal(m);
   }
 }
 

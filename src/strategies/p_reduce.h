@@ -27,9 +27,18 @@ class PReduceStrategy : public Strategy {
  private:
   void BeginCompute(int worker);
   void OnGradientReady(int worker);
+  void SendSignal(int worker);
   void OnSignalArrival(int worker);
   void OnGroupReduceDone(const GroupDecision& decision);
+  void OnGroupAborted(const GroupDecision& decision,
+                      const std::vector<int>& crashed);
   void HandleDecisions(const std::vector<GroupDecision>& decisions);
+  /// Lease-horizon eviction of a crashed worker (mirrors the threaded
+  /// controller's FailureDetector verdict in virtual time).
+  void EvictNow(int worker);
+  /// True when `worker` carries an armed crash event of the given placement
+  /// that its iteration counter has reached.
+  bool CrashArmed(int worker, bool in_group) const;
 
   SimTraining* ctx_;
   StrategyOptions options_;
@@ -39,6 +48,15 @@ class PReduceStrategy : public Strategy {
   std::vector<bool> leave_requested_;
   std::vector<bool> active_;
   int active_count_ = 0;
+
+  // --- Fault mirroring (see SimTrainingOptions::fault) ---
+  std::vector<bool> crashed_;
+  /// Per-worker ready-signal sequence numbers for deterministic drop rolls.
+  std::vector<uint64_t> signal_seq_;
+  Counter* fault_drops_ = nullptr;
+  Counter* fault_retries_ = nullptr;
+  Counter* fault_evictions_ = nullptr;
+  Counter* fault_aborted_ = nullptr;
 };
 
 }  // namespace pr

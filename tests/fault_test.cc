@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.h"
+#include "fault/failure_detector.h"
+#include "fault/fault_plan.h"
+#include "fault/faulty_transport.h"
+
+namespace pr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan: deterministic, seed-driven decisions.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, DisabledByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.has_message_faults());
+  EXPECT_FALSE(plan.RollDrop(0, 1, 0));
+}
+
+TEST(FaultPlanTest, WorkerEventsEnableWithoutMessageFaults) {
+  FaultPlan plan;
+  WorkerFaultEvent e;
+  e.worker = 2;
+  e.kind = WorkerFaultEvent::Kind::kCrash;
+  plan.worker_events.push_back(e);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_FALSE(plan.has_message_faults());
+}
+
+TEST(FaultPlanTest, RollsAreDeterministicInSeed) {
+  FaultPlan a;
+  a.seed = 42;
+  a.default_edge.drop_prob = 0.3;
+  a.default_edge.dup_prob = 0.2;
+  a.default_edge.delay_prob = 0.1;
+  FaultPlan b = a;
+  for (int from = 0; from < 4; ++from) {
+    for (int to = 0; to < 4; ++to) {
+      for (uint64_t seq = 0; seq < 64; ++seq) {
+        EXPECT_EQ(a.RollDrop(from, to, seq), b.RollDrop(from, to, seq));
+        EXPECT_EQ(a.RollDup(from, to, seq), b.RollDup(from, to, seq));
+        EXPECT_EQ(a.RollDelay(from, to, seq), b.RollDelay(from, to, seq));
+      }
+    }
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsGiveDifferentDecisions) {
+  FaultPlan a;
+  a.seed = 1;
+  a.default_edge.drop_prob = 0.5;
+  FaultPlan b = a;
+  b.seed = 2;
+  int differing = 0;
+  for (uint64_t seq = 0; seq < 256; ++seq) {
+    if (a.RollDrop(0, 1, seq) != b.RollDrop(0, 1, seq)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlanTest, DropRateTracksProbability) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.default_edge.drop_prob = 0.25;
+  int drops = 0;
+  const int trials = 4000;
+  for (uint64_t seq = 0; seq < trials; ++seq) {
+    if (plan.RollDrop(1, 2, seq)) ++drops;
+  }
+  const double rate = static_cast<double>(drops) / trials;
+  EXPECT_GT(rate, 0.18);
+  EXPECT_LT(rate, 0.32);
+}
+
+TEST(FaultPlanTest, EdgeOverridesBeatTheDefault) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.default_edge.drop_prob = 0.0;
+  EdgeFaultSpec lossy;
+  lossy.drop_prob = 1.0;
+  plan.edges[{0, 1}] = lossy;
+  EXPECT_TRUE(plan.has_message_faults());
+  EXPECT_TRUE(plan.RollDrop(0, 1, 0));
+  EXPECT_FALSE(plan.RollDrop(1, 0, 0));  // reverse edge uses the default
+}
+
+TEST(FaultPlanTest, ChaosPlanShape) {
+  FaultPlan plan = MakeChaosPlan(/*seed=*/11, /*crash_worker=*/3,
+                                 /*crash_after_iterations=*/4,
+                                 /*drop_prob=*/0.01);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.has_message_faults());
+  ASSERT_EQ(plan.worker_events.size(), 1u);
+  EXPECT_EQ(plan.worker_events[0].worker, 3);
+  EXPECT_EQ(plan.worker_events[0].kind, WorkerFaultEvent::Kind::kCrash);
+  EXPECT_TRUE(plan.worker_events[0].in_group);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport: deterministic injection over a real fabric.
+// ---------------------------------------------------------------------------
+
+Envelope Msg(NodeId from, int kind) {
+  Envelope env;
+  env.from = from;
+  env.kind = kind;
+  return env;
+}
+
+TEST(FaultyTransportTest, PassThroughWithInactivePlan) {
+  InProcTransport inner(2);
+  FaultyTransport faulty(&inner, FaultPlan{});
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 7)).ok());
+  std::optional<Envelope> env = faulty.Recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->kind, 7);
+  EXPECT_EQ(faulty.injected_drops(), 0u);
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, CertainDropSwallowsEverythingSilently) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.drop_prob = 1.0;
+  FaultyTransport faulty(&inner, plan);
+  for (int i = 0; i < 10; ++i) {
+    // A lossy network still acks locally: the sender sees OK.
+    ASSERT_TRUE(faulty.Send(1, Msg(0, i)).ok());
+  }
+  EXPECT_EQ(faulty.injected_drops(), 10u);
+  EXPECT_FALSE(faulty.TryRecv(1).has_value());
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, CertainDupDeliversTwice) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.dup_prob = 1.0;
+  FaultyTransport faulty(&inner, plan);
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 42)).ok());
+  EXPECT_EQ(faulty.injected_dups(), 1u);
+  std::optional<Envelope> first = faulty.Recv(1);
+  std::optional<Envelope> second = faulty.Recv(1);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->kind, 42);
+  EXPECT_EQ(second->kind, 42);
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, DelayedMessageArrivesLate) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.delay_prob = 1.0;
+  plan.default_edge.delay_seconds = 0.05;
+  FaultyTransport faulty(&inner, plan);
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 9)).ok());
+  EXPECT_EQ(faulty.injected_delays(), 1u);
+  // Not there immediately...
+  EXPECT_FALSE(faulty.TryRecv(1).has_value());
+  // ...but it lands within the delay (bounded blocking wait).
+  std::optional<Envelope> env = faulty.RecvFor(1, 2.0);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->kind, 9);
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, ShutdownFlushesDelayedMessages) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.delay_prob = 1.0;
+  plan.default_edge.delay_seconds = 30.0;  // far beyond the test's patience
+  FaultyTransport faulty(&inner, plan);
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 5)).ok());
+  // Delayed messages are late, not lost: Shutdown flushes them into the
+  // mailboxes before closing, so drained receivers still observe them.
+  faulty.Shutdown();
+  std::optional<Envelope> env = faulty.Recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->kind, 5);
+}
+
+TEST(FaultyTransportTest, InjectionIsDeterministicAcrossRuns) {
+  auto run = [] {
+    InProcTransport inner(3);
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.default_edge.drop_prob = 0.3;
+    FaultyTransport faulty(&inner, plan);
+    std::vector<int> delivered;
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(faulty.Send(1, Msg(0, i)).ok());
+    }
+    while (std::optional<Envelope> env = faulty.TryRecv(1)) {
+      delivered.push_back(env->kind);
+    }
+    faulty.Shutdown();
+    return delivered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// FailureDetector: lease expiry, suspension, and resurrection.
+// ---------------------------------------------------------------------------
+
+TEST(FailureDetectorTest, SilentWorkerExpiresOnce) {
+  FailureDetector det(/*num_workers=*/3, /*lease_seconds=*/1.0,
+                      /*missed_threshold=*/2, /*start_now=*/0.0);
+  EXPECT_TRUE(det.Expired(1.9).empty());  // within the horizon
+  std::vector<int> dead = det.Expired(2.1);
+  EXPECT_EQ(dead.size(), 3u);  // nobody ever beat
+  EXPECT_TRUE(det.Expired(10.0).empty());  // reported at most once
+  EXPECT_FALSE(det.alive(0));
+}
+
+TEST(FailureDetectorTest, BeatingKeepsAWorkerAlive) {
+  FailureDetector det(2, 1.0, 2, 0.0);
+  det.Beat(0, 1.5);
+  det.Beat(0, 3.0);
+  std::vector<int> dead = det.Expired(3.5);  // worker 1 lapsed at 2.0
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 1);
+  EXPECT_TRUE(det.alive(0));
+  EXPECT_EQ(det.last_beat(0), 3.0);
+}
+
+TEST(FailureDetectorTest, SuspendedWorkersNeverExpire) {
+  FailureDetector det(2, 1.0, 2, 0.0);
+  det.Suspend(0);
+  std::vector<int> dead = det.Expired(100.0);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 1);
+}
+
+TEST(FailureDetectorTest, BeatsIgnoredWhileSuspendedOrDead) {
+  FailureDetector det(1, 1.0, 2, 0.0);
+  det.Suspend(0);
+  det.Beat(0, 5.0);  // must not half-resurrect the worker
+  det.Resume(0, 10.0);
+  EXPECT_TRUE(det.alive(0));
+  EXPECT_EQ(det.last_beat(0), 10.0);
+  // Let it die, then beat: still dead until Resume.
+  ASSERT_EQ(det.Expired(20.0).size(), 1u);
+  det.Beat(0, 20.1);
+  EXPECT_FALSE(det.alive(0));
+  det.Resume(0, 21.0);
+  EXPECT_TRUE(det.alive(0));
+  // Alive again means it can die again.
+  ASSERT_EQ(det.Expired(30.0).size(), 1u);
+}
+
+TEST(FailureDetectorTest, HorizonIsLeaseTimesThreshold) {
+  FailureDetector det(1, 0.25, 2, 0.0);
+  EXPECT_DOUBLE_EQ(det.eviction_horizon(), 0.5);
+  EXPECT_TRUE(det.Expired(0.49).empty());
+  EXPECT_EQ(det.Expired(0.51).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,7 +1,5 @@
 #include <gtest/gtest.h>
 
-#include <numeric>
-
 #include "runtime/threaded_runtime.h"
 
 namespace pr {
@@ -23,7 +21,12 @@ RunConfig SmallConfig(StrategyKind kind) {
   return config;
 }
 
-TEST(ThreadedPsTest, BspCompletesAndLearns) {
+/// The staleness histogram (`ps.push_staleness`) of a finished run.
+const HistogramSnapshot* Staleness(const ThreadedRunResult& result) {
+  return result.metrics.histogram("ps.push_staleness");
+}
+
+TEST(RuntimePsTest, BspCompletesAndLearns) {
   RunConfig config = SmallConfig(StrategyKind::kPsBsp);
   ThreadedRunResult result = RunThreaded(config);
   // BSP: one version per round, iterations_per_worker rounds.
@@ -31,18 +34,19 @@ TEST(ThreadedPsTest, BspCompletesAndLearns) {
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
-TEST(ThreadedPsTest, BspHasZeroStaleness) {
+TEST(RuntimePsTest, BspHasZeroStaleness) {
   RunConfig config = SmallConfig(StrategyKind::kPsBsp);
   ThreadedRunResult result = RunThreaded(config);
-  // Lockstep: every push targets the version it pulled.
-  const std::vector<uint64_t> hist = result.staleness_histogram();
-  ASSERT_FALSE(hist.empty());
-  const uint64_t total =
-      std::accumulate(hist.begin(), hist.end(), uint64_t{0});
-  EXPECT_EQ(hist[0], total);
+  // Lockstep: every push targets the version it pulled, so every
+  // observation lands in the zero bucket.
+  const HistogramSnapshot* hist = Staleness(result);
+  ASSERT_NE(hist, nullptr);
+  ASSERT_FALSE(hist->counts.empty());
+  EXPECT_GT(hist->total_count, 0u);
+  EXPECT_EQ(hist->counts[0], hist->total_count);
 }
 
-TEST(ThreadedPsTest, AspCompletesAndLearns) {
+TEST(RuntimePsTest, AspCompletesAndLearns) {
   RunConfig config = SmallConfig(StrategyKind::kPsAsp);
   config.run.iterations_per_worker = 60;
   ThreadedRunResult result = RunThreaded(config);
@@ -53,20 +57,20 @@ TEST(ThreadedPsTest, AspCompletesAndLearns) {
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
-TEST(ThreadedPsTest, AspObservesStalenessUnderStraggler) {
+TEST(RuntimePsTest, AspObservesStalenessUnderStraggler) {
   RunConfig config = SmallConfig(StrategyKind::kPsAsp);
   config.run.iterations_per_worker = 20;
   config.run.worker_delay_seconds = {0.0, 0.0, 0.0, 0.004};
   ThreadedRunResult result = RunThreaded(config);
   // Some push must have seen staleness >= 1 (fast workers advance the
   // version while the straggler computes).
-  const std::vector<uint64_t> hist = result.staleness_histogram();
-  uint64_t stale_pushes = 0;
-  for (size_t s = 1; s < hist.size(); ++s) stale_pushes += hist[s];
-  EXPECT_GT(stale_pushes, 0u);
+  const HistogramSnapshot* hist = Staleness(result);
+  ASSERT_NE(hist, nullptr);
+  ASSERT_FALSE(hist->counts.empty());
+  EXPECT_GT(hist->total_count, hist->counts[0]);
 }
 
-TEST(ThreadedPsTest, StragglerDoesNotBlockAspCompletion) {
+TEST(RuntimePsTest, StragglerDoesNotBlockAspCompletion) {
   RunConfig config = SmallConfig(StrategyKind::kPsAsp);
   config.run.iterations_per_worker = 15;
   config.run.worker_delay_seconds = {0.0, 0.0, 0.0, 0.01};
@@ -74,7 +78,7 @@ TEST(ThreadedPsTest, StragglerDoesNotBlockAspCompletion) {
   EXPECT_EQ(result.versions, 4u * 15u);
 }
 
-TEST(ThreadedPsTest, SingleWorkerDegeneratesToSequentialSgd) {
+TEST(RuntimePsTest, SingleWorkerDegeneratesToSequentialSgd) {
   RunConfig config = SmallConfig(StrategyKind::kPsBsp);
   config.run.num_workers = 1;
   config.run.iterations_per_worker = 100;
@@ -83,14 +87,14 @@ TEST(ThreadedPsTest, SingleWorkerDegeneratesToSequentialSgd) {
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
-TEST(ThreadedPsTest, PsMetricsMatchLegacyAccessors) {
+TEST(RuntimePsTest, PsMetricsAccountForEveryPush) {
   RunConfig config = SmallConfig(StrategyKind::kPsBsp);
   ThreadedRunResult result = RunThreaded(config);
   // ps.versions counts server version bumps; the staleness histogram's
   // total count equals the number of pushes the server accepted.
   EXPECT_EQ(static_cast<uint64_t>(result.metrics.counter("ps.versions")),
             result.versions);
-  const HistogramSnapshot* h = result.metrics.histogram("ps.push_staleness");
+  const HistogramSnapshot* h = Staleness(result);
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->total_count,
             static_cast<uint64_t>(config.run.num_workers) *

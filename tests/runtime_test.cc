@@ -33,9 +33,17 @@ StrategyOptions Strat(StrategyKind kind, int group_size = 2) {
   return s;
 }
 
+ThreadedRunResult RunPair(const StrategyOptions& strategy,
+                      const ThreadedRunOptions& run) {
+  RunConfig config;
+  config.strategy = strategy;
+  config.run = run;
+  return RunThreaded(config);
+}
+
 TEST(ThreadedRuntimeTest, PReduceCompletesAndLearns) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+      RunPair(Strat(StrategyKind::kPReduceConst), SmallOptions());
   EXPECT_EQ(result.strategy, "CON");
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
@@ -46,7 +54,7 @@ TEST(ThreadedRuntimeTest, PReduceCompletesAndLearns) {
 
 TEST(ThreadedRuntimeTest, AllReduceCompletesAndLearns) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kAllReduce), SmallOptions());
+      RunPair(Strat(StrategyKind::kAllReduce), SmallOptions());
   EXPECT_EQ(result.strategy, "AR");
   EXPECT_GT(result.final_accuracy, 0.6);
   // AR keeps replicas bitwise identical.
@@ -55,22 +63,22 @@ TEST(ThreadedRuntimeTest, AllReduceCompletesAndLearns) {
 
 TEST(ThreadedRuntimeTest, PReduceReplicasStayClose) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+      RunPair(Strat(StrategyKind::kPReduceConst), SmallOptions());
   // Replicas drift between reduces but must remain in the same basin.
   EXPECT_LT(result.replica_spread, 2.0);
 }
 
 TEST(ThreadedRuntimeTest, GroupSizeEqualsWorkers) {
-  ThreadedRunResult result = RunThreaded(
+  ThreadedRunResult result = RunPair(
       Strat(StrategyKind::kPReduceConst, /*group_size=*/4), SmallOptions());
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
 TEST(ThreadedRuntimeTest, LargerGroupSizeFewerReduces) {
-  auto p2 = RunThreaded(Strat(StrategyKind::kPReduceConst, 2),
+  auto p2 = RunPair(Strat(StrategyKind::kPReduceConst, 2),
                         SmallOptions());
-  auto p4 = RunThreaded(Strat(StrategyKind::kPReduceConst, 4),
+  auto p4 = RunPair(Strat(StrategyKind::kPReduceConst, 4),
                         SmallOptions());
   EXPECT_GT(p2.group_reduces, p4.group_reduces);
 }
@@ -80,7 +88,7 @@ TEST(ThreadedRuntimeTest, DynamicModeRuns) {
   strat.dynamic.alpha = 0.5;
   ThreadedRunOptions opt = SmallOptions();
   opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.003};  // a straggler
-  ThreadedRunResult result = RunThreaded(strat, opt);
+  ThreadedRunResult result = RunPair(strat, opt);
   EXPECT_EQ(result.strategy, "DYN");
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
@@ -91,14 +99,14 @@ TEST(ThreadedRuntimeTest, StragglerDoesNotBlockPReduceCompletion) {
   opt.iterations_per_worker = 15;
   opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.01};
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+      RunPair(Strat(StrategyKind::kPReduceConst), opt);
   // Run completes despite the straggler; all workers did their iterations.
   for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 15u);
 }
 
 TEST(ThreadedRuntimeTest, ControllerStatsPropagated) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+      RunPair(Strat(StrategyKind::kPReduceConst), SmallOptions());
   EXPECT_EQ(result.controller_stats.groups_formed, result.group_reduces);
   EXPECT_GT(result.controller_stats.signals_received,
             result.controller_stats.groups_formed);
@@ -109,9 +117,9 @@ TEST(ThreadedRuntimeTest, FastWorkersFinishEarlyUnderPReduce) {
   opt.iterations_per_worker = 25;
   opt.worker_delay_seconds = {0.001, 0.001, 0.001, 0.008};
   ThreadedRunResult pr_run =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+      RunPair(Strat(StrategyKind::kPReduceConst), opt);
   ThreadedRunResult ar_run =
-      RunThreaded(Strat(StrategyKind::kAllReduce), opt);
+      RunPair(Strat(StrategyKind::kAllReduce), opt);
   ASSERT_EQ(pr_run.worker_finish_seconds.size(), 4u);
   const double pr_fast =
       *std::min_element(pr_run.worker_finish_seconds.begin(),
@@ -132,7 +140,7 @@ TEST(ThreadedRuntimeTest, AdversarialSpeedClassesDoNotDeadlock) {
   opt.iterations_per_worker = 25;
   opt.worker_delay_seconds = {0.0, 0.0, 0.003, 0.003};
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+      RunPair(Strat(StrategyKind::kPReduceConst), opt);
   for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 25u);
   EXPECT_GT(result.group_reduces, 0u);
 }
@@ -144,7 +152,7 @@ TEST(ThreadedRuntimeTest, RepeatedRunsTerminate) {
     opt.iterations_per_worker = 8;
     opt.seed = 100 + static_cast<uint64_t>(trial);
     ThreadedRunResult result =
-        RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+        RunPair(Strat(StrategyKind::kPReduceConst), opt);
     EXPECT_EQ(result.worker_iterations.size(), 4u);
   }
 }
@@ -154,7 +162,7 @@ TEST(ThreadedRuntimeTest, ManyWorkersSmokeTest) {
   opt.num_workers = 8;
   opt.iterations_per_worker = 12;
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst, 3), opt);
+      RunPair(Strat(StrategyKind::kPReduceConst, 3), opt);
   EXPECT_GT(result.group_reduces, 0u);
 }
 
@@ -164,7 +172,7 @@ TEST(ThreadedRuntimeTest, ManyWorkersSmokeTest) {
 
 TEST(ThreadedRuntimeTest, EagerReduceCompletesAndLearns) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kEagerReduce), SmallOptions());
+      RunPair(Strat(StrategyKind::kEagerReduce), SmallOptions());
   EXPECT_EQ(result.strategy, "ER");
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
@@ -172,7 +180,7 @@ TEST(ThreadedRuntimeTest, EagerReduceCompletesAndLearns) {
 
 TEST(ThreadedRuntimeTest, AdPsgdCompletesAndLearns) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kAdPsgd), SmallOptions());
+      RunPair(Strat(StrategyKind::kAdPsgd), SmallOptions());
   EXPECT_EQ(result.strategy, "AD");
   // group_reduces counts completed pair averages.
   EXPECT_GT(result.group_reduces, 0u);
@@ -184,7 +192,7 @@ TEST(ThreadedRuntimeTest, PsHeteLearnsAndVersionsPerPush) {
   opt.iterations_per_worker = 60;
   opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.002};
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPsHete), opt);
+      RunPair(Strat(StrategyKind::kPsHete), opt);
   EXPECT_EQ(result.strategy, "PS-HETE");
   // HETE is asynchronous: one version per push.
   EXPECT_EQ(result.versions, 4u * 60u);
@@ -197,25 +205,26 @@ TEST(ThreadedRuntimeTest, PsBackupDropsStaleGradients) {
   ThreadedRunOptions opt = SmallOptions();
   opt.iterations_per_worker = 20;
   opt.worker_delay_seconds = {0.0, 0.0, 0.0, 0.004};
-  ThreadedRunResult result = RunThreaded(strat, opt);
+  ThreadedRunResult result = RunPair(strat, opt);
   EXPECT_EQ(result.strategy, "PS-BK");
   EXPECT_GT(result.versions, 0u);
   // The straggler's gradients target superseded versions and are dropped.
-  EXPECT_GT(result.wasted_gradients(), 0u);
+  EXPECT_GT(result.metrics.counter("ps.wasted_gradients"), 0.0);
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
 TEST(ThreadedRuntimeTest, PsBspMatchesWrapperSemantics) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPsBsp), SmallOptions());
+      RunPair(Strat(StrategyKind::kPsBsp), SmallOptions());
   EXPECT_EQ(result.strategy, "PS-BSP");
   // BSP: one version per round, zero staleness everywhere.
   EXPECT_EQ(result.versions, 30u);
-  const std::vector<uint64_t> hist = result.staleness_histogram();
-  ASSERT_FALSE(hist.empty());
-  const uint64_t total =
-      std::accumulate(hist.begin(), hist.end(), uint64_t{0});
-  EXPECT_EQ(hist[0], total);
+  const HistogramSnapshot* hist =
+      result.metrics.histogram("ps.push_staleness");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_FALSE(hist->counts.empty());
+  EXPECT_GT(hist->total_count, 0u);
+  EXPECT_EQ(hist->counts[0], hist->total_count);
 }
 
 TEST(ThreadedRuntimeTest, EveryStrategyKindRunsOnThreads) {
@@ -231,7 +240,7 @@ TEST(ThreadedRuntimeTest, EveryStrategyKindRunsOnThreads) {
     ThreadedRunOptions opt = SmallOptions();
     opt.iterations_per_worker = 6;
     opt.worker_delay_seconds = {0.0, 0.0, 0.001, 0.002};
-    ThreadedRunResult result = RunThreaded(strat, opt);
+    ThreadedRunResult result = RunPair(strat, opt);
     EXPECT_EQ(result.strategy, StrategyKindName(kind));
     EXPECT_EQ(result.worker_iterations.size(), 4u);
     for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 6u);
@@ -250,7 +259,7 @@ TEST(ThreadedRuntimeTest, ElasticWorkerPausesAndRejoins) {
                                          /*after_iterations=*/5,
                                          /*pause_seconds=*/0.02});
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+      RunPair(Strat(StrategyKind::kPReduceConst), opt);
   for (size_t iters : result.worker_iterations) EXPECT_EQ(iters, 30u);
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.6);
@@ -263,7 +272,7 @@ TEST(ThreadedRuntimeTest, ConvNetTrainsOnThreads) {
   opt.model.kind = ThreadedModelSpec::Kind::kConvNet;
   opt.model.conv_filters = 8;  // dataset dim 16 -> 4x4 single-channel
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+      RunPair(Strat(StrategyKind::kPReduceConst), opt);
   EXPECT_GT(result.group_reduces, 0u);
   EXPECT_GT(result.final_accuracy, 0.5);
 }
@@ -274,7 +283,7 @@ TEST(ThreadedRuntimeTest, TimelineRecordsWorkerActivity) {
   opt.record_timeline = true;
   opt.worker_delay_seconds = {0.001, 0.001, 0.001, 0.002};
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+      RunPair(Strat(StrategyKind::kPReduceConst), opt);
   EXPECT_EQ(result.timeline.num_workers(), 4);
   EXPECT_FALSE(result.timeline.intervals().empty());
   for (int w = 0; w < 4; ++w) {
@@ -296,7 +305,7 @@ TEST(ThreadedRuntimeTest, TimelineRecordsWorkerActivity) {
 
 TEST(ThreadedRuntimeTest, ControllerMetricsMatchControllerStats) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+      RunPair(Strat(StrategyKind::kPReduceConst), SmallOptions());
   EXPECT_EQ(result.metrics.counter("controller.groups_formed"),
             static_cast<double>(result.controller_stats.groups_formed));
   EXPECT_EQ(result.metrics.counter("controller.signals_received"),
@@ -311,7 +320,7 @@ TEST(ThreadedRuntimeTest, ControllerMetricsMatchControllerStats) {
 
 TEST(ThreadedRuntimeTest, RunLevelMetricsPublished) {
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+      RunPair(Strat(StrategyKind::kPReduceConst), SmallOptions());
   EXPECT_GT(result.metrics.gauge("run.wall_seconds"), 0.0);
   EXPECT_EQ(result.metrics.counter("run.updates"),
             static_cast<double>(result.group_reduces));
@@ -322,7 +331,7 @@ TEST(ThreadedRuntimeTest, RunLevelMetricsPublished) {
     EXPECT_GE(idle, 0.0);
     EXPECT_LE(idle, 1.0);
   }
-  // Deprecated accessor mirrors the gauges.
+  // Convenience accessor mirrors the gauges.
   const std::vector<double> idle = result.worker_idle_fraction();
   ASSERT_EQ(idle.size(), 4u);
 }
@@ -332,7 +341,7 @@ TEST(ThreadedRuntimeTest, SimAndThreadedShareMetricNames) {
   // publish the controller, per-worker, and run-level families under
   // identical names, so a dashboard built on one works on the other.
   ThreadedRunResult threaded =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), SmallOptions());
+      RunPair(Strat(StrategyKind::kPReduceConst), SmallOptions());
 
   ExperimentConfig sim;
   sim.training.num_workers = 4;
@@ -371,7 +380,7 @@ TEST(ThreadedRuntimeTest, SimAndThreadedShareMetricNames) {
 TEST(ThreadedRuntimeTest, TraceDisabledByDefaultAndBoundedWhenOn) {
   ThreadedRunOptions opt = SmallOptions();
   ThreadedRunResult off =
-      RunThreaded(Strat(StrategyKind::kPReduceConst), opt);
+      RunPair(Strat(StrategyKind::kPReduceConst), opt);
   EXPECT_TRUE(off.trace.events.empty());
 
   RunConfig config;
@@ -390,7 +399,7 @@ TEST(ThreadedRuntimeTest, TimelineOffByDefault) {
   ThreadedRunOptions opt = SmallOptions();
   opt.iterations_per_worker = 5;
   ThreadedRunResult result =
-      RunThreaded(Strat(StrategyKind::kAllReduce), opt);
+      RunPair(Strat(StrategyKind::kAllReduce), opt);
   EXPECT_TRUE(result.timeline.intervals().empty());
 }
 

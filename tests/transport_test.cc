@@ -132,6 +132,146 @@ TEST(TransportTest, SendAfterShutdownFails) {
   EXPECT_EQ(a.Send(1, 0, 0, {}, {}).code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(TransportTest, RecvMatchingForTimesOutWithoutLosingStash) {
+  InProcTransport transport(2);
+  Endpoint a(&transport, 0), b(&transport, 1);
+  ASSERT_TRUE(a.Send(1, /*tag=*/1, /*kind=*/5, {}, {}).ok());
+  // Waiting for a message that never comes returns nullopt on deadline —
+  // and the fabric is still open, so the caller knows it was a timeout.
+  auto missing = b.RecvMatchingFor(0, /*tag=*/99, /*kind=*/5, 0.02);
+  EXPECT_FALSE(missing.has_value());
+  EXPECT_FALSE(b.closed());
+  // The non-matching arrival was parked, not dropped.
+  EXPECT_EQ(b.stash_size(), 1u);
+  auto parked = b.RecvMatching(0, 1, 5);
+  ASSERT_TRUE(parked.has_value());
+}
+
+TEST(TransportTest, TimedRecvDistinguishesShutdownFromTimeout) {
+  InProcTransport transport(1);
+  Endpoint ep(&transport, 0);
+  EXPECT_FALSE(ep.RecvAnyFor(0.01).has_value());
+  EXPECT_FALSE(ep.closed());  // timeout: fabric still up
+  transport.Shutdown();
+  EXPECT_FALSE(ep.RecvAnyFor(0.01).has_value());
+  EXPECT_TRUE(ep.closed());  // shutdown: unwind, don't retry
+}
+
+TEST(TransportTest, RecvWhereForMatchesOnPayloadFields) {
+  InProcTransport transport(2);
+  Endpoint a(&transport, 0), b(&transport, 1);
+  // Two chunks from the same (from, tag, kind) conversation differing only
+  // in their step counter — the case plain RecvMatching cannot split.
+  ASSERT_TRUE(a.Send(1, /*tag=*/4, /*kind=*/101, {/*step=*/2, 0}, {}).ok());
+  ASSERT_TRUE(a.Send(1, /*tag=*/4, /*kind=*/101, {/*step=*/1, 0}, {}).ok());
+  auto step1 = b.RecvWhereFor(
+      [](const Envelope& env) {
+        return env.kind == 101 && !env.ints.empty() && env.ints[0] == 1;
+      },
+      1.0);
+  ASSERT_TRUE(step1.has_value());
+  EXPECT_EQ(step1->ints[0], 1);
+  // The step-2 chunk was parked for its turn.
+  EXPECT_EQ(b.stash_size(), 1u);
+}
+
+TEST(TransportTest, TryTakeStashedLiftsParkedControlMessages) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  // An out-of-band abort (kind 10) parks while c waits on a data chunk.
+  ASSERT_TRUE(b.Send(2, /*tag=*/8, /*kind=*/10, {}, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/8, /*kind=*/101, {}, {}).ok());
+  ASSERT_TRUE(c.RecvMatching(0, 8, 101).has_value());
+  EXPECT_EQ(c.stash_size(), 1u);
+  // Nothing matching: stash untouched.
+  EXPECT_FALSE(
+      c.TryTakeStashed([](const Envelope& env) { return env.kind == 99; })
+          .has_value());
+  EXPECT_EQ(c.stash_size(), 1u);
+  auto abort_msg =
+      c.TryTakeStashed([](const Envelope& env) { return env.kind == 10; });
+  ASSERT_TRUE(abort_msg.has_value());
+  EXPECT_EQ(abort_msg->from, 1);
+  EXPECT_EQ(c.stash_size(), 0u);
+}
+
+TEST(TransportTest, PurgeStashDropsOnlyMatchingMessages) {
+  InProcTransport transport(2);
+  Endpoint a(&transport, 0), b(&transport, 1);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(a.Send(1, /*tag=*/7, /*kind=*/101, {i}, {}).ok());
+  }
+  ASSERT_TRUE(a.Send(1, /*tag=*/3, /*kind=*/1, {}, {}).ok());
+  // Park everything behind a selective receive for the tag-3 message.
+  ASSERT_TRUE(b.RecvMatching(0, 3, 1).has_value());
+  EXPECT_EQ(b.stash_size(), 4u);
+  // Abort conversation 7: its chunks must not rot in the stash.
+  size_t purged =
+      b.PurgeStash([](const Envelope& env) { return env.tag == 7; });
+  EXPECT_EQ(purged, 4u);
+  EXPECT_EQ(b.stash_size(), 0u);
+}
+
+TEST(TransportTest, StashGrowsWhenPeerExitsMidConversation) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  // a starts a conversation with c, then "exits" without finishing it; b's
+  // messages are what c actually wants next.
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {0}, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {1}, {}).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.Send(2, /*tag=*/2, /*kind=*/101, {i}, {}).ok());
+    auto env = c.RecvMatchingFor(1, 2, 101, 1.0);
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->ints[0], i);
+  }
+  // The dead conversation's chunks accumulated: visible in both the live
+  // size and the high-water mark, which is the leak signal operators watch.
+  EXPECT_EQ(c.stash_size(), 2u);
+  EXPECT_GE(c.stash_high_water(), 2u);
+  EXPECT_EQ(c.PurgeStash([](const Envelope& env) { return env.tag == 1; }),
+            2u);
+  EXPECT_EQ(c.stash_size(), 0u);
+  EXPECT_GE(c.stash_high_water(), 2u);  // high water never decreases
+}
+
+TEST(TransportTest, EndpointSendAfterShutdownFailsPrecondition) {
+  InProcTransport transport(2);
+  Endpoint a(&transport, 0), b(&transport, 1);
+  ASSERT_TRUE(a.Send(1, 0, 1, {}, {}).ok());
+  transport.Shutdown();
+  EXPECT_EQ(a.Send(1, 0, 2, {}, {}).code(),
+            StatusCode::kFailedPrecondition);
+  // Messages sent before shutdown still drain.
+  auto env = b.RecvAny();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->kind, 1);
+  // Once drained, receives report closure instead of blocking.
+  EXPECT_FALSE(b.RecvAny().has_value());
+  EXPECT_TRUE(b.closed());
+}
+
+TEST(TransportTest, StashReplayInterleavesWithMailboxOnRecvAny) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {10}, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {11}, {}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/9, /*kind=*/1, {}, {}).ok());
+  // Park a's two chunks behind a selective receive for b's message.
+  ASSERT_TRUE(c.RecvMatching(1, 9, 1).has_value());
+  ASSERT_EQ(c.stash_size(), 2u);
+  // New mailbox arrivals queue *behind* the stash: RecvAny replays parked
+  // messages first (oldest-first), then reads fresh ones.
+  ASSERT_TRUE(b.Send(2, /*tag=*/9, /*kind=*/2, {}, {}).ok());
+  auto first = c.RecvAny();
+  auto second = c.RecvAny();
+  auto third = c.RecvAny();
+  ASSERT_TRUE(first.has_value() && second.has_value() && third.has_value());
+  EXPECT_EQ(first->ints[0], 10);
+  EXPECT_EQ(second->ints[0], 11);
+  EXPECT_EQ(third->kind, 2);
+}
+
 TEST(TransportTest, CrossThreadDelivery) {
   InProcTransport transport(2);
   std::thread sender([&] {
