@@ -1,0 +1,194 @@
+// Collective data-plane bench: times the leader tree, the classic
+// (copy-per-hop) ring, and the segmented pipelined ring over the in-process
+// transport at several payload sizes, and reports the transport counters
+// (bytes moved, payload materializations) alongside wall time. Emits
+// BENCH_collectives.json; the headline number is the segmented ring's
+// speedup over the classic ring at the largest size, which the CI smoke
+// check asserts on.
+//
+// Flags: --out <path> (default BENCH_collectives.json)
+//        --members <n> (default 8), --reps <n> (default 5)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "common/rng.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "train/report.h"
+
+namespace {
+
+struct AlgoResult {
+  std::string algo;
+  double seconds = 0.0;         // best-of-reps wall time for one all-reduce
+  double bytes_sent = 0.0;      // per all-reduce, summed over members
+  double payload_copies = 0.0;  // per all-reduce, summed over members
+};
+
+using MemberFn = std::function<pr::Status(pr::Endpoint*, size_t, float*)>;
+
+/// Runs `reps` all-reduces of `n` floats across `p` member threads and
+/// returns the best per-rep wall time plus per-rep transport counters.
+AlgoResult RunAlgo(const std::string& name, size_t p, size_t n, int reps,
+                   const MemberFn& fn) {
+  std::vector<pr::NodeId> members;
+  for (size_t i = 0; i < p; ++i) members.push_back(static_cast<int>(i));
+
+  pr::Rng rng(17);
+  std::vector<std::vector<float>> base(p, std::vector<float>(n));
+  for (auto& v : base) {
+    for (auto& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+
+  AlgoResult result;
+  result.algo = name;
+  result.seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto data = base;
+    pr::InProcTransport transport(static_cast<int>(p));
+    pr::MetricsRegistry registry;
+    pr::MetricsShard* metrics = registry.NewShard();
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < p; ++i) {
+      threads.emplace_back([&, i] {
+        pr::Endpoint ep(&transport, members[i]);
+        ep.AttachObservers(metrics, "", nullptr, nullptr);
+        pr::Status status = fn(&ep, i, data[i].data());
+        if (!status.ok()) {
+          std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                       status.message().c_str());
+          std::abort();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+    result.seconds = std::min(result.seconds, secs);
+    result.bytes_sent = metrics->GetCounter("transport.bytes_sent")->value();
+    result.payload_copies =
+        metrics->GetCounter("transport.payload_copies")->value();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_collectives.json";
+  size_t members = 8;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--members") == 0 && i + 1 < argc) {
+      members = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--out path] [--members n] [--reps n]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (members < 2 || reps < 1) {
+    std::fprintf(stderr, "need --members >= 2 and --reps >= 1\n");
+    return 2;
+  }
+
+  const std::vector<pr::NodeId> ids = [&] {
+    std::vector<pr::NodeId> v;
+    for (size_t i = 0; i < members; ++i) v.push_back(static_cast<int>(i));
+    return v;
+  }();
+  const std::vector<double> weights(members, 1.0 / static_cast<double>(members));
+
+  const size_t sizes[] = {size_t{1} << 14, size_t{1} << 17, size_t{1} << 20,
+                          size_t{1} << 22};
+
+  pr::TablePrinter table({"floats", "algo", "best (ms)", "MB sent",
+                          "payload copies", "vs classic ring"});
+  pr::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("collectives");
+  json.Key("members").UInt(members);
+  json.Key("reps").Int(reps);
+  json.Key("sizes").BeginArray();
+
+  double headline_speedup = 0.0;  // segmented vs classic ring at max size
+  for (size_t n : sizes) {
+    const MemberFn leader = [&](pr::Endpoint* ep, size_t i, float* data) {
+      std::vector<float> v(data, data + n);
+      pr::Status s =
+          pr::LeaderWeightedAllReduce(ep, ids, weights, i, /*tag=*/1, &v);
+      std::copy(v.begin(), v.end(), data);
+      return s;
+    };
+    const MemberFn ring = [&](pr::Endpoint* ep, size_t i, float* data) {
+      std::vector<float> v(data, data + n);
+      pr::Status s =
+          pr::RingWeightedAllReduce(ep, ids, weights, i, /*tag=*/1, &v);
+      std::copy(v.begin(), v.end(), data);
+      return s;
+    };
+    const MemberFn segmented = [&](pr::Endpoint* ep, size_t i, float* data) {
+      return pr::SegmentedRingWeightedAllReduce(ep, ids, weights, i,
+                                                /*tag=*/1, data, n);
+    };
+
+    std::vector<AlgoResult> results;
+    results.push_back(RunAlgo("leader", members, n, reps, leader));
+    results.push_back(RunAlgo("ring", members, n, reps, ring));
+    results.push_back(RunAlgo("segmented_ring", members, n, reps, segmented));
+    const double ring_seconds = results[1].seconds;
+
+    json.BeginObject();
+    json.Key("floats").UInt(n);
+    json.Key("algos").BeginArray();
+    for (const AlgoResult& r : results) {
+      const double speedup =
+          r.seconds > 0.0 ? ring_seconds / r.seconds : 0.0;
+      json.BeginObject();
+      json.Key("algo").String(r.algo);
+      json.Key("best_seconds").Number(r.seconds);
+      json.Key("bytes_sent").Number(r.bytes_sent);
+      json.Key("payload_copies").Number(r.payload_copies);
+      json.Key("speedup_vs_ring").Number(speedup);
+      json.EndObject();
+      if (r.algo == "segmented_ring" && n == sizes[3]) {
+        headline_speedup = speedup;
+      }
+      table.AddRow({std::to_string(n), r.algo,
+                    pr::FormatDouble(r.seconds * 1e3, 3),
+                    pr::FormatDouble(r.bytes_sent / (1024.0 * 1024.0), 2),
+                    pr::FormatDouble(r.payload_copies, 0),
+                    pr::FormatDouble(speedup, 2) + "x"});
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("segmented_speedup_at_max_size").Number(headline_speedup);
+  json.EndObject();
+
+  table.Print();
+  std::printf("\nsegmented vs classic ring at %zu floats: %.2fx\n", sizes[3],
+              headline_speedup);
+  if (!pr::WriteTextFile(out_path, json.str())) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), json.str().size());
+  return 0;
+}

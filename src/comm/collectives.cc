@@ -16,6 +16,8 @@ constexpr int kKindBroadcast = 104;
 constexpr int kKindAgChunk = 105;
 constexpr int kKindGather = 106;
 constexpr int kKindBarrier = 107;
+constexpr int kKindSegRsChunk = 108;
+constexpr int kKindSegAgChunk = 109;
 
 Status ValidateGroup(const std::vector<NodeId>& members, size_t my_index) {
   if (members.empty()) {
@@ -45,6 +47,21 @@ std::pair<size_t, size_t> ChunkBounds(size_t n, size_t p, size_t chunk) {
   return {begin, begin + len};
 }
 
+/// Segments per chunk. An empty chunk still circulates one empty segment so
+/// every (step, chunk) transfer has a uniform message schedule.
+size_t NumSegments(size_t chunk_len, size_t segment_floats) {
+  if (chunk_len == 0) return 1;
+  return (chunk_len + segment_floats - 1) / segment_floats;
+}
+
+/// Bounds of segment `j` within chunk [chunk_begin, chunk_end).
+std::pair<size_t, size_t> SegmentBounds(size_t chunk_begin, size_t chunk_end,
+                                        size_t segment_floats, size_t j) {
+  const size_t b = std::min(chunk_begin + j * segment_floats, chunk_end);
+  const size_t e = std::min(b + segment_floats, chunk_end);
+  return {b, e};
+}
+
 }  // namespace
 
 Status LeaderWeightedAllReduce(Endpoint* ep,
@@ -72,17 +89,19 @@ Status LeaderWeightedAllReduce(Endpoint* ep,
       if (!env.has_value()) {
         return Status::Cancelled("transport shut down during all-reduce");
       }
-      if (env->floats.size() != data->size()) {
+      if (env->payload.size() != data->size()) {
         return Status::InvalidArgument(
             "all-reduce: member vector length mismatch");
       }
-      Axpy(static_cast<float>(weights[j]), env->floats.data(), acc.data(),
+      Axpy(static_cast<float>(weights[j]), env->payload.data(), acc.data(),
            acc.size());
     }
-    *data = acc;
+    *data = std::move(acc);
+    // One materialization, P-1 shared handles.
+    Buffer result = ep->MakePayload(data->data(), data->size());
     for (size_t j = 1; j < p; ++j) {
       PR_RETURN_NOT_OK(
-          ep->Send(members[j], tag, kKindLeaderResult, {}, *data));
+          ep->Send(members[j], tag, kKindLeaderResult, {}, result));
     }
     return Status::OK();
   }
@@ -92,7 +111,7 @@ Status LeaderWeightedAllReduce(Endpoint* ep,
   if (!env.has_value()) {
     return Status::Cancelled("transport shut down during all-reduce");
   }
-  *data = std::move(env->floats);
+  *data = env->payload.Take();
   return Status::OK();
 }
 
@@ -133,8 +152,8 @@ Status RingReduceScatter(Endpoint* ep, const std::vector<NodeId>& members,
     PR_CHECK_EQ(env->ints[0], static_cast<int64_t>(step));
     PR_CHECK_EQ(env->ints[1], static_cast<int64_t>(recv_chunk));
     auto [rb, re] = ChunkBounds(n, p, recv_chunk);
-    PR_CHECK_EQ(env->floats.size(), re - rb);
-    Axpy(1.0f, env->floats.data(), buf + rb, re - rb);
+    PR_CHECK_EQ(env->payload.size(), re - rb);
+    Axpy(1.0f, env->payload.data(), buf + rb, re - rb);
   }
   return Status::OK();
 }
@@ -169,8 +188,8 @@ Status RingAllGather(Endpoint* ep, const std::vector<NodeId>& members,
     PR_CHECK_EQ(env->ints[0], static_cast<int64_t>(step));
     PR_CHECK_EQ(env->ints[1], static_cast<int64_t>(recv_chunk));
     auto [rb, re] = ChunkBounds(n, p, recv_chunk);
-    PR_CHECK_EQ(env->floats.size(), re - rb);
-    std::copy(env->floats.begin(), env->floats.end(), buf + rb);
+    PR_CHECK_EQ(env->payload.size(), re - rb);
+    std::copy(env->payload.begin(), env->payload.end(), buf + rb);
   }
   return Status::OK();
 }
@@ -192,6 +211,153 @@ Status RingWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
   return RingAllGather(ep, members, my_index, tag, data);
 }
 
+Status SegmentedRingWeightedAllReduce(Endpoint* ep,
+                                      const std::vector<NodeId>& members,
+                                      const std::vector<double>& weights,
+                                      size_t my_index, uint64_t tag,
+                                      float* data, size_t n,
+                                      size_t segment_floats) {
+  PR_CHECK(ep != nullptr);
+  PR_CHECK(data != nullptr || n == 0);
+  PR_CHECK_GE(segment_floats, size_t{1});
+  PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
+  PR_RETURN_NOT_OK(ValidateWeights(members, weights));
+  const size_t p = members.size();
+
+  Scale(static_cast<float>(weights[my_index]), data, n);
+  if (p == 1) return Status::OK();
+
+  const NodeId right = members[(my_index + 1) % p];
+  const NodeId left = members[(my_index + p - 1) % p];
+  const size_t owned = (my_index + 1) % p;
+
+  auto send_seg = [&](int kind, size_t step, size_t chunk, size_t j,
+                      Buffer b) -> Status {
+    return ep->Send(right, tag, kind,
+                    {static_cast<int64_t>(step), static_cast<int64_t>(chunk),
+                     static_cast<int64_t>(j)},
+                    std::move(b));
+  };
+  // Per-pair FIFO plus the deterministic (step, chunk, segment) schedule
+  // means the next left-neighbour message of this kind *is* the expected
+  // one; the PR_CHECKs assert the protocol rather than select.
+  auto recv_seg = [&](int kind, size_t step, size_t chunk, size_t j,
+                      size_t expect_len) -> std::optional<Buffer> {
+    std::optional<Envelope> env = ep->RecvMatching(left, tag, kind);
+    if (!env.has_value()) return std::nullopt;
+    PR_CHECK_EQ(env->ints[0], static_cast<int64_t>(step));
+    PR_CHECK_EQ(env->ints[1], static_cast<int64_t>(chunk));
+    PR_CHECK_EQ(env->ints[2], static_cast<int64_t>(j));
+    PR_CHECK_EQ(env->payload.size(), expect_len);
+    return std::move(env->payload);
+  };
+
+  // Reduce-scatter, buffer-forwarding form. The only payload
+  // materializations are the step-0 copies of this member's own chunk; every
+  // later hop accumulates into the received buffer in place (it is uniquely
+  // owned on arrival) and forwards the same handle.
+  {
+    auto [ob, oe] = ChunkBounds(n, p, my_index);
+    const size_t nseg = NumSegments(oe - ob, segment_floats);
+    for (size_t j = 0; j < nseg; ++j) {
+      auto [sb, se] = SegmentBounds(ob, oe, segment_floats, j);
+      PR_RETURN_NOT_OK(send_seg(kKindSegRsChunk, 0, my_index, j,
+                                ep->MakePayload(data + sb, se - sb)));
+    }
+  }
+  std::vector<Buffer> retained;  // Reduced owned-chunk segments, for the AG.
+  for (size_t step = 0; step + 1 < p; ++step) {
+    const size_t recv_chunk = (my_index + p - step - 1) % p;
+    auto [rb, re] = ChunkBounds(n, p, recv_chunk);
+    const size_t nseg = NumSegments(re - rb, segment_floats);
+    const bool final_hop = (step + 2 == p);
+    if (final_hop) retained.resize(nseg);
+    for (size_t j = 0; j < nseg; ++j) {
+      auto [sb, se] = SegmentBounds(rb, re, segment_floats, j);
+      std::optional<Buffer> got =
+          recv_seg(kKindSegRsChunk, step, recv_chunk, j, se - sb);
+      if (!got.has_value()) {
+        return Status::Cancelled("transport shut down during reduce-scatter");
+      }
+      Buffer b = std::move(*got);
+      if (se > sb) {
+        // partial += mine: same per-element additions as the classic ring's
+        // mine += partial (float addition commutes), so results are
+        // bitwise-identical.
+        Axpy(1.0f, data + sb, b.mutable_data(), se - sb);
+      }
+      if (!final_hop) {
+        PR_RETURN_NOT_OK(
+            send_seg(kKindSegRsChunk, step + 1, recv_chunk, j, std::move(b)));
+      } else {
+        // recv_chunk == owned here: the segment is fully reduced. Publish it
+        // into the caller's buffer and retain the handle so the all-gather's
+        // first hop re-circulates it without copying.
+        if (se > sb) std::copy(b.data(), b.data() + (se - sb), data + sb);
+        retained[j] = std::move(b);
+      }
+    }
+  }
+
+  // All-gather: zero payload materializations — the first hop sends the
+  // retained reduced buffers, later hops copy into place and forward.
+  {
+    auto [ob, oe] = ChunkBounds(n, p, owned);
+    const size_t nseg = NumSegments(oe - ob, segment_floats);
+    PR_CHECK_EQ(nseg, retained.size());
+    for (size_t j = 0; j < nseg; ++j) {
+      PR_RETURN_NOT_OK(
+          send_seg(kKindSegAgChunk, 0, owned, j, std::move(retained[j])));
+    }
+  }
+  for (size_t step = 0; step + 1 < p; ++step) {
+    const size_t recv_chunk = (my_index + p - step) % p;
+    auto [rb, re] = ChunkBounds(n, p, recv_chunk);
+    const size_t nseg = NumSegments(re - rb, segment_floats);
+    const bool final_hop = (step + 2 == p);
+    for (size_t j = 0; j < nseg; ++j) {
+      auto [sb, se] = SegmentBounds(rb, re, segment_floats, j);
+      std::optional<Buffer> got =
+          recv_seg(kKindSegAgChunk, step, recv_chunk, j, se - sb);
+      if (!got.has_value()) {
+        return Status::Cancelled("transport shut down during all-gather");
+      }
+      if (se > sb) std::copy(got->data(), got->data() + (se - sb), data + sb);
+      if (!final_hop) {
+        PR_RETURN_NOT_OK(
+            send_seg(kKindSegAgChunk, step + 1, recv_chunk, j,
+                     std::move(*got)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
+                              const std::vector<double>& weights,
+                              size_t my_index, uint64_t tag, float* data,
+                              size_t n) {
+  return SegmentedRingWeightedAllReduce(ep, members, weights, my_index, tag,
+                                        data, n, kDefaultSegmentFloats);
+}
+
+Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
+                              const std::vector<double>& weights,
+                              size_t my_index, uint64_t tag,
+                              std::vector<float>* data) {
+  PR_CHECK(data != nullptr);
+  return GroupWeightedAllReduce(ep, members, weights, my_index, tag,
+                                data->data(), data->size());
+}
+
+Status GroupAverageAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
+                             size_t my_index, uint64_t tag, float* data,
+                             size_t n) {
+  const std::vector<double> weights(members.size(),
+                                    1.0 / static_cast<double>(members.size()));
+  return GroupWeightedAllReduce(ep, members, weights, my_index, tag, data, n);
+}
+
 Status Broadcast(Endpoint* ep, const std::vector<NodeId>& members,
                  size_t my_index, size_t root_index, uint64_t tag,
                  std::vector<float>* data) {
@@ -202,9 +368,13 @@ Status Broadcast(Endpoint* ep, const std::vector<NodeId>& members,
     return Status::InvalidArgument("broadcast: bad member indices");
   }
   if (my_index == root_index) {
+    // One materialization shared by every receiver: payload copies per
+    // broadcast are O(1), not O(P).
+    Buffer payload = ep->MakePayload(data->data(), data->size());
     for (size_t j = 0; j < members.size(); ++j) {
       if (j == root_index) continue;
-      PR_RETURN_NOT_OK(ep->Send(members[j], tag, kKindBroadcast, {}, *data));
+      PR_RETURN_NOT_OK(
+          ep->Send(members[j], tag, kKindBroadcast, {}, payload));
     }
     return Status::OK();
   }
@@ -213,7 +383,7 @@ Status Broadcast(Endpoint* ep, const std::vector<NodeId>& members,
   if (!env.has_value()) {
     return Status::Cancelled("transport shut down during broadcast");
   }
-  *data = std::move(env->floats);
+  *data = env->payload.Take();
   return Status::OK();
 }
 
@@ -227,8 +397,7 @@ Status RingAverageAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
 
 Status Gather(Endpoint* ep, const std::vector<NodeId>& members,
               size_t my_index, size_t root_index, uint64_t tag,
-              const std::vector<float>& data,
-              std::vector<std::vector<float>>* gathered) {
+              const std::vector<float>& data, std::vector<Buffer>* gathered) {
   PR_CHECK(ep != nullptr);
   PR_CHECK(gathered != nullptr);
   PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
@@ -237,10 +406,11 @@ Status Gather(Endpoint* ep, const std::vector<NodeId>& members,
   }
   gathered->clear();
   if (my_index != root_index) {
-    return ep->Send(members[root_index], tag, kKindGather, {}, data);
+    return ep->Send(members[root_index], tag, kKindGather, {},
+                    ep->MakePayload(data.data(), data.size()));
   }
   gathered->resize(members.size());
-  (*gathered)[root_index] = data;
+  (*gathered)[root_index] = ep->MakePayload(data.data(), data.size());
   for (size_t j = 0; j < members.size(); ++j) {
     if (j == root_index) continue;
     std::optional<Envelope> env =
@@ -248,7 +418,7 @@ Status Gather(Endpoint* ep, const std::vector<NodeId>& members,
     if (!env.has_value()) {
       return Status::Cancelled("transport shut down during gather");
     }
-    (*gathered)[j] = std::move(env->floats);
+    (*gathered)[j] = std::move(env->payload);
   }
   return Status::OK();
 }
@@ -270,11 +440,11 @@ Status RingBarrier(Endpoint* ep, const std::vector<NodeId>& members,
       return Status::Cancelled("transport shut down during barrier");
     }
     PR_CHECK_EQ(env->ints[0], round);
-    return ep->Send(right, tag, kKindBarrier, {round}, {});
+    return ep->Send(right, tag, kKindBarrier, {round}, Buffer());
   };
   for (int64_t round = 0; round < 2; ++round) {
     if (my_index == 0) {
-      PR_RETURN_NOT_OK(ep->Send(right, tag, kKindBarrier, {round}, {}));
+      PR_RETURN_NOT_OK(ep->Send(right, tag, kKindBarrier, {round}, Buffer()));
       std::optional<Envelope> env =
           ep->RecvMatching(left, tag, kKindBarrier);
       if (!env.has_value()) {

@@ -35,11 +35,67 @@ Status LeaderWeightedAllReduce(Endpoint* ep,
 /// Patarasuk & Yuan) computing the weighted sum sum_j weights[j] * x_j.
 ///
 /// Each member pre-scales its vector by its own weight, then the ring runs a
-/// plain sum. 2(P-1) steps, each moving ~n/P floats per member.
+/// plain sum. 2(P-1) steps, each moving ~n/P floats per member. This is the
+/// unsegmented reference schedule: every hop materializes a fresh payload
+/// copy of the outgoing chunk.
 Status RingWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
                              const std::vector<double>& weights,
                              size_t my_index, uint64_t tag,
                              std::vector<float>* data);
+
+/// Segment granularity (in floats) for the pipelined ring: 32Ki floats =
+/// 128 KiB per message, small enough to overlap transfer of segment k with
+/// accumulation of segment k-1, large enough to amortize envelope overhead.
+inline constexpr size_t kDefaultSegmentFloats = size_t{1} << 15;
+
+/// \brief Segmented, pipelined ring weighted all-reduce with buffer
+/// forwarding.
+///
+/// Same schedule as RingWeightedAllReduce (pre-scale, reduce-scatter,
+/// all-gather) but each chunk is split into fixed-size segments that flow
+/// through the ring independently: the send of segment k overlaps the
+/// receive+accumulate of segment k-1. Payload handles are *forwarded*, not
+/// re-materialized — an intermediate hop accumulates its contribution into
+/// the received Buffer in place (it is uniquely owned on arrival) and sends
+/// the same handle on, so a full all-reduce performs one payload
+/// materialization per own-chunk segment instead of one per hop. The
+/// reduced owned-chunk buffers from the last reduce-scatter hop are retained
+/// and re-circulated as the all-gather's first hop, making it zero-copy.
+///
+/// Bitwise-identical to RingWeightedAllReduce for the same members/weights:
+/// the same additions happen in the same order per element (float addition
+/// is commutative), and segmentation only splits the element ranges.
+///
+/// `data` may be null only when n == 0. Every chunk circulates at least one
+/// (possibly empty) segment so the message schedule is uniform even when
+/// n < P or n == 0.
+Status SegmentedRingWeightedAllReduce(Endpoint* ep,
+                                      const std::vector<NodeId>& members,
+                                      const std::vector<double>& weights,
+                                      size_t my_index, uint64_t tag,
+                                      float* data, size_t n,
+                                      size_t segment_floats =
+                                          kDefaultSegmentFloats);
+
+/// \brief The single dispatch point strategies use for a group's weighted
+/// reduce. Currently always the segmented pipelined ring (bitwise-identical
+/// to the unsegmented reference, so dispatch is a pure performance choice).
+Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
+                              const std::vector<double>& weights,
+                              size_t my_index, uint64_t tag, float* data,
+                              size_t n);
+
+/// Compatibility overload over a whole vector.
+Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
+                              const std::vector<double>& weights,
+                              size_t my_index, uint64_t tag,
+                              std::vector<float>* data);
+
+/// \brief Uniform-average (weights = 1/P) dispatch, the All-Reduce
+/// strategy's entry point.
+Status GroupAverageAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
+                             size_t my_index, uint64_t tag, float* data,
+                             size_t n);
 
 /// \brief Broadcast from members[root_index] to the rest of `members`.
 /// On the root, `data` is the payload; on others it is overwritten.
@@ -71,12 +127,13 @@ Status RingAllGather(Endpoint* ep, const std::vector<NodeId>& members,
                      size_t my_index, uint64_t tag, std::vector<float>* data);
 
 /// \brief Gather: every member sends its vector to members[root_index];
-/// on the root, `gathered` receives P vectors in member order (empty
-/// elsewhere).
+/// on the root, `gathered` receives P shared payload handles in member
+/// order (empty elsewhere). The root adopts each arriving Buffer instead of
+/// materializing P full float-vector copies; callers needing a private
+/// vector use Buffer::Take() per entry.
 Status Gather(Endpoint* ep, const std::vector<NodeId>& members,
               size_t my_index, size_t root_index, uint64_t tag,
-              const std::vector<float>& data,
-              std::vector<std::vector<float>>* gathered);
+              const std::vector<float>& data, std::vector<Buffer>* gathered);
 
 /// \brief Barrier over `members`: returns once every member has entered.
 /// Implemented as a zero-payload ring circulation (2(P-1) messages).

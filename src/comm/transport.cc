@@ -64,6 +64,9 @@ void Endpoint::AttachObservers(MetricsShard* metrics, const std::string& scope,
   if (metrics != nullptr) {
     sent_counter_ = metrics->GetCounter("transport.messages_sent");
     received_counter_ = metrics->GetCounter("transport.messages_received");
+    bytes_sent_counter_ = metrics->GetCounter("transport.bytes_sent");
+    bytes_received_counter_ = metrics->GetCounter("transport.bytes_received");
+    payload_copies_counter_ = metrics->GetCounter("transport.payload_copies");
     stash_gauge_ = metrics->GetGauge("transport.stash_high_water");
     if (!scope.empty()) {
       scoped_stash_gauge_ = metrics->GetGauge(scope + ".stash_high_water");
@@ -83,21 +86,48 @@ void Endpoint::NoteStashed() {
   }
 }
 
-void Endpoint::NoteReceived() {
+void Endpoint::NoteReceived(const Envelope& env) {
   if (received_counter_ != nullptr) received_counter_->Increment();
+  if (bytes_received_counter_ != nullptr && !env.payload.empty()) {
+    bytes_received_counter_->Increment(
+        static_cast<double>(env.payload.size() * sizeof(float)));
+  }
 }
 
 Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
-                      std::vector<int64_t> ints, std::vector<float> floats) {
+                      std::vector<int64_t> ints, Buffer payload) {
+  const size_t payload_floats = payload.size();
   Envelope env;
   env.from = me_;
   env.tag = tag;
   env.kind = kind;
   env.ints = std::move(ints);
-  env.floats = std::move(floats);
+  env.payload = std::move(payload);
   Status status = transport_->Send(to, std::move(env));
-  if (status.ok() && sent_counter_ != nullptr) sent_counter_->Increment();
+  if (status.ok()) {
+    if (sent_counter_ != nullptr) sent_counter_->Increment();
+    if (bytes_sent_counter_ != nullptr && payload_floats > 0) {
+      bytes_sent_counter_->Increment(
+          static_cast<double>(payload_floats * sizeof(float)));
+    }
+  }
   return status;
+}
+
+Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
+                      std::vector<int64_t> ints, std::vector<float> floats) {
+  if (payload_copies_counter_ != nullptr && !floats.empty()) {
+    payload_copies_counter_->Increment();
+  }
+  return Send(to, tag, kind, std::move(ints),
+              Buffer::FromVector(std::move(floats)));
+}
+
+Buffer Endpoint::MakePayload(const float* data, size_t n) {
+  if (payload_copies_counter_ != nullptr && n > 0) {
+    payload_copies_counter_->Increment();
+  }
+  return Buffer::CopyOf(data, n);
 }
 
 std::optional<Envelope> Endpoint::RecvWhere(
@@ -106,7 +136,7 @@ std::optional<Envelope> Endpoint::RecvWhere(
     if (match(*it)) {
       Envelope env = std::move(*it);
       stash_.erase(it);
-      NoteReceived();
+      NoteReceived(env);
       return env;
     }
   }
@@ -136,7 +166,7 @@ std::optional<Envelope> Endpoint::RecvWhere(
       if (!env.has_value()) return std::nullopt;
     }
     if (match(*env)) {
-      NoteReceived();
+      NoteReceived(*env);
       return env;
     }
     stash_.push_back(std::move(*env));
@@ -175,11 +205,11 @@ std::optional<Envelope> Endpoint::RecvAny() {
   if (!stash_.empty()) {
     Envelope env = std::move(stash_.front());
     stash_.pop_front();
-    NoteReceived();
+    NoteReceived(env);
     return env;
   }
   std::optional<Envelope> env = transport_->Recv(me_);
-  if (env.has_value()) NoteReceived();
+  if (env.has_value()) NoteReceived(*env);
   return env;
 }
 
@@ -187,11 +217,11 @@ std::optional<Envelope> Endpoint::RecvAnyFor(double timeout_seconds) {
   if (!stash_.empty()) {
     Envelope env = std::move(stash_.front());
     stash_.pop_front();
-    NoteReceived();
+    NoteReceived(env);
     return env;
   }
   std::optional<Envelope> env = transport_->RecvFor(me_, timeout_seconds);
-  if (env.has_value()) NoteReceived();
+  if (env.has_value()) NoteReceived(*env);
   return env;
 }
 
@@ -206,7 +236,7 @@ std::optional<Envelope> Endpoint::TryTakeStashed(
     if (match(*it)) {
       Envelope env = std::move(*it);
       stash_.erase(it);
-      NoteReceived();
+      NoteReceived(env);
       return env;
     }
   }

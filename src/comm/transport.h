@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/buffer.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,15 +25,18 @@ using NodeId = int;
 ///
 /// `tag` disambiguates concurrent conversations (e.g. two parallel partial
 /// reduce groups, or the steps of a ring all-reduce); `kind` is a small
-/// application-defined discriminator; `floats` carries tensor payloads and
-/// `ints` carries control fields. This flat structure keeps the transport
-/// free of knowledge about upper layers.
+/// application-defined discriminator; `payload` carries tensor data as a
+/// shared, immutable-while-shared Buffer handle and `ints` carries control
+/// fields. Copying an Envelope (a broadcast fan-out, a FaultyTransport
+/// duplication, a delay-queue entry) bumps the payload's refcount instead of
+/// cloning the floats. This flat structure keeps the transport free of
+/// knowledge about upper layers.
 struct Envelope {
   NodeId from = -1;
   uint64_t tag = 0;
   int kind = 0;
   std::vector<int64_t> ints;
-  std::vector<float> floats;
+  Buffer payload;
 };
 
 /// \brief The message fabric seen by endpoints, collectives, and both
@@ -117,18 +121,39 @@ class Endpoint {
 
   /// Attaches observability sinks (all optional; pass null to skip).
   ///
-  /// `metrics` receives `transport.messages_sent` / `transport.messages_received`
-  /// counters and the `transport.stash_high_water` gauge; when `scope` is
-  /// non-empty, a per-endpoint `<scope>.stash_high_water` gauge is published
-  /// too (e.g. scope "worker.3"). `trace` gets a kStashHighWater event
-  /// stamped with `now()` each time the stash grows to a new maximum.
-  /// Call before the endpoint's thread starts receiving.
+  /// `metrics` receives the `transport.messages_sent` /
+  /// `transport.messages_received` / `transport.bytes_sent` /
+  /// `transport.bytes_received` / `transport.payload_copies` counters and
+  /// the `transport.stash_high_water` gauge; when `scope` is non-empty, a
+  /// per-endpoint `<scope>.stash_high_water` gauge is published too (e.g.
+  /// scope "worker.3"). `trace` gets a kStashHighWater event stamped with
+  /// `now()` each time the stash grows to a new maximum. Call before the
+  /// endpoint's thread starts receiving.
   void AttachObservers(MetricsShard* metrics, const std::string& scope,
                        TraceRecorder* trace, std::function<double()> now);
 
-  /// Sends a message to `to`.
+  /// Sends a message carrying a shared payload handle. This is the zero-copy
+  /// path: the buffer's refcount is bumped, nothing is cloned, and
+  /// `transport.payload_copies` does not move.
+  Status Send(NodeId to, uint64_t tag, int kind, std::vector<int64_t> ints,
+              Buffer payload);
+
+  /// Convenience overload adopting a float vector as the payload (a move,
+  /// not a memcpy). Counted as one payload materialization: callers on this
+  /// path built a fresh vector for the send, which is exactly the cost the
+  /// `transport.payload_copies` counter makes visible.
   Status Send(NodeId to, uint64_t tag, int kind, std::vector<int64_t> ints,
               std::vector<float> floats);
+
+  /// Payload-free control message.
+  Status Send(NodeId to, uint64_t tag, int kind, std::vector<int64_t> ints) {
+    return Send(to, tag, kind, std::move(ints), Buffer());
+  }
+
+  /// Copies `n` floats into a fresh Buffer and counts the materialization.
+  /// The broadcast pattern is one MakePayload + P shared-handle Sends, so
+  /// `transport.payload_copies` per broadcast is O(1) instead of O(P).
+  Buffer MakePayload(const float* data, size_t n);
 
   /// Blocks until a message with matching (from, tag, kind) arrives,
   /// stashing anything else. Returns nullopt if the transport shuts down
@@ -198,7 +223,7 @@ class Endpoint {
       double timeout_seconds = -1.0);
 
   void NoteStashed();
-  void NoteReceived();
+  void NoteReceived(const Envelope& env);
 
   Transport* transport_;
   NodeId me_;
@@ -210,6 +235,9 @@ class Endpoint {
   // Observability sinks (null unless AttachObservers was called).
   Counter* sent_counter_ = nullptr;
   Counter* received_counter_ = nullptr;
+  Counter* bytes_sent_counter_ = nullptr;
+  Counter* bytes_received_counter_ = nullptr;
+  Counter* payload_copies_counter_ = nullptr;
   Gauge* stash_gauge_ = nullptr;
   Gauge* scoped_stash_gauge_ = nullptr;
   TraceRecorder* trace_ = nullptr;

@@ -1,0 +1,55 @@
+#include "common/buffer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pr {
+
+Buffer Buffer::FromVector(std::vector<float> v) {
+  if (v.empty()) return Buffer();
+  return Buffer(std::make_shared<std::vector<float>>(std::move(v)));
+}
+
+Buffer Buffer::CopyOf(const float* data, size_t n) {
+  if (n == 0) return Buffer();
+  PR_CHECK(data != nullptr);
+  return Buffer(std::make_shared<std::vector<float>>(data, data + n));
+}
+
+Buffer Buffer::Zeros(size_t n) {
+  if (n == 0) return Buffer();
+  return Buffer(std::make_shared<std::vector<float>>(n, 0.0f));
+}
+
+float* Buffer::mutable_data() {
+  if (!block_) return nullptr;
+  // use_count() == 1 is decisive: no other handle exists that a concurrent
+  // thread could still copy from, so in-place mutation is private. A stale
+  // reading of > 1 (another thread releasing concurrently) merely costs an
+  // extra clone, never correctness.
+  if (block_.use_count() > 1) {
+    block_ = std::make_shared<std::vector<float>>(*block_);
+  }
+  return block_->data();
+}
+
+std::vector<float> Buffer::Take() {
+  if (!block_) return {};
+  std::vector<float> out;
+  if (block_.use_count() == 1) {
+    out = std::move(*block_);
+  } else {
+    out = *block_;
+  }
+  block_.reset();
+  return out;
+}
+
+void MutableSlice::CopyFrom(const float* src, size_t n) const {
+  PR_CHECK_EQ(n, size_);
+  if (n == 0) return;
+  PR_CHECK(src != nullptr);
+  std::copy(src, src + n, data_);
+}
+
+}  // namespace pr

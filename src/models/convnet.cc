@@ -39,6 +39,15 @@ std::string ConvNet::Name() const {
   return out.str();
 }
 
+std::vector<LayerExtent> ConvNet::LayerLayout() const {
+  return {
+      {"conv_w", conv_w_off_, conv_b_off_ - conv_w_off_},
+      {"conv_b", conv_b_off_, dense_w_off_ - conv_b_off_},
+      {"dense_w", dense_w_off_, dense_b_off_ - dense_w_off_},
+      {"dense_b", dense_b_off_, num_params_ - dense_b_off_},
+  };
+}
+
 void ConvNet::InitParams(std::vector<float>* params, Rng* rng) const {
   PR_CHECK(params != nullptr);
   PR_CHECK(rng != nullptr);
@@ -97,14 +106,12 @@ void ConvNet::Forward(const float* params, const Tensor& x, Tensor* features,
     }
   }
 
-  // Dense head over the flattened feature maps.
-  Tensor dense_w = Tensor::FromMatrix(
-      feat_dim, static_cast<size_t>(num_classes_),
-      std::vector<float>(params + dense_w_off_, params + dense_b_off_));
-  Tensor dense_b = Tensor::FromVector(std::vector<float>(
-      params + dense_b_off_, params + num_params_));
-  MatMul(*features, dense_w, logits);
-  AddBiasRows(dense_b, logits);
+  // Dense head over the flattened feature maps, reading W and b straight
+  // from the flat parameter span.
+  MatMulSpan(*features, params + dense_w_off_, feat_dim,
+             static_cast<size_t>(num_classes_), logits);
+  AddBiasRowsSpan(params + dense_b_off_, static_cast<size_t>(num_classes_),
+                  logits);
 }
 
 float ConvNet::LossAndGradient(const float* params, const Tensor& x,
@@ -138,11 +145,9 @@ float ConvNet::LossAndGradient(const float* params, const Tensor& x,
   }
 
   // Back through the dense layer into the feature maps, masked by ReLU.
-  Tensor dense_w = Tensor::FromMatrix(
-      feat_dim, static_cast<size_t>(num_classes_),
-      std::vector<float>(params + dense_w_off_, params + dense_b_off_));
   Tensor dfeat;
-  MatMulTransB(dlogits, dense_w, &dfeat);
+  MatMulTransBSpan(dlogits, params + dense_w_off_, /*n=*/feat_dim,
+                   /*k=*/static_cast<size_t>(num_classes_), &dfeat);
   ReluBackward(features, &dfeat);
 
   // Conv gradients.

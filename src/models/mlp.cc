@@ -7,22 +7,6 @@
 #include "tensor/ops.h"
 
 namespace pr {
-namespace {
-
-/// Wraps a const parameter span as a [rows, cols] matrix tensor (copy).
-/// Dense layers are small here, so copying keeps ops.h simple; a zero-copy
-/// view type would be the next optimization if profiles demanded it.
-Tensor AsMatrix(const float* p, size_t rows, size_t cols) {
-  std::vector<float> v(p, p + rows * cols);
-  return Tensor::FromMatrix(rows, cols, std::move(v));
-}
-
-Tensor AsVector(const float* p, size_t n) {
-  std::vector<float> v(p, p + n);
-  return Tensor::FromVector(std::move(v));
-}
-
-}  // namespace
 
 Mlp::Mlp(size_t input_dim, std::vector<size_t> hidden, int num_classes)
     : input_dim_(input_dim), num_classes_(num_classes) {
@@ -61,6 +45,17 @@ std::string Mlp::Name() const {
   return out.str();
 }
 
+std::vector<LayerExtent> Mlp::LayerLayout() const {
+  std::vector<LayerExtent> extents;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerOffsets& lo = layers_[l];
+    const std::string idx = std::to_string(l);
+    extents.push_back({"W_" + idx, lo.w, lo.in * lo.out});
+    extents.push_back({"b_" + idx, lo.b, lo.out});
+  }
+  return extents;
+}
+
 void Mlp::InitParams(std::vector<float>* params, Rng* rng) const {
   PR_CHECK(params != nullptr);
   PR_CHECK(rng != nullptr);
@@ -82,10 +77,10 @@ void Mlp::Forward(const float* params, const Tensor& x,
   const Tensor* input = &x;
   for (size_t l = 0; l < layers_.size(); ++l) {
     const LayerOffsets& lo = layers_[l];
-    Tensor w = AsMatrix(params + lo.w, lo.in, lo.out);
-    Tensor b = AsVector(params + lo.b, lo.out);
-    MatMul(*input, w, &(*acts)[l]);
-    AddBiasRows(b, &(*acts)[l]);
+    // Weights are read straight out of the flat parameter span — no Tensor
+    // copies of W or b on the hot path.
+    MatMulSpan(*input, params + lo.w, lo.in, lo.out, &(*acts)[l]);
+    AddBiasRowsSpan(params + lo.b, lo.out, &(*acts)[l]);
     if (l + 1 < layers_.size()) ReluForward(&(*acts)[l]);
     input = &(*acts)[l];
   }
@@ -121,9 +116,9 @@ float Mlp::LossAndGradient(const float* params, const Tensor& x,
 
     if (l > 0) {
       // delta_prev = delta * W^T, masked by ReLU'(acts[l-1]).
-      Tensor w = AsMatrix(params + lo.w, lo.in, lo.out);
       Tensor prev_delta;
-      MatMulTransB(delta, w, &prev_delta);
+      MatMulTransBSpan(delta, params + lo.w, /*n=*/lo.in, /*k=*/lo.out,
+                       &prev_delta);
       ReluBackward(acts[l - 1], &prev_delta);
       delta = std::move(prev_delta);
     }

@@ -24,6 +24,7 @@ class Mlp : public Model {
 
   size_t NumParams() const override { return num_params_; }
   std::string Name() const override;
+  std::vector<LayerExtent> LayerLayout() const override;
   void InitParams(std::vector<float>* params, Rng* rng) const override;
   float LossAndGradient(const float* params, const Tensor& x,
                         const std::vector<int>& y,

@@ -23,12 +23,30 @@ namespace pr {
 ///
 /// Implementations are thread-safe for concurrent calls with distinct
 /// parameter/gradient buffers.
+/// \brief One named contiguous region of a model's flat parameter vector.
+///
+/// Offsets are in floats from the start of the flat vector; extents tile the
+/// vector exactly: sorted by offset, non-overlapping, summing to NumParams().
+struct LayerExtent {
+  std::string name;  ///< e.g. "W_0", "b_0", "conv_w"
+  size_t offset;     ///< start index into the flat parameter vector
+  size_t size;       ///< number of floats
+};
+
 class Model {
  public:
   virtual ~Model() = default;
 
   /// Total number of trainable parameters.
   virtual size_t NumParams() const = 0;
+
+  /// Describes the flat vector as named per-layer extents. The default is a
+  /// single extent covering everything; architectures override it so arena
+  /// stores and diagnostics can address individual layers without knowing
+  /// the architecture's internals.
+  virtual std::vector<LayerExtent> LayerLayout() const {
+    return {{"params", 0, NumParams()}};
+  }
 
   /// Human-readable architecture name ("mlp-64x32", ...).
   virtual std::string Name() const = 0;

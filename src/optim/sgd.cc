@@ -14,21 +14,24 @@ Sgd::Sgd(size_t num_params, SgdOptions options)
   PR_CHECK_GE(options.weight_decay, 0.0);
 }
 
-void Sgd::Step(const float* grad, std::vector<float>* params,
-               double lr_scale) {
+void Sgd::Step(const float* grad, float* params, size_t n, double lr_scale) {
   PR_CHECK(grad != nullptr);
   PR_CHECK(params != nullptr);
-  PR_CHECK_EQ(params->size(), velocity_.size());
+  PR_CHECK_EQ(n, velocity_.size());
   const float mu = static_cast<float>(options_.momentum);
   const float wd = static_cast<float>(options_.weight_decay);
   const float step = static_cast<float>(options_.learning_rate * lr_scale);
-  float* p = params->data();
   float* v = velocity_.data();
-  const size_t n = velocity_.size();
   for (size_t i = 0; i < n; ++i) {
-    v[i] = mu * v[i] + grad[i] + wd * p[i];
-    p[i] -= step * v[i];
+    v[i] = mu * v[i] + grad[i] + wd * params[i];
+    params[i] -= step * v[i];
   }
+}
+
+void Sgd::Step(const float* grad, std::vector<float>* params,
+               double lr_scale) {
+  PR_CHECK(params != nullptr);
+  Step(grad, params->data(), params->size(), lr_scale);
 }
 
 void Sgd::ResetState() {

@@ -23,13 +23,18 @@ class Sgd {
  public:
   Sgd(size_t num_params, SgdOptions options);
 
-  /// Applies one update in place:
+  /// Applies one update in place over `n` parameters (n must equal the
+  /// velocity length):
   ///   v   <- momentum * v + (grad + weight_decay * params)
   ///   params <- params - lr_scale * lr * v
   ///
   /// `lr_scale` multiplies the base learning rate for this step only; the
   /// staleness-aware strategies (PS-HETE) pass a scale < 1 for stale
-  /// gradients.
+  /// gradients. The span form updates a replica directly in the runtime's
+  /// parameter arena.
+  void Step(const float* grad, float* params, size_t n, double lr_scale = 1.0);
+
+  /// Convenience overload over a whole vector.
   void Step(const float* grad, std::vector<float>* params,
             double lr_scale = 1.0);
 

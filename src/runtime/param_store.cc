@@ -1,0 +1,49 @@
+#include "runtime/param_store.h"
+
+#include <algorithm>
+#include <new>
+
+#include "common/check.h"
+
+namespace pr {
+
+namespace {
+constexpr size_t kAlignBytes = 64;
+constexpr size_t kStrideFloats = kAlignBytes / sizeof(float);
+}  // namespace
+
+void ParamStore::AlignedDelete::operator()(float* p) const {
+  ::operator delete[](p, std::align_val_t(kAlignBytes));
+}
+
+ParamStore::ParamStore(size_t num_replicas, size_t num_params)
+    : num_replicas_(num_replicas),
+      num_params_(num_params),
+      stride_((num_params + kStrideFloats - 1) / kStrideFloats *
+              kStrideFloats) {
+  PR_CHECK_GE(num_replicas, size_t{1});
+  const size_t total = std::max<size_t>(num_replicas_ * stride_, 1);
+  float* raw = static_cast<float*>(
+      ::operator new[](total * sizeof(float), std::align_val_t(kAlignBytes)));
+  std::fill(raw, raw + total, 0.0f);
+  arena_.reset(raw);
+}
+
+void ParamStore::InitAll(const std::vector<float>& init) {
+  PR_CHECK_EQ(init.size(), num_params_);
+  for (size_t r = 0; r < num_replicas_; ++r) {
+    replica(r).CopyFrom(init);
+  }
+}
+
+MutableSlice ParamStore::replica(size_t r) {
+  PR_CHECK_LT(r, num_replicas_);
+  return MutableSlice(arena_.get() + r * stride_, num_params_);
+}
+
+Slice ParamStore::replica(size_t r) const {
+  PR_CHECK_LT(r, num_replicas_);
+  return Slice(arena_.get() + r * stride_, num_params_);
+}
+
+}  // namespace pr

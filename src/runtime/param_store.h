@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace pr {
+
+/// \brief Arena-backed storage for every worker's model replica.
+///
+/// One 64-byte-aligned allocation holds all P replicas, each padded to a
+/// 16-float (one cache line) stride so neighbouring replicas never share a
+/// line — worker threads update their own replica without false sharing.
+/// Workers, Model, and Sgd see a replica as a MutableSlice (or per-layer
+/// sub-slices via Model::LayerLayout()), so the old per-worker
+/// std::vector<float> flatten/unflatten copies disappear: gradients are
+/// computed against, and applied to, the arena in place.
+class ParamStore {
+ public:
+  /// An arena of `num_replicas` replicas of `num_params` floats each,
+  /// zero-initialized.
+  ParamStore(size_t num_replicas, size_t num_params);
+
+  size_t num_replicas() const { return num_replicas_; }
+  size_t num_params() const { return num_params_; }
+
+  /// Copies `init` (length num_params) into every replica.
+  void InitAll(const std::vector<float>& init);
+
+  /// Replica `r` as a writable view of exactly num_params floats.
+  MutableSlice replica(size_t r);
+  Slice replica(size_t r) const;
+
+ private:
+  struct AlignedDelete {
+    void operator()(float* p) const;
+  };
+
+  size_t num_replicas_;
+  size_t num_params_;
+  size_t stride_;  // floats between replica starts; >= num_params_
+  std::unique_ptr<float[], AlignedDelete> arena_;
+};
+
+}  // namespace pr

@@ -53,7 +53,7 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
   const int n = run.num_workers;
   const int me = ctx->worker();
   Endpoint* ep = ctx->endpoint();
-  std::vector<float>* params = ctx->params();
+  MutableSlice params = ctx->params();
   const size_t num_params = ctx->num_params();
   std::vector<float> grad;
   std::vector<bool> alive(static_cast<size_t>(n), true);
@@ -61,12 +61,12 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
 
   // Folds `other` into our model: params = 0.5 * (params + other).
   auto average_in = [&](const float* other) {
-    Scale(0.5f, params->data(), num_params);
-    Axpy(0.5f, other, params->data(), num_params);
+    Scale(0.5f, params.data(), num_params);
+    Axpy(0.5f, other, params.data(), num_params);
   };
 
   for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
-    ctx->ComputeGradient(params->data(), &grad);
+    ctx->ComputeGradient(params.data(), &grad);
 
     std::vector<NodeId> peers;
     for (int i = 0; i < n; ++i) {
@@ -78,7 +78,9 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
       const double comm_begin = ctx->Now();
       ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
                            ctx->worker(), static_cast<int64_t>(k));
-      PR_CHECK(ep->Send(peer, k, kKindGossipReq, {}, *params).ok());
+      PR_CHECK(ep->Send(peer, k, kKindGossipReq, {},
+                        ep->MakePayload(params.data(), num_params))
+                   .ok());
       bool served_while_waiting = false;
       while (true) {
         std::optional<Envelope> env = ep->RecvAny();
@@ -90,9 +92,9 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
           if (env->from == peer) break;
         } else if (env->kind == kKindGossipReq) {
           // Serve a concurrent initiator so it cannot deadlock on us.
-          average_in(env->floats.data());
+          average_in(env->payload.data());
           PR_CHECK(ep->Send(env->from, env->tag, kKindGossipReply, {},
-                            *params)
+                            ep->MakePayload(params.data(), num_params))
                        .ok());
           served_while_waiting = true;
         } else {
@@ -102,9 +104,9 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
           if (served_while_waiting) {
             // Our model moved while the reply was in flight; folding the
             // reply in (instead of adopting it) keeps the served updates.
-            average_in(env->floats.data());
+            average_in(env->payload.data());
           } else {
-            *params = std::move(env->floats);
+            params.CopyFrom(env->payload);
           }
           pair_averages_.fetch_add(1);
           break;
@@ -116,14 +118,14 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
     }
 
     // Apply our gradient (computed before the average — stale by design).
-    ctx->sgd()->Step(grad.data(), params);
+    ctx->sgd()->Step(grad.data(), params.data(), params.size());
   }
 
   ctx->MarkFinished();
   // Bye must be our final message; peers abort pending exchanges on it.
   for (int i = 0; i < n; ++i) {
     if (i == me) continue;
-    PR_CHECK(ep->Send(i, 0, kKindBye, {}, {}).ok());
+    PR_CHECK(ep->Send(i, 0, kKindBye, {}).ok());
   }
 }
 

@@ -24,26 +24,26 @@ class ThreadedAllReduce : public ThreadedStrategy {
   void RunWorker(WorkerContext* ctx) override {
     const ThreadedRunOptions& run = ctx->run();
     Endpoint* ep = ctx->endpoint();
-    std::vector<float>* params = ctx->params();
+    MutableSlice params = ctx->params();
     std::vector<float> grad;
     std::vector<NodeId> all;
     for (int i = 0; i < run.num_workers; ++i) all.push_back(i);
 
     for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
-      ctx->ComputeGradient(params->data(), &grad);
+      ctx->ComputeGradient(params.data(), &grad);
       // The ring is the barrier: it averages the gradients of all N
       // workers, and nobody's step happens until everyone contributed.
       const double comm_begin = ctx->Now();
       ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
                            ctx->worker(), static_cast<int64_t>(k));
-      PR_CHECK(RingAverageAllReduce(ep, all,
-                                    static_cast<size_t>(ctx->worker()),
-                                    /*tag=*/k, &grad)
+      PR_CHECK(GroupAverageAllReduce(ep, all,
+                                     static_cast<size_t>(ctx->worker()),
+                                     /*tag=*/k, grad.data(), grad.size())
                    .ok());
       ctx->RecordComm(comm_begin, ctx->Now());
       ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
                            ctx->worker(), static_cast<int64_t>(k));
-      ctx->sgd()->Step(grad.data(), params);
+      ctx->sgd()->Step(grad.data(), params.data(), params.size());
     }
     ctx->MarkFinished();
     // All workers execute the same count of global reduces; worker 0 records

@@ -57,8 +57,10 @@ void ThreadedEagerReduce::RunService(ServiceContext* ctx) {
 
   global_ = ctx->init_params();
   Sgd opt(num_params, ctx->run().sgd);
-  std::vector<std::vector<float>> last_grad(
-      static_cast<size_t>(n), std::vector<float>(num_params, 0.0f));
+  // Deposited gradients are kept as shared payload handles: adopting a push
+  // is a refcount move, not a vector copy.
+  std::vector<Buffer> last_grad(static_cast<size_t>(n));
+  for (auto& g : last_grad) g = Buffer::Zeros(num_params);
   std::vector<bool> fresh(static_cast<size_t>(n), false);
   int fresh_count = 0;
   std::vector<NodeId> waiting;
@@ -69,7 +71,7 @@ void ThreadedEagerReduce::RunService(ServiceContext* ctx) {
     if (!env.has_value()) break;  // transport shut down
     PR_CHECK_EQ(env->kind, kKindErPush);
     const bool is_last = env->ints[0] != 0;
-    last_grad[static_cast<size_t>(env->from)] = std::move(env->floats);
+    last_grad[static_cast<size_t>(env->from)] = std::move(env->payload);
     if (!fresh[static_cast<size_t>(env->from)]) {
       fresh[static_cast<size_t>(env->from)] = true;
       ++fresh_count;
@@ -88,7 +90,8 @@ void ThreadedEagerReduce::RunService(ServiceContext* ctx) {
     if (fresh_count < effective_quorum) continue;
 
     std::vector<float> mean(num_params, 0.0f);
-    for (const auto& g : last_grad) {
+    for (const Buffer& g : last_grad) {
+      PR_CHECK_EQ(g.size(), num_params);
       Axpy(1.0f / static_cast<float>(n), g.data(), mean.data(), num_params);
     }
     opt.Step(mean.data(), &global_);
@@ -98,8 +101,10 @@ void ThreadedEagerReduce::RunService(ServiceContext* ctx) {
     // Round closure is ER's global reduce completing.
     ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd, -1,
                          static_cast<int64_t>(rounds_));
+    // One materialization of the new model, shared by every waiter.
+    Buffer model = ep->MakePayload(global_.data(), global_.size());
     for (NodeId w : waiting) {
-      PR_CHECK(ep->Send(w, 0, kKindErModel, {}, global_).ok());
+      PR_CHECK(ep->Send(w, 0, kKindErModel, {}, model).ok());
     }
     waiting.clear();
   }
@@ -109,11 +114,11 @@ void ThreadedEagerReduce::RunWorker(WorkerContext* ctx) {
   const ThreadedRunOptions& run = ctx->run();
   const NodeId server = ctx->service_node();
   Endpoint* ep = ctx->endpoint();
-  std::vector<float>* params = ctx->params();
+  MutableSlice params = ctx->params();
   std::vector<float> grad;
 
   for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
-    ctx->ComputeGradient(params->data(), &grad);
+    ctx->ComputeGradient(params.data(), &grad);
     const bool is_last = k == run.iterations_per_worker;
     if (is_last) ctx->MarkFinished();
     PR_CHECK(ep->Send(server, 0, kKindErPush,
@@ -126,7 +131,7 @@ void ThreadedEagerReduce::RunWorker(WorkerContext* ctx) {
     if (!env.has_value()) return;  // shutdown
     ctx->RecordIdle(wait_begin, ctx->Now());
     PR_CHECK_EQ(env->kind, kKindErModel);
-    *params = std::move(env->floats);
+    params.CopyFrom(env->payload);
   }
 }
 

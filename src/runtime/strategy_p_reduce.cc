@@ -62,18 +62,16 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
                                    const std::vector<NodeId>& members,
                                    const std::vector<double>& weights,
                                    size_t my_index, uint64_t group_id,
-                                   std::vector<float>* data) {
+                                   float* buf, size_t n) {
   Endpoint* ep = ctx->endpoint();
   const FaultPlan& plan = ctx->run().fault;
   const NodeId controller = ctx->service_node();
   const size_t p = members.size();
-  const size_t n = data->size();
-  Scale(static_cast<float>(weights[my_index]), data->data(), n);
+  Scale(static_cast<float>(weights[my_index]), buf, n);
   if (p == 1) return ReduceOutcome::kDone;
 
   const NodeId right = members[(my_index + 1) % p];
   const NodeId left = members[(my_index + p - 1) % p];
-  float* buf = data->data();
 
   const double begin = ctx->Now();
   int ticks = 0;
@@ -103,12 +101,12 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
         outcome = ReduceOutcome::kAborted;
         return std::nullopt;
       }
-      (void)ep->Send(controller, 0, kKindHeartbeat, {}, {});
+      (void)ep->Send(controller, 0, kKindHeartbeat, {});
       ++ticks;
       if (plan.stuck_report_ticks > 0 &&
           ticks % plan.stuck_report_ticks == 0) {
         (void)ep->Send(controller, group_id, kKindGroupStuck,
-                       {static_cast<int64_t>(group_id)}, {});
+                       {static_cast<int64_t>(group_id)});
       }
       if (ctx->Now() - begin > plan.max_reduce_stall_seconds) {
         // Liveness valve: abandon the reduce even without a controller
@@ -132,8 +130,8 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
         wait_chunk(kKindFaultRsChunk, static_cast<int64_t>(step));
     if (!env.has_value()) return outcome;
     auto [rb, re] = ChunkBounds(n, p, recv_chunk);
-    if (env->floats.size() != re - rb) return ReduceOutcome::kAborted;
-    Axpy(1.0f, env->floats.data(), buf + rb, re - rb);
+    if (env->payload.size() != re - rb) return ReduceOutcome::kAborted;
+    Axpy(1.0f, env->payload.data(), buf + rb, re - rb);
   }
   // All-gather.
   for (size_t step = 0; step < p - 1; ++step) {
@@ -148,8 +146,8 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
         wait_chunk(kKindFaultAgChunk, static_cast<int64_t>(step));
     if (!env.has_value()) return outcome;
     auto [rb, re] = ChunkBounds(n, p, recv_chunk);
-    if (env->floats.size() != re - rb) return ReduceOutcome::kAborted;
-    std::copy(env->floats.begin(), env->floats.end(), buf + rb);
+    if (env->payload.size() != re - rb) return ReduceOutcome::kAborted;
+    std::copy(env->payload.begin(), env->payload.end(), buf + rb);
   }
   return ReduceOutcome::kDone;
 }
@@ -224,7 +222,7 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
   // Releases queued waiters that can never form a full group.
   auto release_pending = [&] {
     for (const ReadySignal& s : controller.DrainPending()) {
-      PR_CHECK(ep->Send(s.worker, 0, kKindRelease, {}, {}).ok());
+      PR_CHECK(ep->Send(s.worker, 0, kKindRelease, {}).ok());
     }
   };
 
@@ -236,16 +234,13 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
       ints.push_back(static_cast<int64_t>(decision.group_id));
       ints.push_back(decision.advanced_iteration);
       for (int m : decision.members) ints.push_back(m);
-      // Convert the weights once per decision; each member gets a copy (the
-      // last one steals the buffer).
-      std::vector<float> weights(decision.weights.begin(),
-                                 decision.weights.end());
-      for (size_t i = 0; i < decision.members.size(); ++i) {
-        std::vector<float> payload = i + 1 == decision.members.size()
-                                         ? std::move(weights)
-                                         : weights;
-        PR_CHECK(ep->Send(decision.members[i], decision.group_id,
-                          kKindGroupInfo, ints, std::move(payload))
+      // Convert the weights once per decision; every member shares the one
+      // payload buffer.
+      Buffer weights = Buffer::FromVector(std::vector<float>(
+          decision.weights.begin(), decision.weights.end()));
+      for (int member : decision.members) {
+        PR_CHECK(ep->Send(member, decision.group_id, kKindGroupInfo, ints,
+                          weights)
                      .ok());
       }
     }
@@ -323,7 +318,7 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
     std::vector<int> members;
     std::vector<int64_t> iterations;  ///< each member's iteration at grouping
     std::vector<int64_t> info_ints;   ///< GroupInfo payload, kept for re-sends
-    std::vector<float> info_floats;
+    Buffer info_weights;              ///< shared across members and re-sends
     std::set<int> done;
     int stuck_reports = 0;
   };
@@ -342,13 +337,13 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
     for (const ReadySignal& s : controller.DrainPending()) {
       const size_t w = static_cast<size_t>(s.worker);
       if (wstate[w] == WState::kQueued) wstate[w] = WState::kIdle;
-      (void)ep->Send(s.worker, 0, kKindRelease, {}, {});
+      (void)ep->Send(s.worker, 0, kKindRelease, {});
     }
   };
 
   auto send_group_info = [&](const InFlightGroup& f, int member) {
     (void)ep->Send(member, static_cast<uint64_t>(f.info_ints[0]),
-                   kKindGroupInfo, f.info_ints, f.info_floats);
+                   kKindGroupInfo, f.info_ints, f.info_weights);
   };
 
   auto broadcast = [&](const std::vector<GroupDecision>& decisions) {
@@ -360,7 +355,8 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
       f.info_ints.push_back(static_cast<int64_t>(decision.group_id));
       f.info_ints.push_back(decision.advanced_iteration);
       for (int m : decision.members) f.info_ints.push_back(m);
-      f.info_floats.assign(decision.weights.begin(), decision.weights.end());
+      f.info_weights = Buffer::FromVector(std::vector<float>(
+          decision.weights.begin(), decision.weights.end()));
       for (int m : decision.members) {
         wstate[static_cast<size_t>(m)] = WState::kInGroup;
         wgroup[static_cast<size_t>(m)] = decision.group_id;
@@ -395,7 +391,7 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
       if (f.done.count(m) != 0) continue;  // completed before the stall
       const size_t mw = static_cast<size_t>(m);
       if (wstate[mw] != WState::kInGroup || wgroup[mw] != g) continue;
-      (void)ep->Send(m, g, kKindAbort, {static_cast<int64_t>(g)}, {});
+      (void)ep->Send(m, g, kKindAbort, {static_cast<int64_t>(g)});
       wstate[mw] = WState::kIdle;
     }
   };
@@ -546,7 +542,7 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
         if (itf == in_flight.end()) {
           // Already aborted (the reporter's Abort was lost) or long
           // resolved: tell just the reporter to stand down.
-          (void)ep->Send(w, g, kKindAbort, {static_cast<int64_t>(g)}, {});
+          (void)ep->Send(w, g, kKindAbort, {static_cast<int64_t>(g)});
           break;
         }
         bool has_dead_member = false;
@@ -576,7 +572,7 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
   const ThreadedRunOptions& run = ctx->run();
   const NodeId controller = ctx->service_node();
   Endpoint* ep = ctx->endpoint();
-  std::vector<float>* params = ctx->params();
+  MutableSlice params = ctx->params();
   std::vector<float> grad;
   int64_t iteration = 0;
 
@@ -586,26 +582,26 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
   }
 
   for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
-    ctx->ComputeGradient(params->data(), &grad);
-    ctx->sgd()->Step(grad.data(), params);
+    ctx->ComputeGradient(params.data(), &grad);
+    ctx->sgd()->Step(grad.data(), params.data(), params.size());
     ++iteration;
 
     if (k == run.iterations_per_worker) {
       ctx->MarkFinished();
-      PR_CHECK(ep->Send(controller, 0, kKindLeave, {}, {}).ok());
+      PR_CHECK(ep->Send(controller, 0, kKindLeave, {}).ok());
       break;
     }
 
     if (churn != nullptr && k == churn->after_iterations) {
       // Elastic pause: leave the pool, nap, rejoin with the parameters we
       // last held.
-      PR_CHECK(ep->Send(controller, 0, kKindPause, {}, {}).ok());
+      PR_CHECK(ep->Send(controller, 0, kKindPause, {}).ok());
       std::this_thread::sleep_for(
           std::chrono::duration<double>(churn->pause_seconds));
-      PR_CHECK(ep->Send(controller, 0, kKindRejoin, {}, {}).ok());
+      PR_CHECK(ep->Send(controller, 0, kKindRejoin, {}).ok());
     }
 
-    PR_CHECK(ep->Send(controller, 0, kKindReady, {iteration}, {}).ok());
+    PR_CHECK(ep->Send(controller, 0, kKindReady, {iteration}).ok());
 
     // Wait for the controller's verdict; ring chunks from other groups that
     // land meanwhile are stashed by RecvFrom and replayed to the collective.
@@ -622,7 +618,7 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
     for (size_t i = 2; i < env->ints.size(); ++i) {
       members.push_back(static_cast<NodeId>(env->ints[i]));
     }
-    std::vector<double> weights(env->floats.begin(), env->floats.end());
+    std::vector<double> weights(env->payload.begin(), env->payload.end());
     const size_t my_index = static_cast<size_t>(
         std::find(members.begin(), members.end(), ctx->worker()) -
         members.begin());
@@ -631,8 +627,8 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
     const double comm_begin = ctx->Now();
     ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
                          ctx->worker(), static_cast<int64_t>(group_id));
-    PR_CHECK(RingWeightedAllReduce(ep, members, weights, my_index, group_id,
-                                   params)
+    PR_CHECK(GroupWeightedAllReduce(ep, members, weights, my_index, group_id,
+                                    params.data(), params.size())
                  .ok());
     ctx->RecordComm(comm_begin, ctx->Now());
     ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
@@ -646,7 +642,7 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
   const FaultPlan& plan = run.fault;
   const NodeId controller = ctx->service_node();
   Endpoint* ep = ctx->endpoint();
-  std::vector<float>* params = ctx->params();
+  MutableSlice params = ctx->params();
   std::vector<float> grad;
   std::vector<float> backup;
   int64_t iteration = 0;
@@ -675,8 +671,8 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
   };
 
   for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
-    ctx->ComputeGradient(params->data(), &grad);
-    ctx->sgd()->Step(grad.data(), params);
+    ctx->ComputeGradient(params.data(), &grad);
+    ctx->sgd()->Step(grad.data(), params.data(), params.size());
     ++iteration;
 
     if (crash != nullptr && !crash->in_group &&
@@ -687,7 +683,7 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
     }
     if (k == run.iterations_per_worker) {
       ctx->MarkFinished();
-      (void)ep->Send(controller, 0, kKindLeave, {}, {});
+      (void)ep->Send(controller, 0, kKindLeave, {});
       return;
     }
     for (const WorkerFaultEvent* h : hangs) {
@@ -697,17 +693,17 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
         // worker as re-admission.
         std::this_thread::sleep_for(
             std::chrono::duration<double>(h->hang_seconds));
-        (void)ep->Send(controller, 0, kKindRejoin, {}, {});
+        (void)ep->Send(controller, 0, kKindRejoin, {});
       }
     }
     if (churn != nullptr && k == churn->after_iterations) {
-      (void)ep->Send(controller, 0, kKindPause, {}, {});
+      (void)ep->Send(controller, 0, kKindPause, {});
       std::this_thread::sleep_for(
           std::chrono::duration<double>(churn->pause_seconds));
-      (void)ep->Send(controller, 0, kKindRejoin, {}, {});
+      (void)ep->Send(controller, 0, kKindRejoin, {});
     }
 
-    (void)ep->Send(controller, 0, kKindReady, {iteration}, {});
+    (void)ep->Send(controller, 0, kKindReady, {iteration});
 
     // Verdict wait with lease upkeep, bounded re-sends, and a liveness
     // valve: if the controller stays silent past the deadline the worker
@@ -722,11 +718,11 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
       if (!env.has_value()) {
         if (ep->closed()) return;
         ++ticks;
-        (void)ep->Send(controller, 0, kKindHeartbeat, {}, {});
+        (void)ep->Send(controller, 0, kKindHeartbeat, {});
         if (plan.resend_ready_ticks > 0 &&
             ticks % plan.resend_ready_ticks == 0) {
           note_retry();
-          (void)ep->Send(controller, 0, kKindReady, {iteration}, {});
+          (void)ep->Send(controller, 0, kKindReady, {iteration});
         }
         if (ctx->Now() - wait_begin > plan.max_verdict_wait_seconds) {
           ctx->RecordIdle(idle_begin, ctx->Now());
@@ -762,8 +758,8 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
           for (size_t i = 2; i < env->ints.size(); ++i) {
             members.push_back(static_cast<NodeId>(env->ints[i]));
           }
-          std::vector<double> weights(env->floats.begin(),
-                                      env->floats.end());
+          std::vector<double> weights(env->payload.begin(),
+                                      env->payload.end());
           const size_t my_index = static_cast<size_t>(
               std::find(members.begin(), members.end(), ctx->worker()) -
               members.begin());
@@ -778,29 +774,30 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
             return;
           }
           ctx->RecordIdle(idle_begin, ctx->Now());
-          backup = *params;
+          backup = params.ToVector();
           const double comm_begin = ctx->Now();
           ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
                                ctx->worker(),
                                static_cast<int64_t>(group_id));
-          const ReduceOutcome outcome = FaultAwareRingReduce(
-              ctx, members, weights, my_index, group_id, params);
+          const ReduceOutcome outcome =
+              FaultAwareRingReduce(ctx, members, weights, my_index, group_id,
+                                   params.data(), params.size());
           if (outcome == ReduceOutcome::kShutdown) return;
           if (outcome == ReduceOutcome::kAborted) {
             // Roll back the half-reduced vector, drop the conversation's
             // leftovers, and put our signal back in the queue.
-            *params = backup;
+            params.CopyFrom(backup);
             ep->PurgeStash(
                 [&](const Envelope& e) { return e.tag == group_id; });
             note_retry();
-            (void)ep->Send(controller, 0, kKindReady, {iteration}, {});
+            (void)ep->Send(controller, 0, kKindReady, {iteration});
             idle_begin = ctx->Now();
             break;  // back to the verdict wait
           }
           ep->PurgeStash(
               [&](const Envelope& e) { return e.tag == group_id; });
           (void)ep->Send(controller, 0, kKindGroupDone,
-                         {static_cast<int64_t>(group_id)}, {});
+                         {static_cast<int64_t>(group_id)});
           ctx->RecordComm(comm_begin, ctx->Now());
           ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
                                ctx->worker(),

@@ -91,16 +91,23 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
   int round_accepted = 0;
   std::vector<NodeId> parked_pulls;
 
+  // The current version's model payload, materialized at most once per
+  // version no matter how many pulls it serves (empty = stale).
+  Buffer model_payload;
   auto reply_model = [&](NodeId to) {
     trace->Record(ctx->Now(), TraceEventKind::kPsPull, to,
                   static_cast<int64_t>(versions_));
+    if (model_payload.empty()) {
+      model_payload = ep->MakePayload(global_.data(), global_.size());
+    }
     PR_CHECK(ep->Send(to, 0, kKindModel,
-                      {static_cast<int64_t>(versions_)}, global_)
+                      {static_cast<int64_t>(versions_)}, model_payload)
                  .ok());
   };
   auto bump_version = [&] {
     ++versions_;
     versions_counter->Increment();
+    model_payload = Buffer();  // global_ changed; re-materialize lazily
   };
   auto close_round = [&] {
     Scale(1.0f / static_cast<float>(round_accepted), round_sum.data(),
@@ -143,7 +150,7 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
             scale *= ExcessStalenessLrScale(staleness,
                                             static_cast<size_t>(n));
           }
-          opt.Step(env->floats.data(), &global_, scale);
+          opt.Step(env->payload.data(), &global_, scale);
           bump_version();
           break;
         }
@@ -154,7 +161,7 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
           // served immediately so it rejoins the current round.
           wasted_counter->Increment();
         } else {
-          Axpy(1.0f, env->floats.data(), round_sum.data(), num_params);
+          Axpy(1.0f, env->payload.data(), round_sum.data(), num_params);
           in_round[static_cast<size_t>(env->from)] = true;
           ++round_accepted;
         }
@@ -187,14 +194,14 @@ void ThreadedPs::RunWorker(WorkerContext* ctx) {
   std::vector<float> grad;
 
   for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
-    PR_CHECK(ep->Send(server, 0, kKindPull, {}, {}).ok());
+    PR_CHECK(ep->Send(server, 0, kKindPull, {}).ok());
     const double wait_begin = ctx->Now();
     std::optional<Envelope> env = ep->RecvFrom(server);
     if (!env.has_value()) return;  // shutdown
     ctx->RecordIdle(wait_begin, ctx->Now());
     PR_CHECK_EQ(env->kind, kKindModel);
     const int64_t version = env->ints[0];
-    params = std::move(env->floats);
+    params = env->payload.Take();
 
     ctx->ComputeGradient(params.data(), &grad);
     const bool is_last = k == run.iterations_per_worker;
@@ -204,7 +211,7 @@ void ThreadedPs::RunWorker(WorkerContext* ctx) {
                  .ok());
     // Keep the replica in sync with the last pulled model so run-level
     // diagnostics (replica spread) stay meaningful for the PS family too.
-    *ctx->params() = params;
+    ctx->params().CopyFrom(params);
   }
 }
 

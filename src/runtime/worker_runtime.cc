@@ -77,8 +77,8 @@ size_t WorkerContext::num_params() const {
   return runtime_->model_->NumParams();
 }
 
-std::vector<float>* WorkerContext::params() {
-  return &runtime_->replicas_[static_cast<size_t>(worker_)];
+MutableSlice WorkerContext::params() {
+  return runtime_->replicas_->replica(static_cast<size_t>(worker_));
 }
 
 TraceRecorder* WorkerContext::trace() { return &runtime_->trace_; }
@@ -212,7 +212,9 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
   model_ = MakeProxyModel(options_.model, spec.dim, spec.num_classes);
 
   model_->InitParams(&init_, &rng);
-  replicas_.assign(static_cast<size_t>(options_.num_workers), init_);
+  replicas_ = std::make_unique<ParamStore>(
+      static_cast<size_t>(options_.num_workers), model_->NumParams());
+  replicas_->InitAll(init_);
   finish_seconds_.assign(static_cast<size_t>(options_.num_workers), 0.0);
 
   std::vector<Shard> shards = ShardDataset(
@@ -281,9 +283,10 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   std::vector<float> avg;
   if (eval == nullptr) {
     avg.assign(model_->NumParams(), 0.0f);
-    for (const auto& p : replicas_) {
-      Axpy(1.0f / static_cast<float>(replicas_.size()), p.data(), avg.data(),
-           avg.size());
+    const size_t num_replicas = replicas_->num_replicas();
+    for (size_t r = 0; r < num_replicas; ++r) {
+      Axpy(1.0f / static_cast<float>(num_replicas),
+           replicas_->replica(r).data(), avg.data(), avg.size());
     }
     eval = &avg;
   }
@@ -293,12 +296,14 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
 
   double spread = 0.0;
   const size_t num_params = model_->NumParams();
-  for (size_t a = 0; a < replicas_.size(); ++a) {
-    for (size_t b = a + 1; b < replicas_.size(); ++b) {
+  for (size_t a = 0; a < replicas_->num_replicas(); ++a) {
+    const Slice pa = std::as_const(*replicas_).replica(a);
+    for (size_t b = a + 1; b < replicas_->num_replicas(); ++b) {
+      const Slice pb = std::as_const(*replicas_).replica(b);
       for (size_t i = 0; i < num_params; ++i) {
-        spread = std::max(
-            spread, std::fabs(static_cast<double>(replicas_[a][i]) -
-                              static_cast<double>(replicas_[b][i])));
+        spread = std::max(spread,
+                          std::fabs(static_cast<double>(pa[i]) -
+                                    static_cast<double>(pb[i])));
       }
     }
   }

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/sgd.h"
+#include "runtime/param_store.h"
 #include "runtime/threaded_runtime.h"
 #include "sim/timeline.h"
 #include "strategies/strategy.h"
@@ -44,8 +45,9 @@ class WorkerContext {
   size_t num_params() const;
 
   Endpoint* endpoint() { return &endpoint_; }
-  /// This worker's model replica (shared initialization across workers).
-  std::vector<float>* params();
+  /// This worker's model replica: a writable view into the runtime's shared
+  /// parameter arena (all replicas start from the same initialization).
+  MutableSlice params();
   /// This worker's optimizer (momentum state stays local, per the paper).
   Sgd* sgd() { return &sgd_; }
   /// Per-worker RNG (deterministic in the run seed and worker id).
@@ -168,7 +170,9 @@ class WorkerRuntime {
   TrainTestSplit split_;
   std::unique_ptr<Model> model_;
   std::vector<float> init_;
-  std::vector<std::vector<float>> replicas_;
+  /// All worker replicas live in one aligned arena (built once the model's
+  /// parameter count is known).
+  std::unique_ptr<ParamStore> replicas_;
   std::vector<std::unique_ptr<BatchSampler>> samplers_;
   std::vector<uint64_t> worker_seeds_;
   InProcTransport transport_;

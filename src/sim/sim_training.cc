@@ -252,6 +252,16 @@ void SimTraining::CountWastedGradient() {
   metrics_shard_->GetCounter("ps.wasted_gradients")->Increment();
 }
 
+void SimTraining::RecordReduceTraffic(size_t p) {
+  if (p < 2) return;
+  const double bytes = 2.0 * static_cast<double>(num_params()) *
+                       static_cast<double>(p - 1) * sizeof(float);
+  metrics_shard_->GetCounter("transport.bytes_sent")->Increment(bytes);
+  metrics_shard_->GetCounter("transport.bytes_received")->Increment(bytes);
+  metrics_shard_->GetCounter("transport.payload_copies")
+      ->Increment(static_cast<double>(p));
+}
+
 SimRunResult SimTraining::BuildResult(const std::string& strategy_name) {
   SimRunResult result;
   result.strategy = strategy_name;
@@ -289,6 +299,12 @@ SimRunResult SimTraining::BuildResult(const std::string& strategy_name) {
       ->Increment(static_cast<double>(updates_));
   metrics_shard_->GetCounter("engine.events_processed")
       ->Increment(static_cast<double>(engine_.events_processed()));
+  // Traffic counters exist in every snapshot (zero when a strategy moved no
+  // payloads), matching the threaded engine where the Endpoint registers
+  // them unconditionally.
+  metrics_shard_->GetCounter("transport.bytes_sent");
+  metrics_shard_->GetCounter("transport.bytes_received");
+  metrics_shard_->GetCounter("transport.payload_copies");
   result.metrics = registry_.Snapshot();
   result.trace = trace_.Log();
   return result;

@@ -212,6 +212,14 @@ class SimTraining {
   /// Counts a discarded gradient (PS-BK).
   void CountWastedGradient();
 
+  /// Accounts the transport traffic a `p`-member ring reduce over the full
+  /// model would move, under the same transport.* names the threaded
+  /// engine's real Endpoint maintains. A ring all-reduce ships
+  /// 2·n·(p−1)/p floats per member, so the group total is 2·n·(p−1)
+  /// floats each way; the zero-copy data plane materializes one payload
+  /// copy per member (the initial chunk send), hence payload_copies += p.
+  void RecordReduceTraffic(size_t p);
+
   /// The run's metrics shard (the simulator is single-threaded, so one
   /// shard serves every strategy) and trace recorder. Strategies register
   /// their instruments here under the shared naming convention.

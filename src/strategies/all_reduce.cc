@@ -55,6 +55,7 @@ void AllReduceStrategy::OnReduceDone() {
     ctx_->LocalStep(i, avg.data());
     ctx_->increment_iteration(i);
   }
+  ctx_->RecordReduceTraffic(static_cast<size_t>(ctx_->num_workers()));
   ctx_->RecordUpdate();
   if (ctx_->stopped()) return;
   for (int i = 0; i < ctx_->num_workers(); ++i) BeginCompute(i);

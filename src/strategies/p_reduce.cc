@@ -257,6 +257,7 @@ void PReduceStrategy::OnGroupReduceDone(const GroupDecision& decision) {
       ctx_->set_iteration(m, decision.advanced_iteration);
     }
   }
+  ctx_->RecordReduceTraffic(decision.members.size());
   ctx_->RecordUpdate();
   if (ctx_->stopped()) return;
   for (int m : decision.members) BeginCompute(m);

@@ -58,6 +58,52 @@ void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out) {
   }
 }
 
+void MatMulSpan(const Tensor& a, const float* b, size_t k, size_t n,
+                Tensor* out) {
+  PR_CHECK(out != nullptr);
+  PR_CHECK(b != nullptr);
+  PR_CHECK_EQ(a.rank(), 2u);
+  PR_CHECK_EQ(a.cols(), k);
+  const size_t m = a.rows();
+  *out = Tensor(m, n);
+  // Same i-k-j order as MatMul: streams through B rows.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBSpan(const Tensor& a, const float* b, size_t n, size_t k,
+                      Tensor* out) {
+  PR_CHECK(out != nullptr);
+  PR_CHECK(b != nullptr);
+  PR_CHECK_EQ(a.rank(), 2u);
+  PR_CHECK_EQ(a.cols(), k);
+  const size_t m = a.rows();
+  *out = Tensor(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out->Row(i);
+    for (size_t j = 0; j < n; ++j) orow[j] = Dot(arow, b + j * k, k);
+  }
+}
+
+void AddBiasRowsSpan(const float* bias, size_t n, Tensor* m) {
+  PR_CHECK(m != nullptr);
+  PR_CHECK(bias != nullptr);
+  PR_CHECK_EQ(m->rank(), 2u);
+  PR_CHECK_EQ(m->cols(), n);
+  for (size_t r = 0; r < m->rows(); ++r) {
+    Axpy(1.0f, bias, m->Row(r), n);
+  }
+}
+
 void Axpy(float alpha, const float* x, float* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }

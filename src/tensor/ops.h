@@ -20,6 +20,19 @@ void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out);
 /// out = A^T * B for matrices A [k,m] and B [k,n].
 void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out);
 
+/// out = A * B where B is a raw row-major span [k, n]. This is the
+/// zero-copy path for weights living inside a flat parameter arena: the
+/// model never materializes a Tensor copy of the matrix it multiplies by.
+void MatMulSpan(const Tensor& a, const float* b, size_t k, size_t n,
+                Tensor* out);
+
+/// out = A * B^T where B is a raw row-major span [n, k].
+void MatMulTransBSpan(const Tensor& a, const float* b, size_t n, size_t k,
+                      Tensor* out);
+
+/// Adds a raw bias span [n] to every row of matrix `m` [rows, n].
+void AddBiasRowsSpan(const float* bias, size_t n, Tensor* m);
+
 /// y += alpha * x over raw spans of length n.
 void Axpy(float alpha, const float* x, float* y, size_t n);
 

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/buffer.h"
+#include "runtime/param_store.h"
+
+namespace pr {
+namespace {
+
+TEST(BufferTest, DefaultIsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_FALSE(b.shared());
+}
+
+TEST(BufferTest, FromVectorAdoptsWithoutCopy) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f};
+  const float* raw = v.data();
+  Buffer b = Buffer::FromVector(std::move(v));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data(), raw);  // same allocation: a move, not a memcpy
+  EXPECT_EQ(b[1], 2.0f);
+}
+
+TEST(BufferTest, CopyOfCopies) {
+  std::vector<float> v = {4.0f, 5.0f};
+  Buffer b = Buffer::CopyOf(v.data(), v.size());
+  v[0] = 99.0f;
+  EXPECT_EQ(b[0], 4.0f);
+  // Null source is allowed only for n == 0.
+  Buffer empty = Buffer::CopyOf(nullptr, 0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(BufferTest, CopySharesTheBlock) {
+  Buffer a = Buffer::Zeros(8);
+  EXPECT_FALSE(a.shared());
+  Buffer b = a;
+  EXPECT_TRUE(a.shared());
+  EXPECT_TRUE(b.shared());
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(BufferTest, MutableDataClonesWhenShared) {
+  Buffer a = Buffer::FromVector({1.0f, 2.0f});
+  Buffer b = a;
+  // COW: mutating through one handle must not be visible through the other.
+  b.mutable_data()[0] = 7.0f;
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 7.0f);
+  EXPECT_FALSE(a.shared());
+  EXPECT_FALSE(b.shared());
+}
+
+TEST(BufferTest, MutableDataInPlaceWhenUnique) {
+  Buffer a = Buffer::FromVector({1.0f});
+  const float* before = a.data();
+  a.mutable_data()[0] = 3.0f;
+  EXPECT_EQ(a.data(), before);  // sole owner: no clone
+  EXPECT_EQ(a[0], 3.0f);
+}
+
+TEST(BufferTest, TakeMovesWhenUniqueCopiesWhenShared) {
+  Buffer a = Buffer::FromVector({1.0f, 2.0f});
+  const float* raw = a.data();
+  std::vector<float> out = a.Take();
+  EXPECT_EQ(out.data(), raw);  // unique owner: stolen, not copied
+  EXPECT_TRUE(a.empty());
+
+  Buffer b = Buffer::FromVector({3.0f});
+  Buffer c = b;
+  std::vector<float> taken = c.Take();
+  EXPECT_EQ(taken, (std::vector<float>{3.0f}));
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(b[0], 3.0f);  // the other holder is untouched
+}
+
+TEST(SliceTest, ViewsAndSubspans) {
+  std::vector<float> v = {0.0f, 1.0f, 2.0f, 3.0f, 4.0f};
+  Slice s(v.data(), v.size());
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[2], 2.0f);
+  Slice sub = s.subspan(1, 3);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub[0], 1.0f);
+  EXPECT_EQ(sub.ToVector(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(MutableSliceTest, WritesThroughAndConverts) {
+  std::vector<float> v(4, 0.0f);
+  MutableSlice m(v.data(), v.size());
+  m[1] = 5.0f;
+  EXPECT_EQ(v[1], 5.0f);
+  m.CopyFrom(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(v, (std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}));
+  Slice read = m;  // implicit const view
+  EXPECT_EQ(read[3], 4.0f);
+  m.subspan(2, 2).CopyFrom(std::vector<float>{8.0f, 9.0f});
+  EXPECT_EQ(v, (std::vector<float>{1.0f, 2.0f, 8.0f, 9.0f}));
+}
+
+TEST(MutableSliceTest, CopyFromBuffer) {
+  Buffer b = Buffer::FromVector({6.0f, 7.0f});
+  std::vector<float> v(2, 0.0f);
+  MutableSlice m(v.data(), v.size());
+  m.CopyFrom(b);
+  EXPECT_EQ(v, (std::vector<float>{6.0f, 7.0f}));
+}
+
+TEST(ParamStoreTest, ReplicasAreZeroInitializedAndDisjoint) {
+  ParamStore store(/*num_replicas=*/3, /*num_params=*/10);
+  for (size_t r = 0; r < 3; ++r) {
+    MutableSlice s = store.replica(r);
+    ASSERT_EQ(s.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], 0.0f);
+  }
+  // Writing one replica leaves the others untouched (padding isolates
+  // neighbours even for sizes that are not a multiple of the stride).
+  store.replica(1).CopyFrom(std::vector<float>(10, 3.0f));
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(store.replica(0)[i], 0.0f);
+    EXPECT_EQ(store.replica(2)[i], 0.0f);
+  }
+}
+
+TEST(ParamStoreTest, InitAllBroadcastsTheSameInit) {
+  ParamStore store(2, 4);
+  store.InitAll(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(store.replica(r).ToVector(),
+              (std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}));
+  }
+}
+
+TEST(ParamStoreTest, ArenaIsAligned) {
+  ParamStore store(4, 7);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(store.replica(r).data()) % 64, 0u)
+        << "replica " << r;
+  }
+}
+
+}  // namespace
+}  // namespace pr

@@ -274,19 +274,20 @@ TEST(CollectivesTest, ReduceScatterPlusAllGatherEqualsAllReduce) {
 TEST(CollectivesTest, GatherCollectsInMemberOrder) {
   std::vector<NodeId> members = {0, 1, 2};
   InProcTransport transport(3);
-  std::vector<std::vector<std::vector<float>>> gathered(3);
+  std::vector<std::vector<Buffer>> gathered(3);
   RunMembers(&transport, members, [&](size_t i, Endpoint* ep) {
     std::vector<float> mine = {static_cast<float>(i + 1)};
     ASSERT_TRUE(
         Gather(ep, members, i, /*root_index=*/1, 9, mine, &gathered[i]).ok());
   });
-  // Only the root received anything.
+  // Only the root received anything; contributions arrive as shared
+  // Buffer handles, in member order.
   EXPECT_TRUE(gathered[0].empty());
   EXPECT_TRUE(gathered[2].empty());
   ASSERT_EQ(gathered[1].size(), 3u);
-  EXPECT_EQ(gathered[1][0], (std::vector<float>{1.0f}));
-  EXPECT_EQ(gathered[1][1], (std::vector<float>{2.0f}));
-  EXPECT_EQ(gathered[1][2], (std::vector<float>{3.0f}));
+  EXPECT_EQ(gathered[1][0].ToVector(), (std::vector<float>{1.0f}));
+  EXPECT_EQ(gathered[1][1].ToVector(), (std::vector<float>{2.0f}));
+  EXPECT_EQ(gathered[1][2].ToVector(), (std::vector<float>{3.0f}));
 }
 
 TEST(CollectivesTest, BarrierWaitsForAllMembers) {
@@ -312,6 +313,161 @@ TEST(CollectivesTest, BarrierSingleMemberIsNoop) {
   InProcTransport transport(1);
   Endpoint ep(&transport, 0);
   EXPECT_TRUE(RingBarrier(&ep, {0}, 0, 1).ok());
+}
+
+// --- Segmented pipelined ring ---------------------------------------------
+
+/// Runs the segmented ring over `inputs` with the given segment size and
+/// returns each member's result.
+std::vector<std::vector<float>> RunSegmented(
+    const std::vector<NodeId>& members, const std::vector<double>& weights,
+    std::vector<std::vector<float>> inputs, size_t segment_floats,
+    int world = 0) {
+  InProcTransport transport(world > 0 ? world
+                                      : static_cast<int>(members.size()));
+  RunMembers(&transport, members, [&](size_t i, Endpoint* ep) {
+    ASSERT_TRUE(SegmentedRingWeightedAllReduce(
+                    ep, members, weights, i, /*tag=*/1, inputs[i].data(),
+                    inputs[i].size(), segment_floats)
+                    .ok());
+  });
+  return inputs;
+}
+
+TEST_P(CollectiveParamTest, SegmentedBitIdenticalToClassicRing) {
+  auto [p, n] = GetParam();
+  std::vector<NodeId> members;
+  for (size_t i = 0; i < p; ++i) members.push_back(static_cast<NodeId>(i));
+  std::vector<double> weights(p);
+  double total = 0.0;
+  Rng wrng(p * 31 + n);
+  for (auto& w : weights) {
+    w = wrng.Uniform(0.1, 1.0);
+    total += w;
+  }
+  for (auto& w : weights) w /= total;
+  auto inputs = MakeInputs(p, n, 321);
+
+  InProcTransport t1(static_cast<int>(p));
+  auto classic = inputs;
+  RunMembers(&t1, members, [&](size_t i, Endpoint* ep) {
+    ASSERT_TRUE(
+        RingWeightedAllReduce(ep, members, weights, i, 1, &classic[i]).ok());
+  });
+
+  // Small segment so every parameterization actually pipelines.
+  auto segmented = RunSegmented(members, weights, inputs, /*segment=*/8);
+  for (size_t i = 0; i < p; ++i) {
+    ASSERT_EQ(segmented[i].size(), n);
+    for (size_t j = 0; j < n; ++j) {
+      // Bitwise identity, not approximate equality: the segmented pipeline
+      // must perform the same additions in the same per-element order.
+      EXPECT_EQ(segmented[i][j], classic[i][j])
+          << "member " << i << " elem " << j;
+    }
+  }
+}
+
+TEST(SegmentedRingTest, VectorShorterThanGroup) {
+  // n < P: some chunks are empty, yet the schedule must stay uniform.
+  std::vector<NodeId> members = {0, 1, 2, 3, 4};
+  std::vector<double> weights(5, 0.2);
+  auto inputs = MakeInputs(5, 3, 17);
+  auto expected = ExpectedWeightedSum(inputs, weights);
+  auto out = RunSegmented(members, weights, inputs, /*segment=*/4);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(out[i][j], expected[j], 1e-5);
+  }
+}
+
+TEST(SegmentedRingTest, EmptyVector) {
+  // n == 0: nothing to reduce, but every member must still complete.
+  std::vector<NodeId> members = {0, 1, 2};
+  std::vector<double> weights(3, 1.0 / 3.0);
+  InProcTransport transport(3);
+  RunMembers(&transport, members, [&](size_t i, Endpoint* ep) {
+    ASSERT_TRUE(SegmentedRingWeightedAllReduce(ep, members, weights, i, 1,
+                                               nullptr, 0)
+                    .ok());
+  });
+}
+
+TEST(SegmentedRingTest, SingleMemberScalesByOwnWeight) {
+  InProcTransport transport(1);
+  Endpoint ep(&transport, 0);
+  std::vector<float> data = {2.0f, 4.0f};
+  ASSERT_TRUE(SegmentedRingWeightedAllReduce(&ep, {0}, {0.5}, 0, 1,
+                                             data.data(), data.size())
+                  .ok());
+  EXPECT_FLOAT_EQ(data[0], 1.0f);
+  EXPECT_FLOAT_EQ(data[1], 2.0f);
+}
+
+TEST(SegmentedRingTest, NonDivisibleLengthManySegments) {
+  // Chunk lengths differ (n % p != 0) and each chunk spans several
+  // segments, with a ragged final segment.
+  std::vector<NodeId> members = {0, 1, 2};
+  std::vector<double> weights = {0.2, 0.3, 0.5};
+  auto inputs = MakeInputs(3, 101, 23);
+  auto expected = ExpectedWeightedSum(inputs, weights);
+  auto out = RunSegmented(members, weights, inputs, /*segment=*/7);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 101; ++j) {
+      EXPECT_NEAR(out[i][j], expected[j], 1e-4);
+    }
+  }
+}
+
+TEST(SegmentedRingTest, SegmentLargerThanVector) {
+  // One segment per chunk: degenerates to the unsegmented schedule.
+  std::vector<NodeId> members = {0, 1, 2, 3};
+  std::vector<double> weights(4, 0.25);
+  auto inputs = MakeInputs(4, 10, 29);
+  auto expected = ExpectedWeightedSum(inputs, weights);
+  auto out = RunSegmented(members, weights, inputs, /*segment=*/1u << 20);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 10; ++j) EXPECT_NEAR(out[i][j], expected[j], 1e-5);
+  }
+}
+
+TEST(SegmentedRingTest, NonContiguousMemberIds) {
+  std::vector<NodeId> members = {1, 4, 6};
+  std::vector<double> weights = {0.5, 0.25, 0.25};
+  auto inputs = MakeInputs(3, 40, 37);
+  auto expected = ExpectedWeightedSum(inputs, weights);
+  auto out = RunSegmented(members, weights, inputs, /*segment=*/6, /*world=*/8);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 40; ++j) EXPECT_NEAR(out[i][j], expected[j], 1e-5);
+  }
+}
+
+TEST(SegmentedRingTest, GroupDispatchMatchesReference) {
+  // GroupWeightedAllReduce is the strategies' single dispatch point; it must
+  // agree bitwise with the unsegmented reference ring.
+  const size_t p = 4, n = 333;
+  std::vector<NodeId> members = {0, 1, 2, 3};
+  std::vector<double> weights = {0.1, 0.2, 0.3, 0.4};
+  auto inputs = MakeInputs(p, n, 41);
+
+  InProcTransport t1(static_cast<int>(p));
+  auto classic = inputs;
+  RunMembers(&t1, members, [&](size_t i, Endpoint* ep) {
+    ASSERT_TRUE(
+        RingWeightedAllReduce(ep, members, weights, i, 1, &classic[i]).ok());
+  });
+
+  InProcTransport t2(static_cast<int>(p));
+  auto dispatched = inputs;
+  RunMembers(&t2, members, [&](size_t i, Endpoint* ep) {
+    ASSERT_TRUE(GroupWeightedAllReduce(ep, members, weights, i, 1,
+                                       &dispatched[i])
+                    .ok());
+  });
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(dispatched[i][j], classic[i][j]);
+    }
+  }
 }
 
 TEST(CollectivesTest, VectorShorterThanGroupStillReduces) {

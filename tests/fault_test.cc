@@ -186,6 +186,62 @@ TEST(FaultyTransportTest, ShutdownFlushesDelayedMessages) {
   EXPECT_EQ(env->kind, 5);
 }
 
+TEST(FaultyTransportTest, DupTwinsShareOnePayloadAllocation) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.dup_prob = 1.0;
+  FaultyTransport faulty(&inner, plan);
+  Envelope env = Msg(0, 42);
+  env.payload = Buffer::FromVector({1.0f, 2.0f, 3.0f});
+  ASSERT_TRUE(faulty.Send(1, std::move(env)).ok());
+  std::optional<Envelope> first = faulty.Recv(1);
+  std::optional<Envelope> second = faulty.Recv(1);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // The duplication is a refcount bump, not a clone: both deliveries alias
+  // the same allocation.
+  EXPECT_EQ(first->payload.data(), second->payload.data());
+  EXPECT_TRUE(first->payload.shared());
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, DupReceiverMutationDoesNotCorruptTwin) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.dup_prob = 1.0;
+  FaultyTransport faulty(&inner, plan);
+  Envelope env = Msg(0, 1);
+  env.payload = Buffer::FromVector({5.0f});
+  ASSERT_TRUE(faulty.Send(1, std::move(env)).ok());
+  std::optional<Envelope> first = faulty.Recv(1);
+  std::optional<Envelope> second = faulty.Recv(1);
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  // Copy-on-write: a receiver accumulating into the duplicate's payload
+  // clones it first, so the twin still reads the original bytes.
+  first->payload.mutable_data()[0] = 99.0f;
+  EXPECT_EQ(second->payload[0], 5.0f);
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, SenderMutationAfterSendDoesNotReachDelayed) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.delay_prob = 1.0;
+  plan.default_edge.delay_seconds = 30.0;
+  FaultyTransport faulty(&inner, plan);
+  Buffer payload = Buffer::FromVector({1.0f});
+  Envelope env = Msg(0, 3);
+  env.payload = payload;  // sender keeps a handle, as collectives do
+  ASSERT_TRUE(faulty.Send(1, std::move(env)).ok());
+  // While the message sits in the delay queue the sender reuses its buffer;
+  // COW isolates the queued copy from the mutation.
+  payload.mutable_data()[0] = -1.0f;
+  faulty.Shutdown();  // flushes the delayed message
+  std::optional<Envelope> delivered = faulty.Recv(1);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->payload[0], 1.0f);
+}
+
 TEST(FaultyTransportTest, InjectionIsDeterministicAcrossRuns) {
   auto run = [] {
     InProcTransport inner(3);

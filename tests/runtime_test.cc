@@ -353,7 +353,9 @@ TEST(ThreadedRuntimeTest, SimAndThreadedShareMetricNames) {
 
   const char* shared_counters[] = {
       "controller.signals_received", "controller.groups_formed",
-      "run.updates", "worker.0.iterations", "worker.3.iterations"};
+      "run.updates", "worker.0.iterations", "worker.3.iterations",
+      "transport.bytes_sent", "transport.bytes_received",
+      "transport.payload_copies"};
   for (const char* name : shared_counters) {
     EXPECT_GT(threaded.metrics.counter(name), 0.0) << "threaded: " << name;
     EXPECT_GT(simulated.metrics.counter(name), 0.0) << "sim: " << name;

@@ -17,7 +17,7 @@ TEST(TransportTest, SendRecvRoundTrip) {
   EXPECT_EQ(env->tag, 7u);
   EXPECT_EQ(env->kind, 1);
   EXPECT_EQ(env->ints, (std::vector<int64_t>{42}));
-  EXPECT_EQ(env->floats, (std::vector<float>{1.5f}));
+  EXPECT_EQ(env->payload.ToVector(), (std::vector<float>{1.5f}));
 }
 
 TEST(TransportTest, SendToInvalidNodeFails) {
@@ -31,7 +31,7 @@ TEST(TransportTest, PairwiseFifoOrder) {
   InProcTransport transport(2);
   Endpoint a(&transport, 0), b(&transport, 1);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(a.Send(1, 0, 1, {i}, {}).ok());
+    ASSERT_TRUE(a.Send(1, 0, 1, {i}).ok());
   }
   for (int i = 0; i < 10; ++i) {
     auto env = b.RecvAny();
@@ -49,18 +49,18 @@ TEST(TransportTest, RecvMatchingStashesOtherMessages) {
   // Ask for b's message first although a's arrived first.
   auto from_b = c.RecvMatching(1, 9, 5);
   ASSERT_TRUE(from_b.has_value());
-  EXPECT_EQ(from_b->floats[0], 2.0f);
+  EXPECT_EQ(from_b->payload[0], 2.0f);
   // a's message was stashed and is still deliverable.
   auto from_a = c.RecvMatching(0, 1, 5);
   ASSERT_TRUE(from_a.has_value());
-  EXPECT_EQ(from_a->floats[0], 1.0f);
+  EXPECT_EQ(from_a->payload[0], 1.0f);
 }
 
 TEST(TransportTest, RecvFromFiltersBySender) {
   InProcTransport transport(3);
   Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
-  ASSERT_TRUE(b.Send(2, 0, 1, {}, {}).ok());
-  ASSERT_TRUE(a.Send(2, 0, 2, {}, {}).ok());
+  ASSERT_TRUE(b.Send(2, 0, 1, {}).ok());
+  ASSERT_TRUE(a.Send(2, 0, 2, {}).ok());
   auto env = c.RecvFrom(0);
   ASSERT_TRUE(env.has_value());
   EXPECT_EQ(env->from, 0);
@@ -78,9 +78,9 @@ TEST(TransportTest, StashCountersTrackParkedMessages) {
   EXPECT_EQ(c.stash_high_water(), 0u);
 
   // Two out-of-order messages park while c waits for a specific one.
-  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/5, {}, {}).ok());
-  ASSERT_TRUE(a.Send(2, /*tag=*/2, /*kind=*/5, {}, {}).ok());
-  ASSERT_TRUE(b.Send(2, /*tag=*/3, /*kind=*/5, {}, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/5, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/2, /*kind=*/5, {}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/3, /*kind=*/5, {}).ok());
   auto env = c.RecvMatching(1, 3, 5);
   ASSERT_TRUE(env.has_value());
   EXPECT_EQ(c.stash_size(), 2u);
@@ -97,9 +97,9 @@ TEST(TransportTest, StashedMessagesDrainInFifoOrderViaRecvAny) {
   InProcTransport transport(3);
   Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(a.Send(2, /*tag=*/static_cast<uint64_t>(i), 1, {i}, {}).ok());
+    ASSERT_TRUE(a.Send(2, /*tag=*/static_cast<uint64_t>(i), 1, {i}).ok());
   }
-  ASSERT_TRUE(b.Send(2, 0, 1, {99}, {}).ok());
+  ASSERT_TRUE(b.Send(2, 0, 1, {99}).ok());
   // Waiting on b parks all five of a's messages.
   auto from_b = c.RecvFrom(1);
   ASSERT_TRUE(from_b.has_value());
@@ -129,13 +129,13 @@ TEST(TransportTest, SendAfterShutdownFails) {
   InProcTransport transport(2);
   transport.Shutdown();
   Endpoint a(&transport, 0);
-  EXPECT_EQ(a.Send(1, 0, 0, {}, {}).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(a.Send(1, 0, 0, {}).code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(TransportTest, RecvMatchingForTimesOutWithoutLosingStash) {
   InProcTransport transport(2);
   Endpoint a(&transport, 0), b(&transport, 1);
-  ASSERT_TRUE(a.Send(1, /*tag=*/1, /*kind=*/5, {}, {}).ok());
+  ASSERT_TRUE(a.Send(1, /*tag=*/1, /*kind=*/5, {}).ok());
   // Waiting for a message that never comes returns nullopt on deadline —
   // and the fabric is still open, so the caller knows it was a timeout.
   auto missing = b.RecvMatchingFor(0, /*tag=*/99, /*kind=*/5, 0.02);
@@ -162,8 +162,8 @@ TEST(TransportTest, RecvWhereForMatchesOnPayloadFields) {
   Endpoint a(&transport, 0), b(&transport, 1);
   // Two chunks from the same (from, tag, kind) conversation differing only
   // in their step counter — the case plain RecvMatching cannot split.
-  ASSERT_TRUE(a.Send(1, /*tag=*/4, /*kind=*/101, {/*step=*/2, 0}, {}).ok());
-  ASSERT_TRUE(a.Send(1, /*tag=*/4, /*kind=*/101, {/*step=*/1, 0}, {}).ok());
+  ASSERT_TRUE(a.Send(1, /*tag=*/4, /*kind=*/101, {/*step=*/2, 0}).ok());
+  ASSERT_TRUE(a.Send(1, /*tag=*/4, /*kind=*/101, {/*step=*/1, 0}).ok());
   auto step1 = b.RecvWhereFor(
       [](const Envelope& env) {
         return env.kind == 101 && !env.ints.empty() && env.ints[0] == 1;
@@ -179,8 +179,8 @@ TEST(TransportTest, TryTakeStashedLiftsParkedControlMessages) {
   InProcTransport transport(3);
   Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
   // An out-of-band abort (kind 10) parks while c waits on a data chunk.
-  ASSERT_TRUE(b.Send(2, /*tag=*/8, /*kind=*/10, {}, {}).ok());
-  ASSERT_TRUE(a.Send(2, /*tag=*/8, /*kind=*/101, {}, {}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/8, /*kind=*/10, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/8, /*kind=*/101, {}).ok());
   ASSERT_TRUE(c.RecvMatching(0, 8, 101).has_value());
   EXPECT_EQ(c.stash_size(), 1u);
   // Nothing matching: stash untouched.
@@ -199,9 +199,9 @@ TEST(TransportTest, PurgeStashDropsOnlyMatchingMessages) {
   InProcTransport transport(2);
   Endpoint a(&transport, 0), b(&transport, 1);
   for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(a.Send(1, /*tag=*/7, /*kind=*/101, {i}, {}).ok());
+    ASSERT_TRUE(a.Send(1, /*tag=*/7, /*kind=*/101, {i}).ok());
   }
-  ASSERT_TRUE(a.Send(1, /*tag=*/3, /*kind=*/1, {}, {}).ok());
+  ASSERT_TRUE(a.Send(1, /*tag=*/3, /*kind=*/1, {}).ok());
   // Park everything behind a selective receive for the tag-3 message.
   ASSERT_TRUE(b.RecvMatching(0, 3, 1).has_value());
   EXPECT_EQ(b.stash_size(), 4u);
@@ -217,10 +217,10 @@ TEST(TransportTest, StashGrowsWhenPeerExitsMidConversation) {
   Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
   // a starts a conversation with c, then "exits" without finishing it; b's
   // messages are what c actually wants next.
-  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {0}, {}).ok());
-  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {1}, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {0}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {1}).ok());
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(b.Send(2, /*tag=*/2, /*kind=*/101, {i}, {}).ok());
+    ASSERT_TRUE(b.Send(2, /*tag=*/2, /*kind=*/101, {i}).ok());
     auto env = c.RecvMatchingFor(1, 2, 101, 1.0);
     ASSERT_TRUE(env.has_value());
     EXPECT_EQ(env->ints[0], i);
@@ -238,9 +238,9 @@ TEST(TransportTest, StashGrowsWhenPeerExitsMidConversation) {
 TEST(TransportTest, EndpointSendAfterShutdownFailsPrecondition) {
   InProcTransport transport(2);
   Endpoint a(&transport, 0), b(&transport, 1);
-  ASSERT_TRUE(a.Send(1, 0, 1, {}, {}).ok());
+  ASSERT_TRUE(a.Send(1, 0, 1, {}).ok());
   transport.Shutdown();
-  EXPECT_EQ(a.Send(1, 0, 2, {}, {}).code(),
+  EXPECT_EQ(a.Send(1, 0, 2, {}).code(),
             StatusCode::kFailedPrecondition);
   // Messages sent before shutdown still drain.
   auto env = b.RecvAny();
@@ -254,15 +254,15 @@ TEST(TransportTest, EndpointSendAfterShutdownFailsPrecondition) {
 TEST(TransportTest, StashReplayInterleavesWithMailboxOnRecvAny) {
   InProcTransport transport(3);
   Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
-  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {10}, {}).ok());
-  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {11}, {}).ok());
-  ASSERT_TRUE(b.Send(2, /*tag=*/9, /*kind=*/1, {}, {}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {10}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {11}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/9, /*kind=*/1, {}).ok());
   // Park a's two chunks behind a selective receive for b's message.
   ASSERT_TRUE(c.RecvMatching(1, 9, 1).has_value());
   ASSERT_EQ(c.stash_size(), 2u);
   // New mailbox arrivals queue *behind* the stash: RecvAny replays parked
   // messages first (oldest-first), then reads fresh ones.
-  ASSERT_TRUE(b.Send(2, /*tag=*/9, /*kind=*/2, {}, {}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/9, /*kind=*/2, {}).ok());
   auto first = c.RecvAny();
   auto second = c.RecvAny();
   auto third = c.RecvAny();
@@ -272,12 +272,77 @@ TEST(TransportTest, StashReplayInterleavesWithMailboxOnRecvAny) {
   EXPECT_EQ(third->kind, 2);
 }
 
+TEST(TransportTest, ByteCountersTrackPayloadTraffic) {
+  InProcTransport transport(2);
+  Endpoint a(&transport, 0), b(&transport, 1);
+  MetricsRegistry registry;
+  MetricsShard* ma = registry.NewShard();
+  MetricsShard* mb = registry.NewShard();
+  a.AttachObservers(ma, "", nullptr, nullptr);
+  b.AttachObservers(mb, "", nullptr, nullptr);
+
+  ASSERT_TRUE(a.Send(1, 1, 1, {}, std::vector<float>{1.0f, 2.0f, 3.0f}).ok());
+  ASSERT_TRUE(a.Send(1, 2, 1, {}).ok());  // control message: no payload bytes
+  ASSERT_TRUE(b.RecvMatching(0, 1, 1).has_value());
+  ASSERT_TRUE(b.RecvMatching(0, 2, 1).has_value());
+
+  EXPECT_EQ(ma->GetCounter("transport.bytes_sent")->value(),
+            3 * sizeof(float));
+  EXPECT_EQ(mb->GetCounter("transport.bytes_received")->value(),
+            3 * sizeof(float));
+  // The vector-adopting send is exactly one payload materialization.
+  EXPECT_EQ(ma->GetCounter("transport.payload_copies")->value(), 1.0);
+}
+
+TEST(TransportTest, BroadcastCopiesPayloadOnce) {
+  // One MakePayload + P shared-handle sends: payload_copies stays O(1) in
+  // the receiver count — the zero-copy data plane's core invariant.
+  const int kReceivers = 7;
+  InProcTransport transport(kReceivers + 1);
+  Endpoint root(&transport, 0);
+  MetricsRegistry registry;
+  MetricsShard* metrics = registry.NewShard();
+  root.AttachObservers(metrics, "", nullptr, nullptr);
+
+  std::vector<float> model(256, 1.25f);
+  Buffer payload = root.MakePayload(model.data(), model.size());
+  for (int r = 1; r <= kReceivers; ++r) {
+    ASSERT_TRUE(root.Send(r, 0, 1, {}, payload).ok());
+  }
+  EXPECT_EQ(metrics->GetCounter("transport.payload_copies")->value(), 1.0);
+  EXPECT_EQ(metrics->GetCounter("transport.bytes_sent")->value(),
+            static_cast<double>(kReceivers * 256 * sizeof(float)));
+
+  // Every receiver sees the same allocation (refcount share, not a clone).
+  for (int r = 1; r <= kReceivers; ++r) {
+    Endpoint ep(&transport, r);
+    auto env = ep.RecvAny();
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(env->payload.data(), payload.data());
+  }
+}
+
+TEST(TransportTest, SharedPayloadSendDoesNotCountACopy) {
+  InProcTransport transport(2);
+  Endpoint a(&transport, 0);
+  MetricsRegistry registry;
+  MetricsShard* metrics = registry.NewShard();
+  a.AttachObservers(metrics, "", nullptr, nullptr);
+
+  std::vector<float> v = {1.0f, 2.0f};
+  Buffer payload = a.MakePayload(v.data(), v.size());
+  EXPECT_EQ(metrics->GetCounter("transport.payload_copies")->value(), 1.0);
+  ASSERT_TRUE(a.Send(1, 0, 1, {}, payload).ok());
+  ASSERT_TRUE(a.Send(1, 1, 1, {}, payload).ok());
+  EXPECT_EQ(metrics->GetCounter("transport.payload_copies")->value(), 1.0);
+}
+
 TEST(TransportTest, CrossThreadDelivery) {
   InProcTransport transport(2);
   std::thread sender([&] {
     Endpoint a(&transport, 0);
     for (int i = 0; i < 100; ++i) {
-      ASSERT_TRUE(a.Send(1, 0, 1, {i}, {}).ok());
+      ASSERT_TRUE(a.Send(1, 0, 1, {i}).ok());
     }
   });
   Endpoint b(&transport, 1);
