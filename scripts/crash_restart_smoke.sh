@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Crash-restart smoke: start a checkpointing training run, kill -9 it once
+# at least two manifests are on disk, then rerun the same command and assert
+# it resumes from the latest manifest and finishes the full budget.
+#
+# Usage: crash_restart_smoke.sh <path-to-checkpoint_restart-binary>
+set -euo pipefail
+
+BIN=${1:?usage: crash_restart_smoke.sh <checkpoint_restart binary>}
+CKPT_DIR=$(mktemp -d)
+trap 'rm -rf "$CKPT_DIR"' EXIT
+
+"$BIN" "$CKPT_DIR" > "$CKPT_DIR/run1.log" 2>&1 &
+PID=$!
+
+# Wait for the run to make checkpointed progress, then kill it mid-flight.
+# Under TSan the same binary runs much slower, so poll rather than sleep a
+# fixed amount; bail out if the run finishes before we manage to kill it.
+for _ in $(seq 1 300); do
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: run finished before it could be killed" >&2
+    cat "$CKPT_DIR/run1.log" >&2
+    exit 1
+  fi
+  manifests=$(find "$CKPT_DIR" -name 'manifest-*.prm' | wc -l)
+  if [ "$manifests" -ge 2 ]; then
+    break
+  fi
+  sleep 0.1
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+manifests=$(find "$CKPT_DIR" -name 'manifest-*.prm' | wc -l)
+if [ "$manifests" -lt 2 ]; then
+  echo "FAIL: only $manifests manifests before the kill" >&2
+  exit 1
+fi
+echo "killed pid $PID with $manifests manifests on disk"
+
+# The rerun must take the resume path and finish every worker's budget
+# (the binary exits non-zero if any worker stops short).
+"$BIN" "$CKPT_DIR" | tee "$CKPT_DIR/run2.log"
+grep -q "Resuming from" "$CKPT_DIR/run2.log"
+grep -q "run complete" "$CKPT_DIR/run2.log"
+echo "crash-restart smoke OK"

@@ -29,6 +29,14 @@ Controller::Controller(const ControllerOptions& options)
   PR_CHECK_LE(options.group_size, options.num_workers);
 }
 
+void Controller::Restore(const ControllerRestoreState& state) {
+  for (const std::vector<int>& group : state.history) {
+    if (group.empty()) continue;
+    history_.Record(group);
+  }
+  next_group_id_ = std::max(next_group_id_, state.next_group_id);
+}
+
 void Controller::AttachObservers(MetricsShard* metrics, TraceRecorder* trace,
                                  std::function<double()> now) {
   trace_ = trace;

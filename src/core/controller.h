@@ -48,6 +48,20 @@ struct GroupDecision {
   bool bridged = false;                ///< formed by frozen-avoidance repair
 };
 
+/// \brief Rebuilt or persisted controller state, applied to a fresh
+/// controller on failover (rebuilt from worker re-registrations) or on a
+/// checkpoint restore (read from the manifest).
+struct ControllerRestoreState {
+  /// Group-history window, oldest first. Member sets may be partial after a
+  /// failover (only surviving workers report their memberships); the
+  /// sync-graph built from partial groups has a subset of the true edges,
+  /// which can only make frozen detection more eager, never less.
+  std::vector<std::vector<int>> history;
+  /// Group-id watermark: ids handed out after the restore start here, so
+  /// workers' ascending-id GroupInfo dedup keeps rejecting stale re-sends.
+  uint64_t next_group_id = 1;
+};
+
 /// \brief Counters exposed for tests and reports.
 struct ControllerStats {
   uint64_t signals_received = 0;
@@ -124,9 +138,15 @@ class Controller {
   /// frozen-avoidance invariant survives eviction unchanged.
   std::vector<GroupDecision> EvictWorker(int worker);
 
+  /// Seeds a fresh controller with recovered state. Call before the first
+  /// signal: the history window resumes frozen-avoidance with pre-crash
+  /// knowledge and the id watermark never moves backwards.
+  void Restore(const ControllerRestoreState& state);
+
   const ControllerOptions& options() const { return options_; }
   const ControllerStats& stats() const { return stats_; }
   const GroupHistory& history() const { return history_; }
+  uint64_t next_group_id() const { return next_group_id_; }
 
   /// E[W_k] accumulated so far; requires record_sync_matrices and at least
   /// one formed group.

@@ -11,7 +11,12 @@ constexpr uint64_t kDelaySalt = 0x64656c61ULL;  // "dela"
 }  // namespace
 
 bool FaultPlan::enabled() const {
-  return has_message_faults() || !worker_events.empty();
+  return has_message_faults() || !worker_events.empty() ||
+         has_controller_faults();
+}
+
+bool FaultPlan::has_controller_faults() const {
+  return !controller_events.empty();
 }
 
 bool FaultPlan::has_message_faults() const {
@@ -78,6 +83,35 @@ FaultPlan MakeChaosPlan(uint64_t seed, int crash_worker,
   crash.after_iterations = crash_after_iterations;
   crash.in_group = true;
   plan.worker_events.push_back(crash);
+  return plan;
+}
+
+FaultPlan MakeControllerCrashPlan(uint64_t seed, uint64_t after_groups,
+                                  double drop_prob) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_edge.drop_prob = drop_prob;
+  ControllerFaultEvent crash;
+  crash.after_groups = after_groups;
+  crash.restart = false;
+  // A permanent outage ends with every worker exhausting its park budget;
+  // keep that budget short enough for tests while leaving several
+  // re-registration attempts before the give-up.
+  plan.max_controller_outage_seconds = 1.0;
+  plan.controller_events.push_back(crash);
+  return plan;
+}
+
+FaultPlan MakeControllerRestartPlan(uint64_t seed, uint64_t after_groups,
+                                    double down_seconds, double drop_prob) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_edge.drop_prob = drop_prob;
+  ControllerFaultEvent crash;
+  crash.after_groups = after_groups;
+  crash.down_seconds = down_seconds;
+  crash.restart = true;
+  plan.controller_events.push_back(crash);
   return plan;
 }
 

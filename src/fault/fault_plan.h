@@ -44,6 +44,22 @@ struct WorkerFaultEvent {
   int slowdown_iterations = 0;      ///< kSlowdown: 0 = rest of run
 };
 
+/// \brief One scheduled controller outage.
+///
+/// The controller crashes once `after_groups` groups have been formed
+/// (both engines count formed groups identically, so the trigger is
+/// engine-agnostic). Its endpoint is severed — messages to it vanish like
+/// on a dead host — its entire in-memory state is discarded, and, when
+/// `restart` is set, a fresh controller comes back `down_seconds` later
+/// and rebuilds from worker re-registrations. Without `restart` the
+/// outage is permanent: workers park, give up after
+/// max_controller_outage_seconds, and finish their budgets locally.
+struct ControllerFaultEvent {
+  uint64_t after_groups = 1;
+  double down_seconds = 0.2;
+  bool restart = true;
+};
+
 /// \brief A deterministic, seed-driven schedule of faults for one run.
 ///
 /// Message-level decisions are pure functions of (seed, from, to, per-edge
@@ -58,6 +74,8 @@ struct FaultPlan {
   /// default_edge.
   std::map<std::pair<int, int>, EdgeFaultSpec> edges;
   std::vector<WorkerFaultEvent> worker_events;
+  /// Scheduled controller outages, applied in order of `after_groups`.
+  std::vector<ControllerFaultEvent> controller_events;
 
   // --- Failure-detection / retry knobs (threaded engine) ---
   /// A worker's lease lapses this long after its last message; it must beat
@@ -88,6 +106,27 @@ struct FaultPlan {
   double max_verdict_wait_seconds = 2.0;
   double max_reduce_stall_seconds = 1.5;
 
+  // --- Controller-failover knobs ---
+  /// While the controller is unreachable a worker parks in a bounded
+  /// backoff loop: it re-sends its registration (iteration counter, last
+  /// group id, ready status) starting at `reregister_backoff_seconds`
+  /// between attempts, doubling up to `reregister_backoff_max_seconds`.
+  double reregister_backoff_seconds = 0.05;
+  double reregister_backoff_max_seconds = 0.4;
+  /// A restarted controller collects re-registrations for this long before
+  /// rebuilding its pending queue / history and resuming group formation.
+  /// Must exceed reregister_backoff_max_seconds so every parked worker
+  /// lands at least one attempt inside the window.
+  double reregister_window_seconds = 0.6;
+  /// A parked worker abandons the controller for good after this long and
+  /// falls back to local computation — the liveness valve that lets a run
+  /// survive a permanent (no-restart) controller loss.
+  double max_controller_outage_seconds = 5.0;
+  /// How many recently completed group ids a worker reports when it
+  /// re-registers (the restarted controller rebuilds its group-history
+  /// window from these).
+  int reregister_report_groups = 8;
+
   /// True when this plan can inject anything; false plans leave every
   /// runtime code path on the fault-free fast path.
   bool enabled() const;
@@ -95,6 +134,10 @@ struct FaultPlan {
   /// Fault plans are only meaningful for a controller-mediated P-Reduce run;
   /// other strategies would need their own recovery protocol.
   bool has_message_faults() const;
+
+  /// True when the plan schedules at least one controller outage (switches
+  /// the runtime to the severable transport + re-registration protocol).
+  bool has_controller_faults() const;
 
   const EdgeFaultSpec& EdgeSpec(int from, int to) const;
 
@@ -117,5 +160,17 @@ uint64_t FaultHash(uint64_t seed, uint64_t a, uint64_t b, uint64_t c);
 /// crash on `crash_worker` plus uniform `drop_prob` message drops.
 FaultPlan MakeChaosPlan(uint64_t seed, int crash_worker,
                         int crash_after_iterations, double drop_prob);
+
+/// \brief Chaos-plan variant: a permanent controller crash after
+/// `after_groups` formed groups (no restart — workers park, give up, and
+/// finish locally), plus uniform `drop_prob` message drops.
+FaultPlan MakeControllerCrashPlan(uint64_t seed, uint64_t after_groups,
+                                  double drop_prob);
+
+/// \brief Chaos-plan variant: controller crash after `after_groups` formed
+/// groups followed by a restart `down_seconds` later, recovering via worker
+/// re-registration, plus uniform `drop_prob` message drops.
+FaultPlan MakeControllerRestartPlan(uint64_t seed, uint64_t after_groups,
+                                    double down_seconds, double drop_prob);
 
 }  // namespace pr

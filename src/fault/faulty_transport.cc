@@ -17,8 +17,27 @@ FaultyTransport::FaultyTransport(Transport* inner, FaultPlan plan)
     : inner_(inner),
       plan_(std::move(plan)),
       seq_(static_cast<size_t>(inner->num_nodes()) *
-           static_cast<size_t>(inner->num_nodes())) {
+           static_cast<size_t>(inner->num_nodes())),
+      severed_(static_cast<size_t>(inner->num_nodes())) {
   PR_CHECK(inner != nullptr);
+}
+
+void FaultyTransport::SeverNode(NodeId node) {
+  PR_CHECK_GE(node, 0);
+  PR_CHECK_LT(node, inner_->num_nodes());
+  severed_[static_cast<size_t>(node)].store(true, std::memory_order_release);
+}
+
+void FaultyTransport::RestoreNode(NodeId node) {
+  PR_CHECK_GE(node, 0);
+  PR_CHECK_LT(node, inner_->num_nodes());
+  severed_[static_cast<size_t>(node)].store(false,
+                                            std::memory_order_release);
+}
+
+bool FaultyTransport::node_severed(NodeId node) const {
+  return node >= 0 && node < inner_->num_nodes() &&
+         severed_[static_cast<size_t>(node)].load(std::memory_order_acquire);
 }
 
 FaultyTransport::~FaultyTransport() {
@@ -39,10 +58,18 @@ void FaultyTransport::AttachObservers(MetricsShard* metrics,
     drop_counter_ = metrics->GetCounter("fault.injected_drops");
     dup_counter_ = metrics->GetCounter("fault.injected_dups");
     delay_counter_ = metrics->GetCounter("fault.injected_delays");
+    severed_counter_ = metrics->GetCounter("fault.severed_drops");
   }
 }
 
 Status FaultyTransport::Send(NodeId to, Envelope env) {
+  if (node_severed(to)) {
+    // The destination host is gone: the message vanishes and the sender
+    // cannot tell (it would need an ack protocol to notice).
+    severed_drops_.fetch_add(1, std::memory_order_relaxed);
+    if (severed_counter_ != nullptr) severed_counter_->Increment();
+    return Status::OK();
+  }
   const int n = inner_->num_nodes();
   const int from = env.from;
   const EdgeFaultSpec& spec =
@@ -131,7 +158,14 @@ void FaultyTransport::DeliveryLoop() {
     Delayed item = std::move(const_cast<Delayed&>(pending_.top()));
     pending_.pop();
     lock.unlock();
-    (void)inner_->Send(item.to, std::move(item.env));
+    if (node_severed(item.to)) {
+      // The destination dropped off the network while the message was in
+      // flight: it is lost, not merely late.
+      severed_drops_.fetch_add(1, std::memory_order_relaxed);
+      if (severed_counter_ != nullptr) severed_counter_->Increment();
+    } else {
+      (void)inner_->Send(item.to, std::move(item.env));
+    }
     lock.lock();
   }
 }

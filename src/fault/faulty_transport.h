@@ -60,6 +60,17 @@ class FaultyTransport : public Transport {
   uint64_t injected_drops() const { return drops_.load(); }
   uint64_t injected_dups() const { return dups_.load(); }
   uint64_t injected_delays() const { return delays_.load(); }
+  uint64_t severed_drops() const { return severed_drops_.load(); }
+
+  /// Severs `node`'s inbound edges: every Send addressed to it (including
+  /// delayed deliveries coming due) is swallowed, exactly like a host that
+  /// dropped off the network. The sender still sees OK. Used to take the
+  /// controller endpoint down for a scheduled outage.
+  void SeverNode(NodeId node);
+  /// Reconnects a severed node. Messages swallowed in between stay lost —
+  /// the failover protocol (re-registration) must tolerate that.
+  void RestoreNode(NodeId node);
+  bool node_severed(NodeId node) const;
 
  private:
   struct Delayed {
@@ -76,10 +87,14 @@ class FaultyTransport : public Transport {
   FaultPlan plan_;
   // Per-(from, to) send sequence numbers; indexed from * num_nodes + to.
   std::vector<std::atomic<uint64_t>> seq_;
+  // Severed (unreachable) nodes; one flag per node id.
+  std::vector<std::atomic<bool>> severed_;
 
+  std::atomic<uint64_t> severed_drops_{0};
   std::atomic<uint64_t> drops_{0};
   std::atomic<uint64_t> dups_{0};
   std::atomic<uint64_t> delays_{0};
+  Counter* severed_counter_ = nullptr;
   Counter* drop_counter_ = nullptr;
   Counter* dup_counter_ = nullptr;
   Counter* delay_counter_ = nullptr;

@@ -1,5 +1,6 @@
 #include "models/checkpoint.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -10,9 +11,9 @@ constexpr char kMagic[8] = {'P', 'R', 'C', 'K', 'P', 'T', '0', '1'};
 
 }  // namespace
 
-uint64_t Fnv1a(const void* data, size_t bytes) {
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t state) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
-  uint64_t hash = 0xcbf29ce484222325ull;
+  uint64_t hash = state;
   for (size_t i = 0; i < bytes; ++i) {
     hash ^= p[i];
     hash *= 0x100000001b3ull;
@@ -20,24 +21,52 @@ uint64_t Fnv1a(const void* data, size_t bytes) {
   return hash;
 }
 
-Status SaveCheckpoint(const std::string& path,
-                      const std::vector<float>& params) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Unavailable("cannot open checkpoint for writing: " + path);
+Status SaveCheckpointSpans(const std::string& path,
+                           const std::vector<Slice>& spans) {
+  // Crash safety: assemble under a tmp name, rename into place. rename(2)
+  // within one directory is atomic on POSIX, so readers only ever see the
+  // old complete file or the new complete file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("cannot open checkpoint for writing: " +
+                                 tmp);
+    }
+    out.write(kMagic, sizeof(kMagic));
+    uint64_t count = 0;
+    for (const Slice& s : spans) count += s.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    uint64_t checksum = 0xcbf29ce484222325ull;
+    for (const Slice& s : spans) {
+      const size_t bytes = s.size() * sizeof(float);
+      out.write(reinterpret_cast<const char*>(s.data()),
+                static_cast<std::streamsize>(bytes));
+      checksum = Fnv1a(s.data(), bytes, checksum);
+    }
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::Unavailable("short write to checkpoint: " + tmp);
+    }
   }
-  out.write(kMagic, sizeof(kMagic));
-  const uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  const size_t bytes = params.size() * sizeof(float);
-  out.write(reinterpret_cast<const char*>(params.data()),
-            static_cast<std::streamsize>(bytes));
-  const uint64_t checksum = Fnv1a(params.data(), bytes);
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  if (!out) {
-    return Status::Unavailable("short write to checkpoint: " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("cannot rename checkpoint into place: " +
+                               path);
   }
   return Status::OK();
+}
+
+Status SaveCheckpoint(const std::string& path, Slice params) {
+  return SaveCheckpointSpans(path, {params});
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<float>& params) {
+  return SaveCheckpointSpans(path, {Slice(params.data(), params.size())});
 }
 
 Status LoadCheckpoint(const std::string& path, std::vector<float>* params) {

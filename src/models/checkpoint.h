@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/status.h"
 
 namespace pr {
@@ -13,17 +14,36 @@ namespace pr {
 /// payload, uint64 FNV-1a checksum of the payload. Load validates magic,
 /// size and checksum and fails with a Status rather than returning
 /// corrupted weights.
+///
+/// Writes are crash-safe: the file is assembled under `path + ".tmp"` and
+/// renamed into place only after a successful full write, so a crash
+/// mid-write can never leave a torn file at `path` that passes the magic
+/// check — at worst a stale tmp file, which the next save overwrites.
 
 /// Writes `params` to `path`, overwriting. Returns an IO error Status on
-/// failure.
+/// failure (the previous file at `path`, if any, is left intact).
 Status SaveCheckpoint(const std::string& path,
                       const std::vector<float>& params);
+
+/// Span form: checkpoints any contiguous float range — e.g. a ParamStore
+/// arena replica — without copying it into a vector first.
+Status SaveCheckpoint(const std::string& path, Slice params);
+
+/// Multi-span form: the spans are written back to back as one logical
+/// vector (count = sum of span sizes, one checksum over the concatenation),
+/// so disjoint ranges — a replica and its optimizer velocity — land in one
+/// checkpoint without being materialized contiguously. LoadCheckpoint reads
+/// the result as a single flat vector.
+Status SaveCheckpointSpans(const std::string& path,
+                           const std::vector<Slice>& spans);
 
 /// Reads a checkpoint into `params` (resized). Validates magic, length and
 /// checksum.
 Status LoadCheckpoint(const std::string& path, std::vector<float>* params);
 
-/// FNV-1a over raw bytes; exposed for tests.
-uint64_t Fnv1a(const void* data, size_t bytes);
+/// FNV-1a over raw bytes; exposed for tests. `state` chains incremental
+/// hashing across spans (pass the previous return value).
+uint64_t Fnv1a(const void* data, size_t bytes,
+               uint64_t state = 0xcbf29ce484222325ull);
 
 }  // namespace pr

@@ -168,4 +168,12 @@ const std::vector<double>& StalenessBuckets() {
   return kBuckets;
 }
 
+const std::vector<double>& CkptSaveSecondsBuckets() {
+  // Checkpoint writes are filesystem-bound: decades from 10us to 10s cover
+  // everything from a tiny proxy-model shard on tmpfs to a slow disk.
+  static const std::vector<double> kBuckets = {
+      1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+  return kBuckets;
+}
+
 }  // namespace pr

@@ -149,4 +149,7 @@ const std::vector<double>& DecisionLatencyBuckets();
 /// plus overflow, matching the legacy per-value staleness histogram.
 const std::vector<double>& StalenessBuckets();
 
+/// Canonical buckets for ckpt.save_seconds (checkpoint write latency).
+const std::vector<double>& CkptSaveSecondsBuckets();
+
 }  // namespace pr

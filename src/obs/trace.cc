@@ -36,6 +36,14 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "group_aborted";
     case TraceEventKind::kWorkerRetry:
       return "worker_retry";
+    case TraceEventKind::kControllerCrash:
+      return "controller_crash";
+    case TraceEventKind::kControllerRestart:
+      return "controller_restart";
+    case TraceEventKind::kWorkerReregister:
+      return "worker_reregister";
+    case TraceEventKind::kCkptSaved:
+      return "ckpt_saved";
   }
   return "unknown";
 }

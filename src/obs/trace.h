@@ -26,6 +26,10 @@ enum class TraceEventKind {
   kWorkerEvicted,    ///< failure detector declared a worker dead
   kGroupAborted,     ///< controller aborted an in-flight group; a = group id
   kWorkerRetry,      ///< worker re-sent a ready signal after a stall
+  kControllerCrash,  ///< controller endpoint went down; a = groups formed
+  kControllerRestart,  ///< controller came back; a = failover count
+  kWorkerReregister,   ///< worker re-registered with a restarted controller
+  kCkptSaved,        ///< checkpoint manifest written; a = epoch, b = updates
 };
 
 /// Stable lower_snake name ("group_formed", ...), used in JSON output.

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -7,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/manifest.h"
 #include "comm/collectives.h"
 #include "common/check.h"
 #include "core/controller.h"
@@ -31,6 +33,17 @@ constexpr int kKindHeartbeat = 7;   ///< off-cycle lease renewal
 constexpr int kKindGroupDone = 8;   ///< member finished its group reduce
 constexpr int kKindGroupStuck = 9;  ///< member stalled mid-reduce; escalate
 constexpr int kKindAbort = 10;      ///< controller: give up on this group
+// Controller-failover extensions: a worker that has gone long enough
+// without a controller verdict re-announces its full protocol state
+// (iteration counter, local-iteration count, group-id watermark, recently
+// completed group ids); a restarted controller rebuilds its signal queue,
+// history window, and id watermark from these.
+constexpr int kKindReregister = 11;     ///< worker state snapshot
+constexpr int kKindReregisterAck = 12;  ///< controller: snapshot recorded
+// Coordinated checkpointing: a worker that wrote its shard for a cut
+// reports {epoch, iteration, completed}; the controller assembles the
+// manifest once every worker of the run has reported the epoch.
+constexpr int kKindCkptReport = 13;
 
 // Data-plane kinds of the fault-aware ring reduce. Distinct from the stock
 // collectives' 101-107 because matching here must include the step counter
@@ -152,6 +165,86 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
   return ReduceOutcome::kDone;
 }
 
+/// Controller-side half of the coordinated checkpoint (P-Reduce): workers
+/// write their shards at local-iteration cuts and report them; once every
+/// worker of the run has reported an epoch, the manifest — binding the
+/// shards to the controller's group-history window and id watermark — is
+/// written atomically. Reports lost to chaos (or a worker crash) leave that
+/// epoch incomplete and unwritten; the previous manifest stays the restore
+/// point.
+class ServiceCkpt {
+ public:
+  ServiceCkpt(ServiceContext* ctx, const StrategyOptions& sopts)
+      : ctx_(ctx), sopts_(sopts) {
+    if (!ctx->run().ckpt.enabled() ||
+        ctx->run().ckpt.every_iterations == 0) {
+      return;
+    }
+    enabled_ = true;
+    manifests_counter_ = ctx->metrics()->GetCounter("ckpt.manifests_written");
+    save_hist_ = ctx->metrics()->GetHistogram("ckpt.save_seconds",
+                                              CkptSaveSecondsBuckets());
+  }
+
+  void OnReport(const Envelope& env, const Controller& controller,
+                uint64_t updates_done) {
+    if (!enabled_ || env.ints.size() < 3) return;
+    const int64_t epoch = env.ints[0];
+    if (epoch <= last_written_) return;  // stale straggler
+    Epoch& e = epochs_[epoch];
+    e.reports[env.from] = {env.ints[1], static_cast<uint64_t>(env.ints[2])};
+    if (e.reports.size() < static_cast<size_t>(ctx_->run().num_workers)) {
+      return;
+    }
+
+    RunManifest m;
+    m.engine = "threaded";
+    m.strategy = StrategyKindName(sopts_.kind);
+    m.num_workers = ctx_->run().num_workers;
+    m.num_params = static_cast<uint64_t>(ctx_->num_params());
+    m.seed = ctx_->run().seed;
+    m.epoch = static_cast<uint64_t>(epoch);
+    m.updates_done = updates_done;
+    m.next_group_id = controller.next_group_id();
+    m.saved_at_seconds = ctx_->Now();
+    for (const std::vector<int>& g : controller.history().groups()) {
+      m.history.push_back(g);
+    }
+    for (const auto& [w, info] : e.reports) {
+      ManifestWorker mw;
+      mw.worker = w;
+      mw.iteration = info.first;
+      mw.completed = info.second;
+      mw.shard_file = ShardFileName(static_cast<uint64_t>(epoch), w);
+      m.workers.push_back(mw);
+    }
+    const double begin = ctx_->Now();
+    const Status s = SaveManifest(ctx_->run().ckpt.dir, m);
+    save_hist_->Observe(ctx_->Now() - begin);
+    if (s.ok()) {
+      manifests_counter_->Increment();
+      ctx_->trace()->Record(ctx_->Now(), TraceEventKind::kCkptSaved, -1,
+                            epoch, static_cast<int64_t>(updates_done));
+    }
+    last_written_ = epoch;
+    epochs_.erase(epochs_.begin(), epochs_.upper_bound(epoch));
+  }
+
+ private:
+  struct Epoch {
+    /// worker -> {protocol iteration, completed local iterations}.
+    std::map<int, std::pair<int64_t, uint64_t>> reports;
+  };
+
+  ServiceContext* ctx_;
+  StrategyOptions sopts_;
+  bool enabled_ = false;
+  int64_t last_written_ = 0;
+  std::map<int64_t, Epoch> epochs_;
+  Counter* manifests_counter_ = nullptr;
+  Histogram* save_hist_ = nullptr;
+};
+
 /// Partial reduce on real threads (Alg. 2): worker threads send ready
 /// signals; the service thread runs the controller (signal queue -> group
 /// filter -> weight generator -> group broadcaster) plus the termination
@@ -215,6 +308,13 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
   controller.AttachObservers(ctx->metrics(), ctx->trace(),
                              [ctx] { return ctx->Now(); });
   TraceRecorder* trace = ctx->trace();
+  ServiceCkpt ckpt(ctx, options_);
+  if (const RunManifest* rm = ctx->resume()) {
+    ControllerRestoreState rs;
+    rs.history = rm->history;
+    rs.next_group_id = rm->next_group_id;
+    controller.Restore(rs);
+  }
 
   int remaining = n;  // workers that have not permanently left
   int active = n;     // currently in the pool (excludes paused workers)
@@ -280,6 +380,9 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
         trace->Record(ctx->Now(), TraceEventKind::kChurnRejoin, env->from);
         broadcast(controller.NotifyWorkerRejoined(env->from));
         break;
+      case kKindCkptReport:
+        ckpt.OnReport(*env, controller, group_reduces_);
+        break;
       default:
         PR_CHECK(false) << "controller got unexpected kind " << env->kind;
     }
@@ -294,10 +397,6 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
   Endpoint* ep = ctx->endpoint();
   TraceRecorder* trace = ctx->trace();
 
-  Controller controller = MakeController(n);
-  controller.AttachObservers(ctx->metrics(), ctx->trace(),
-                             [ctx] { return ctx->Now(); });
-
   // Eagerly register the whole fault.* family so a chaos run's report
   // always carries the names, even when an injector never fired.
   Counter* evictions_counter = ctx->metrics()->GetCounter("fault.evictions");
@@ -308,7 +407,31 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
   ctx->metrics()->GetCounter("fault.retries");
   ctx->metrics()->GetCounter("fault.injected_drops");
   ctx->metrics()->GetCounter("fault.injected_dups");
-  ctx->metrics()->GetCounter("fault.injected_delays");
+  ctx->metrics()->GetCounter("fault.severed_drops");
+  Counter* failovers_counter =
+      ctx->metrics()->GetCounter("controller.failovers");
+  Counter* reregs_counter =
+      ctx->metrics()->GetCounter("controller.reregistrations");
+
+  ServiceCkpt ckpt(ctx, options_);
+
+  // Controller outage schedule, ordered by trigger point. Triggers are
+  // cumulative group counts, so they stay meaningful across restarts.
+  std::vector<ControllerFaultEvent> outages = plan.controller_events;
+  std::sort(outages.begin(), outages.end(),
+            [](const ControllerFaultEvent& a, const ControllerFaultEvent& b) {
+              return a.after_groups < b.after_groups;
+            });
+  size_t next_outage = 0;
+
+  // State that survives a controller crash. A worker that deregistered
+  // (Leave) is cluster-membership knowledge, not controller state: it will
+  // never re-register, so forgetting it would deadlock the restarted
+  // controller's termination count. Everything else — pending signals,
+  // in-flight groups, history, per-worker leases — dies with the
+  // incarnation and is rebuilt from re-registrations.
+  std::vector<bool> left_global(static_cast<size_t>(n), false);
+  uint64_t failovers = 0;
 
   // Per-worker control-plane state machine. The raw message stream is
   // at-least-once (drops trigger re-sends, dups come from the injector), so
@@ -322,6 +445,30 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
     std::set<int> done;
     int stuck_reports = 0;
   };
+  /// A worker's state snapshot from the recovery window after a restart.
+  struct Rereg {
+    int worker = -1;
+    int64_t iteration = 0;
+    uint64_t completed = 0;
+    uint64_t last_group_id = 0;
+    std::vector<uint64_t> done_groups;
+  };
+  enum class Exit { kAllLeft, kShutdown, kCrash };
+
+  while (true) {
+    // One controller incarnation: a fresh Controller plus fresh bookkeeping.
+  Controller controller = MakeController(n);
+  controller.AttachObservers(ctx->metrics(), ctx->trace(),
+                             [ctx] { return ctx->Now(); });
+  if (failovers == 0) {
+    if (const RunManifest* rm = ctx->resume()) {
+      ControllerRestoreState rs;
+      rs.history = rm->history;
+      rs.next_group_id = rm->next_group_id;
+      controller.Restore(rs);
+    }
+  }
+
   std::vector<WState> wstate(static_cast<size_t>(n), WState::kIdle);
   std::vector<int64_t> queued_iter(static_cast<size_t>(n), -1);
   std::vector<uint64_t> wgroup(static_cast<size_t>(n), 0);
@@ -330,241 +477,464 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
   FailureDetector detector(n, plan.lease_seconds, plan.missed_threshold,
                            ctx->Now());
 
-  int remaining = n;
-  int active = n;
-
-  auto release_pending = [&] {
-    for (const ReadySignal& s : controller.DrainPending()) {
-      const size_t w = static_cast<size_t>(s.worker);
-      if (wstate[w] == WState::kQueued) wstate[w] = WState::kIdle;
-      (void)ep->Send(s.worker, 0, kKindRelease, {});
-    }
-  };
-
-  auto send_group_info = [&](const InFlightGroup& f, int member) {
-    (void)ep->Send(member, static_cast<uint64_t>(f.info_ints[0]),
-                   kKindGroupInfo, f.info_ints, f.info_weights);
-  };
-
-  auto broadcast = [&](const std::vector<GroupDecision>& decisions) {
-    for (const GroupDecision& decision : decisions) {
-      ++group_reduces_;
-      InFlightGroup f;
-      f.members = decision.members;
-      f.iterations = decision.iterations;
-      f.info_ints.push_back(static_cast<int64_t>(decision.group_id));
-      f.info_ints.push_back(decision.advanced_iteration);
-      for (int m : decision.members) f.info_ints.push_back(m);
-      f.info_weights = Buffer::FromVector(std::vector<float>(
-          decision.weights.begin(), decision.weights.end()));
-      for (int m : decision.members) {
-        wstate[static_cast<size_t>(m)] = WState::kInGroup;
-        wgroup[static_cast<size_t>(m)] = decision.group_id;
-        send_group_info(f, m);
-      }
-      in_flight.emplace(decision.group_id, std::move(f));
-    }
-  };
-
-  auto mark_done = [&](uint64_t g, int w) {
-    if (wstate[static_cast<size_t>(w)] == WState::kInGroup &&
-        wgroup[static_cast<size_t>(w)] == g) {
-      wstate[static_cast<size_t>(w)] = WState::kIdle;
-    }
-    auto it = in_flight.find(g);
-    if (it == in_flight.end()) return;
-    it->second.done.insert(w);
-    if (it->second.done.size() >= it->second.members.size()) {
-      in_flight.erase(it);
-    }
-  };
-
-  auto abort_group = [&](uint64_t g) {
-    auto it = in_flight.find(g);
-    if (it == in_flight.end()) return;
-    InFlightGroup f = std::move(it->second);
-    in_flight.erase(it);
-    aborted_counter->Increment();
-    trace->Record(ctx->Now(), TraceEventKind::kGroupAborted, -1,
-                  static_cast<int64_t>(g));
-    for (int m : f.members) {
-      if (f.done.count(m) != 0) continue;  // completed before the stall
-      const size_t mw = static_cast<size_t>(m);
-      if (wstate[mw] != WState::kInGroup || wgroup[mw] != g) continue;
-      (void)ep->Send(m, g, kKindAbort, {static_cast<int64_t>(g)});
-      wstate[mw] = WState::kIdle;
-    }
-  };
-
-  auto evict = [&](int w) {
-    evictions_counter->Increment();
-    trace->Record(ctx->Now(), TraceEventKind::kWorkerEvicted, w);
-    const size_t sw = static_cast<size_t>(w);
-    const bool was_in_group = wstate[sw] == WState::kInGroup;
-    const uint64_t g = wgroup[sw];
-    wstate[sw] = WState::kEvicted;
-    if (was_in_group) abort_group(g);
-    --remaining;
-    --active;
-    broadcast(controller.EvictWorker(w));
-    if (active < options_.group_size) release_pending();
-  };
-
-  auto unevict = [&](int w) {
-    ++remaining;
-    ++active;
-    wstate[static_cast<size_t>(w)] = WState::kIdle;
-    detector.Resume(w, ctx->Now());
-    trace->Record(ctx->Now(), TraceEventKind::kChurnRejoin, w);
-    broadcast(controller.NotifyWorkerRejoined(w));
-  };
-
-  while (remaining > 0) {
-    std::optional<Envelope> env = ep->RecvAnyFor(plan.recv_timeout_seconds);
-    const double now = ctx->Now();
-    for (int w : detector.Expired(now)) evict(w);
-    if (!env.has_value()) {
-      if (ep->closed()) break;
-      continue;
-    }
-    const int w = env->from;
-    if (w < 0 || w >= n) continue;
-    const size_t sw = static_cast<size_t>(w);
-    // Any message renews the sender's lease (ready signals piggyback their
-    // heartbeat; kKindHeartbeat exists for the otherwise-silent stretches).
-    detector.Beat(w, now);
-    switch (env->kind) {
-      case kKindHeartbeat:
-        heartbeats_counter->Increment();
-        trace->Record(now, TraceEventKind::kHeartbeat, w);
-        break;
-
-      case kKindReady: {
-        const int64_t it = env->ints.empty() ? 0 : env->ints[0];
-        if (wstate[sw] == WState::kLeft) break;  // delayed stale signal
-        if (wstate[sw] == WState::kEvicted) unevict(w);  // implicit rejoin
-        if (wstate[sw] == WState::kInGroup) {
-          auto itf = in_flight.find(wgroup[sw]);
-          if (itf == in_flight.end()) {
-            wstate[sw] = WState::kIdle;  // defensive: group already resolved
-          } else {
-            int64_t grouped_iter = 0;
-            for (size_t i = 0; i < itf->second.members.size(); ++i) {
-              if (itf->second.members[i] == w) {
-                grouped_iter = itf->second.iterations[i];
-              }
-            }
-            if (it == grouped_iter) {
-              // Re-sent signal for the very iteration we grouped: its
-              // GroupInfo was lost — retransmit.
-              send_group_info(itf->second, w);
-              break;
-            }
-            if (it < grouped_iter) break;  // stale duplicate from the past
-            // The worker has moved past the group (its GroupDone was
-            // dropped, or it abandoned the wait): implicit completion.
-            mark_done(wgroup[sw], w);
-          }
-        }
-        if (wstate[sw] == WState::kQueued) {
-          if (it == queued_iter[sw]) break;  // duplicated ready
-          // Superseded signal (the worker gave up a verdict wait and
-          // advanced); the stale queue entry must not be grouped.
-          controller.PurgePending(w);
-          wstate[sw] = WState::kIdle;
-        }
-        wstate[sw] = WState::kQueued;
-        queued_iter[sw] = it;
-        broadcast(controller.OnReadySignal(w, it));
-        if (active < options_.group_size) release_pending();
-        break;
-      }
-
-      case kKindLeave: {
-        if (wstate[sw] == WState::kLeft) break;  // duplicate
-        if (wstate[sw] == WState::kEvicted) {
-          // The lease eviction already shrank the pool; just record that
-          // the worker did in fact exit.
-          wstate[sw] = WState::kLeft;
-          break;
-        }
-        if (wstate[sw] == WState::kInGroup) mark_done(wgroup[sw], w);
-        if (wstate[sw] == WState::kQueued) controller.PurgePending(w);
-        wstate[sw] = WState::kLeft;
-        detector.Suspend(w);
-        --remaining;
-        --active;
-        broadcast(controller.NotifyWorkerLeft(w));
-        if (active < options_.group_size) release_pending();
-        break;
-      }
-
-      case kKindPause: {
-        if (paused[sw] || wstate[sw] == WState::kLeft ||
-            wstate[sw] == WState::kEvicted) {
-          break;
-        }
-        paused[sw] = true;
-        detector.Suspend(w);  // intentional silence, not a failure
-        --active;
-        trace->Record(now, TraceEventKind::kChurnLeave, w);
-        broadcast(controller.NotifyWorkerLeft(w));
-        if (active < options_.group_size) release_pending();
-        break;
-      }
-
-      case kKindRejoin: {
-        if (paused[sw]) {
-          paused[sw] = false;
-          ++active;
-          detector.Resume(w, now);
-          trace->Record(now, TraceEventKind::kChurnRejoin, w);
-          broadcast(controller.NotifyWorkerRejoined(w));
-        } else if (wstate[sw] == WState::kEvicted) {
-          unevict(w);
-        }
-        // A rejoin from a worker that was never evicted (a hang shorter
-        // than the eviction horizon) needs nothing: its lease just renewed.
-        break;
-      }
-
-      case kKindGroupDone: {
-        if (!env->ints.empty()) {
-          mark_done(static_cast<uint64_t>(env->ints[0]), w);
-        }
-        break;
-      }
-
-      case kKindGroupStuck: {
-        if (env->ints.empty()) break;
-        const uint64_t g = static_cast<uint64_t>(env->ints[0]);
-        auto itf = in_flight.find(g);
-        if (itf == in_flight.end()) {
-          // Already aborted (the reporter's Abort was lost) or long
-          // resolved: tell just the reporter to stand down.
-          (void)ep->Send(w, g, kKindAbort, {static_cast<int64_t>(g)});
-          break;
-        }
-        bool has_dead_member = false;
-        for (int m : itf->second.members) {
-          if (wstate[static_cast<size_t>(m)] == WState::kEvicted) {
-            has_dead_member = true;
-          }
-        }
-        if (has_dead_member ||
-            ++itf->second.stuck_reports >= plan.stuck_abort_reports) {
-          // Either a member is dead, or the ring has stalled long enough
-          // that a dropped chunk is the likely cause — retry the group.
-          abort_group(g);
-        }
-        break;
-      }
-
-      default:
-        break;  // unknown or stale kinds are dropped under chaos
+  int remaining = 0;
+  for (int w = 0; w < n; ++w) {
+    if (left_global[static_cast<size_t>(w)]) {
+      wstate[static_cast<size_t>(w)] = WState::kLeft;
+      detector.Suspend(w);
+    } else {
+      ++remaining;
     }
   }
-  controller_stats_ = controller.stats();
+  int active = remaining;
+
+    auto release_pending = [&] {
+      for (const ReadySignal& s : controller.DrainPending()) {
+        const size_t w = static_cast<size_t>(s.worker);
+        if (wstate[w] == WState::kQueued) wstate[w] = WState::kIdle;
+        (void)ep->Send(s.worker, 0, kKindRelease, {});
+      }
+    };
+
+    auto send_group_info = [&](const InFlightGroup& f, int member) {
+      (void)ep->Send(member, static_cast<uint64_t>(f.info_ints[0]),
+                     kKindGroupInfo, f.info_ints, f.info_weights);
+    };
+
+    auto broadcast = [&](const std::vector<GroupDecision>& decisions) {
+      for (const GroupDecision& decision : decisions) {
+        ++group_reduces_;
+        InFlightGroup f;
+        f.members = decision.members;
+        f.iterations = decision.iterations;
+        f.info_ints.push_back(static_cast<int64_t>(decision.group_id));
+        f.info_ints.push_back(decision.advanced_iteration);
+        for (int m : decision.members) f.info_ints.push_back(m);
+        f.info_weights = Buffer::FromVector(std::vector<float>(
+            decision.weights.begin(), decision.weights.end()));
+        for (int m : decision.members) {
+          wstate[static_cast<size_t>(m)] = WState::kInGroup;
+          wgroup[static_cast<size_t>(m)] = decision.group_id;
+          send_group_info(f, m);
+        }
+        in_flight.emplace(decision.group_id, std::move(f));
+      }
+    };
+
+    auto mark_done = [&](uint64_t g, int w) {
+      if (wstate[static_cast<size_t>(w)] == WState::kInGroup &&
+          wgroup[static_cast<size_t>(w)] == g) {
+        wstate[static_cast<size_t>(w)] = WState::kIdle;
+      }
+      auto it = in_flight.find(g);
+      if (it == in_flight.end()) return;
+      it->second.done.insert(w);
+      if (it->second.done.size() >= it->second.members.size()) {
+        in_flight.erase(it);
+      }
+    };
+
+    auto abort_group = [&](uint64_t g) {
+      auto it = in_flight.find(g);
+      if (it == in_flight.end()) return;
+      InFlightGroup f = std::move(it->second);
+      in_flight.erase(it);
+      aborted_counter->Increment();
+      trace->Record(ctx->Now(), TraceEventKind::kGroupAborted, -1,
+                    static_cast<int64_t>(g));
+      for (int m : f.members) {
+        if (f.done.count(m) != 0) continue;  // completed before the stall
+        const size_t mw = static_cast<size_t>(m);
+        if (wstate[mw] != WState::kInGroup || wgroup[mw] != g) continue;
+        (void)ep->Send(m, g, kKindAbort, {static_cast<int64_t>(g)});
+        wstate[mw] = WState::kIdle;
+      }
+    };
+
+    auto evict = [&](int w) {
+      evictions_counter->Increment();
+      trace->Record(ctx->Now(), TraceEventKind::kWorkerEvicted, w);
+      const size_t sw = static_cast<size_t>(w);
+      const bool was_in_group = wstate[sw] == WState::kInGroup;
+      const uint64_t g = wgroup[sw];
+      wstate[sw] = WState::kEvicted;
+      if (was_in_group) abort_group(g);
+      --remaining;
+      --active;
+      broadcast(controller.EvictWorker(w));
+      if (active < options_.group_size) release_pending();
+    };
+
+    auto unevict = [&](int w) {
+      ++remaining;
+      ++active;
+      wstate[static_cast<size_t>(w)] = WState::kIdle;
+      detector.Resume(w, ctx->Now());
+      trace->Record(ctx->Now(), TraceEventKind::kChurnRejoin, w);
+      broadcast(controller.NotifyWorkerRejoined(w));
+    };
+
+    if (failovers > 0) {
+      // Recovery window: the restarted controller has no signal queue, no
+      // in-flight groups, no history, and no leases. Survivors are parked
+      // in their re-registration loops; collect their snapshots for a
+      // bounded window before serving again.
+      std::vector<Rereg> regs;  // first-arrival order
+      bool closed_in_recovery = false;
+      const double window_end = ctx->Now() + plan.reregister_window_seconds;
+      while (ctx->Now() < window_end) {
+        std::optional<Envelope> env = ep->RecvAnyFor(
+            std::min(plan.recv_timeout_seconds, window_end - ctx->Now()));
+        if (!env.has_value()) {
+          if (ep->closed()) {
+            closed_in_recovery = true;
+            break;
+          }
+          continue;
+        }
+        const int w = env->from;
+        if (w < 0 || w >= n || left_global[static_cast<size_t>(w)]) continue;
+        switch (env->kind) {
+          case kKindReregister: {
+            Rereg r;
+            r.worker = w;
+            if (env->ints.size() >= 3) {
+              r.iteration = env->ints[0];
+              r.completed = static_cast<uint64_t>(env->ints[1]);
+              r.last_group_id = static_cast<uint64_t>(env->ints[2]);
+              for (size_t i = 3; i < env->ints.size(); ++i) {
+                r.done_groups.push_back(static_cast<uint64_t>(env->ints[i]));
+              }
+            }
+            bool known = false;
+            for (Rereg& existing : regs) {
+              if (existing.worker == w) {
+                existing = r;  // re-sent snapshot supersedes the old one
+                known = true;
+              }
+            }
+            if (!known) regs.push_back(std::move(r));
+            reregs_counter->Increment();
+            trace->Record(ctx->Now(), TraceEventKind::kWorkerReregister, w,
+                          env->ints.empty() ? 0 : env->ints[0]);
+            (void)ep->Send(w, 0, kKindReregisterAck, {});
+            break;
+          }
+          case kKindReady: {
+            // A worker that never noticed the outage; its plain signal is a
+            // state-poor implicit re-registration.
+            bool known = false;
+            for (const Rereg& existing : regs) {
+              if (existing.worker == w) known = true;
+            }
+            if (!known) {
+              Rereg r;
+              r.worker = w;
+              r.iteration = env->ints.empty() ? 0 : env->ints[0];
+              regs.push_back(std::move(r));
+            }
+            break;
+          }
+          case kKindLeave:
+            left_global[static_cast<size_t>(w)] = true;
+            regs.erase(std::remove_if(regs.begin(), regs.end(),
+                                      [&](const Rereg& r) {
+                                        return r.worker == w;
+                                      }),
+                       regs.end());
+            break;
+          case kKindGroupDone:
+            // A pre-crash group that finished during the outage: credit the
+            // membership so the rebuilt history window sees its edges.
+            if (!env->ints.empty()) {
+              for (Rereg& existing : regs) {
+                if (existing.worker == w) {
+                  existing.done_groups.push_back(
+                      static_cast<uint64_t>(env->ints[0]));
+                }
+              }
+            }
+            break;
+          case kKindGroupStuck:
+            // The group predates this incarnation and cannot be resolved;
+            // force its members to roll back and re-signal.
+            if (!env->ints.empty()) {
+              (void)ep->Send(w, static_cast<uint64_t>(env->ints[0]),
+                             kKindAbort, {env->ints[0]});
+            }
+            break;
+          default:
+            break;  // heartbeats etc. carry no recovery state
+        }
+      }
+      if (closed_in_recovery) break;
+
+      // Rebuild the controller's durable state from the snapshots: the
+      // group-id watermark (so ascending-id dedup survives the failover)
+      // and the history window, clustered from reported memberships.
+      // Partial member sets only remove sync-graph edges, which makes
+      // frozen detection more eager, never less.
+      ControllerRestoreState rs;
+      std::map<uint64_t, std::vector<int>> reported;
+      uint64_t max_gid = 0;
+      for (const Rereg& r : regs) {
+        max_gid = std::max(max_gid, r.last_group_id);
+        for (uint64_t g : r.done_groups) {
+          max_gid = std::max(max_gid, g);
+          std::vector<int>& members = reported[g];
+          if (std::find(members.begin(), members.end(), r.worker) ==
+              members.end()) {
+            members.push_back(r.worker);
+          }
+        }
+      }
+      for (auto& [g, members] : reported) {
+        if (members.size() >= 2) rs.history.push_back(std::move(members));
+      }
+      rs.next_group_id = max_gid + 1;
+      controller.Restore(rs);
+
+      remaining = 0;
+      for (int w = 0; w < n; ++w) {
+        if (left_global[static_cast<size_t>(w)]) {
+          wstate[static_cast<size_t>(w)] = WState::kLeft;
+          detector.Suspend(w);
+        } else {
+          ++remaining;
+          detector.Beat(w, ctx->Now());
+        }
+      }
+      active = remaining;
+      if (remaining == 0) break;  // everyone finished during the outage
+
+      // Refill the signal queue in arrival order. Workers that did not
+      // re-register in time stay kIdle with a fresh lease: they are either
+      // finishing a pre-crash reduce (their next Ready lands normally) or
+      // dead (the detector evicts them at the horizon).
+      for (const Rereg& r : regs) {
+        const size_t sw = static_cast<size_t>(r.worker);
+        if (wstate[sw] != WState::kIdle) continue;
+        wstate[sw] = WState::kQueued;
+        queued_iter[sw] = r.iteration;
+        broadcast(controller.OnReadySignal(r.worker, r.iteration));
+      }
+      if (active < options_.group_size) release_pending();
+    }
+
+    Exit exit_reason = Exit::kAllLeft;
+    while (remaining > 0) {
+      if (next_outage < outages.size() &&
+          group_reduces_ >= outages[next_outage].after_groups) {
+        exit_reason = Exit::kCrash;
+        break;
+      }
+      std::optional<Envelope> env = ep->RecvAnyFor(plan.recv_timeout_seconds);
+      const double now = ctx->Now();
+      for (int w : detector.Expired(now)) evict(w);
+      if (!env.has_value()) {
+        if (ep->closed()) {
+          exit_reason = Exit::kShutdown;
+          break;
+        }
+        continue;
+      }
+      const int w = env->from;
+      if (w < 0 || w >= n) continue;
+      const size_t sw = static_cast<size_t>(w);
+      // Any message renews the sender's lease (ready signals piggyback
+      // their heartbeat; kKindHeartbeat exists for the otherwise-silent
+      // stretches).
+      detector.Beat(w, now);
+      switch (env->kind) {
+        case kKindHeartbeat:
+          heartbeats_counter->Increment();
+          trace->Record(now, TraceEventKind::kHeartbeat, w);
+          break;
+
+        case kKindReregister:
+          // Under a healthy controller a re-registration is just a beefy
+          // ready signal: acknowledge it (so the sender stops probing) and
+          // let the Ready logic below dedup or queue it.
+          reregs_counter->Increment();
+          trace->Record(now, TraceEventKind::kWorkerReregister, w,
+                        env->ints.empty() ? 0 : env->ints[0]);
+          (void)ep->Send(w, 0, kKindReregisterAck, {});
+          [[fallthrough]];
+
+        case kKindReady: {
+          const int64_t it = env->ints.empty() ? 0 : env->ints[0];
+          if (wstate[sw] == WState::kLeft) break;  // delayed stale signal
+          if (wstate[sw] == WState::kEvicted) unevict(w);  // implicit rejoin
+          if (wstate[sw] == WState::kInGroup) {
+            auto itf = in_flight.find(wgroup[sw]);
+            if (itf == in_flight.end()) {
+              wstate[sw] = WState::kIdle;  // defensive: group already resolved
+            } else {
+              int64_t grouped_iter = 0;
+              for (size_t i = 0; i < itf->second.members.size(); ++i) {
+                if (itf->second.members[i] == w) {
+                  grouped_iter = itf->second.iterations[i];
+                }
+              }
+              if (it == grouped_iter) {
+                // Re-sent signal for the very iteration we grouped: its
+                // GroupInfo was lost — retransmit.
+                send_group_info(itf->second, w);
+                break;
+              }
+              if (it < grouped_iter) break;  // stale duplicate from the past
+              // The worker has moved past the group (its GroupDone was
+              // dropped, or it abandoned the wait): implicit completion.
+              mark_done(wgroup[sw], w);
+            }
+          }
+          if (wstate[sw] == WState::kQueued) {
+            if (it == queued_iter[sw]) break;  // duplicated ready
+            // Superseded signal (the worker gave up a verdict wait and
+            // advanced); the stale queue entry must not be grouped.
+            controller.PurgePending(w);
+            wstate[sw] = WState::kIdle;
+          }
+          wstate[sw] = WState::kQueued;
+          queued_iter[sw] = it;
+          broadcast(controller.OnReadySignal(w, it));
+          if (active < options_.group_size) release_pending();
+          break;
+        }
+
+        case kKindLeave: {
+          if (wstate[sw] == WState::kLeft) break;  // duplicate
+          left_global[sw] = true;
+          if (wstate[sw] == WState::kEvicted) {
+            // The lease eviction already shrank the pool; just record that
+            // the worker did in fact exit.
+            wstate[sw] = WState::kLeft;
+            break;
+          }
+          if (wstate[sw] == WState::kInGroup) mark_done(wgroup[sw], w);
+          if (wstate[sw] == WState::kQueued) controller.PurgePending(w);
+          wstate[sw] = WState::kLeft;
+          detector.Suspend(w);
+          --remaining;
+          --active;
+          broadcast(controller.NotifyWorkerLeft(w));
+          if (active < options_.group_size) release_pending();
+          break;
+        }
+
+        case kKindPause: {
+          if (paused[sw] || wstate[sw] == WState::kLeft ||
+              wstate[sw] == WState::kEvicted) {
+            break;
+          }
+          paused[sw] = true;
+          detector.Suspend(w);  // intentional silence, not a failure
+          --active;
+          trace->Record(now, TraceEventKind::kChurnLeave, w);
+          broadcast(controller.NotifyWorkerLeft(w));
+          if (active < options_.group_size) release_pending();
+          break;
+        }
+
+        case kKindRejoin: {
+          if (paused[sw]) {
+            paused[sw] = false;
+            ++active;
+            detector.Resume(w, now);
+            trace->Record(now, TraceEventKind::kChurnRejoin, w);
+            broadcast(controller.NotifyWorkerRejoined(w));
+          } else if (wstate[sw] == WState::kEvicted) {
+            unevict(w);
+          }
+          // A rejoin from a worker that was never evicted (a hang shorter
+          // than the eviction horizon) needs nothing: its lease just
+          // renewed.
+          break;
+        }
+
+        case kKindGroupDone: {
+          if (!env->ints.empty()) {
+            mark_done(static_cast<uint64_t>(env->ints[0]), w);
+          }
+          break;
+        }
+
+        case kKindGroupStuck: {
+          if (env->ints.empty()) break;
+          const uint64_t g = static_cast<uint64_t>(env->ints[0]);
+          auto itf = in_flight.find(g);
+          if (itf == in_flight.end()) {
+            // Already aborted (the reporter's Abort was lost), long
+            // resolved, or formed by a previous incarnation: tell just the
+            // reporter to stand down.
+            (void)ep->Send(w, g, kKindAbort, {static_cast<int64_t>(g)});
+            break;
+          }
+          bool has_dead_member = false;
+          for (int m : itf->second.members) {
+            if (wstate[static_cast<size_t>(m)] == WState::kEvicted) {
+              has_dead_member = true;
+            }
+          }
+          if (has_dead_member ||
+              ++itf->second.stuck_reports >= plan.stuck_abort_reports) {
+            // Either a member is dead, or the ring has stalled long enough
+            // that a dropped chunk is the likely cause — retry the group.
+            abort_group(g);
+          }
+          break;
+        }
+
+        case kKindCkptReport:
+          ckpt.OnReport(*env, controller, group_reduces_);
+          break;
+
+        default:
+          break;  // unknown or stale kinds are dropped under chaos
+      }
+    }
+
+    // Controller stats are per-incarnation; the run result reports their
+    // sum so a failover shows up as continuity, not a reset.
+    const ControllerStats stats = controller.stats();
+    controller_stats_.signals_received += stats.signals_received;
+    controller_stats_.groups_formed += stats.groups_formed;
+    controller_stats_.bridged_groups += stats.bridged_groups;
+    controller_stats_.frozen_detections += stats.frozen_detections;
+
+    if (exit_reason != Exit::kCrash) break;
+
+    const ControllerFaultEvent event = outages[next_outage];
+    ++next_outage;
+    trace->Record(ctx->Now(), TraceEventKind::kControllerCrash, -1,
+                  static_cast<int64_t>(group_reduces_));
+    FaultyTransport* faulty = ctx->faulty();
+    PR_CHECK(faulty != nullptr)
+        << "controller faults need the fault-injecting fabric";
+    faulty->SeverNode(ep->id());
+    if (!event.restart) {
+      // Permanent loss: the controller's state dies with this thread.
+      // Parked workers re-register into the void until their outage budget
+      // runs out, then fall back to local-only progress; their trailing
+      // Leaves are severed along with everything else.
+      break;
+    }
+    const double down_until = ctx->Now() + event.down_seconds;
+    while (ctx->Now() < down_until && !ep->closed()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (ep->closed()) break;
+    // A restarted process boots with an empty mailbox: everything that
+    // arrived before the crash — stash included — predates the failover.
+    while (ep->RecvAnyFor(0.0).has_value()) {
+    }
+    ep->PurgeStash([](const Envelope&) { return true; });
+    faulty->RestoreNode(ep->id());
+    ++failovers;
+    failovers_counter->Increment();
+    trace->Record(ctx->Now(), TraceEventKind::kControllerRestart, -1,
+                  static_cast<int64_t>(failovers));
+  }
 }
 
 void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
@@ -574,14 +944,37 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
   Endpoint* ep = ctx->endpoint();
   MutableSlice params = ctx->params();
   std::vector<float> grad;
-  int64_t iteration = 0;
+  int64_t iteration = ctx->resume_iteration();
 
   const ThreadedChurnEvent* churn = nullptr;
   for (const ThreadedChurnEvent& c : run.churn) {
     if (c.worker == ctx->worker()) churn = &c;
   }
 
-  for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
+  // Checkpoint cut: shard written after iteration k's synchronization
+  // resolved (reduce or release), reported to the controller, which writes
+  // the manifest once every worker reported the epoch. The final iteration
+  // never cuts — the run is about to end anyway.
+  auto maybe_checkpoint = [&](size_t k) {
+    const CheckpointConfig& ckpt = run.ckpt;
+    if (!ckpt.enabled() || ckpt.every_iterations == 0) return;
+    if (k % ckpt.every_iterations != 0) return;
+    const int64_t epoch = static_cast<int64_t>(k / ckpt.every_iterations);
+    if (ctx->SaveCkptShard(epoch).ok()) {
+      (void)ep->Send(controller, 0, kKindCkptReport,
+                     {epoch, iteration, static_cast<int64_t>(k)});
+    }
+  };
+
+  if (ctx->start_iteration() >= run.iterations_per_worker) {
+    // The manifest cut at this worker's full budget; nothing left to run.
+    ctx->MarkFinished();
+    PR_CHECK(ep->Send(controller, 0, kKindLeave, {}).ok());
+    return;
+  }
+
+  for (size_t k = ctx->start_iteration() + 1; k <= run.iterations_per_worker;
+       ++k) {
     ctx->ComputeGradient(params.data(), &grad);
     ctx->sgd()->Step(grad.data(), params.data(), params.size());
     ++iteration;
@@ -609,7 +1002,10 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
     std::optional<Envelope> env = ep->RecvFrom(controller);
     if (!env.has_value()) return;  // shutdown
     ctx->RecordIdle(wait_begin, ctx->Now());
-    if (env->kind == kKindRelease) continue;
+    if (env->kind == kKindRelease) {
+      maybe_checkpoint(k);
+      continue;
+    }
     PR_CHECK_EQ(env->kind, kKindGroupInfo);
 
     const uint64_t group_id = static_cast<uint64_t>(env->ints[0]);
@@ -634,6 +1030,7 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
     ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
                          ctx->worker(), static_cast<int64_t>(group_id));
     if (options_.kind == StrategyKind::kPReduceDynamic) iteration = advanced;
+    maybe_checkpoint(k);
   }
 }
 
@@ -645,9 +1042,22 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
   MutableSlice params = ctx->params();
   std::vector<float> grad;
   std::vector<float> backup;
-  int64_t iteration = 0;
+  int64_t iteration = ctx->resume_iteration();
   uint64_t last_group_id = 0;  // workers dedup GroupInfo by ascending id
   Counter* retries_counter = ctx->metrics()->GetCounter("fault.retries");
+  const bool cf = plan.has_controller_faults();
+  // How long a verdict wait may stay silent before the worker gives up and
+  // proceeds locally. Under controller faults the budget covers a full
+  // outage plus recovery; once the controller looks gone for good the
+  // worker stops granting it that much and degrades to quick probes.
+  const double full_wait =
+      cf ? std::max(plan.max_verdict_wait_seconds,
+                    plan.max_controller_outage_seconds)
+         : plan.max_verdict_wait_seconds;
+  bool controller_lost = false;
+  // Recently completed group ids (bounded), reported on re-registration so
+  // a restarted controller can rebuild its history window and id watermark.
+  std::deque<uint64_t> done_groups;
 
   const WorkerFaultEvent* crash = nullptr;
   std::vector<const WorkerFaultEvent*> hangs;
@@ -670,7 +1080,35 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
                          ctx->worker(), iteration);
   };
 
-  for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
+  auto send_reregister = [&](size_t completed) {
+    std::vector<int64_t> ints;
+    ints.reserve(3 + done_groups.size());
+    ints.push_back(iteration);
+    ints.push_back(static_cast<int64_t>(completed));
+    ints.push_back(static_cast<int64_t>(last_group_id));
+    for (uint64_t g : done_groups) ints.push_back(static_cast<int64_t>(g));
+    (void)ep->Send(controller, 0, kKindReregister, std::move(ints));
+  };
+
+  auto maybe_checkpoint = [&](size_t k) {
+    const CheckpointConfig& ckpt = run.ckpt;
+    if (!ckpt.enabled() || ckpt.every_iterations == 0) return;
+    if (k % ckpt.every_iterations != 0) return;
+    const int64_t epoch = static_cast<int64_t>(k / ckpt.every_iterations);
+    if (ctx->SaveCkptShard(epoch).ok()) {
+      (void)ep->Send(controller, 0, kKindCkptReport,
+                     {epoch, iteration, static_cast<int64_t>(k)});
+    }
+  };
+
+  if (ctx->start_iteration() >= run.iterations_per_worker) {
+    ctx->MarkFinished();
+    (void)ep->Send(controller, 0, kKindLeave, {});
+    return;
+  }
+
+  for (size_t k = ctx->start_iteration() + 1; k <= run.iterations_per_worker;
+       ++k) {
     ctx->ComputeGradient(params.data(), &grad);
     ctx->sgd()->Step(grad.data(), params.data(), params.size());
     ++iteration;
@@ -708,10 +1146,18 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
     // Verdict wait with lease upkeep, bounded re-sends, and a liveness
     // valve: if the controller stays silent past the deadline the worker
     // falls back to local computation and re-synchronizes next round.
+    // Under controller faults the plain Ready re-send escalates to a
+    // re-registration probe with doubling backoff — the park loop a worker
+    // sits in while the controller is down.
     const double wait_begin = ctx->Now();
     double idle_begin = wait_begin;
     int ticks = 0;
     bool proceed = false;
+    double backoff = plan.reregister_backoff_seconds;
+    double reregister_at = wait_begin + backoff;
+    double give_up_at =
+        wait_begin +
+        (controller_lost ? plan.reregister_backoff_max_seconds : full_wait);
     while (!proceed) {
       std::optional<Envelope> env =
           ep->RecvFromFor(controller, plan.recv_timeout_seconds);
@@ -719,18 +1165,39 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
         if (ep->closed()) return;
         ++ticks;
         (void)ep->Send(controller, 0, kKindHeartbeat, {});
-        if (plan.resend_ready_ticks > 0 &&
-            ticks % plan.resend_ready_ticks == 0) {
+        if (cf) {
+          if (ctx->Now() >= reregister_at) {
+            note_retry();
+            send_reregister(k);
+            backoff =
+                std::min(backoff * 2.0, plan.reregister_backoff_max_seconds);
+            reregister_at = ctx->Now() + backoff;
+          }
+        } else if (plan.resend_ready_ticks > 0 &&
+                   ticks % plan.resend_ready_ticks == 0) {
           note_retry();
           (void)ep->Send(controller, 0, kKindReady, {iteration});
         }
-        if (ctx->Now() - wait_begin > plan.max_verdict_wait_seconds) {
+        if (ctx->Now() >= give_up_at) {
           ctx->RecordIdle(idle_begin, ctx->Now());
+          if (cf) controller_lost = true;
           proceed = true;
         }
         continue;
       }
+      if (controller_lost) {
+        // Any controller traffic refutes the "gone for good" verdict:
+        // grant the full silence budget again.
+        controller_lost = false;
+        give_up_at = ctx->Now() + full_wait;
+      }
       switch (env->kind) {
+        case kKindReregisterAck:
+          // The (possibly restarted) controller recorded our snapshot; our
+          // signal is queued on its side, so keep waiting for the verdict.
+          give_up_at = ctx->Now() + full_wait;
+          break;
+
         case kKindRelease:
           ctx->RecordIdle(idle_begin, ctx->Now());
           proceed = true;
@@ -798,6 +1265,16 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
               [&](const Envelope& e) { return e.tag == group_id; });
           (void)ep->Send(controller, 0, kKindGroupDone,
                          {static_cast<int64_t>(group_id)});
+          if (plan.reregister_report_groups > 0) {
+            // Remember recent completions so a re-registration after a
+            // controller crash can vouch for groups whose GroupDone died
+            // with the old incarnation.
+            if (done_groups.size() >=
+                static_cast<size_t>(plan.reregister_report_groups)) {
+              done_groups.pop_front();
+            }
+            done_groups.push_back(group_id);
+          }
           ctx->RecordComm(comm_begin, ctx->Now());
           ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
                                ctx->worker(),
@@ -813,6 +1290,7 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
           break;  // unknown or stale control messages are ignored
       }
     }
+    maybe_checkpoint(k);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt_config.h"
 #include "core/controller.h"
 #include "data/synthetic.h"
 #include "fault/fault_plan.h"
@@ -67,6 +68,14 @@ struct ThreadedRunOptions {
   /// protocol (heartbeat leases, lease-based eviction, group abort/retry);
   /// a default-constructed plan leaves every fast path untouched.
   FaultPlan fault;
+
+  /// Coordinated checkpointing (P-Reduce kinds and All-Reduce): every
+  /// `ckpt.every_iterations` local iterations each worker snapshots its
+  /// replica + optimizer state into a shard, and the controller (worker 0
+  /// under All-Reduce) writes a manifest once every live worker has
+  /// reported the epoch. A run killed after a manifest lands resumes via
+  /// RestoreThreadedRun. Disabled by default.
+  CheckpointConfig ckpt;
 
   /// Record a per-worker wall-clock activity timeline (compute/comm/idle
   /// intervals) comparable to the simulator's Fig. 3 traces.
@@ -132,6 +141,11 @@ struct ThreadedRunResult {
   /// Structured run events (empty unless trace_capacity was set).
   TraceLog trace;
 
+  /// Final evaluated parameter vector (the same vector final_accuracy /
+  /// final_loss were computed on). Restore-determinism tests compare this
+  /// bit-for-bit between a resumed run and a never-interrupted one.
+  std::vector<float> final_params;
+
   /// Per-worker idle fractions (`worker.<i>.idle_fraction` gauges): seconds
   /// spent blocked on synchronization divided by the worker's active span.
   std::vector<double> worker_idle_fraction() const;
@@ -144,5 +158,19 @@ struct ThreadedRunResult {
 /// pairwise gossip, and the PS family (BSP, ASP, HETE, BK). All dispatch
 /// through the same WorkerRuntime; see runtime/threaded_strategy.h.
 ThreadedRunResult RunThreaded(const RunConfig& config);
+
+/// \brief Resumes a threaded run from a checkpoint manifest written by an
+/// earlier (possibly killed) run of the same configuration.
+///
+/// Loads the manifest and every worker shard, seeds each replica and its
+/// optimizer momentum from its shard, fast-forwards each worker's batch
+/// sampler past the iterations already completed, re-seeds the controller's
+/// group-history window and group-id watermark, then runs the remaining
+/// `iterations_per_worker - completed` iterations per worker. `config` must
+/// match the original run (strategy kind, worker count, model, seed);
+/// mismatches fail a check. Metric continuity: worker.<i>.iterations
+/// counters start at the restored counts and ckpt.restore_count is 1.
+ThreadedRunResult RestoreThreadedRun(const RunConfig& config,
+                                     const std::string& manifest_path);
 
 }  // namespace pr

@@ -53,6 +53,28 @@ WorkerContext::WorkerContext(WorkerRuntime* runtime, int worker)
   }
   endpoint_.AttachObservers(metrics_, "worker." + std::to_string(worker),
                             &runtime->trace_, [this] { return Now(); });
+  if (runtime->resume_.has_value()) {
+    const size_t idx = static_cast<size_t>(worker);
+    start_iteration_ = runtime->resume_completed_[idx];
+    resume_iteration_ = runtime->resume_iteration_[idx];
+    completed_iterations_ = start_iteration_;
+    *sgd_.mutable_velocity() = runtime->resume_velocity_[idx];
+    // Metric continuity: the resumed run's iteration counters pick up
+    // where the original left off, so dashboards see one run.
+    iterations_counter_->Increment(static_cast<double>(start_iteration_));
+  }
+}
+
+Status WorkerContext::SaveCkptShard(int64_t epoch) {
+  const std::vector<float>& velocity = sgd_.velocity();
+  const double begin = Now();
+  Status s = SaveWorkerShard(
+      ShardPath(run().ckpt.dir, epoch, worker_),
+      Slice(params().data(), num_params()),
+      Slice(velocity.data(), velocity.size()));
+  metrics_->GetHistogram("ckpt.save_seconds", CkptSaveSecondsBuckets())
+      ->Observe(Now() - begin);
+  return s;
 }
 
 int WorkerContext::num_workers() const {
@@ -184,12 +206,20 @@ TraceRecorder* ServiceContext::trace() { return &runtime_->trace_; }
 
 double ServiceContext::Now() const { return runtime_->NowSeconds(); }
 
+FaultyTransport* ServiceContext::faulty() { return runtime_->faulty_.get(); }
+
+const RunManifest* ServiceContext::resume() const {
+  return runtime_->resume_.has_value() ? &*runtime_->resume_ : nullptr;
+}
+
 // ---------------------------------------------------------------------------
 // WorkerRuntime
 // ---------------------------------------------------------------------------
 
 WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
-                             const ThreadedRunOptions& options)
+                             const ThreadedRunOptions& options,
+                             const RunManifest* resume,
+                             const std::string& resume_dir)
     : strategy_options_(strategy_options),
       options_(options),
       // Node num_workers is the service endpoint (unused mailbox for
@@ -198,7 +228,11 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
       trace_(options.trace_capacity) {
   PR_CHECK_GE(options_.num_workers, 1);
   PR_CHECK_GE(options_.iterations_per_worker, 1u);
-  if (options_.fault.has_message_faults()) {
+  // Controller outages sever/restore the service node through the
+  // fault-injecting decorator, so plans with controller events need it even
+  // when no per-edge message faults are configured.
+  if (options_.fault.has_message_faults() ||
+      options_.fault.has_controller_faults()) {
     faulty_ = std::make_unique<FaultyTransport>(&transport_, options_.fault);
     fabric_ = faulty_.get();
   } else {
@@ -225,6 +259,46 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
         options_.batch_size, rng.Next()));
     worker_seeds_.push_back(rng.Next());
   }
+
+  if (resume != nullptr) ApplyResume(*resume, resume_dir);
+}
+
+void WorkerRuntime::ApplyResume(const RunManifest& manifest,
+                                const std::string& dir) {
+  const size_t n = static_cast<size_t>(options_.num_workers);
+  PR_CHECK_EQ(static_cast<size_t>(manifest.num_workers), n)
+      << "manifest was written by a run with a different worker count";
+  PR_CHECK_EQ(static_cast<size_t>(manifest.num_params), model_->NumParams())
+      << "manifest was written for a different model";
+  PR_CHECK_EQ(manifest.workers.size(), n);
+
+  resume_ = manifest;
+  resume_velocity_.assign(n, {});
+  resume_completed_.assign(n, 0);
+  resume_iteration_.assign(n, 0);
+
+  Tensor scratch_x;
+  std::vector<int> scratch_y;
+  for (const ManifestWorker& mw : manifest.workers) {
+    PR_CHECK_GE(mw.worker, 0);
+    PR_CHECK_LT(static_cast<size_t>(mw.worker), n);
+    const size_t w = static_cast<size_t>(mw.worker);
+    std::vector<float> params;
+    Status s = LoadWorkerShard(dir + "/" + mw.shard_file,
+                               model_->NumParams(), &params,
+                               &resume_velocity_[w]);
+    PR_CHECK(s.ok()) << "loading shard " << mw.shard_file << ": "
+                     << s.message();
+    replicas_->replica(w).CopyFrom(params.data(), params.size());
+    resume_completed_[w] = static_cast<size_t>(mw.completed);
+    resume_iteration_[w] = mw.iteration;
+    // Fast-forward the sampler past the batches the original run consumed,
+    // so the resumed run draws exactly the batches the uninterrupted run
+    // would have — the restore-determinism property.
+    for (uint64_t i = 0; i < mw.completed; ++i) {
+      samplers_[w]->NextBatch(&scratch_x, &scratch_y);
+    }
+  }
 }
 
 double WorkerRuntime::NowSeconds() const {
@@ -240,6 +314,16 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   if (faulty_ != nullptr) {
     faulty_->AttachObservers(registry_.NewShard(), &trace_,
                              [this] { return NowSeconds(); });
+  }
+  if (options_.ckpt.enabled() || resume_.has_value()) {
+    // Eagerly register the ckpt.* instruments so they appear in the
+    // snapshot (and the cross-engine parity test) even when the run ends
+    // before the first checkpoint cut.
+    MetricsShard* shard = registry_.NewShard();
+    shard->GetCounter("ckpt.manifests_written");
+    shard->GetHistogram("ckpt.save_seconds", CkptSaveSecondsBuckets());
+    Counter* restores = shard->GetCounter("ckpt.restore_count");
+    if (resume_.has_value()) restores->Increment();
   }
 
   std::vector<std::unique_ptr<WorkerContext>> contexts;
@@ -293,6 +377,7 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   result.final_accuracy =
       EvaluateAccuracy(*model_, eval->data(), split_.test);
   result.final_loss = EvaluateLoss(*model_, eval->data(), split_.test);
+  result.final_params = *eval;
 
   double spread = 0.0;
   const size_t num_params = model_->NumParams();

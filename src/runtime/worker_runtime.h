@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "ckpt/manifest.h"
 #include "comm/transport.h"
 #include "common/rng.h"
 #include "fault/faulty_transport.h"
@@ -82,8 +85,23 @@ class WorkerContext {
   void MarkFinished();
 
   /// Local iterations completed so far (crashed workers stop short of the
-  /// run budget; the run result reports the true count).
+  /// run budget; the run result reports the true count). Starts at the
+  /// restored count on a resumed run.
   size_t completed_iterations() const { return completed_iterations_; }
+
+  /// Local iterations already completed before this run started (non-zero
+  /// only on a resumed run). Strategies begin their loop at
+  /// start_iteration() + 1.
+  size_t start_iteration() const { return start_iteration_; }
+  /// Protocol iteration counter restored from the manifest (P-Reduce's
+  /// group-advanced counter, which can exceed the local count under
+  /// dynamic weights). 0 on a fresh run.
+  int64_t resume_iteration() const { return resume_iteration_; }
+
+  /// Writes this worker's checkpoint shard (replica parameters + optimizer
+  /// velocity) for `epoch` into run().ckpt.dir, crash-safely, and observes
+  /// the write latency under ckpt.save_seconds.
+  Status SaveCkptShard(int64_t epoch);
 
  private:
   friend class WorkerRuntime;
@@ -98,6 +116,8 @@ class WorkerContext {
   Rng rng_;
   double delay_seconds_;
   size_t completed_iterations_ = 0;
+  size_t start_iteration_ = 0;
+  int64_t resume_iteration_ = 0;
   /// This worker's scheduled slowdown faults (copied from the run's plan).
   std::vector<WorkerFaultEvent> slowdown_events_;
   Tensor batch_x_;
@@ -132,6 +152,14 @@ class ServiceContext {
   /// Wall-clock seconds since the run started.
   double Now() const;
 
+  /// The fault-injecting transport decorator, when the run's plan created
+  /// one (message faults or controller outages); null otherwise. The
+  /// P-Reduce service uses it to sever its own node while the controller
+  /// is "down".
+  FaultyTransport* faulty();
+  /// The manifest this run resumed from, or null on a fresh run.
+  const RunManifest* resume() const;
+
  private:
   friend class WorkerRuntime;
   explicit ServiceContext(WorkerRuntime* runtime);
@@ -153,8 +181,15 @@ class ServiceContext {
 /// entirely to the ThreadedStrategy passed to Run().
 class WorkerRuntime {
  public:
+  /// `resume` (optional) is a checkpoint manifest to restart from;
+  /// `resume_dir` is the directory holding its worker shards. The manifest
+  /// is copied, replicas/optimizer state are seeded from the shards, and
+  /// each worker's batch sampler is fast-forwarded past the restored
+  /// iterations so a resumed run draws the batches the original would have.
   WorkerRuntime(const StrategyOptions& strategy_options,
-                const ThreadedRunOptions& options);
+                const ThreadedRunOptions& options,
+                const RunManifest* resume = nullptr,
+                const std::string& resume_dir = "");
 
   /// Executes the run. Blocks until every thread has joined.
   ThreadedRunResult Run(ThreadedStrategy* strategy);
@@ -164,6 +199,7 @@ class WorkerRuntime {
   friend class ServiceContext;
 
   double NowSeconds() const;
+  void ApplyResume(const RunManifest& manifest, const std::string& dir);
 
   StrategyOptions strategy_options_;
   ThreadedRunOptions options_;
@@ -184,6 +220,14 @@ class WorkerRuntime {
   TraceRecorder trace_;
   std::chrono::steady_clock::time_point start_;
   std::vector<double> finish_seconds_;
+
+  /// Resume state (empty on a fresh run): the manifest this run restarted
+  /// from, plus the per-worker optimizer velocity and counters read from
+  /// its shards.
+  std::optional<RunManifest> resume_;
+  std::vector<std::vector<float>> resume_velocity_;
+  std::vector<size_t> resume_completed_;
+  std::vector<int64_t> resume_iteration_;
 };
 
 }  // namespace pr

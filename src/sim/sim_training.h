@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt_config.h"
+#include "ckpt/manifest.h"
 #include "common/stats.h"
 #include "data/synthetic.h"
 #include "fault/fault_plan.h"
@@ -75,10 +77,19 @@ struct SimTrainingOptions {
 
   /// Fault schedule mirrored into virtual time (P-Reduce only): crashes
   /// trigger lease-horizon eviction, ready-signal drops trigger re-sends,
-  /// slowdown events scale SampleComputeSeconds. Hang events and data-plane
-  /// dup/delay are threaded-engine-only; their fault.* counters still
-  /// register (as zero) for cross-engine report parity.
+  /// slowdown events scale SampleComputeSeconds, controller crash/restart
+  /// events park in-flight signals and rebuild a fresh controller from
+  /// worker re-registration. Hang events and data-plane dup/delay are
+  /// threaded-engine-only; their fault.* counters still register (as zero)
+  /// for cross-engine report parity.
   FaultPlan fault;
+
+  /// Coordinated checkpointing (strategies that call ConfigureCheckpoint —
+  /// P-Reduce kinds and AR): every `ckpt.every_updates` global updates the
+  /// run snapshots every replica + optimizer into shards and writes a
+  /// manifest; RestoreSimRun resumes from it. Disabled by default, and
+  /// unavailable in timing-only mode.
+  CheckpointConfig ckpt;
 
   /// Convergence criterion: stop when the evaluated model reaches this test
   /// accuracy. <= 0 disables accuracy-based stopping.
@@ -200,9 +211,31 @@ class SimTraining {
   void increment_iteration(int worker);
 
   /// Registers one global update (aggregation event). Triggers periodic
-  /// evaluation and stop-condition checks.
+  /// evaluation, stop-condition checks, and — when checkpointing is
+  /// configured — the every-K-updates coordinated cut.
   void RecordUpdate();
   size_t updates() const { return updates_; }
+
+  /// Opts this run's strategy into coordinated checkpointing: `strategy` is
+  /// the manifest's strategy name, `fill` stamps strategy-owned restore
+  /// state (controller history / group-id watermark) into each manifest.
+  /// Without this call an enabled ckpt config cuts nothing.
+  void ConfigureCheckpoint(const std::string& strategy,
+                           std::function<void(RunManifest*)> fill);
+  bool checkpoint_configured() const { return ckpt_fill_ != nullptr; }
+
+  /// Seeds this run from a checkpoint manifest written by an earlier sim
+  /// run: replicas, optimizer velocity, and iteration counters come from
+  /// the shards, each worker's batch sampler is fast-forwarded past the
+  /// restored draws, and the global update counter resumes at the cut.
+  /// Call before the strategy is constructed; ckpt.restore_count becomes 1.
+  void RestoreFromManifest(const RunManifest& manifest,
+                           const std::string& dir);
+  /// The manifest this run resumed from, or null on a fresh run (strategies
+  /// re-seed their controller from it during construction).
+  const RunManifest* resume() const {
+    return resume_.has_value() ? &*resume_ : nullptr;
+  }
 
   /// Idle accounting: call when `worker` starts/stops waiting on
   /// synchronization (barrier or group wait), at current engine time.
@@ -259,11 +292,15 @@ class SimTraining {
     std::unique_ptr<Sgd> optimizer;
     std::unique_ptr<BatchSampler> sampler;
     int64_t iteration = 0;
+    /// Mini-batches drawn so far; a restore fast-forwards the sampler by
+    /// this count so the resumed run draws the batches the original would.
+    size_t batches_drawn = 0;
     double wait_started = -1.0;  ///< -1 when not waiting
     double total_wait = 0.0;
   };
 
   void MaybeEvaluate();
+  void MaybeCheckpoint();
   const float* EvalParams();
   double CurrentLr() const;
 
@@ -281,6 +318,14 @@ class SimTraining {
   std::unique_ptr<Timeline> timeline_;
   std::function<const float*()> eval_provider_;
   std::vector<float> eval_scratch_;
+
+  /// Checkpoint wiring (see ConfigureCheckpoint / RestoreFromManifest).
+  std::string ckpt_strategy_;
+  std::function<void(RunManifest*)> ckpt_fill_;
+  uint64_t last_ckpt_epoch_ = 0;
+  std::optional<RunManifest> resume_;
+  Counter* ckpt_manifests_counter_ = nullptr;
+  Histogram* ckpt_save_hist_ = nullptr;
 
   size_t updates_ = 0;
   size_t gradients_computed_ = 0;

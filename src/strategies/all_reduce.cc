@@ -8,6 +8,10 @@ namespace pr {
 AllReduceStrategy::AllReduceStrategy(SimTraining* ctx) : ctx_(ctx) {
   PR_CHECK(ctx != nullptr);
   grads_.resize(static_cast<size_t>(ctx->num_workers()));
+  // AR checkpoints carry no controller state — the barrier is the
+  // coordination.
+  ctx->ConfigureCheckpoint(StrategyKindName(StrategyKind::kAllReduce),
+                           [](RunManifest*) {});
 }
 
 void AllReduceStrategy::Start() {

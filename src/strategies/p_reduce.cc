@@ -22,6 +22,7 @@ PReduceStrategy::PReduceStrategy(SimTraining* ctx,
   copts.frozen_avoidance = options.frozen_avoidance;
   copts.history_window = options.history_window;
   copts.record_sync_matrices = options.record_sync_matrices;
+  controller_options_ = copts;
   controller_ = std::make_unique<Controller>(copts);
   controller_->AttachObservers(ctx->metrics(), ctx->trace(),
                                [ctx] { return ctx->engine()->now(); });
@@ -43,6 +44,33 @@ PReduceStrategy::PReduceStrategy(SimTraining* ctx,
     ctx->metrics()->GetCounter("fault.injected_dups");
     ctx->metrics()->GetCounter("fault.injected_delays");
     ctx->metrics()->GetCounter("fault.heartbeats");
+    failovers_counter_ = ctx->metrics()->GetCounter("controller.failovers");
+    reregs_counter_ = ctx->metrics()->GetCounter("controller.reregistrations");
+    severed_drops_counter_ = ctx->metrics()->GetCounter("fault.severed_drops");
+    outages_ = ctx->options().fault.controller_events;
+    std::sort(outages_.begin(), outages_.end(),
+              [](const ControllerFaultEvent& a, const ControllerFaultEvent& b) {
+                return a.after_groups < b.after_groups;
+              });
+  }
+
+  // Coordinated checkpointing: SimTraining cuts the shards; the strategy
+  // stamps the controller-owned restore state into each manifest.
+  ctx->ConfigureCheckpoint(Name(), [this](RunManifest* m) {
+    m->next_group_id = controller_->next_group_id();
+    m->history.clear();
+    for (const std::vector<int>& g : controller_->history().groups()) {
+      m->history.push_back(g);
+    }
+  });
+  if (const RunManifest* rm = ctx->resume()) {
+    PR_CHECK(rm->strategy == Name())
+        << "manifest strategy " << rm->strategy << " does not match "
+        << Name();
+    ControllerRestoreState rs;
+    rs.history = rm->history;
+    rs.next_group_id = rm->next_group_id;
+    controller_->Restore(rs);
   }
 }
 
@@ -68,7 +96,9 @@ void PReduceStrategy::EvictNow(int worker) {
                         TraceEventKind::kWorkerEvicted, worker);
   active_[static_cast<size_t>(worker)] = false;
   --active_count_;
-  HandleDecisions(controller_->EvictWorker(worker));
+  // With the controller down the lease verdict is deferred: the restarted
+  // incarnation simply never hears from the dead worker again.
+  if (!controller_down_) HandleDecisions(controller_->EvictWorker(worker));
 }
 
 void PReduceStrategy::Start() {
@@ -121,7 +151,9 @@ void PReduceStrategy::OnGradientReady(int worker) {
     --active_count_;
     PR_CHECK_GE(active_count_, options_.group_size)
         << "churn dropped the cluster below the group size";
-    HandleDecisions(controller_->NotifyWorkerLeft(worker));
+    if (!controller_down_) {
+      HandleDecisions(controller_->NotifyWorkerLeft(worker));
+    }
     return;
   }
 
@@ -164,6 +196,13 @@ void PReduceStrategy::SendSignal(int worker) {
 }
 
 void PReduceStrategy::OnSignalArrival(int worker) {
+  if (controller_down_) {
+    // The signal dies at the severed endpoint; the worker parks and
+    // re-registers when the controller returns.
+    severed_drops_counter_->Increment();
+    parked_.push_back(worker);
+    return;
+  }
   HandleDecisions(
       controller_->OnReadySignal(worker, ctx_->iteration(worker)));
 }
@@ -257,10 +296,94 @@ void PReduceStrategy::OnGroupReduceDone(const GroupDecision& decision) {
       ctx_->set_iteration(m, decision.advanced_iteration);
     }
   }
+  ++completed_groups_;
+  if (!outages_.empty()) {
+    const FaultPlan& plan = ctx_->options().fault;
+    if (plan.reregister_report_groups > 0) {
+      if (recent_groups_.size() >=
+          static_cast<size_t>(plan.reregister_report_groups)) {
+        recent_groups_.pop_front();
+      }
+      recent_groups_.emplace_back(decision.group_id, decision.members);
+    }
+  }
   ctx_->RecordReduceTraffic(decision.members.size());
   ctx_->RecordUpdate();
   if (ctx_->stopped()) return;
   for (int m : decision.members) BeginCompute(m);
+  MaybeCrashController();
+}
+
+void PReduceStrategy::MaybeCrashController() {
+  if (controller_down_ || next_outage_ >= outages_.size()) return;
+  if (completed_groups_ < outages_[next_outage_].after_groups) return;
+  CrashController();
+}
+
+void PReduceStrategy::CrashController() {
+  const ControllerFaultEvent& event = outages_[next_outage_];
+  controller_down_ = true;
+  ctx_->trace()->Record(ctx_->engine()->now(),
+                        TraceEventKind::kControllerCrash, -1,
+                        static_cast<int64_t>(completed_groups_));
+  if (event.restart) {
+    ctx_->engine()->ScheduleAfter(event.down_seconds,
+                                  [this] { RestartController(); });
+  }
+  // No restart scheduled: the controller is gone for good. Workers park as
+  // their signals arrive, the event queue drains, and the run ends with
+  // whatever updates it had — the simulator's analogue of the threaded
+  // workers giving up after max_controller_outage_seconds.
+}
+
+void PReduceStrategy::RestartController() {
+  ++next_outage_;
+  controller_down_ = false;
+  failovers_counter_->Increment();
+  ctx_->trace()->Record(ctx_->engine()->now(),
+                        TraceEventKind::kControllerRestart, -1,
+                        static_cast<int64_t>(completed_groups_));
+
+  // Fresh incarnation: all queue/history/EMA state died with the old
+  // controller. Rebuild the history window and the group-id watermark from
+  // the groups recent re-registrations can vouch for, then re-apply the
+  // cluster-membership facts (departures survive a controller crash — they
+  // are knowledge about the cluster, not controller state).
+  controller_ = std::make_unique<Controller>(controller_options_);
+  controller_->AttachObservers(ctx_->metrics(), ctx_->trace(),
+                               [ctx = ctx_] { return ctx->engine()->now(); });
+  ControllerRestoreState rs;
+  uint64_t max_gid = 0;
+  for (const auto& [gid, members] : recent_groups_) {
+    if (members.size() >= 2) rs.history.push_back(members);
+    max_gid = std::max(max_gid, gid);
+  }
+  rs.next_group_id = max_gid + 1;
+  controller_->Restore(rs);
+  for (int w = 0; w < ctx_->num_workers(); ++w) {
+    if (!active_[static_cast<size_t>(w)]) {
+      HandleDecisions(controller_->NotifyWorkerLeft(w));
+    }
+  }
+
+  // Every surviving worker re-registers — that is how the fresh incarnation
+  // learns the membership it just restored. Workers whose ready signal hit
+  // the dead controller additionally re-enter the queue in arrival order
+  // after one controller hop.
+  std::vector<int> parked;
+  parked.swap(parked_);
+  for (int w = 0; w < ctx_->num_workers(); ++w) {
+    if (!active_[static_cast<size_t>(w)]) continue;
+    reregs_counter_->Increment();
+    ctx_->trace()->Record(ctx_->engine()->now(),
+                          TraceEventKind::kWorkerReregister, w,
+                          ctx_->iteration(w));
+  }
+  for (int worker : parked) {
+    ctx_->engine()->ScheduleAfter(
+        ctx_->cost().controller_delay(),
+        [this, worker] { OnSignalArrival(worker); });
+  }
 }
 
 }  // namespace pr

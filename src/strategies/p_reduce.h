@@ -1,6 +1,10 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "strategies/strategy.h"
 
@@ -40,8 +44,18 @@ class PReduceStrategy : public Strategy {
   /// that its iteration counter has reached.
   bool CrashArmed(int worker, bool in_group) const;
 
+  /// Controller outage mirroring (see FaultPlan::controller_events): fires
+  /// the next scheduled crash once enough groups completed, parks signals
+  /// that arrive while the controller is down, and on restart rebuilds a
+  /// fresh controller from the state workers can vouch for — the virtual-
+  /// time analogue of the threaded incarnation loop.
+  void MaybeCrashController();
+  void CrashController();
+  void RestartController();
+
   SimTraining* ctx_;
   StrategyOptions options_;
+  ControllerOptions controller_options_;
   std::unique_ptr<Controller> controller_;
   /// Elastic membership: pending leave requests (applied at the worker's
   /// next gradient boundary) and current activity flags.
@@ -57,6 +71,22 @@ class PReduceStrategy : public Strategy {
   Counter* fault_retries_ = nullptr;
   Counter* fault_evictions_ = nullptr;
   Counter* fault_aborted_ = nullptr;
+
+  // --- Controller outage mirroring ---
+  bool controller_down_ = false;
+  size_t next_outage_ = 0;
+  /// controller_events sorted by after_groups.
+  std::vector<ControllerFaultEvent> outages_;
+  uint64_t completed_groups_ = 0;
+  /// Workers whose ready signals hit the severed controller; they
+  /// re-register when it restarts.
+  std::vector<int> parked_;
+  /// Recently completed groups (id + members), bounded by
+  /// reregister_report_groups — what re-registration can vouch for.
+  std::deque<std::pair<uint64_t, std::vector<int>>> recent_groups_;
+  Counter* failovers_counter_ = nullptr;
+  Counter* reregs_counter_ = nullptr;
+  Counter* severed_drops_counter_ = nullptr;
 };
 
 }  // namespace pr

@@ -1,23 +1,52 @@
 #include "train/experiment.h"
 
+#include <filesystem>
+
+#include "ckpt/manifest.h"
 #include "common/check.h"
 
 namespace pr {
+namespace {
 
-SimRunResult RunExperiment(const ExperimentConfig& config) {
-  SimTraining ctx(config.training);
-  std::unique_ptr<Strategy> strategy = MakeStrategy(config.strategy, &ctx);
+SimRunResult RunPrepared(SimTraining* ctx, const ExperimentConfig& config) {
+  std::unique_ptr<Strategy> strategy = MakeStrategy(config.strategy, ctx);
+  PR_CHECK(!config.training.ckpt.enabled() || ctx->checkpoint_configured())
+      << "strategy " << strategy->Name()
+      << " does not support coordinated checkpointing";
   strategy->Start();
-  ctx.engine()->RunUntil([&] { return ctx.stopped(); },
-                         config.training.max_sim_seconds);
+  ctx->engine()->RunUntil([&] { return ctx->stopped(); },
+                          config.training.max_sim_seconds);
   // Final evaluation if the run ended between periodic evals.
-  ctx.EvaluateNow();
-  SimRunResult result = ctx.BuildResult(strategy->Name());
+  ctx->EvaluateNow();
+  SimRunResult result = ctx->BuildResult(strategy->Name());
   if (const Controller* controller = strategy->controller()) {
     result.bridged_groups = controller->stats().bridged_groups;
     result.frozen_detections = controller->stats().frozen_detections;
   }
   return result;
+}
+
+}  // namespace
+
+SimRunResult RunExperiment(const ExperimentConfig& config) {
+  SimTraining ctx(config.training);
+  return RunPrepared(&ctx, config);
+}
+
+SimRunResult RestoreSimRun(const ExperimentConfig& config,
+                           const std::string& manifest_path) {
+  RunManifest manifest;
+  Status s = LoadManifest(manifest_path, &manifest);
+  PR_CHECK(s.ok()) << "loading manifest " << manifest_path << ": "
+                   << s.message();
+  PR_CHECK(manifest.strategy == StrategyKindName(config.strategy.kind))
+      << "manifest strategy " << manifest.strategy
+      << " does not match the requested "
+      << StrategyKindName(config.strategy.kind);
+  SimTraining ctx(config.training);
+  ctx.RestoreFromManifest(
+      manifest, std::filesystem::path(manifest_path).parent_path().string());
+  return RunPrepared(&ctx, config);
 }
 
 AggregateResult RunExperimentSeeds(const ExperimentConfig& config,

@@ -188,6 +188,157 @@ TEST(ChaosTest, SimulatorMirrorsCrashRecoveryAcrossSeeds) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Controller failover: crash, restart, re-registration recovery.
+// ---------------------------------------------------------------------------
+
+// Small learning rate: by the end of these short runs every trajectory sits
+// on the same shallow stretch of the loss surface, so an uninterrupted run
+// and a failover run agree on the final loss to well under the 1e-3 bar
+// even though the group compositions (and, in the threaded engine, the
+// timing-dependent group schedule) differ.
+constexpr double kFailoverLr = 0.001;
+
+RunConfig ThreadedFailoverConfig(uint64_t seed, bool restart) {
+  RunConfig config = ChaosConfig(seed, StrategyKind::kPReduceConst);
+  config.run.sgd.learning_rate = kFailoverLr;
+  config.run.fault =
+      restart ? MakeControllerRestartPlan(seed, /*after_groups=*/2,
+                                          /*down_seconds=*/0.3,
+                                          /*drop_prob=*/0.0)
+              : MakeControllerCrashPlan(seed, /*after_groups=*/2,
+                                        /*drop_prob=*/0.0);
+  return config;
+}
+
+TEST(ChaosTest, ThreadedControllerRestartRecovers) {
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    RunConfig faulty = ThreadedFailoverConfig(seed, /*restart=*/true);
+    RunConfig clean = faulty;
+    clean.run.fault = FaultPlan{};
+    ThreadedRunResult with_failover = RunThreaded(faulty);
+    ThreadedRunResult uninterrupted = RunThreaded(clean);
+
+    // The controller died once and came back; at least one parked worker
+    // re-registered with the new incarnation.
+    EXPECT_EQ(with_failover.metrics.counter("controller.failovers"), 1.0);
+    EXPECT_GE(with_failover.metrics.counter("controller.reregistrations"),
+              1.0);
+
+    // Recovery is complete: every worker finishes the same budget as an
+    // uninterrupted run, and training lands at the same final loss.
+    ASSERT_EQ(with_failover.worker_iterations.size(),
+              uninterrupted.worker_iterations.size());
+    for (size_t w = 0; w < with_failover.worker_iterations.size(); ++w) {
+      EXPECT_EQ(with_failover.worker_iterations[w],
+                uninterrupted.worker_iterations[w])
+          << "worker " << w << " lost iterations to the failover";
+    }
+    EXPECT_NEAR(with_failover.final_loss, uninterrupted.final_loss, 1e-3);
+  }
+}
+
+TEST(ChaosTest, ThreadedPermanentControllerCrashFinishesLocally) {
+  RunConfig config = ThreadedFailoverConfig(3, /*restart=*/false);
+  // Tighten the park-loop valves so the test doesn't spend wall-clock
+  // waiting on a controller that is never coming back.
+  config.run.fault.max_verdict_wait_seconds = 0.3;
+  config.run.fault.max_controller_outage_seconds = 0.3;
+  config.run.fault.reregister_backoff_seconds = 0.02;
+  config.run.fault.reregister_backoff_max_seconds = 0.1;
+  ThreadedRunResult result = RunThreaded(config);
+
+  // No restart ever happened, the severed endpoint ate traffic, and every
+  // worker still finished its budget through the local-progress valve.
+  EXPECT_EQ(result.metrics.counter("controller.failovers"), 0.0);
+  EXPECT_GE(result.metrics.counter("fault.severed_drops"), 1.0);
+  for (size_t iters : result.worker_iterations) {
+    EXPECT_EQ(iters, kIterations);
+  }
+}
+
+SimRunResult RunSimFailover(uint64_t seed, bool restart) {
+  ExperimentConfig config;
+  config.training.num_workers = kWorkers;
+  config.training.max_updates = 60;
+  config.training.accuracy_threshold = -1.0;
+  config.training.seed = seed;
+  config.training.sgd.learning_rate = kFailoverLr;
+  config.training.fault =
+      restart ? MakeControllerRestartPlan(seed, /*after_groups=*/5,
+                                          /*down_seconds=*/0.2,
+                                          /*drop_prob=*/0.0)
+              : MakeControllerCrashPlan(seed, /*after_groups=*/5,
+                                        /*drop_prob=*/0.0);
+  config.strategy.kind = StrategyKind::kPReduceConst;
+  config.strategy.group_size = kGroupSize;
+  return RunExperiment(config);
+}
+
+TEST(ChaosTest, SimulatorMirrorsControllerRestart) {
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SimRunResult with_failover = RunSimFailover(seed, /*restart=*/true);
+
+    ExperimentConfig clean_config;
+    clean_config.training.num_workers = kWorkers;
+    clean_config.training.max_updates = 60;
+    clean_config.training.accuracy_threshold = -1.0;
+    clean_config.training.seed = seed;
+    clean_config.training.sgd.learning_rate = kFailoverLr;
+    clean_config.strategy.kind = StrategyKind::kPReduceConst;
+    clean_config.strategy.group_size = kGroupSize;
+    SimRunResult uninterrupted = RunExperiment(clean_config);
+
+    EXPECT_EQ(with_failover.metrics.counter("controller.failovers"), 1.0);
+    EXPECT_GE(with_failover.metrics.counter("controller.reregistrations"),
+              1.0);
+    // The outage parked signals instead of losing them: the run still
+    // reaches the same update budget and the same final loss.
+    EXPECT_EQ(with_failover.updates, uninterrupted.updates);
+    ASSERT_FALSE(with_failover.curve.empty());
+    ASSERT_FALSE(uninterrupted.curve.empty());
+    EXPECT_NEAR(with_failover.curve.back().loss,
+                uninterrupted.curve.back().loss, 1e-3);
+  }
+}
+
+TEST(ChaosTest, SimulatorPermanentControllerCrashStallsUpdates) {
+  SimRunResult result = RunSimFailover(7, /*restart=*/false);
+  // Signals die at the severed endpoint; with nobody to form groups the
+  // update counter freezes and the run winds down short of its budget.
+  EXPECT_GE(result.metrics.counter("fault.severed_drops"), 1.0);
+  EXPECT_EQ(result.metrics.counter("controller.failovers"), 0.0);
+  EXPECT_GE(result.updates, 5u);
+  EXPECT_LT(result.updates, 60u);
+}
+
+TEST(ChaosTest, SimulatorControllerFailoverIsDeterministic) {
+  SimRunResult a = RunSimFailover(9, /*restart=*/true);
+  SimRunResult b = RunSimFailover(9, /*restart=*/true);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.metrics.counter("controller.reregistrations"),
+            b.metrics.counter("controller.reregistrations"));
+  EXPECT_EQ(a.metrics.counter("fault.severed_drops"),
+            b.metrics.counter("fault.severed_drops"));
+}
+
+TEST(ChaosTest, FailoverMetricNamesMatchAcrossEngines) {
+  ThreadedRunResult threaded =
+      RunThreaded(ThreadedFailoverConfig(1, /*restart=*/true));
+  SimRunResult sim = RunSimFailover(1, /*restart=*/true);
+  for (const char* name :
+       {"controller.failovers", "controller.reregistrations",
+        "fault.severed_drops"}) {
+    EXPECT_TRUE(threaded.metrics.counters.count(name) != 0)
+        << "threaded run report is missing " << name;
+    EXPECT_TRUE(sim.metrics.counters.count(name) != 0)
+        << "sim run report is missing " << name;
+  }
+}
+
 TEST(ChaosTest, SimulatorChaosIsDeterministic) {
   SimRunResult a = RunSimChaos(9);
   SimRunResult b = RunSimChaos(9);

@@ -28,7 +28,7 @@ TEST(CheckpointTest, RoundTrip) {
 
 TEST(CheckpointTest, EmptyVectorRoundTrips) {
   const std::string path = TempPath("empty");
-  ASSERT_TRUE(SaveCheckpoint(path, {}).ok());
+  ASSERT_TRUE(SaveCheckpoint(path, std::vector<float>{}).ok());
   std::vector<float> loaded = {1.0f};
   ASSERT_TRUE(LoadCheckpoint(path, &loaded).ok());
   EXPECT_TRUE(loaded.empty());

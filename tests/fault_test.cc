@@ -319,5 +319,131 @@ TEST(FailureDetectorTest, HorizonIsLeaseTimesThreshold) {
   EXPECT_EQ(det.Expired(0.51).size(), 1u);
 }
 
+
+// ---------------------------------------------------------------------------
+// Controller-fault plan shapes (failover chaos variants).
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, ControllerCrashPlanShape) {
+  FaultPlan plan = MakeControllerCrashPlan(7, 3, 0.0);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.has_controller_faults());
+  // drop_prob 0 means the only fault is the outage itself.
+  EXPECT_FALSE(plan.has_message_faults());
+  ASSERT_EQ(plan.controller_events.size(), 1u);
+  EXPECT_EQ(plan.controller_events[0].after_groups, 3u);
+  EXPECT_FALSE(plan.controller_events[0].restart);
+  // The permanent-crash plan shortens the give-up valve so tests finish.
+  EXPECT_DOUBLE_EQ(plan.max_controller_outage_seconds, 1.0);
+}
+
+TEST(FaultPlanTest, ControllerRestartPlanShape) {
+  FaultPlan plan = MakeControllerRestartPlan(7, 2, 0.25, 0.0);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.has_controller_faults());
+  ASSERT_EQ(plan.controller_events.size(), 1u);
+  EXPECT_EQ(plan.controller_events[0].after_groups, 2u);
+  EXPECT_TRUE(plan.controller_events[0].restart);
+  EXPECT_DOUBLE_EQ(plan.controller_events[0].down_seconds, 0.25);
+  // Workers must keep probing at least as long as the recovery window.
+  EXPECT_GT(plan.reregister_window_seconds,
+            plan.reregister_backoff_max_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Severed endpoints: the transport-level face of a controller crash.
+// ---------------------------------------------------------------------------
+
+TEST(FaultyTransportTest, SeveredNodeEatsTraffic) {
+  InProcTransport inner(3);
+  FaultyTransport faulty(&inner, FaultPlan{});
+  faulty.SeverNode(0);
+  EXPECT_TRUE(faulty.node_severed(0));
+  // The sender still sees OK — a dead endpoint looks like a lossy one.
+  ASSERT_TRUE(faulty.Send(0, Msg(1, 4)).ok());
+  EXPECT_EQ(faulty.severed_drops(), 1u);
+  EXPECT_FALSE(faulty.TryRecv(0).has_value());
+  // Other endpoints are unaffected.
+  ASSERT_TRUE(faulty.Send(2, Msg(1, 5)).ok());
+  std::optional<Envelope> env = faulty.Recv(2);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->kind, 5);
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, RestoredNodeReceivesAgain) {
+  InProcTransport inner(2);
+  FaultyTransport faulty(&inner, FaultPlan{});
+  faulty.SeverNode(1);
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 1)).ok());
+  faulty.RestoreNode(1);
+  EXPECT_FALSE(faulty.node_severed(1));
+  // The message swallowed during the outage stays lost...
+  EXPECT_FALSE(faulty.TryRecv(1).has_value());
+  // ...but fresh traffic flows again.
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 2)).ok());
+  std::optional<Envelope> env = faulty.Recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->kind, 2);
+  EXPECT_EQ(faulty.severed_drops(), 1u);
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, SeverDropsDelayedInFlightMessages) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.delay_prob = 1.0;
+  plan.default_edge.delay_seconds = 0.05;
+  FaultyTransport faulty(&inner, plan);
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 8)).ok());
+  // Sever while the message sits in the delay queue: the crash must also
+  // eat traffic that was already in flight toward the endpoint.
+  faulty.SeverNode(1);
+  EXPECT_FALSE(faulty.RecvFor(1, 0.5).has_value());
+  EXPECT_EQ(faulty.severed_drops(), 1u);
+  faulty.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// FailureDetector: re-registration edges around controller recovery.
+// ---------------------------------------------------------------------------
+
+TEST(FailureDetectorTest, LeaseExpiryRacingRejoinFavorsTheRejoin) {
+  FailureDetector det(1, 1.0, 2, 0.0);
+  // The worker rejoins a hair before the sweep that would have killed it:
+  // Resume re-anchors the lease, so the sweep sees a fresh beat.
+  det.Resume(0, 2.5);
+  EXPECT_TRUE(det.Expired(2.6).empty());
+  EXPECT_TRUE(det.alive(0));
+  // The fresh lease runs its full horizon from the rejoin.
+  EXPECT_TRUE(det.Expired(4.4).empty());
+  ASSERT_EQ(det.Expired(4.6).size(), 1u);
+}
+
+TEST(FailureDetectorTest, DuplicateReregistrationIsIdempotent) {
+  FailureDetector det(1, 1.0, 2, 0.0);
+  det.Suspend(0);
+  // A retried Reregister lands twice (backoff loops do that); the second
+  // Resume just re-anchors the lease at the later time.
+  det.Resume(0, 1.0);
+  det.Resume(0, 1.5);
+  EXPECT_TRUE(det.alive(0));
+  EXPECT_EQ(det.last_beat(0), 1.5);
+  EXPECT_TRUE(det.Expired(2.0).empty());
+  ASSERT_EQ(det.Expired(3.6).size(), 1u);
+}
+
+TEST(FailureDetectorTest, HeartbeatsFromEvictedWorkerStayIgnored) {
+  FailureDetector det(1, 1.0, 2, 0.0);
+  det.Suspend(0);
+  // Beats from a suspended (evicted) worker never expire it either way:
+  // it is off the books until an explicit rejoin.
+  for (double t = 0.5; t < 10.0; t += 0.5) det.Beat(0, t);
+  EXPECT_FALSE(det.alive(0));
+  EXPECT_TRUE(det.Expired(100.0).empty());
+  det.Resume(0, 100.0);
+  EXPECT_TRUE(det.alive(0));
+}
+
 }  // namespace
 }  // namespace pr
