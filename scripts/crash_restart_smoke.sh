@@ -6,9 +6,11 @@
 # Usage: crash_restart_smoke.sh <path-to-checkpoint_restart-binary>
 set -euo pipefail
 
+# shellcheck source=smoke_lib.sh
+. "$(dirname "$0")/smoke_lib.sh"
+
 BIN=${1:?usage: crash_restart_smoke.sh <checkpoint_restart binary>}
-CKPT_DIR=$(mktemp -d)
-trap 'rm -rf "$CKPT_DIR"' EXIT
+smoke_tmpdir CKPT_DIR
 
 "$BIN" "$CKPT_DIR" > "$CKPT_DIR/run1.log" 2>&1 &
 PID=$!
@@ -18,9 +20,8 @@ PID=$!
 # fixed amount; bail out if the run finishes before we manage to kill it.
 for _ in $(seq 1 300); do
   if ! kill -0 "$PID" 2>/dev/null; then
-    echo "FAIL: run finished before it could be killed" >&2
     cat "$CKPT_DIR/run1.log" >&2
-    exit 1
+    smoke_fail "run finished before it could be killed"
   fi
   manifests=$(find "$CKPT_DIR" -name 'manifest-*.prm' | wc -l)
   if [ "$manifests" -ge 2 ]; then
@@ -33,14 +34,13 @@ wait "$PID" 2>/dev/null || true
 
 manifests=$(find "$CKPT_DIR" -name 'manifest-*.prm' | wc -l)
 if [ "$manifests" -lt 2 ]; then
-  echo "FAIL: only $manifests manifests before the kill" >&2
-  exit 1
+  smoke_fail "only $manifests manifests before the kill"
 fi
 echo "killed pid $PID with $manifests manifests on disk"
 
 # The rerun must take the resume path and finish every worker's budget
 # (the binary exits non-zero if any worker stops short).
-"$BIN" "$CKPT_DIR" | tee "$CKPT_DIR/run2.log"
-grep -q "Resuming from" "$CKPT_DIR/run2.log"
-grep -q "run complete" "$CKPT_DIR/run2.log"
+smoke_run "$CKPT_DIR/run2.log" "$BIN" "$CKPT_DIR"
+smoke_expect_grep "Resuming from" "$CKPT_DIR/run2.log" "resume path taken"
+smoke_expect_grep "run complete" "$CKPT_DIR/run2.log" "full budget finished"
 echo "crash-restart smoke OK"

@@ -1,0 +1,54 @@
+# Shared helpers for the smoke scripts. Source this file; do not execute it.
+#
+# Every helper fails loudly: a violated expectation prints a FAIL line with
+# the offending command/log to stderr and exits the whole script non-zero,
+# so CI can never report green on a smoke that silently did nothing.
+
+smoke_fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# smoke_tmpdir VAR — make a temp dir, store its path in VAR, and remove it
+# on exit. Multiple calls stack their cleanups.
+smoke_tmpdir() {
+  local __var=$1
+  local __dir
+  __dir=$(mktemp -d) || smoke_fail "mktemp -d"
+  printf -v "$__var" '%s' "$__dir"
+  # shellcheck disable=SC2064  # expand $__dir now, not at trap time
+  trap "rm -rf '$__dir'; $(trap -p EXIT | sed "s/^trap -- '//;s/' EXIT$//")" EXIT
+}
+
+# smoke_run LOGFILE CMD... — run CMD, teeing output to LOGFILE; on non-zero
+# exit dump the log and fail.
+smoke_run() {
+  local log=$1
+  shift
+  if ! "$@" > "$log" 2>&1; then
+    echo "---- $log ----" >&2
+    cat "$log" >&2
+    smoke_fail "command exited non-zero: $*"
+  fi
+}
+
+# smoke_expect_grep PATTERN LOGFILE [WHY] — assert PATTERN appears in
+# LOGFILE, dumping the log on miss.
+smoke_expect_grep() {
+  local pattern=$1 log=$2 why=${3:-}
+  if ! grep -q "$pattern" "$log"; then
+    echo "---- $log ----" >&2
+    cat "$log" >&2
+    smoke_fail "expected /$pattern/ in $log${why:+ ($why)}"
+  fi
+}
+
+# smoke_extract PATTERN LOGFILE — print the first grep -o match, failing
+# loudly when absent (for pulling key=value fields out of a report line).
+smoke_extract() {
+  local pattern=$1 log=$2
+  local got
+  got=$(grep -oE "$pattern" "$log" | head -n1)
+  [ -n "$got" ] || smoke_fail "no match for /$pattern/ in $log"
+  printf '%s\n' "$got"
+}

@@ -67,6 +67,7 @@ void Endpoint::AttachObservers(MetricsShard* metrics, const std::string& scope,
     bytes_sent_counter_ = metrics->GetCounter("transport.bytes_sent");
     bytes_received_counter_ = metrics->GetCounter("transport.bytes_received");
     payload_copies_counter_ = metrics->GetCounter("transport.payload_copies");
+    stash_purged_counter_ = metrics->GetCounter("transport.stash_purged");
     stash_gauge_ = metrics->GetGauge("transport.stash_high_water");
     if (!scope.empty()) {
       scoped_stash_gauge_ = metrics->GetGauge(scope + ".stash_high_water");
@@ -248,7 +249,11 @@ size_t Endpoint::PurgeStash(const std::function<bool(const Envelope&)>& match) {
   stash_.erase(std::remove_if(stash_.begin(), stash_.end(),
                               [&](const Envelope& env) { return match(env); }),
                stash_.end());
-  return before - stash_.size();
+  const size_t purged = before - stash_.size();
+  if (purged > 0 && stash_purged_counter_ != nullptr) {
+    stash_purged_counter_->Increment(static_cast<double>(purged));
+  }
+  return purged;
 }
 
 }  // namespace pr

@@ -123,7 +123,8 @@ class Endpoint {
   ///
   /// `metrics` receives the `transport.messages_sent` /
   /// `transport.messages_received` / `transport.bytes_sent` /
-  /// `transport.bytes_received` / `transport.payload_copies` counters and
+  /// `transport.bytes_received` / `transport.payload_copies` /
+  /// `transport.stash_purged` counters and
   /// the `transport.stash_high_water` gauge; when `scope` is non-empty, a
   /// per-endpoint `<scope>.stash_high_water` gauge is published too (e.g.
   /// scope "worker.3"). `trace` gets a kStashHighWater event stamped with
@@ -202,9 +203,19 @@ class Endpoint {
       const std::function<bool(const Envelope&)>& match);
 
   /// Drops every stashed message satisfying `match`; returns how many were
-  /// dropped. Recovery hygiene: after a group abort, the aborted
-  /// conversation's chunks would otherwise rot in the stash forever.
+  /// dropped and counts them in `transport.stash_purged`. Recovery hygiene:
+  /// after a group abort, the aborted conversation's chunks would otherwise
+  /// rot in the stash forever.
   size_t PurgeStash(const std::function<bool(const Envelope&)>& match);
+
+  /// Drops every stashed message sent by `peer`. Called on a peer-death
+  /// notification (eviction broadcast, severed connection): a dead peer's
+  /// parked chunks can never be selected again, so without this the deque
+  /// grows until run end.
+  size_t PurgeStashFrom(NodeId peer) {
+    return PurgeStash(
+        [peer](const Envelope& env) { return env.from == peer; });
+  }
 
   /// Messages currently parked out-of-order. A persistently growing stash
   /// means some sender's messages are never selected — usually a protocol
@@ -238,6 +249,7 @@ class Endpoint {
   Counter* bytes_sent_counter_ = nullptr;
   Counter* bytes_received_counter_ = nullptr;
   Counter* payload_copies_counter_ = nullptr;
+  Counter* stash_purged_counter_ = nullptr;
   Gauge* stash_gauge_ = nullptr;
   Gauge* scoped_stash_gauge_ = nullptr;
   TraceRecorder* trace_ = nullptr;

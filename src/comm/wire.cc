@@ -1,0 +1,244 @@
+#include "comm/wire.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.h"
+
+// The encoders below memcpy scalar values directly; the format is defined as
+// little-endian, which every platform this repo targets is.
+static_assert(std::endian::native == std::endian::little,
+              "wire format assumes a little-endian host");
+
+namespace pr {
+
+namespace {
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T value) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+T Get(const uint8_t* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+bool Fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+/// Validates the preamble and returns the section sizes. `false` means
+/// corrupt (sizes untouched); a too-short `size` is signalled separately.
+bool CheckPreamble(const uint8_t* data, uint32_t* header_bytes,
+                   uint32_t* payload_floats, std::string* error) {
+  if (Get<uint32_t>(data) != kWireMagic) return Fail(error, "bad magic");
+  if (data[4] != kWireVersion) return Fail(error, "bad version");
+  const uint32_t hb = Get<uint32_t>(data + 8);
+  const uint32_t pf = Get<uint32_t>(data + 12);
+  if (hb < kWireHeaderFixedBytes ||
+      hb > kWireHeaderFixedBytes + 8ull * kWireMaxInts) {
+    return Fail(error, "header_bytes out of range");
+  }
+  if ((hb - kWireHeaderFixedBytes) % 8 != 0) {
+    return Fail(error, "header_bytes misaligned");
+  }
+  if (pf > kWireMaxPayloadFloats) return Fail(error, "payload oversize");
+  *header_bytes = hb;
+  *payload_floats = pf;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrameHeader(NodeId to, const Envelope& env) {
+  PR_CHECK_LE(env.ints.size(), static_cast<size_t>(kWireMaxInts));
+  PR_CHECK_LE(env.payload.size(), static_cast<size_t>(kWireMaxPayloadFloats));
+  const uint32_t header_bytes = static_cast<uint32_t>(
+      kWireHeaderFixedBytes + 8 * env.ints.size());
+  std::vector<uint8_t> out;
+  out.reserve(kWirePreambleBytes + header_bytes);
+  Put<uint32_t>(&out, kWireMagic);
+  Put<uint8_t>(&out, kWireVersion);
+  Put<uint8_t>(&out, 0);   // flags
+  Put<uint16_t>(&out, 0);  // reserved
+  Put<uint32_t>(&out, header_bytes);
+  Put<uint32_t>(&out, static_cast<uint32_t>(env.payload.size()));
+  Put<int32_t>(&out, static_cast<int32_t>(to));
+  Put<int32_t>(&out, static_cast<int32_t>(env.from));
+  Put<uint64_t>(&out, env.tag);
+  Put<int32_t>(&out, static_cast<int32_t>(env.kind));
+  Put<uint32_t>(&out, static_cast<uint32_t>(env.ints.size()));
+  for (int64_t v : env.ints) Put<int64_t>(&out, v);
+  return out;
+}
+
+std::vector<uint8_t> EncodeFrame(NodeId to, const Envelope& env) {
+  std::vector<uint8_t> out = EncodeFrameHeader(to, env);
+  if (!env.payload.empty()) {
+    const size_t at = out.size();
+    out.resize(at + env.payload.size() * sizeof(float));
+    std::memcpy(out.data() + at, env.payload.data(),
+                env.payload.size() * sizeof(float));
+  }
+  return out;
+}
+
+WireDecode DecodeFrame(const uint8_t* data, size_t size, NodeId* to,
+                       Envelope* env, size_t* consumed, std::string* error) {
+  if (size < kWirePreambleBytes) {
+    // Magic/version mismatches are detectable from the first bytes even in a
+    // short prefix — reject early instead of waiting for more garbage.
+    if (size >= 4 && Get<uint32_t>(data) != kWireMagic) {
+      Fail(error, "bad magic");
+      return WireDecode::kCorrupt;
+    }
+    if (size >= 5 && data[4] != kWireVersion) {
+      Fail(error, "bad version");
+      return WireDecode::kCorrupt;
+    }
+    return WireDecode::kNeedMore;
+  }
+  uint32_t header_bytes = 0;
+  uint32_t payload_floats = 0;
+  if (!CheckPreamble(data, &header_bytes, &payload_floats, error)) {
+    return WireDecode::kCorrupt;
+  }
+  const size_t total = kWirePreambleBytes + header_bytes +
+                       static_cast<size_t>(payload_floats) * sizeof(float);
+  if (size < total) return WireDecode::kNeedMore;
+
+  const uint8_t* h = data + kWirePreambleBytes;
+  const uint32_t num_ints = Get<uint32_t>(h + 20);
+  if (kWireHeaderFixedBytes + 8ull * num_ints != header_bytes) {
+    Fail(error, "num_ints inconsistent with header_bytes");
+    return WireDecode::kCorrupt;
+  }
+  *to = static_cast<NodeId>(Get<int32_t>(h));
+  env->from = static_cast<NodeId>(Get<int32_t>(h + 4));
+  env->tag = Get<uint64_t>(h + 8);
+  env->kind = static_cast<int>(Get<int32_t>(h + 16));
+  env->ints.resize(num_ints);
+  for (uint32_t i = 0; i < num_ints; ++i) {
+    env->ints[i] = Get<int64_t>(h + kWireHeaderFixedBytes + 8ull * i);
+  }
+  if (payload_floats > 0) {
+    std::vector<float> payload(payload_floats);
+    std::memcpy(payload.data(), data + kWirePreambleBytes + header_bytes,
+                static_cast<size_t>(payload_floats) * sizeof(float));
+    env->payload = Buffer::FromVector(std::move(payload));
+  } else {
+    env->payload = Buffer();
+  }
+  *consumed = total;
+  return WireDecode::kOk;
+}
+
+Status WriteFrameFd(int fd, NodeId to, const Envelope& env) {
+  const std::vector<uint8_t> header = EncodeFrameHeader(to, env);
+  struct iovec iov[2];
+  iov[0].iov_base = const_cast<uint8_t*>(header.data());
+  iov[0].iov_len = header.size();
+  // Aliases the shared Buffer block directly — the payload floats are never
+  // copied on the send path; writev gathers them from their home allocation.
+  iov[1].iov_base = const_cast<float*>(env.payload.data());
+  iov[1].iov_len = env.payload.size() * sizeof(float);
+  int iovcnt = env.payload.empty() ? 1 : 2;
+  struct iovec* cur = iov;
+  while (iovcnt > 0) {
+    const ssize_t n = ::writev(fd, cur, iovcnt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("writev: ") + strerror(errno));
+    }
+    size_t left = static_cast<size_t>(n);
+    while (iovcnt > 0 && left >= cur->iov_len) {
+      left -= cur->iov_len;
+      ++cur;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      cur->iov_base = static_cast<uint8_t*>(cur->iov_base) + left;
+      cur->iov_len -= left;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. `*got` reports progress so the caller can tell a
+/// clean EOF (got == 0 on the first section) from a torn frame.
+Status ReadExact(int fd, uint8_t* out, size_t n, size_t* got) {
+  *got = 0;
+  while (*got < n) {
+    const ssize_t r = ::read(fd, out + *got, n - *got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("read: ") + strerror(errno));
+    }
+    if (r == 0) return Status::Unavailable("eof");
+    *got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadFrameFd(int fd, NodeId* to, Envelope* env) {
+  uint8_t preamble[kWirePreambleBytes];
+  size_t got = 0;
+  Status status = ReadExact(fd, preamble, kWirePreambleBytes, &got);
+  if (!status.ok()) {
+    if (got == 0) return Status::Cancelled("connection closed");
+    return Status::Unavailable("torn frame: eof in preamble");
+  }
+  uint32_t header_bytes = 0;
+  uint32_t payload_floats = 0;
+  std::string why;
+  if (!CheckPreamble(preamble, &header_bytes, &payload_floats, &why)) {
+    return Status::InvalidArgument("corrupt frame: " + why);
+  }
+  std::vector<uint8_t> header(header_bytes);
+  status = ReadExact(fd, header.data(), header_bytes, &got);
+  if (!status.ok()) return Status::Unavailable("torn frame: eof in header");
+  const uint32_t num_ints = Get<uint32_t>(header.data() + 20);
+  if (kWireHeaderFixedBytes + 8ull * num_ints != header_bytes) {
+    return Status::InvalidArgument(
+        "corrupt frame: num_ints inconsistent with header_bytes");
+  }
+  *to = static_cast<NodeId>(Get<int32_t>(header.data()));
+  env->from = static_cast<NodeId>(Get<int32_t>(header.data() + 4));
+  env->tag = Get<uint64_t>(header.data() + 8);
+  env->kind = static_cast<int>(Get<int32_t>(header.data() + 16));
+  env->ints.resize(num_ints);
+  for (uint32_t i = 0; i < num_ints; ++i) {
+    env->ints[i] =
+        Get<int64_t>(header.data() + kWireHeaderFixedBytes + 8ull * i);
+  }
+  if (payload_floats > 0) {
+    // Single allocation: the vector that will back the Buffer is the read
+    // destination, so the floats land in their final home directly.
+    std::vector<float> payload(payload_floats);
+    status = ReadExact(fd, reinterpret_cast<uint8_t*>(payload.data()),
+                       static_cast<size_t>(payload_floats) * sizeof(float),
+                       &got);
+    if (!status.ok()) return Status::Unavailable("torn frame: eof in payload");
+    env->payload = Buffer::FromVector(std::move(payload));
+  } else {
+    env->payload = Buffer();
+  }
+  return Status::OK();
+}
+
+}  // namespace pr

@@ -11,8 +11,8 @@ constexpr uint64_t kDelaySalt = 0x64656c61ULL;  // "dela"
 }  // namespace
 
 bool FaultPlan::enabled() const {
-  return has_message_faults() || !worker_events.empty() ||
-         has_controller_faults();
+  return force_fault_tolerant || has_message_faults() ||
+         !worker_events.empty() || has_controller_faults();
 }
 
 bool FaultPlan::has_controller_faults() const {

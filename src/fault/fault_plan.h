@@ -127,8 +127,16 @@ struct FaultPlan {
   /// window from these).
   int reregister_report_groups = 8;
 
-  /// True when this plan can inject anything; false plans leave every
-  /// runtime code path on the fault-free fast path.
+  /// Runs the fault-tolerant protocol (leases, eviction, abort/retry) even
+  /// with nothing scheduled above. Multi-process runs set this so *real*
+  /// failures — a killed worker process, a torn connection — are survived:
+  /// over sockets a dead peer is simply silent, and only the hardened
+  /// protocol reacts to silence.
+  bool force_fault_tolerant = false;
+
+  /// True when this plan can inject anything (or force_fault_tolerant is
+  /// set); false plans leave every runtime code path on the fault-free fast
+  /// path.
   bool enabled() const;
 
   /// Fault plans are only meaningful for a controller-mediated P-Reduce run;

@@ -1,0 +1,534 @@
+#include "launch/config_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace pr {
+namespace {
+
+// %.17g round-trips any double exactly through strtod; good enough for every
+// numeric field here (integers up to 2^53 included).
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string StrategyKindToken(StrategyKind kind) {
+  return StrategyKindName(kind);
+}
+
+bool ParseStrategyKind(const std::string& token, StrategyKind* out) {
+  static const std::pair<const char*, StrategyKind> kNames[] = {
+      {"AR", StrategyKind::kAllReduce},
+      {"ER", StrategyKind::kEagerReduce},
+      {"AD", StrategyKind::kAdPsgd},
+      {"PS-BSP", StrategyKind::kPsBsp},
+      {"PS-ASP", StrategyKind::kPsAsp},
+      {"PS-HETE", StrategyKind::kPsHete},
+      {"PS-BK", StrategyKind::kPsBackup},
+      {"CON", StrategyKind::kPReduceConst},
+      {"DYN", StrategyKind::kPReduceDynamic},
+  };
+  for (const auto& [name, kind] : kNames) {
+    if (token == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* MissingSlotToken(MissingSlotPolicy policy) {
+  switch (policy) {
+    case MissingSlotPolicy::kRenormalize:
+      return "renormalize";
+    case MissingSlotPolicy::kAssignToStaler:
+      return "staler";
+    case MissingSlotPolicy::kAssignToNearest:
+      return "nearest";
+  }
+  return "staler";
+}
+
+bool ParseMissingSlot(const std::string& token, MissingSlotPolicy* out) {
+  if (token == "renormalize") {
+    *out = MissingSlotPolicy::kRenormalize;
+  } else if (token == "staler") {
+    *out = MissingSlotPolicy::kAssignToStaler;
+  } else if (token == "nearest") {
+    *out = MissingSlotPolicy::kAssignToNearest;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* WorkerFaultToken(WorkerFaultEvent::Kind kind) {
+  switch (kind) {
+    case WorkerFaultEvent::Kind::kCrash:
+      return "crash";
+    case WorkerFaultEvent::Kind::kHang:
+      return "hang";
+    case WorkerFaultEvent::Kind::kSlowdown:
+      return "slowdown";
+  }
+  return "crash";
+}
+
+bool ParseWorkerFault(const std::string& token, WorkerFaultEvent::Kind* out) {
+  if (token == "crash") {
+    *out = WorkerFaultEvent::Kind::kCrash;
+  } else if (token == "hang") {
+    *out = WorkerFaultEvent::Kind::kHang;
+  } else if (token == "slowdown") {
+    *out = WorkerFaultEvent::Kind::kSlowdown;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Parsing machinery: each line is split into a key plus a value stream; the
+// Take* helpers report malformed fields as a Status naming the offending
+// line so a config mismatch points straight at its cause.
+class LineParser {
+ public:
+  LineParser(int line_no, std::string key, std::istringstream* values)
+      : line_no_(line_no), key_(std::move(key)), values_(values) {}
+
+  Status TakeDouble(double* out) {
+    std::string token;
+    if (!(*values_ >> token)) return Missing();
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return Bad(token);
+    return Status::OK();
+  }
+
+  Status TakeInt(int64_t* out) {
+    std::string token;
+    if (!(*values_ >> token)) return Missing();
+    char* end = nullptr;
+    *out = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') return Bad(token);
+    return Status::OK();
+  }
+
+  Status TakeUInt(uint64_t* out) {
+    std::string token;
+    if (!(*values_ >> token)) return Missing();
+    char* end = nullptr;
+    *out = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') return Bad(token);
+    return Status::OK();
+  }
+
+  Status TakeBool(bool* out) {
+    int64_t v = 0;
+    PR_RETURN_NOT_OK(TakeInt(&v));
+    if (v != 0 && v != 1) return Bad(std::to_string(v));
+    *out = v == 1;
+    return Status::OK();
+  }
+
+  Status TakeString(std::string* out) {
+    if (!(*values_ >> *out)) return Missing();
+    return Status::OK();
+  }
+
+  // The remainder of the line, leading whitespace stripped (for values that
+  // may contain spaces, e.g. paths).
+  std::string Rest() {
+    std::string rest;
+    std::getline(*values_, rest);
+    size_t start = rest.find_first_not_of(" \t");
+    return start == std::string::npos ? std::string() : rest.substr(start);
+  }
+
+  Status Missing() const {
+    return Status::InvalidArgument("config line " + std::to_string(line_no_) +
+                                   ": key '" + key_ + "' is missing a value");
+  }
+
+  Status Bad(const std::string& token) const {
+    return Status::InvalidArgument("config line " + std::to_string(line_no_) +
+                                   ": key '" + key_ + "' has bad value '" +
+                                   token + "'");
+  }
+
+ private:
+  int line_no_;
+  std::string key_;
+  std::istringstream* values_;
+};
+
+}  // namespace
+
+std::string SerializeRunConfig(const RunConfig& config) {
+  const StrategyOptions& s = config.strategy;
+  const ThreadedRunOptions& r = config.run;
+  std::ostringstream out;
+  out << "prconfig 1\n";
+
+  out << "strategy.kind " << StrategyKindToken(s.kind) << "\n";
+  out << "strategy.group_size " << s.group_size << "\n";
+  out << "strategy.backup_workers " << s.backup_workers << "\n";
+  out << "strategy.er_quorum " << s.er_quorum << "\n";
+  out << "strategy.frozen_avoidance " << (s.frozen_avoidance ? 1 : 0) << "\n";
+  out << "strategy.history_window " << s.history_window << "\n";
+  out << "strategy.record_sync_matrices " << (s.record_sync_matrices ? 1 : 0)
+      << "\n";
+  out << "strategy.average_momentum " << (s.average_momentum ? 1 : 0) << "\n";
+  out << "strategy.dynamic.alpha " << Num(s.dynamic.alpha) << "\n";
+  out << "strategy.dynamic.staleness_tolerance "
+      << s.dynamic.staleness_tolerance << "\n";
+  out << "strategy.dynamic.missing_slot "
+      << MissingSlotToken(s.dynamic.missing_slot_policy) << "\n";
+
+  out << "run.num_workers " << r.num_workers << "\n";
+  out << "run.iterations_per_worker " << r.iterations_per_worker << "\n";
+  out << "run.batch_size " << r.batch_size << "\n";
+  out << "run.seed " << r.seed << "\n";
+  out << "run.record_timeline " << (r.record_timeline ? 1 : 0) << "\n";
+  out << "run.trace_capacity " << r.trace_capacity << "\n";
+  out << "run.sgd.learning_rate " << Num(r.sgd.learning_rate) << "\n";
+  out << "run.sgd.momentum " << Num(r.sgd.momentum) << "\n";
+  out << "run.sgd.weight_decay " << Num(r.sgd.weight_decay) << "\n";
+
+  out << "run.model.kind "
+      << (r.model.kind == ProxyModelSpec::Kind::kConvNet ? "conv" : "mlp")
+      << "\n";
+  for (size_t width : r.model.hidden) out << "run.model.hidden " << width << "\n";
+  out << "run.model.conv_filters " << r.model.conv_filters << "\n";
+
+  out << "run.dataset.num_train " << r.dataset.num_train << "\n";
+  out << "run.dataset.num_test " << r.dataset.num_test << "\n";
+  out << "run.dataset.dim " << r.dataset.dim << "\n";
+  out << "run.dataset.num_classes " << r.dataset.num_classes << "\n";
+  out << "run.dataset.modes_per_class " << r.dataset.modes_per_class << "\n";
+  out << "run.dataset.separation " << Num(r.dataset.separation) << "\n";
+  out << "run.dataset.noise " << Num(r.dataset.noise) << "\n";
+  out << "run.dataset.label_noise " << Num(r.dataset.label_noise) << "\n";
+  out << "run.dataset.seed " << r.dataset.seed << "\n";
+
+  for (double d : r.worker_delay_seconds) out << "run.delay " << Num(d) << "\n";
+  for (const ThreadedChurnEvent& e : r.churn) {
+    out << "run.churn " << e.worker << " " << e.after_iterations << " "
+        << Num(e.pause_seconds) << "\n";
+  }
+
+  if (!r.ckpt.dir.empty()) out << "run.ckpt.dir " << r.ckpt.dir << "\n";
+  out << "run.ckpt.every_iterations " << r.ckpt.every_iterations << "\n";
+  out << "run.ckpt.every_updates " << r.ckpt.every_updates << "\n";
+
+  const FaultPlan& f = r.fault;
+  out << "fault.seed " << f.seed << "\n";
+  out << "fault.force_fault_tolerant " << (f.force_fault_tolerant ? 1 : 0)
+      << "\n";
+  out << "fault.default_edge " << Num(f.default_edge.drop_prob) << " "
+      << Num(f.default_edge.dup_prob) << " " << Num(f.default_edge.delay_prob)
+      << " " << Num(f.default_edge.delay_seconds) << "\n";
+  for (const auto& [edge, spec] : f.edges) {
+    out << "fault.edge " << edge.first << " " << edge.second << " "
+        << Num(spec.drop_prob) << " " << Num(spec.dup_prob) << " "
+        << Num(spec.delay_prob) << " " << Num(spec.delay_seconds) << "\n";
+  }
+  for (const WorkerFaultEvent& e : f.worker_events) {
+    out << "fault.worker_event " << e.worker << " " << WorkerFaultToken(e.kind)
+        << " " << e.after_iterations << " " << (e.in_group ? 1 : 0) << " "
+        << Num(e.hang_seconds) << " " << Num(e.slowdown_factor) << " "
+        << e.slowdown_iterations << "\n";
+  }
+  for (const ControllerFaultEvent& e : f.controller_events) {
+    out << "fault.controller_event " << e.after_groups << " "
+        << Num(e.down_seconds) << " " << (e.restart ? 1 : 0) << "\n";
+  }
+  out << "fault.lease_seconds " << Num(f.lease_seconds) << "\n";
+  out << "fault.missed_threshold " << f.missed_threshold << "\n";
+  out << "fault.recv_timeout_seconds " << Num(f.recv_timeout_seconds) << "\n";
+  out << "fault.stuck_report_ticks " << f.stuck_report_ticks << "\n";
+  out << "fault.resend_ready_ticks " << f.resend_ready_ticks << "\n";
+  out << "fault.stuck_abort_reports " << f.stuck_abort_reports << "\n";
+  out << "fault.max_verdict_wait_seconds " << Num(f.max_verdict_wait_seconds)
+      << "\n";
+  out << "fault.max_reduce_stall_seconds " << Num(f.max_reduce_stall_seconds)
+      << "\n";
+  out << "fault.reregister_backoff_seconds "
+      << Num(f.reregister_backoff_seconds) << "\n";
+  out << "fault.reregister_backoff_max_seconds "
+      << Num(f.reregister_backoff_max_seconds) << "\n";
+  out << "fault.reregister_window_seconds "
+      << Num(f.reregister_window_seconds) << "\n";
+  out << "fault.max_controller_outage_seconds "
+      << Num(f.max_controller_outage_seconds) << "\n";
+  out << "fault.reregister_report_groups " << f.reregister_report_groups
+      << "\n";
+  return out.str();
+}
+
+Status ParseRunConfig(const std::string& text, RunConfig* out) {
+  RunConfig config;
+  // List-valued fields replace (not append to) the defaults; the first
+  // occurrence of each clears the default value.
+  bool saw_hidden = false;
+  bool saw_delay = false;
+  bool saw_churn = false;
+
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream values(line);
+    std::string key;
+    values >> key;
+    if (key.empty()) continue;
+    LineParser p(line_no, key, &values);
+
+    if (!saw_header) {
+      uint64_t version = 0;
+      if (key != "prconfig" || !p.TakeUInt(&version).ok() || version != 1) {
+        return Status::InvalidArgument(
+            "config does not start with a 'prconfig 1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    StrategyOptions& s = config.strategy;
+    ThreadedRunOptions& r = config.run;
+    FaultPlan& f = r.fault;
+    int64_t i64 = 0;
+    uint64_t u64 = 0;
+    std::string token;
+
+    if (key == "strategy.kind") {
+      PR_RETURN_NOT_OK(p.TakeString(&token));
+      if (!ParseStrategyKind(token, &s.kind)) return p.Bad(token);
+    } else if (key == "strategy.group_size") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.group_size = static_cast<int>(i64);
+    } else if (key == "strategy.backup_workers") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.backup_workers = static_cast<int>(i64);
+    } else if (key == "strategy.er_quorum") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.er_quorum = static_cast<int>(i64);
+    } else if (key == "strategy.frozen_avoidance") {
+      PR_RETURN_NOT_OK(p.TakeBool(&s.frozen_avoidance));
+    } else if (key == "strategy.history_window") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      s.history_window = u64;
+    } else if (key == "strategy.record_sync_matrices") {
+      PR_RETURN_NOT_OK(p.TakeBool(&s.record_sync_matrices));
+    } else if (key == "strategy.average_momentum") {
+      PR_RETURN_NOT_OK(p.TakeBool(&s.average_momentum));
+    } else if (key == "strategy.dynamic.alpha") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&s.dynamic.alpha));
+    } else if (key == "strategy.dynamic.staleness_tolerance") {
+      PR_RETURN_NOT_OK(p.TakeInt(&s.dynamic.staleness_tolerance));
+    } else if (key == "strategy.dynamic.missing_slot") {
+      PR_RETURN_NOT_OK(p.TakeString(&token));
+      if (!ParseMissingSlot(token, &s.dynamic.missing_slot_policy)) {
+        return p.Bad(token);
+      }
+    } else if (key == "run.num_workers") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      r.num_workers = static_cast<int>(i64);
+    } else if (key == "run.iterations_per_worker") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.iterations_per_worker = u64;
+    } else if (key == "run.batch_size") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.batch_size = u64;
+    } else if (key == "run.seed") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&r.seed));
+    } else if (key == "run.record_timeline") {
+      PR_RETURN_NOT_OK(p.TakeBool(&r.record_timeline));
+    } else if (key == "run.trace_capacity") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.trace_capacity = u64;
+    } else if (key == "run.sgd.learning_rate") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&r.sgd.learning_rate));
+    } else if (key == "run.sgd.momentum") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&r.sgd.momentum));
+    } else if (key == "run.sgd.weight_decay") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&r.sgd.weight_decay));
+    } else if (key == "run.model.kind") {
+      PR_RETURN_NOT_OK(p.TakeString(&token));
+      if (token == "mlp") {
+        r.model.kind = ProxyModelSpec::Kind::kMlp;
+      } else if (token == "conv") {
+        r.model.kind = ProxyModelSpec::Kind::kConvNet;
+      } else {
+        return p.Bad(token);
+      }
+    } else if (key == "run.model.hidden") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      if (!saw_hidden) r.model.hidden.clear();
+      saw_hidden = true;
+      r.model.hidden.push_back(u64);
+    } else if (key == "run.model.conv_filters") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.model.conv_filters = u64;
+    } else if (key == "run.dataset.num_train") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.dataset.num_train = u64;
+    } else if (key == "run.dataset.num_test") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.dataset.num_test = u64;
+    } else if (key == "run.dataset.dim") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.dataset.dim = u64;
+    } else if (key == "run.dataset.num_classes") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      r.dataset.num_classes = static_cast<int>(i64);
+    } else if (key == "run.dataset.modes_per_class") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      r.dataset.modes_per_class = static_cast<int>(i64);
+    } else if (key == "run.dataset.separation") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&r.dataset.separation));
+    } else if (key == "run.dataset.noise") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&r.dataset.noise));
+    } else if (key == "run.dataset.label_noise") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&r.dataset.label_noise));
+    } else if (key == "run.dataset.seed") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&r.dataset.seed));
+    } else if (key == "run.delay") {
+      double d = 0.0;
+      PR_RETURN_NOT_OK(p.TakeDouble(&d));
+      if (!saw_delay) r.worker_delay_seconds.clear();
+      saw_delay = true;
+      r.worker_delay_seconds.push_back(d);
+    } else if (key == "run.churn") {
+      ThreadedChurnEvent e;
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      e.worker = static_cast<int>(i64);
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      e.after_iterations = u64;
+      PR_RETURN_NOT_OK(p.TakeDouble(&e.pause_seconds));
+      if (!saw_churn) r.churn.clear();
+      saw_churn = true;
+      r.churn.push_back(e);
+    } else if (key == "run.ckpt.dir") {
+      r.ckpt.dir = p.Rest();
+      if (r.ckpt.dir.empty()) return p.Missing();
+    } else if (key == "run.ckpt.every_iterations") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.ckpt.every_iterations = u64;
+    } else if (key == "run.ckpt.every_updates") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&u64));
+      r.ckpt.every_updates = u64;
+    } else if (key == "fault.seed") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&f.seed));
+    } else if (key == "fault.force_fault_tolerant") {
+      PR_RETURN_NOT_OK(p.TakeBool(&f.force_fault_tolerant));
+    } else if (key == "fault.default_edge") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.default_edge.drop_prob));
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.default_edge.dup_prob));
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.default_edge.delay_prob));
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.default_edge.delay_seconds));
+    } else if (key == "fault.edge") {
+      int64_t from = 0, to = 0;
+      EdgeFaultSpec spec;
+      PR_RETURN_NOT_OK(p.TakeInt(&from));
+      PR_RETURN_NOT_OK(p.TakeInt(&to));
+      PR_RETURN_NOT_OK(p.TakeDouble(&spec.drop_prob));
+      PR_RETURN_NOT_OK(p.TakeDouble(&spec.dup_prob));
+      PR_RETURN_NOT_OK(p.TakeDouble(&spec.delay_prob));
+      PR_RETURN_NOT_OK(p.TakeDouble(&spec.delay_seconds));
+      f.edges[{static_cast<int>(from), static_cast<int>(to)}] = spec;
+    } else if (key == "fault.worker_event") {
+      WorkerFaultEvent e;
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      e.worker = static_cast<int>(i64);
+      PR_RETURN_NOT_OK(p.TakeString(&token));
+      if (!ParseWorkerFault(token, &e.kind)) return p.Bad(token);
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      e.after_iterations = static_cast<int>(i64);
+      PR_RETURN_NOT_OK(p.TakeBool(&e.in_group));
+      PR_RETURN_NOT_OK(p.TakeDouble(&e.hang_seconds));
+      PR_RETURN_NOT_OK(p.TakeDouble(&e.slowdown_factor));
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      e.slowdown_iterations = static_cast<int>(i64);
+      f.worker_events.push_back(e);
+    } else if (key == "fault.controller_event") {
+      ControllerFaultEvent e;
+      PR_RETURN_NOT_OK(p.TakeUInt(&e.after_groups));
+      PR_RETURN_NOT_OK(p.TakeDouble(&e.down_seconds));
+      PR_RETURN_NOT_OK(p.TakeBool(&e.restart));
+      f.controller_events.push_back(e);
+    } else if (key == "fault.lease_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.lease_seconds));
+    } else if (key == "fault.missed_threshold") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      f.missed_threshold = static_cast<int>(i64);
+    } else if (key == "fault.recv_timeout_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.recv_timeout_seconds));
+    } else if (key == "fault.stuck_report_ticks") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      f.stuck_report_ticks = static_cast<int>(i64);
+    } else if (key == "fault.resend_ready_ticks") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      f.resend_ready_ticks = static_cast<int>(i64);
+    } else if (key == "fault.stuck_abort_reports") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      f.stuck_abort_reports = static_cast<int>(i64);
+    } else if (key == "fault.max_verdict_wait_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.max_verdict_wait_seconds));
+    } else if (key == "fault.max_reduce_stall_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.max_reduce_stall_seconds));
+    } else if (key == "fault.reregister_backoff_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.reregister_backoff_seconds));
+    } else if (key == "fault.reregister_backoff_max_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.reregister_backoff_max_seconds));
+    } else if (key == "fault.reregister_window_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.reregister_window_seconds));
+    } else if (key == "fault.max_controller_outage_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&f.max_controller_outage_seconds));
+    } else if (key == "fault.reregister_report_groups") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      f.reregister_report_groups = static_cast<int>(i64);
+    } else {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) +
+                                     ": unknown key '" + key + "'");
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("config is empty (no 'prconfig 1' header)");
+  }
+  *out = std::move(config);
+  return Status::OK();
+}
+
+Status SaveRunConfig(const std::string& path, const RunConfig& config) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Internal("cannot open " + tmp + " for writing");
+    out << SerializeRunConfig(config);
+    out.flush();
+    if (!out) return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Status LoadRunConfig(const std::string& path, RunConfig* out) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("config file " + path + " not readable");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseRunConfig(text.str(), out);
+}
+
+}  // namespace pr

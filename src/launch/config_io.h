@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "runtime/threaded_runtime.h"
+
+namespace pr {
+
+/// \brief Text serialization of a RunConfig for launcher -> worker handoff.
+///
+/// The launcher writes the run request once; every spawned process loads it
+/// and reconstructs an identical RunConfig, which is what makes the
+/// multi-process engine deterministic — dataset, model, replica init, and
+/// batch order are all pure functions of the config. The format is
+/// line-oriented `key value...` text (`prconfig 1` header, `#` comments,
+/// repeated keys for list entries) so it round-trips without a JSON parser;
+/// floating-point fields are printed with enough digits (%.17g) to restore
+/// bit-identical values.
+std::string SerializeRunConfig(const RunConfig& config);
+
+/// Parses text produced by SerializeRunConfig. Strict: unknown keys, bad
+/// header, or malformed values fail with kInvalidArgument (a version skew
+/// between launcher and worker binaries must not be silently half-applied).
+Status ParseRunConfig(const std::string& text, RunConfig* out);
+
+/// Convenience wrappers: write (atomically, temp + rename) / read a config
+/// file.
+Status SaveRunConfig(const std::string& path, const RunConfig& config);
+Status LoadRunConfig(const std::string& path, RunConfig* out);
+
+}  // namespace pr

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "comm/socket_transport.h"
+#include "common/status.h"
+#include "runtime/threaded_runtime.h"
+
+namespace pr {
+
+/// \brief Everything one spawned process needs to run its slice of a
+/// multi-process training job.
+struct NodeRunOptions {
+  RunConfig config;
+  /// Transport node this process hosts: 0..num_workers-1 are workers,
+  /// num_workers is the service (controller) node.
+  int node = 0;
+  /// Socket rendezvous settings; `socket.dir` must be the directory shared
+  /// by every process of the run.
+  SocketConfig socket;
+  /// Where to write this process's ProcessReport before exiting.
+  std::string report_path;
+  /// Optional checkpoint manifest to resume from (every process of a
+  /// resumed run loads the same manifest).
+  std::string resume_manifest;
+};
+
+/// True when the configured strategy runs a dedicated service node (and the
+/// launcher must therefore spawn num_workers + 1 processes).
+bool StrategyHasService(const RunConfig& config);
+
+/// \brief Runs one node of a multi-process job to completion: validates the
+/// config, starts a SocketTransport hosting exactly this node, restricts a
+/// WorkerRuntime to the local slice, runs the strategy, and writes the
+/// process report. Blocking; returns once the report has landed (or with
+/// the error that prevented the run).
+Status RunNode(const NodeRunOptions& options);
+
+}  // namespace pr

@@ -1,0 +1,216 @@
+#include "launch/report_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pr {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Floats get the shorter exact form: 9 significant decimal digits
+// round-trip any binary32 value.
+std::string NumF(float v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+Status BadLine(int line_no, const std::string& what) {
+  return Status::InvalidArgument("report line " + std::to_string(line_no) +
+                                 ": " + what);
+}
+
+}  // namespace
+
+std::string SerializeProcessReport(const ProcessReport& report) {
+  std::ostringstream out;
+  out << "prreport 1\n";
+  out << "node " << report.node << "\n";
+  out << "role " << report.role << "\n";
+  out << "strategy " << report.strategy << "\n";
+  out << "wall_seconds " << Num(report.wall_seconds) << "\n";
+  out << "group_reduces " << report.group_reduces << "\n";
+  for (size_t w = 0; w < report.worker_iterations.size(); ++w) {
+    if (report.worker_iterations[w] == 0) continue;
+    out << "iterations " << w << " " << report.worker_iterations[w] << "\n";
+  }
+  out << "num_workers " << report.worker_iterations.size() << "\n";
+  for (size_t w = 0; w < report.worker_finish_seconds.size(); ++w) {
+    if (report.worker_finish_seconds[w] == 0.0) continue;
+    out << "finish " << w << " " << Num(report.worker_finish_seconds[w])
+        << "\n";
+  }
+  out << "replica " << report.replica.size();
+  for (float v : report.replica) out << " " << NumF(v);
+  out << "\n";
+  for (const auto& [name, value] : report.metrics.counters) {
+    out << "counter " << name << " " << Num(value) << "\n";
+  }
+  for (const auto& [name, value] : report.metrics.gauges) {
+    out << "gauge " << name << " " << Num(value) << "\n";
+  }
+  for (const auto& [name, h] : report.metrics.histograms) {
+    out << "hist " << name << " " << h.upper_bounds.size();
+    for (double b : h.upper_bounds) out << " " << Num(b);
+    for (uint64_t c : h.counts) out << " " << c;
+    out << " " << h.total_count << " " << Num(h.sum) << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Status ParseProcessReport(const std::string& text, ProcessReport* out) {
+  ProcessReport report;
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  size_t num_workers = 0;
+  // Sparse per-worker entries arrive before the num_workers line is
+  // guaranteed to have been seen, so stage them and resize at the end.
+  std::vector<std::pair<size_t, size_t>> iteration_entries;
+  std::vector<std::pair<size_t, double>> finish_entries;
+
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (saw_end) return BadLine(line_no, "content after 'end' sentinel");
+    std::istringstream values(line);
+    std::string key;
+    values >> key;
+    if (key.empty()) continue;
+
+    if (!saw_header) {
+      int version = 0;
+      if (key != "prreport" || !(values >> version) || version != 1) {
+        return Status::InvalidArgument(
+            "report does not start with a 'prreport 1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (key == "node") {
+      if (!(values >> report.node)) return BadLine(line_no, "bad node");
+    } else if (key == "role") {
+      if (!(values >> report.role)) return BadLine(line_no, "bad role");
+    } else if (key == "strategy") {
+      if (!(values >> report.strategy)) {
+        return BadLine(line_no, "bad strategy");
+      }
+    } else if (key == "wall_seconds") {
+      if (!(values >> report.wall_seconds)) {
+        return BadLine(line_no, "bad wall_seconds");
+      }
+    } else if (key == "group_reduces") {
+      if (!(values >> report.group_reduces)) {
+        return BadLine(line_no, "bad group_reduces");
+      }
+    } else if (key == "num_workers") {
+      if (!(values >> num_workers)) return BadLine(line_no, "bad num_workers");
+    } else if (key == "iterations") {
+      size_t w = 0, n = 0;
+      if (!(values >> w >> n)) return BadLine(line_no, "bad iterations");
+      iteration_entries.emplace_back(w, n);
+    } else if (key == "finish") {
+      size_t w = 0;
+      double t = 0.0;
+      if (!(values >> w >> t)) return BadLine(line_no, "bad finish");
+      finish_entries.emplace_back(w, t);
+    } else if (key == "replica") {
+      size_t n = 0;
+      if (!(values >> n)) return BadLine(line_no, "bad replica length");
+      report.replica.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!(values >> report.replica[i])) {
+          return BadLine(line_no, "replica truncated at element " +
+                                      std::to_string(i));
+        }
+      }
+    } else if (key == "counter") {
+      std::string name;
+      double value = 0.0;
+      if (!(values >> name >> value)) return BadLine(line_no, "bad counter");
+      report.metrics.counters[name] = value;
+    } else if (key == "gauge") {
+      std::string name;
+      double value = 0.0;
+      if (!(values >> name >> value)) return BadLine(line_no, "bad gauge");
+      report.metrics.gauges[name] = value;
+    } else if (key == "hist") {
+      std::string name;
+      size_t num_bounds = 0;
+      if (!(values >> name >> num_bounds)) {
+        return BadLine(line_no, "bad histogram");
+      }
+      HistogramSnapshot h;
+      h.upper_bounds.resize(num_bounds);
+      for (double& b : h.upper_bounds) {
+        if (!(values >> b)) return BadLine(line_no, "histogram bounds cut");
+      }
+      h.counts.resize(num_bounds + 1);
+      for (uint64_t& c : h.counts) {
+        if (!(values >> c)) return BadLine(line_no, "histogram counts cut");
+      }
+      if (!(values >> h.total_count >> h.sum)) {
+        return BadLine(line_no, "histogram tail cut");
+      }
+      report.metrics.histograms[name] = h;
+    } else if (key == "end") {
+      saw_end = true;
+    } else {
+      return BadLine(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("report has no header");
+  if (!saw_end) {
+    return Status::InvalidArgument(
+        "report has no 'end' sentinel (writer died mid-report?)");
+  }
+  report.worker_iterations.assign(num_workers, 0);
+  report.worker_finish_seconds.assign(num_workers, 0.0);
+  for (const auto& [w, n] : iteration_entries) {
+    if (w >= num_workers) return Status::InvalidArgument("iterations index");
+    report.worker_iterations[w] = n;
+  }
+  for (const auto& [w, t] : finish_entries) {
+    if (w >= num_workers) return Status::InvalidArgument("finish index");
+    report.worker_finish_seconds[w] = t;
+  }
+  *out = std::move(report);
+  return Status::OK();
+}
+
+Status SaveProcessReport(const std::string& path,
+                         const ProcessReport& report) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Internal("cannot open " + tmp + " for writing");
+    out << SerializeProcessReport(report);
+    out.flush();
+    if (!out) return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Status LoadProcessReport(const std::string& path, ProcessReport* out) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("report file " + path + " not readable");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseProcessReport(text.str(), out);
+}
+
+}  // namespace pr

@@ -155,6 +155,31 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot merged;
+  for (const MetricsSnapshot& part : parts) {
+    for (const auto& [name, value] : part.counters) {
+      merged.counters[name] += value;
+    }
+    for (const auto& [name, value] : part.gauges) {
+      auto [it, inserted] = merged.gauges.try_emplace(name, value);
+      if (!inserted) it->second = std::max(it->second, value);
+    }
+    for (const auto& [name, h] : part.histograms) {
+      auto [it, inserted] = merged.histograms.try_emplace(name, h);
+      if (inserted) continue;
+      HistogramSnapshot& into = it->second;
+      if (into.upper_bounds != h.upper_bounds) continue;  // first wins
+      for (size_t i = 0; i < into.counts.size() && i < h.counts.size(); ++i) {
+        into.counts[i] += h.counts[i];
+      }
+      into.total_count += h.total_count;
+      into.sum += h.sum;
+    }
+  }
+  return merged;
+}
+
 const std::vector<double>& DecisionLatencyBuckets() {
   static const std::vector<double> kBuckets = {
       1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5,

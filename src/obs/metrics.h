@@ -90,6 +90,13 @@ struct MetricsSnapshot {
   const HistogramSnapshot* histogram(const std::string& name) const;
 };
 
+/// \brief Merges already-scraped snapshots under the same rules a registry
+/// applies to its shards: counters and histogram buckets sum, gauges take
+/// the maximum. Histograms whose bucket bounds disagree keep the first
+/// occurrence. The multi-process launcher uses this to fold per-process
+/// reports into one run-level snapshot with the usual metric names.
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& parts);
+
 /// \brief One thread's (or one subsystem's) set of instruments.
 ///
 /// Instruments are created on first Get*; the returned handles stay valid

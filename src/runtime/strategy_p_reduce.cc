@@ -106,11 +106,16 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
       }
       // Timeout tick: an Abort that landed during a selective receive is
       // parked in the stash — take it from there.
-      if (ep->TryTakeStashed([&](const Envelope& e) {
+      if (auto abort = ep->TryTakeStashed([&](const Envelope& e) {
             return e.from == controller && e.kind == kKindAbort &&
                    !e.ints.empty() &&
                    e.ints[0] == static_cast<int64_t>(group_id);
           })) {
+        // The Abort names the evicted member (when there is one); its parked
+        // chunks can never be selected again, so drop them now.
+        if (abort->ints.size() >= 2 && abort->ints[1] >= 0) {
+          ep->PurgeStashFrom(static_cast<NodeId>(abort->ints[1]));
+        }
         outcome = ReduceOutcome::kAborted;
         return std::nullopt;
       }
@@ -534,7 +539,9 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
       }
     };
 
-    auto abort_group = [&](uint64_t g) {
+    // `dead` >= 0 names an evicted member; the Abort carries it so survivors
+    // can purge that peer's stashed chunks (transport.stash_purged).
+    auto abort_group = [&](uint64_t g, int dead) {
       auto it = in_flight.find(g);
       if (it == in_flight.end()) return;
       InFlightGroup f = std::move(it->second);
@@ -546,7 +553,8 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
         if (f.done.count(m) != 0) continue;  // completed before the stall
         const size_t mw = static_cast<size_t>(m);
         if (wstate[mw] != WState::kInGroup || wgroup[mw] != g) continue;
-        (void)ep->Send(m, g, kKindAbort, {static_cast<int64_t>(g)});
+        (void)ep->Send(m, g, kKindAbort,
+                       {static_cast<int64_t>(g), static_cast<int64_t>(dead)});
         wstate[mw] = WState::kIdle;
       }
     };
@@ -558,7 +566,7 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
       const bool was_in_group = wstate[sw] == WState::kInGroup;
       const uint64_t g = wgroup[sw];
       wstate[sw] = WState::kEvicted;
-      if (was_in_group) abort_group(g);
+      if (was_in_group) abort_group(g, w);
       --remaining;
       --active;
       broadcast(controller.EvictWorker(w));
@@ -870,17 +878,17 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
             (void)ep->Send(w, g, kKindAbort, {static_cast<int64_t>(g)});
             break;
           }
-          bool has_dead_member = false;
+          int dead_member = -1;
           for (int m : itf->second.members) {
             if (wstate[static_cast<size_t>(m)] == WState::kEvicted) {
-              has_dead_member = true;
+              dead_member = m;
             }
           }
-          if (has_dead_member ||
+          if (dead_member >= 0 ||
               ++itf->second.stuck_reports >= plan.stuck_abort_reports) {
             // Either a member is dead, or the ring has stalled long enough
             // that a dropped chunk is the likely cause — retry the group.
-            abort_group(g);
+            abort_group(g, dead_member);
           }
           break;
         }
@@ -1205,6 +1213,11 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
 
         case kKindAbort: {
           if (env->ints.empty()) break;
+          // Peer-death hygiene: an Abort naming an evicted worker means
+          // every message of theirs still parked in the stash is garbage.
+          if (env->ints.size() >= 2 && env->ints[1] >= 0) {
+            ep->PurgeStashFrom(static_cast<NodeId>(env->ints[1]));
+          }
           const uint64_t g = static_cast<uint64_t>(env->ints[0]);
           if (g > last_group_id) {
             // Abort for a group whose GroupInfo we never received: adopt

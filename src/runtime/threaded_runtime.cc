@@ -22,7 +22,9 @@ bool IsPReduce(StrategyKind kind) {
          kind == StrategyKind::kPReduceDynamic;
 }
 
-void ValidateConfig(const RunConfig& config) {
+}  // namespace
+
+void ValidateRunConfig(const RunConfig& config) {
   const StrategyOptions& strategy = config.strategy;
   const ThreadedRunOptions& options = config.run;
   // Centralized PS training degenerates gracefully to one worker; every
@@ -41,8 +43,6 @@ void ValidateConfig(const RunConfig& config) {
       << "coordinated checkpointing covers P-Reduce and All-Reduce";
 }
 
-}  // namespace
-
 std::vector<double> ThreadedRunResult::worker_idle_fraction() const {
   std::vector<double> out;
   out.reserve(worker_iterations.size());
@@ -54,7 +54,7 @@ std::vector<double> ThreadedRunResult::worker_idle_fraction() const {
 }
 
 ThreadedRunResult RunThreaded(const RunConfig& config) {
-  ValidateConfig(config);
+  ValidateRunConfig(config);
   std::unique_ptr<ThreadedStrategy> impl = MakeThreadedStrategy(config.strategy);
   WorkerRuntime runtime(config.strategy, config.run);
   return runtime.Run(impl.get());
@@ -62,7 +62,7 @@ ThreadedRunResult RunThreaded(const RunConfig& config) {
 
 ThreadedRunResult RestoreThreadedRun(const RunConfig& config,
                                      const std::string& manifest_path) {
-  ValidateConfig(config);
+  ValidateRunConfig(config);
   RunManifest manifest;
   Status s = LoadManifest(manifest_path, &manifest);
   PR_CHECK(s.ok()) << "loading manifest " << manifest_path << ": "

@@ -151,6 +151,12 @@ struct ThreadedRunResult {
   std::vector<double> worker_idle_fraction() const;
 };
 
+/// \brief Checks cross-field invariants of a run request (worker counts,
+/// fault / churn / ckpt support per strategy kind). Aborts on violation.
+/// RunThreaded calls this; out-of-process runners (src/launch) call it once
+/// before spawning workers so misconfigurations fail in the parent.
+void ValidateRunConfig(const RunConfig& config);
+
 /// \brief Runs `config.strategy.kind` end-to-end on real threads.
 ///
 /// Every StrategyKind the simulator covers also runs here: P-Reduce

@@ -263,6 +263,32 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
   if (resume != nullptr) ApplyResume(*resume, resume_dir);
 }
 
+void WorkerRuntime::UseExternalFabric(Transport* fabric) {
+  PR_CHECK(fabric != nullptr);
+  PR_CHECK_GE(fabric->num_nodes(), options_.num_workers + 1);
+  external_fabric_ = fabric;
+  if (faulty_ != nullptr) {
+    // Rebuild the decorator over the external fabric: fault decisions stay
+    // deterministic in (seed, from, to, seq) and each process only sends
+    // from its own nodes, so a multi-process run rolls the same per-edge
+    // outcomes an in-proc run would.
+    faulty_ = std::make_unique<FaultyTransport>(fabric, options_.fault);
+    fabric_ = faulty_.get();
+  } else {
+    fabric_ = fabric;
+  }
+}
+
+void WorkerRuntime::RestrictTo(std::vector<int> workers, bool run_service) {
+  for (int w : workers) {
+    PR_CHECK_GE(w, 0);
+    PR_CHECK_LT(w, options_.num_workers);
+  }
+  restricted_ = true;
+  local_workers_ = std::move(workers);
+  run_service_ = run_service;
+}
+
 void WorkerRuntime::ApplyResume(const RunManifest& manifest,
                                 const std::string& dir) {
   const size_t n = static_cast<size_t>(options_.num_workers);
@@ -326,24 +352,36 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
     if (resume_.has_value()) restores->Increment();
   }
 
+  // The workers this process actually runs (all of them unless RestrictTo
+  // carved out a multi-process slice).
+  std::vector<int> locals;
+  if (restricted_) {
+    locals = local_workers_;
+  } else {
+    locals.resize(static_cast<size_t>(n));
+    for (int w = 0; w < n; ++w) locals[static_cast<size_t>(w)] = w;
+  }
+  const bool with_service =
+      strategy->has_service() && (!restricted_ || run_service_);
+
   std::vector<std::unique_ptr<WorkerContext>> contexts;
-  contexts.reserve(static_cast<size_t>(n));
-  for (int w = 0; w < n; ++w) {
+  contexts.reserve(locals.size());
+  for (int w : locals) {
     contexts.emplace_back(new WorkerContext(this, w));
   }
 
   std::unique_ptr<ServiceContext> service_ctx;
   std::thread service_thread;
-  if (strategy->has_service()) {
+  if (with_service) {
     service_ctx.reset(new ServiceContext(this));
     service_thread =
         std::thread([&] { strategy->RunService(service_ctx.get()); });
   }
 
   std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(n));
-  for (int w = 0; w < n; ++w) {
-    WorkerContext* ctx = contexts[static_cast<size_t>(w)].get();
+  workers.reserve(locals.size());
+  for (auto& context : contexts) {
+    WorkerContext* ctx = context.get();
     workers.emplace_back([strategy, ctx] { strategy->RunWorker(ctx); });
   }
   for (auto& t : workers) t.join();
@@ -354,37 +392,43 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   ThreadedRunResult result;
   result.strategy = strategy->Name();
   result.wall_seconds = wall;
-  result.worker_iterations.reserve(static_cast<size_t>(n));
-  for (int w = 0; w < n; ++w) {
-    result.worker_iterations.push_back(
-        contexts[static_cast<size_t>(w)]->completed_iterations());
+  result.worker_iterations.assign(static_cast<size_t>(n), 0);
+  for (size_t i = 0; i < locals.size(); ++i) {
+    result.worker_iterations[static_cast<size_t>(locals[i])] =
+        contexts[i]->completed_iterations();
   }
   result.worker_finish_seconds = finish_seconds_;
 
   // Inference model: the strategy's global model when it has one, otherwise
-  // the average of all replicas (Alg. 2 line 8).
+  // the average of the replicas this process owns (Alg. 2 line 8; in a
+  // multi-process run the launcher re-averages across all reports, and a
+  // service-only process has nothing to evaluate).
   const std::vector<float>* eval = strategy->eval_params();
   std::vector<float> avg;
-  if (eval == nullptr) {
+  if (eval == nullptr && !locals.empty()) {
     avg.assign(model_->NumParams(), 0.0f);
-    const size_t num_replicas = replicas_->num_replicas();
-    for (size_t r = 0; r < num_replicas; ++r) {
-      Axpy(1.0f / static_cast<float>(num_replicas),
-           replicas_->replica(r).data(), avg.data(), avg.size());
+    for (int w : locals) {
+      Axpy(1.0f / static_cast<float>(locals.size()),
+           replicas_->replica(static_cast<size_t>(w)).data(), avg.data(),
+           avg.size());
     }
     eval = &avg;
   }
-  result.final_accuracy =
-      EvaluateAccuracy(*model_, eval->data(), split_.test);
-  result.final_loss = EvaluateLoss(*model_, eval->data(), split_.test);
-  result.final_params = *eval;
+  if (eval != nullptr) {
+    result.final_accuracy =
+        EvaluateAccuracy(*model_, eval->data(), split_.test);
+    result.final_loss = EvaluateLoss(*model_, eval->data(), split_.test);
+    result.final_params = *eval;
+  }
 
   double spread = 0.0;
   const size_t num_params = model_->NumParams();
-  for (size_t a = 0; a < replicas_->num_replicas(); ++a) {
-    const Slice pa = std::as_const(*replicas_).replica(a);
-    for (size_t b = a + 1; b < replicas_->num_replicas(); ++b) {
-      const Slice pb = std::as_const(*replicas_).replica(b);
+  for (size_t a = 0; a < locals.size(); ++a) {
+    const Slice pa =
+        std::as_const(*replicas_).replica(static_cast<size_t>(locals[a]));
+    for (size_t b = a + 1; b < locals.size(); ++b) {
+      const Slice pb =
+          std::as_const(*replicas_).replica(static_cast<size_t>(locals[b]));
       for (size_t i = 0; i < num_params; ++i) {
         spread = std::max(spread,
                           std::fabs(static_cast<double>(pa[i]) -
@@ -411,8 +455,9 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   shard->GetGauge("run.wall_seconds")->Set(wall);
   shard->GetCounter("run.updates")
       ->Increment(static_cast<double>(result.group_reduces));
-  for (int w = 0; w < n; ++w) {
-    const WorkerContext& ctx = *contexts[static_cast<size_t>(w)];
+  for (size_t i = 0; i < locals.size(); ++i) {
+    const int w = locals[i];
+    const WorkerContext& ctx = *contexts[i];
     const double active = finish_seconds_[static_cast<size_t>(w)] > 0.0
                               ? finish_seconds_[static_cast<size_t>(w)]
                               : wall;

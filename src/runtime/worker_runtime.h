@@ -191,6 +191,24 @@ class WorkerRuntime {
                 const RunManifest* resume = nullptr,
                 const std::string& resume_dir = "");
 
+  /// Routes all traffic through `fabric` (a SocketTransport hosting this
+  /// process's nodes, or a SocketFabric for in-process socket runs) instead
+  /// of the built-in in-proc transport. `fabric` must expose at least
+  /// num_workers + 1 nodes and outlive the runtime; Run() still calls its
+  /// Shutdown(). When the run's fault plan injects message faults, the
+  /// FaultyTransport decorator is rebuilt over `fabric`, so the chaos
+  /// suites drive real sockets unchanged. Call before Run().
+  void UseExternalFabric(Transport* fabric);
+
+  /// Restricts Run() to a slice of the world: spawn threads only for
+  /// `workers`, and the service thread only when `run_service` is set.
+  /// The multi-process launcher gives each process its own slice; result
+  /// accounting (iterations, finish times, replica averaging/spread, final
+  /// evaluation) covers only the local workers — a service-only process
+  /// skips evaluation entirely — and the launcher merges the per-process
+  /// reports. Call before Run().
+  void RestrictTo(std::vector<int> workers, bool run_service);
+
   /// Executes the run. Blocks until every thread has joined.
   ThreadedRunResult Run(ThreadedStrategy* strategy);
 
@@ -215,7 +233,14 @@ class WorkerRuntime {
   /// Present when the run's fault plan injects message faults; endpoints
   /// then talk through it instead of the raw in-proc fabric.
   std::unique_ptr<FaultyTransport> faulty_;
-  Transport* fabric_;  ///< faulty_ when present, else &transport_
+  Transport* fabric_;  ///< faulty_ when present, else the raw fabric
+  /// Non-null after UseExternalFabric (not owned).
+  Transport* external_fabric_ = nullptr;
+  /// Set by RestrictTo: the workers this process runs, and whether it hosts
+  /// the service thread. Unrestricted runs cover everything.
+  std::vector<int> local_workers_;
+  bool run_service_ = true;
+  bool restricted_ = false;
   MetricsRegistry registry_;
   TraceRecorder trace_;
   std::chrono::steady_clock::time_point start_;

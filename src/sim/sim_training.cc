@@ -415,6 +415,9 @@ SimRunResult SimTraining::BuildResult(const std::string& strategy_name) {
   metrics_shard_->GetCounter("transport.bytes_sent");
   metrics_shard_->GetCounter("transport.bytes_received");
   metrics_shard_->GetCounter("transport.payload_copies");
+  // The sim has no out-of-order stash (event delivery is ordered), so the
+  // purge counter is always zero — registered for cross-engine name parity.
+  metrics_shard_->GetCounter("transport.stash_purged");
   result.metrics = registry_.Snapshot();
   result.trace = trace_.Log();
   return result;

@@ -1,0 +1,359 @@
+#include "launch/launcher.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/manifest.h"
+#include "launch/config_io.h"
+#include "launch/report_io.h"
+#include "obs/metrics.h"
+#include "runtime/threaded_runtime.h"
+
+namespace pr {
+namespace {
+
+struct TempDir {
+  explicit TempDir(const char* tag) {
+    std::string tmpl = std::string("/tmp/prlaunch_") + tag + "XXXXXX";
+    path = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+// A config with every field off its default, so a round-trip that silently
+// drops a key cannot pass.
+RunConfig FancyConfig() {
+  RunConfig config;
+  config.strategy.kind = StrategyKind::kPReduceDynamic;
+  config.strategy.group_size = 4;
+  config.strategy.backup_workers = 2;
+  config.strategy.er_quorum = 5;
+  config.strategy.frozen_avoidance = false;
+  config.strategy.history_window = 3;
+  config.strategy.record_sync_matrices = true;
+  config.strategy.average_momentum = true;
+  config.strategy.dynamic.alpha = 0.625;
+  config.strategy.dynamic.staleness_tolerance = 2;
+  config.strategy.dynamic.missing_slot_policy = MissingSlotPolicy::kRenormalize;
+  config.run.num_workers = 7;
+  config.run.iterations_per_worker = 123;
+  config.run.batch_size = 48;
+  config.run.seed = 99;
+  config.run.record_timeline = true;
+  config.run.trace_capacity = 256;
+  config.run.sgd.learning_rate = 0.037;
+  config.run.sgd.momentum = 0.81;
+  config.run.sgd.weight_decay = 3.3e-5;
+  config.run.model.kind = ProxyModelSpec::Kind::kConvNet;
+  config.run.model.hidden = {24, 12};
+  config.run.model.conv_filters = 6;
+  config.run.dataset.num_train = 4096;
+  config.run.dataset.num_test = 512;
+  config.run.dataset.dim = 36;
+  config.run.dataset.num_classes = 5;
+  config.run.dataset.modes_per_class = 2;
+  config.run.dataset.separation = 1.75;
+  config.run.dataset.noise = 0.9;
+  config.run.dataset.label_noise = 0.05;
+  config.run.dataset.seed = 1234;
+  config.run.worker_delay_seconds = {0.001, 0.002, 0.0, 0.004, 0.0, 0.0, 0.1};
+  config.run.churn.push_back({/*worker=*/2, /*after_iterations=*/10, 0.05});
+  config.run.ckpt.dir = "/tmp/some ckpt dir";
+  config.run.ckpt.every_iterations = 16;
+  FaultPlan& fault = config.run.fault;
+  fault.seed = 17;
+  fault.force_fault_tolerant = true;
+  fault.default_edge = {0.01, 0.02, 0.03, 0.004};
+  fault.edges[{1, 2}] = {0.5, 0.0, 0.25, 0.125};
+  WorkerFaultEvent crash;
+  crash.worker = 3;
+  crash.kind = WorkerFaultEvent::Kind::kCrash;
+  crash.after_iterations = 5;
+  crash.in_group = true;
+  fault.worker_events.push_back(crash);
+  WorkerFaultEvent slow;
+  slow.worker = 1;
+  slow.kind = WorkerFaultEvent::Kind::kSlowdown;
+  slow.after_iterations = 2;
+  slow.slowdown_factor = 3.5;
+  slow.slowdown_iterations = 4;
+  fault.worker_events.push_back(slow);
+  fault.controller_events.push_back({/*after_groups=*/3, 0.4, false});
+  fault.lease_seconds = 0.375;
+  fault.missed_threshold = 3;
+  fault.recv_timeout_seconds = 0.0625;
+  fault.max_controller_outage_seconds = 7.5;
+  return config;
+}
+
+TEST(ConfigIoTest, RoundTripIsExact) {
+  const RunConfig config = FancyConfig();
+  const std::string text = SerializeRunConfig(config);
+  RunConfig parsed;
+  ASSERT_TRUE(ParseRunConfig(text, &parsed).ok());
+  // Re-serialization equality covers every field at full precision: a field
+  // that failed to round-trip would print differently the second time.
+  EXPECT_EQ(SerializeRunConfig(parsed), text);
+  // Spot checks on the trickier conversions.
+  EXPECT_EQ(parsed.strategy.kind, StrategyKind::kPReduceDynamic);
+  EXPECT_EQ(parsed.strategy.dynamic.missing_slot_policy,
+            MissingSlotPolicy::kRenormalize);
+  EXPECT_EQ(parsed.run.model.hidden, (std::vector<size_t>{24, 12}));
+  EXPECT_EQ(parsed.run.ckpt.dir, "/tmp/some ckpt dir");
+  EXPECT_DOUBLE_EQ(parsed.run.sgd.weight_decay, 3.3e-5);
+  ASSERT_EQ(parsed.run.fault.worker_events.size(), 2u);
+  EXPECT_EQ(parsed.run.fault.worker_events[1].kind,
+            WorkerFaultEvent::Kind::kSlowdown);
+  EXPECT_TRUE(parsed.run.fault.force_fault_tolerant);
+  ASSERT_EQ(parsed.run.fault.controller_events.size(), 1u);
+  EXPECT_FALSE(parsed.run.fault.controller_events[0].restart);
+  const auto edge = parsed.run.fault.edges.find({1, 2});
+  ASSERT_NE(edge, parsed.run.fault.edges.end());
+  EXPECT_DOUBLE_EQ(edge->second.delay_seconds, 0.125);
+}
+
+TEST(ConfigIoTest, DefaultConfigRoundTrips) {
+  const RunConfig config;
+  const std::string text = SerializeRunConfig(config);
+  RunConfig parsed;
+  ASSERT_TRUE(ParseRunConfig(text, &parsed).ok());
+  EXPECT_EQ(SerializeRunConfig(parsed), text);
+}
+
+TEST(ConfigIoTest, RejectsGarbage) {
+  RunConfig parsed;
+  EXPECT_FALSE(ParseRunConfig("", &parsed).ok());
+  EXPECT_FALSE(ParseRunConfig("not a config\n", &parsed).ok());
+  EXPECT_FALSE(ParseRunConfig("prconfig 2\n", &parsed).ok());
+  // Unknown keys are version skew, not noise to skip.
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\nstrategy.does_not_exist 3\n", &parsed).ok());
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\nrun.num_workers banana\n", &parsed).ok());
+  EXPECT_FALSE(ParseRunConfig("prconfig 1\nstrategy.kind\n", &parsed).ok());
+  // A valid header plus valid lines still parses.
+  EXPECT_TRUE(
+      ParseRunConfig("prconfig 1\n# comment\nrun.num_workers 5\n", &parsed)
+          .ok());
+  EXPECT_EQ(parsed.run.num_workers, 5);
+}
+
+TEST(ConfigIoTest, SaveLoadFile) {
+  TempDir dir("cfg");
+  const std::string path = dir.path + "/run.conf";
+  const RunConfig config = FancyConfig();
+  ASSERT_TRUE(SaveRunConfig(path, config).ok());
+  RunConfig loaded;
+  ASSERT_TRUE(LoadRunConfig(path, &loaded).ok());
+  EXPECT_EQ(SerializeRunConfig(loaded), SerializeRunConfig(config));
+  EXPECT_FALSE(LoadRunConfig(dir.path + "/missing.conf", &loaded).ok());
+}
+
+ProcessReport FancyReport() {
+  ProcessReport report;
+  report.node = 2;
+  report.role = "worker";
+  report.strategy = "CON";
+  report.wall_seconds = 1.5;
+  report.group_reduces = 0;
+  report.worker_iterations = {0, 0, 40, 0};
+  report.worker_finish_seconds = {0.0, 0.0, 1.25, 0.0};
+  report.replica = {1.0f, -2.5f, 3.25e-8f, 0.0f};
+  report.metrics.counters["transport.payload_copies"] = 12.0;
+  report.metrics.counters["worker.2.iterations"] = 40.0;
+  report.metrics.gauges["transport.stash_high_water"] = 3.0;
+  HistogramSnapshot hist;
+  hist.upper_bounds = {0.1, 1.0};
+  hist.counts = {5, 2, 1};
+  hist.total_count = 8;
+  hist.sum = 2.25;
+  report.metrics.histograms["ckpt.save_seconds"] = hist;
+  return report;
+}
+
+TEST(ReportIoTest, RoundTripIsExact) {
+  const ProcessReport report = FancyReport();
+  const std::string text = SerializeProcessReport(report);
+  ProcessReport parsed;
+  ASSERT_TRUE(ParseProcessReport(text, &parsed).ok());
+  EXPECT_EQ(SerializeProcessReport(parsed), text);
+  EXPECT_EQ(parsed.node, 2);
+  EXPECT_EQ(parsed.role, "worker");
+  EXPECT_EQ(parsed.worker_iterations, (std::vector<size_t>{0, 0, 40, 0}));
+  EXPECT_EQ(parsed.replica, report.replica);
+  const HistogramSnapshot* h = parsed.metrics.histogram("ckpt.save_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->counts, (std::vector<uint64_t>{5, 2, 1}));
+  EXPECT_DOUBLE_EQ(h->sum, 2.25);
+}
+
+TEST(ReportIoTest, TruncatedReportIsRejected) {
+  const std::string text = SerializeProcessReport(FancyReport());
+  ProcessReport parsed;
+  // Every prefix missing the end sentinel is a writer that died mid-report.
+  const std::string cut = text.substr(0, text.size() - 5);
+  EXPECT_FALSE(ParseProcessReport(cut, &parsed).ok());
+  EXPECT_FALSE(ParseProcessReport("", &parsed).ok());
+  EXPECT_FALSE(ParseProcessReport("prreport 1\nnonsense 1\nend\n", &parsed)
+                   .ok());
+}
+
+TEST(MergeSnapshotsTest, MergesLikeRegistryShards) {
+  MetricsSnapshot a;
+  a.counters["c"] = 2.0;
+  a.counters["only_a"] = 1.0;
+  a.gauges["g"] = 5.0;
+  HistogramSnapshot ha;
+  ha.upper_bounds = {1.0};
+  ha.counts = {3, 1};
+  ha.total_count = 4;
+  ha.sum = 2.0;
+  a.histograms["h"] = ha;
+
+  MetricsSnapshot b;
+  b.counters["c"] = 3.0;
+  b.gauges["g"] = 4.0;
+  b.gauges["only_b"] = 9.0;
+  HistogramSnapshot hb = ha;
+  hb.counts = {1, 0};
+  hb.total_count = 1;
+  hb.sum = 0.5;
+  b.histograms["h"] = hb;
+
+  MetricsSnapshot merged = MergeSnapshots({a, b});
+  EXPECT_DOUBLE_EQ(merged.counter("c"), 5.0);       // counters sum
+  EXPECT_DOUBLE_EQ(merged.counter("only_a"), 1.0);
+  EXPECT_DOUBLE_EQ(merged.gauge("g"), 5.0);         // gauges take the max
+  EXPECT_DOUBLE_EQ(merged.gauge("only_b"), 9.0);
+  const HistogramSnapshot* h = merged.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->counts, (std::vector<uint64_t>{4, 1}));  // buckets sum
+  EXPECT_EQ(h->total_count, 5u);
+  EXPECT_DOUBLE_EQ(h->sum, 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Real multi-process launches (fork mode: each node runs in a forked child).
+// ---------------------------------------------------------------------------
+
+RunConfig SmallLaunchConfig(StrategyKind kind) {
+  RunConfig config;
+  config.strategy.kind = kind;
+  config.strategy.group_size = 2;
+  config.run.num_workers = 3;
+  config.run.iterations_per_worker = 6;
+  config.run.model.hidden = {8};
+  config.run.batch_size = 16;
+  config.run.dataset.num_train = 512;
+  config.run.dataset.num_test = 128;
+  config.run.dataset.dim = 8;
+  config.run.dataset.num_classes = 3;
+  config.run.seed = 21;
+  return config;
+}
+
+TEST(LaunchTest, ConRunAcrossProcesses) {
+  TempDir dir("con");
+  LaunchOptions options;
+  options.config = SmallLaunchConfig(StrategyKind::kPReduceConst);
+  options.workdir = dir.path;
+  LaunchResult result;
+  Status s = Launch(options, &result);
+  ASSERT_TRUE(s.ok()) << s.message();
+
+  EXPECT_EQ(result.strategy, "CON");
+  EXPECT_EQ(result.num_processes, 4);  // 3 workers + controller
+  for (int code : result.exit_codes) EXPECT_EQ(code, 0);
+  EXPECT_GT(result.group_reduces, 0u);
+  EXPECT_EQ(result.worker_iterations, (std::vector<size_t>{6, 6, 6}));
+  EXPECT_FALSE(result.averaged_params.empty());
+  EXPECT_GT(result.final_accuracy, 0.0);
+  // Per-process metrics merged under the shared names.
+  EXPECT_TRUE(result.metrics.counters.count("transport.stash_purged"));
+  EXPECT_TRUE(result.metrics.counters.count("controller.groups_formed"));
+  EXPECT_DOUBLE_EQ(result.metrics.counter("worker.0.iterations"), 6.0);
+}
+
+TEST(LaunchTest, RejectsUnsupportedStrategy) {
+  TempDir dir("ps");
+  LaunchOptions options;
+  options.config = SmallLaunchConfig(StrategyKind::kPsBsp);
+  options.workdir = dir.path;
+  LaunchResult result;
+  EXPECT_EQ(Launch(options, &result).code(), StatusCode::kNotImplemented);
+}
+
+TEST(LaunchTest, KilledWorkerIsSurvived) {
+  TempDir dir("kill");
+  LaunchOptions options;
+  options.config = SmallLaunchConfig(StrategyKind::kPReduceConst);
+  options.config.run.num_workers = 4;
+  options.config.run.iterations_per_worker = 150;
+  options.config.run.worker_delay_seconds.assign(4, 0.003);
+  options.workdir = dir.path;
+  options.kill.worker = 2;
+  options.kill.after_seconds = 0.1;
+  LaunchResult result;
+  Status s = Launch(options, &result);
+  ASSERT_TRUE(s.ok()) << s.message();
+
+  ASSERT_EQ(result.num_processes, 5);
+  EXPECT_TRUE(result.killed[2]);
+  EXPECT_EQ(result.exit_codes[2], 137);  // 128 + SIGKILL
+  // Everyone else finished their full budget through the recovery protocol.
+  for (int node : {0, 1, 3, 4}) {
+    EXPECT_EQ(result.exit_codes[node], 0) << "node " << node;
+  }
+  for (int w : {0, 1, 3}) {
+    EXPECT_EQ(result.worker_iterations[static_cast<size_t>(w)], 150u)
+        << "surviving worker " << w;
+  }
+  // The killed process never reported; its slot stays empty.
+  EXPECT_EQ(result.worker_iterations[2], 0u);
+  // A real process death produced the same fault events the in-proc chaos
+  // harness produces for an injected crash.
+  EXPECT_GE(result.metrics.counter("fault.evictions"), 1.0);
+  EXPECT_TRUE(result.metrics.counters.count("fault.aborted_groups"));
+}
+
+TEST(LaunchTest, CheckpointThenRestoreAcrossProcesses) {
+  TempDir dir("ckpt");
+  const std::string ckpt_dir = dir.path + "/ckpt";
+  LaunchOptions options;
+  options.config = SmallLaunchConfig(StrategyKind::kPReduceConst);
+  options.config.run.ckpt.dir = ckpt_dir;
+  options.config.run.ckpt.every_iterations = 2;
+  options.workdir = dir.path + "/first";
+  LaunchResult first;
+  Status s = Launch(options, &first);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_GE(first.metrics.counter("ckpt.manifests_written"), 1.0);
+
+  RunManifest manifest;
+  std::string manifest_path;
+  ASSERT_TRUE(FindLatestManifest(ckpt_dir, &manifest, &manifest_path).ok());
+  EXPECT_EQ(manifest.engine, "threaded");
+  EXPECT_EQ(manifest.num_workers, 3);
+
+  // Resume the same config from the manifest: every process restores its
+  // shard and finishes the remaining budget.
+  options.workdir = dir.path + "/second";
+  options.resume_manifest = manifest_path;
+  LaunchResult second;
+  s = Launch(options, &second);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(second.worker_iterations, (std::vector<size_t>{6, 6, 6}));
+  // Each of the four processes restored once; counters sum across reports.
+  EXPECT_GE(second.metrics.counter("ckpt.restore_count"), 1.0);
+}
+
+}  // namespace
+}  // namespace pr

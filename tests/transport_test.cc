@@ -235,6 +235,47 @@ TEST(TransportTest, StashGrowsWhenPeerExitsMidConversation) {
   EXPECT_GE(c.stash_high_water(), 2u);  // high water never decreases
 }
 
+TEST(TransportTest, PurgeStashFromDropsOnlyThatPeersMessages) {
+  InProcTransport transport(4);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  Endpoint d(&transport, 3);
+  // Two conversations park behind a selective receive; then peer 0 dies.
+  ASSERT_TRUE(a.Send(3, /*tag=*/1, /*kind=*/101, {0}).ok());
+  ASSERT_TRUE(a.Send(3, /*tag=*/2, /*kind=*/101, {1}).ok());
+  ASSERT_TRUE(b.Send(3, /*tag=*/1, /*kind=*/101, {2}).ok());
+  ASSERT_TRUE(c.Send(3, /*tag=*/9, /*kind=*/1, {}).ok());
+  ASSERT_TRUE(d.RecvMatching(2, 9, 1).has_value());
+  EXPECT_EQ(d.stash_size(), 3u);
+
+  // Peer-death hygiene: everything the dead peer ever sent goes, nothing
+  // from the survivors does.
+  EXPECT_EQ(d.PurgeStashFrom(0), 2u);
+  EXPECT_EQ(d.stash_size(), 1u);
+  auto kept = d.TryTakeStashed([](const Envelope&) { return true; });
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(kept->from, 1);
+}
+
+TEST(TransportTest, StashPurgesAreCounted) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  MetricsRegistry registry;
+  MetricsShard* mc = registry.NewShard();
+  c.AttachObservers(mc, "", nullptr, nullptr);
+
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {0}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {1}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/5, /*kind=*/1, {}).ok());
+  ASSERT_TRUE(c.RecvMatching(1, 5, 1).has_value());
+  EXPECT_EQ(c.stash_size(), 2u);
+
+  EXPECT_EQ(c.PurgeStashFrom(0), 2u);
+  EXPECT_EQ(mc->GetCounter("transport.stash_purged")->value(), 2.0);
+  // Purging an empty stash adds nothing.
+  EXPECT_EQ(c.PurgeStashFrom(0), 0u);
+  EXPECT_EQ(mc->GetCounter("transport.stash_purged")->value(), 2.0);
+}
+
 TEST(TransportTest, EndpointSendAfterShutdownFailsPrecondition) {
   InProcTransport transport(2);
   Endpoint a(&transport, 0), b(&transport, 1);
