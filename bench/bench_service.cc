@@ -1,0 +1,161 @@
+// Job-service throughput: hundreds of small training jobs multiplexed over
+// one shared 8-worker pool.
+//
+// Submits --jobs (default 120) jobs from two tenants (tenant-a at fair-share
+// weight 2, tenant-b at 1): a mix of two-worker partial-reduce runs and
+// single-slot simulator runs, with skewed priorities. Reports end-to-end
+// throughput, queueing delay, time-weighted pool utilization, and the
+// per-tenant lease split, as a table and as BENCH_service.json.
+//
+//   bench_service [--jobs N] [--pool N] [--out PATH]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/json.h"
+#include "service/job_spec.h"
+#include "service/service.h"
+#include "train/report.h"
+
+namespace {
+
+pr::JobSpec MakeJob(int index, const std::string& tenant) {
+  pr::JobSpec spec;
+  spec.name = "bench-" + std::to_string(index);
+  spec.tenant = tenant;
+  spec.priority = index % 3;
+  spec.data_shard = index;
+  pr::RunConfig& config = spec.config;
+  config.run.batch_size = 8;
+  config.run.model.hidden = {8};
+  config.run.dataset.num_train = 64;
+  config.run.dataset.num_test = 32;
+  config.run.dataset.dim = 8;
+  config.run.dataset.num_classes = 3;
+  config.run.seed = 100 + static_cast<uint64_t>(index);
+  if (index % 4 == 3) {
+    // Every fourth job is a simulated ASP run on one slot.
+    spec.engine = pr::EngineKind::kSim;
+    spec.min_workers = 1;
+    spec.max_workers = 1;
+    config.strategy.kind = pr::StrategyKind::kPsAsp;
+    config.run.num_workers = 4;
+    config.run.iterations_per_worker = 8;
+  } else {
+    spec.engine = pr::EngineKind::kThreaded;
+    spec.min_workers = 2;
+    spec.max_workers = 4;
+    config.strategy.kind = pr::StrategyKind::kPReduceConst;
+    config.strategy.group_size = 2;
+    config.run.num_workers = 2;
+    config.run.iterations_per_worker = 6;
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 120;
+  int pool = 8;
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg == "--pool" && i + 1 < argc) {
+      pool = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--pool N] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  pr::ServiceOptions options;
+  options.pool_size = pool;
+  options.tenant_weights["tenant-a"] = 2.0;
+  options.tenant_weights["tenant-b"] = 1.0;
+  pr::TrainingService service(options);
+
+  const double submit_start = service.NowSeconds();
+  std::vector<int64_t> ids;
+  for (int i = 0; i < jobs; ++i) {
+    const std::string tenant = i % 2 == 0 ? "tenant-a" : "tenant-b";
+    int64_t id = 0;
+    pr::Status status = service.Submit(MakeJob(i, tenant), &id);
+    PR_CHECK(status.ok()) << status.message();
+    ids.push_back(id);
+  }
+  service.Drain();
+  const double wall = service.NowSeconds() - submit_start;
+
+  int completed = 0;
+  for (int64_t id : ids) {
+    pr::JobStatus status;
+    PR_CHECK(service.Inspect(id, &status).ok());
+    if (status.state == pr::JobState::kCompleted) {
+      ++completed;
+    }
+  }
+
+  const pr::MetricsSnapshot snapshot = service.Snapshot();
+  const pr::HistogramSnapshot* delay =
+      snapshot.histogram("service.queue_delay_seconds");
+  PR_CHECK(delay != nullptr);
+  const double a_leases = snapshot.counter("service.tenant.tenant-a.leases");
+  const double b_leases = snapshot.counter("service.tenant.tenant-b.leases");
+  const double utilization = snapshot.gauge("service.pool.utilization");
+  const double throughput = wall > 0.0 ? completed / wall : 0.0;
+
+  pr::TablePrinter table({"jobs", "completed", "wall_s", "jobs/s",
+                          "queue_p50_s", "queue_p95_s", "pool_util",
+                          "leases a:b"});
+  table.AddRow({std::to_string(jobs), std::to_string(completed),
+                pr::FormatDouble(wall), pr::FormatDouble(throughput, 1),
+                pr::FormatDouble(delay->QuantileUpperBound(0.5), 4),
+                pr::FormatDouble(delay->QuantileUpperBound(0.95), 4),
+                pr::FormatDouble(utilization),
+                pr::FormatDouble(a_leases, 0) + ":" +
+                    pr::FormatDouble(b_leases, 0)});
+  table.Print();
+
+  pr::JsonWriter json;
+  json.BeginObject();
+  json.Key("jobs").Int(jobs);
+  json.Key("pool").Int(pool);
+  json.Key("completed").Int(completed);
+  json.Key("wall_seconds").Number(wall);
+  json.Key("throughput_jobs_per_sec").Number(throughput);
+  json.Key("queue_delay_seconds").BeginObject();
+  json.Key("mean").Number(delay->Mean());
+  json.Key("p50_upper").Number(delay->QuantileUpperBound(0.5));
+  json.Key("p95_upper").Number(delay->QuantileUpperBound(0.95));
+  json.EndObject();
+  json.Key("pool_utilization").Number(utilization);
+  json.Key("tenants").BeginObject();
+  for (const char* tenant : {"tenant-a", "tenant-b"}) {
+    const std::string prefix = std::string("service.tenant.") + tenant;
+    const double leases = snapshot.counter(prefix + ".leases");
+    json.Key(tenant).BeginObject();
+    json.Key("jobs").Number(snapshot.counter(prefix + ".jobs"));
+    json.Key("leases").Number(leases);
+    json.Key("lease_share")
+        .Number(a_leases + b_leases > 0.0 ? leases / (a_leases + b_leases)
+                                          : 0.0);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  if (!pr::WriteTextFile(out_path, json.str() + "\n")) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return completed == jobs ? 0 : 1;
+}

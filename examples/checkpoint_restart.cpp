@@ -20,7 +20,7 @@
 #include <string>
 
 #include "ckpt/manifest.h"
-#include "runtime/threaded_runtime.h"
+#include "train/run.h"
 
 namespace {
 
@@ -77,12 +77,14 @@ int main(int argc, char** argv) {
                 manifest_path.c_str(),
                 static_cast<unsigned long long>(manifest.epoch),
                 static_cast<unsigned long long>(manifest.updates_done));
-    result = pr::RestoreThreadedRun(config, manifest_path);
+    result =
+        pr::ResumeRun(config, pr::EngineKind::kThreaded, manifest_path)
+            .threaded;
     PrintResult("resumed run", result, budget);
   } else {
     std::printf("No manifest under %s — starting fresh (pid %d).\n",
                 ckpt_dir.c_str(), static_cast<int>(::getpid()));
-    result = pr::RunThreaded(config);
+    result = pr::StartRun(config, pr::EngineKind::kThreaded).threaded;
     PrintResult("fresh run", result, budget);
   }
 

@@ -1,7 +1,7 @@
 // Every synchronization scheme from the paper on real threads: trains the
 // same synthetic workload, with one injected straggler, under the PS family
 // (BSP/ASP/HETE/BK), all-reduce, eager-reduce, AD-PSGD, and both partial
-// reduce variants — all through the one RunThreaded entry point — and
+// reduce variants — all through the one StartRun entry point — and
 // compares wall time, update counts, accuracy, and when the fastest worker
 // finished.
 
@@ -9,8 +9,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "runtime/threaded_runtime.h"
 #include "train/report.h"
+#include "train/run.h"
 
 namespace {
 
@@ -52,7 +52,8 @@ int main() {
     config.strategy.kind = kind;
     config.strategy.group_size = 2;
     config.strategy.backup_workers = 1;
-    pr::ThreadedRunResult result = pr::RunThreaded(config);
+    const pr::ThreadedRunResult result =
+        pr::StartRun(config, pr::EngineKind::kThreaded).threaded;
     const double fastest =
         *std::min_element(result.worker_finish_seconds.begin(),
                           result.worker_finish_seconds.end());

@@ -11,7 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "runtime/threaded_runtime.h"
+#include "train/run.h"
 
 namespace {
 
@@ -43,7 +43,10 @@ int main() {
 
   std::printf("Training with partial reduce (N=%d, P=%d)...\n",
               config.run.num_workers, config.strategy.group_size);
-  pr::ThreadedRunResult result = pr::RunThreaded(config);
+  // StartRun is the engine-agnostic entry: the same config also runs under
+  // the discrete-event simulator with EngineKind::kSim.
+  pr::RunOutcome outcome = pr::StartRun(config, pr::EngineKind::kThreaded);
+  const pr::ThreadedRunResult& result = outcome.threaded;
 
   std::printf("fast worker finished at : %.3f s\n", FastestFinish(result));
   std::printf("straggler finished at   : %.3f s\n",
@@ -58,7 +61,8 @@ int main() {
   // straggler, so even the fast workers finish at the straggler's pace.
   std::printf("\nSame workload with all-reduce (global barrier)...\n");
   config.strategy.kind = pr::StrategyKind::kAllReduce;
-  pr::ThreadedRunResult ar = pr::RunThreaded(config);
+  const pr::ThreadedRunResult ar =
+      pr::StartRun(config, pr::EngineKind::kThreaded).threaded;
   std::printf("fast worker finished at : %.3f s\n", FastestFinish(ar));
   std::printf("final accuracy          : %.3f\n", ar.final_accuracy);
 

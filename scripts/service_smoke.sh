@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Service smoke: drive 20 small jobs through the multi-tenant job service on
+# an 8-worker pool and assert every one of them completes. Two binaries are
+# accepted:
+#
+#   bench_service — also checks the emitted BENCH_service.json report keys
+#                   (Release legs, where benchmarks are built)
+#   prserve       — demo mode + JSON state/metrics files (TSan legs, where
+#                   benchmarks are configured off)
+#
+# Usage: service_smoke.sh <path-to-bench_service-or-prserve>
+set -euo pipefail
+
+# shellcheck source=smoke_lib.sh
+. "$(dirname "$0")/smoke_lib.sh"
+
+BIN=${1:?usage: service_smoke.sh <bench_service or prserve binary>}
+smoke_tmpdir DIR
+
+case "$(basename "$BIN")" in
+  bench_service)
+    smoke_run "$DIR/bench.log" "$BIN" --jobs 20 --pool 8 \
+      --out "$DIR/BENCH_service.json"
+    smoke_expect_grep '"completed":20' "$DIR/BENCH_service.json" \
+      "all 20 jobs completed"
+    python3 - "$DIR/BENCH_service.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+for key in ("jobs", "pool", "completed", "wall_seconds",
+            "throughput_jobs_per_sec", "queue_delay_seconds",
+            "pool_utilization", "tenants"):
+    assert key in report, f"missing top-level key: {key}"
+assert report["jobs"] == 20 and report["completed"] == 20, \
+    f"completed {report['completed']}/{report['jobs']}"
+assert report["pool"] == 8
+for key in ("mean", "p50_upper", "p95_upper"):
+    assert key in report["queue_delay_seconds"], f"missing delay key: {key}"
+assert 0.0 < report["pool_utilization"] <= 1.0, \
+    f"pool_utilization {report['pool_utilization']} out of (0, 1]"
+for tenant in ("tenant-a", "tenant-b"):
+    entry = report["tenants"].get(tenant)
+    assert entry is not None, f"missing tenant {tenant}"
+    for key in ("jobs", "leases", "lease_share"):
+        assert key in entry, f"missing tenant key {key} for {tenant}"
+    assert entry["jobs"] > 0 and entry["leases"] > 0, \
+        f"tenant {tenant} served no jobs"
+print(f"BENCH_service.json OK: {report['completed']} jobs, "
+      f"utilization {report['pool_utilization']:.2f}")
+EOF
+    ;;
+  prserve)
+    smoke_run "$DIR/serve.log" "$BIN" --pool 8 --demo 20 \
+      --out "$DIR/states.json" --metrics "$DIR/metrics.json"
+    smoke_expect_grep "20/20 jobs completed on a 8-worker pool" \
+      "$DIR/serve.log" "all demo jobs finished"
+    python3 - "$DIR/states.json" "$DIR/metrics.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    states = json.load(f)["jobs"]
+assert len(states) == 20, f"expected 20 job states, got {len(states)}"
+for job in states:
+    assert job["state"] == "completed", \
+        f"job {job['id']} ended {job['state']}"
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+counters = metrics["counters"]
+assert counters.get("service.jobs_completed") == 20, \
+    f"jobs_completed {counters.get('service.jobs_completed')}"
+# Per-job metric isolation: every job published under its own namespace.
+namespaces = {key.split(".")[1] for key in counters
+              if key.startswith("job.")}
+assert len(namespaces) == 20, f"expected 20 job namespaces: {namespaces}"
+print(f"prserve states + metrics OK: {len(states)} jobs completed")
+EOF
+    ;;
+  *)
+    smoke_fail "unrecognized binary $(basename "$BIN")"
+    ;;
+esac
+
+echo "service smoke OK"

@@ -72,7 +72,30 @@ void Endpoint::AttachObservers(MetricsShard* metrics, const std::string& scope,
     if (!scope.empty()) {
       scoped_stash_gauge_ = metrics->GetGauge(scope + ".stash_high_water");
     }
+    // Publish the current mark immediately: on a fresh endpoint this is a
+    // no-op, while a re-attached endpoint that skipped ResetDiagnostics()
+    // visibly charges its stale high-water to the new scope instead of
+    // silently dropping it until the next stash growth.
+    if (stash_high_water_ > 0) {
+      const double hw = static_cast<double>(stash_high_water_);
+      stash_gauge_->SetMax(hw);
+      if (scoped_stash_gauge_ != nullptr) scoped_stash_gauge_->SetMax(hw);
+    }
   }
+}
+
+void Endpoint::ResetDiagnostics() {
+  stash_high_water_ = 0;
+  sent_counter_ = nullptr;
+  received_counter_ = nullptr;
+  bytes_sent_counter_ = nullptr;
+  bytes_received_counter_ = nullptr;
+  payload_copies_counter_ = nullptr;
+  stash_purged_counter_ = nullptr;
+  stash_gauge_ = nullptr;
+  scoped_stash_gauge_ = nullptr;
+  trace_ = nullptr;
+  now_ = nullptr;
 }
 
 void Endpoint::NoteStashed() {

@@ -133,6 +133,16 @@ class Endpoint {
   void AttachObservers(MetricsShard* metrics, const std::string& scope,
                        TraceRecorder* trace, std::function<double()> now);
 
+  /// Detaches the observers and zeroes the per-endpoint stash diagnostics
+  /// (high-water mark). A long-lived endpoint being handed from one run's
+  /// metrics scope to the next (a pool worker picking up its next job) must
+  /// call this between AttachObservers calls — otherwise the previous job's
+  /// high-water is re-published into the new job's gauges at attach time and
+  /// the new tenant is charged for the old tenant's backlog. Stashed
+  /// *messages* are not touched; purge those separately, while the scope the
+  /// purge should be charged to is still attached.
+  void ResetDiagnostics();
+
   /// Sends a message carrying a shared payload handle. This is the zero-copy
   /// path: the buffer's refcount is bumped, nothing is cloned, and
   /// `transport.payload_copies` does not move.

@@ -7,39 +7,44 @@ namespace pr {
 
 Buffer Buffer::FromVector(std::vector<float> v) {
   if (v.empty()) return Buffer();
-  return Buffer(std::make_shared<std::vector<float>>(std::move(v)));
+  return Buffer(std::make_shared<Block>(std::move(v)));
 }
 
 Buffer Buffer::CopyOf(const float* data, size_t n) {
   if (n == 0) return Buffer();
   PR_CHECK(data != nullptr);
-  return Buffer(std::make_shared<std::vector<float>>(data, data + n));
+  return Buffer(std::make_shared<Block>(data, n));
 }
 
 Buffer Buffer::Zeros(size_t n) {
   if (n == 0) return Buffer();
-  return Buffer(std::make_shared<std::vector<float>>(n, 0.0f));
+  return Buffer(std::make_shared<Block>(n, 0.0f));
 }
 
 float* Buffer::mutable_data() {
   if (!block_) return nullptr;
-  // use_count() == 1 is decisive: no other handle exists that a concurrent
-  // thread could still copy from, so in-place mutation is private. A stale
-  // reading of > 1 (another thread releasing concurrently) merely costs an
-  // extra clone, never correctness.
-  if (block_.use_count() > 1) {
-    block_ = std::make_shared<std::vector<float>>(*block_);
+  // A never-shared block has exactly one handle (copies are the only way
+  // use_count grows, and every copy sets the flag), so in-place mutation is
+  // private. An ever-shared block is immutable: even if this handle is the
+  // sole survivor now, a use_count-based check would race with another
+  // thread's reads still draining (the relaxed refcount load does not
+  // synchronize with that thread's release), so clone unconditionally.
+  if (block_->ever_shared.load(std::memory_order_relaxed)) {
+    block_ = std::make_shared<Block>(block_->data);
   }
-  return block_->data();
+  return block_->data.data();
 }
 
 std::vector<float> Buffer::Take() {
   if (!block_) return {};
   std::vector<float> out;
-  if (block_.use_count() == 1) {
-    out = std::move(*block_);
+  // Same reasoning as mutable_data(): moving out of an ever-shared block
+  // would race with a concurrent holder's copy of the same block, so steal
+  // only when no second handle ever existed.
+  if (!block_->ever_shared.load(std::memory_order_relaxed)) {
+    out = std::move(block_->data);
   } else {
-    out = *block_;
+    out = block_->data;
   }
   block_.reset();
   return out;

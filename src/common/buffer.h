@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -17,13 +18,21 @@ namespace pr {
 ///
 /// Ownership rules (see DESIGN.md "Zero-copy data plane"):
 ///  - Copying a Buffer shares the underlying block (cheap, thread-safe
-///    refcount).
+///    refcount) and permanently marks the block as having been shared.
 ///  - Readers use data()/size(); the block never mutates under a reader,
 ///    because every mutation path goes through mutable_data(), which clones
-///    the block first when it is shared (copy-on-write).
-///  - Take() moves the block out when this handle is the sole owner and
-///    copies otherwise, so receivers that want a private vector pay at most
-///    one copy and often none.
+///    the block first when it was ever shared (copy-on-write).
+///  - Take() moves the block out when it was never shared and copies
+///    otherwise, so receivers that want a private vector pay at most one
+///    copy and often none. A move-only chain (Send -> queue -> Recv ->
+///    Take) never copies.
+///
+/// Mutation and Take() gate on an ever-shared flag rather than on
+/// use_count(): a use_count() of 1 read while another holder's copy of the
+/// same block is still in flight on a different thread is a data race (the
+/// relaxed refcount load does not synchronize with the other thread's
+/// reads), whereas ever-shared blocks are immutable forever, so concurrent
+/// holders only ever race read-vs-read.
 ///
 /// The refcount is thread-safe; a single Buffer *instance* is not — hand
 /// each thread its own handle (which Envelope passing does naturally).
@@ -31,6 +40,19 @@ class Buffer {
  public:
   /// An empty payload (size() == 0, data() == nullptr).
   Buffer() = default;
+
+  /// Copies share the block and mark it ever-shared; moves transfer the
+  /// handle without touching the flag.
+  Buffer(const Buffer& other) : block_(other.block_) { MarkShared(); }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) {
+      block_ = other.block_;
+      MarkShared();
+    }
+    return *this;
+  }
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
 
   /// Adopts `v` without copying.
   static Buffer FromVector(std::vector<float> v);
@@ -42,28 +64,28 @@ class Buffer {
   /// A fresh zero-filled block of `n` floats.
   static Buffer Zeros(size_t n);
 
-  size_t size() const { return block_ ? block_->size() : 0; }
+  size_t size() const { return block_ ? block_->data.size() : 0; }
   bool empty() const { return size() == 0; }
-  const float* data() const { return block_ ? block_->data() : nullptr; }
+  const float* data() const { return block_ ? block_->data.data() : nullptr; }
   const float* begin() const { return data(); }
   const float* end() const { return data() + size(); }
   float operator[](size_t i) const {
     PR_CHECK_LT(i, size());
-    return (*block_)[i];
+    return block_->data[i];
   }
 
-  /// Mutable access with copy-on-write: when the block is shared, this
-  /// handle first clones it, so other holders never observe the mutation.
-  /// Returns null for an empty buffer.
+  /// Mutable access with copy-on-write: when the block was ever shared,
+  /// this handle first clones it, so other holders never observe the
+  /// mutation. Returns null for an empty buffer.
   float* mutable_data();
 
-  /// Moves the payload out: steals the block when uniquely owned, copies
-  /// otherwise. Leaves this buffer empty either way.
+  /// Moves the payload out: steals the block when it was never shared,
+  /// copies otherwise. Leaves this buffer empty either way.
   std::vector<float> Take();
 
   /// Always-copy conversion (diagnostics, tests).
   std::vector<float> ToVector() const {
-    return block_ ? *block_ : std::vector<float>();
+    return block_ ? block_->data : std::vector<float>();
   }
 
   /// True when at least one other Buffer shares the block. Approximate
@@ -72,10 +94,27 @@ class Buffer {
   long use_count() const { return block_.use_count(); }
 
  private:
-  explicit Buffer(std::shared_ptr<std::vector<float>> block)
-      : block_(std::move(block)) {}
+  struct Block {
+    explicit Block(std::vector<float> v) : data(std::move(v)) {}
+    Block(const float* p, size_t n) : data(p, p + n) {}
+    Block(size_t n, float fill) : data(n, fill) {}
 
-  std::shared_ptr<std::vector<float>> block_;
+    std::vector<float> data;
+    // Sticky: set the moment a second handle to this block is created and
+    // never cleared, making the block immutable from then on. Relaxed is
+    // enough — a handle only reaches another thread through a synchronized
+    // channel (a transport queue), which orders the store before any load
+    // the other holder performs.
+    std::atomic<bool> ever_shared{false};
+  };
+
+  explicit Buffer(std::shared_ptr<Block> block) : block_(std::move(block)) {}
+
+  void MarkShared() {
+    if (block_) block_->ever_shared.store(true, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<Block> block_;
 };
 
 /// \brief A read-only view over contiguous floats. Does not own; the

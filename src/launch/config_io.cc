@@ -1,11 +1,14 @@
 #include "launch/config_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string_view>
 #include <vector>
+
+#include "obs/json.h"
 
 namespace pr {
 namespace {
@@ -528,6 +531,199 @@ Status LoadRunConfig(const std::string& path, RunConfig* out) {
   if (!in) return Status::NotFound("config file " + path + " not readable");
   std::ostringstream text;
   text << in.rdbuf();
+  return ParseRunConfig(text.str(), out);
+}
+
+namespace {
+
+// Keys the text dialect may emit more than once; their JSON members are
+// always arrays (one element per line).
+bool IsListKey(std::string_view key) {
+  return key == "run.model.hidden" || key == "run.delay" ||
+         key == "run.churn" || key == "fault.edge" ||
+         key == "fault.worker_event" || key == "fault.controller_event";
+}
+
+// Whether the token at `index` on a `key` line is a string in the text
+// dialect (everything else is numeric).
+bool IsStringToken(std::string_view key, size_t index) {
+  if (key == "strategy.kind" || key == "strategy.dynamic.missing_slot" ||
+      key == "run.model.kind") {
+    return index == 0;
+  }
+  if (key == "fault.worker_event") return index == 1;
+  return false;
+}
+
+JsonValue TokenToJson(std::string_view key, size_t index,
+                      const std::string& token) {
+  if (IsStringToken(key, index)) return JsonValue::MakeString(token);
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  // SerializeRunConfig only emits numeric tokens here; a parse failure would
+  // mean the two dialects drifted, which the round-trip test catches.
+  if (end == token.c_str() || *end != '\0') {
+    return JsonValue::MakeString(token);
+  }
+  return JsonValue::MakeNumber(value);
+}
+
+// Renders a JSON scalar back into a text-dialect token. Integral doubles
+// print without an exponent or trailing zeros so TakeInt/TakeUInt accept
+// them; everything else uses the same %.17g as SerializeRunConfig.
+Status JsonScalarToToken(const std::string& key, const JsonValue& value,
+                         std::string* out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kString: {
+      const std::string& s = value.string_value();
+      if (key != "run.ckpt.dir" &&
+          s.find_first_of(" \t\n\r") != std::string::npos) {
+        return Status::InvalidArgument("json config key '" + key +
+                                       "': string value contains whitespace");
+      }
+      if (s.find('\n') != std::string::npos ||
+          s.find('\r') != std::string::npos) {
+        return Status::InvalidArgument("json config key '" + key +
+                                       "': string value contains a newline");
+      }
+      *out = s;
+      return Status::OK();
+    }
+    case JsonValue::Kind::kNumber: {
+      double v = value.number_value();
+      char buf[64];
+      if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e18) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));  // NOLINT(runtime/int)
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+      }
+      *out = buf;
+      return Status::OK();
+    }
+    case JsonValue::Kind::kBool:
+      *out = value.bool_value() ? "1" : "0";
+      return Status::OK();
+    default:
+      return Status::InvalidArgument("json config key '" + key +
+                                     "': value must be a scalar");
+  }
+}
+
+// One text line for `key` from a scalar or an array-of-scalars.
+Status JsonLineToText(const std::string& key, const JsonValue& value,
+                      std::ostringstream* out) {
+  *out << key;
+  if (value.is_array()) {
+    for (const JsonValue& item : value.items()) {
+      std::string token;
+      PR_RETURN_NOT_OK(JsonScalarToToken(key, item, &token));
+      *out << ' ' << token;
+    }
+  } else {
+    std::string token;
+    PR_RETURN_NOT_OK(JsonScalarToToken(key, value, &token));
+    *out << ' ' << token;
+  }
+  *out << '\n';
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RunConfigToJson(const RunConfig& config) {
+  // Re-encode the text dialect line by line so the two forms cannot drift:
+  // the set of keys, their order, and their token grammar all come from
+  // SerializeRunConfig itself.
+  const std::string text = SerializeRunConfig(config);
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("prconfig", JsonValue::MakeNumber(1));
+
+  std::istringstream lines(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      saw_header = true;  // "prconfig 1"
+      continue;
+    }
+    std::istringstream values(line);
+    std::string key;
+    values >> key;
+    if (key.empty()) continue;
+
+    JsonValue entry;
+    if (key == "run.ckpt.dir") {
+      std::string rest;
+      std::getline(values, rest);
+      size_t start = rest.find_first_not_of(" \t");
+      entry = JsonValue::MakeString(
+          start == std::string::npos ? std::string() : rest.substr(start));
+    } else {
+      std::vector<JsonValue> tokens;
+      std::string token;
+      while (values >> token) {
+        tokens.push_back(TokenToJson(key, tokens.size(), token));
+      }
+      if (tokens.size() == 1 && !IsListKey(key)) {
+        entry = std::move(tokens[0]);
+      } else {
+        entry = JsonValue::MakeArray(std::move(tokens));
+      }
+    }
+
+    if (IsListKey(key)) {
+      JsonValue* list = nullptr;
+      for (auto& member : root.mutable_members()) {
+        if (member.first == key) {
+          list = &member.second;
+          break;
+        }
+      }
+      if (list == nullptr) {
+        root.Set(key, JsonValue::MakeArray());
+        list = &root.mutable_members().back().second;
+      }
+      list->Append(std::move(entry));
+    } else {
+      root.Set(key, std::move(entry));
+    }
+  }
+  return root.Dump();
+}
+
+Status RunConfigFromJson(const std::string& json, RunConfig* out) {
+  JsonValue root;
+  PR_RETURN_NOT_OK(ParseJson(json, &root));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("json config must be an object");
+  }
+  const JsonValue* version = root.Find("prconfig");
+  if (version == nullptr || !version->is_number() ||
+      version->number_value() != 1) {
+    return Status::InvalidArgument(
+        "json config is missing '\"prconfig\": 1'");
+  }
+
+  // Rebuild the text form and delegate to the strict text parser, so unknown
+  // keys and malformed values fail with the same diagnostics either way.
+  std::ostringstream text;
+  text << "prconfig 1\n";
+  for (const auto& [key, value] : root.members()) {
+    if (key == "prconfig") continue;
+    if (IsListKey(key)) {
+      if (!value.is_array()) {
+        return Status::InvalidArgument("json config key '" + key +
+                                       "' must be an array of entries");
+      }
+      for (const JsonValue& entry : value.items()) {
+        PR_RETURN_NOT_OK(JsonLineToText(key, entry, &text));
+      }
+    } else {
+      PR_RETURN_NOT_OK(JsonLineToText(key, value, &text));
+    }
+  }
   return ParseRunConfig(text.str(), out);
 }
 

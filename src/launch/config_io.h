@@ -29,4 +29,21 @@ Status ParseRunConfig(const std::string& text, RunConfig* out);
 Status SaveRunConfig(const std::string& path, const RunConfig& config);
 Status LoadRunConfig(const std::string& path, RunConfig* out);
 
+/// \brief JSON view of a RunConfig, derived mechanically from the text dialect.
+///
+/// The JSON form is a flat object whose members mirror the `key value...`
+/// lines one-to-one ({"prconfig": 1, "strategy.kind": "CON", ...}); repeated
+/// keys (run.model.hidden, run.delay, run.churn, fault.edge,
+/// fault.worker_event, fault.controller_event) become arrays, and
+/// multi-token lines become arrays of tokens. Because both directions are
+/// re-encodings of SerializeRunConfig/ParseRunConfig there is no second
+/// serialization dialect to drift: every key the text parser accepts is the
+/// key the JSON parser accepts, with the same strictness.
+std::string RunConfigToJson(const RunConfig& config);
+
+/// Parses the JSON form back into a RunConfig. Unknown members, malformed
+/// values, or a missing/mismatched "prconfig" version fail with
+/// kInvalidArgument, exactly like ParseRunConfig.
+Status RunConfigFromJson(const std::string& json, RunConfig* out);
+
 }  // namespace pr

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace pr {
 
@@ -65,8 +66,14 @@ JsonWriter& JsonWriter::String(std::string_view value) {
 JsonWriter& JsonWriter::Number(double value) {
   if (!std::isfinite(value)) return Null();
   BeforeValue();
+  // Shortest form that parses back to the same double: %.15g covers most
+  // values; fall back to %.17g (always exact) when it loses bits. Config
+  // round trips (text -> JSON -> text) rely on this being lossless.
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  if (std::strtod(buf, nullptr) != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
   out_ += buf;
   return *this;
 }
@@ -187,6 +194,427 @@ std::string TraceLogJson(const TraceLog& log) {
   JsonWriter writer;
   WriteTraceLog(&writer, log);
   return writer.str();
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::MakeObject(std::vector<Member> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+bool JsonValue::bool_value() const {
+  PR_CHECK(kind_ == Kind::kBool) << "JsonValue is not a bool";
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  PR_CHECK(kind_ == Kind::kNumber) << "JsonValue is not a number";
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  PR_CHECK(kind_ == Kind::kString) << "JsonValue is not a string";
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  PR_CHECK(kind_ == Kind::kArray) << "JsonValue is not an array";
+  return items_;
+}
+
+std::vector<JsonValue>& JsonValue::mutable_items() {
+  PR_CHECK(kind_ == Kind::kArray) << "JsonValue is not an array";
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  PR_CHECK(kind_ == Kind::kObject) << "JsonValue is not an object";
+  return members_;
+}
+
+std::vector<JsonValue::Member>& JsonValue::mutable_members() {
+  PR_CHECK(kind_ == Kind::kObject) << "JsonValue is not an object";
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  PR_CHECK(kind_ == Kind::kObject) << "JsonValue is not an object";
+  for (Member& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  PR_CHECK(kind_ == Kind::kArray) << "JsonValue is not an array";
+  items_.push_back(std::move(value));
+}
+
+void JsonValue::Write(JsonWriter* writer) const {
+  switch (kind_) {
+    case Kind::kNull:
+      writer->Null();
+      break;
+    case Kind::kBool:
+      writer->Bool(bool_);
+      break;
+    case Kind::kNumber:
+      writer->Number(number_);
+      break;
+    case Kind::kString:
+      writer->String(string_);
+      break;
+    case Kind::kArray:
+      writer->BeginArray();
+      for (const JsonValue& v : items_) v.Write(writer);
+      writer->EndArray();
+      break;
+    case Kind::kObject:
+      writer->BeginObject();
+      for (const Member& m : members_) {
+        writer->Key(m.first);
+        m.second.Write(writer);
+      }
+      writer->EndObject();
+      break;
+  }
+}
+
+std::string JsonValue::Dump() const {
+  JsonWriter writer;
+  Write(&writer);
+  return writer.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; tracks the byte offset for
+/// error messages. Depth is bounded to keep hostile inputs from overflowing
+/// the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    PR_RETURN_NOT_OK(ParseValue(out, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(std::string_view what) const {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " +
+                                   std::string(what));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("invalid literal");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        PR_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        PR_RETURN_NOT_OK(ConsumeLiteral("true"));
+        *out = JsonValue::MakeBool(true);
+        return Status::OK();
+      case 'f':
+        PR_RETURN_NOT_OK(ConsumeLiteral("false"));
+        *out = JsonValue::MakeBool(false);
+        return Status::OK();
+      case 'n':
+        PR_RETURN_NOT_OK(ConsumeLiteral("null"));
+        *out = JsonValue::MakeNull();
+        return Status::OK();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Error("unexpected character");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected '\"' to start object key");
+      }
+      std::string key;
+      PR_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      PR_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      PR_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          PR_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the low half immediately after.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("lone high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            PR_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate in \\u escape");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("lone low surrogate in \\u escape");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    if (pos_ >= text_.size()) return Error("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    } else {
+      return Error("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digit required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("invalid number");
+    *out = JsonValue::MakeNumber(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseJson(std::string_view text, JsonValue* out) {
+  JsonParser parser(text);
+  return parser.Parse(out);
 }
 
 }  // namespace pr

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -57,5 +60,75 @@ std::string TraceLogJson(const TraceLog& log);
 
 /// Appends the trace log under the writer's current value position.
 void WriteTraceLog(JsonWriter* writer, const TraceLog& log);
+
+/// \brief A parsed JSON document node (null/bool/number/string/array/object).
+///
+/// The read-side counterpart of JsonWriter, still dependency-free. Objects
+/// preserve insertion order (the writer's order survives a round trip) and
+/// are looked up linearly — documents here are config-sized, not data-sized.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items = {});
+  static JsonValue MakeObject(std::vector<Member> members = {});
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling one on the wrong kind is a checked programmer
+  /// error (callers branch on kind() / is_*() first).
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& items() const;
+  std::vector<JsonValue>& mutable_items();
+  const std::vector<Member>& members() const;
+  std::vector<Member>& mutable_members();
+
+  /// Object lookup by key; nullptr when absent (or when not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Sets `key` to `value`, replacing an existing member of that name or
+  /// appending a new one; requires an object.
+  void Set(std::string key, JsonValue value);
+
+  /// Appends `value`; requires an array.
+  void Append(JsonValue value);
+
+  /// Re-serializes this value through JsonWriter (canonical output: numbers
+  /// in their shortest exact-round-trip form, escaped strings, no
+  /// whitespace).
+  std::string Dump() const;
+  void Write(JsonWriter* writer) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// \brief Parses a complete strict-JSON document into `*out`.
+///
+/// Rejects trailing garbage, trailing commas, unquoted keys, and comments;
+/// accepts the full escape set JsonWriter emits (including \uXXXX with
+/// surrogate pairs, decoded to UTF-8). Errors carry a byte offset.
+Status ParseJson(std::string_view text, JsonValue* out);
 
 }  // namespace pr

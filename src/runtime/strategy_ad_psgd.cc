@@ -78,9 +78,13 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
       const double comm_begin = ctx->Now();
       ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
                            ctx->worker(), static_cast<int64_t>(k));
-      PR_CHECK(ep->Send(peer, k, kKindGossipReq, {},
-                        ep->MakePayload(params.data(), num_params))
-                   .ok());
+      // A failed send means the fabric was shut down (hard abort); unwind
+      // exactly like the Recv-shutdown path below.
+      if (!ep->Send(peer, k, kKindGossipReq, {},
+                    ep->MakePayload(params.data(), num_params))
+               .ok()) {
+        return;
+      }
       bool served_while_waiting = false;
       while (true) {
         std::optional<Envelope> env = ep->RecvAny();
@@ -93,9 +97,11 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
         } else if (env->kind == kKindGossipReq) {
           // Serve a concurrent initiator so it cannot deadlock on us.
           average_in(env->payload.data());
-          PR_CHECK(ep->Send(env->from, env->tag, kKindGossipReply, {},
-                            ep->MakePayload(params.data(), num_params))
-                       .ok());
+          if (!ep->Send(env->from, env->tag, kKindGossipReply, {},
+                        ep->MakePayload(params.data(), num_params))
+                   .ok()) {
+            return;  // shutdown
+          }
           served_while_waiting = true;
         } else {
           PR_CHECK_EQ(env->kind, kKindGossipReply);
@@ -123,9 +129,10 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
 
   ctx->MarkFinished();
   // Bye must be our final message; peers abort pending exchanges on it.
+  // Best-effort: on a shut-down fabric every peer is unwinding anyway.
   for (int i = 0; i < n; ++i) {
     if (i == me) continue;
-    PR_CHECK(ep->Send(i, 0, kKindBye, {}).ok());
+    (void)ep->Send(i, 0, kKindBye, {});
   }
 }
 

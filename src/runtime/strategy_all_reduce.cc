@@ -84,10 +84,13 @@ class ThreadedAllReduce : public ThreadedStrategy {
       const double comm_begin = ctx->Now();
       ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
                            ctx->worker(), static_cast<int64_t>(k));
-      PR_CHECK(GroupAverageAllReduce(ep, all,
-                                     static_cast<size_t>(ctx->worker()),
-                                     /*tag=*/k, grad.data(), grad.size())
-                   .ok());
+      // The collective only fails when the fabric was shut down under us
+      // (hard abort); unwind instead of crashing the process.
+      if (!GroupAverageAllReduce(ep, all, static_cast<size_t>(ctx->worker()),
+                                 /*tag=*/k, grad.data(), grad.size())
+               .ok()) {
+        return;
+      }
       ctx->RecordComm(comm_begin, ctx->Now());
       ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
                            ctx->worker(), static_cast<int64_t>(k));

@@ -104,7 +104,9 @@ void ThreadedEagerReduce::RunService(ServiceContext* ctx) {
     // One materialization of the new model, shared by every waiter.
     Buffer model = ep->MakePayload(global_.data(), global_.size());
     for (NodeId w : waiting) {
-      PR_CHECK(ep->Send(w, 0, kKindErModel, {}, model).ok());
+      // Best-effort: a failed send means the fabric was shut down (hard
+      // abort); the server's RecvAny loop observes the closure and drains.
+      (void)ep->Send(w, 0, kKindErModel, {}, model);
     }
     waiting.clear();
   }
@@ -121,9 +123,11 @@ void ThreadedEagerReduce::RunWorker(WorkerContext* ctx) {
     ctx->ComputeGradient(params.data(), &grad);
     const bool is_last = k == run.iterations_per_worker;
     if (is_last) ctx->MarkFinished();
-    PR_CHECK(ep->Send(server, 0, kKindErPush,
-                      {static_cast<int64_t>(is_last ? 1 : 0)}, grad)
-                 .ok());
+    if (!ep->Send(server, 0, kKindErPush,
+                  {static_cast<int64_t>(is_last ? 1 : 0)}, grad)
+             .ok()) {
+      return;  // fabric shut down (hard abort) — unwind like Recv-shutdown
+    }
     if (is_last) break;
     // Blocked until the round containing our push closes.
     const double wait_begin = ctx->Now();

@@ -324,10 +324,12 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
   int remaining = n;  // workers that have not permanently left
   int active = n;     // currently in the pool (excludes paused workers)
 
-  // Releases queued waiters that can never form a full group.
+  // Releases queued waiters that can never form a full group. Sends fail
+  // only when the fabric was shut down mid-run (hard abort); the main loop's
+  // next RecvAny observes the closure and drains, so failures are ignored.
   auto release_pending = [&] {
     for (const ReadySignal& s : controller.DrainPending()) {
-      PR_CHECK(ep->Send(s.worker, 0, kKindRelease, {}).ok());
+      (void)ep->Send(s.worker, 0, kKindRelease, {});
     }
   };
 
@@ -344,9 +346,8 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
       Buffer weights = Buffer::FromVector(std::vector<float>(
           decision.weights.begin(), decision.weights.end()));
       for (int member : decision.members) {
-        PR_CHECK(ep->Send(member, decision.group_id, kKindGroupInfo, ints,
-                          weights)
-                     .ok());
+        (void)ep->Send(member, decision.group_id, kKindGroupInfo, ints,
+                       weights);
       }
     }
   };
@@ -976,33 +977,46 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
 
   if (ctx->start_iteration() >= run.iterations_per_worker) {
     // The manifest cut at this worker's full budget; nothing left to run.
+    // A failed send here (and below) means the fabric was shut down by a
+    // hard abort; the worker unwinds exactly like the Recv-shutdown path.
     ctx->MarkFinished();
-    PR_CHECK(ep->Send(controller, 0, kKindLeave, {}).ok());
+    (void)ep->Send(controller, 0, kKindLeave, {});
     return;
   }
 
   for (size_t k = ctx->start_iteration() + 1; k <= run.iterations_per_worker;
        ++k) {
+    if (run.control != nullptr && run.control->cancel_requested()) {
+      // Cooperative cancel: leave the pool exactly like a worker whose
+      // budget ran out. The controller handles the Leave through its normal
+      // membership path, so the remaining workers keep forming groups and
+      // the run drains cleanly with partial progress.
+      ctx->MarkFinished();
+      (void)ep->Send(controller, 0, kKindLeave, {});
+      return;
+    }
     ctx->ComputeGradient(params.data(), &grad);
     ctx->sgd()->Step(grad.data(), params.data(), params.size());
     ++iteration;
 
     if (k == run.iterations_per_worker) {
       ctx->MarkFinished();
-      PR_CHECK(ep->Send(controller, 0, kKindLeave, {}).ok());
+      (void)ep->Send(controller, 0, kKindLeave, {});
       break;
     }
 
     if (churn != nullptr && k == churn->after_iterations) {
       // Elastic pause: leave the pool, nap, rejoin with the parameters we
       // last held.
-      PR_CHECK(ep->Send(controller, 0, kKindPause, {}).ok());
+      if (!ep->Send(controller, 0, kKindPause, {}).ok()) return;  // shutdown
       std::this_thread::sleep_for(
           std::chrono::duration<double>(churn->pause_seconds));
-      PR_CHECK(ep->Send(controller, 0, kKindRejoin, {}).ok());
+      if (!ep->Send(controller, 0, kKindRejoin, {}).ok()) return;  // shutdown
     }
 
-    PR_CHECK(ep->Send(controller, 0, kKindReady, {iteration}).ok());
+    if (!ep->Send(controller, 0, kKindReady, {iteration}).ok()) {
+      return;  // fabric shut down (abort/eviction) while we were computing
+    }
 
     // Wait for the controller's verdict; ring chunks from other groups that
     // land meanwhile are stashed by RecvFrom and replayed to the collective.
@@ -1031,9 +1045,13 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
     const double comm_begin = ctx->Now();
     ctx->trace()->Record(comm_begin, TraceEventKind::kReduceStart,
                          ctx->worker(), static_cast<int64_t>(group_id));
-    PR_CHECK(GroupWeightedAllReduce(ep, members, weights, my_index, group_id,
-                                    params.data(), params.size())
-                 .ok());
+    // On the fault-free fast path the collective only fails when the fabric
+    // was shut down under us (hard abort/eviction) — unwind, don't crash.
+    if (!GroupWeightedAllReduce(ep, members, weights, my_index, group_id,
+                                params.data(), params.size())
+             .ok()) {
+      return;
+    }
     ctx->RecordComm(comm_begin, ctx->Now());
     ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd,
                          ctx->worker(), static_cast<int64_t>(group_id));
@@ -1117,6 +1135,13 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
 
   for (size_t k = ctx->start_iteration() + 1; k <= run.iterations_per_worker;
        ++k) {
+    if (run.control != nullptr && run.control->cancel_requested()) {
+      // Cooperative cancel (same as the fast path): a clean Leave at the
+      // iteration boundary drains this worker out of the membership.
+      ctx->MarkFinished();
+      (void)ep->Send(controller, 0, kKindLeave, {});
+      return;
+    }
     ctx->ComputeGradient(params.data(), &grad);
     ctx->sgd()->Step(grad.data(), params.data(), params.size());
     ++iteration;

@@ -100,9 +100,10 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
     if (model_payload.empty()) {
       model_payload = ep->MakePayload(global_.data(), global_.size());
     }
-    PR_CHECK(ep->Send(to, 0, kKindModel,
-                      {static_cast<int64_t>(versions_)}, model_payload)
-                 .ok());
+    // Best-effort: a failed send means the fabric was shut down (hard
+    // abort); the server's receive loop observes the closure and drains.
+    (void)ep->Send(to, 0, kKindModel, {static_cast<int64_t>(versions_)},
+                   model_payload);
   };
   auto bump_version = [&] {
     ++versions_;
@@ -194,7 +195,9 @@ void ThreadedPs::RunWorker(WorkerContext* ctx) {
   std::vector<float> grad;
 
   for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
-    PR_CHECK(ep->Send(server, 0, kKindPull, {}).ok());
+    // Failed sends to the server mean the fabric was shut down (hard
+    // abort); unwind exactly like the Recv-shutdown path.
+    if (!ep->Send(server, 0, kKindPull, {}).ok()) return;
     const double wait_begin = ctx->Now();
     std::optional<Envelope> env = ep->RecvFrom(server);
     if (!env.has_value()) return;  // shutdown
@@ -206,9 +209,11 @@ void ThreadedPs::RunWorker(WorkerContext* ctx) {
     ctx->ComputeGradient(params.data(), &grad);
     const bool is_last = k == run.iterations_per_worker;
     if (is_last) ctx->MarkFinished();
-    PR_CHECK(ep->Send(server, 0, kKindPush,
-                      {version, static_cast<int64_t>(is_last ? 1 : 0)}, grad)
-                 .ok());
+    if (!ep->Send(server, 0, kKindPush,
+                  {version, static_cast<int64_t>(is_last ? 1 : 0)}, grad)
+             .ok()) {
+      return;  // shutdown
+    }
     // Keep the replica in sync with the last pulled model so run-level
     // diagnostics (replica spread) stay meaningful for the PS family too.
     ctx->params().CopyFrom(params);

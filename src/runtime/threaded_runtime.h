@@ -1,6 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +25,109 @@ namespace pr {
 /// architectures through the shared models catalog (ProxyModelSpec), so a
 /// spec means the same thing to the simulator and the threaded engine.
 using ThreadedModelSpec = ProxyModelSpec;
+
+/// \brief Cross-thread control handle over a live threaded run.
+///
+/// Created by whoever owns the run (a job service, a signal handler) and
+/// passed in through ThreadedRunOptions::control; the runtime and the
+/// strategies observe it, the owner drives it. Three facilities:
+///
+///  - **Cooperative cancel** (`RequestCancel`): P-Reduce workers poll the
+///    flag at iteration boundaries and leave the pool through the normal
+///    `Leave` protocol, so the controller keeps forming groups among the
+///    remaining members and the run drains cleanly (partial progress, clean
+///    transport). Strategies with hard barriers (AR, PS-BSP) ignore it —
+///    aborting a collective mid-barrier cannot be done cooperatively.
+///  - **Hard abort** (`Abort`): shuts the run's transport down. Every
+///    blocked receive wakes with nullopt and the strategies unwind through
+///    their existing shutdown paths. Works for every strategy kind; forfeits
+///    the in-flight synchronization step.
+///  - **Liveness** (`progress()`): a monotonic tick bumped on every local
+///    gradient computation across all workers. An external monitor (the job
+///    service's FailureDetector loop) treats a stalled tick as a hung run
+///    and escalates to Abort.
+///
+/// All members are safe to call from any thread, at any point in the run's
+/// lifecycle (Abort before the run starts makes it exit immediately).
+class RunControl {
+ public:
+  /// Asks the run to drain cooperatively (P-Reduce kinds; see above).
+  void RequestCancel() { cancel_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
+  /// Hard-stops the run by shutting down its transport fabric. Idempotent;
+  /// callable before the run binds (the run then aborts at bind time).
+  void Abort() {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      aborted_ = true;
+      fn = abort_fn_;
+    }
+    if (fn) fn();
+  }
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_;
+  }
+
+  /// Total local gradient computations so far, across every worker of the
+  /// bound run. Monotonic; a monitor samples it to detect hangs.
+  uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+  /// Bumps the progress tick (runtime-internal; one call per gradient).
+  void Tick() { progress_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Runtime-internal: installs/removes the live run's abort hook. BindAbort
+  /// invokes `fn` immediately when Abort() already happened (abort-before-
+  /// bind); UnbindAbort makes later Aborts no-ops so a completed run's
+  /// resources cannot be poked after teardown.
+  void BindAbort(std::function<void()> fn) {
+    bool fire = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      abort_fn_ = std::move(fn);
+      fire = aborted_;
+    }
+    if (fire) Abort();
+  }
+  void UnbindAbort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_fn_ = nullptr;
+  }
+
+ private:
+  std::atomic<bool> cancel_{false};
+  std::atomic<uint64_t> progress_{0};
+  mutable std::mutex mu_;
+  bool aborted_ = false;
+  std::function<void()> abort_fn_;
+};
+
+/// \brief Seam for donating worker threads to a run.
+///
+/// By default the runtime spawns one fresh std::thread per worker. A shared
+/// worker pool instead installs a launcher: `Launch` hands the worker body to
+/// a pooled thread, `JoinAll` blocks until every launched body returned.
+/// When a launcher is set the strategy's service loop (controller / PS
+/// server), if any, runs inline on the thread that called RunThreaded — the
+/// caller donates itself instead of idling in join.
+class WorkerLauncher {
+ public:
+  virtual ~WorkerLauncher() = default;
+
+  /// Runs `body` (the full worker loop for `worker`) on a pooled thread.
+  /// Bodies for all workers of a run are launched before JoinAll; the
+  /// launcher must run them concurrently (they rendezvous through
+  /// collectives — serializing them deadlocks).
+  virtual void Launch(int worker, std::function<void()> body) = 0;
+
+  /// Blocks until every body launched since the last JoinAll has returned.
+  virtual void JoinAll() = 0;
+};
 
 /// \brief Elastic membership on real threads (P-Reduce only): the worker
 /// Leaves the pool after completing `after_iterations` local iterations,
@@ -87,6 +194,14 @@ struct ThreadedRunOptions {
   size_t trace_capacity = 0;
 
   uint64_t seed = 7;
+
+  /// Optional control handle (cancel/abort/liveness — see RunControl).
+  /// Runtime-only: not part of the serialized config.
+  std::shared_ptr<RunControl> control;
+
+  /// Optional thread-donation seam (see WorkerLauncher). Not owned; must
+  /// outlive the run. Runtime-only: not part of the serialized config.
+  WorkerLauncher* launcher = nullptr;
 };
 
 /// \brief A complete threaded-run request: which synchronization scheme

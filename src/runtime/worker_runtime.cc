@@ -135,6 +135,9 @@ float WorkerContext::ComputeGradient(const float* at,
   }
   ++completed_iterations_;
   iterations_counter_->Increment();
+  if (runtime_->options_.control != nullptr) {
+    runtime_->options_.control->Tick();
+  }
   RecordCompute(begin, Now());
   return loss;
 }
@@ -370,23 +373,48 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
     contexts.emplace_back(new WorkerContext(this, w));
   }
 
-  std::unique_ptr<ServiceContext> service_ctx;
-  std::thread service_thread;
-  if (with_service) {
-    service_ctx.reset(new ServiceContext(this));
-    service_thread =
-        std::thread([&] { strategy->RunService(service_ctx.get()); });
+  // Bind the owner's control handle to this run's fabric: an Abort() from
+  // any thread shuts the transport down and every blocked receive unwinds.
+  RunControl* control = options_.control.get();
+  if (control != nullptr) {
+    Transport* fabric = fabric_;
+    control->BindAbort([fabric] { fabric->Shutdown(); });
   }
 
-  std::vector<std::thread> workers;
-  workers.reserve(locals.size());
-  for (auto& context : contexts) {
-    WorkerContext* ctx = context.get();
-    workers.emplace_back([strategy, ctx] { strategy->RunWorker(ctx); });
+  std::unique_ptr<ServiceContext> service_ctx;
+  std::thread service_thread;
+  const bool pooled = options_.launcher != nullptr;
+  if (with_service) {
+    service_ctx.reset(new ServiceContext(this));
+    if (!pooled) {
+      service_thread =
+          std::thread([&] { strategy->RunService(service_ctx.get()); });
+    }
   }
-  for (auto& t : workers) t.join();
-  if (service_thread.joinable()) service_thread.join();
+
+  if (pooled) {
+    // Pooled execution: worker bodies run on donated threads; the service
+    // loop (when the strategy has one) runs inline on the calling thread,
+    // which would otherwise idle in join.
+    for (auto& context : contexts) {
+      WorkerContext* ctx = context.get();
+      options_.launcher->Launch(ctx->worker(),
+                                [strategy, ctx] { strategy->RunWorker(ctx); });
+    }
+    if (with_service) strategy->RunService(service_ctx.get());
+    options_.launcher->JoinAll();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(locals.size());
+    for (auto& context : contexts) {
+      WorkerContext* ctx = context.get();
+      workers.emplace_back([strategy, ctx] { strategy->RunWorker(ctx); });
+    }
+    for (auto& t : workers) t.join();
+    if (service_thread.joinable()) service_thread.join();
+  }
   fabric_->Shutdown();
+  if (control != nullptr) control->UnbindAbort();
   const double wall = NowSeconds();
 
   ThreadedRunResult result;

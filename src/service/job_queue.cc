@@ -1,0 +1,97 @@
+#include "service/job_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pr {
+
+void JobQueue::SetTenantWeight(const std::string& tenant, double weight) {
+  PR_CHECK(weight > 0.0) << "tenant weight must be positive";
+  weights_[tenant] = weight;
+}
+
+void JobQueue::Push(Entry entry) {
+  Item item;
+  item.entry = std::move(entry);
+  item.seq = next_seq_++;
+  entries_.push_back(std::move(item));
+}
+
+double JobQueue::WeightedUsage(const std::string& tenant) const {
+  double weight = 1.0;
+  auto wit = weights_.find(tenant);
+  if (wit != weights_.end()) {
+    weight = wit->second;
+  }
+  double usage = 0.0;
+  auto uit = usage_.find(tenant);
+  if (uit != usage_.end()) {
+    usage = uit->second;
+  }
+  return usage / weight;
+}
+
+bool JobQueue::PopAdmissible(int free_workers, Entry* out) {
+  // Pass 1: the eligible tenant with the least weighted usage (name order
+  // breaks ties deterministically).
+  bool have_tenant = false;
+  std::string best_tenant;
+  double best_usage = 0.0;
+  for (const Item& item : entries_) {
+    if (item.entry.min_workers > free_workers) {
+      continue;
+    }
+    const double usage = WeightedUsage(item.entry.tenant);
+    if (!have_tenant || usage < best_usage ||
+        (usage == best_usage && item.entry.tenant < best_tenant)) {
+      have_tenant = true;
+      best_tenant = item.entry.tenant;
+      best_usage = usage;
+    }
+  }
+  if (!have_tenant) {
+    return false;
+  }
+  // Pass 2: within that tenant, highest priority, then FIFO.
+  size_t best_index = entries_.size();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Item& item = entries_[i];
+    if (item.entry.tenant != best_tenant ||
+        item.entry.min_workers > free_workers) {
+      continue;
+    }
+    if (best_index == entries_.size() ||
+        item.entry.priority > entries_[best_index].entry.priority ||
+        (item.entry.priority == entries_[best_index].entry.priority &&
+         item.seq < entries_[best_index].seq)) {
+      best_index = i;
+    }
+  }
+  PR_CHECK(best_index < entries_.size());
+  *out = std::move(entries_[best_index].entry);
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(best_index));
+  return true;
+}
+
+void JobQueue::ChargeUsage(const std::string& tenant, double amount) {
+  usage_[tenant] += amount;
+}
+
+bool JobQueue::Remove(int64_t id) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].entry.id == id) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+double JobQueue::usage(const std::string& tenant) const {
+  auto it = usage_.find(tenant);
+  return it == usage_.end() ? 0.0 : it->second;
+}
+
+}  // namespace pr

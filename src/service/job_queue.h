@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pr {
+
+/// \brief Priority queue with weighted fair-share admission across tenants.
+///
+/// Two-level policy. Across tenants: the next job comes from the eligible
+/// tenant with the smallest weighted usage (accumulated leased-worker count
+/// divided by the tenant's weight), so a tenant with weight 2 is allowed to
+/// accumulate twice the leases of a weight-1 tenant before yielding. Within
+/// a tenant: highest priority first, FIFO among equal priorities. A tenant
+/// is eligible only if it has a queued job whose min_workers fits the free
+/// capacity the caller reports — a large job at the head of one tenant does
+/// not block other tenants' small jobs.
+///
+/// Not thread-safe; the service serializes access under its own mutex.
+class JobQueue {
+ public:
+  struct Entry {
+    int64_t id = 0;
+    int priority = 0;
+    std::string tenant;
+    int min_workers = 1;
+    /// Submission timestamp, for queueing-delay accounting by the caller.
+    double enqueue_seconds = 0.0;
+  };
+
+  /// Sets the fair-share weight for a tenant (default weight is 1.0).
+  /// Weights must be positive.
+  void SetTenantWeight(const std::string& tenant, double weight);
+
+  void Push(Entry entry);
+
+  /// Pops the entry the policy admits next given `free_workers` idle slots,
+  /// or false if no queued entry fits. Does not charge usage — the caller
+  /// charges the actual lease size via ChargeUsage once granted.
+  bool PopAdmissible(int free_workers, Entry* out);
+
+  /// Charges `amount` (leased worker count) against the tenant's usage.
+  void ChargeUsage(const std::string& tenant, double amount);
+
+  /// Removes a queued entry by id (queued-job cancellation). False if the
+  /// id is not queued.
+  bool Remove(int64_t id);
+
+  double usage(const std::string& tenant) const;
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Item {
+    Entry entry;
+    uint64_t seq = 0;  // FIFO tiebreak among equal priorities
+  };
+
+  double WeightedUsage(const std::string& tenant) const;
+
+  std::vector<Item> entries_;
+  std::map<std::string, double> weights_;
+  std::map<std::string, double> usage_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace pr

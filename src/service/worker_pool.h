@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.h"
+#include "obs/metrics.h"
+#include "runtime/threaded_runtime.h"
+
+namespace pr {
+
+/// \brief A fixed set of long-lived worker threads leased out to jobs.
+///
+/// Each slot is an agent thread that lives for the pool's lifetime and owns
+/// a persistent Endpoint on the pool's control fabric — the same
+/// selective-receive machinery training workers use, so the pool exercises
+/// the real cross-job hygiene problem: stashed stray messages and stash
+/// diagnostics carried over from one job to the next. Work arrives as Tasks
+/// dispatched over that fabric; between tasks an agent purges its stash
+/// (charged to the finishing job's metrics scope), resets its endpoint
+/// diagnostics, and re-attaches observers under the next job's scope.
+///
+/// Slots are claimed in groups via leases: TryLease atomically reserves
+/// between min and max free slots for a job, Release returns them. A lease
+/// plus MakeLauncher yields a WorkerLauncher that runs a threaded run's
+/// worker bodies on the leased agents instead of freshly spawned threads.
+class WorkerPool {
+ public:
+  /// Control-plane message kinds on the pool fabric.
+  static constexpr int kKindTask = 1;
+  /// Best-effort nudge sent to leased slots on cancellation. Agents never
+  /// select it, so it lands in the endpoint stash — a realistic stray
+  /// cross-job message exercising the handoff hygiene path.
+  static constexpr int kKindCancelNote = 2;
+
+  /// One unit of work for an agent thread.
+  struct Task {
+    std::function<void()> body;
+    /// Metrics scope for the endpoint while this task runs (may be null).
+    MetricsShard* shard = nullptr;
+    /// Clock used for trace/gauge stamps under this task's scope.
+    std::function<double()> now;
+    /// Invoked on the agent thread after `body` returns.
+    std::function<void()> on_done;
+  };
+
+  /// A group of slots reserved for one job.
+  struct Lease {
+    int64_t job_id = 0;
+    std::vector<int> slots;
+    int size() const { return static_cast<int>(slots.size()); }
+  };
+
+  explicit WorkerPool(int size);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// Reserves min(max_slots, free) slots if at least `min_slots` are free;
+  /// returns false (leaving *out untouched) otherwise.
+  bool TryLease(int64_t job_id, int min_slots, int max_slots, Lease* out);
+
+  /// Returns a lease's slots to the free set.
+  void Release(const Lease& lease);
+
+  int free_slots() const;
+
+  /// Enqueues a task for a specific slot. The slot should be held under a
+  /// lease by the caller; tasks for one slot run in dispatch order.
+  void Dispatch(int slot, Task task);
+
+  /// Best-effort cancellation nudge to every slot of a lease (see
+  /// kKindCancelNote). Never blocks; delivery is not guaranteed.
+  void NudgeSlots(const Lease& lease);
+
+  /// Builds a WorkerLauncher that maps a run's worker indices onto the
+  /// lease's slots (run worker w -> lease.slots[w]), dispatching each body
+  /// as a pool task under `shard`/`now`. The lease must have at least as
+  /// many slots as the run has workers, and must stay held until JoinAll
+  /// returns. The launcher is independent of the lease object's lifetime
+  /// (it copies the slot list).
+  std::unique_ptr<WorkerLauncher> MakeLauncher(const Lease& lease,
+                                               MetricsShard* shard,
+                                               std::function<double()> now);
+
+  /// Time-weighted fraction of slot-seconds spent running task bodies since
+  /// construction, including tasks currently in flight. In [0, 1].
+  double BusyFraction() const;
+
+  /// Tasks completed by one slot — the churn counter the handoff-hygiene
+  /// tests key off.
+  uint64_t jobs_served(int slot) const;
+
+  uint64_t tasks_dispatched() const;
+
+ private:
+  void AgentLoop(int slot);
+  static double NowSeconds();
+
+  const int size_;
+  InProcTransport transport_;  // nodes [0, size_) = slots, size_ = scheduler
+
+  mutable std::mutex mu_;
+  std::vector<bool> leased_;
+  std::map<int64_t, Task> tasks_;
+  int64_t next_task_id_ = 1;
+  uint64_t tasks_dispatched_ = 0;
+  std::vector<uint64_t> served_;
+  std::vector<double> busy_since_;  // <0 when idle
+  std::vector<double> busy_seconds_;
+  double start_seconds_ = 0.0;
+
+  std::vector<std::thread> agents_;
+};
+
+}  // namespace pr

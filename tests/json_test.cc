@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace pr {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue value;
+  Status status = ParseJson(text, &value);
+  EXPECT_TRUE(status.ok()) << status.message();
+  return value;
+}
+
+Status ParseError(const std::string& text) {
+  JsonValue value;
+  Status status = ParseJson(text, &value);
+  EXPECT_FALSE(status.ok()) << "unexpectedly parsed: " << text;
+  return status;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").bool_value());
+  EXPECT_FALSE(MustParse("false").bool_value());
+  EXPECT_DOUBLE_EQ(MustParse("42").number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-1.5e3").number_value(), -1500.0);
+  EXPECT_DOUBLE_EQ(MustParse("0.125").number_value(), 0.125);
+  EXPECT_EQ(MustParse("\"hi\"").string_value(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d\n\t\r\f\b")").string_value(),
+            "a\"b\\c/d\n\t\r\f\b");
+  EXPECT_EQ(MustParse(R"("\u0041\u00e9")").string_value(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(MustParse(R"("\ud83d\ude00")").string_value(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, Containers) {
+  JsonValue value = MustParse(R"({"a": [1, 2, 3], "b": {"c": null}})");
+  ASSERT_TRUE(value.is_object());
+  const JsonValue* a = value.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].number_value(), 2.0);
+  const JsonValue* b = value.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("c"), nullptr);
+  EXPECT_TRUE(b->Find("c")->is_null());
+  EXPECT_EQ(value.Find("missing"), nullptr);
+}
+
+TEST(JsonParse, PreservesMemberOrder) {
+  JsonValue value = MustParse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(value.members().size(), 3u);
+  EXPECT_EQ(value.members()[0].first, "z");
+  EXPECT_EQ(value.members()[1].first, "a");
+  EXPECT_EQ(value.members()[2].first, "m");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  ParseError("");
+  ParseError("{");
+  ParseError("[1, 2,]");
+  ParseError("{\"a\": 1,}");
+  ParseError("{\"a\" 1}");
+  ParseError("nul");
+  ParseError("01");     // leading zero
+  ParseError("+1");     // leading plus
+  ParseError("1.");     // bare decimal point
+  ParseError("\"a");    // unterminated string
+  ParseError("\"\\x\"");  // unknown escape
+  ParseError("\"\\ud83d\"");  // lone surrogate
+  ParseError("\"\t\"");       // raw control character
+  ParseError("1 2");          // trailing content
+  ParseError("[1] []");
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets) {
+  Status status = ParseError("{\"a\": nope}");
+  EXPECT_NE(status.message().find("byte"), std::string::npos)
+      << status.message();
+}
+
+TEST(JsonParse, DepthCapStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  ParseError(deep);
+  std::string ok;
+  for (int i = 0; i < 30; ++i) ok += "[";
+  for (int i = 0; i < 30; ++i) ok += "]";
+  MustParse(ok);
+}
+
+TEST(JsonValue, DumpRoundTrips) {
+  const std::string text =
+      R"({"s":"he\"llo","n":-2.5,"b":true,"x":null,"a":[1,"two",false],)"
+      R"("o":{"k":3}})";
+  JsonValue value = MustParse(text);
+  JsonValue reparsed = MustParse(value.Dump());
+  EXPECT_EQ(reparsed.Dump(), value.Dump());
+  EXPECT_EQ(reparsed.Find("s")->string_value(), "he\"llo");
+  EXPECT_DOUBLE_EQ(reparsed.Find("n")->number_value(), -2.5);
+}
+
+TEST(JsonValue, BuildersProduceParseableDocuments) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("name", JsonValue::MakeString("x"));
+  JsonValue array = JsonValue::MakeArray();
+  array.Append(JsonValue::MakeNumber(1.0));
+  array.Append(JsonValue::MakeBool(false));
+  array.Append(JsonValue::MakeNull());
+  object.Set("items", std::move(array));
+  JsonValue reparsed = MustParse(object.Dump());
+  EXPECT_EQ(reparsed.Find("name")->string_value(), "x");
+  EXPECT_EQ(reparsed.Find("items")->items().size(), 3u);
+}
+
+TEST(JsonValue, SetReplacesExistingKey) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("k", JsonValue::MakeNumber(1.0));
+  object.Set("k", JsonValue::MakeNumber(2.0));
+  ASSERT_EQ(object.members().size(), 1u);
+  EXPECT_DOUBLE_EQ(object.Find("k")->number_value(), 2.0);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,7 +1,9 @@
 #include "launch/launcher.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "ckpt/manifest.h"
 #include "launch/config_io.h"
 #include "launch/report_io.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "runtime/threaded_runtime.h"
 
@@ -155,6 +158,115 @@ TEST(ConfigIoTest, SaveLoadFile) {
   ASSERT_TRUE(LoadRunConfig(path, &loaded).ok());
   EXPECT_EQ(SerializeRunConfig(loaded), SerializeRunConfig(config));
   EXPECT_FALSE(LoadRunConfig(dir.path + "/missing.conf", &loaded).ok());
+}
+
+TEST(ConfigJsonTest, FancyConfigRoundTripsThroughJson) {
+  const RunConfig config = FancyConfig();
+  const std::string json = RunConfigToJson(config);
+  RunConfig parsed;
+  ASSERT_TRUE(RunConfigFromJson(json, &parsed).ok());
+  // Text-serialization equality covers every field at full precision.
+  EXPECT_EQ(SerializeRunConfig(parsed), SerializeRunConfig(config));
+  // The JSON dialect is a real JSON document with the dialect marker.
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json, &doc).ok());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.Find("prconfig"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.Find("prconfig")->number_value(), 1.0);
+  EXPECT_NE(doc.Find("strategy.kind"), nullptr);
+}
+
+// Fuzz-style: many randomized configs, each pushed text -> struct -> JSON ->
+// struct, asserting the final struct serializes identically to the original.
+TEST(ConfigJsonTest, RandomConfigsRoundTripThroughJson) {
+  std::mt19937_64 rng(20260807);
+  auto coin = [&] { return rng() % 2 == 0; };
+  for (int trial = 0; trial < 60; ++trial) {
+    RunConfig config;
+    config.strategy.kind =
+        static_cast<StrategyKind>(rng() % 9);  // all nine kinds
+    config.strategy.group_size = 2 + static_cast<int>(rng() % 6);
+    config.strategy.er_quorum = static_cast<int>(rng() % 5);
+    config.strategy.backup_workers = static_cast<int>(rng() % 4);
+    config.strategy.frozen_avoidance = coin();
+    config.strategy.history_window = rng() % 8;
+    config.strategy.average_momentum = coin();
+    config.strategy.dynamic.alpha =
+        static_cast<double>(rng() % 1000) / 1000.0;
+    config.strategy.dynamic.staleness_tolerance =
+        static_cast<int64_t>(rng() % 5);
+    config.run.num_workers = 2 + static_cast<int>(rng() % 14);
+    config.run.iterations_per_worker = 1 + rng() % 500;
+    config.run.batch_size = 1 + rng() % 128;
+    // Keep integer-valued fields inside double precision (< 2^53): JSON
+    // numbers are doubles.
+    config.run.seed = rng() % (uint64_t{1} << 50);
+    config.run.dataset.seed = rng() % (uint64_t{1} << 50);
+    config.run.sgd.learning_rate =
+        std::ldexp(static_cast<double>(rng() % 4096 + 1), -14);
+    config.run.sgd.momentum = static_cast<double>(rng() % 100) / 101.0;
+    config.run.sgd.weight_decay =
+        std::ldexp(static_cast<double>(rng() % 512), -22);
+    // The text dialect treats an absent hidden list as "keep the default",
+    // so an empty list does not round-trip; always emit at least one layer
+    // (matching how real configs use it).
+    const size_t layers = 1 + rng() % 3;
+    config.run.model.hidden.clear();
+    for (size_t i = 0; i < layers; ++i) {
+      config.run.model.hidden.push_back(1 + rng() % 64);
+    }
+    if (coin()) {
+      config.run.worker_delay_seconds.assign(
+          static_cast<size_t>(config.run.num_workers), 0.0);
+      for (double& d : config.run.worker_delay_seconds) {
+        d = static_cast<double>(rng() % 100) / 10000.0;
+      }
+    }
+    if (coin()) {
+      config.run.ckpt.dir = "/tmp/ckpt dir " + std::to_string(rng() % 100);
+      config.run.ckpt.every_iterations = 1 + rng() % 32;
+    }
+    if (coin()) {
+      FaultPlan& fault = config.run.fault;
+      fault.seed = rng() % (uint64_t{1} << 50);
+      fault.default_edge.drop_prob =
+          static_cast<double>(rng() % 100) / 1000.0;
+      WorkerFaultEvent event;
+      event.worker = static_cast<int>(rng() % config.run.num_workers);
+      event.kind = static_cast<WorkerFaultEvent::Kind>(rng() % 3);
+      event.after_iterations = static_cast<int>(rng() % 20);
+      event.hang_seconds = static_cast<double>(rng() % 50) / 100.0;
+      fault.worker_events.push_back(event);
+    }
+    const std::string text = SerializeRunConfig(config);
+    RunConfig from_text;
+    ASSERT_TRUE(ParseRunConfig(text, &from_text).ok()) << text;
+    const std::string json = RunConfigToJson(from_text);
+    RunConfig from_json;
+    Status status = RunConfigFromJson(json, &from_json);
+    ASSERT_TRUE(status.ok()) << status.message() << "\n" << json;
+    EXPECT_EQ(SerializeRunConfig(from_json), text)
+        << "trial " << trial << "\n"
+        << json;
+  }
+}
+
+TEST(ConfigJsonTest, RejectsBadJsonDocuments) {
+  RunConfig parsed;
+  EXPECT_FALSE(RunConfigFromJson("", &parsed).ok());
+  EXPECT_FALSE(RunConfigFromJson("[1, 2]", &parsed).ok());
+  EXPECT_FALSE(RunConfigFromJson("{}", &parsed).ok());  // no prconfig marker
+  EXPECT_FALSE(RunConfigFromJson("{\"prconfig\": 2}", &parsed).ok());
+  EXPECT_FALSE(
+      RunConfigFromJson("{\"prconfig\": 1, \"strategy.bogus\": 3}", &parsed)
+          .ok());
+  EXPECT_FALSE(
+      RunConfigFromJson(
+          "{\"prconfig\": 1, \"run.num_workers\": \"banana\"}", &parsed)
+          .ok());
+  // Valid marker alone yields the defaults.
+  ASSERT_TRUE(RunConfigFromJson("{\"prconfig\": 1}", &parsed).ok());
+  EXPECT_EQ(SerializeRunConfig(parsed), SerializeRunConfig(RunConfig{}));
 }
 
 ProcessReport FancyReport() {

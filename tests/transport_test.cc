@@ -276,6 +276,63 @@ TEST(TransportTest, StashPurgesAreCounted) {
   EXPECT_EQ(mc->GetCounter("transport.stash_purged")->value(), 2.0);
 }
 
+TEST(TransportTest, ResetDiagnosticsClearsHighWaterBetweenAttachments) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  MetricsRegistry job_a_registry;
+  MetricsShard* job_a = job_a_registry.NewShard();
+  c.AttachObservers(job_a, "job_a", nullptr, nullptr);
+
+  // Two strays from node 0 park while c selectively receives from node 1.
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {0}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {1}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/5, /*kind=*/1, {}).ok());
+  ASSERT_TRUE(c.RecvMatching(1, 5, 1).has_value());
+  EXPECT_EQ(c.stash_high_water(), 2u);
+  EXPECT_EQ(job_a->GetGauge("job_a.stash_high_water")->value(), 2.0);
+
+  // Handoff hygiene: purge leftovers (charged to job A), then reset.
+  EXPECT_EQ(c.PurgeStash([](const Envelope&) { return true; }), 2u);
+  c.ResetDiagnostics();
+  EXPECT_EQ(c.stash_high_water(), 0u);
+
+  // The next tenant's scope starts clean and only counts its own strays.
+  MetricsRegistry job_b_registry;
+  MetricsShard* job_b = job_b_registry.NewShard();
+  c.AttachObservers(job_b, "job_b", nullptr, nullptr);
+  EXPECT_EQ(job_b->GetGauge("job_b.stash_high_water")->value(), 0.0);
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {2}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/6, /*kind=*/1, {}).ok());
+  ASSERT_TRUE(c.RecvMatching(1, 6, 1).has_value());
+  EXPECT_EQ(c.stash_high_water(), 1u);
+  EXPECT_EQ(job_b->GetGauge("job_b.stash_high_water")->value(), 1.0);
+  // Detached observers saw none of job B's traffic.
+  EXPECT_EQ(job_a->GetGauge("job_a.stash_high_water")->value(), 2.0);
+  EXPECT_EQ(job_a->GetCounter("transport.messages_received")->value(), 1.0);
+}
+
+TEST(TransportTest, SkippedResetChargesStaleHighWaterToNewScope) {
+  InProcTransport transport(3);
+  Endpoint a(&transport, 0), b(&transport, 1), c(&transport, 2);
+  MetricsRegistry job_a_registry;
+  MetricsShard* job_a = job_a_registry.NewShard();
+  c.AttachObservers(job_a, "job_a", nullptr, nullptr);
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {0}).ok());
+  ASSERT_TRUE(a.Send(2, /*tag=*/1, /*kind=*/101, {1}).ok());
+  ASSERT_TRUE(b.Send(2, /*tag=*/5, /*kind=*/1, {}).ok());
+  ASSERT_TRUE(c.RecvMatching(1, 5, 1).has_value());
+  EXPECT_EQ(job_a->GetGauge("job_a.stash_high_water")->value(), 2.0);
+
+  // Re-attach WITHOUT ResetDiagnostics: the stale mark is republished into
+  // the new scope at attach time, so the leak is visible there instead of
+  // surfacing only after the next stash growth.
+  MetricsRegistry job_b_registry;
+  MetricsShard* job_b = job_b_registry.NewShard();
+  c.AttachObservers(job_b, "job_b", nullptr, nullptr);
+  EXPECT_EQ(job_b->GetGauge("job_b.stash_high_water")->value(), 2.0);
+  EXPECT_EQ(job_b->GetGauge("transport.stash_high_water")->value(), 2.0);
+}
+
 TEST(TransportTest, EndpointSendAfterShutdownFailsPrecondition) {
   InProcTransport transport(2);
   Endpoint a(&transport, 0), b(&transport, 1);
