@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "compress/compressor.h"
 #include "tensor/ops.h"
 
 namespace pr {
@@ -333,10 +334,142 @@ Status SegmentedRingWeightedAllReduce(Endpoint* ep,
   return Status::OK();
 }
 
+Status SegmentedRingCompressedAllReduce(Endpoint* ep,
+                                        const std::vector<NodeId>& members,
+                                        const std::vector<double>& weights,
+                                        size_t my_index, uint64_t tag,
+                                        float* data, size_t n,
+                                        Compressor* compressor,
+                                        size_t segment_floats) {
+  PR_CHECK(ep != nullptr);
+  PR_CHECK(compressor != nullptr);
+  PR_CHECK(compressor->enabled());
+  PR_CHECK(data != nullptr || n == 0);
+  PR_CHECK_GE(segment_floats, size_t{1});
+  PR_RETURN_NOT_OK(ValidateGroup(members, my_index));
+  PR_RETURN_NOT_OK(ValidateWeights(members, weights));
+  const size_t p = members.size();
+
+  Scale(static_cast<float>(weights[my_index]), data, n);
+  if (p == 1) return Status::OK();
+
+  const NodeId right = members[(my_index + 1) % p];
+  const NodeId left = members[(my_index + p - 1) % p];
+  const size_t owned = (my_index + 1) % p;
+  const uint8_t enc = compressor->encoding_tag();
+
+  auto send_seg = [&](int kind, size_t step, size_t chunk, size_t j,
+                      Buffer blob) -> Status {
+    return ep->Send(right, tag, kind,
+                    {static_cast<int64_t>(step), static_cast<int64_t>(chunk),
+                     static_cast<int64_t>(j)},
+                    std::move(blob), enc);
+  };
+  // Unlike the raw ring, the payload length is *not* asserted on receive:
+  // blob sizes are codec-dependent (top-k blobs scale with k, not the
+  // segment length). DecodeInto validates the decoded element count instead,
+  // turning a mismatched blob into an error status rather than a crash.
+  auto recv_seg = [&](int kind, size_t step, size_t chunk,
+                      size_t j) -> std::optional<Buffer> {
+    std::optional<Envelope> env = ep->RecvMatching(left, tag, kind);
+    if (!env.has_value()) return std::nullopt;
+    PR_CHECK_EQ(env->ints[0], static_cast<int64_t>(step));
+    PR_CHECK_EQ(env->ints[1], static_cast<int64_t>(chunk));
+    PR_CHECK_EQ(env->ints[2], static_cast<int64_t>(j));
+    return std::move(env->payload);
+  };
+
+  std::vector<float> scratch;
+
+  // Reduce-scatter. Step 0 encodes this member's own chunk; every later hop
+  // decodes the incoming partial sum, folds in its own (pre-scaled)
+  // contribution, and re-encodes. Each re-encode's loss is charged to this
+  // member's error-feedback residual at those element positions and folded
+  // into its next encode there.
+  {
+    auto [ob, oe] = ChunkBounds(n, p, my_index);
+    const size_t nseg = NumSegments(oe - ob, segment_floats);
+    for (size_t j = 0; j < nseg; ++j) {
+      auto [sb, se] = SegmentBounds(ob, oe, segment_floats, j);
+      PR_RETURN_NOT_OK(
+          send_seg(kKindSegRsChunk, 0, my_index, j,
+                   compressor->EncodeRange(data + sb, sb, se - sb)));
+    }
+  }
+  for (size_t step = 0; step + 1 < p; ++step) {
+    const size_t recv_chunk = (my_index + p - step - 1) % p;
+    auto [rb, re] = ChunkBounds(n, p, recv_chunk);
+    const size_t nseg = NumSegments(re - rb, segment_floats);
+    const bool final_hop = (step + 2 == p);
+    for (size_t j = 0; j < nseg; ++j) {
+      auto [sb, se] = SegmentBounds(rb, re, segment_floats, j);
+      std::optional<Buffer> got =
+          recv_seg(kKindSegRsChunk, step, recv_chunk, j);
+      if (!got.has_value()) {
+        return Status::Cancelled("transport shut down during reduce-scatter");
+      }
+      const size_t len = se - sb;
+      scratch.resize(len);
+      PR_RETURN_NOT_OK(compressor->DecodeInto(*got, scratch.data(), len));
+      if (len > 0) Axpy(1.0f, data + sb, scratch.data(), len);
+      if (!final_hop) {
+        PR_RETURN_NOT_OK(
+            send_seg(kKindSegRsChunk, step + 1, recv_chunk, j,
+                     compressor->EncodeRange(scratch.data(), sb, len)));
+      } else {
+        // recv_chunk == owned: fully reduced. The owner's own contribution
+        // was just added exactly (never re-encoded before the all-gather).
+        if (len > 0) std::copy(scratch.data(), scratch.data() + len,
+                               data + sb);
+      }
+    }
+  }
+
+  // All-gather. The chunk owner encodes once and *publishes the decoded
+  // values locally* (EncodeRangePublish); every later hop decodes into place
+  // and forwards the same blob unchanged — so all members publish bitwise
+  // the same chunk values, exactly like the uncompressed ring.
+  {
+    auto [ob, oe] = ChunkBounds(n, p, owned);
+    const size_t nseg = NumSegments(oe - ob, segment_floats);
+    for (size_t j = 0; j < nseg; ++j) {
+      auto [sb, se] = SegmentBounds(ob, oe, segment_floats, j);
+      PR_RETURN_NOT_OK(
+          send_seg(kKindSegAgChunk, 0, owned, j,
+                   compressor->EncodeRangePublish(data + sb, sb, se - sb)));
+    }
+  }
+  for (size_t step = 0; step + 1 < p; ++step) {
+    const size_t recv_chunk = (my_index + p - step) % p;
+    auto [rb, re] = ChunkBounds(n, p, recv_chunk);
+    const size_t nseg = NumSegments(re - rb, segment_floats);
+    const bool final_hop = (step + 2 == p);
+    for (size_t j = 0; j < nseg; ++j) {
+      auto [sb, se] = SegmentBounds(rb, re, segment_floats, j);
+      std::optional<Buffer> got =
+          recv_seg(kKindSegAgChunk, step, recv_chunk, j);
+      if (!got.has_value()) {
+        return Status::Cancelled("transport shut down during all-gather");
+      }
+      PR_RETURN_NOT_OK(compressor->DecodeInto(*got, data + sb, se - sb));
+      if (!final_hop) {
+        PR_RETURN_NOT_OK(send_seg(kKindSegAgChunk, step + 1, recv_chunk, j,
+                                  std::move(*got)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
                               const std::vector<double>& weights,
                               size_t my_index, uint64_t tag, float* data,
-                              size_t n) {
+                              size_t n, Compressor* compressor) {
+  if (compressor != nullptr && compressor->enabled()) {
+    return SegmentedRingCompressedAllReduce(ep, members, weights, my_index,
+                                            tag, data, n, compressor,
+                                            kDefaultSegmentFloats);
+  }
   return SegmentedRingWeightedAllReduce(ep, members, weights, my_index, tag,
                                         data, n, kDefaultSegmentFloats);
 }
@@ -344,18 +477,20 @@ Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
 Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
                               const std::vector<double>& weights,
                               size_t my_index, uint64_t tag,
-                              std::vector<float>* data) {
+                              std::vector<float>* data,
+                              Compressor* compressor) {
   PR_CHECK(data != nullptr);
   return GroupWeightedAllReduce(ep, members, weights, my_index, tag,
-                                data->data(), data->size());
+                                data->data(), data->size(), compressor);
 }
 
 Status GroupAverageAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
                              size_t my_index, uint64_t tag, float* data,
-                             size_t n) {
+                             size_t n, Compressor* compressor) {
   const std::vector<double> weights(members.size(),
                                     1.0 / static_cast<double>(members.size()));
-  return GroupWeightedAllReduce(ep, members, weights, my_index, tag, data, n);
+  return GroupWeightedAllReduce(ep, members, weights, my_index, tag, data, n,
+                                compressor);
 }
 
 Status Broadcast(Endpoint* ep, const std::vector<NodeId>& members,

@@ -8,6 +8,8 @@
 
 namespace pr {
 
+class Compressor;
+
 /// Collective operations over an explicit member list of an InProcTransport.
 /// Every member must call the same collective with the same `members`,
 /// `weights` and `tag`; `tag` isolates concurrent collectives (two parallel
@@ -77,25 +79,49 @@ Status SegmentedRingWeightedAllReduce(Endpoint* ep,
                                       size_t segment_floats =
                                           kDefaultSegmentFloats);
 
+/// \brief Segmented ring all-reduce with per-hop payload compression
+/// (DESIGN.md §5i). Same pipelined schedule as the uncompressed segmented
+/// ring, but every hop's segment travels as `compressor`'s encoded blob:
+/// reduce-scatter hops decode, accumulate their contribution, and re-encode
+/// with error feedback; all-gather hops decode into place and forward the
+/// *same* blob unchanged, so every member publishes bitwise-identical
+/// values. Lossy by design — the per-worker error-feedback residual inside
+/// `compressor` carries each encode's error into the worker's next encode
+/// at the same element positions.
+///
+/// `compressor` must be enabled and is this member's private state (one per
+/// worker, reused across reduces so residuals accumulate).
+Status SegmentedRingCompressedAllReduce(Endpoint* ep,
+                                        const std::vector<NodeId>& members,
+                                        const std::vector<double>& weights,
+                                        size_t my_index, uint64_t tag,
+                                        float* data, size_t n,
+                                        Compressor* compressor,
+                                        size_t segment_floats =
+                                            kDefaultSegmentFloats);
+
 /// \brief The single dispatch point strategies use for a group's weighted
-/// reduce. Currently always the segmented pipelined ring (bitwise-identical
-/// to the unsegmented reference, so dispatch is a pure performance choice).
+/// reduce. With no compressor (or a disabled one) this is the segmented
+/// pipelined ring, bitwise-identical to the unsegmented reference; an
+/// enabled compressor selects the compressed ring, which reuses the same
+/// segmented schedule with encoded payloads.
 Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
                               const std::vector<double>& weights,
                               size_t my_index, uint64_t tag, float* data,
-                              size_t n);
+                              size_t n, Compressor* compressor = nullptr);
 
 /// Compatibility overload over a whole vector.
 Status GroupWeightedAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
                               const std::vector<double>& weights,
                               size_t my_index, uint64_t tag,
-                              std::vector<float>* data);
+                              std::vector<float>* data,
+                              Compressor* compressor = nullptr);
 
 /// \brief Uniform-average (weights = 1/P) dispatch, the All-Reduce
 /// strategy's entry point.
 Status GroupAverageAllReduce(Endpoint* ep, const std::vector<NodeId>& members,
                              size_t my_index, uint64_t tag, float* data,
-                             size_t n);
+                             size_t n, Compressor* compressor = nullptr);
 
 /// \brief Broadcast from members[root_index] to the rest of `members`.
 /// On the root, `data` is the payload; on others it is overwritten.

@@ -120,6 +120,13 @@ void Endpoint::NoteReceived(const Envelope& env) {
 
 Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
                       std::vector<int64_t> ints, Buffer payload) {
+  return Send(to, tag, kind, std::move(ints), std::move(payload),
+              /*encoding=*/0);
+}
+
+Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
+                      std::vector<int64_t> ints, Buffer payload,
+                      uint8_t encoding) {
   const size_t payload_floats = payload.size();
   Envelope env;
   env.from = me_;
@@ -127,6 +134,7 @@ Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
   env.kind = kind;
   env.ints = std::move(ints);
   env.payload = std::move(payload);
+  env.encoding = encoding;
   Status status = transport_->Send(to, std::move(env));
   if (status.ok()) {
     if (sent_counter_ != nullptr) sent_counter_->Increment();

@@ -37,6 +37,12 @@ struct Envelope {
   int kind = 0;
   std::vector<int64_t> ints;
   Buffer payload;
+  /// Payload-encoding tag (a CompressionKind value): 0 = raw fp32 floats,
+  /// anything else marks `payload` as an encoded blob whose floats are raw
+  /// 4-byte words of the named codec's format. Travels in the flags byte of
+  /// the PRW1 v2 preamble; transports and decorators pass it through
+  /// untouched.
+  uint8_t encoding = 0;
 };
 
 /// \brief The message fabric seen by endpoints, collectives, and both
@@ -148,6 +154,13 @@ class Endpoint {
   /// `transport.payload_copies` does not move.
   Status Send(NodeId to, uint64_t tag, int kind, std::vector<int64_t> ints,
               Buffer payload);
+
+  /// Send with an explicit payload-encoding tag (see Envelope::encoding):
+  /// `payload` is an encoded blob, and `transport.bytes_sent` counts its
+  /// encoded size — the actual bytes on the wire — not the element count it
+  /// decodes to.
+  Status Send(NodeId to, uint64_t tag, int kind, std::vector<int64_t> ints,
+              Buffer payload, uint8_t encoding);
 
   /// Convenience overload adopting a float vector as the payload (a move,
   /// not a memcpy). Counted as one payload materialization: callers on this

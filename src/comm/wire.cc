@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "compress/codec.h"
 
 // The encoders below memcpy scalar values directly; the format is defined as
 // little-endian, which every platform this repo targets is.
@@ -38,12 +39,27 @@ bool Fail(std::string* error, const char* what) {
   return false;
 }
 
-/// Validates the preamble and returns the section sizes. `false` means
-/// corrupt (sizes untouched); a too-short `size` is signalled separately.
+/// Version bytes the readers accept (see kWireVersion in wire.h).
+bool IsReadableVersion(uint8_t version) {
+  return version >= kWireMinVersion && version <= kWireVersion;
+}
+
+/// Validates the preamble and returns the section sizes plus the payload
+/// encoding tag. `false` means corrupt (outputs untouched); a too-short
+/// `size` is signalled separately.
 bool CheckPreamble(const uint8_t* data, uint32_t* header_bytes,
-                   uint32_t* payload_floats, std::string* error) {
+                   uint32_t* payload_floats, uint8_t* encoding,
+                   std::string* error) {
   if (Get<uint32_t>(data) != kWireMagic) return Fail(error, "bad magic");
-  if (data[4] != kWireVersion) return Fail(error, "bad version");
+  if (!IsReadableVersion(data[4])) return Fail(error, "bad version");
+  // v1 reserved the flags byte as zero; v2 made it the encoding tag. Either
+  // way an unknown value means a torn or corrupt stream, not a raw payload.
+  if (data[4] == 1) {
+    if (data[5] != 0) return Fail(error, "bad flags");
+  } else if (!IsValidEncodingTag(data[5])) {
+    return Fail(error, "bad payload encoding");
+  }
+  *encoding = data[5];
   const uint32_t hb = Get<uint32_t>(data + 8);
   const uint32_t pf = Get<uint32_t>(data + 12);
   if (hb < kWireHeaderFixedBytes ||
@@ -68,10 +84,11 @@ std::vector<uint8_t> EncodeFrameHeader(NodeId to, const Envelope& env) {
       kWireHeaderFixedBytes + 8 * env.ints.size());
   std::vector<uint8_t> out;
   out.reserve(kWirePreambleBytes + header_bytes);
+  PR_CHECK(IsValidEncodingTag(env.encoding));
   Put<uint32_t>(&out, kWireMagic);
   Put<uint8_t>(&out, kWireVersion);
-  Put<uint8_t>(&out, 0);   // flags
-  Put<uint16_t>(&out, 0);  // reserved
+  Put<uint8_t>(&out, env.encoding);  // flags byte = payload encoding tag
+  Put<uint16_t>(&out, 0);            // reserved
   Put<uint32_t>(&out, header_bytes);
   Put<uint32_t>(&out, static_cast<uint32_t>(env.payload.size()));
   Put<int32_t>(&out, static_cast<int32_t>(to));
@@ -103,7 +120,7 @@ WireDecode DecodeFrame(const uint8_t* data, size_t size, NodeId* to,
       Fail(error, "bad magic");
       return WireDecode::kCorrupt;
     }
-    if (size >= 5 && data[4] != kWireVersion) {
+    if (size >= 5 && !IsReadableVersion(data[4])) {
       Fail(error, "bad version");
       return WireDecode::kCorrupt;
     }
@@ -111,7 +128,8 @@ WireDecode DecodeFrame(const uint8_t* data, size_t size, NodeId* to,
   }
   uint32_t header_bytes = 0;
   uint32_t payload_floats = 0;
-  if (!CheckPreamble(data, &header_bytes, &payload_floats, error)) {
+  uint8_t encoding = 0;
+  if (!CheckPreamble(data, &header_bytes, &payload_floats, &encoding, error)) {
     return WireDecode::kCorrupt;
   }
   const size_t total = kWirePreambleBytes + header_bytes +
@@ -128,6 +146,7 @@ WireDecode DecodeFrame(const uint8_t* data, size_t size, NodeId* to,
   env->from = static_cast<NodeId>(Get<int32_t>(h + 4));
   env->tag = Get<uint64_t>(h + 8);
   env->kind = static_cast<int>(Get<int32_t>(h + 16));
+  env->encoding = encoding;
   env->ints.resize(num_ints);
   for (uint32_t i = 0; i < num_ints; ++i) {
     env->ints[i] = Get<int64_t>(h + kWireHeaderFixedBytes + 8ull * i);
@@ -205,8 +224,10 @@ Status ReadFrameFd(int fd, NodeId* to, Envelope* env) {
   }
   uint32_t header_bytes = 0;
   uint32_t payload_floats = 0;
+  uint8_t encoding = 0;
   std::string why;
-  if (!CheckPreamble(preamble, &header_bytes, &payload_floats, &why)) {
+  if (!CheckPreamble(preamble, &header_bytes, &payload_floats, &encoding,
+                     &why)) {
     return Status::InvalidArgument("corrupt frame: " + why);
   }
   std::vector<uint8_t> header(header_bytes);
@@ -221,6 +242,7 @@ Status ReadFrameFd(int fd, NodeId* to, Envelope* env) {
   env->from = static_cast<NodeId>(Get<int32_t>(header.data() + 4));
   env->tag = Get<uint64_t>(header.data() + 8);
   env->kind = static_cast<int>(Get<int32_t>(header.data() + 16));
+  env->encoding = encoding;
   env->ints.resize(num_ints);
   for (uint32_t i = 0; i < num_ints; ++i) {
     env->ints[i] =

@@ -17,10 +17,15 @@ namespace pr {
 ///   preamble (16 bytes):
 ///     u32 magic          "PRW1"
 ///     u8  version        kWireVersion
-///     u8  flags          0 (reserved)
+///     u8  flags          payload-encoding tag (v2; a CompressionKind value:
+///                        0 = raw fp32, 1 = fp16, 2 = int8, 3 = top-k).
+///                        v1 frames carry 0 here and decode as raw fp32, so
+///                        old streams stay readable.
 ///     u16 reserved       0
 ///     u32 header_bytes   size of the header section
-///     u32 payload_floats number of floats following the header
+///     u32 payload_floats number of 4-byte payload words following the
+///                        header (encoded blobs count their words, so this
+///                        is always the exact wire size)
 ///   header (header_bytes):
 ///     i32 to             destination node (frames self-describe routing,
 ///                        so connections need no hello handshake)
@@ -38,7 +43,11 @@ namespace pr {
 /// frame boundary.
 
 inline constexpr uint32_t kWireMagic = 0x31575250u;  // "PRW1" little-endian
-inline constexpr uint8_t kWireVersion = 1;
+/// v2 repurposed the reserved flags byte as the payload-encoding tag.
+/// Writers emit v2; readers accept v1 (whose flags byte must be 0, decoding
+/// as raw fp32) and v2 (whose flags byte must be a known encoding tag).
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireMinVersion = 1;
 inline constexpr size_t kWirePreambleBytes = 16;
 inline constexpr size_t kWireHeaderFixedBytes = 24;
 /// Caps reject absurd lengths before any allocation happens, so a corrupt

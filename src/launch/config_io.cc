@@ -187,6 +187,8 @@ std::string SerializeRunConfig(const RunConfig& config) {
   out << "strategy.record_sync_matrices " << (s.record_sync_matrices ? 1 : 0)
       << "\n";
   out << "strategy.average_momentum " << (s.average_momentum ? 1 : 0) << "\n";
+  out << "strategy.compression " << CompressionKindName(s.compression)
+      << "\n";
   out << "strategy.dynamic.alpha " << Num(s.dynamic.alpha) << "\n";
   out << "strategy.dynamic.staleness_tolerance "
       << s.dynamic.staleness_tolerance << "\n";
@@ -333,6 +335,9 @@ Status ParseRunConfig(const std::string& text, RunConfig* out) {
       PR_RETURN_NOT_OK(p.TakeBool(&s.record_sync_matrices));
     } else if (key == "strategy.average_momentum") {
       PR_RETURN_NOT_OK(p.TakeBool(&s.average_momentum));
+    } else if (key == "strategy.compression") {
+      PR_RETURN_NOT_OK(p.TakeString(&token));
+      if (!ParseCompressionKind(token, &s.compression)) return p.Bad(token);
     } else if (key == "strategy.dynamic.alpha") {
       PR_RETURN_NOT_OK(p.TakeDouble(&s.dynamic.alpha));
     } else if (key == "strategy.dynamic.staleness_tolerance") {
@@ -547,8 +552,8 @@ bool IsListKey(std::string_view key) {
 // Whether the token at `index` on a `key` line is a string in the text
 // dialect (everything else is numeric).
 bool IsStringToken(std::string_view key, size_t index) {
-  if (key == "strategy.kind" || key == "strategy.dynamic.missing_slot" ||
-      key == "run.model.kind") {
+  if (key == "strategy.kind" || key == "strategy.compression" ||
+      key == "strategy.dynamic.missing_slot" || key == "run.model.kind") {
     return index == 0;
   }
   if (key == "fault.worker_event") return index == 1;

@@ -40,6 +40,7 @@ int Usage(const char* argv0) {
       "  -n, --workers N       worker process count (default 4)\n"
       "      --iters N         local iterations per worker (default 40)\n"
       "      --strategy KIND   CON | DYN | AR (default CON)\n"
+      "      --compression C   none | fp16 | int8 | topk (default none)\n"
       "      --group-size P    P-Reduce group size (default 3)\n"
       "      --seed S          run seed (default 7)\n"
       "      --batch B         batch size (default 32)\n"
@@ -169,6 +170,12 @@ int LauncherMain(int argc, char** argv) {
         config.strategy.kind = StrategyKind::kAllReduce;
       } else {
         std::fprintf(stderr, "unsupported strategy %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--compression") {
+      if (!(v = next())) return Usage(argv[0]);
+      if (!ParseCompressionKind(v, &config.strategy.compression)) {
+        std::fprintf(stderr, "unsupported compression %s\n", v);
         return 2;
       }
     } else if (arg == "--group-size") {

@@ -65,6 +65,26 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
     Axpy(0.5f, other, params.data(), num_params);
   };
 
+  // Gossip compression: both directions of the pair exchange ship encoded
+  // models; each worker's error-feedback residual tracks its own outgoing
+  // model stream (positions 0..num_params).
+  Compressor* comp = ctx->compressor();
+  const uint8_t enc = comp != nullptr ? comp->encoding_tag() : 0;
+  std::vector<float> decoded;
+  auto model_payload = [&]() -> Buffer {
+    return comp != nullptr ? comp->EncodeRange(params.data(), 0, num_params)
+                           : ep->MakePayload(params.data(), num_params);
+  };
+  auto payload_floats = [&](const Envelope& env) -> const float* {
+    if (env.encoding != 0) {
+      PR_CHECK(DecodeTaggedPayload(env.encoding, env.payload, &decoded).ok());
+      PR_CHECK_EQ(decoded.size(), num_params);
+      return decoded.data();
+    }
+    PR_CHECK_EQ(env.payload.size(), num_params);
+    return env.payload.data();
+  };
+
   for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
     ctx->ComputeGradient(params.data(), &grad);
 
@@ -80,9 +100,7 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
                            ctx->worker(), static_cast<int64_t>(k));
       // A failed send means the fabric was shut down (hard abort); unwind
       // exactly like the Recv-shutdown path below.
-      if (!ep->Send(peer, k, kKindGossipReq, {},
-                    ep->MakePayload(params.data(), num_params))
-               .ok()) {
+      if (!ep->Send(peer, k, kKindGossipReq, {}, model_payload(), enc).ok()) {
         return;
       }
       bool served_while_waiting = false;
@@ -96,9 +114,9 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
           if (env->from == peer) break;
         } else if (env->kind == kKindGossipReq) {
           // Serve a concurrent initiator so it cannot deadlock on us.
-          average_in(env->payload.data());
+          average_in(payload_floats(*env));
           if (!ep->Send(env->from, env->tag, kKindGossipReply, {},
-                        ep->MakePayload(params.data(), num_params))
+                        model_payload(), enc)
                    .ok()) {
             return;  // shutdown
           }
@@ -110,7 +128,10 @@ void ThreadedAdPsgd::RunWorker(WorkerContext* ctx) {
           if (served_while_waiting) {
             // Our model moved while the reply was in flight; folding the
             // reply in (instead of adopting it) keeps the served updates.
-            average_in(env->payload.data());
+            average_in(payload_floats(*env));
+          } else if (env->encoding != 0) {
+            const float* other = payload_floats(*env);
+            std::copy(other, other + num_params, params.data());
           } else {
             params.CopyFrom(env->payload);
           }

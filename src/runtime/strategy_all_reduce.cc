@@ -87,7 +87,8 @@ class ThreadedAllReduce : public ThreadedStrategy {
       // The collective only fails when the fabric was shut down under us
       // (hard abort); unwind instead of crashing the process.
       if (!GroupAverageAllReduce(ep, all, static_cast<size_t>(ctx->worker()),
-                                 /*tag=*/k, grad.data(), grad.size())
+                                 /*tag=*/k, grad.data(), grad.size(),
+                                 ctx->compressor())
                .ok()) {
         return;
       }

@@ -71,7 +71,17 @@ void ThreadedEagerReduce::RunService(ServiceContext* ctx) {
     if (!env.has_value()) break;  // transport shut down
     PR_CHECK_EQ(env->kind, kKindErPush);
     const bool is_last = env->ints[0] != 0;
-    last_grad[static_cast<size_t>(env->from)] = std::move(env->payload);
+    if (env->encoding != 0) {
+      // Compressed push: decode once at deposit so the round averaging
+      // below keeps reading plain fp32 buffers.
+      std::vector<float> decoded;
+      PR_CHECK(DecodeTaggedPayload(env->encoding, env->payload, &decoded)
+                   .ok());
+      last_grad[static_cast<size_t>(env->from)] =
+          Buffer::FromVector(std::move(decoded));
+    } else {
+      last_grad[static_cast<size_t>(env->from)] = std::move(env->payload);
+    }
     if (!fresh[static_cast<size_t>(env->from)]) {
       fresh[static_cast<size_t>(env->from)] = true;
       ++fresh_count;
@@ -101,12 +111,20 @@ void ThreadedEagerReduce::RunService(ServiceContext* ctx) {
     // Round closure is ER's global reduce completing.
     ctx->trace()->Record(ctx->Now(), TraceEventKind::kReduceEnd, -1,
                          static_cast<int64_t>(rounds_));
-    // One materialization of the new model, shared by every waiter.
-    Buffer model = ep->MakePayload(global_.data(), global_.size());
+    // One materialization of the new model, shared by every waiter. Under
+    // compression the service compressor encodes the model stream once per
+    // round; its error feedback carries the encode loss into next round's
+    // broadcast (the server-side model itself stays exact fp32).
+    Compressor* comp = ctx->compressor();
+    Buffer model =
+        comp != nullptr
+            ? comp->EncodeRange(global_.data(), 0, global_.size())
+            : ep->MakePayload(global_.data(), global_.size());
+    const uint8_t enc = comp != nullptr ? comp->encoding_tag() : 0;
     for (NodeId w : waiting) {
       // Best-effort: a failed send means the fabric was shut down (hard
       // abort); the server's RecvAny loop observes the closure and drains.
-      (void)ep->Send(w, 0, kKindErModel, {}, model);
+      (void)ep->Send(w, 0, kKindErModel, {}, model, enc);
     }
     waiting.clear();
   }
@@ -116,16 +134,26 @@ void ThreadedEagerReduce::RunWorker(WorkerContext* ctx) {
   const ThreadedRunOptions& run = ctx->run();
   const NodeId server = ctx->service_node();
   Endpoint* ep = ctx->endpoint();
+  Compressor* comp = ctx->compressor();
   MutableSlice params = ctx->params();
   std::vector<float> grad;
+  std::vector<float> decoded;
 
   for (size_t k = 1; k <= run.iterations_per_worker; ++k) {
     ctx->ComputeGradient(params.data(), &grad);
     const bool is_last = k == run.iterations_per_worker;
     if (is_last) ctx->MarkFinished();
-    if (!ep->Send(server, 0, kKindErPush,
-                  {static_cast<int64_t>(is_last ? 1 : 0)}, grad)
-             .ok()) {
+    // Compressed pushes run the gradient stream through this worker's
+    // error-feedback residual (positions 0..n of its gradient vector).
+    Status sent =
+        comp != nullptr
+            ? ep->Send(server, 0, kKindErPush,
+                       {static_cast<int64_t>(is_last ? 1 : 0)},
+                       comp->EncodeRange(grad.data(), 0, grad.size()),
+                       comp->encoding_tag())
+            : ep->Send(server, 0, kKindErPush,
+                       {static_cast<int64_t>(is_last ? 1 : 0)}, grad);
+    if (!sent.ok()) {
       return;  // fabric shut down (hard abort) — unwind like Recv-shutdown
     }
     if (is_last) break;
@@ -135,7 +163,14 @@ void ThreadedEagerReduce::RunWorker(WorkerContext* ctx) {
     if (!env.has_value()) return;  // shutdown
     ctx->RecordIdle(wait_begin, ctx->Now());
     PR_CHECK_EQ(env->kind, kKindErModel);
-    params.CopyFrom(env->payload);
+    if (env->encoding != 0) {
+      PR_CHECK(DecodeTaggedPayload(env->encoding, env->payload, &decoded)
+                   .ok());
+      PR_CHECK_EQ(decoded.size(), params.size());
+      std::copy(decoded.begin(), decoded.end(), params.data());
+    } else {
+      params.CopyFrom(env->payload);
+    }
   }
 }
 

@@ -77,6 +77,7 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
                                    size_t my_index, uint64_t group_id,
                                    float* buf, size_t n) {
   Endpoint* ep = ctx->endpoint();
+  Compressor* comp = ctx->compressor();
   const FaultPlan& plan = ctx->run().fault;
   const NodeId controller = ctx->service_node();
   const size_t p = members.size();
@@ -85,6 +86,25 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
 
   const NodeId right = members[(my_index + 1) % p];
   const NodeId left = members[(my_index + p - 1) % p];
+
+  // Under compression every hop's chunk travels encoded; this unsegmented
+  // fault-path ring re-encodes per hop (all-gather included), so replicas
+  // may diverge by one quantization step — acceptable here, since an abort /
+  // retry already re-synchronizes the group, and the exactness-sensitive
+  // fast path uses the compressed segmented ring instead.
+  auto send_chunk = [&](int kind, size_t step, size_t chunk, size_t sb,
+                        size_t se) {
+    if (comp != nullptr) {
+      (void)ep->Send(right, group_id, kind,
+                     {static_cast<int64_t>(step), static_cast<int64_t>(chunk)},
+                     comp->EncodeRange(buf + sb, sb, se - sb),
+                     comp->encoding_tag());
+    } else {
+      (void)ep->Send(right, group_id, kind,
+                     {static_cast<int64_t>(step), static_cast<int64_t>(chunk)},
+                     std::vector<float>(buf + sb, buf + se));
+    }
+  };
 
   const double begin = ctx->Now();
   int ticks = 0;
@@ -135,37 +155,48 @@ ReduceOutcome FaultAwareRingReduce(WorkerContext* ctx,
     }
   };
 
+  std::vector<float> scratch;
   // Reduce-scatter.
   for (size_t step = 0; step < p - 1; ++step) {
-    const size_t send_chunk = (my_index + p - step) % p;
+    const size_t out_chunk = (my_index + p - step) % p;
     const size_t recv_chunk = (my_index + p - step - 1) % p;
-    auto [sb, se] = ChunkBounds(n, p, send_chunk);
-    (void)ep->Send(right, group_id, kKindFaultRsChunk,
-                   {static_cast<int64_t>(step),
-                    static_cast<int64_t>(send_chunk)},
-                   std::vector<float>(buf + sb, buf + se));
+    auto [sb, se] = ChunkBounds(n, p, out_chunk);
+    send_chunk(kKindFaultRsChunk, step, out_chunk, sb, se);
     std::optional<Envelope> env =
         wait_chunk(kKindFaultRsChunk, static_cast<int64_t>(step));
     if (!env.has_value()) return outcome;
     auto [rb, re] = ChunkBounds(n, p, recv_chunk);
-    if (env->payload.size() != re - rb) return ReduceOutcome::kAborted;
-    Axpy(1.0f, env->payload.data(), buf + rb, re - rb);
+    if (comp != nullptr) {
+      scratch.resize(re - rb);
+      // A mismatched decode (wrong blob for this chunk length) is treated
+      // like a wrong-size raw chunk: abort and let the group retry.
+      if (!comp->DecodeInto(env->payload, scratch.data(), re - rb).ok()) {
+        return ReduceOutcome::kAborted;
+      }
+      Axpy(1.0f, scratch.data(), buf + rb, re - rb);
+    } else {
+      if (env->payload.size() != re - rb) return ReduceOutcome::kAborted;
+      Axpy(1.0f, env->payload.data(), buf + rb, re - rb);
+    }
   }
   // All-gather.
   for (size_t step = 0; step < p - 1; ++step) {
-    const size_t send_chunk = (my_index + 1 + p - step) % p;
+    const size_t out_chunk = (my_index + 1 + p - step) % p;
     const size_t recv_chunk = (my_index + p - step) % p;
-    auto [sb, se] = ChunkBounds(n, p, send_chunk);
-    (void)ep->Send(right, group_id, kKindFaultAgChunk,
-                   {static_cast<int64_t>(step),
-                    static_cast<int64_t>(send_chunk)},
-                   std::vector<float>(buf + sb, buf + se));
+    auto [sb, se] = ChunkBounds(n, p, out_chunk);
+    send_chunk(kKindFaultAgChunk, step, out_chunk, sb, se);
     std::optional<Envelope> env =
         wait_chunk(kKindFaultAgChunk, static_cast<int64_t>(step));
     if (!env.has_value()) return outcome;
     auto [rb, re] = ChunkBounds(n, p, recv_chunk);
-    if (env->payload.size() != re - rb) return ReduceOutcome::kAborted;
-    std::copy(env->payload.begin(), env->payload.end(), buf + rb);
+    if (comp != nullptr) {
+      if (!comp->DecodeInto(env->payload, buf + rb, re - rb).ok()) {
+        return ReduceOutcome::kAborted;
+      }
+    } else {
+      if (env->payload.size() != re - rb) return ReduceOutcome::kAborted;
+      std::copy(env->payload.begin(), env->payload.end(), buf + rb);
+    }
   }
   return ReduceOutcome::kDone;
 }
@@ -1048,7 +1079,8 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
     // On the fault-free fast path the collective only fails when the fabric
     // was shut down under us (hard abort/eviction) — unwind, don't crash.
     if (!GroupWeightedAllReduce(ep, members, weights, my_index, group_id,
-                                params.data(), params.size())
+                                params.data(), params.size(),
+                                ctx->compressor())
              .ok()) {
       return;
     }

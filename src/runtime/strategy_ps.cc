@@ -92,18 +92,26 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
   std::vector<NodeId> parked_pulls;
 
   // The current version's model payload, materialized at most once per
-  // version no matter how many pulls it serves (empty = stale).
+  // version no matter how many pulls it serves (empty = stale). Under
+  // compression the blob is the per-version materialization: encoded once
+  // by the service compressor (whose error feedback tracks the model
+  // stream), then shared by every pull of that version.
+  Compressor* comp = ctx->compressor();
+  const uint8_t enc = comp != nullptr ? comp->encoding_tag() : 0;
   Buffer model_payload;
   auto reply_model = [&](NodeId to) {
     trace->Record(ctx->Now(), TraceEventKind::kPsPull, to,
                   static_cast<int64_t>(versions_));
     if (model_payload.empty()) {
-      model_payload = ep->MakePayload(global_.data(), global_.size());
+      model_payload =
+          comp != nullptr
+              ? comp->EncodeRange(global_.data(), 0, global_.size())
+              : ep->MakePayload(global_.data(), global_.size());
     }
     // Best-effort: a failed send means the fabric was shut down (hard
     // abort); the server's receive loop observes the closure and drains.
     (void)ep->Send(to, 0, kKindModel, {static_cast<int64_t>(versions_)},
-                   model_payload);
+                   model_payload, enc);
   };
   auto bump_version = [&] {
     ++versions_;
@@ -134,6 +142,16 @@ void ThreadedPs::RunService(ServiceContext* ctx) {
         }
         break;
       case kKindPush: {
+        if (env->encoding != 0) {
+          // Decode compressed pushes once on arrival; the policy code below
+          // then reads plain fp32 regardless of the wire encoding.
+          std::vector<float> decoded;
+          PR_CHECK(DecodeTaggedPayload(env->encoding, env->payload, &decoded)
+                       .ok());
+          PR_CHECK_EQ(decoded.size(), num_params);
+          env->payload = Buffer::FromVector(std::move(decoded));
+          env->encoding = 0;
+        }
         const uint64_t pulled = static_cast<uint64_t>(env->ints[0]);
         const uint64_t staleness = versions_ - pulled;
         staleness_hist->Observe(static_cast<double>(staleness));
@@ -191,6 +209,7 @@ void ThreadedPs::RunWorker(WorkerContext* ctx) {
   const ThreadedRunOptions& run = ctx->run();
   const NodeId server = ctx->service_node();
   Endpoint* ep = ctx->endpoint();
+  Compressor* comp = ctx->compressor();
   std::vector<float> params;
   std::vector<float> grad;
 
@@ -204,14 +223,28 @@ void ThreadedPs::RunWorker(WorkerContext* ctx) {
     ctx->RecordIdle(wait_begin, ctx->Now());
     PR_CHECK_EQ(env->kind, kKindModel);
     const int64_t version = env->ints[0];
-    params = env->payload.Take();
+    if (env->encoding != 0) {
+      PR_CHECK(DecodeTaggedPayload(env->encoding, env->payload, &params)
+                   .ok());
+    } else {
+      params = env->payload.Take();
+    }
 
     ctx->ComputeGradient(params.data(), &grad);
     const bool is_last = k == run.iterations_per_worker;
     if (is_last) ctx->MarkFinished();
-    if (!ep->Send(server, 0, kKindPush,
-                  {version, static_cast<int64_t>(is_last ? 1 : 0)}, grad)
-             .ok()) {
+    // Compressed pushes run this worker's gradient stream through its
+    // error-feedback residual (positions 0..num_params).
+    Status sent =
+        comp != nullptr
+            ? ep->Send(server, 0, kKindPush,
+                       {version, static_cast<int64_t>(is_last ? 1 : 0)},
+                       comp->EncodeRange(grad.data(), 0, grad.size()),
+                       comp->encoding_tag())
+            : ep->Send(server, 0, kKindPush,
+                       {version, static_cast<int64_t>(is_last ? 1 : 0)},
+                       grad);
+    if (!sent.ok()) {
       return;  // shutdown
     }
     // Keep the replica in sync with the last pulled model so run-level

@@ -53,6 +53,11 @@ WorkerContext::WorkerContext(WorkerRuntime* runtime, int worker)
   }
   endpoint_.AttachObservers(metrics_, "worker." + std::to_string(worker),
                             &runtime->trace_, [this] { return Now(); });
+  if (runtime->strategy_options_.compression != CompressionKind::kNone) {
+    compressor_ =
+        std::make_unique<Compressor>(runtime->strategy_options_.compression);
+    compressor_->AttachMetrics(metrics_);
+  }
   if (runtime->resume_.has_value()) {
     const size_t idx = static_cast<size_t>(worker);
     start_iteration_ = runtime->resume_completed_[idx];
@@ -185,6 +190,11 @@ ServiceContext::ServiceContext(WorkerRuntime* runtime)
       metrics_(runtime->registry_.NewShard()) {
   endpoint_.AttachObservers(metrics_, "service", &runtime->trace_,
                             [this] { return Now(); });
+  if (runtime->strategy_options_.compression != CompressionKind::kNone) {
+    compressor_ =
+        std::make_unique<Compressor>(runtime->strategy_options_.compression);
+    compressor_->AttachMetrics(metrics_);
+  }
 }
 
 const ThreadedRunOptions& ServiceContext::run() const {

@@ -9,6 +9,7 @@
 #include "ckpt/manifest.h"
 #include "comm/transport.h"
 #include "common/rng.h"
+#include "compress/compressor.h"
 #include "fault/faulty_transport.h"
 #include "data/dataset.h"
 #include "data/synthetic.h"
@@ -48,6 +49,11 @@ class WorkerContext {
   size_t num_params() const;
 
   Endpoint* endpoint() { return &endpoint_; }
+  /// This worker's gradient compressor (error-feedback residual included),
+  /// or null when the run's strategy.compression is none. Strategies pass it
+  /// to the group collectives and use it directly on point-to-point bulk
+  /// sends; one instance per worker keeps the residual stream well-defined.
+  Compressor* compressor() { return compressor_.get(); }
   /// This worker's model replica: a writable view into the runtime's shared
   /// parameter arena (all replicas start from the same initialization).
   MutableSlice params();
@@ -112,6 +118,7 @@ class WorkerContext {
   WorkerRuntime* runtime_;
   int worker_;
   Endpoint endpoint_;
+  std::unique_ptr<Compressor> compressor_;  // null when compression is none
   Sgd sgd_;
   Rng rng_;
   double delay_seconds_;
@@ -141,6 +148,10 @@ class ServiceContext {
   const Model& model() const;
   size_t num_params() const;
   Endpoint* endpoint() { return &endpoint_; }
+  /// The service's compressor (for centralized model broadcasts/replies),
+  /// or null when compression is none. Its error-feedback residual tracks
+  /// the server-side model stream, separate from every worker's.
+  Compressor* compressor() { return compressor_.get(); }
   /// The shared initial parameter vector every replica starts from
   /// (centralized strategies seed their global model with it).
   const std::vector<float>& init_params() const;
@@ -166,6 +177,7 @@ class ServiceContext {
 
   WorkerRuntime* runtime_;
   Endpoint endpoint_;
+  std::unique_ptr<Compressor> compressor_;  // null when compression is none
   MetricsShard* metrics_;  // owned by the runtime's registry
 };
 

@@ -10,6 +10,7 @@
 #include "ckpt/ckpt_config.h"
 #include "ckpt/manifest.h"
 #include "common/stats.h"
+#include "compress/codec.h"
 #include "data/synthetic.h"
 #include "fault/fault_plan.h"
 #include "hetero/hetero.h"
@@ -251,7 +252,15 @@ class SimTraining {
   /// 2·n·(p−1)/p floats per member, so the group total is 2·n·(p−1)
   /// floats each way; the zero-copy data plane materializes one payload
   /// copy per member (the initial chunk send), hence payload_copies += p.
-  void RecordReduceTraffic(size_t p);
+  ///
+  /// Under compression (`kind` != kNone) the bytes mirror the compressed
+  /// segmented ring exactly: each chunk's segments circulate p−1 hops per
+  /// phase as encoded blobs, so the group total is 2·(p−1)·Σ over segments
+  /// of EncodedBlobBytes(kind, segment_len). The compress.bytes_in/out
+  /// counters and compress.ratio gauge move by the same model, keeping
+  /// cross-engine metric parity.
+  void RecordReduceTraffic(size_t p,
+                           CompressionKind kind = CompressionKind::kNone);
 
   /// The run's metrics shard (the simulator is single-threaded, so one
   /// shard serves every strategy) and trace recorder. Strategies register
@@ -338,6 +347,9 @@ class SimTraining {
   std::vector<CurvePoint> curve_;
   SampleSet update_intervals_;
   size_t wasted_gradients_ = 0;
+  /// Running totals behind the compress.ratio gauge (compressed runs only).
+  double compress_in_total_ = 0.0;
+  double compress_out_total_ = 0.0;
 };
 
 }  // namespace pr

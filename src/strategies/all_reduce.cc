@@ -5,9 +5,19 @@
 
 namespace pr {
 
-AllReduceStrategy::AllReduceStrategy(SimTraining* ctx) : ctx_(ctx) {
+AllReduceStrategy::AllReduceStrategy(SimTraining* ctx,
+                                     CompressionKind compression)
+    : ctx_(ctx), compression_(compression) {
   PR_CHECK(ctx != nullptr);
   grads_.resize(static_cast<size_t>(ctx->num_workers()));
+  if (compression != CompressionKind::kNone) {
+    // No AttachMetrics here: RecordReduceTraffic models the compress.*
+    // instruments analytically (attaching too would double-count).
+    compressors_.reserve(static_cast<size_t>(ctx->num_workers()));
+    for (int w = 0; w < ctx->num_workers(); ++w) {
+      compressors_.push_back(std::make_unique<Compressor>(compression));
+    }
+  }
   // AR checkpoints carry no controller state — the barrier is the
   // coordination.
   ctx->ConfigureCheckpoint(StrategyKindName(StrategyKind::kAllReduce),
@@ -52,6 +62,13 @@ void AllReduceStrategy::OnReduceDone() {
   // Average gradients; every replica applies the identical step, so all
   // replicas (and their momentum buffers) stay bitwise equal.
   const size_t n = ctx_->num_params();
+  if (!compressors_.empty()) {
+    // Compression emulation: each worker's gradient passes through its own
+    // lossy codec + error feedback before the average.
+    for (size_t i = 0; i < grads_.size(); ++i) {
+      (void)compressors_[i]->EncodeRangePublish(grads_[i].data(), 0, n);
+    }
+  }
   std::vector<float> avg(n, 0.0f);
   const float w = 1.0f / static_cast<float>(ctx_->num_workers());
   for (const auto& g : grads_) Axpy(w, g.data(), avg.data(), n);
@@ -59,7 +76,8 @@ void AllReduceStrategy::OnReduceDone() {
     ctx_->LocalStep(i, avg.data());
     ctx_->increment_iteration(i);
   }
-  ctx_->RecordReduceTraffic(static_cast<size_t>(ctx_->num_workers()));
+  ctx_->RecordReduceTraffic(static_cast<size_t>(ctx_->num_workers()),
+                            compression_);
   ctx_->RecordUpdate();
   if (ctx_->stopped()) return;
   for (int i = 0; i < ctx_->num_workers(); ++i) BeginCompute(i);

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "compress/compressor.h"
 #include "strategies/strategy.h"
 
 namespace pr {
@@ -16,7 +18,9 @@ namespace pr {
 /// begins. One global update per round.
 class AllReduceStrategy : public Strategy {
  public:
-  explicit AllReduceStrategy(SimTraining* ctx);
+  explicit AllReduceStrategy(
+      SimTraining* ctx,
+      CompressionKind compression = CompressionKind::kNone);
 
   void Start() override;
   std::string Name() const override { return "AR"; }
@@ -27,6 +31,11 @@ class AllReduceStrategy : public Strategy {
   void OnReduceDone();
 
   SimTraining* ctx_;
+  CompressionKind compression_;
+  /// Per-worker compression emulation (empty when compression is none):
+  /// each gradient is quantize-dequantized through its worker's
+  /// error-feedback residual before the average.
+  std::vector<std::unique_ptr<Compressor>> compressors_;
   std::vector<std::vector<float>> grads_;
   int ready_count_ = 0;
 };

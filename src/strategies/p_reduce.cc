@@ -31,6 +31,16 @@ PReduceStrategy::PReduceStrategy(SimTraining* ctx,
   active_.assign(static_cast<size_t>(ctx->num_workers()), true);
   active_count_ = ctx->num_workers();
 
+  if (options.compression != CompressionKind::kNone) {
+    // No AttachMetrics here: RecordReduceTraffic models the compress.*
+    // instruments analytically (attaching too would double-count).
+    compressors_.reserve(static_cast<size_t>(ctx->num_workers()));
+    for (int w = 0; w < ctx->num_workers(); ++w) {
+      compressors_.push_back(
+          std::make_unique<Compressor>(options.compression));
+    }
+  }
+
   crashed_.assign(static_cast<size_t>(ctx->num_workers()), false);
   signal_seq_.assign(static_cast<size_t>(ctx->num_workers()), 0);
   if (ctx->options().fault.enabled()) {
@@ -276,6 +286,16 @@ void PReduceStrategy::OnGroupReduceDone(const GroupDecision& decision) {
   std::vector<float*> models;
   models.reserve(decision.members.size());
   for (int m : decision.members) models.push_back(ctx_->params(m).data());
+  if (!compressors_.empty()) {
+    // Compression emulation: each member's model passes through its own
+    // lossy codec + error feedback before the average (the blob itself is
+    // irrelevant here — RecordReduceTraffic accounts the bytes).
+    for (size_t i = 0; i < models.size(); ++i) {
+      const size_t m = static_cast<size_t>(decision.members[i]);
+      (void)compressors_[m]->EncodeRangePublish(models[i], 0,
+                                                ctx_->num_params());
+    }
+  }
   WeightedAverageInPlace(models, decision.weights, ctx_->num_params());
 
   if (options_.average_momentum) {
@@ -307,7 +327,7 @@ void PReduceStrategy::OnGroupReduceDone(const GroupDecision& decision) {
       recent_groups_.emplace_back(decision.group_id, decision.members);
     }
   }
-  ctx_->RecordReduceTraffic(decision.members.size());
+  ctx_->RecordReduceTraffic(decision.members.size(), options_.compression);
   ctx_->RecordUpdate();
   if (ctx_->stopped()) return;
   for (int m : decision.members) BeginCompute(m);

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "compress/compressor.h"
 #include "strategies/strategy.h"
 
 namespace pr {
@@ -57,6 +58,11 @@ class PReduceStrategy : public Strategy {
   StrategyOptions options_;
   ControllerOptions controller_options_;
   std::unique_ptr<Controller> controller_;
+  /// Per-worker compression emulation (empty when compression is none):
+  /// each member's contribution is quantize-dequantized through its own
+  /// error-feedback residual before the group average, mirroring what the
+  /// threaded engine's compressed ring does to the values.
+  std::vector<std::unique_ptr<Compressor>> compressors_;
   /// Elastic membership: pending leave requests (applied at the worker's
   /// next gradient boundary) and current activity flags.
   std::vector<bool> leave_requested_;

@@ -38,7 +38,7 @@ std::unique_ptr<Strategy> MakeStrategy(const StrategyOptions& options,
   PR_CHECK(ctx != nullptr);
   switch (options.kind) {
     case StrategyKind::kAllReduce:
-      return std::make_unique<AllReduceStrategy>(ctx);
+      return std::make_unique<AllReduceStrategy>(ctx, options.compression);
     case StrategyKind::kEagerReduce:
       return std::make_unique<EagerReduceStrategy>(ctx, options);
     case StrategyKind::kAdPsgd:

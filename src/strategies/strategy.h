@@ -3,6 +3,7 @@
 #include <memory>
 #include <string>
 
+#include "compress/codec.h"
 #include "core/controller.h"
 #include "sim/sim_training.h"
 
@@ -58,6 +59,10 @@ struct StrategyOptions {
   /// (momentum stays local); merging optimizer state is the natural
   /// alternative from the local-SGD literature.
   bool average_momentum = false;
+  /// Gradient/model compression applied to every strategy's bulk payloads
+  /// (ring hops, PS pushes and model replies, gossip exchanges), with
+  /// per-worker error feedback. kNone = exact fp32 (the default).
+  CompressionKind compression = CompressionKind::kNone;
 };
 
 /// \brief A synchronization strategy driving a simulated training run.

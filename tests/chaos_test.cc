@@ -339,6 +339,88 @@ TEST(ChaosTest, FailoverMetricNamesMatchAcrossEngines) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Compressed chaos: the int8 codec under the same crash + 1% drop plan.
+// Compression must change the bytes, not the fault story or the training
+// outcome.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, ThreadedCompressedChaosKeepsLossParity) {
+  // Same shallow-trajectory trick as the failover tests: with a small
+  // learning rate both runs sit on the same stretch of the loss surface, so
+  // the quantization noise is the only thing that could separate them.
+  RunConfig plain = ChaosConfig(2, StrategyKind::kPReduceConst);
+  plain.run.sgd.learning_rate = kFailoverLr;
+  RunConfig compressed = plain;
+  compressed.strategy.compression = CompressionKind::kInt8;
+
+  ThreadedRunResult plain_run = RunThreaded(plain);
+  ThreadedRunResult compressed_run = RunThreaded(compressed);
+
+  // The fault machinery is codec-blind: crash noticed, group aborted,
+  // survivors finish their budgets.
+  EXPECT_GE(compressed_run.metrics.counter("fault.evictions"), 1.0);
+  EXPECT_GE(compressed_run.metrics.counter("fault.aborted_groups"), 1.0);
+  for (int w = 0; w < kWorkers; ++w) {
+    if (w == kCrashWorker) continue;
+    EXPECT_EQ(compressed_run.worker_iterations[static_cast<size_t>(w)],
+              kIterations)
+        << "survivor " << w << " did not finish under compression";
+  }
+
+  // The codec was actually in the path: the compress.* family is live and
+  // the blobs are ~3.9x smaller than the fp32 they encode.
+  const double in = compressed_run.metrics.counter("compress.bytes_in");
+  const double out = compressed_run.metrics.counter("compress.bytes_out");
+  ASSERT_GT(in, 0.0);
+  ASSERT_GT(out, 0.0);
+  EXPECT_GE(in / out, 3.0);
+  EXPECT_EQ(plain_run.metrics.counter("compress.bytes_in"), 0.0);
+
+  // Loss parity: int8 with error feedback lands within 2% of fp32.
+  ASSERT_GT(plain_run.final_loss, 0.0);
+  EXPECT_NEAR(compressed_run.final_loss, plain_run.final_loss,
+              0.02 * plain_run.final_loss);
+}
+
+TEST(ChaosTest, SimulatorCompressedChaosKeepsLossParity) {
+  ExperimentConfig config;
+  config.training.num_workers = kWorkers;
+  config.training.max_updates = 80;
+  config.training.accuracy_threshold = -1.0;
+  config.training.seed = 5;
+  config.training.fault =
+      MakeChaosPlan(5, kCrashWorker, kCrashAfter, kDropProb);
+  config.strategy.kind = StrategyKind::kPReduceConst;
+  config.strategy.group_size = kGroupSize;
+  SimRunResult plain_run = RunExperiment(config);
+
+  config.strategy.compression = CompressionKind::kInt8;
+  SimRunResult compressed_run = RunExperiment(config);
+
+  // Quantization perturbs values, never virtual time: the schedule, the
+  // fault story, and the update budget are identical.
+  EXPECT_EQ(compressed_run.updates, plain_run.updates);
+  EXPECT_EQ(compressed_run.metrics.counter("fault.evictions"),
+            plain_run.metrics.counter("fault.evictions"));
+
+  // The traffic model now counts encoded bytes.
+  const double plain_bytes =
+      plain_run.metrics.counter("transport.bytes_sent");
+  const double compressed_bytes =
+      compressed_run.metrics.counter("transport.bytes_sent");
+  ASSERT_GT(compressed_bytes, 0.0);
+  EXPECT_GE(plain_bytes / compressed_bytes, 3.0);
+  EXPECT_GT(compressed_run.metrics.counter("compress.bytes_in"), 0.0);
+
+  // And the training outcome holds parity.
+  ASSERT_FALSE(plain_run.curve.empty());
+  ASSERT_FALSE(compressed_run.curve.empty());
+  const double plain_loss = plain_run.curve.back().loss;
+  EXPECT_NEAR(compressed_run.curve.back().loss, plain_loss,
+              0.02 * plain_loss);
+}
+
 TEST(ChaosTest, SimulatorChaosIsDeterministic) {
   SimRunResult a = RunSimChaos(9);
   SimRunResult b = RunSimChaos(9);

@@ -43,6 +43,7 @@ RunConfig FancyConfig() {
   config.strategy.history_window = 3;
   config.strategy.record_sync_matrices = true;
   config.strategy.average_momentum = true;
+  config.strategy.compression = CompressionKind::kInt8;
   config.strategy.dynamic.alpha = 0.625;
   config.strategy.dynamic.staleness_tolerance = 2;
   config.strategy.dynamic.missing_slot_policy = MissingSlotPolicy::kRenormalize;
@@ -109,6 +110,7 @@ TEST(ConfigIoTest, RoundTripIsExact) {
   EXPECT_EQ(parsed.strategy.kind, StrategyKind::kPReduceDynamic);
   EXPECT_EQ(parsed.strategy.dynamic.missing_slot_policy,
             MissingSlotPolicy::kRenormalize);
+  EXPECT_EQ(parsed.strategy.compression, CompressionKind::kInt8);
   EXPECT_EQ(parsed.run.model.hidden, (std::vector<size_t>{24, 12}));
   EXPECT_EQ(parsed.run.ckpt.dir, "/tmp/some ckpt dir");
   EXPECT_DOUBLE_EQ(parsed.run.sgd.weight_decay, 3.3e-5);
@@ -142,6 +144,9 @@ TEST(ConfigIoTest, RejectsGarbage) {
   EXPECT_FALSE(
       ParseRunConfig("prconfig 1\nrun.num_workers banana\n", &parsed).ok());
   EXPECT_FALSE(ParseRunConfig("prconfig 1\nstrategy.kind\n", &parsed).ok());
+  // An unknown compression token names no codec — version skew, rejected.
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\nstrategy.compression gzip\n", &parsed).ok());
   // A valid header plus valid lines still parses.
   EXPECT_TRUE(
       ParseRunConfig("prconfig 1\n# comment\nrun.num_workers 5\n", &parsed)
@@ -195,6 +200,8 @@ TEST(ConfigJsonTest, RandomConfigsRoundTripThroughJson) {
         static_cast<double>(rng() % 1000) / 1000.0;
     config.strategy.dynamic.staleness_tolerance =
         static_cast<int64_t>(rng() % 5);
+    config.strategy.compression = static_cast<CompressionKind>(
+        rng() % kNumCompressionKinds);  // all four codec tokens
     config.run.num_workers = 2 + static_cast<int>(rng() % 14);
     config.run.iterations_per_worker = 1 + rng() % 500;
     config.run.batch_size = 1 + rng() % 128;

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/transport.h"
+#include "compress/codec.h"
 
 namespace pr {
 namespace {
@@ -182,6 +183,117 @@ TEST(WireTest, OversizeLengthsAreCorruptNotAllocated) {
   EXPECT_EQ(DecodeFrame(misaligned.data(), misaligned.size(), &to, &decoded,
                         &consumed, &error),
             WireDecode::kCorrupt);
+}
+
+TEST(WireTest, EncodingTagRoundTripsThroughFrame) {
+  Envelope env = MakeEnvelope(/*from=*/2, /*tag=*/9, /*kind=*/108, {0, 1, 2},
+                              {1.0f, 2.0f, 3.0f});
+  env.encoding = static_cast<uint8_t>(CompressionKind::kInt8);
+  std::vector<uint8_t> frame = EncodeFrame(/*to=*/5, env);
+  // The preamble carries the tag in the flags byte of a v2 frame.
+  EXPECT_EQ(frame[4], kWireVersion);
+  EXPECT_EQ(frame[5], static_cast<uint8_t>(CompressionKind::kInt8));
+
+  NodeId to = -1;
+  Envelope decoded;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(frame.data(), frame.size(), &to, &decoded, &consumed),
+            WireDecode::kOk);
+  EXPECT_EQ(decoded.encoding, static_cast<uint8_t>(CompressionKind::kInt8));
+  ExpectBitIdentical(env, decoded);
+
+  // Truncations of a tagged frame still ask for more, never misdecode.
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_EQ(DecodeFrame(frame.data(), cut, &to, &decoded, &consumed),
+              WireDecode::kNeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(WireTest, V1FrameStillDecodesAsRawFp32) {
+  // Backward compatibility: a v1 writer knows nothing of encoding tags; its
+  // zero flags byte must decode as an untagged raw-fp32 payload.
+  Envelope env = MakeEnvelope(/*from=*/1, /*tag=*/4, /*kind=*/2, {8},
+                              {0.25f, -0.25f});
+  std::vector<uint8_t> frame = EncodeFrame(/*to=*/0, env);
+  frame[4] = 1;  // rewrite the version byte: pretend an old peer sent this
+
+  NodeId to = -1;
+  Envelope decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(frame.data(), frame.size(), &to, &decoded, &consumed,
+                        &error),
+            WireDecode::kOk)
+      << error;
+  EXPECT_EQ(decoded.encoding, 0);
+  ExpectBitIdentical(env, decoded);
+}
+
+TEST(WireTest, V1FrameWithNonzeroFlagsIsCorrupt) {
+  // v1 reserved the flags byte as zero; anything else is stream corruption,
+  // not a forward-compatible extension.
+  Envelope env = MakeEnvelope(/*from=*/0, /*tag=*/0, /*kind=*/0, {}, {});
+  std::vector<uint8_t> frame = EncodeFrame(/*to=*/1, env);
+  frame[4] = 1;
+  frame[5] = 1;
+  NodeId to = -1;
+  Envelope decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(frame.data(), frame.size(), &to, &decoded, &consumed,
+                        &error),
+            WireDecode::kCorrupt);
+  EXPECT_EQ(error, "bad flags");
+}
+
+TEST(WireTest, UnknownEncodingTagIsCorrupt) {
+  // A v2 frame whose flags byte names no codec must be rejected before the
+  // payload is handed to a decoder that would misread it.
+  Envelope env = MakeEnvelope(/*from=*/0, /*tag=*/1, /*kind=*/3, {}, {1.0f});
+  std::vector<uint8_t> frame = EncodeFrame(/*to=*/1, env);
+  frame[5] = kNumCompressionKinds;
+  NodeId to = -1;
+  Envelope decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(frame.data(), frame.size(), &to, &decoded, &consumed,
+                        &error),
+            WireDecode::kCorrupt);
+  EXPECT_EQ(error, "bad payload encoding");
+}
+
+TEST(WireTest, EncodingTagSurvivesFdRoundTrip) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  Envelope env = MakeEnvelope(/*from=*/7, /*tag=*/21, /*kind=*/109, {3},
+                              {4.0f, 5.0f});
+  env.encoding = static_cast<uint8_t>(CompressionKind::kTopK);
+  ASSERT_TRUE(WriteFrameFd(fds[1], /*to=*/2, env).ok());
+  ::close(fds[1]);
+
+  NodeId to = -1;
+  Envelope decoded;
+  ASSERT_TRUE(ReadFrameFd(fds[0], &to, &decoded).ok());
+  EXPECT_EQ(decoded.encoding, static_cast<uint8_t>(CompressionKind::kTopK));
+  ExpectBitIdentical(env, decoded);
+  ::close(fds[0]);
+}
+
+TEST(WireTest, CorruptEncodingTagOnFdStreamIsInvalidArgument) {
+  Envelope env = MakeEnvelope(/*from=*/1, /*tag=*/2, /*kind=*/3, {}, {1.0f});
+  std::vector<uint8_t> frame = EncodeFrame(/*to=*/0, env);
+  frame[5] = 0xff;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  ::close(fds[1]);
+  NodeId to = -1;
+  Envelope decoded;
+  Status corrupt = ReadFrameFd(fds[0], &to, &decoded);
+  EXPECT_EQ(corrupt.code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
 }
 
 TEST(WireTest, FdRoundTripAndCleanEof) {
