@@ -68,6 +68,11 @@ void Endpoint::AttachObservers(MetricsShard* metrics, const std::string& scope,
     bytes_received_counter_ = metrics->GetCounter("transport.bytes_received");
     payload_copies_counter_ = metrics->GetCounter("transport.payload_copies");
     stash_purged_counter_ = metrics->GetCounter("transport.stash_purged");
+    // Eagerly registered (even without a classifier) so flat runs expose
+    // the same metric names as topology-aware ones — cross-engine parity
+    // tests diff the full name set.
+    inter_node_bytes_counter_ =
+        metrics->GetCounter("transport.inter_node_bytes");
     stash_gauge_ = metrics->GetGauge("transport.stash_high_water");
     if (!scope.empty()) {
       scoped_stash_gauge_ = metrics->GetGauge(scope + ".stash_high_water");
@@ -92,6 +97,8 @@ void Endpoint::ResetDiagnostics() {
   bytes_received_counter_ = nullptr;
   payload_copies_counter_ = nullptr;
   stash_purged_counter_ = nullptr;
+  inter_node_bytes_counter_ = nullptr;
+  is_inter_node_ = nullptr;
   stash_gauge_ = nullptr;
   scoped_stash_gauge_ = nullptr;
   trace_ = nullptr;
@@ -139,11 +146,20 @@ Status Endpoint::Send(NodeId to, uint64_t tag, int kind,
   if (status.ok()) {
     if (sent_counter_ != nullptr) sent_counter_->Increment();
     if (bytes_sent_counter_ != nullptr && payload_floats > 0) {
-      bytes_sent_counter_->Increment(
-          static_cast<double>(payload_floats * sizeof(float)));
+      const double bytes =
+          static_cast<double>(payload_floats * sizeof(float));
+      bytes_sent_counter_->Increment(bytes);
+      if (inter_node_bytes_counter_ != nullptr && is_inter_node_ &&
+          is_inter_node_(to)) {
+        inter_node_bytes_counter_->Increment(bytes);
+      }
     }
   }
   return status;
+}
+
+void Endpoint::SetInterNodeClassifier(std::function<bool(NodeId)> is_inter) {
+  is_inter_node_ = std::move(is_inter);
 }
 
 Status Endpoint::Send(NodeId to, uint64_t tag, int kind,

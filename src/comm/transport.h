@@ -149,6 +149,13 @@ class Endpoint {
   /// purge should be charged to is still attached.
   void ResetDiagnostics();
 
+  /// Installs the topology hook behind `transport.inter_node_bytes`:
+  /// payload bytes sent to a peer `is_inter` classifies as off-node are
+  /// counted separately from total bytes_sent. The transport layer stays
+  /// topology-free — the runtime captures its Topology in the closure.
+  /// Cleared by ResetDiagnostics.
+  void SetInterNodeClassifier(std::function<bool(NodeId)> is_inter);
+
   /// Sends a message carrying a shared payload handle. This is the zero-copy
   /// path: the buffer's refcount is bumped, nothing is cloned, and
   /// `transport.payload_copies` does not move.
@@ -273,6 +280,8 @@ class Endpoint {
   Counter* bytes_received_counter_ = nullptr;
   Counter* payload_copies_counter_ = nullptr;
   Counter* stash_purged_counter_ = nullptr;
+  Counter* inter_node_bytes_counter_ = nullptr;
+  std::function<bool(NodeId)> is_inter_node_;
   Gauge* stash_gauge_ = nullptr;
   Gauge* scoped_stash_gauge_ = nullptr;
   TraceRecorder* trace_ = nullptr;

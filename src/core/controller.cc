@@ -19,7 +19,8 @@ size_t ResolveWindow(const ControllerOptions& options) {
 
 Controller::Controller(const ControllerOptions& options)
     : options_(options),
-      filter_(static_cast<size_t>(options.group_size)),
+      filter_(static_cast<size_t>(options.group_size), options.topology,
+              options.group_cost_budget),
       history_(static_cast<size_t>(options.num_workers),
                ResolveWindow(options)),
       matrix_expectation_(static_cast<size_t>(options.num_workers)) {
@@ -27,6 +28,9 @@ Controller::Controller(const ControllerOptions& options)
   PR_CHECK_GE(options.num_workers, 2);
   PR_CHECK_GE(options.group_size, 2);
   PR_CHECK_LE(options.group_size, options.num_workers);
+  hierarchical_ = options.hierarchy.enabled && !options.topology.flat() &&
+                  options.topology.num_nodes() > 1;
+  if (hierarchical_) PR_CHECK_GE(options.hierarchy.cross_period, 1);
 }
 
 void Controller::Restore(const ControllerRestoreState& state) {
@@ -47,11 +51,28 @@ void Controller::AttachObservers(MetricsShard* metrics, TraceRecorder* trace,
     bridged_counter_ = metrics->GetCounter("controller.bridged_groups");
     frozen_counter_ = metrics->GetCounter("controller.frozen_detections");
     holds_counter_ = metrics->GetCounter("controller.holds");
+    // Eagerly registered so both engines expose the topo.* names even on
+    // flat runs (metric-name parity is asserted cross-engine).
+    cross_node_counter_ = metrics->GetCounter("topo.cross_node_groups");
+    intra_node_counter_ = metrics->GetCounter("topo.intra_node_groups");
     pending_high_water_ =
         metrics->GetGauge("controller.pending_signals_high_water");
     decision_latency_ = metrics->GetHistogram(
         "controller.decision_latency_seconds", DecisionLatencyBuckets());
   }
+}
+
+bool Controller::IntraNodeGroupPossible() const {
+  for (const std::vector<int>& node : options_.topology.nodes()) {
+    int live = 0;
+    for (int w : node) {
+      if (w < options_.num_workers && !departed_[static_cast<size_t>(w)]) {
+        ++live;
+      }
+    }
+    if (live >= options_.group_size) return true;
+  }
+  return false;
 }
 
 bool Controller::QueueSpansComponents() const {
@@ -123,12 +144,17 @@ std::vector<GroupDecision> Controller::TryFormGroups() {
   while (pending_.size() >= p) {
     GroupSelection selection;
     if (options_.frozen_avoidance) {
-      if (history_.IsFrozen()) {
+      const bool frozen = history_.IsFrozen();
+      if (frozen) {
         if (formed.empty()) {
           ++stats_.frozen_detections;
           if (frozen_counter_ != nullptr) frozen_counter_->Increment();
         }
-        if (!QueueSpansComponents() && BridgeEventuallyPossible()) {
+        // A hierarchical controller never holds on frozen: its scheduled
+        // cross-node merges bridge the intra-node cliques, so a frozen
+        // window graph is the expected steady state rather than a hazard.
+        if (!hierarchical_ && !QueueSpansComponents() &&
+            BridgeEventuallyPossible()) {
           // Hold: the queued workers cannot bridge the frozen components
           // yet, but a live worker from another component will signal (or
           // depart) eventually, re-triggering this check.
@@ -140,7 +166,34 @@ std::vector<GroupDecision> Controller::TryFormGroups() {
           break;
         }
       }
-      selection = filter_.Select(pending_, history_);
+      GroupSelectMode mode = GroupSelectMode::kDefault;
+      if (hierarchical_) {
+        // Two-level schedule: node-complete intra-node groups every step
+        // and a cross-node merge every cross_period-th group. The merges —
+        // not reactive frozen detection — are the bridge between the
+        // intra-node cliques; a frozen graph during a merge step makes the
+        // filter bridge components cost-aware. When no node can ever
+        // muster a full group (departures shrank every node below
+        // group_size), intra-node selection would hold forever, so every
+        // group becomes a merge.
+        const bool merge_due =
+            groups_since_cross_ + 1 >= options_.hierarchy.cross_period;
+        mode = (merge_due || !IntraNodeGroupPossible())
+                   ? GroupSelectMode::kCrossNode
+                   : GroupSelectMode::kIntraNode;
+      }
+      selection = filter_.Select(pending_, history_, mode);
+      if (selection.queue_positions.empty()) {
+        // Locality hold: some node can fill a group but none has yet. Every
+        // live worker signals (or departs) eventually, and held signals
+        // stay queued, so a capable node's complement must arrive.
+        if (holds_counter_ != nullptr) holds_counter_->Increment();
+        if (trace_ != nullptr) {
+          trace_->Record(TraceNow(), TraceEventKind::kGroupHeld, -1,
+                         static_cast<int64_t>(pending_.size()));
+        }
+        break;
+      }
     } else {
       // FIFO with no connectivity repair (used by ablations).
       for (size_t i = 0; i < p; ++i) selection.queue_positions.push_back(i);
@@ -175,6 +228,17 @@ std::vector<GroupDecision> Controller::TryFormGroups() {
     history_.Record(decision.members);
     ++stats_.groups_formed;
     if (decision.bridged) ++stats_.bridged_groups;
+    if (!options_.topology.flat()) {
+      if (options_.topology.NodesSpanned(decision.members) > 1) {
+        ++stats_.cross_node_groups;
+        groups_since_cross_ = 0;
+        if (cross_node_counter_ != nullptr) cross_node_counter_->Increment();
+      } else {
+        ++stats_.intra_node_groups;
+        ++groups_since_cross_;
+        if (intra_node_counter_ != nullptr) intra_node_counter_->Increment();
+      }
+    }
     if (groups_counter_ != nullptr) {
       groups_counter_->Increment();
       if (decision.bridged) bridged_counter_->Increment();

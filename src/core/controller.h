@@ -34,6 +34,12 @@ struct ControllerOptions {
   /// Accumulate E[W_k] for spectral diagnostics (small N only; the matrix
   /// is N x N).
   bool record_sync_matrices = false;
+  /// Cluster placement; flat (the default) preserves historical behavior.
+  Topology topology;
+  /// Two-level hierarchical scheduling (requires a non-flat topology).
+  HierarchyOptions hierarchy;
+  /// Ring-cost budget for the group filter's connectivity check; 0 disables.
+  double group_cost_budget = 0.0;
 };
 
 /// \brief A formed partial-reduce group, ready to broadcast to its members.
@@ -68,6 +74,10 @@ struct ControllerStats {
   uint64_t groups_formed = 0;
   uint64_t bridged_groups = 0;
   uint64_t frozen_detections = 0;
+  /// Groups whose members span >1 node / stay within one node. Both stay 0
+  /// on a flat topology (no placement to classify against).
+  uint64_t cross_node_groups = 0;
+  uint64_t intra_node_groups = 0;
 };
 
 /// \brief The partial-reduce controller (Fig. 6): signal queue -> group
@@ -153,6 +163,9 @@ class Controller {
   SyncMatrix ExpectedSyncMatrix() const;
 
  private:
+  /// True when some topology node still has group_size live (not departed)
+  /// workers, i.e. a node-complete intra-node group remains reachable.
+  bool IntraNodeGroupPossible() const;
   /// True when the pending queue holds workers from at least two components
   /// of the history sync-graph (a bridging group is possible right now).
   bool QueueSpansComponents() const;
@@ -175,6 +188,10 @@ class Controller {
   ControllerStats stats_;
   uint64_t next_group_id_ = 1;
   SyncMatrixExpectation matrix_expectation_;
+  /// True when hierarchy.enabled on a real (multi-node) topology.
+  bool hierarchical_ = false;
+  /// Intra-node groups formed since the last cross-node merge.
+  int groups_since_cross_ = 0;
 
   // Observability sinks (null until AttachObservers); instrument handles
   // are cached so the hot path never does a name lookup.
@@ -185,6 +202,8 @@ class Controller {
   Counter* bridged_counter_ = nullptr;
   Counter* frozen_counter_ = nullptr;
   Counter* holds_counter_ = nullptr;
+  Counter* cross_node_counter_ = nullptr;
+  Counter* intra_node_counter_ = nullptr;
   Gauge* pending_high_water_ = nullptr;
   Histogram* decision_latency_ = nullptr;
 };

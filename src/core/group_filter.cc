@@ -1,18 +1,26 @@
 #include "core/group_filter.h"
 
 #include <algorithm>
+#include <limits>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
 
 namespace pr {
 
-GroupFilter::GroupFilter(size_t group_size) : group_size_(group_size) {
+GroupFilter::GroupFilter(size_t group_size, Topology topology,
+                         double cost_budget)
+    : group_size_(group_size),
+      topology_(std::move(topology)),
+      cost_budget_(cost_budget) {
   PR_CHECK_GE(group_size, 2u);
 }
 
 GroupSelection GroupFilter::Select(const std::deque<ReadySignal>& pending,
-                                   const GroupHistory& history) const {
+                                   const GroupHistory& history,
+                                   GroupSelectMode mode) const {
   PR_CHECK_GE(pending.size(), group_size_);
   // Workers must be distinct: one outstanding signal per worker.
   {
@@ -23,33 +31,89 @@ GroupSelection GroupFilter::Select(const std::deque<ReadySignal>& pending,
     }
   }
 
-  GroupSelection selection;
-  if (!history.IsFrozen()) {
-    // Plain FIFO: the P oldest signals.
-    for (size_t i = 0; i < group_size_; ++i) {
-      selection.queue_positions.push_back(i);
-    }
-    return selection;
+  // Bridging outranks placement for the default and merge policies: a
+  // frozen sync graph is a convergence hazard (paper §4), a costly ring
+  // only a throughput one. Intra-node steps are exempt — under the
+  // two-level schedule the window graph is disconnected across nodes *by
+  // design* and the scheduled cross-node merges are the bridge, so letting
+  // frozen hijack every intra step would collapse the hierarchy back into
+  // the flat schedule.
+  if (history.IsFrozen() && mode != GroupSelectMode::kIntraNode) {
+    return SelectBridging(pending, history);
   }
 
+  if (!topology_.flat()) {
+    switch (mode) {
+      case GroupSelectMode::kIntraNode:
+        return SelectIntraNode(pending);
+      case GroupSelectMode::kCrossNode:
+        return SelectCrossNode(pending);
+      case GroupSelectMode::kDefault:
+        break;
+    }
+  }
+
+  // Plain FIFO: the P oldest signals.
+  GroupSelection selection;
+  for (size_t i = 0; i < group_size_; ++i) {
+    selection.queue_positions.push_back(i);
+  }
+  if (!topology_.flat() && cost_budget_ > 0.0 &&
+      SelectionRingCost(pending, selection) > cost_budget_) {
+    // Over budget: repair toward a node-biased ring when that actually
+    // helps. The FIFO pick stands otherwise — liveness over thrift.
+    GroupSelection repaired = SelectNodeBiased(pending);
+    if (SelectionRingCost(pending, repaired) <
+        SelectionRingCost(pending, selection)) {
+      return repaired;
+    }
+  }
+  return selection;
+}
+
+GroupSelection GroupFilter::SelectBridging(
+    const std::deque<ReadySignal>& pending, const GroupHistory& history) const {
   // Frozen: bridge components. Anchor on the oldest signal, then prefer
   // signals whose workers live in components not yet covered by the group;
   // fill any remainder in FIFO order.
   const SyncGraph graph = history.BuildSyncGraph();
   std::unordered_set<int> covered_components;
   std::unordered_set<size_t> chosen;
+  std::vector<int> members;
 
   auto choose = [&](size_t pos) {
     chosen.insert(pos);
+    members.push_back(pending[pos].worker);
     covered_components.insert(graph.ComponentOf(pending[pos].worker));
   };
 
   choose(0);
-  // Greedy pass: new components first, in FIFO order.
-  for (size_t pos = 1; pos < pending.size() && chosen.size() < group_size_;
-       ++pos) {
-    const int comp = graph.ComponentOf(pending[pos].worker);
-    if (covered_components.count(comp) == 0) choose(pos);
+  // Greedy pass: new components first. Flat topologies take FIFO order; on a
+  // non-flat topology each round takes the uncovered-component candidate
+  // with the cheapest link to the members already chosen (FIFO on ties), so
+  // the bridge is built over cheap edges when cheap edges exist.
+  while (chosen.size() < group_size_) {
+    size_t best_pos = pending.size();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t pos = 1; pos < pending.size(); ++pos) {
+      if (chosen.count(pos) != 0) continue;
+      const int comp = graph.ComponentOf(pending[pos].worker);
+      if (covered_components.count(comp) != 0) continue;
+      double cost = 1.0;
+      if (!topology_.flat()) {
+        cost = std::numeric_limits<double>::infinity();
+        for (int member : members) {
+          cost = std::min(cost,
+                          topology_.LinkCost(member, pending[pos].worker));
+        }
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_pos = pos;
+      }
+    }
+    if (best_pos == pending.size()) break;  // No uncovered component queued.
+    choose(best_pos);
   }
   // Fill pass: FIFO order for the remainder.
   for (size_t pos = 1; pos < pending.size() && chosen.size() < group_size_;
@@ -58,11 +122,102 @@ GroupSelection GroupFilter::Select(const std::deque<ReadySignal>& pending,
   }
   PR_CHECK_EQ(chosen.size(), group_size_);
 
+  GroupSelection selection;
   selection.bridged = covered_components.size() > 1;
   selection.queue_positions.assign(chosen.begin(), chosen.end());
   std::sort(selection.queue_positions.begin(),
             selection.queue_positions.end());
   return selection;
+}
+
+GroupSelection GroupFilter::SelectIntraNode(
+    const std::deque<ReadySignal>& pending) const {
+  // Node-complete or nothing: an intra-node group only pays off when its
+  // ring never leaves the node, so take the first (FIFO by anchor) node
+  // with group_size signals queued and select its oldest group_size
+  // members. An empty selection tells the controller to hold — a mixed
+  // fill here would degenerate to the flat schedule (the first group_size
+  // finishers are scattered across nodes almost surely).
+  std::unordered_map<int, size_t> queued_per_node;
+  for (const ReadySignal& s : pending) {
+    ++queued_per_node[topology_.NodeOf(s.worker)];
+  }
+  for (size_t anchor = 0; anchor < pending.size(); ++anchor) {
+    const int node = topology_.NodeOf(pending[anchor].worker);
+    if (queued_per_node[node] < group_size_) continue;
+    GroupSelection selection;
+    for (size_t pos = anchor;
+         pos < pending.size() &&
+         selection.queue_positions.size() < group_size_;
+         ++pos) {
+      if (topology_.NodeOf(pending[pos].worker) == node) {
+        selection.queue_positions.push_back(pos);
+      }
+    }
+    return selection;
+  }
+  return GroupSelection{};
+}
+
+GroupSelection GroupFilter::SelectNodeBiased(
+    const std::deque<ReadySignal>& pending) const {
+  // Anchor on the oldest signal; prefer queued co-residents of its node in
+  // FIFO order, then fill FIFO. Cheapest ring available without starving the
+  // queue head — used to repair over-budget FIFO picks, so it always
+  // returns a full group.
+  std::unordered_set<size_t> chosen;
+  chosen.insert(0);
+  const int anchor_node = topology_.NodeOf(pending[0].worker);
+  for (size_t pos = 1; pos < pending.size() && chosen.size() < group_size_;
+       ++pos) {
+    if (topology_.NodeOf(pending[pos].worker) == anchor_node) {
+      chosen.insert(pos);
+    }
+  }
+  for (size_t pos = 1; pos < pending.size() && chosen.size() < group_size_;
+       ++pos) {
+    chosen.insert(pos);
+  }
+  GroupSelection selection;
+  selection.queue_positions.assign(chosen.begin(), chosen.end());
+  std::sort(selection.queue_positions.begin(),
+            selection.queue_positions.end());
+  return selection;
+}
+
+GroupSelection GroupFilter::SelectCrossNode(
+    const std::deque<ReadySignal>& pending) const {
+  // Anchor on the oldest signal; greedily cover as many distinct nodes as
+  // the queue offers (FIFO within the pass), then fill FIFO. The merge group
+  // deliberately spans nodes so it bridges the intra-node cliques.
+  std::unordered_set<size_t> chosen;
+  std::unordered_set<int> covered_nodes;
+  chosen.insert(0);
+  covered_nodes.insert(topology_.NodeOf(pending[0].worker));
+  for (size_t pos = 1; pos < pending.size() && chosen.size() < group_size_;
+       ++pos) {
+    const int node = topology_.NodeOf(pending[pos].worker);
+    if (covered_nodes.insert(node).second) chosen.insert(pos);
+  }
+  for (size_t pos = 1; pos < pending.size() && chosen.size() < group_size_;
+       ++pos) {
+    chosen.insert(pos);
+  }
+  GroupSelection selection;
+  selection.queue_positions.assign(chosen.begin(), chosen.end());
+  std::sort(selection.queue_positions.begin(),
+            selection.queue_positions.end());
+  return selection;
+}
+
+double GroupFilter::SelectionRingCost(const std::deque<ReadySignal>& pending,
+                                      const GroupSelection& selection) const {
+  std::vector<int> members;
+  members.reserve(selection.queue_positions.size());
+  for (size_t pos : selection.queue_positions) {
+    members.push_back(pending[pos].worker);
+  }
+  return topology_.RingCost(members);
 }
 
 }  // namespace pr

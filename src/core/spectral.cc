@@ -1,5 +1,6 @@
 #include "core/spectral.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -65,6 +66,15 @@ ConvergenceBoundTerms TheoremOneBound(double gamma, double lipschitz_l,
   terms.network_error = 2.0 * eta * eta * lipschitz_l * lipschitz_l *
                         sigma_sq * n3 * RhoTilde(rho) / p2;
   return terms;
+}
+
+bool HierarchyWithinFlatBound(double gamma, double lipschitz_l, size_t n,
+                              size_t p, double rho_flat, double rho_hier) {
+  if (!(rho_hier >= 0.0 && rho_hier < 1.0)) return false;
+  if (!(rho_flat >= 0.0 && rho_flat < 1.0)) return false;
+  const double lhs_hier = LrConditionLhs(gamma, lipschitz_l, n, p, rho_hier);
+  const double lhs_flat = LrConditionLhs(gamma, lipschitz_l, n, p, rho_flat);
+  return lhs_hier <= std::max(1.0, lhs_flat);
 }
 
 }  // namespace pr

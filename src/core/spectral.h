@@ -46,4 +46,17 @@ ConvergenceBoundTerms TheoremOneBound(double gamma, double lipschitz_l,
                                       size_t n, size_t p, size_t k,
                                       double rho);
 
+/// \brief True when the hierarchical schedule's measured spectral gap keeps
+/// the Theorem 1 rate available under the same learning-rate condition the
+/// flat configuration satisfies.
+///
+/// Concretely: rho_hier must admit Theorem 1 at all (0 <= rho_hier < 1, so
+/// E[W_k] still mixes), and the Eq. (7) LHS evaluated at rho_hier must not
+/// exceed the flat configuration's — i.e. any (gamma, L) admissible for the
+/// flat schedule stays admissible for the hierarchy. When the flat LHS is
+/// itself below 1, the hierarchy may use the slack up to 1 (the condition in
+/// the paper is LHS <= 1, not LHS <= LHS_flat).
+bool HierarchyWithinFlatBound(double gamma, double lipschitz_l, size_t n,
+                              size_t p, double rho_flat, double rho_hier);
+
 }  // namespace pr

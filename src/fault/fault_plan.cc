@@ -25,12 +25,25 @@ bool FaultPlan::has_message_faults() const {
     (void)edge;
     if (spec.active()) return true;
   }
+  return has_link_delays();
+}
+
+bool FaultPlan::has_link_delays() const {
+  for (const auto& [edge, delay] : link_delay_seconds) {
+    (void)edge;
+    if (delay > 0.0) return true;
+  }
   return false;
 }
 
 const EdgeFaultSpec& FaultPlan::EdgeSpec(int from, int to) const {
   auto it = edges.find({from, to});
   return it != edges.end() ? it->second : default_edge;
+}
+
+double FaultPlan::LinkDelay(int from, int to) const {
+  auto it = link_delay_seconds.find({from, to});
+  return it != link_delay_seconds.end() ? it->second : 0.0;
 }
 
 uint64_t FaultHash(uint64_t seed, uint64_t a, uint64_t b, uint64_t c) {

@@ -73,6 +73,13 @@ struct FaultPlan {
   /// Overrides for specific (from, to) edges; edges not listed use
   /// default_edge.
   std::map<std::pair<int, int>, EdgeFaultSpec> edges;
+  /// Deterministic per-edge latency matrix (sparse): every message on a
+  /// listed (from, to) edge is delayed by this many seconds, no roll
+  /// involved. The knob that models slow inter-node links — a topology-aware
+  /// run lists its cross-node edges here and both engines stretch them
+  /// identically (FaultyTransport holds real messages, the simulator adds
+  /// virtual time).
+  std::map<std::pair<int, int>, double> link_delay_seconds;
   std::vector<WorkerFaultEvent> worker_events;
   /// Scheduled controller outages, applied in order of `after_groups`.
   std::vector<ControllerFaultEvent> controller_events;
@@ -148,6 +155,10 @@ struct FaultPlan {
   bool has_controller_faults() const;
 
   const EdgeFaultSpec& EdgeSpec(int from, int to) const;
+
+  /// Deterministic latency of the (from, to) edge; 0 when unlisted.
+  double LinkDelay(int from, int to) const;
+  bool has_link_delays() const;
 
   /// Deterministic uniform [0,1) roll for message `seq` on edge
   /// (from, to) with salt `salt` distinguishing drop/dup/delay rolls.

@@ -72,11 +72,13 @@ Status FaultyTransport::Send(NodeId to, Envelope env) {
   }
   const int n = inner_->num_nodes();
   const int from = env.from;
+  const bool edge_valid = from >= 0 && from < n && to >= 0 && to < n;
   const EdgeFaultSpec& spec =
-      (from >= 0 && from < n && to >= 0 && to < n)
-          ? plan_.EdgeSpec(from, to)
-          : plan_.default_edge;
-  if (!spec.active() || from < 0 || from >= n || to < 0 || to >= n) {
+      edge_valid ? plan_.EdgeSpec(from, to) : plan_.default_edge;
+  // Deterministic link latency applies to every message on a listed edge
+  // (no roll) — slow inter-node links delay everything, not a sample.
+  const double link_delay = edge_valid ? plan_.LinkDelay(from, to) : 0.0;
+  if (!edge_valid || (!spec.active() && link_delay <= 0.0)) {
     return inner_->Send(to, std::move(env));
   }
   const uint64_t seq =
@@ -109,14 +111,18 @@ Status FaultyTransport::Send(NodeId to, Envelope env) {
     (void)inner_->Send(to, env);
   }
 
-  if (delay) {
+  // Probabilistic roll delay and deterministic link delay stack (a slow
+  // link can also glitch); one injected-delay count per delayed message.
+  double delay_s = link_delay;
+  if (delay) delay_s += spec.delay_seconds;
+  if (delay_s > 0.0) {
     delays_.fetch_add(1, std::memory_order_relaxed);
     if (delay_counter_ != nullptr) delay_counter_->Increment();
     if (trace_ != nullptr) {
       trace_->Record(now_ ? now_() : 0.0, TraceEventKind::kFaultInjected, from,
                      kActionDelay, to);
     }
-    ScheduleDelayed(to, std::move(env), spec.delay_seconds);
+    ScheduleDelayed(to, std::move(env), delay_s);
     return Status::OK();
   }
   return inner_->Send(to, std::move(env));

@@ -194,6 +194,11 @@ std::string SerializeRunConfig(const RunConfig& config) {
       << s.dynamic.staleness_tolerance << "\n";
   out << "strategy.dynamic.missing_slot "
       << MissingSlotToken(s.dynamic.missing_slot_policy) << "\n";
+  out << "strategy.hierarchy.enabled " << (s.hierarchy.enabled ? 1 : 0)
+      << "\n";
+  out << "strategy.hierarchy.cross_period " << s.hierarchy.cross_period
+      << "\n";
+  out << "strategy.group_cost_budget " << Num(s.group_cost_budget) << "\n";
 
   out << "run.num_workers " << r.num_workers << "\n";
   out << "run.iterations_per_worker " << r.iterations_per_worker << "\n";
@@ -231,6 +236,19 @@ std::string SerializeRunConfig(const RunConfig& config) {
   out << "run.ckpt.every_iterations " << r.ckpt.every_iterations << "\n";
   out << "run.ckpt.every_updates " << r.ckpt.every_updates << "\n";
 
+  // Flat (default) topologies emit nothing: a pre-topology config and a flat
+  // config are byte-identical.
+  if (!r.topology.flat()) {
+    out << "topology.inter_cost " << Num(r.topology.inter_cost()) << "\n";
+    out << "topology.inter_latency_factor "
+        << Num(r.topology.inter_latency_factor()) << "\n";
+    for (const std::vector<int>& node : r.topology.nodes()) {
+      out << "topology.node";
+      for (int w : node) out << " " << w;
+      out << "\n";
+    }
+  }
+
   const FaultPlan& f = r.fault;
   out << "fault.seed " << f.seed << "\n";
   out << "fault.force_fault_tolerant " << (f.force_fault_tolerant ? 1 : 0)
@@ -242,6 +260,10 @@ std::string SerializeRunConfig(const RunConfig& config) {
     out << "fault.edge " << edge.first << " " << edge.second << " "
         << Num(spec.drop_prob) << " " << Num(spec.dup_prob) << " "
         << Num(spec.delay_prob) << " " << Num(spec.delay_seconds) << "\n";
+  }
+  for (const auto& [edge, delay] : f.link_delay_seconds) {
+    out << "fault.link_delay " << edge.first << " " << edge.second << " "
+        << Num(delay) << "\n";
   }
   for (const WorkerFaultEvent& e : f.worker_events) {
     out << "fault.worker_event " << e.worker << " " << WorkerFaultToken(e.kind)
@@ -283,6 +305,10 @@ Status ParseRunConfig(const std::string& text, RunConfig* out) {
   bool saw_hidden = false;
   bool saw_delay = false;
   bool saw_churn = false;
+  // Node rows accumulate here and are validated as one placement after the
+  // last line, so row-level mistakes (duplicate worker, empty node) surface
+  // no matter how the rows are ordered.
+  std::vector<std::vector<int>> topo_nodes;
 
   std::istringstream lines(text);
   std::string line;
@@ -347,6 +373,32 @@ Status ParseRunConfig(const std::string& text, RunConfig* out) {
       if (!ParseMissingSlot(token, &s.dynamic.missing_slot_policy)) {
         return p.Bad(token);
       }
+    } else if (key == "strategy.hierarchy.enabled") {
+      PR_RETURN_NOT_OK(p.TakeBool(&s.hierarchy.enabled));
+    } else if (key == "strategy.hierarchy.cross_period") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.hierarchy.cross_period = static_cast<int>(i64);
+    } else if (key == "strategy.group_cost_budget") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&s.group_cost_budget));
+    } else if (key == "topology.inter_cost") {
+      double v = 0.0;
+      PR_RETURN_NOT_OK(p.TakeDouble(&v));
+      if (v <= 0.0) return p.Bad(Num(v));
+      r.topology.set_inter_cost(v);
+    } else if (key == "topology.inter_latency_factor") {
+      double v = 0.0;
+      PR_RETURN_NOT_OK(p.TakeDouble(&v));
+      if (v <= 0.0) return p.Bad(Num(v));
+      r.topology.set_inter_latency_factor(v);
+    } else if (key == "topology.node") {
+      std::vector<int> node;
+      while (values >> token) {
+        char* end = nullptr;
+        const long long w = std::strtoll(token.c_str(), &end, 10);
+        if (end == token.c_str() || *end != '\0') return p.Bad(token);
+        node.push_back(static_cast<int>(w));
+      }
+      topo_nodes.push_back(std::move(node));
     } else if (key == "run.num_workers") {
       PR_RETURN_NOT_OK(p.TakeInt(&i64));
       r.num_workers = static_cast<int>(i64);
@@ -453,6 +505,15 @@ Status ParseRunConfig(const std::string& text, RunConfig* out) {
       PR_RETURN_NOT_OK(p.TakeDouble(&spec.delay_prob));
       PR_RETURN_NOT_OK(p.TakeDouble(&spec.delay_seconds));
       f.edges[{static_cast<int>(from), static_cast<int>(to)}] = spec;
+    } else if (key == "fault.link_delay") {
+      int64_t from = 0, to = 0;
+      double seconds = 0.0;
+      PR_RETURN_NOT_OK(p.TakeInt(&from));
+      PR_RETURN_NOT_OK(p.TakeInt(&to));
+      PR_RETURN_NOT_OK(p.TakeDouble(&seconds));
+      if (seconds < 0.0) return p.Bad(Num(seconds));
+      f.link_delay_seconds[{static_cast<int>(from), static_cast<int>(to)}] =
+          seconds;
     } else if (key == "fault.worker_event") {
       WorkerFaultEvent e;
       PR_RETURN_NOT_OK(p.TakeInt(&i64));
@@ -512,6 +573,9 @@ Status ParseRunConfig(const std::string& text, RunConfig* out) {
   if (!saw_header) {
     return Status::InvalidArgument("config is empty (no 'prconfig 1' header)");
   }
+  if (!topo_nodes.empty()) {
+    PR_RETURN_NOT_OK(Topology::FromNodes(topo_nodes, &config.run.topology));
+  }
   *out = std::move(config);
   return Status::OK();
 }
@@ -545,7 +609,8 @@ namespace {
 // always arrays (one element per line).
 bool IsListKey(std::string_view key) {
   return key == "run.model.hidden" || key == "run.delay" ||
-         key == "run.churn" || key == "fault.edge" ||
+         key == "run.churn" || key == "topology.node" ||
+         key == "fault.edge" || key == "fault.link_delay" ||
          key == "fault.worker_event" || key == "fault.controller_event";
 }
 

@@ -29,6 +29,7 @@
 #include "launch/process_runner.h"
 #include "runtime/threaded_runtime.h"
 #include "strategies/strategy.h"
+#include "topo/topology.h"
 
 namespace pr {
 namespace {
@@ -47,6 +48,10 @@ int Usage(const char* argv0) {
       "      --lr L            SGD learning rate (default 0.1)\n"
       "      --momentum M      SGD momentum (default 0.9)\n"
       "      --delay d0,d1,... per-worker iteration delays (seconds)\n"
+      "      --topology FILE   cluster topology ('prtopo 1' text or JSON);\n"
+      "                        enables topology-aware group selection\n"
+      "      --hierarchical    two-level P-Reduce (needs --topology)\n"
+      "      --cross-period K  cross-node merge every K groups (default 4)\n"
       "      --workdir DIR     scratch dir (default: mkdtemp under /tmp)\n"
       "      --tcp             TCP loopback instead of Unix-domain sockets\n"
       "      --ft              force the fault-tolerant protocol\n"
@@ -199,6 +204,18 @@ int LauncherMain(int argc, char** argv) {
         std::fprintf(stderr, "bad --delay list %s\n", v);
         return 2;
       }
+    } else if (arg == "--topology") {
+      if (!(v = next())) return Usage(argv[0]);
+      Status ts = Topology::Load(v, &config.run.topology);
+      if (!ts.ok()) {
+        std::fprintf(stderr, "--topology %s: %s\n", v, ts.message().c_str());
+        return 2;
+      }
+    } else if (arg == "--hierarchical") {
+      config.strategy.hierarchy.enabled = true;
+    } else if (arg == "--cross-period") {
+      if (!(v = next())) return Usage(argv[0]);
+      config.strategy.hierarchy.cross_period = std::atoi(v);
     } else if (arg == "--workdir") {
       if (!(v = next())) return Usage(argv[0]);
       options.workdir = v;

@@ -311,7 +311,7 @@ class ThreadedPReduce : public ThreadedStrategy {
   }
 
  private:
-  Controller MakeController(int num_workers) const;
+  Controller MakeController(int num_workers, const Topology& topology) const;
   void RunServiceFaulty(ServiceContext* ctx);
   void RunWorkerFaulty(WorkerContext* ctx);
 
@@ -321,7 +321,8 @@ class ThreadedPReduce : public ThreadedStrategy {
   ControllerStats controller_stats_;
 };
 
-Controller ThreadedPReduce::MakeController(int num_workers) const {
+Controller ThreadedPReduce::MakeController(int num_workers,
+                                           const Topology& topology) const {
   ControllerOptions copts;
   copts.num_workers = num_workers;
   copts.group_size = options_.group_size;
@@ -331,6 +332,9 @@ Controller ThreadedPReduce::MakeController(int num_workers) const {
   copts.dynamic = options_.dynamic;
   copts.frozen_avoidance = options_.frozen_avoidance;
   copts.history_window = options_.history_window;
+  copts.topology = topology;
+  copts.hierarchy = options_.hierarchy;
+  copts.group_cost_budget = options_.group_cost_budget;
   return Controller(copts);
 }
 
@@ -340,7 +344,7 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
   PR_CHECK_LE(options_.group_size, n);
   Endpoint* ep = ctx->endpoint();
 
-  Controller controller = MakeController(n);
+  Controller controller = MakeController(n, ctx->run().topology);
   controller.AttachObservers(ctx->metrics(), ctx->trace(),
                              [ctx] { return ctx->Now(); });
   TraceRecorder* trace = ctx->trace();
@@ -494,7 +498,7 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
 
   while (true) {
     // One controller incarnation: a fresh Controller plus fresh bookkeeping.
-  Controller controller = MakeController(n);
+  Controller controller = MakeController(n, ctx->run().topology);
   controller.AttachObservers(ctx->metrics(), ctx->trace(),
                              [ctx] { return ctx->Now(); });
   if (failovers == 0) {

@@ -41,6 +41,16 @@ void ValidateRunConfig(const RunConfig& config) {
   PR_CHECK(!options.ckpt.enabled() || IsPReduce(strategy.kind) ||
            strategy.kind == StrategyKind::kAllReduce)
       << "coordinated checkpointing covers P-Reduce and All-Reduce";
+  if (!options.topology.flat()) {
+    PR_CHECK_EQ(options.topology.num_workers(), options.num_workers)
+        << "topology places a different worker count than the run";
+  }
+  if (strategy.hierarchy.enabled) {
+    PR_CHECK(IsPReduce(strategy.kind))
+        << "hierarchical two-level scheduling is a P-Reduce feature";
+    PR_CHECK_GE(strategy.hierarchy.cross_period, 1);
+  }
+  PR_CHECK_GE(strategy.group_cost_budget, 0.0);
 }
 
 std::vector<double> ThreadedRunResult::worker_idle_fraction() const {

@@ -176,6 +176,12 @@ struct ThreadedRunOptions {
   /// a default-constructed plan leaves every fast path untouched.
   FaultPlan fault;
 
+  /// Cluster placement (nodes × workers). Flat (the default) reproduces the
+  /// historical uniform fabric. A non-flat topology feeds the controller's
+  /// topology-aware group filter / hierarchical scheduling and classifies
+  /// each endpoint's sends into `transport.inter_node_bytes`.
+  Topology topology;
+
   /// Coordinated checkpointing (P-Reduce kinds and All-Reduce): every
   /// `ckpt.every_iterations` local iterations each worker snapshots its
   /// replica + optimizer state into a shard, and the controller (worker 0

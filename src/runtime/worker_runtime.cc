@@ -53,6 +53,15 @@ WorkerContext::WorkerContext(WorkerRuntime* runtime, int worker)
   }
   endpoint_.AttachObservers(metrics_, "worker." + std::to_string(worker),
                             &runtime->trace_, [this] { return Now(); });
+  if (!runtime->options_.topology.flat()) {
+    // Captured by value: the classifier must outlive rebinds of the runtime's
+    // options. The controller endpoint (id == num_workers) maps to node 0.
+    const Topology topo = runtime->options_.topology;
+    const int self_node = topo.NodeOf(worker);
+    endpoint_.SetInterNodeClassifier([topo, self_node](NodeId peer) {
+      return topo.NodeOf(peer) != self_node;
+    });
+  }
   if (runtime->strategy_options_.compression != CompressionKind::kNone) {
     compressor_ =
         std::make_unique<Compressor>(runtime->strategy_options_.compression);
@@ -190,6 +199,16 @@ ServiceContext::ServiceContext(WorkerRuntime* runtime)
       metrics_(runtime->registry_.NewShard()) {
   endpoint_.AttachObservers(metrics_, "service", &runtime->trace_,
                             [this] { return Now(); });
+  if (!runtime->options_.topology.flat()) {
+    // The controller endpoint sits on node 0 by convention (NodeOf clamps
+    // out-of-range ids), so cross-node control traffic is counted against
+    // the links leaving node 0.
+    const Topology topo = runtime->options_.topology;
+    const int self_node = topo.NodeOf(runtime->options_.num_workers);
+    endpoint_.SetInterNodeClassifier([topo, self_node](NodeId peer) {
+      return topo.NodeOf(peer) != self_node;
+    });
+  }
   if (runtime->strategy_options_.compression != CompressionKind::kNone) {
     compressor_ =
         std::make_unique<Compressor>(runtime->strategy_options_.compression);

@@ -34,9 +34,38 @@ double CostModel::RingAllReduceSeconds(int n) const {
              options_.tensor_latency;
 }
 
+double CostModel::RingAllReduceSeconds(const std::vector<int>& members,
+                                       const Topology& topology) const {
+  const int n = static_cast<int>(members.size());
+  if (n <= 1) return 0.0;
+  if (topology.flat()) return RingAllReduceSeconds(n);
+  // The pipelined ring is lock-step: every chunk traverses every edge, so
+  // one slow inter-node edge paces the whole collective.
+  double worst_cost = 1.0;
+  double worst_latency = 1.0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    const int a = members[i];
+    const int b = members[(i + 1) % members.size()];
+    worst_cost = std::max(worst_cost, topology.LinkCost(a, b));
+    worst_latency = std::max(worst_latency, topology.LinkLatencyFactor(a, b));
+  }
+  const double s = static_cast<double>(model_.param_bytes());
+  const double hops = 2.0 * static_cast<double>(n - 1);
+  return (hops / static_cast<double>(n)) * s * worst_cost /
+             options_.bandwidth +
+         hops * static_cast<double>(model_.num_tensors) *
+             options_.tensor_latency * worst_latency;
+}
+
 double CostModel::GroupReduceSeconds(int p) const {
   // Ready signal to controller + group info back, then the group ring.
   return 2.0 * options_.controller_delay + RingAllReduceSeconds(p);
+}
+
+double CostModel::GroupReduceSeconds(const std::vector<int>& members,
+                                     const Topology& topology) const {
+  return 2.0 * options_.controller_delay +
+         RingAllReduceSeconds(members, topology);
 }
 
 double CostModel::PairwiseAverageSeconds() const {

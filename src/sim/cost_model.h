@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "models/catalog.h"
+#include "topo/topology.h"
 
 namespace pr {
 
@@ -50,9 +53,21 @@ class CostModel {
   /// Ring all-reduce of the full model among n participants.
   double RingAllReduceSeconds(int n) const;
 
+  /// Topology-aware ring all-reduce among `members`: the pipelined ring
+  /// moves at the pace of its slowest (bottleneck) link, so effective
+  /// bandwidth divides by the worst LinkCost over the ring's edges and
+  /// per-hop latency scales by the worst LinkLatencyFactor. Reduces exactly
+  /// to RingAllReduceSeconds(members.size()) on a flat topology.
+  double RingAllReduceSeconds(const std::vector<int>& members,
+                              const Topology& topology) const;
+
   /// Partial reduce among a group of p (same ring formula, smaller group),
   /// plus the controller round trip for the ready signal and group info.
   double GroupReduceSeconds(int p) const;
+
+  /// Topology-aware variant of GroupReduceSeconds over explicit members.
+  double GroupReduceSeconds(const std::vector<int>& members,
+                            const Topology& topology) const;
 
   /// AD-PSGD pairwise model exchange-and-average (two-member ring) over the
   /// collective path.

@@ -18,6 +18,13 @@ SimTraining::SimTraining(const SimTrainingOptions& options)
       rng_(options.seed) {
   PR_CHECK_GE(options.num_workers, 1);
   PR_CHECK_GE(options.batch_size, 1u);
+  PR_CHECK(options.topology.flat() ||
+           options.topology.num_workers() == options.num_workers)
+      << "topology places " << options_.topology.num_workers()
+      << " workers but the run has " << options.num_workers;
+  // Eagerly registered so flat sim runs expose the same transport.* names
+  // as topology-aware ones and as the threaded Endpoint.
+  metrics_shard_->GetCounter("transport.inter_node_bytes");
 
   SyntheticSpec spec = options.custom_dataset.has_value()
                            ? *options.custom_dataset
@@ -363,7 +370,31 @@ void SimTraining::CountWastedGradient() {
 }
 
 void SimTraining::RecordReduceTraffic(size_t p, CompressionKind kind) {
-  if (p < 2) return;
+  (void)AccountReduceTraffic(p, kind);
+}
+
+void SimTraining::RecordReduceTraffic(const std::vector<int>& members,
+                                      CompressionKind kind) {
+  const double bytes = AccountReduceTraffic(members.size(), kind);
+  if (bytes <= 0.0 || options_.topology.flat()) return;
+  // Each ring edge carries an equal 1/p share of the group total; credit
+  // the node-crossing edges' share to the inter-node counter.
+  size_t cross_edges = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (!options_.topology.SameNode(members[i],
+                                    members[(i + 1) % members.size()])) {
+      ++cross_edges;
+    }
+  }
+  if (cross_edges > 0) {
+    const double per_edge = bytes / static_cast<double>(members.size());
+    metrics_shard_->GetCounter("transport.inter_node_bytes")
+        ->Increment(per_edge * static_cast<double>(cross_edges));
+  }
+}
+
+double SimTraining::AccountReduceTraffic(size_t p, CompressionKind kind) {
+  if (p < 2) return 0.0;
   const size_t n = num_params();
   double one_way;
   if (kind == CompressionKind::kNone) {
@@ -410,6 +441,7 @@ void SimTraining::RecordReduceTraffic(size_t p, CompressionKind kind) {
   metrics_shard_->GetCounter("transport.bytes_received")->Increment(bytes);
   metrics_shard_->GetCounter("transport.payload_copies")
       ->Increment(static_cast<double>(p));
+  return bytes;
 }
 
 SimRunResult SimTraining::BuildResult(const std::string& strategy_name) {

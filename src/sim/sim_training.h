@@ -76,6 +76,11 @@ struct SimTrainingOptions {
   CostModelOptions cost;
   HeteroSpec hetero;
 
+  /// Cluster placement. Flat (the default) reproduces the historical
+  /// uniform fabric; a non-flat topology stretches cross-node ring edges in
+  /// the cost model and splits traffic accounting into intra/inter-node.
+  Topology topology;
+
   /// Fault schedule mirrored into virtual time (P-Reduce only): crashes
   /// trigger lease-horizon eviction, ready-signal drops trigger re-sends,
   /// slowdown events scale SampleComputeSeconds, controller crash/restart
@@ -262,6 +267,14 @@ class SimTraining {
   void RecordReduceTraffic(size_t p,
                            CompressionKind kind = CompressionKind::kNone);
 
+  /// Member-aware variant: additionally splits the ring traffic over the
+  /// run topology, crediting the share moved over node-crossing ring edges
+  /// to `transport.inter_node_bytes` (same name the threaded Endpoint
+  /// maintains). Each of the group's ring edges carries an equal 1/p share
+  /// of the total, which is exact for the segmented ring's uniform chunking.
+  void RecordReduceTraffic(const std::vector<int>& members,
+                           CompressionKind kind = CompressionKind::kNone);
+
   /// The run's metrics shard (the simulator is single-threaded, so one
   /// shard serves every strategy) and trace recorder. Strategies register
   /// their instruments here under the shared naming convention.
@@ -312,6 +325,9 @@ class SimTraining {
   void MaybeCheckpoint();
   const float* EvalParams();
   double CurrentLr() const;
+  /// Shared body of the RecordReduceTraffic overloads; returns the total
+  /// bytes accounted (0 when p < 2).
+  double AccountReduceTraffic(size_t p, CompressionKind kind);
 
   SimTrainingOptions options_;
   SimEngine engine_;

@@ -22,6 +22,13 @@ PReduceStrategy::PReduceStrategy(SimTraining* ctx,
   copts.frozen_avoidance = options.frozen_avoidance;
   copts.history_window = options.history_window;
   copts.record_sync_matrices = options.record_sync_matrices;
+  copts.topology = ctx->options().topology;
+  copts.hierarchy = options.hierarchy;
+  copts.group_cost_budget = options.group_cost_budget;
+  if (!copts.topology.flat()) {
+    PR_CHECK_EQ(copts.topology.num_workers(), ctx->num_workers())
+        << "topology places a different worker count than the run";
+  }
   controller_options_ = copts;
   controller_ = std::make_unique<Controller>(copts);
   controller_->AttachObservers(ctx->metrics(), ctx->trace(),
@@ -52,7 +59,7 @@ PReduceStrategy::PReduceStrategy(SimTraining* ctx,
     fault_evictions_ = ctx->metrics()->GetCounter("fault.evictions");
     fault_aborted_ = ctx->metrics()->GetCounter("fault.aborted_groups");
     ctx->metrics()->GetCounter("fault.injected_dups");
-    ctx->metrics()->GetCounter("fault.injected_delays");
+    fault_delays_ = ctx->metrics()->GetCounter("fault.injected_delays");
     ctx->metrics()->GetCounter("fault.heartbeats");
     failovers_counter_ = ctx->metrics()->GetCounter("controller.failovers");
     reregs_counter_ = ctx->metrics()->GetCounter("controller.reregistrations");
@@ -201,7 +208,16 @@ void PReduceStrategy::SendSignal(int worker) {
       return;
     }
   }
-  ctx_->engine()->ScheduleAfter(ctx_->cost().controller_delay(),
+  // The worker->controller hop pays any deterministic link latency the
+  // plan lists on that edge (the controller sits at endpoint id N), same
+  // as the FaultyTransport holding the real message.
+  double hop = ctx_->cost().controller_delay();
+  const double link = plan.LinkDelay(worker, ctx_->num_workers());
+  if (link > 0.0) {
+    hop += link;
+    if (fault_delays_ != nullptr) fault_delays_->Increment();
+  }
+  ctx_->engine()->ScheduleAfter(hop,
                                 [this, worker] { OnSignalArrival(worker); });
 }
 
@@ -247,11 +263,36 @@ void PReduceStrategy::HandleDecisions(
 
     // Group formed: members leave the wait state and spend the group-info
     // delay plus the P-member ring reduce communicating. Groups synchronize
-    // in parallel — nothing here blocks other workers or other groups.
+    // in parallel — nothing here blocks other workers or other groups. The
+    // ring cost is topology-aware: one slow inter-node edge paces the
+    // pipelined ring.
     for (int m : decision.members) ctx_->MarkWaitEnd(m);
-    const double comm = ctx_->cost().controller_delay() +
-                        ctx_->cost().RingAllReduceSeconds(
-                            static_cast<int>(decision.members.size()));
+    double comm = ctx_->cost().controller_delay() +
+                  ctx_->cost().RingAllReduceSeconds(decision.members,
+                                                    ctx_->options().topology);
+    // Deterministic link delays stretch the group the same way the
+    // FaultyTransport stretches real chunks: the group-info broadcast waits
+    // on the slowest controller->member edge, and every ring step waits on
+    // the slowest member->member edge, 2(p-1) steps per reduce.
+    const FaultPlan& fplan = ctx_->options().fault;
+    if (fplan.has_link_delays()) {
+      double info_delay = 0.0;
+      double worst_edge = 0.0;
+      const size_t p = decision.members.size();
+      for (size_t i = 0; i < p; ++i) {
+        const int m = decision.members[i];
+        info_delay = std::max(info_delay,
+                              fplan.LinkDelay(ctx_->num_workers(), m));
+        worst_edge = std::max(
+            worst_edge, fplan.LinkDelay(m, decision.members[(i + 1) % p]));
+      }
+      const double stall =
+          info_delay + 2.0 * static_cast<double>(p - 1) * worst_edge;
+      if (stall > 0.0) {
+        comm += stall;
+        if (fault_delays_ != nullptr) fault_delays_->Increment();
+      }
+    }
     for (int m : decision.members) {
       ctx_->RecordActivity(m, WorkerActivity::kComm, ctx_->engine()->now(),
                            ctx_->engine()->now() + comm);
@@ -327,7 +368,7 @@ void PReduceStrategy::OnGroupReduceDone(const GroupDecision& decision) {
       recent_groups_.emplace_back(decision.group_id, decision.members);
     }
   }
-  ctx_->RecordReduceTraffic(decision.members.size(), options_.compression);
+  ctx_->RecordReduceTraffic(decision.members, options_.compression);
   ctx_->RecordUpdate();
   if (ctx_->stopped()) return;
   for (int m : decision.members) BeginCompute(m);

@@ -77,6 +77,9 @@ class PReduceStrategy : public Strategy {
   Counter* fault_retries_ = nullptr;
   Counter* fault_evictions_ = nullptr;
   Counter* fault_aborted_ = nullptr;
+  /// Mirrors the threaded FaultyTransport's injected-delay count for the
+  /// deterministic link-delay matrix (virtual time, same metric name).
+  Counter* fault_delays_ = nullptr;
 
   // --- Controller outage mirroring ---
   bool controller_down_ = false;

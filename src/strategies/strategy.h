@@ -63,6 +63,13 @@ struct StrategyOptions {
   /// (ring hops, PS pushes and model replies, gossip exchanges), with
   /// per-worker error feedback. kNone = exact fp32 (the default).
   CompressionKind compression = CompressionKind::kNone;
+  /// Two-level hierarchical P-Reduce (intra-node partial groups plus
+  /// scheduled cross-node merges). Requires a non-flat run topology; a no-op
+  /// otherwise.
+  HierarchyOptions hierarchy;
+  /// Ring-cost budget for the group filter's topology-aware connectivity
+  /// check; 0 disables the budget (FIFO picks always stand).
+  double group_cost_budget = 0.0;
 };
 
 /// \brief A synchronization strategy driving a simulated training run.

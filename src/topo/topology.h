@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pr {
+
+/// \brief Two-level hierarchical P-Reduce knobs (carried by StrategyOptions).
+///
+/// When enabled on a non-flat topology, the controller forms node-complete
+/// intra-node partial groups every step and schedules a cross-node merge
+/// group every `cross_period` groups. The scheduled merges are what bridge
+/// the intra-node cliques; reactive frozen detection is left to the merge
+/// steps, where the filter bridges sync-graph components cost-aware.
+struct HierarchyOptions {
+  bool enabled = false;
+  /// Form one cross-node merge group after this many consecutive intra-node
+  /// groups. Must be >= 1 when enabled.
+  int cross_period = 4;
+};
+
+/// \brief Cluster placement: which node each worker lives on, plus the
+/// relative cost of crossing a node boundary.
+///
+/// A default-constructed Topology is *flat* (unspecified): every worker is
+/// treated as co-located, every link costs 1.0, and all topology-aware code
+/// paths reduce to the historical flat behavior. This keeps existing configs
+/// byte-identical through serialization and bit-identical in behavior.
+///
+/// Link classes are two-tier by design — intra-node (cost 1.0) and
+/// inter-node (cost `inter_cost`, latency scaled by `inter_latency_factor`)
+/// — matching the nodes × workers clusters the paper's production traces
+/// come from. Costs are relative to the flat model's bandwidth/latency, so a
+/// flat topology leaves the cost model untouched.
+class Topology {
+ public:
+  /// Flat topology: no placement information, all links uniform.
+  Topology() = default;
+
+  /// Builds `num_nodes` nodes of `workers_per_node` consecutive workers:
+  /// node 0 holds workers [0, workers_per_node), node 1 the next block, etc.
+  static Topology Uniform(int num_nodes, int workers_per_node);
+
+  /// Builds a topology from an explicit placement. Validation rejects
+  /// malformed placements: an empty node, a worker mapped to two nodes, a
+  /// negative worker id, or a worker set that is not contiguous 0..max.
+  static Status FromNodes(const std::vector<std::vector<int>>& nodes,
+                          Topology* out);
+
+  /// True when no placement was specified (the default): all workers
+  /// co-located, all link costs 1.0.
+  bool flat() const { return nodes_.empty(); }
+
+  /// Number of nodes (1 when flat — everything co-located).
+  int num_nodes() const {
+    return flat() ? 1 : static_cast<int>(nodes_.size());
+  }
+
+  /// Number of placed workers (0 when flat).
+  int num_workers() const { return num_workers_; }
+
+  /// Node housing `worker`. Out-of-range ids (including the controller
+  /// endpoint at id num_workers in the threaded engine) map to node 0 by
+  /// convention: the controller is assumed co-located with node 0, and its
+  /// control messages carry no tensor payload anyway.
+  int NodeOf(int worker) const {
+    if (flat() || worker < 0 || worker >= num_workers_) return 0;
+    return node_of_[static_cast<size_t>(worker)];
+  }
+
+  bool SameNode(int a, int b) const { return NodeOf(a) == NodeOf(b); }
+
+  /// Relative cost of the link between two workers: 1.0 intra-node,
+  /// `inter_cost` across nodes. Divides effective bandwidth in the cost
+  /// model and weighs edges in the group filter's connectivity check.
+  double LinkCost(int a, int b) const {
+    return SameNode(a, b) ? 1.0 : inter_cost_;
+  }
+
+  /// Relative per-message latency factor of the link between two workers.
+  double LinkLatencyFactor(int a, int b) const {
+    return SameNode(a, b) ? 1.0 : inter_latency_factor_;
+  }
+
+  /// Sum of LinkCost over the ring edges of `members` (consecutive pairs
+  /// plus the wraparound edge). The quantity the group filter's cost budget
+  /// bounds: a group of g members costs g on a flat topology, more when the
+  /// ring crosses node boundaries.
+  double RingCost(const std::vector<int>& members) const;
+
+  /// Number of distinct nodes the members span (1 when flat).
+  int NodesSpanned(const std::vector<int>& members) const;
+
+  /// Worker ids per node; empty when flat.
+  const std::vector<std::vector<int>>& nodes() const { return nodes_; }
+
+  double inter_cost() const { return inter_cost_; }
+  void set_inter_cost(double cost) { inter_cost_ = cost; }
+  double inter_latency_factor() const { return inter_latency_factor_; }
+  void set_inter_latency_factor(double f) { inter_latency_factor_ = f; }
+
+  /// Text dialect (`prtopo 1` header, one `node <w>...` line per node,
+  /// `inter_cost` / `inter_latency_factor` lines). Same conventions as the
+  /// `prconfig` dialect: '#' comments, unknown keys rejected as version skew.
+  std::string Serialize() const;
+  static Status Parse(const std::string& text, Topology* out);
+
+  /// JSON dialect, derived mechanically from the text dialect:
+  /// {"prtopo": 1, "nodes": [[0,1],[2,3]], "inter_cost": 4, ...}.
+  std::string ToJson() const;
+  static Status FromJson(const std::string& json, Topology* out);
+
+  /// Loads either dialect from a file, sniffing JSON by a leading '{'.
+  static Status Load(const std::string& path, Topology* out);
+
+ private:
+  std::vector<std::vector<int>> nodes_;
+  std::vector<int> node_of_;
+  int num_workers_ = 0;
+  double inter_cost_ = 4.0;
+  double inter_latency_factor_ = 4.0;
+};
+
+}  // namespace pr

@@ -272,5 +272,116 @@ TEST(ControllerTest, GroupSizeEqualsNBehavesLikeAllReduce) {
   EXPECT_NEAR(SpectralRho(c.ExpectedSyncMatrix()), 0.0, 1e-10);
 }
 
+ControllerOptions HierOptions(int cross_period) {
+  // 2 nodes x 2 workers, P=2: intra groups are node-complete pairs.
+  ControllerOptions opt = BasicOptions(4, 2);
+  Status s =
+      Topology::FromNodes({{0, 1}, {2, 3}}, &opt.topology);
+  EXPECT_TRUE(s.ok()) << s.message();
+  opt.hierarchy.enabled = true;
+  opt.hierarchy.cross_period = cross_period;
+  return opt;
+}
+
+// Feeds one ready signal per worker in the given order; returns all formed
+// groups.
+std::vector<GroupDecision> FeedRound(Controller* c,
+                                     const std::vector<int>& order,
+                                     int64_t iteration) {
+  std::vector<GroupDecision> formed;
+  for (int w : order) {
+    for (GroupDecision& d : c->OnReadySignal(w, iteration)) {
+      formed.push_back(std::move(d));
+    }
+  }
+  return formed;
+}
+
+TEST(ControllerHierarchyTest, HoldsUntilNodeCompleteGroupArrives) {
+  Controller c(HierOptions(/*cross_period=*/4));
+  // Two signals from different nodes: enough for P=2 but not for a
+  // node-complete group — the controller holds.
+  EXPECT_TRUE(c.OnReadySignal(0, 1).empty());
+  EXPECT_TRUE(c.OnReadySignal(2, 1).empty());
+  EXPECT_EQ(c.PendingSignals(), 2u);
+  // Worker 1 completes node 0.
+  auto decisions = c.OnReadySignal(1, 1);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].members, (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.stats().intra_node_groups, 1u);
+  EXPECT_EQ(c.stats().cross_node_groups, 0u);
+}
+
+TEST(ControllerHierarchyTest, MergeGroupEveryCrossPeriod) {
+  Controller c(HierOptions(/*cross_period=*/3));
+  uint64_t rounds = 0;
+  std::vector<GroupDecision> all;
+  // Interleave nodes so cross merges always have both nodes queued.
+  for (int round = 0; round < 6; ++round) {
+    for (GroupDecision& d : FeedRound(&c, {0, 2, 1, 3}, round)) {
+      all.push_back(std::move(d));
+    }
+    ++rounds;
+  }
+  ASSERT_GE(all.size(), 6u);
+  const ControllerStats& stats = c.stats();
+  EXPECT_EQ(stats.cross_node_groups + stats.intra_node_groups,
+            stats.groups_formed);
+  // Every third group is a merge spanning both nodes.
+  EXPECT_GT(stats.cross_node_groups, 0u);
+  EXPECT_GT(stats.intra_node_groups, stats.cross_node_groups);
+  for (size_t i = 0; i < all.size(); ++i) {
+    const int spanned = c.options().topology.NodesSpanned(all[i].members);
+    if ((i + 1) % 3 == 0) {
+      EXPECT_EQ(spanned, 2) << "group " << i;
+    } else {
+      EXPECT_EQ(spanned, 1) << "group " << i;
+    }
+  }
+}
+
+TEST(ControllerHierarchyTest, FallsBackToMergesWhenNoNodeCanFill) {
+  Controller c(HierOptions(/*cross_period=*/100));
+  // Worker 1 leaves: node 0 has one live worker, node 1 two. P=2 still
+  // reachable on node 1 — but after worker 3 also leaves, no node can fill
+  // and every group must become a merge.
+  c.NotifyWorkerLeft(1);
+  c.NotifyWorkerLeft(3);
+  c.OnReadySignal(0, 1);
+  auto decisions = c.OnReadySignal(2, 1);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].members, (std::vector<int>{0, 2}));
+  EXPECT_EQ(c.stats().cross_node_groups, 1u);
+}
+
+TEST(ControllerHierarchyTest, FlatTopologyIgnoresHierarchy) {
+  ControllerOptions opt = BasicOptions(4, 2);
+  opt.hierarchy.enabled = true;  // no topology: stays flat FIFO
+  Controller c(opt);
+  c.OnReadySignal(0, 1);
+  auto decisions = c.OnReadySignal(2, 1);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].members, (std::vector<int>{0, 2}));
+  EXPECT_EQ(c.stats().cross_node_groups, 0u);
+  EXPECT_EQ(c.stats().intra_node_groups, 0u);
+}
+
+TEST(ControllerHierarchyTest, TopoCountersMirrorStats) {
+  MetricsRegistry registry;
+  MetricsShard* shard = registry.NewShard();
+  Controller c(HierOptions(/*cross_period=*/2));
+  c.AttachObservers(shard, nullptr, [] { return 0.0; });
+  for (int round = 0; round < 4; ++round) {
+    FeedRound(&c, {0, 2, 1, 3}, round);
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("topo.cross_node_groups"),
+            static_cast<double>(c.stats().cross_node_groups));
+  EXPECT_EQ(snap.counter("topo.intra_node_groups"),
+            static_cast<double>(c.stats().intra_node_groups));
+  EXPECT_GT(c.stats().cross_node_groups, 0u);
+  EXPECT_GT(c.stats().intra_node_groups, 0u);
+}
+
 }  // namespace
 }  // namespace pr

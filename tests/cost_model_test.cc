@@ -124,6 +124,51 @@ TEST(CostModelTest, NoOverlapByDefault) {
   EXPECT_DOUBLE_EQ(cm.ExposedGradientCommSeconds(2.5), 2.5);
 }
 
+TEST(CostModelTest, MemberRingMatchesScalarOnFlatTopology) {
+  CostModel cm = MakeModel("resnet34");
+  Topology flat;
+  EXPECT_DOUBLE_EQ(cm.RingAllReduceSeconds({0, 1, 2, 3}, flat),
+                   cm.RingAllReduceSeconds(4));
+  EXPECT_DOUBLE_EQ(cm.RingAllReduceSeconds({5}, flat), 0.0);
+}
+
+TEST(CostModelTest, IntraNodeRingMatchesScalarOnPlacedTopology) {
+  CostModel cm = MakeModel("resnet34");
+  Topology topo = Topology::Uniform(2, 4);
+  // Members all on node 0: every ring edge is intra, cost factors 1.0.
+  EXPECT_DOUBLE_EQ(cm.RingAllReduceSeconds({0, 1, 2, 3}, topo),
+                   cm.RingAllReduceSeconds(4));
+}
+
+TEST(CostModelTest, CrossNodeRingPaysBottleneckLink) {
+  CostModelOptions opt;
+  opt.bandwidth = 1e9;
+  opt.tensor_latency = 1e-5;
+  const PaperModelInfo& info = LookupPaperModel("resnet34");
+  CostModel cm(info, opt);
+  Topology topo = Topology::Uniform(2, 4);
+  topo.set_inter_cost(4.0);
+  topo.set_inter_latency_factor(3.0);
+  // One member on node 1: the ring's worst edge crosses nodes, so the
+  // bandwidth term is divided by 4 and the latency term multiplied by 3.
+  const int n = 4;
+  const double s = static_cast<double>(info.param_bytes());
+  const double expected =
+      2.0 * (n - 1) / n * s * 4.0 / 1e9 +
+      2.0 * (n - 1) * static_cast<double>(info.num_tensors) * 1e-5 * 3.0;
+  EXPECT_NEAR(cm.RingAllReduceSeconds({0, 1, 2, 4}, topo), expected, 1e-12);
+  EXPECT_GT(cm.RingAllReduceSeconds({0, 1, 2, 4}, topo),
+            cm.RingAllReduceSeconds({0, 1, 2, 3}, topo));
+}
+
+TEST(CostModelTest, GroupReduceMembersAddsControllerRoundTrip) {
+  CostModel cm = MakeModel("resnet34");
+  Topology topo = Topology::Uniform(2, 2);
+  EXPECT_DOUBLE_EQ(cm.GroupReduceSeconds({0, 1}, topo),
+                   2.0 * cm.controller_delay() +
+                       cm.RingAllReduceSeconds({0, 1}, topo));
+}
+
 TEST(PsLinkQueueTest, IdleLinkStartsImmediately) {
   PsLinkQueue link;
   EXPECT_DOUBLE_EQ(link.Acquire(10.0, 2.0), 12.0);

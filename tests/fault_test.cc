@@ -90,6 +90,41 @@ TEST(FaultPlanTest, EdgeOverridesBeatTheDefault) {
   EXPECT_FALSE(plan.RollDrop(1, 0, 0));  // reverse edge uses the default
 }
 
+TEST(FaultPlanTest, LinkDelaysAreSparseAndDirectional) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.has_link_delays());
+  plan.link_delay_seconds[{0, 3}] = 0.02;
+  EXPECT_TRUE(plan.has_link_delays());
+  // Link delays are message faults: both engines must take the faulty path.
+  EXPECT_TRUE(plan.has_message_faults());
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_DOUBLE_EQ(plan.LinkDelay(0, 3), 0.02);
+  EXPECT_DOUBLE_EQ(plan.LinkDelay(3, 0), 0.0);  // directional
+  EXPECT_DOUBLE_EQ(plan.LinkDelay(1, 2), 0.0);  // unlisted edge
+}
+
+TEST(FaultPlanTest, ZeroLinkDelayEntryIsInert) {
+  FaultPlan plan;
+  plan.link_delay_seconds[{0, 1}] = 0.0;
+  EXPECT_FALSE(plan.has_link_delays());
+  EXPECT_FALSE(plan.has_message_faults());
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(FaultPlanTest, LinkDelayIsDeterministicNotRolled) {
+  // Unlike delay_prob, the latency matrix never consults the seed: every
+  // message on a listed edge pays exactly the listed delay.
+  FaultPlan a;
+  a.seed = 7;
+  a.link_delay_seconds[{1, 2}] = 0.5;
+  FaultPlan b = a;
+  b.seed = 99;
+  for (uint64_t seq = 0; seq < 32; ++seq) {
+    EXPECT_DOUBLE_EQ(a.LinkDelay(1, 2), b.LinkDelay(1, 2));
+    EXPECT_FALSE(a.RollDelay(1, 2, seq));  // no probabilistic component
+  }
+}
+
 TEST(FaultPlanTest, ChaosPlanShape) {
   FaultPlan plan = MakeChaosPlan(/*seed=*/11, /*crash_worker=*/3,
                                  /*crash_after_iterations=*/4,
@@ -184,6 +219,56 @@ TEST(FaultyTransportTest, ShutdownFlushesDelayedMessages) {
   std::optional<Envelope> env = faulty.Recv(1);
   ASSERT_TRUE(env.has_value());
   EXPECT_EQ(env->kind, 5);
+}
+
+TEST(FaultyTransportTest, LinkDelayHoldsEveryMessageOnTheEdge) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.link_delay_seconds[{0, 1}] = 0.05;
+  FaultyTransport faulty(&inner, plan);
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 9)).ok());
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 10)).ok());
+  // Deterministic: both messages are held, and both count as injections.
+  EXPECT_EQ(faulty.injected_delays(), 2u);
+  EXPECT_FALSE(faulty.TryRecv(1).has_value());
+  std::optional<Envelope> first = faulty.RecvFor(1, 2.0);
+  std::optional<Envelope> second = faulty.RecvFor(1, 2.0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->kind, 9);
+  EXPECT_EQ(second->kind, 10);
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, LinkDelayLeavesOtherEdgesAlone) {
+  InProcTransport inner(3);
+  FaultPlan plan;
+  plan.link_delay_seconds[{0, 2}] = 30.0;  // only the 0->2 edge is slow
+  FaultyTransport faulty(&inner, plan);
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 7)).ok());
+  // The 0->1 edge is unlisted: delivery is immediate.
+  std::optional<Envelope> env = faulty.TryRecv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->kind, 7);
+  EXPECT_EQ(faulty.injected_delays(), 0u);
+  faulty.Shutdown();
+}
+
+TEST(FaultyTransportTest, LinkDelayStacksWithRolledDelay) {
+  InProcTransport inner(2);
+  FaultPlan plan;
+  plan.default_edge.delay_prob = 1.0;
+  plan.default_edge.delay_seconds = 0.02;
+  plan.link_delay_seconds[{0, 1}] = 0.02;
+  FaultyTransport faulty(&inner, plan);
+  ASSERT_TRUE(faulty.Send(1, Msg(0, 4)).ok());
+  // One message, one injected-delay count — the two sources stack into a
+  // single hold instead of double-counting.
+  EXPECT_EQ(faulty.injected_delays(), 1u);
+  std::optional<Envelope> env = faulty.RecvFor(1, 2.0);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->kind, 4);
+  faulty.Shutdown();
 }
 
 TEST(FaultyTransportTest, DupTwinsShareOnePayloadAllocation) {

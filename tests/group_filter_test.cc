@@ -103,5 +103,112 @@ TEST(GroupFilterTest, FillsWithFifoAfterCoveringComponents) {
   EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1, 2}));
 }
 
+Topology TwoNodesOfThree() {
+  Topology topo;
+  Status s = Topology::FromNodes({{0, 1, 2}, {3, 4, 5}}, &topo);
+  EXPECT_TRUE(s.ok()) << s.message();
+  return topo;
+}
+
+TEST(GroupFilterTopologyTest, TightBudgetRejectsCrossNodeFifoPick) {
+  // Queue head pairs worker 0 with worker 3 — a cross-node ring of cost
+  // 2 * inter_cost = 8. With a budget of 4 the FIFO pick is over budget and
+  // the filter repairs toward node 0's co-residents instead.
+  GroupFilter filter(2, TwoNodesOfThree(), /*cost_budget=*/4.0);
+  GroupHistory history(6, 4);
+  auto selection = filter.Select(MakeQueue({0, 3, 1, 4}), history);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 2}));
+}
+
+TEST(GroupFilterTopologyTest, LooseBudgetKeepsFifoPick) {
+  GroupFilter filter(2, TwoNodesOfThree(), /*cost_budget=*/100.0);
+  GroupHistory history(6, 4);
+  auto selection = filter.Select(MakeQueue({0, 3, 1, 4}), history);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1}));
+}
+
+TEST(GroupFilterTopologyTest, NoBudgetMeansPlainFifo) {
+  GroupFilter filter(2, TwoNodesOfThree());
+  GroupHistory history(6, 4);
+  auto selection = filter.Select(MakeQueue({0, 3, 1, 4}), history);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1}));
+}
+
+TEST(GroupFilterTopologyTest, BudgetRepairNeverStallsWhenNoCheaperRing) {
+  // Every queued pair crosses nodes: the repair cannot beat FIFO, so the
+  // over-budget FIFO pick stands — liveness over thrift.
+  GroupFilter filter(2, TwoNodesOfThree(), /*cost_budget=*/4.0);
+  GroupHistory history(6, 4);
+  auto selection = filter.Select(MakeQueue({0, 3}), history);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1}));
+}
+
+TEST(GroupFilterTopologyTest, IntraNodeModeRequiresNodeCompleteGroup) {
+  GroupFilter filter(3, TwoNodesOfThree());
+  GroupHistory history(6, 4);
+  // Node 1 has all three members queued; node 0 only two. The filter skips
+  // the earlier partial node and selects node 1's complement.
+  auto selection = filter.Select(MakeQueue({0, 3, 1, 4, 5}), history,
+                                 GroupSelectMode::kIntraNode);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{1, 3, 4}));
+}
+
+TEST(GroupFilterTopologyTest, IntraNodeModeHoldsWhenNoNodeIsComplete) {
+  GroupFilter filter(3, TwoNodesOfThree());
+  GroupHistory history(6, 4);
+  // Three signals queued but from both nodes: hold (empty selection).
+  auto selection = filter.Select(MakeQueue({0, 3, 1, 4}), history,
+                                 GroupSelectMode::kIntraNode);
+  EXPECT_TRUE(selection.queue_positions.empty());
+}
+
+TEST(GroupFilterTopologyTest, CrossNodeModeCoversNodesFirst) {
+  GroupFilter filter(2, TwoNodesOfThree());
+  GroupHistory history(6, 4);
+  // FIFO would take {0, 1} (same node); the merge pass prefers covering a
+  // second node: {0, 3}.
+  auto selection = filter.Select(MakeQueue({0, 1, 2, 3}), history,
+                                 GroupSelectMode::kCrossNode);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 3}));
+}
+
+TEST(GroupFilterTopologyTest, CrossNodeModeFillsFifoWhenOneNodeQueued) {
+  GroupFilter filter(2, TwoNodesOfThree());
+  GroupHistory history(6, 4);
+  auto selection = filter.Select(MakeQueue({0, 1, 2}), history,
+                                 GroupSelectMode::kCrossNode);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1}));
+}
+
+TEST(GroupFilterTopologyTest, FrozenBridgePrefersCheapLinks) {
+  // Components {0,1} (node 0) and {2} vs {5}: both bridge candidates are in
+  // uncovered components, but worker 2 shares the anchor's node while 5 is
+  // across the inter-node link — the cost-aware bridge takes 2.
+  GroupFilter filter(2, TwoNodesOfThree());
+  GroupHistory history(6, 3);
+  history.Record({0, 1});
+  history.Record({0, 1});
+  history.Record({0, 1});
+  ASSERT_TRUE(history.IsFrozen());
+  auto selection = filter.Select(MakeQueue({0, 5, 2}), history);
+  EXPECT_TRUE(selection.bridged);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 2}));
+}
+
+TEST(GroupFilterTopologyTest, FrozenBridgeSkippedInIntraNodeMode) {
+  // Under the two-level schedule the window graph is disconnected across
+  // nodes by design; intra-node steps must not be hijacked into bridges.
+  GroupFilter filter(3, TwoNodesOfThree());
+  GroupHistory history(6, 3);
+  history.Record({0, 1, 2});
+  history.Record({3, 4, 5});
+  history.Record({0, 1, 2});
+  ASSERT_TRUE(history.IsFrozen());
+  auto selection = filter.Select(MakeQueue({0, 1, 2, 3}), history,
+                                 GroupSelectMode::kIntraNode);
+  EXPECT_FALSE(selection.bridged);
+  EXPECT_EQ(selection.queue_positions, (std::vector<size_t>{0, 1, 2}));
+}
+
 }  // namespace
 }  // namespace pr

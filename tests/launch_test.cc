@@ -1,5 +1,6 @@
 #include "launch/launcher.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
@@ -15,6 +16,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "runtime/threaded_runtime.h"
+#include "topo/topology.h"
 
 namespace pr {
 namespace {
@@ -47,6 +49,9 @@ RunConfig FancyConfig() {
   config.strategy.dynamic.alpha = 0.625;
   config.strategy.dynamic.staleness_tolerance = 2;
   config.strategy.dynamic.missing_slot_policy = MissingSlotPolicy::kRenormalize;
+  config.strategy.hierarchy.enabled = true;
+  config.strategy.hierarchy.cross_period = 6;
+  config.strategy.group_cost_budget = 12.5;
   config.run.num_workers = 7;
   config.run.iterations_per_worker = 123;
   config.run.batch_size = 48;
@@ -72,11 +77,19 @@ RunConfig FancyConfig() {
   config.run.churn.push_back({/*worker=*/2, /*after_iterations=*/10, 0.05});
   config.run.ckpt.dir = "/tmp/some ckpt dir";
   config.run.ckpt.every_iterations = 16;
+  // Ragged placement: 7 workers over 3 nodes, plus off-default link costs.
+  EXPECT_TRUE(
+      Topology::FromNodes({{0, 1, 2}, {3, 4}, {5, 6}}, &config.run.topology)
+          .ok());
+  config.run.topology.set_inter_cost(5.5);
+  config.run.topology.set_inter_latency_factor(2.25);
   FaultPlan& fault = config.run.fault;
   fault.seed = 17;
   fault.force_fault_tolerant = true;
   fault.default_edge = {0.01, 0.02, 0.03, 0.004};
   fault.edges[{1, 2}] = {0.5, 0.0, 0.25, 0.125};
+  fault.link_delay_seconds[{0, 3}] = 0.015;
+  fault.link_delay_seconds[{3, 0}] = 0.02;
   WorkerFaultEvent crash;
   crash.worker = 3;
   crash.kind = WorkerFaultEvent::Kind::kCrash;
@@ -123,6 +136,45 @@ TEST(ConfigIoTest, RoundTripIsExact) {
   const auto edge = parsed.run.fault.edges.find({1, 2});
   ASSERT_NE(edge, parsed.run.fault.edges.end());
   EXPECT_DOUBLE_EQ(edge->second.delay_seconds, 0.125);
+  EXPECT_TRUE(parsed.strategy.hierarchy.enabled);
+  EXPECT_EQ(parsed.strategy.hierarchy.cross_period, 6);
+  EXPECT_DOUBLE_EQ(parsed.strategy.group_cost_budget, 12.5);
+  ASSERT_EQ(parsed.run.topology.num_nodes(), 3u);
+  EXPECT_EQ(parsed.run.topology.NodeOf(4), 1);
+  EXPECT_DOUBLE_EQ(parsed.run.topology.inter_cost(), 5.5);
+  EXPECT_DOUBLE_EQ(parsed.run.topology.inter_latency_factor(), 2.25);
+  const auto delay = parsed.run.fault.link_delay_seconds.find({3, 0});
+  ASSERT_NE(delay, parsed.run.fault.link_delay_seconds.end());
+  EXPECT_DOUBLE_EQ(delay->second, 0.02);
+}
+
+TEST(ConfigIoTest, RejectsMalformedTopologyAndFaultLines) {
+  RunConfig parsed;
+  // A worker mapped to two nodes, an empty node, non-contiguous ids.
+  EXPECT_FALSE(ParseRunConfig(
+                   "prconfig 1\ntopology.node 0 1\ntopology.node 1 2\n", &parsed)
+                   .ok());
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\ntopology.node 0 1\ntopology.node\n", &parsed)
+          .ok());
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\ntopology.node 0 2\n", &parsed).ok());
+  // Link-cost knobs must be positive, placements integral.
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\ntopology.inter_cost 0\n", &parsed).ok());
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\ntopology.inter_latency_factor -1\n", &parsed)
+          .ok());
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\ntopology.node 0 banana\n", &parsed).ok());
+  // fault.link_delay needs from, to and a non-negative delay.
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\nfault.link_delay 0 1\n", &parsed).ok());
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\nfault.link_delay 0 1 -0.5\n", &parsed).ok());
+  EXPECT_TRUE(
+      ParseRunConfig("prconfig 1\nfault.link_delay 0 1 0.25\n", &parsed).ok());
+  EXPECT_DOUBLE_EQ(parsed.run.fault.LinkDelay(0, 1), 0.25);
 }
 
 TEST(ConfigIoTest, DefaultConfigRoundTrips) {
@@ -202,6 +254,14 @@ TEST(ConfigJsonTest, RandomConfigsRoundTripThroughJson) {
         static_cast<int64_t>(rng() % 5);
     config.strategy.compression = static_cast<CompressionKind>(
         rng() % kNumCompressionKinds);  // all four codec tokens
+    if (coin()) {
+      config.strategy.hierarchy.enabled = true;
+      config.strategy.hierarchy.cross_period = 1 + static_cast<int>(rng() % 8);
+    }
+    if (coin()) {
+      config.strategy.group_cost_budget =
+          static_cast<double>(1 + rng() % 64) / 2.0;
+    }
     config.run.num_workers = 2 + static_cast<int>(rng() % 14);
     config.run.iterations_per_worker = 1 + rng() % 500;
     config.run.batch_size = 1 + rng() % 128;
@@ -232,6 +292,25 @@ TEST(ConfigJsonTest, RandomConfigsRoundTripThroughJson) {
     if (coin()) {
       config.run.ckpt.dir = "/tmp/ckpt dir " + std::to_string(rng() % 100);
       config.run.ckpt.every_iterations = 1 + rng() % 32;
+    }
+    if (coin()) {
+      // Random contiguous placement of num_workers over 2-4 nodes.
+      const int nodes = 2 + static_cast<int>(rng() % 3);
+      std::vector<std::vector<int>> placement(
+          static_cast<size_t>(std::min(nodes, config.run.num_workers)));
+      for (int w = 0; w < config.run.num_workers; ++w) {
+        placement[static_cast<size_t>(w) % placement.size()].push_back(w);
+      }
+      ASSERT_TRUE(Topology::FromNodes(placement, &config.run.topology).ok());
+      config.run.topology.set_inter_cost(
+          static_cast<double>(1 + rng() % 16));
+      config.run.topology.set_inter_latency_factor(
+          static_cast<double>(1 + rng() % 8));
+    }
+    if (coin()) {
+      config.run.fault.link_delay_seconds[{
+          static_cast<int>(rng() % 4), static_cast<int>(rng() % 4)}] =
+          static_cast<double>(rng() % 50) / 1000.0;
     }
     if (coin()) {
       FaultPlan& fault = config.run.fault;
@@ -274,6 +353,31 @@ TEST(ConfigJsonTest, RejectsBadJsonDocuments) {
   // Valid marker alone yields the defaults.
   ASSERT_TRUE(RunConfigFromJson("{\"prconfig\": 1}", &parsed).ok());
   EXPECT_EQ(SerializeRunConfig(parsed), SerializeRunConfig(RunConfig{}));
+}
+
+TEST(ConfigJsonTest, RejectsMalformedPlacements) {
+  RunConfig parsed;
+  // Worker 1 on two nodes: the JSON path must hit the same placement
+  // validation as the text dialect.
+  EXPECT_FALSE(
+      RunConfigFromJson(
+          "{\"prconfig\": 1, \"topology.node\": [[0, 1], [1, 2]]}", &parsed)
+          .ok());
+  EXPECT_FALSE(
+      RunConfigFromJson("{\"prconfig\": 1, \"topology.node\": [[0, 1], []]}",
+                        &parsed)
+          .ok());
+  EXPECT_FALSE(
+      RunConfigFromJson("{\"prconfig\": 1, \"topology.inter_cost\": -2}",
+                        &parsed)
+          .ok());
+  // A well-formed placement parses and lands in run.topology.
+  ASSERT_TRUE(
+      RunConfigFromJson(
+          "{\"prconfig\": 1, \"topology.node\": [[0, 1], [2, 3]]}", &parsed)
+          .ok());
+  ASSERT_EQ(parsed.run.topology.num_nodes(), 2u);
+  EXPECT_EQ(parsed.run.topology.NodeOf(3), 1);
 }
 
 ProcessReport FancyReport() {

@@ -377,6 +377,48 @@ TEST(ThreadedRuntimeTest, SimAndThreadedShareMetricNames) {
   // Engine-specific wall clocks keep distinct names on purpose.
   EXPECT_GT(threaded.metrics.gauge("run.wall_seconds"), 0.0);
   EXPECT_GT(simulated.metrics.gauge("run.sim_seconds"), 0.0);
+  // Topology instruments are registered eagerly, so even these flat runs
+  // expose the names (at zero) — a dashboard never sees a missing series.
+  for (const char* name : {"topo.cross_node_groups", "topo.intra_node_groups",
+                           "transport.inter_node_bytes"}) {
+    EXPECT_TRUE(threaded.metrics.counters.count(name)) << "threaded: " << name;
+    EXPECT_TRUE(simulated.metrics.counters.count(name)) << "sim: " << name;
+  }
+}
+
+TEST(ThreadedRuntimeTest, TopologyMetricsAgreeAcrossEngines) {
+  // Hierarchical run on 2x2 nodes in both engines: the topo.* and
+  // transport.inter_node_bytes families must be live (non-zero) under the
+  // same names, and the group split must mirror the controller stats.
+  StrategyOptions strat = Strat(StrategyKind::kPReduceConst);
+  strat.hierarchy.enabled = true;
+  strat.hierarchy.cross_period = 2;
+
+  ThreadedRunOptions opt = SmallOptions();
+  ASSERT_TRUE(Topology::FromNodes({{0, 1}, {2, 3}}, &opt.topology).ok());
+  ThreadedRunResult threaded = RunPair(strat, opt);
+
+  ExperimentConfig sim;
+  sim.training.num_workers = 4;
+  sim.training.max_updates = 60;
+  sim.training.accuracy_threshold = -1.0;
+  ASSERT_TRUE(
+      Topology::FromNodes({{0, 1}, {2, 3}}, &sim.training.topology).ok());
+  sim.strategy = strat;
+  SimRunResult simulated = RunExperiment(sim);
+
+  for (const auto* r : {&threaded.metrics, &simulated.metrics}) {
+    EXPECT_GT(r->counter("topo.intra_node_groups"), 0.0);
+    EXPECT_GT(r->counter("topo.cross_node_groups"), 0.0);
+    EXPECT_GT(r->counter("transport.inter_node_bytes"), 0.0);
+  }
+  EXPECT_EQ(threaded.metrics.counter("topo.intra_node_groups"),
+            static_cast<double>(threaded.controller_stats.intra_node_groups));
+  EXPECT_EQ(threaded.metrics.counter("topo.cross_node_groups"),
+            static_cast<double>(threaded.controller_stats.cross_node_groups));
+  // Inter-node traffic must be a strict subset of total traffic.
+  EXPECT_LT(threaded.metrics.counter("transport.inter_node_bytes"),
+            threaded.metrics.counter("transport.bytes_sent"));
 }
 
 TEST(ThreadedRuntimeTest, TraceDisabledByDefaultAndBoundedWhenOn) {

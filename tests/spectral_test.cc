@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "core/controller.h"
 #include "core/spectral.h"
+#include "topo/topology.h"
 
 namespace pr {
 namespace {
@@ -131,6 +133,62 @@ TEST(SpectralTest, SgdErrorShrinksWithK) {
 TEST(SpectralTest, NetworkErrorVanishesAtAllReduce) {
   auto terms = TheoremOneBound(0.01, 10.0, 1.0, 5.0, 8, 8, 10000, 0.0);
   EXPECT_DOUBLE_EQ(terms.network_error, 0.0);
+}
+
+TEST(SpectralTest, HierarchyWithinFlatBoundBasics) {
+  // Identical rho trivially satisfies the bound; a degenerate rho >= 1
+  // (disconnected expectation) never does.
+  const double rho = HomogeneousRho(8, 2);
+  EXPECT_TRUE(HierarchyWithinFlatBound(1e-3, 10.0, 8, 2, rho, rho));
+  EXPECT_FALSE(HierarchyWithinFlatBound(1e-3, 10.0, 8, 2, rho, 1.0));
+  EXPECT_FALSE(HierarchyWithinFlatBound(1e-3, 10.0, 8, 2, 1.0, rho));
+  // A slightly larger hierarchical rho passes as long as the Eq. 7 LHS
+  // stays within the flat config's own slack (max(1, lhs_flat)).
+  EXPECT_TRUE(HierarchyWithinFlatBound(1e-4, 10.0, 8, 2, rho,
+                                       0.5 * (1.0 + rho)));
+}
+
+// Drives a flat and a hierarchical controller through the same arrival
+// pattern and checks the hierarchy's measured E[W_k] spectral gap survives:
+// rho_hier < 1 (the expectation mixes) and the Theorem 1 learning-rate
+// condition that the flat config satisfies still holds under rho_hier.
+TEST(SpectralTest, HierarchicalExpectationKeepsTheoremOneGap) {
+  const int n = 8;
+  const int p = 2;
+  ControllerOptions flat_opt;
+  flat_opt.num_workers = n;
+  flat_opt.group_size = p;
+  flat_opt.record_sync_matrices = true;
+
+  ControllerOptions hier_opt = flat_opt;
+  Status s = Topology::FromNodes({{0, 1, 2, 3}, {4, 5, 6, 7}},
+                                 &hier_opt.topology);
+  ASSERT_TRUE(s.ok()) << s.message();
+  hier_opt.hierarchy.enabled = true;
+  hier_opt.hierarchy.cross_period = 3;
+
+  Controller flat(flat_opt);
+  Controller hier(hier_opt);
+  // Interleaved arrivals: both nodes always represented in the queue.
+  for (int round = 0; round < 60; ++round) {
+    for (int w : {0, 4, 1, 5, 2, 6, 3, 7}) {
+      flat.OnReadySignal(w, round);
+      hier.OnReadySignal(w, round);
+    }
+  }
+  ASSERT_GT(hier.stats().cross_node_groups, 0u);
+  ASSERT_GT(hier.stats().intra_node_groups, 0u);
+
+  const double rho_flat = SpectralRho(flat.ExpectedSyncMatrix());
+  const double rho_hier = SpectralRho(hier.ExpectedSyncMatrix());
+  EXPECT_LT(rho_flat, 1.0);
+  EXPECT_LT(rho_hier, 1.0);  // merges keep E[W_k] mixing
+  // Same Theorem 1 learning-rate condition (Eq. 7) the flat config is run
+  // under: the hierarchy must not break it.
+  const double gamma = 1e-3;
+  const double lipschitz_l = 10.0;
+  EXPECT_TRUE(HierarchyWithinFlatBound(gamma, lipschitz_l, n, p, rho_flat,
+                                       rho_hier));
 }
 
 }  // namespace
