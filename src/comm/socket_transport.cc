@@ -200,9 +200,33 @@ void SocketTransport::ReadLoop(int fd) {
   }
 }
 
+double JitteredBackoff(double base_seconds, double jitter_fraction,
+                       uint64_t salt, uint64_t attempt) {
+  if (base_seconds <= 0.0) return 0.0;
+  double j = jitter_fraction;
+  if (j < 0.0) j = 0.0;
+  if (j >= 1.0) j = 0.999;
+  if (j == 0.0) return base_seconds;
+  // splitmix64 finalizer over (salt, attempt): pure, no shared RNG state.
+  uint64_t x = salt * 0x9e3779b97f4a7c15ULL + attempt + 1;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0, 1)
+  return base_seconds * (1.0 - j + 2.0 * j * u);
+}
+
+uint64_t SocketTransport::JitterSalt(NodeId to) const {
+  const uint64_t me =
+      local_nodes_.empty() ? 0 : static_cast<uint64_t>(local_nodes_[0]);
+  return (me << 32) ^ static_cast<uint64_t>(static_cast<uint32_t>(to));
+}
+
 int SocketTransport::DialWithRetry(NodeId to, double window_seconds) {
   const std::string path = AddressPath(to);
   const double start = Now();
+  const uint64_t salt = JitterSalt(to);
+  uint64_t attempt = 0;
   double backoff = config_.backoff_initial_seconds;
   while (true) {
     if (closed_.load(std::memory_order_acquire)) return -1;
@@ -248,17 +272,21 @@ int SocketTransport::DialWithRetry(NodeId to, double window_seconds) {
     }
     const double left = window_seconds - (Now() - start);
     if (left <= 0.0) return -1;
-    SleepFor(std::min(backoff, left));
+    SleepFor(std::min(
+        JitteredBackoff(backoff, config_.backoff_jitter, salt, attempt++),
+        left));
     backoff = std::min(backoff * 2.0, config_.backoff_max_seconds);
   }
 }
 
-void SocketTransport::MarkPeerDown(Peer* peer) {
+void SocketTransport::MarkPeerDown(Peer* peer, NodeId to) {
   peer->backoff = peer->backoff <= 0.0
                       ? config_.backoff_initial_seconds
                       : std::min(peer->backoff * 2.0,
                                  config_.backoff_max_seconds);
-  peer->down_until = Now() + peer->backoff;
+  peer->down_until =
+      Now() + JitteredBackoff(peer->backoff, config_.backoff_jitter,
+                              JitterSalt(to), ++peer->down_attempts);
 }
 
 bool SocketTransport::EnsureConnected(Peer* peer, NodeId to) {
@@ -273,13 +301,14 @@ bool SocketTransport::EnsureConnected(Peer* peer, NodeId to) {
                            : config_.connect_window_seconds;
   const int fd = DialWithRetry(to, window);
   if (fd < 0) {
-    MarkPeerDown(peer);
+    MarkPeerDown(peer, to);
     return false;
   }
   if (peer->ever_connected) reconnects_.fetch_add(1);
   peer->ever_connected = true;
   peer->backoff = 0.0;
   peer->down_until = 0.0;
+  peer->down_attempts = 0;
   peer->fd = fd;
   return true;
 }
@@ -315,7 +344,7 @@ Status SocketTransport::Send(NodeId to, Envelope env) {
     ::close(peer->fd);
     peer->fd = -1;
   }
-  MarkPeerDown(peer);
+  MarkPeerDown(peer, to);
   send_drops_.fetch_add(1);
   return Status::OK();
 }

@@ -32,7 +32,22 @@ struct SocketConfig {
   double redial_window_seconds = 0.1;
   double backoff_initial_seconds = 0.002;
   double backoff_max_seconds = 0.25;
+  /// Multiplicative jitter spread on every backoff sleep: each wait is drawn
+  /// deterministically from [base*(1-j), base*(1+j)). Without it, a
+  /// rack-wide departure has every survivor redialing the same dead peers on
+  /// the same exponential schedule — a reconnect stampede that lands
+  /// synchronized connect() bursts exactly when the rack returns. 0 disables.
+  double backoff_jitter = 0.5;
 };
+
+/// \brief Deterministic jittered backoff: `base_seconds` spread to
+/// [base*(1-j), base*(1+j)) by a splitmix64 hash of (salt, attempt).
+///
+/// Pure in its inputs — distinct (salt, attempt) pairs desynchronize
+/// identical backoff schedules without any shared RNG state, and tests can
+/// assert exact values. `jitter_fraction` is clamped to [0, 1).
+double JitteredBackoff(double base_seconds, double jitter_fraction,
+                       uint64_t salt, uint64_t attempt);
 
 /// \brief A Transport over real sockets for the node(s) hosted in this
 /// process.
@@ -90,6 +105,7 @@ class SocketTransport : public Transport {
     bool ever_connected = false;
     double down_until = 0.0;   // steady-clock seconds; dials suppressed until
     double backoff = 0.0;
+    uint64_t down_attempts = 0;  // jitter stream position for this peer
   };
 
   std::string AddressPath(NodeId id) const;
@@ -100,7 +116,10 @@ class SocketTransport : public Transport {
   /// Ensures peer->fd is connected (dialing if allowed). Caller holds
   /// peer->mu. Returns false when the peer is down and the send should drop.
   bool EnsureConnected(Peer* peer, NodeId to);
-  void MarkPeerDown(Peer* peer);
+  void MarkPeerDown(Peer* peer, NodeId to);
+  /// Salt for this transport's jitter stream toward `to`: distinct
+  /// (dialer, target) pairs draw uncorrelated backoff sequences.
+  uint64_t JitterSalt(NodeId to) const;
   void AcceptLoop(NodeId id, int listen_fd);
   void ReadLoop(int fd);
   void RegisterConnFd(int fd);

@@ -19,6 +19,7 @@ size_t ResolveWindow(const ControllerOptions& options) {
 
 Controller::Controller(const ControllerOptions& options)
     : options_(options),
+      effective_group_size_(options.group_size),
       filter_(static_cast<size_t>(options.group_size), options.topology,
               options.group_cost_budget),
       history_(static_cast<size_t>(options.num_workers),
@@ -70,7 +71,7 @@ bool Controller::IntraNodeGroupPossible() const {
         ++live;
       }
     }
-    if (live >= options_.group_size) return true;
+    if (live >= effective_group_size_) return true;
   }
   return false;
 }
@@ -138,8 +139,18 @@ std::vector<GroupDecision> Controller::NotifyWorkerRejoined(int worker) {
   return TryFormGroups();
 }
 
+std::vector<GroupDecision> Controller::SetEffectiveGroupSize(int p) {
+  p = std::max(2, std::min(p, options_.group_size));
+  if (p == effective_group_size_) return {};
+  effective_group_size_ = p;
+  filter_ = GroupFilter(static_cast<size_t>(p), options_.topology,
+                        options_.group_cost_budget);
+  // A smaller P can make the already-queued signals sufficient.
+  return TryFormGroups();
+}
+
 std::vector<GroupDecision> Controller::TryFormGroups() {
-  const size_t p = static_cast<size_t>(options_.group_size);
+  const size_t p = static_cast<size_t>(effective_group_size_);
   std::vector<GroupDecision> formed;
   while (pending_.size() >= p) {
     GroupSelection selection;

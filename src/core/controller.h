@@ -153,6 +153,15 @@ class Controller {
   /// knowledge and the id watermark never moves backwards.
   void Restore(const ControllerRestoreState& state);
 
+  /// Graceful degradation: temporarily shrinks (or restores) the effective
+  /// group size used for formation, clamped to [2, options().group_size].
+  /// Shrinking can release queued signals immediately, so formed groups are
+  /// returned like OnReadySignal's. The history window T stays sized for the
+  /// configured P — a smaller effective P only tightens the frozen bound, so
+  /// frozen detection may fire more eagerly while degraded, never less.
+  std::vector<GroupDecision> SetEffectiveGroupSize(int p);
+  int effective_group_size() const { return effective_group_size_; }
+
   const ControllerOptions& options() const { return options_; }
   const ControllerStats& stats() const { return stats_; }
   const GroupHistory& history() const { return history_; }
@@ -181,6 +190,9 @@ class Controller {
   double TraceNow() const { return now_ ? now_() : 0.0; }
 
   ControllerOptions options_;
+  /// Formation size currently in force (== options_.group_size unless a
+  /// degradation gate shrank it).
+  int effective_group_size_ = 0;
   std::vector<bool> departed_;
   GroupFilter filter_;
   GroupHistory history_;

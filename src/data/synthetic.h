@@ -33,6 +33,14 @@ struct SyntheticSpec {
   /// error that caps reachable accuracy (lets us emulate "threshold not
   /// reachable by stale-gradient methods" regimes).
   double label_noise = 0.0;
+  /// Non-IID sharding: when > 0, workers receive Dirichlet(alpha)
+  /// label-skewed shards (ShardDatasetDirichlet) instead of IID draws.
+  /// Small alpha (0.1–0.5) gives each worker a strongly skewed class mix —
+  /// the regime where model averaging and dynamic weights are stressed.
+  /// 0 keeps the historical IID split. Carried on the spec (rather than the
+  /// run options) so one `run.dataset.*` config block describes both the
+  /// distribution and its partitioning.
+  double dirichlet_alpha = 0.0;
   uint64_t seed = 42;
 };
 

@@ -12,12 +12,15 @@ constexpr uint64_t kDelaySalt = 0x64656c61ULL;  // "dela"
 
 bool FaultPlan::enabled() const {
   return force_fault_tolerant || has_message_faults() ||
-         !worker_events.empty() || has_controller_faults();
+         !worker_events.empty() || has_controller_faults() ||
+         has_partitions();
 }
 
 bool FaultPlan::has_controller_faults() const {
   return !controller_events.empty();
 }
+
+bool FaultPlan::has_partitions() const { return !partition_events.empty(); }
 
 bool FaultPlan::has_message_faults() const {
   if (default_edge.active()) return true;

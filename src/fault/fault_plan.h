@@ -44,6 +44,22 @@ struct WorkerFaultEvent {
   int slowdown_iterations = 0;      ///< kSlowdown: 0 = rest of run
 };
 
+/// \brief One scheduled network partition: a worker's links are severed for
+/// a window of time, then restored.
+///
+/// Unlike a crash the worker itself keeps computing; only its messages
+/// vanish in both directions, exactly like an unplugged cable. The threaded
+/// engine applies the window on the wall clock via
+/// FaultyTransport::SeverNode/RestoreNode (the failure detector evicts the
+/// silent worker and the rejoin path readmits it); the simulator applies the
+/// same window on virtual time by taking the worker out of membership for
+/// the duration. Scenario compilation emits these from kPartition events.
+struct PartitionEvent {
+  int worker = -1;
+  double start_seconds = 0.0;     ///< run time at which links are severed
+  double duration_seconds = 0.0;  ///< window length; links restore after
+};
+
 /// \brief One scheduled controller outage.
 ///
 /// The controller crashes once `after_groups` groups have been formed
@@ -83,6 +99,8 @@ struct FaultPlan {
   std::vector<WorkerFaultEvent> worker_events;
   /// Scheduled controller outages, applied in order of `after_groups`.
   std::vector<ControllerFaultEvent> controller_events;
+  /// Timed per-worker link severances, applied in order of `start_seconds`.
+  std::vector<PartitionEvent> partition_events;
 
   // --- Failure-detection / retry knobs (threaded engine) ---
   /// A worker's lease lapses this long after its last message; it must beat
@@ -153,6 +171,10 @@ struct FaultPlan {
   /// True when the plan schedules at least one controller outage (switches
   /// the runtime to the severable transport + re-registration protocol).
   bool has_controller_faults() const;
+
+  /// True when the plan schedules at least one network partition (switches
+  /// the threaded runtime to the severable transport + hardened protocol).
+  bool has_partitions() const;
 
   const EdgeFaultSpec& EdgeSpec(int from, int to) const;
 

@@ -63,9 +63,13 @@ void FaultyTransport::AttachObservers(MetricsShard* metrics,
 }
 
 Status FaultyTransport::Send(NodeId to, Envelope env) {
-  if (node_severed(to)) {
-    // The destination host is gone: the message vanishes and the sender
-    // cannot tell (it would need an ack protocol to notice).
+  const bool from_severed = env.from >= 0 && env.from < inner_->num_nodes() &&
+                            node_severed(env.from);
+  if (node_severed(to) || from_severed) {
+    // The severed host is off the network in both directions: a message
+    // addressed to it vanishes, and a message *from* it never escapes its
+    // partition. Either way the sender cannot tell (it would need an ack
+    // protocol to notice).
     severed_drops_.fetch_add(1, std::memory_order_relaxed);
     if (severed_counter_ != nullptr) severed_counter_->Increment();
     return Status::OK();

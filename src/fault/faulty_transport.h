@@ -62,10 +62,11 @@ class FaultyTransport : public Transport {
   uint64_t injected_delays() const { return delays_.load(); }
   uint64_t severed_drops() const { return severed_drops_.load(); }
 
-  /// Severs `node`'s inbound edges: every Send addressed to it (including
-  /// delayed deliveries coming due) is swallowed, exactly like a host that
-  /// dropped off the network. The sender still sees OK. Used to take the
-  /// controller endpoint down for a scheduled outage.
+  /// Isolates `node` in both directions: every Send addressed to it or
+  /// originating from it (including delayed deliveries coming due) is
+  /// swallowed, exactly like a host that dropped off the network. The
+  /// sender still sees OK. Used to take the controller endpoint down for a
+  /// scheduled outage and to partition workers in scenario replays.
   void SeverNode(NodeId node);
   /// Reconnects a severed node. Messages swallowed in between stay lost —
   /// the failover protocol (re-registration) must tolerate that.

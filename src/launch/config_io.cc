@@ -199,6 +199,26 @@ std::string SerializeRunConfig(const RunConfig& config) {
   out << "strategy.hierarchy.cross_period " << s.hierarchy.cross_period
       << "\n";
   out << "strategy.group_cost_budget " << Num(s.group_cost_budget) << "\n";
+  out << "strategy.scale_policy.kind " << ScalePolicyKindName(s.scale_policy.kind)
+      << "\n";
+  out << "strategy.scale_policy.interval_seconds "
+      << Num(s.scale_policy.interval_seconds) << "\n";
+  out << "strategy.scale_policy.idle_high " << Num(s.scale_policy.idle_high)
+      << "\n";
+  out << "strategy.scale_policy.idle_low " << Num(s.scale_policy.idle_low)
+      << "\n";
+  out << "strategy.scale_policy.min_workers " << s.scale_policy.min_workers
+      << "\n";
+  out << "strategy.scale_policy.max_workers " << s.scale_policy.max_workers
+      << "\n";
+  out << "strategy.scale_policy.trend_window " << s.scale_policy.trend_window
+      << "\n";
+  out << "strategy.scale_policy.min_group_size "
+      << s.scale_policy.min_group_size << "\n";
+  out << "strategy.scale_policy.liveness_floor "
+      << s.scale_policy.liveness_floor << "\n";
+  out << "strategy.scale_policy.partition_ckpt_seconds "
+      << Num(s.scale_policy.partition_ckpt_seconds) << "\n";
 
   out << "run.num_workers " << r.num_workers << "\n";
   out << "run.iterations_per_worker " << r.iterations_per_worker << "\n";
@@ -224,6 +244,8 @@ std::string SerializeRunConfig(const RunConfig& config) {
   out << "run.dataset.separation " << Num(r.dataset.separation) << "\n";
   out << "run.dataset.noise " << Num(r.dataset.noise) << "\n";
   out << "run.dataset.label_noise " << Num(r.dataset.label_noise) << "\n";
+  out << "run.dataset.dirichlet_alpha " << Num(r.dataset.dirichlet_alpha)
+      << "\n";
   out << "run.dataset.seed " << r.dataset.seed << "\n";
 
   for (double d : r.worker_delay_seconds) out << "run.delay " << Num(d) << "\n";
@@ -295,6 +317,19 @@ std::string SerializeRunConfig(const RunConfig& config) {
       << Num(f.max_controller_outage_seconds) << "\n";
   out << "fault.reregister_report_groups " << f.reregister_report_groups
       << "\n";
+
+  // Chaos scenario: the header fields always serialize (defaults round-trip
+  // like every other scalar); events are a repeated list key mirroring the
+  // standalone `prtrace 1` dialect's event grammar.
+  out << "scenario.name " << r.scenario.name << "\n";
+  out << "scenario.seed " << r.scenario.seed << "\n";
+  out << "scenario.expected_iteration_seconds "
+      << Num(r.scenario.expected_iteration_seconds) << "\n";
+  for (const ScenarioEvent& e : r.scenario.events) {
+    out << "scenario.event " << ScenarioEventKindName(e.kind) << " "
+        << Num(e.time) << " " << e.worker << " " << e.node << " "
+        << Num(e.duration) << " " << Num(e.factor) << "\n";
+  }
   return out.str();
 }
 
@@ -459,6 +494,8 @@ Status ParseRunConfig(const std::string& text, RunConfig* out) {
       PR_RETURN_NOT_OK(p.TakeDouble(&r.dataset.noise));
     } else if (key == "run.dataset.label_noise") {
       PR_RETURN_NOT_OK(p.TakeDouble(&r.dataset.label_noise));
+    } else if (key == "run.dataset.dirichlet_alpha") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&r.dataset.dirichlet_alpha));
     } else if (key == "run.dataset.seed") {
       PR_RETURN_NOT_OK(p.TakeUInt(&r.dataset.seed));
     } else if (key == "run.delay") {
@@ -565,6 +602,58 @@ Status ParseRunConfig(const std::string& text, RunConfig* out) {
     } else if (key == "fault.reregister_report_groups") {
       PR_RETURN_NOT_OK(p.TakeInt(&i64));
       f.reregister_report_groups = static_cast<int>(i64);
+    } else if (key == "strategy.scale_policy.kind") {
+      PR_RETURN_NOT_OK(p.TakeString(&token));
+      if (!ScalePolicyKindFromName(token, &s.scale_policy.kind)) {
+        return p.Bad(token);
+      }
+    } else if (key == "strategy.scale_policy.interval_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&s.scale_policy.interval_seconds));
+    } else if (key == "strategy.scale_policy.idle_high") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&s.scale_policy.idle_high));
+    } else if (key == "strategy.scale_policy.idle_low") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&s.scale_policy.idle_low));
+    } else if (key == "strategy.scale_policy.min_workers") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.scale_policy.min_workers = static_cast<int>(i64);
+    } else if (key == "strategy.scale_policy.max_workers") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.scale_policy.max_workers = static_cast<int>(i64);
+    } else if (key == "strategy.scale_policy.trend_window") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.scale_policy.trend_window = static_cast<int>(i64);
+    } else if (key == "strategy.scale_policy.min_group_size") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.scale_policy.min_group_size = static_cast<int>(i64);
+    } else if (key == "strategy.scale_policy.liveness_floor") {
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      s.scale_policy.liveness_floor = static_cast<int>(i64);
+    } else if (key == "strategy.scale_policy.partition_ckpt_seconds") {
+      PR_RETURN_NOT_OK(p.TakeDouble(&s.scale_policy.partition_ckpt_seconds));
+    } else if (key == "scenario.name") {
+      r.scenario.name = p.Rest();
+      if (r.scenario.name.empty()) return p.Missing();
+    } else if (key == "scenario.seed") {
+      PR_RETURN_NOT_OK(p.TakeUInt(&r.scenario.seed));
+    } else if (key == "scenario.expected_iteration_seconds") {
+      double v = 0.0;
+      PR_RETURN_NOT_OK(p.TakeDouble(&v));
+      if (!(v > 0.0)) return p.Bad(Num(v));
+      r.scenario.expected_iteration_seconds = v;
+    } else if (key == "scenario.event") {
+      ScenarioEvent e;
+      PR_RETURN_NOT_OK(p.TakeString(&token));
+      if (!ScenarioEventKindFromName(token, &e.kind)) return p.Bad(token);
+      PR_RETURN_NOT_OK(p.TakeDouble(&e.time));
+      if (!(e.time >= 0.0)) return p.Bad(Num(e.time));
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      e.worker = static_cast<int>(i64);
+      PR_RETURN_NOT_OK(p.TakeInt(&i64));
+      e.node = static_cast<int>(i64);
+      PR_RETURN_NOT_OK(p.TakeDouble(&e.duration));
+      if (e.duration < 0.0) return p.Bad(Num(e.duration));
+      PR_RETURN_NOT_OK(p.TakeDouble(&e.factor));
+      r.scenario.events.push_back(e);
     } else {
       return Status::InvalidArgument("config line " + std::to_string(line_no) +
                                      ": unknown key '" + key + "'");
@@ -611,14 +700,17 @@ bool IsListKey(std::string_view key) {
   return key == "run.model.hidden" || key == "run.delay" ||
          key == "run.churn" || key == "topology.node" ||
          key == "fault.edge" || key == "fault.link_delay" ||
-         key == "fault.worker_event" || key == "fault.controller_event";
+         key == "fault.worker_event" || key == "fault.controller_event" ||
+         key == "scenario.event";
 }
 
 // Whether the token at `index` on a `key` line is a string in the text
 // dialect (everything else is numeric).
 bool IsStringToken(std::string_view key, size_t index) {
   if (key == "strategy.kind" || key == "strategy.compression" ||
-      key == "strategy.dynamic.missing_slot" || key == "run.model.kind") {
+      key == "strategy.dynamic.missing_slot" || key == "run.model.kind" ||
+      key == "strategy.scale_policy.kind" || key == "scenario.name" ||
+      key == "scenario.event") {
     return index == 0;
   }
   if (key == "fault.worker_event") return index == 1;
@@ -646,7 +738,7 @@ Status JsonScalarToToken(const std::string& key, const JsonValue& value,
   switch (value.kind()) {
     case JsonValue::Kind::kString: {
       const std::string& s = value.string_value();
-      if (key != "run.ckpt.dir" &&
+      if (key != "run.ckpt.dir" && key != "scenario.name" &&
           s.find_first_of(" \t\n\r") != std::string::npos) {
         return Status::InvalidArgument("json config key '" + key +
                                        "': string value contains whitespace");
@@ -724,7 +816,7 @@ std::string RunConfigToJson(const RunConfig& config) {
     if (key.empty()) continue;
 
     JsonValue entry;
-    if (key == "run.ckpt.dir") {
+    if (key == "run.ckpt.dir" || key == "scenario.name") {
       std::string rest;
       std::getline(values, rest);
       size_t start = rest.find_first_not_of(" \t");

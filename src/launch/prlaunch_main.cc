@@ -28,6 +28,7 @@
 #include "launch/launcher.h"
 #include "launch/process_runner.h"
 #include "runtime/threaded_runtime.h"
+#include "scenario/scenario.h"
 #include "strategies/strategy.h"
 #include "topo/topology.h"
 
@@ -50,6 +51,8 @@ int Usage(const char* argv0) {
       "      --delay d0,d1,... per-worker iteration delays (seconds)\n"
       "      --topology FILE   cluster topology ('prtopo 1' text or JSON);\n"
       "                        enables topology-aware group selection\n"
+      "      --scenario FILE   churn trace ('prtrace 1' text or JSON);\n"
+      "                        compiled into the run's fault plan\n"
       "      --hierarchical    two-level P-Reduce (needs --topology)\n"
       "      --cross-period K  cross-node merge every K groups (default 4)\n"
       "      --workdir DIR     scratch dir (default: mkdtemp under /tmp)\n"
@@ -209,6 +212,13 @@ int LauncherMain(int argc, char** argv) {
       Status ts = Topology::Load(v, &config.run.topology);
       if (!ts.ok()) {
         std::fprintf(stderr, "--topology %s: %s\n", v, ts.message().c_str());
+        return 2;
+      }
+    } else if (arg == "--scenario") {
+      if (!(v = next())) return Usage(argv[0]);
+      Status ss = LoadScenario(v, &config.run.scenario);
+      if (!ss.ok()) {
+        std::fprintf(stderr, "--scenario %s: %s\n", v, ss.message().c_str());
         return 2;
       }
     } else if (arg == "--hierarchical") {

@@ -359,6 +359,28 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
   int remaining = n;  // workers that have not permanently left
   int active = n;     // currently in the pool (excludes paused workers)
 
+  // Graceful-degradation gates (strategy.scale_policy.*): `min_p` is the
+  // smallest group worth forming when churn pulls the pool below P, and the
+  // liveness floor releases waiters to local SGD no matter what can form.
+  const ScalePolicyConfig& scale_cfg = options_.scale_policy;
+  const bool degrade =
+      scale_cfg.degradation_enabled() || scale_cfg.enabled();
+  const int min_p =
+      scale_cfg.min_group_size > 0
+          ? std::max(2, std::min(scale_cfg.min_group_size,
+                                 options_.group_size))
+          : options_.group_size;
+  Counter* small_groups =
+      degrade ? ctx->metrics()->GetCounter("scenario.degrade.small_groups")
+              : nullptr;
+  Counter* local_steps =
+      degrade ? ctx->metrics()->GetCounter("scenario.degrade.local_steps")
+              : nullptr;
+  auto below_floor = [&] {
+    return scale_cfg.liveness_floor > 0 &&
+           active < scale_cfg.liveness_floor;
+  };
+
   // Releases queued waiters that can never form a full group. Sends fail
   // only when the fabric was shut down mid-run (hard abort); the main loop's
   // next RecvAny observes the closure and drains, so failures are ignored.
@@ -387,16 +409,36 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
     }
   };
 
+  // Shrink-before-hold: track the pool and form groups of
+  // clamp(active, min_p, P) instead of parking waiters behind a full P.
+  auto update_effective_p = [&] {
+    if (min_p >= options_.group_size) return;  // gate disabled
+    const int target =
+        std::max(min_p, std::min(active, options_.group_size));
+    if (target == controller.effective_group_size()) return;
+    if (target < controller.effective_group_size() &&
+        small_groups != nullptr) {
+      small_groups->Increment();
+    }
+    broadcast(controller.SetEffectiveGroupSize(target));
+  };
+
   while (remaining > 0) {
     std::optional<Envelope> env = ep->RecvAny();
     if (!env.has_value()) break;  // transport shut down
     switch (env->kind) {
       case kKindReady:
-        if (active < options_.group_size) {
+        if (active < min_p) {
           // Too few pool members remain for this signal to ever group (the
           // sender may have raced a Leave or Pause); release it immediately.
           PR_CHECK(controller.OnReadySignal(env->from, env->ints[0]).empty());
           release_pending();
+        } else if (below_floor()) {
+          // Liveness-floor degradation: small groups could form, but the
+          // policy demands local SGD until membership recovers — answer
+          // with an immediate release, never enqueue.
+          if (local_steps != nullptr) local_steps->Increment();
+          (void)ep->Send(env->from, 0, kKindRelease, {});
         } else {
           broadcast(controller.OnReadySignal(env->from, env->ints[0]));
         }
@@ -406,7 +448,8 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
         --active;
         // A departure can release frozen-avoidance holds.
         broadcast(controller.NotifyWorkerLeft(env->from));
-        if (active < options_.group_size) release_pending();
+        update_effective_p();
+        if (active < min_p) release_pending();
         break;
       case kKindPause:
         // Elastic leave: the worker will rejoin, but until then it must not
@@ -414,12 +457,14 @@ void ThreadedPReduce::RunService(ServiceContext* ctx) {
         --active;
         trace->Record(ctx->Now(), TraceEventKind::kChurnLeave, env->from);
         broadcast(controller.NotifyWorkerLeft(env->from));
-        if (active < options_.group_size) release_pending();
+        update_effective_p();
+        if (active < min_p) release_pending();
         break;
       case kKindRejoin:
         ++active;
         trace->Record(ctx->Now(), TraceEventKind::kChurnRejoin, env->from);
         broadcast(controller.NotifyWorkerRejoined(env->from));
+        update_effective_p();
         break;
       case kKindCkptReport:
         ckpt.OnReport(*env, controller, group_reduces_);
@@ -448,6 +493,7 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
   ctx->metrics()->GetCounter("fault.retries");
   ctx->metrics()->GetCounter("fault.injected_drops");
   ctx->metrics()->GetCounter("fault.injected_dups");
+  ctx->metrics()->GetCounter("fault.injected_delays");
   ctx->metrics()->GetCounter("fault.severed_drops");
   Counter* failovers_counter =
       ctx->metrics()->GetCounter("controller.failovers");
@@ -455,6 +501,24 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
       ctx->metrics()->GetCounter("controller.reregistrations");
 
   ServiceCkpt ckpt(ctx, options_);
+
+  // Graceful-degradation gates — same semantics as the fault-free service
+  // (shrink-before-hold, liveness-floor local SGD), shared across
+  // controller incarnations.
+  const ScalePolicyConfig& scale_cfg = options_.scale_policy;
+  const bool degrade =
+      scale_cfg.degradation_enabled() || scale_cfg.enabled();
+  const int min_p =
+      scale_cfg.min_group_size > 0
+          ? std::max(2, std::min(scale_cfg.min_group_size,
+                                 options_.group_size))
+          : options_.group_size;
+  Counter* small_groups =
+      degrade ? ctx->metrics()->GetCounter("scenario.degrade.small_groups")
+              : nullptr;
+  Counter* local_steps =
+      degrade ? ctx->metrics()->GetCounter("scenario.degrade.local_steps")
+              : nullptr;
 
   // Controller outage schedule, ordered by trigger point. Triggers are
   // cumulative group counts, so they stay meaningful across restarts.
@@ -595,6 +659,22 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
       }
     };
 
+    auto update_effective_p = [&] {
+      if (min_p >= options_.group_size) return;  // gate disabled
+      const int target =
+          std::max(min_p, std::min(active, options_.group_size));
+      if (target == controller.effective_group_size()) return;
+      if (target < controller.effective_group_size() &&
+          small_groups != nullptr) {
+        small_groups->Increment();
+      }
+      broadcast(controller.SetEffectiveGroupSize(target));
+    };
+    auto below_floor = [&] {
+      return scale_cfg.liveness_floor > 0 &&
+             active < scale_cfg.liveness_floor;
+    };
+
     auto evict = [&](int w) {
       evictions_counter->Increment();
       trace->Record(ctx->Now(), TraceEventKind::kWorkerEvicted, w);
@@ -606,7 +686,8 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
       --remaining;
       --active;
       broadcast(controller.EvictWorker(w));
-      if (active < options_.group_size) release_pending();
+      update_effective_p();
+      if (active < min_p) release_pending();
     };
 
     auto unevict = [&](int w) {
@@ -616,7 +697,9 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
       detector.Resume(w, ctx->Now());
       trace->Record(ctx->Now(), TraceEventKind::kChurnRejoin, w);
       broadcast(controller.NotifyWorkerRejoined(w));
+      update_effective_p();
     };
+    update_effective_p();
 
     if (failovers > 0) {
       // Recovery window: the restarted controller has no signal queue, no
@@ -762,7 +845,8 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
         queued_iter[sw] = r.iteration;
         broadcast(controller.OnReadySignal(r.worker, r.iteration));
       }
-      if (active < options_.group_size) release_pending();
+      update_effective_p();
+      if (active < min_p) release_pending();
     }
 
     Exit exit_reason = Exit::kAllLeft;
@@ -839,10 +923,19 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
             controller.PurgePending(w);
             wstate[sw] = WState::kIdle;
           }
+          if (below_floor()) {
+            // Liveness-floor degradation: answer with an immediate release
+            // (local SGD) instead of enqueuing; membership recovery lifts
+            // the gate.
+            if (local_steps != nullptr) local_steps->Increment();
+            (void)ep->Send(w, 0, kKindRelease, {});
+            release_pending();
+            break;
+          }
           wstate[sw] = WState::kQueued;
           queued_iter[sw] = it;
           broadcast(controller.OnReadySignal(w, it));
-          if (active < options_.group_size) release_pending();
+          if (active < min_p) release_pending();
           break;
         }
 
@@ -862,7 +955,8 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
           --remaining;
           --active;
           broadcast(controller.NotifyWorkerLeft(w));
-          if (active < options_.group_size) release_pending();
+          update_effective_p();
+          if (active < min_p) release_pending();
           break;
         }
 
@@ -876,7 +970,8 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
           --active;
           trace->Record(now, TraceEventKind::kChurnLeave, w);
           broadcast(controller.NotifyWorkerLeft(w));
-          if (active < options_.group_size) release_pending();
+          update_effective_p();
+          if (active < min_p) release_pending();
           break;
         }
 
@@ -887,6 +982,7 @@ void ThreadedPReduce::RunServiceFaulty(ServiceContext* ctx) {
             detector.Resume(w, now);
             trace->Record(now, TraceEventKind::kChurnRejoin, w);
             broadcast(controller.NotifyWorkerRejoined(w));
+            update_effective_p();
           } else if (wstate[sw] == WState::kEvicted) {
             unevict(w);
           }
@@ -990,26 +1086,76 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
   std::vector<float> grad;
   int64_t iteration = ctx->resume_iteration();
 
-  const ThreadedChurnEvent* churn = nullptr;
+  // This worker's absence windows, in firing order. A trace can schedule
+  // several (Poisson churn revisits workers), and an arrive event compiles
+  // to a window at iteration 0 — served before the first local step.
+  std::vector<ThreadedChurnEvent> churns;
   for (const ThreadedChurnEvent& c : run.churn) {
-    if (c.worker == ctx->worker()) churn = &c;
+    if (c.worker == ctx->worker()) churns.push_back(c);
   }
+  std::sort(churns.begin(), churns.end(),
+            [](const ThreadedChurnEvent& a, const ThreadedChurnEvent& b) {
+              return a.after_iterations < b.after_iterations;
+            });
+  size_t next_churn = 0;
+  // Serves every window due at or before boundary `k` (windows behind a
+  // resume's start point are skipped). Returns false on fabric shutdown.
+  auto run_churn = [&](size_t k) -> bool {
+    while (next_churn < churns.size() &&
+           churns[next_churn].after_iterations <= k) {
+      if (churns[next_churn].after_iterations == k) {
+        if (!ep->Send(controller, 0, kKindPause, {}).ok()) return false;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            churns[next_churn].pause_seconds));
+        if (!ep->Send(controller, 0, kKindRejoin, {}).ok()) return false;
+      }
+      ++next_churn;
+    }
+    return true;
+  };
+  // Autoscaling pause: the policy thread flags this worker out; sit out on
+  // the same elastic path a trace departure uses. The wait is bounded
+  // (lease-like) so a policy stuck at its minimum can never deadlock the
+  // run's termination.
+  ScaleDirector* scale = ctx->scale_director();
+  const double scale_pause_budget =
+      8.0 * ctx->strategy_options().scale_policy.interval_seconds;
+  auto scale_pause = [&]() -> bool {
+    if (scale == nullptr || !scale->ShouldPause(ctx->worker())) return true;
+    if (!ep->Send(controller, 0, kKindPause, {}).ok()) return false;
+    const double deadline = ctx->Now() + scale_pause_budget;
+    while (scale->ShouldPause(ctx->worker()) && ctx->Now() < deadline) {
+      if (ep->closed()) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return ep->Send(controller, 0, kKindRejoin, {}).ok();
+  };
 
   // Checkpoint cut: shard written after iteration k's synchronization
   // resolved (reduce or release), reported to the controller, which writes
   // the manifest once every worker reported the epoch. The final iteration
-  // never cuts — the run is about to end anyway.
+  // never cuts — the run is about to end anyway. Under the sustained-
+  // partition gate the *next* epoch index is cut early, at every boundary,
+  // until the service lands a manifest.
   auto maybe_checkpoint = [&](size_t k) {
     const CheckpointConfig& ckpt = run.ckpt;
     if (!ckpt.enabled() || ckpt.every_iterations == 0) return;
-    if (k % ckpt.every_iterations != 0) return;
-    const int64_t epoch = static_cast<int64_t>(k / ckpt.every_iterations);
+    int64_t epoch;
+    if (ctx->forced_ckpt()) {
+      epoch = static_cast<int64_t>((k + ckpt.every_iterations - 1) /
+                                   ckpt.every_iterations);
+      if (epoch == 0) epoch = 1;
+    } else {
+      if (k % ckpt.every_iterations != 0) return;
+      epoch = static_cast<int64_t>(k / ckpt.every_iterations);
+    }
     if (ctx->SaveCkptShard(epoch).ok()) {
       (void)ep->Send(controller, 0, kKindCkptReport,
                      {epoch, iteration, static_cast<int64_t>(k)});
     }
   };
 
+  if (!run_churn(ctx->start_iteration())) return;  // arrive-at-start windows
   if (ctx->start_iteration() >= run.iterations_per_worker) {
     // The manifest cut at this worker's full budget; nothing left to run.
     // A failed send here (and below) means the fabric was shut down by a
@@ -1040,14 +1186,10 @@ void ThreadedPReduce::RunWorker(WorkerContext* ctx) {
       break;
     }
 
-    if (churn != nullptr && k == churn->after_iterations) {
-      // Elastic pause: leave the pool, nap, rejoin with the parameters we
-      // last held.
-      if (!ep->Send(controller, 0, kKindPause, {}).ok()) return;  // shutdown
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(churn->pause_seconds));
-      if (!ep->Send(controller, 0, kKindRejoin, {}).ok()) return;  // shutdown
-    }
+    // Elastic pause: leave the pool, nap, rejoin with the parameters we
+    // last held. Trace-driven windows first, then the autoscaler's verdict.
+    if (!run_churn(k)) return;   // shutdown
+    if (!scale_pause()) return;  // shutdown
 
     if (!ep->Send(controller, 0, kKindReady, {iteration}).ok()) {
       return;  // fabric shut down (abort/eviction) while we were computing
@@ -1131,10 +1273,43 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
       hangs.push_back(&e);
     }
   }
-  const ThreadedChurnEvent* churn = nullptr;
+  // All of this worker's absence windows, in firing order (see RunWorker).
+  // Sends here are best-effort: on the faulty path a failed send can mean a
+  // controller outage, not shutdown, and the protocol tolerates the loss.
+  std::vector<ThreadedChurnEvent> churns;
   for (const ThreadedChurnEvent& c : run.churn) {
-    if (c.worker == ctx->worker()) churn = &c;
+    if (c.worker == ctx->worker()) churns.push_back(c);
   }
+  std::sort(churns.begin(), churns.end(),
+            [](const ThreadedChurnEvent& a, const ThreadedChurnEvent& b) {
+              return a.after_iterations < b.after_iterations;
+            });
+  size_t next_churn = 0;
+  auto run_churn = [&](size_t k) {
+    while (next_churn < churns.size() &&
+           churns[next_churn].after_iterations <= k) {
+      if (churns[next_churn].after_iterations == k) {
+        (void)ep->Send(controller, 0, kKindPause, {});
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            churns[next_churn].pause_seconds));
+        (void)ep->Send(controller, 0, kKindRejoin, {});
+      }
+      ++next_churn;
+    }
+  };
+  ScaleDirector* scale = ctx->scale_director();
+  const double scale_pause_budget =
+      8.0 * ctx->strategy_options().scale_policy.interval_seconds;
+  auto scale_pause = [&] {
+    if (scale == nullptr || !scale->ShouldPause(ctx->worker())) return;
+    (void)ep->Send(controller, 0, kKindPause, {});
+    const double deadline = ctx->Now() + scale_pause_budget;
+    while (scale->ShouldPause(ctx->worker()) && ctx->Now() < deadline) {
+      if (ep->closed()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    (void)ep->Send(controller, 0, kKindRejoin, {});
+  };
 
   auto note_retry = [&] {
     retries_counter->Increment();
@@ -1155,14 +1330,24 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
   auto maybe_checkpoint = [&](size_t k) {
     const CheckpointConfig& ckpt = run.ckpt;
     if (!ckpt.enabled() || ckpt.every_iterations == 0) return;
-    if (k % ckpt.every_iterations != 0) return;
-    const int64_t epoch = static_cast<int64_t>(k / ckpt.every_iterations);
+    int64_t epoch;
+    if (ctx->forced_ckpt()) {
+      // Sustained-partition gate: cut the upcoming epoch at every boundary
+      // until the service lands a manifest (see RunWorker).
+      epoch = static_cast<int64_t>((k + ckpt.every_iterations - 1) /
+                                   ckpt.every_iterations);
+      if (epoch == 0) epoch = 1;
+    } else {
+      if (k % ckpt.every_iterations != 0) return;
+      epoch = static_cast<int64_t>(k / ckpt.every_iterations);
+    }
     if (ctx->SaveCkptShard(epoch).ok()) {
       (void)ep->Send(controller, 0, kKindCkptReport,
                      {epoch, iteration, static_cast<int64_t>(k)});
     }
   };
 
+  run_churn(ctx->start_iteration());  // arrive-at-start windows
   if (ctx->start_iteration() >= run.iterations_per_worker) {
     ctx->MarkFinished();
     (void)ep->Send(controller, 0, kKindLeave, {});
@@ -1203,12 +1388,8 @@ void ThreadedPReduce::RunWorkerFaulty(WorkerContext* ctx) {
         (void)ep->Send(controller, 0, kKindRejoin, {});
       }
     }
-    if (churn != nullptr && k == churn->after_iterations) {
-      (void)ep->Send(controller, 0, kKindPause, {});
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(churn->pause_seconds));
-      (void)ep->Send(controller, 0, kKindRejoin, {});
-    }
+    run_churn(k);
+    scale_pause();
 
     (void)ep->Send(controller, 0, kKindReady, {iteration});
 

@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/sgd.h"
+#include "scenario/scenario.h"
 #include "sim/timeline.h"
 #include "strategies/strategy.h"
 
@@ -189,6 +190,16 @@ struct ThreadedRunOptions {
   /// reported the epoch. A run killed after a manifest lands resumes via
   /// RestoreThreadedRun. Disabled by default.
   CheckpointConfig ckpt;
+
+  /// Trace-driven chaos scenario (P-Reduce kinds only). A non-empty
+  /// scenario is compiled at run start (CompileScenario) and *merged* into
+  /// `fault` and `churn` above: crash/hang/slowdown events become
+  /// iteration-keyed fault events, depart/arrive windows become churn
+  /// events, and partitions are applied on the wall clock by a scheduler
+  /// thread through the severable transport. The compiled scenario.* event
+  /// counters are registered in the run's metrics with names identical to
+  /// the simulator's.
+  ScenarioSpec scenario;
 
   /// Record a per-worker wall-clock activity timeline (compute/comm/idle
   /// intervals) comparable to the simulator's Fig. 3 traces.

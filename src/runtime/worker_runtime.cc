@@ -189,6 +189,14 @@ void WorkerContext::MarkFinished() {
   runtime_->finish_seconds_[static_cast<size_t>(worker_)] = Now();
 }
 
+bool WorkerContext::forced_ckpt() const {
+  return runtime_->force_ckpt_.load(std::memory_order_acquire);
+}
+
+ScaleDirector* WorkerContext::scale_director() {
+  return runtime_->scale_director_.get();
+}
+
 // ---------------------------------------------------------------------------
 // ServiceContext
 // ---------------------------------------------------------------------------
@@ -260,11 +268,36 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
       trace_(options.trace_capacity) {
   PR_CHECK_GE(options_.num_workers, 1);
   PR_CHECK_GE(options_.iterations_per_worker, 1u);
+  if (options_.scenario.enabled()) {
+    // Compile the trace against this run's shape and merge it into the
+    // fault plan / churn schedule before any transport decisions are made:
+    // from here on a scenario run is indistinguishable from a hand-written
+    // chaos run.
+    CompiledScenario compiled;
+    const Status s =
+        CompileScenario(options_.scenario, options_.num_workers,
+                        options_.topology, options_.fault, &compiled);
+    PR_CHECK(s.ok()) << "scenario '" << options_.scenario.name
+                     << "': " << s.message();
+    options_.fault = std::move(compiled.fault);
+    for (const ChurnWindow& w : compiled.churn) {
+      ThreadedChurnEvent e;
+      e.worker = w.worker;
+      e.after_iterations = static_cast<size_t>(w.after_iterations);
+      e.pause_seconds = w.pause_seconds;
+      options_.churn.push_back(e);
+    }
+  }
+  if (strategy_options_.scale_policy.enabled()) {
+    scale_director_ = std::make_unique<ScaleDirector>(options_.num_workers);
+  }
   // Controller outages sever/restore the service node through the
   // fault-injecting decorator, so plans with controller events need it even
-  // when no per-edge message faults are configured.
+  // when no per-edge message faults are configured. Worker partitions use
+  // the same sever/restore mechanism from the scenario thread.
   if (options_.fault.has_message_faults() ||
-      options_.fault.has_controller_faults()) {
+      options_.fault.has_controller_faults() ||
+      options_.fault.has_partitions()) {
     faulty_ = std::make_unique<FaultyTransport>(&transport_, options_.fault);
     fabric_ = faulty_.get();
   } else {
@@ -283,8 +316,14 @@ WorkerRuntime::WorkerRuntime(const StrategyOptions& strategy_options,
   replicas_->InitAll(init_);
   finish_seconds_.assign(static_cast<size_t>(options_.num_workers), 0.0);
 
-  std::vector<Shard> shards = ShardDataset(
-      split_.train.size(), static_cast<size_t>(options_.num_workers), &rng);
+  std::vector<Shard> shards =
+      options_.dataset.dirichlet_alpha > 0.0
+          ? ShardDatasetDirichlet(split_.train.labels,
+                                  split_.train.num_classes,
+                                  static_cast<size_t>(options_.num_workers),
+                                  options_.dataset.dirichlet_alpha, &rng)
+          : ShardDataset(split_.train.size(),
+                         static_cast<size_t>(options_.num_workers), &rng);
   for (int w = 0; w < options_.num_workers; ++w) {
     samplers_.push_back(std::make_unique<BatchSampler>(
         &split_.train, std::move(shards[static_cast<size_t>(w)]),
@@ -384,6 +423,31 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
     if (resume_.has_value()) restores->Increment();
   }
 
+  // Scenario observability + drivers. The scenario.* name set (and the
+  // per-kind compile counts) registers eagerly under exactly the same
+  // condition the simulator uses, so cross-engine metric-name parity holds
+  // for scenario runs too.
+  const ScalePolicyConfig& scale_cfg = strategy_options_.scale_policy;
+  const bool scenario_obs = options_.scenario.enabled() ||
+                            scale_cfg.enabled() ||
+                            scale_cfg.degradation_enabled();
+  Counter* partitions_applied = nullptr;
+  Counter* scale_grow = nullptr;
+  Counter* scale_shrink = nullptr;
+  Counter* forced_ckpts = nullptr;
+  if (scenario_obs) {
+    MetricsShard* shard = registry_.NewShard();
+    for (const auto& [name, count] : ScenarioMetricCounts(options_.scenario)) {
+      shard->GetCounter(name)->Increment(count);
+    }
+    partitions_applied = shard->GetCounter("scenario.partitions_applied");
+    scale_grow = shard->GetCounter("scenario.scale.grow");
+    scale_shrink = shard->GetCounter("scenario.scale.shrink");
+    shard->GetCounter("scenario.degrade.small_groups");
+    shard->GetCounter("scenario.degrade.local_steps");
+    forced_ckpts = shard->GetCounter("scenario.degrade.forced_ckpts");
+  }
+
   // The workers this process actually runs (all of them unless RestrictTo
   // carved out a multi-process slice).
   std::vector<int> locals;
@@ -400,6 +464,105 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
   contexts.reserve(locals.size());
   for (int w : locals) {
     contexts.emplace_back(new WorkerContext(this, w));
+  }
+
+  // The wall-clock scenario thread: replays timed partition windows through
+  // the fault decorator, raises the forced-checkpoint gate on sustained
+  // partitions, and drives the autoscaling policy off live idle samples.
+  // The simulator runs the same schedule on virtual time.
+  struct PartitionAction {
+    double time = 0.0;
+    int worker = -1;
+    bool sever = false;
+    bool forces_ckpt = false;
+  };
+  std::vector<PartitionAction> actions;
+  for (const PartitionEvent& p : options_.fault.partition_events) {
+    const bool sustained =
+        options_.ckpt.enabled() && scale_cfg.partition_ckpt_seconds > 0.0 &&
+        p.duration_seconds >= scale_cfg.partition_ckpt_seconds;
+    actions.push_back({p.start_seconds, p.worker, true, sustained});
+    actions.push_back(
+        {p.start_seconds + p.duration_seconds, p.worker, false, false});
+  }
+  std::sort(actions.begin(), actions.end(),
+            [](const PartitionAction& a, const PartitionAction& b) {
+              return a.time < b.time;
+            });
+  // Autoscaling samples this process's worker contexts, so it only runs in
+  // single-process mode; a multi-process slice would see partial idle data.
+  const bool drive_policy =
+      scale_cfg.enabled() && scale_director_ != nullptr && !restricted_;
+  std::atomic<bool> scenario_stop{false};
+  std::thread scenario_thread;
+  if (!actions.empty() || drive_policy) {
+    PR_CHECK(actions.empty() || faulty_ != nullptr);
+    std::vector<WorkerContext*> ctxs;
+    ctxs.reserve(contexts.size());
+    for (auto& c : contexts) ctxs.push_back(c.get());
+    scenario_thread = std::thread([&, ctxs] {
+      ScalePolicy policy(scale_cfg, n);
+      size_t next_action = 0;
+      double ckpt_baseline = 0.0;
+      bool forcing = false;
+      std::vector<double> last_idle(ctxs.size(), 0.0);
+      double last_sample = 0.0;
+      double next_tick = scale_cfg.interval_seconds;
+      while (!scenario_stop.load(std::memory_order_acquire)) {
+        const double now = NowSeconds();
+        while (next_action < actions.size() &&
+               now >= actions[next_action].time) {
+          const PartitionAction& a = actions[next_action];
+          if (a.sever) {
+            faulty_->SeverNode(a.worker);
+            if (partitions_applied != nullptr) {
+              partitions_applied->Increment();
+            }
+            if (a.forces_ckpt && !forcing) {
+              ckpt_baseline =
+                  registry_.Snapshot().counter("ckpt.manifests_written");
+              forcing = true;
+              force_ckpt_.store(true, std::memory_order_release);
+            }
+          } else {
+            faulty_->RestoreNode(a.worker);
+          }
+          ++next_action;
+        }
+        if (forcing && registry_.Snapshot().counter(
+                           "ckpt.manifests_written") > ckpt_baseline) {
+          // First manifest since the partition began: the forced cut
+          // landed, stand the gate down.
+          force_ckpt_.store(false, std::memory_order_release);
+          forcing = false;
+          if (forced_ckpts != nullptr) forced_ckpts->Increment();
+        }
+        if (drive_policy && now >= next_tick) {
+          ScaleSample sample;
+          sample.time = now;
+          sample.active_workers = scale_director_->active();
+          double idle_delta = 0.0;
+          for (size_t i = 0; i < ctxs.size(); ++i) {
+            const double idle = ctxs[i]->idle_seconds_counter_->value();
+            idle_delta += idle - last_idle[i];
+            last_idle[i] = idle;
+          }
+          const double span = now - last_sample;
+          last_sample = now;
+          const int live = std::max(1, sample.active_workers);
+          sample.mean_idle_fraction =
+              span > 0.0 ? idle_delta / (span * live) : 0.0;
+          const int delta = scale_director_->SetTarget(policy.Decide(sample));
+          if (delta > 0 && scale_grow != nullptr) {
+            scale_grow->Increment(delta);
+          } else if (delta < 0 && scale_shrink != nullptr) {
+            scale_shrink->Increment(-delta);
+          }
+          next_tick += scale_cfg.interval_seconds;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
   }
 
   // Bind the owner's control handle to this run's fabric: an Abort() from
@@ -442,6 +605,8 @@ ThreadedRunResult WorkerRuntime::Run(ThreadedStrategy* strategy) {
     for (auto& t : workers) t.join();
     if (service_thread.joinable()) service_thread.join();
   }
+  scenario_stop.store(true, std::memory_order_release);
+  if (scenario_thread.joinable()) scenario_thread.join();
   fabric_->Shutdown();
   if (control != nullptr) control->UnbindAbort();
   const double wall = NowSeconds();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -19,6 +20,8 @@
 #include "optim/sgd.h"
 #include "runtime/param_store.h"
 #include "runtime/threaded_runtime.h"
+#include "scenario/scale_policy.h"
+#include "scenario/scenario.h"
 #include "sim/timeline.h"
 #include "strategies/strategy.h"
 #include "tensor/tensor.h"
@@ -108,6 +111,14 @@ class WorkerContext {
   /// velocity) for `epoch` into run().ckpt.dir, crash-safely, and observes
   /// the write latency under ckpt.save_seconds.
   Status SaveCkptShard(int64_t epoch);
+
+  /// Graceful-degradation gate: true while a sustained partition demands a
+  /// checkpoint cut at every iteration boundary (the scenario thread sets
+  /// it; the service's first completed manifest clears it).
+  bool forced_ckpt() const;
+  /// The run's autoscaling pause board, or null when no scale policy is
+  /// configured. Workers poll it at iteration boundaries.
+  ScaleDirector* scale_director();
 
  private:
   friend class WorkerRuntime;
@@ -257,6 +268,13 @@ class WorkerRuntime {
   TraceRecorder trace_;
   std::chrono::steady_clock::time_point start_;
   std::vector<double> finish_seconds_;
+
+  /// Scenario machinery (empty/null unless the run carries a scenario or a
+  /// scale policy). The compiled plan is merged into options_.fault /
+  /// options_.churn at construction; Run() drives the partition schedule
+  /// and the autoscaler from a wall-clock scenario thread.
+  std::unique_ptr<ScaleDirector> scale_director_;
+  std::atomic<bool> force_ckpt_{false};
 
   /// Resume state (empty on a fresh run): the manifest this run restarted
   /// from, plus the per-worker optimizer velocity and counters read from

@@ -125,6 +125,14 @@ TrainingService::TrainingService(ServiceOptions options)
   for (const auto& [tenant, weight] : options_.tenant_weights) {
     queue_.SetTenantWeight(tenant, weight);
   }
+  if (options_.scale_policy.enabled()) {
+    scale_policy_ =
+        std::make_unique<ScalePolicy>(options_.scale_policy, pool_.size());
+    lease_cap_ = options_.scale_policy.max_workers > 0
+                     ? std::min(options_.scale_policy.max_workers,
+                                pool_.size())
+                     : pool_.size();
+  }
   scheduler_ = std::thread([this] { SchedulerLoop(); });
   monitor_ = std::thread([this] { MonitorLoop(); });
 }
@@ -249,6 +257,11 @@ void TrainingService::SchedulerLoop() {
         // Other jobs are waiting: take the minimum and leave room.
         max_slots = min_slots;
       }
+      if (!sim && lease_cap_ > 0) {
+        // Policy-driven lease resize: admissions honor the autoscaler's cap
+        // (a job's min_workers floor always wins over the cap).
+        max_slots = std::max(min_slots, std::min(max_slots, lease_cap_));
+      }
       WorkerPool::Lease lease;
       PR_CHECK(pool_.TryLease(job->id, min_slots, max_slots, &lease));
       queue_.ChargeUsage(job->spec.tenant, lease.size());
@@ -303,9 +316,48 @@ void TrainingService::MonitorLoop() {
         job->control->Abort();
       }
     }
+    if (scale_policy_ != nullptr &&
+        now - last_policy_tick_ >=
+            options_.scale_policy.interval_seconds) {
+      PolicyTickLocked(now);
+    }
     cv_.wait_for(lock, std::chrono::duration<double>(
                            options_.monitor_period_seconds));
   }
+}
+
+void TrainingService::PolicyTickLocked(double now) {
+  const double span = now - last_policy_tick_;
+  uint64_t progress = 0;
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    if (job->state == JobState::kRunning && job->control) {
+      progress += job->control->progress();
+    }
+  }
+  ScaleSample sample;
+  sample.time = now;
+  sample.mean_idle_fraction = 1.0 - pool_.BusyFraction();
+  sample.active_workers = lease_cap_;
+  sample.updates_per_second =
+      span > 0.0
+          ? static_cast<double>(progress - std::min(progress,
+                                                    last_policy_progress_)) /
+                span
+          : 0.0;
+  last_policy_tick_ = now;
+  last_policy_progress_ = progress;
+  const int desired = scale_policy_->Decide(sample);
+  if (desired > lease_cap_) {
+    ++lease_cap_;
+    shard_->GetCounter("service.scale.grow")->Increment();
+    cv_.notify_all();  // the scheduler may now admit wider leases
+  } else if (desired < lease_cap_) {
+    --lease_cap_;
+    shard_->GetCounter("service.scale.shrink")->Increment();
+  }
+  shard_->GetGauge("service.scale.lease_cap")
+      ->Set(static_cast<double>(lease_cap_));
 }
 
 void TrainingService::RunJob(Job* job) {

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "fault/failure_detector.h"
 #include "obs/metrics.h"
+#include "scenario/scale_policy.h"
 #include "service/job_queue.h"
 #include "service/job_spec.h"
 #include "service/worker_pool.h"
@@ -58,6 +59,14 @@ struct ServiceOptions {
   /// when empty), so concurrent jobs never share manifests.
   std::string ckpt_root;
   double monitor_period_seconds = 0.02;
+  /// Pool-level lease autoscaling. When enabled, the monitor thread feeds
+  /// pool utilization (1 - BusyFraction as the idle signal, leased slots as
+  /// the active count) into the policy every interval and resizes the lease
+  /// cap future admissions get: a saturated pool shrinks new leases toward
+  /// each job's min_workers, an idle pool lets them grow back to max. The
+  /// same ScalePolicy class the training engines run, driven by service
+  /// metrics instead of worker wait-time.
+  ScalePolicyConfig scale_policy;
 };
 
 /// \brief Caller-facing snapshot of one job.
@@ -142,6 +151,9 @@ class TrainingService {
 
   void SchedulerLoop();
   void MonitorLoop();
+  /// One lease-autoscaling decision (called from MonitorLoop under mu_):
+  /// samples the pool, feeds the policy, and moves lease_cap_ by one.
+  void PolicyTickLocked(double now);
   void RunJob(Job* job);
   void ReapFinishedRunnersLocked(std::vector<std::thread>* out);
   JobStatus StatusOfLocked(const Job& job) const;
@@ -158,6 +170,13 @@ class TrainingService {
   int64_t next_job_id_ = 1;
   std::map<int64_t, std::unique_ptr<Job>> jobs_;
   JobQueue queue_;
+
+  /// Lease autoscaling state (guarded by mu_). lease_cap_ is the most slots
+  /// the scheduler grants a new admission; 0 = uncapped.
+  std::unique_ptr<ScalePolicy> scale_policy_;
+  int lease_cap_ = 0;
+  double last_policy_tick_ = 0.0;
+  uint64_t last_policy_progress_ = 0;
 
   // Declared after jobs_ so it is destroyed (agents joined) first: pool
   // endpoints hold observer pointers into per-job registries.

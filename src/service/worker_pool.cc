@@ -177,6 +177,38 @@ void WorkerPool::Release(const Lease& lease) {
   }
 }
 
+int WorkerPool::GrowLease(Lease* lease, int want) {
+  PR_CHECK(lease != nullptr && want >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  int got = 0;
+  for (int slot = 0; slot < size_ && got < want; ++slot) {
+    if (!leased_[static_cast<size_t>(slot)]) {
+      leased_[static_cast<size_t>(slot)] = true;
+      lease->slots.push_back(slot);
+      ++got;
+    }
+  }
+  return got;
+}
+
+std::vector<int> WorkerPool::ShrinkLease(Lease* lease, int drop,
+                                         int keep_min) {
+  PR_CHECK(lease != nullptr && drop >= 0 && keep_min >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> released;
+  while (drop > 0 && lease->size() > keep_min) {
+    const int slot = lease->slots.back();
+    lease->slots.pop_back();
+    PR_CHECK(slot >= 0 && slot < size_ &&
+             leased_[static_cast<size_t>(slot)])
+        << "shrinking a slot that is not leased";
+    leased_[static_cast<size_t>(slot)] = false;
+    released.push_back(slot);
+    --drop;
+  }
+  return released;
+}
+
 int WorkerPool::free_slots() const {
   std::lock_guard<std::mutex> lock(mu_);
   int free = 0;

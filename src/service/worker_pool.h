@@ -71,6 +71,19 @@ class WorkerPool {
   /// Returns a lease's slots to the free set.
   void Release(const Lease& lease);
 
+  /// Extends a held lease by up to `want` additional free slots (lowest slot
+  /// ids first, appended to lease->slots). Returns how many were acquired —
+  /// possibly zero when the pool is fully leased. The elastic grow path: a
+  /// scale policy that wants more workers claims them here and feeds them to
+  /// the run through the rejoin protocol.
+  int GrowLease(Lease* lease, int want);
+
+  /// Gives back up to `drop` slots from the *tail* of a held lease (the
+  /// most recently acquired first — the same highest-index-first order the
+  /// runtime's ScaleDirector pauses workers in), never shrinking below
+  /// `keep_min` remaining slots. Returns the released slot ids.
+  std::vector<int> ShrinkLease(Lease* lease, int drop, int keep_min);
+
   int free_slots() const;
 
   /// Enqueues a task for a specific slot. The slot should be held under a

@@ -26,6 +26,21 @@ SimTraining::SimTraining(const SimTrainingOptions& options)
   // as topology-aware ones and as the threaded Endpoint.
   metrics_shard_->GetCounter("transport.inter_node_bytes");
 
+  // Chaos scenario: compile the trace against this run's shape and merge
+  // the result into the fault plan before anything reads it. Depart/arrive
+  // windows go to scenario_churn_ for the strategy to schedule in virtual
+  // time (the threaded engine walks the same compiled stream).
+  if (options_.scenario.enabled()) {
+    CompiledScenario compiled;
+    const Status s =
+        CompileScenario(options_.scenario, options_.num_workers,
+                        options_.topology, options_.fault, &compiled);
+    PR_CHECK(s.ok()) << "scenario '" << options_.scenario.name
+                     << "': " << s.message();
+    options_.fault = std::move(compiled.fault);
+    scenario_churn_ = std::move(compiled.churn);
+  }
+
   SyntheticSpec spec = options.custom_dataset.has_value()
                            ? *options.custom_dataset
                            : SpecForDataset(options.dataset);
@@ -44,12 +59,18 @@ SimTraining::SimTraining(const SimTrainingOptions& options)
   model_->InitParams(&init, &rng_);
 
   Rng shard_rng = rng_.Fork();
+  // The skew knob lives in two places: SimTrainingOptions for sim-native
+  // callers and SyntheticSpec for configs that describe the dataset as one
+  // block (the threaded engine's convention). Options win when both set.
+  const double dirichlet_alpha = options.dirichlet_alpha > 0.0
+                                     ? options.dirichlet_alpha
+                                     : spec.dirichlet_alpha;
   std::vector<Shard> shards =
-      options.dirichlet_alpha > 0.0
+      dirichlet_alpha > 0.0
           ? ShardDatasetDirichlet(split_.train.labels,
                                   split_.train.num_classes,
                                   static_cast<size_t>(options.num_workers),
-                                  options.dirichlet_alpha, &shard_rng)
+                                  dirichlet_alpha, &shard_rng)
           : ShardDataset(split_.train.size(),
                          static_cast<size_t>(options.num_workers),
                          &shard_rng);

@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/sgd.h"
+#include "scenario/scenario.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 #include "sim/timeline.h"
@@ -89,6 +90,15 @@ struct SimTrainingOptions {
   /// threaded-engine-only; their fault.* counters still register (as zero)
   /// for cross-engine report parity.
   FaultPlan fault;
+
+  /// Trace-driven chaos scenario (P-Reduce only). Compiled at run start and
+  /// merged into `fault` plus the strategy's churn schedule: crash/hang/
+  /// slowdown events become iteration-keyed fault events, depart/arrive
+  /// windows become virtual-time leave/rejoin pairs, partitions become
+  /// membership-loss windows applied at their virtual start times. The
+  /// compiled scenario.* counters register with names identical to the
+  /// threaded engine's.
+  ScenarioSpec scenario;
 
   /// Coordinated checkpointing (strategies that call ConfigureCheckpoint —
   /// P-Reduce kinds and AR): every `ckpt.every_updates` global updates the
@@ -248,6 +258,21 @@ class SimTraining {
   void MarkWaitStart(int worker);
   void MarkWaitEnd(int worker);
 
+  /// Total synchronization-wait seconds `worker` has accumulated so far
+  /// (completed waits only). Scale policies sample deltas of this to build
+  /// their idle-fraction signal, mirroring the threaded engine's
+  /// worker.<i>.idle_seconds counters.
+  double worker_wait_seconds(int worker) const {
+    return workers_[static_cast<size_t>(worker)].total_wait;
+  }
+
+  /// The run's compiled scenario churn windows (empty without a scenario).
+  /// The P-Reduce strategy schedules each as a virtual-time leave/rejoin
+  /// pair; partition windows live in options().fault.partition_events.
+  const std::vector<ChurnWindow>& scenario_churn() const {
+    return scenario_churn_;
+  }
+
   /// Counts a discarded gradient (PS-BK).
   void CountWastedGradient();
 
@@ -340,6 +365,7 @@ class SimTraining {
   std::unique_ptr<CostModel> cost_;
   std::unique_ptr<HeterogeneityModel> hetero_;
   std::vector<WorkerState> workers_;
+  std::vector<ChurnWindow> scenario_churn_;
   std::unique_ptr<Timeline> timeline_;
   std::function<const float*()> eval_provider_;
   std::vector<float> eval_scratch_;

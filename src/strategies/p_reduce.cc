@@ -71,6 +71,42 @@ PReduceStrategy::PReduceStrategy(SimTraining* ctx,
               });
   }
 
+  // Scenario replay + autoscaling + graceful degradation. The scenario.*
+  // name set (including the per-kind compile counts) registers under
+  // exactly the same condition the threaded runtime uses, so cross-engine
+  // metric-name parity is structural for scenario runs too.
+  const ScalePolicyConfig& scale_cfg = options.scale_policy;
+  min_p_ = options.group_size;
+  if (scale_cfg.min_group_size > 0) {
+    min_p_ = std::max(2, std::min(scale_cfg.min_group_size,
+                                  options.group_size));
+  }
+  liveness_floor_ = scale_cfg.liveness_floor;
+  scale_paused_.assign(static_cast<size_t>(ctx->num_workers()), false);
+  scenario_mode_ = ctx->options().scenario.enabled() || scale_cfg.enabled() ||
+                   scale_cfg.degradation_enabled();
+  if (scenario_mode_) {
+    for (const auto& [name, count] :
+         ScenarioMetricCounts(ctx->options().scenario)) {
+      ctx->metrics()->GetCounter(name)->Increment(count);
+    }
+    scenario_partitions_applied_ =
+        ctx->metrics()->GetCounter("scenario.partitions_applied");
+    scale_grow_ = ctx->metrics()->GetCounter("scenario.scale.grow");
+    scale_shrink_ = ctx->metrics()->GetCounter("scenario.scale.shrink");
+    degrade_small_groups_ =
+        ctx->metrics()->GetCounter("scenario.degrade.small_groups");
+    degrade_local_steps_ =
+        ctx->metrics()->GetCounter("scenario.degrade.local_steps");
+    // The forced-checkpoint gate is wall-clock machinery; the name still
+    // registers (as zero) for parity.
+    ctx->metrics()->GetCounter("scenario.degrade.forced_ckpts");
+  }
+  if (scale_cfg.enabled()) {
+    scale_policy_ = std::make_unique<ScalePolicy>(scale_cfg,
+                                                  ctx->num_workers());
+  }
+
   // Coordinated checkpointing: SimTraining cuts the shards; the strategy
   // stamps the controller-owned restore state into each manifest.
   ctx->ConfigureCheckpoint(Name(), [this](RunManifest* m) {
@@ -116,10 +152,155 @@ void PReduceStrategy::EvictNow(int worker) {
   // With the controller down the lease verdict is deferred: the restarted
   // incarnation simply never hears from the dead worker again.
   if (!controller_down_) HandleDecisions(controller_->EvictWorker(worker));
+  UpdateEffectiveGroupSize();
+}
+
+void PReduceStrategy::ScenarioLeave(int worker) {
+  const size_t w = static_cast<size_t>(worker);
+  if (!active_[w] || crashed_[w]) return;  // overlapping windows are fine
+  leave_requested_[w] = true;  // takes effect at the gradient boundary
+}
+
+void PReduceStrategy::ScenarioRejoin(int worker) {
+  const size_t w = static_cast<size_t>(worker);
+  if (crashed_[w]) return;         // a crash outlives any window
+  if (scale_paused_[w]) return;    // the autoscaler owns this pause now
+  if (active_[w]) {
+    // The leave never reached a boundary (window shorter than one step):
+    // cancel it instead of rejoining twice.
+    leave_requested_[w] = false;
+    return;
+  }
+  active_[w] = true;
+  ++active_count_;
+  leave_requested_[w] = false;
+  if (!controller_down_) {
+    HandleDecisions(controller_->NotifyWorkerRejoined(worker));
+  }
+  UpdateEffectiveGroupSize();
+  if (!ctx_->stopped()) BeginCompute(worker);
+}
+
+void PReduceStrategy::UpdateEffectiveGroupSize() {
+  if (min_p_ >= options_.group_size) return;  // gate disabled
+  if (controller_down_) return;  // the next incarnation re-syncs
+  const int target =
+      std::max(min_p_, std::min(active_count_, options_.group_size));
+  if (target == controller_->effective_group_size()) return;
+  if (target < controller_->effective_group_size() &&
+      degrade_small_groups_ != nullptr) {
+    degrade_small_groups_->Increment();
+  }
+  HandleDecisions(controller_->SetEffectiveGroupSize(target));
+}
+
+void PReduceStrategy::ScalePolicyTick() {
+  if (ctx_->stopped()) return;  // stop rescheduling; let the queue drain
+  const double now = ctx_->engine()->now();
+  const double span = now - last_tick_time_;
+  double wait_total = 0.0;
+  for (int w = 0; w < ctx_->num_workers(); ++w) {
+    wait_total += ctx_->worker_wait_seconds(w);
+  }
+  ScaleSample sample;
+  sample.time = now;
+  sample.active_workers = active_count_;
+  if (span > 0.0 && active_count_ > 0) {
+    sample.mean_idle_fraction =
+        std::min(1.0, std::max(0.0, (wait_total - last_wait_total_) /
+                                        (span * active_count_)));
+    sample.updates_per_second =
+        static_cast<double>(ctx_->updates() - last_updates_) / span;
+  }
+  last_wait_total_ = wait_total;
+  last_tick_time_ = now;
+  last_updates_ = ctx_->updates();
+
+  const int target = scale_policy_->Decide(sample);
+  if (target < active_count_) {
+    // Shed the highest-id active worker: the surviving set stays a prefix,
+    // matching the threaded ScaleDirector's deterministic order.
+    for (int w = ctx_->num_workers() - 1; w >= 0; --w) {
+      const size_t i = static_cast<size_t>(w);
+      if (active_[i] && !crashed_[i] && !leave_requested_[i] &&
+          !scale_paused_[i]) {
+        scale_paused_[i] = true;
+        leave_requested_[i] = true;
+        if (scale_shrink_ != nullptr) scale_shrink_->Increment();
+        break;
+      }
+    }
+  } else if (target > active_count_) {
+    // Readmit the lowest-id policy-paused worker.
+    for (int w = 0; w < ctx_->num_workers(); ++w) {
+      const size_t i = static_cast<size_t>(w);
+      if (!scale_paused_[i]) continue;
+      scale_paused_[i] = false;
+      if (active_[i]) {
+        leave_requested_[i] = false;  // pause never reached a boundary
+      } else {
+        ScenarioRejoin(w);
+      }
+      if (scale_grow_ != nullptr) scale_grow_->Increment();
+      break;
+    }
+  }
+  ctx_->engine()->ScheduleAfter(
+      std::max(1e-6, scale_policy_->config().interval_seconds),
+      [this] { ScalePolicyTick(); });
 }
 
 void PReduceStrategy::Start() {
-  for (int w = 0; w < ctx_->num_workers(); ++w) BeginCompute(w);
+  // Scenario arrive windows (time 0) hold their workers out before the
+  // first compute event is ever scheduled.
+  for (const ChurnWindow& w : ctx_->scenario_churn()) {
+    const size_t i = static_cast<size_t>(w.worker);
+    if (w.time_seconds <= 0.0 && active_[i]) {
+      active_[i] = false;
+      --active_count_;
+      HandleDecisions(controller_->NotifyWorkerLeft(w.worker));
+    }
+  }
+  UpdateEffectiveGroupSize();
+
+  for (int w = 0; w < ctx_->num_workers(); ++w) {
+    if (active_[static_cast<size_t>(w)]) BeginCompute(w);
+  }
+
+  // Scenario churn windows become virtual-time leave/rejoin pairs. The
+  // handlers are lenient (generated traces overlap windows freely); the
+  // hand-written schedule below keeps its strict invariants.
+  for (const ChurnWindow& w : ctx_->scenario_churn()) {
+    if (w.time_seconds <= 0.0) {
+      ctx_->engine()->ScheduleAt(w.pause_seconds,
+                                 [this, w] { ScenarioRejoin(w.worker); });
+    } else {
+      ctx_->engine()->ScheduleAt(w.time_seconds,
+                                 [this, w] { ScenarioLeave(w.worker); });
+      ctx_->engine()->ScheduleAt(w.time_seconds + w.pause_seconds,
+                                 [this, w] { ScenarioRejoin(w.worker); });
+    }
+  }
+  // A partitioned worker is, in virtual time, a membership loss for the
+  // window's duration: its traffic cannot reach the controller or any
+  // group, which is exactly what leaving models.
+  for (const PartitionEvent& p : ctx_->options().fault.partition_events) {
+    ctx_->engine()->ScheduleAt(p.start_seconds, [this, p] {
+      if (scenario_partitions_applied_ != nullptr) {
+        scenario_partitions_applied_->Increment();
+      }
+      ScenarioLeave(p.worker);
+    });
+    ctx_->engine()->ScheduleAt(p.start_seconds + p.duration_seconds,
+                               [this, p] { ScenarioRejoin(p.worker); });
+  }
+  if (scale_policy_ != nullptr) {
+    // Floor keeps a malformed zero interval from wedging the event queue
+    // at one timestamp.
+    ctx_->engine()->ScheduleAfter(
+        std::max(1e-6, scale_policy_->config().interval_seconds),
+        [this] { ScalePolicyTick(); });
+  }
 
   // Elastic membership schedule: leaves take effect at the worker's next
   // gradient boundary; joins resume the worker with its last-held model.
@@ -166,11 +347,17 @@ void PReduceStrategy::OnGradientReady(int worker) {
     leave_requested_[static_cast<size_t>(worker)] = false;
     active_[static_cast<size_t>(worker)] = false;
     --active_count_;
-    PR_CHECK_GE(active_count_, options_.group_size)
-        << "churn dropped the cluster below the group size";
+    if (!scenario_mode_) {
+      // Hand-written churn schedules promise this; scenario traces and the
+      // autoscaler legitimately drive the live set below P (that is what
+      // the degradation gates are for).
+      PR_CHECK_GE(active_count_, options_.group_size)
+          << "churn dropped the cluster below the group size";
+    }
     if (!controller_down_) {
       HandleDecisions(controller_->NotifyWorkerLeft(worker));
     }
+    UpdateEffectiveGroupSize();
     return;
   }
 
@@ -228,6 +415,25 @@ void PReduceStrategy::OnSignalArrival(int worker) {
     severed_drops_counter_->Increment();
     parked_.push_back(worker);
     return;
+  }
+  if (scenario_mode_) {
+    // Graceful degradation: below the liveness floor the verdict path is
+    // hopeless, so the worker takes local SGD steps until membership
+    // recovers; below min_p the signal would just sit in a queue no group
+    // can drain, so it is released back to compute (the threaded service's
+    // immediate-release reply).
+    const bool below_floor =
+        liveness_floor_ > 0 && active_count_ < liveness_floor_;
+    if (below_floor || active_count_ < min_p_) {
+      if (below_floor && degrade_local_steps_ != nullptr) {
+        degrade_local_steps_->Increment();
+      }
+      ctx_->MarkWaitEnd(worker);
+      if (!ctx_->stopped() && active_[static_cast<size_t>(worker)]) {
+        BeginCompute(worker);
+      }
+      return;
+    }
   }
   HandleDecisions(
       controller_->OnReadySignal(worker, ctx_->iteration(worker)));
@@ -445,6 +651,9 @@ void PReduceStrategy::RestartController() {
         ctx_->cost().controller_delay(),
         [this, worker] { OnSignalArrival(worker); });
   }
+  // The fresh incarnation starts at the configured P; re-apply the
+  // degradation clamp for the membership it just learned.
+  UpdateEffectiveGroupSize();
 }
 
 }  // namespace pr

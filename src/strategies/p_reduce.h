@@ -54,6 +54,20 @@ class PReduceStrategy : public Strategy {
   void CrashController();
   void RestartController();
 
+  /// Scenario-driven membership changes are *lenient*: a leave for an
+  /// already-absent (or crashed) worker is a no-op, a rejoin for an active
+  /// worker just cancels its pending leave. Generated traces can overlap
+  /// windows; the engines must diverge on none of them.
+  void ScenarioLeave(int worker);
+  void ScenarioRejoin(int worker);
+  /// Degradation gate: retargets the controller's effective group size at
+  /// clamp(active_count_, min_p_, P) after every membership change.
+  void UpdateEffectiveGroupSize();
+  /// One autoscaler tick in virtual time: samples the workers' wait-seconds
+  /// delta, feeds the policy, and pauses/readmits workers through the
+  /// scenario churn paths. Reschedules itself every interval.
+  void ScalePolicyTick();
+
   SimTraining* ctx_;
   StrategyOptions options_;
   ControllerOptions controller_options_;
@@ -96,6 +110,29 @@ class PReduceStrategy : public Strategy {
   Counter* failovers_counter_ = nullptr;
   Counter* reregs_counter_ = nullptr;
   Counter* severed_drops_counter_ = nullptr;
+
+  // --- Scenario replay + autoscaling + graceful degradation ---
+  /// True when the run carries a scenario, a scale policy, or degradation
+  /// gates; relaxes the membership invariants deep churn legitimately
+  /// violates (never set for hand-written churn schedules).
+  bool scenario_mode_ = false;
+  /// Smallest group size the degradation gate may shrink to (== group_size
+  /// when the gate is off, so the clamp is a no-op).
+  int min_p_ = 0;
+  /// Active count below which queued signals are released to local SGD.
+  int liveness_floor_ = 0;
+  /// Workers currently paused by the scale policy (not by the trace).
+  std::vector<bool> scale_paused_;
+  /// Last-sampled per-run wait-seconds total, for the policy's idle deltas.
+  double last_wait_total_ = 0.0;
+  double last_tick_time_ = 0.0;
+  size_t last_updates_ = 0;
+  std::unique_ptr<ScalePolicy> scale_policy_;
+  Counter* scenario_partitions_applied_ = nullptr;
+  Counter* scale_grow_ = nullptr;
+  Counter* scale_shrink_ = nullptr;
+  Counter* degrade_small_groups_ = nullptr;
+  Counter* degrade_local_steps_ = nullptr;
 };
 
 }  // namespace pr

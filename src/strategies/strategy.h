@@ -5,6 +5,7 @@
 
 #include "compress/codec.h"
 #include "core/controller.h"
+#include "scenario/scale_policy.h"
 #include "sim/sim_training.h"
 
 namespace pr {
@@ -70,6 +71,11 @@ struct StrategyOptions {
   /// Ring-cost budget for the group filter's topology-aware connectivity
   /// check; 0 disables the budget (FIFO picks always stand).
   double group_cost_budget = 0.0;
+  /// Autoscaling + graceful-degradation policy (P-Reduce only): watches
+  /// idle/throughput samples and pauses/readmits workers through the
+  /// elastic churn paths; the degradation gates relax group formation under
+  /// sustained membership loss. Serialized as `strategy.scale_policy.*`.
+  ScalePolicyConfig scale_policy;
 };
 
 /// \brief A synchronization strategy driving a simulated training run.

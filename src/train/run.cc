@@ -102,6 +102,8 @@ ExperimentConfig ToExperimentConfig(const RunConfig& config) {
   t.model = r.model;
   t.custom_dataset = r.dataset;
   t.fault = r.fault;
+  t.scenario = r.scenario;
+  t.topology = r.topology;
   t.ckpt = r.ckpt;
   t.seed = r.seed;
   t.trace_capacity = r.trace_capacity;

@@ -177,6 +177,56 @@ TEST(ConfigIoTest, RejectsMalformedTopologyAndFaultLines) {
   EXPECT_DOUBLE_EQ(parsed.run.fault.LinkDelay(0, 1), 0.25);
 }
 
+TEST(ConfigIoTest, RejectsMalformedScenarioAndPolicyLines) {
+  RunConfig parsed;
+  // Unknown event kind, negative time, negative duration, missing fields —
+  // malformed traces are version skew or corruption, never skipped.
+  EXPECT_FALSE(ParseRunConfig(
+                   "prconfig 1\nscenario.event explode 1 0 -1 0 1\n", &parsed)
+                   .ok());
+  EXPECT_FALSE(ParseRunConfig(
+                   "prconfig 1\nscenario.event depart -1 0 -1 0 1\n", &parsed)
+                   .ok());
+  EXPECT_FALSE(ParseRunConfig(
+                   "prconfig 1\nscenario.event depart 1 0 -1 -2 1\n", &parsed)
+                   .ok());
+  EXPECT_FALSE(
+      ParseRunConfig("prconfig 1\nscenario.event depart 1 0\n", &parsed).ok());
+  EXPECT_FALSE(ParseRunConfig(
+                   "prconfig 1\nscenario.expected_iteration_seconds 0\n",
+                   &parsed)
+                   .ok());
+  EXPECT_FALSE(ParseRunConfig(
+                   "prconfig 1\nstrategy.scale_policy.kind banana\n", &parsed)
+                   .ok());
+  // A well-formed event line parses into the scenario.
+  ASSERT_TRUE(ParseRunConfig(
+                  "prconfig 1\nscenario.event depart 0.5 2 -1 0.25 1\n",
+                  &parsed)
+                  .ok());
+  ASSERT_EQ(parsed.run.scenario.events.size(), 1u);
+  EXPECT_EQ(parsed.run.scenario.events[0].kind, ScenarioEventKind::kDepart);
+  EXPECT_DOUBLE_EQ(parsed.run.scenario.events[0].time, 0.5);
+  // The JSON dialect hits the same validation.
+  EXPECT_FALSE(
+      RunConfigFromJson("{\"prconfig\": 1, \"scenario.event\": "
+                        "[[\"explode\", 1, 0, -1, 0, 1]]}",
+                        &parsed)
+          .ok());
+  EXPECT_FALSE(
+      RunConfigFromJson(
+          "{\"prconfig\": 1, \"strategy.scale_policy.kind\": \"banana\"}",
+          &parsed)
+          .ok());
+  EXPECT_TRUE(
+      RunConfigFromJson("{\"prconfig\": 1, \"scenario.event\": "
+                        "[[\"crash\", 1.5, 3, -1, 0, 1]]}",
+                        &parsed)
+          .ok());
+  ASSERT_EQ(parsed.run.scenario.events.size(), 1u);
+  EXPECT_EQ(parsed.run.scenario.events[0].kind, ScenarioEventKind::kCrash);
+}
+
 TEST(ConfigIoTest, DefaultConfigRoundTrips) {
   const RunConfig config;
   const std::string text = SerializeRunConfig(config);
@@ -323,6 +373,41 @@ TEST(ConfigJsonTest, RandomConfigsRoundTripThroughJson) {
       event.after_iterations = static_cast<int>(rng() % 20);
       event.hang_seconds = static_cast<double>(rng() % 50) / 100.0;
       fault.worker_events.push_back(event);
+    }
+    if (coin()) {
+      config.run.dataset.dirichlet_alpha =
+          static_cast<double>(1 + rng() % 40) / 10.0;
+    }
+    if (coin()) {
+      ScalePolicyConfig& sp = config.strategy.scale_policy;
+      sp.kind = static_cast<ScalePolicyKind>(rng() % 3);  // all three kinds
+      sp.interval_seconds = static_cast<double>(1 + rng() % 100) / 200.0;
+      sp.idle_high = static_cast<double>(50 + rng() % 50) / 100.0;
+      sp.idle_low = static_cast<double>(rng() % 50) / 100.0;
+      sp.min_workers = 1 + static_cast<int>(rng() % 4);
+      sp.max_workers = static_cast<int>(rng() % 8);
+      sp.trend_window = 2 + static_cast<int>(rng() % 6);
+      sp.min_group_size = static_cast<int>(rng() % 4);
+      sp.liveness_floor = static_cast<int>(rng() % 4);
+      sp.partition_ckpt_seconds = static_cast<double>(rng() % 100) / 100.0;
+    }
+    if (coin()) {
+      ScenarioSpec& sc = config.run.scenario;
+      sc.name = "trace " + std::to_string(rng() % 100);  // space survives
+      sc.seed = rng() % (uint64_t{1} << 50);
+      sc.expected_iteration_seconds =
+          static_cast<double>(1 + rng() % 100) / 1000.0;
+      const size_t events = 1 + rng() % 4;
+      for (size_t i = 0; i < events; ++i) {
+        ScenarioEvent e;
+        e.kind = static_cast<ScenarioEventKind>(rng() % 6);  // all six kinds
+        e.time = static_cast<double>(rng() % 1000) / 100.0;
+        e.worker = static_cast<int>(rng() % config.run.num_workers);
+        e.node = coin() ? -1 : static_cast<int>(rng() % 3);
+        e.duration = static_cast<double>(rng() % 500) / 100.0;
+        e.factor = 1.0 + static_cast<double>(rng() % 80) / 10.0;
+        sc.events.push_back(e);
+      }
     }
     const std::string text = SerializeRunConfig(config);
     RunConfig from_text;

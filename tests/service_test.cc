@@ -11,6 +11,7 @@
 #include "service/job_queue.h"
 #include "service/job_spec.h"
 #include "service/service.h"
+#include "service/worker_pool.h"
 
 namespace pr {
 namespace {
@@ -442,6 +443,39 @@ TEST(ServiceHandleTest, JsonControlSurface) {
   JsonValue metrics;
   ASSERT_TRUE(ParseJson(handle.Metrics(), &metrics).ok());
   ASSERT_NE(metrics.Find("counters"), nullptr);
+}
+
+TEST(WorkerPoolTest, GrowAndShrinkLease) {
+  WorkerPool pool(4);
+  WorkerPool::Lease lease;
+  ASSERT_TRUE(pool.TryLease(1, 2, 2, &lease));
+  EXPECT_EQ(lease.size(), 2);
+  EXPECT_EQ(pool.free_slots(), 2);
+
+  // Grow claims the lowest free slot ids, appended to the lease tail.
+  const std::vector<int> before = lease.slots;
+  EXPECT_EQ(pool.GrowLease(&lease, 3), 2);  // only 2 were free
+  EXPECT_EQ(lease.size(), 4);
+  EXPECT_EQ(pool.free_slots(), 0);
+  std::vector<int> grown(lease.slots.begin() + 2, lease.slots.end());
+  EXPECT_TRUE(std::is_sorted(grown.begin(), grown.end()));
+  EXPECT_EQ(std::vector<int>(lease.slots.begin(), lease.slots.begin() + 2),
+            before);
+
+  // Shrink releases from the tail (most recently acquired first) and
+  // never drops below keep_min.
+  const std::vector<int> released = pool.ShrinkLease(&lease, 3, 2);
+  EXPECT_EQ(released, (std::vector<int>{grown[1], grown[0]}));
+  EXPECT_EQ(lease.size(), 2);
+  EXPECT_EQ(pool.free_slots(), 2);
+  EXPECT_EQ(lease.slots, before);
+
+  // Released slots are leasable again.
+  WorkerPool::Lease second;
+  ASSERT_TRUE(pool.TryLease(2, 2, 2, &second));
+  pool.Release(second);
+  pool.Release(lease);
+  EXPECT_EQ(pool.free_slots(), 4);
 }
 
 TEST(ServiceTest, ManyConcurrentJobsOverSmallPool) {

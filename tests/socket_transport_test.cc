@@ -278,6 +278,35 @@ TEST(SocketFabricTest, ChaosSuiteRunsUnchangedOverSockets) {
   }
 }
 
+TEST(JitteredBackoffTest, DeterministicBoundedAndDesynchronized) {
+  // Pure in its inputs: same (base, jitter, salt, attempt) -> same delay.
+  EXPECT_EQ(JitteredBackoff(0.1, 0.5, 7, 3), JitteredBackoff(0.1, 0.5, 7, 3));
+  // Degenerate knobs: no base means no sleep, no jitter means exact base.
+  EXPECT_EQ(JitteredBackoff(0.0, 0.5, 1, 1), 0.0);
+  EXPECT_EQ(JitteredBackoff(-1.0, 0.5, 1, 1), 0.0);
+  EXPECT_EQ(JitteredBackoff(0.25, 0.0, 9, 2), 0.25);
+  // Every draw stays inside base * [1 - j, 1 + j).
+  for (uint64_t salt = 0; salt < 16; ++salt) {
+    for (uint64_t attempt = 0; attempt < 16; ++attempt) {
+      const double d = JitteredBackoff(0.2, 0.5, salt, attempt);
+      EXPECT_GE(d, 0.2 * 0.5);
+      EXPECT_LT(d, 0.2 * 1.5);
+    }
+  }
+  // Distinct salts desynchronize identical schedules (the thundering-herd
+  // fix): two peers redialing the same dead host must not sleep in lockstep.
+  int distinct = 0;
+  for (uint64_t salt = 1; salt <= 8; ++salt) {
+    if (JitteredBackoff(0.2, 0.5, salt, 0) !=
+        JitteredBackoff(0.2, 0.5, 0, 0)) {
+      ++distinct;
+    }
+  }
+  EXPECT_GE(distinct, 7);
+  // Successive attempts of one schedule also move.
+  EXPECT_NE(JitteredBackoff(0.2, 0.5, 3, 0), JitteredBackoff(0.2, 0.5, 3, 1));
+}
+
 TEST(SocketFabricTest, ControllerFailoverRunsUnchangedOverSockets) {
   RunConfig config = SmallConfig(StrategyKind::kPReduceConst);
   config.run.num_workers = 4;
